@@ -1,0 +1,108 @@
+// E4 (Table 2): writeback-aware caching comparison across write ratios and
+// writeback premiums (w1/w2).
+//
+// Costs are normalized by the provable offline lower bound (the exact
+// ell = 1 flow optimum of the reduced RW trace at the clean weights).
+// Expected shape: the gap between cost-oblivious LRU and the
+// writeback-aware policies widens as the premium w1/w2 grows, and is
+// largest at intermediate write ratios (at 0% writes all evictions are
+// clean; at 100% every policy pays the premium).
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/randomized.h"
+#include "core/waterfill.h"
+#include "offline/multilevel_dp.h"
+#include "offline/weighted_opt.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "writeback/rw_reduction.h"
+#include "writeback/writeback_policies.h"
+#include "writeback/writeback_simulator.h"
+
+int main(int argc, char** argv) {
+  using namespace wmlp;
+  const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  const int32_t trials = args.quick ? 1 : 3;
+
+  Table table({"w1/w2", "write%", "LB", "wb-lru", "clean-first",
+               "wb-landlord", "waterfill", "randomized"});
+  for (const double premium : {2.0, 10.0, 100.0}) {
+    for (const double write_ratio : {0.0, 0.1, 0.3, 0.5, 0.8, 1.0}) {
+      wb::WbWorkloadOptions opts;
+      opts.num_pages = 64;
+      opts.cache_size = 8;
+      opts.length = args.Scale(12000, 2000);
+      opts.alpha = 0.8;
+      opts.write_ratio = write_ratio;
+      opts.dirty_cost = premium;
+      opts.clean_cost = 1.0;
+      opts.seed = 1000 + static_cast<uint64_t>(premium * 10 +
+                                               write_ratio * 100);
+      const wb::WbTrace trace = wb::GenWbZipf(opts);
+      // Lower bound: every eviction costs at least the clean weight.
+      const Cost lb = MultiLevelLowerBound(wb::ToRwTrace(trace));
+      if (lb <= 0.0) continue;
+
+      auto run = [&](wb::WbPolicy& p) {
+        return wb::Simulate(trace, p).eviction_cost / lb;
+      };
+      wb::WbLru lru;
+      wb::WbCleanFirstLru clean_first;
+      wb::WbLandlord landlord;
+      wb::WbFromRwPolicy waterfill(std::make_unique<WaterfillPolicy>());
+      RunningStat rnd;
+      for (int s = 0; s < trials; ++s) {
+        wb::WbFromRwPolicy randomized(
+            MakeRandomizedPolicy(static_cast<uint64_t>(s)));
+        rnd.Add(run(randomized));
+      }
+      table.AddRow({Fmt(premium, 0), Fmt(write_ratio * 100, 0), Fmt(lb, 0),
+                    Fmt(run(lru), 2), Fmt(run(clean_first), 2),
+                    Fmt(run(landlord), 2), Fmt(run(waterfill), 2),
+                    Fmt(rnd.mean(), 2)});
+    }
+  }
+  bench::EmitTable(args, "e4", "writeback_ratios", table);
+  std::cout << "\nCells are eviction costs normalized by the clean-weight "
+               "offline lower bound (n = 64, k = 8, zipf 0.8).\n";
+
+  // ---- Exact regime: tiny instances with the true writeback optimum. ----
+  Table exact({"w1/w2", "write%", "OPT", "wb-lru", "clean-first",
+               "wb-landlord", "randomized"});
+  for (const double premium : {2.0, 10.0, 100.0}) {
+    for (const double write_ratio : {0.1, 0.5, 0.9}) {
+      wb::WbWorkloadOptions opts;
+      opts.num_pages = 5;
+      opts.cache_size = 2;
+      opts.length = args.Scale(120, 60);
+      opts.alpha = 0.6;
+      opts.write_ratio = write_ratio;
+      opts.dirty_cost = premium;
+      opts.clean_cost = 1.0;
+      opts.seed = 5000 + static_cast<uint64_t>(premium + write_ratio * 10);
+      const wb::WbTrace trace = wb::GenWbZipf(opts);
+      const Cost opt = WritebackOptimal(trace);
+      if (opt <= 0.0) continue;
+      auto run = [&](wb::WbPolicy& p) {
+        return wb::Simulate(trace, p).eviction_cost / opt;
+      };
+      wb::WbLru lru;
+      wb::WbCleanFirstLru clean_first;
+      wb::WbLandlord landlord;
+      RunningStat rnd;
+      for (int s = 0; s < trials + 2; ++s) {
+        wb::WbFromRwPolicy randomized(
+            MakeRandomizedPolicy(static_cast<uint64_t>(s)));
+        rnd.Add(run(randomized));
+      }
+      exact.AddRow({Fmt(premium, 0), Fmt(write_ratio * 100, 0), Fmt(opt, 0),
+                    Fmt(run(lru), 2), Fmt(run(clean_first), 2),
+                    Fmt(run(landlord), 2), Fmt(rnd.mean(), 2)});
+    }
+  }
+  bench::EmitTable(args, "e4", "writeback_exact_small", exact);
+  std::cout << "\nExact regime: true competitive ratios against the "
+               "NP-hard optimum computed by DP (n = 5, k = 2).\n";
+  return 0;
+}

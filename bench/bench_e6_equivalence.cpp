@@ -1,0 +1,95 @@
+// E6 (Table 3): Lemma 2.1 — writeback-aware caching and RW-paging have
+// equal integral optima, and the RW -> writeback adapter never pays more
+// than the RW policy.
+//
+// Expected shape: OPT columns identical on every row; adapter deltas all
+// <= 0.
+#include <iostream>
+
+#include "baselines/landlord.h"
+#include "bench_util.h"
+#include "core/randomized.h"
+#include "core/waterfill.h"
+#include "offline/multilevel_dp.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "writeback/rw_reduction.h"
+#include "writeback/writeback_simulator.h"
+
+int main(int argc, char** argv) {
+  using namespace wmlp;
+  const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  const int32_t optima_trials = args.quick ? 4 : 10;
+
+  // --- Part A: equal optima via independent DPs on small instances. ------
+  {
+    Table table({"trial", "n", "k", "T", "write%", "wb-OPT", "rw-OPT",
+                 "equal"});
+    Rng seeds(777);
+    int32_t equal_count = 0;
+    for (int32_t trial = 0; trial < optima_trials; ++trial) {
+      wb::WbWorkloadOptions opts;
+      opts.num_pages = 5;
+      opts.cache_size = 2;
+      opts.length = 40;
+      opts.write_ratio = 0.1 + 0.08 * trial;
+      opts.dirty_cost = 8.0;
+      opts.clean_cost = 1.0;
+      opts.page_dependent = (trial % 2 == 1);
+      opts.seed = seeds.Next();
+      const wb::WbTrace t = wb::GenWbZipf(opts);
+      const Cost wb_opt = WritebackOptimal(t);
+      const Cost rw_opt = MultiLevelOptimal(wb::ToRwTrace(t));
+      const bool equal = std::abs(wb_opt - rw_opt) < 1e-9;
+      if (equal) ++equal_count;
+      table.AddRow({FmtInt(trial), FmtInt(opts.num_pages),
+                    FmtInt(opts.cache_size), FmtInt(opts.length),
+                    Fmt(opts.write_ratio * 100, 0), Fmt(wb_opt, 2),
+                    Fmt(rw_opt, 2), equal ? "yes" : "NO"});
+    }
+    bench::EmitTable(args, "e6", "equal_optima", table);
+    std::cout << equal_count << "/" << optima_trials
+              << " instances with equal optima (Lemma 2.1).\n";
+  }
+
+  // --- Part B: adapter direction — wb cost <= RW cost, at scale. ---------
+  {
+    Table table({"policy", "write%", "rw-cost", "wb-cost", "wb<=rw"});
+    Rng seeds(888);
+    for (const double write_ratio : {0.2, 0.5, 0.8}) {
+      wb::WbWorkloadOptions opts;
+      opts.num_pages = 48;
+      opts.cache_size = 8;
+      opts.length = args.Scale(8000, 1500);
+      opts.write_ratio = write_ratio;
+      opts.dirty_cost = 16.0;
+      opts.clean_cost = 1.0;
+      opts.seed = seeds.Next();
+      const wb::WbTrace t = wb::GenWbZipf(opts);
+      const Trace rw = wb::ToRwTrace(t);
+
+      struct Case {
+        std::string name;
+        PolicyPtr rw_policy;
+        PolicyPtr adapter_inner;
+      };
+      std::vector<Case> cases;
+      cases.push_back({"landlord", std::make_unique<LandlordPolicy>(),
+                       std::make_unique<LandlordPolicy>()});
+      cases.push_back({"waterfill", std::make_unique<WaterfillPolicy>(),
+                       std::make_unique<WaterfillPolicy>()});
+      cases.push_back({"randomized", MakeRandomizedPolicy(42),
+                       MakeRandomizedPolicy(42)});
+      for (auto& c : cases) {
+        const Cost rw_cost = Simulate(rw, *c.rw_policy).eviction_cost;
+        wb::WbFromRwPolicy adapter(std::move(c.adapter_inner));
+        const Cost wb_cost = wb::Simulate(t, adapter).eviction_cost;
+        table.AddRow({c.name, Fmt(write_ratio * 100, 0), Fmt(rw_cost, 0),
+                      Fmt(wb_cost, 0),
+                      wb_cost <= rw_cost + 1e-9 ? "yes" : "NO"});
+      }
+    }
+    bench::EmitTable(args, "e6", "adapter_direction", table);
+  }
+  return 0;
+}

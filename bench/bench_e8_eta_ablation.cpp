@@ -1,0 +1,63 @@
+// E8 (Figure 5): eta ablation for the fractional multiplicative update.
+//
+// The Section 4.2 rate is (u + eta)/w with eta = 1/k; eta controls how
+// fast fully-cached pages (u = 0) start leaking. This sweeps eta and
+// reports the fractional cost against the exact offline optimum on benign
+// and adversarial traces.
+//
+// Expected shape: a shallow optimum around eta ~ 1/k; eta -> 0 stalls
+// evictions of fully-cached pages and degrades the loop trace badly; large
+// eta over-evicts everywhere.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/fractional.h"
+#include "offline/weighted_opt.h"
+#include "trace/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace wmlp;
+  const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  const int32_t k = 16;
+
+  struct Workload {
+    std::string name;
+    Trace trace;
+  };
+  std::vector<Workload> workloads;
+  {
+    Instance inst(64, k, 1,
+                  MakeWeights(64, 1, WeightModel::kLogUniform, 16.0, 1));
+    workloads.push_back(
+        {"zipf", GenZipf(inst, args.Scale(8000, 1500), 0.8,
+                         LevelMix::AllLowest(1), 2)});
+  }
+  {
+    Instance inst = Instance::Uniform(k + 1, k);
+    workloads.push_back({"loop", GenLoop(inst, args.Scale(8000, 1500),
+                                         k + 1, LevelMix::AllLowest(1))});
+  }
+
+  const double dk = static_cast<double>(k);
+  Table table({"workload", "eta", "frac-cost", "frac/OPT"});
+  for (const auto& [name, trace] : workloads) {
+    const Cost opt = WeightedCachingOpt(trace);
+    for (const double eta :
+         {1e-6, 1.0 / (dk * dk), 1.0 / dk, 1.0 / std::sqrt(dk), 1.0}) {
+      FractionalOptions fo;
+      fo.eta = eta;
+      FractionalMlp frac(fo);
+      frac.Attach(trace.instance);
+      for (Time t = 0; t < trace.length(); ++t) {
+        frac.Serve(t, trace.requests[static_cast<size_t>(t)]);
+      }
+      table.AddRow({name, Fmt(eta, 6), Fmt(frac.lp_cost(), 0),
+                    opt > 0 ? Fmt(frac.lp_cost() / opt, 2) : "-"});
+    }
+  }
+  bench::EmitTable(args, "e8", "eta_ablation", table);
+  std::cout << "\nPaper setting: eta = 1/k = " << Fmt(1.0 / dk, 4)
+            << " (k = " << k << ").\n";
+  return 0;
+}

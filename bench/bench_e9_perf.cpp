@@ -1,0 +1,94 @@
+// E9 (Table 4): throughput microbenchmarks — the systems-side claim that
+// the distribution-free rounding is "easy to implement and very efficient"
+// compared to maintaining a distribution over cache states.
+//
+// Reports requests/second for each policy across (n, k, ell) points.
+#include <benchmark/benchmark.h>
+
+#include "baselines/landlord.h"
+#include "baselines/lru.h"
+#include "core/fractional.h"
+#include "core/randomized.h"
+#include "core/waterfill.h"
+#include "sim/simulator.h"
+#include "trace/generators.h"
+
+namespace wmlp {
+namespace {
+
+Trace BenchTrace(int32_t n, int32_t k, int32_t ell) {
+  Instance inst(n, k, ell,
+                MakeWeights(n, ell, WeightModel::kLogUniform, 16.0, 7));
+  return GenZipf(inst, 4000, 0.8,
+                 ell == 1 ? LevelMix::AllLowest(1) : LevelMix::UniformMix(ell),
+                 8);
+}
+
+template <typename MakePolicy>
+void RunPolicyBench(benchmark::State& state, MakePolicy make) {
+  const int32_t n = static_cast<int32_t>(state.range(0));
+  const int32_t k = static_cast<int32_t>(state.range(1));
+  const int32_t ell = static_cast<int32_t>(state.range(2));
+  const Trace trace = BenchTrace(n, k, ell);
+  for (auto _ : state) {
+    auto policy = make();
+    const SimResult res = Simulate(trace, *policy);
+    benchmark::DoNotOptimize(res.eviction_cost);
+  }
+  state.SetItemsProcessed(state.iterations() * trace.length());
+}
+
+void BM_Lru(benchmark::State& state) {
+  RunPolicyBench(state, [] { return std::make_unique<LruPolicy>(); });
+}
+void BM_Landlord(benchmark::State& state) {
+  RunPolicyBench(state, [] { return std::make_unique<LandlordPolicy>(); });
+}
+void BM_Waterfill(benchmark::State& state) {
+  RunPolicyBench(state, [] { return std::make_unique<WaterfillPolicy>(); });
+}
+void BM_Randomized(benchmark::State& state) {
+  RunPolicyBench(state, [] { return MakeRandomizedPolicy(3); });
+}
+void BM_RandomizedLinearEngine(benchmark::State& state) {
+  RunPolicyBench(state, [] {
+    RandomizedOptions opts;
+    opts.engine = FractionalEngine::kLinear;
+    return MakeRandomizedPolicy(3, opts);
+  });
+}
+
+void BM_FractionalOnly(benchmark::State& state) {
+  const int32_t n = static_cast<int32_t>(state.range(0));
+  const int32_t k = static_cast<int32_t>(state.range(1));
+  const int32_t ell = static_cast<int32_t>(state.range(2));
+  const Trace trace = BenchTrace(n, k, ell);
+  for (auto _ : state) {
+    FractionalMlp frac;
+    frac.Attach(trace.instance);
+    for (Time t = 0; t < trace.length(); ++t) {
+      frac.Serve(t, trace.requests[static_cast<size_t>(t)]);
+    }
+    benchmark::DoNotOptimize(frac.lp_cost());
+  }
+  state.SetItemsProcessed(state.iterations() * trace.length());
+}
+
+#define WMLP_PERF_ARGS                         \
+  ->Args({64, 8, 1})                           \
+      ->Args({256, 32, 1})                     \
+      ->Args({512, 64, 1})                     \
+      ->Args({64, 8, 2})                       \
+      ->Args({256, 32, 4})                     \
+      ->MinTime(0.1)                           \
+      ->Unit(benchmark::kMillisecond)
+
+BENCHMARK(BM_Lru) WMLP_PERF_ARGS;
+BENCHMARK(BM_Landlord) WMLP_PERF_ARGS;
+BENCHMARK(BM_Waterfill) WMLP_PERF_ARGS;
+BENCHMARK(BM_Randomized) WMLP_PERF_ARGS;
+BENCHMARK(BM_RandomizedLinearEngine) WMLP_PERF_ARGS;
+BENCHMARK(BM_FractionalOnly) WMLP_PERF_ARGS;
+
+}  // namespace
+}  // namespace wmlp

@@ -1,0 +1,52 @@
+// Shared helpers for the experiment binaries (bench_e*). Each binary prints
+// fixed-width tables to stdout and optionally CSV files next to them.
+//
+// Flags:
+//   --quick        shrink workloads (CI smoke)
+//   --csv <dir>    also write each table as <dir>/<experiment>_<name>.csv
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "harness/table.h"
+
+namespace wmlp::bench {
+
+struct BenchArgs {
+  bool quick = false;
+  std::string csv_dir;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        args.quick = true;
+      } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+        args.csv_dir = argv[++i];
+      }
+    }
+    return args;
+  }
+
+  // Scales a workload size down in quick mode.
+  int64_t Scale(int64_t full, int64_t quick_value) const {
+    return quick ? quick_value : full;
+  }
+};
+
+inline void EmitTable(const BenchArgs& args, const std::string& experiment,
+                      const std::string& name, const Table& table) {
+  std::cout << "\n== " << experiment << ": " << name << " ==\n";
+  table.Print(std::cout);
+  if (!args.csv_dir.empty()) {
+    const std::string path =
+        args.csv_dir + "/" + experiment + "_" + name + ".csv";
+    if (!table.WriteCsvFile(path)) {
+      std::cerr << "warning: cannot write " << path << "\n";
+    }
+  }
+}
+
+}  // namespace wmlp::bench

@@ -1,0 +1,78 @@
+// The Section 3 hardness construction, end to end: encode an online set
+// cover instance as an RW-paging request sequence, run a paging policy on
+// it, and read a set cover back out of the policy's write-page evictions.
+//
+// This is the mechanism behind Theorem 1.3 (no poly-time o(log^2 k)
+// randomized algorithm unless NP is in BPP): paging on these traces IS
+// online set cover.
+//
+//   ./setcover_adversary [num_sets]
+#include <cstdlib>
+#include <iostream>
+#include <numeric>
+
+#include "core/waterfill.h"
+#include "harness/table.h"
+#include "setcover/greedy.h"
+#include "setcover/online_setcover.h"
+#include "setcover/reduction.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace wmlp;
+  const int32_t m =
+      argc > 1 ? static_cast<int32_t>(std::strtol(argv[1], nullptr, 10)) : 8;
+  const int32_t n = 2 * m;
+
+  const sc::SetSystem sys =
+      sc::GenRandomSetSystem(n, m, 2.0 / static_cast<double>(m), 3);
+  std::vector<int32_t> elements(static_cast<size_t>(n));
+  std::iota(elements.begin(), elements.end(), 0);
+
+  const int32_t exact = sc::ExactCoverSize(sys, elements);
+  const auto greedy = sc::GreedyCover(sys, elements);
+  sc::OnlineSetCover online(sys, 17);
+  for (int32_t e : elements) online.ProcessElement(e);
+
+  std::cout << "Set system: " << n << " elements, " << m << " sets\n"
+            << "  exact minimum cover: " << exact << "\n"
+            << "  offline greedy:      " << greedy.size() << "\n"
+            << "  online primal-dual:  " << online.cover_size()
+            << " (fractional value " << Fmt(online.fractional_value(), 2)
+            << ")\n\n";
+
+  // Encode as RW-paging (cache size = m; one write/read page pair per set
+  // and per element) and run a real paging policy.
+  sc::ReductionOptions ropts;
+  ropts.repetitions = 3;
+  const auto red = sc::BuildRwPagingTrace(sys, {elements}, ropts);
+  std::cout << "Reduction trace: " << red.trace.length()
+            << " requests, cache " << red.trace.instance.cache_size()
+            << ", write weight " << red.trace.instance.weight(0, 1)
+            << "\n";
+
+  WaterfillPolicy policy;
+  std::vector<CacheEvent> log;
+  SimOptions opts;
+  opts.event_log = &log;
+  const SimResult res = Simulate(red.trace, policy, opts);
+  const auto analysis = sc::AnalyzeEvictions(sys, {elements}, red, log);
+
+  std::cout << "Waterfill on the encoded instance: eviction cost "
+            << res.eviction_cost << "\n"
+            << "Write pages it evicted (= the cover it computed): {";
+  for (size_t i = 0; i < analysis.evicted_sets[0].size(); ++i) {
+    std::cout << (i ? ", " : "") << "S" << analysis.evicted_sets[0][i];
+  }
+  std::cout << "}\n"
+            << "Valid cover of all elements: "
+            << (analysis.is_valid_cover[0] ? "YES" : "no") << "\n"
+            << "Cover size " << analysis.evicted_sets[0].size()
+            << " vs exact " << exact << "\n\n"
+            << "Lemma 3.3: a policy whose evictions do NOT form a cover "
+               "pays at least one eviction per rho(e) repetition; with the "
+               "paper's repetitions = m*n*w that forces every low-cost "
+               "algorithm to solve online set cover.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// A database buffer pool with asymmetric eviction costs: evicting a dirty
+// page forces a writeback to storage (expensive), evicting a clean page is
+// a drop (cheap). This is exactly the paper's writeback-aware caching
+// model; by Lemma 2.1 it is equivalent to RW-paging, so any multi-level
+// policy can drive the buffer pool through the reduction adapter.
+//
+//   ./writeback_buffer_pool [write_ratio] [premium]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/randomized.h"
+#include "core/waterfill.h"
+#include "harness/table.h"
+#include "offline/weighted_opt.h"
+#include "writeback/rw_reduction.h"
+#include "writeback/writeback_policies.h"
+#include "writeback/writeback_simulator.h"
+
+int main(int argc, char** argv) {
+  using namespace wmlp;
+  const double write_ratio =
+      argc > 1 ? std::strtod(argv[1], nullptr) : 0.3;
+  const double premium = argc > 2 ? std::strtod(argv[2], nullptr) : 20.0;
+
+  // OLTP-ish buffer pool: 256 disk pages, 32 buffer frames, zipf access
+  // with the given fraction of UPDATE statements; writing a dirty page
+  // back costs `premium` times a clean drop.
+  wb::WbWorkloadOptions opts;
+  opts.num_pages = 256;
+  opts.cache_size = 32;
+  opts.length = 30000;
+  opts.alpha = 0.9;
+  opts.write_ratio = write_ratio;
+  opts.dirty_cost = premium;
+  opts.clean_cost = 1.0;
+  opts.seed = 7;
+  const wb::WbTrace trace = wb::GenWbZipf(opts);
+
+  // Provable lower bound on any schedule's cost.
+  const Cost lb = MultiLevelLowerBound(wb::ToRwTrace(trace));
+
+  std::cout << "Buffer pool: " << opts.num_pages << " pages, "
+            << opts.cache_size << " frames, write ratio " << write_ratio
+            << ", writeback premium " << premium << "x\n"
+            << "Offline lower bound: " << lb << "\n\n";
+
+  Table table({"policy", "total-cost", "vs-LB", "dirty-evictions",
+               "writeback-cost"});
+  auto report = [&](wb::WbPolicy& p) {
+    const auto res = wb::Simulate(trace, p);
+    table.AddRow({p.name(), Fmt(res.eviction_cost, 0),
+                  Fmt(res.eviction_cost / lb, 2),
+                  FmtInt(res.dirty_evictions),
+                  Fmt(res.writeback_cost, 0)});
+  };
+
+  wb::WbLru lru;                    // cost-oblivious classic
+  wb::WbCleanFirstLru clean_first;  // cheap systems heuristic
+  wb::WbLandlord landlord;          // writeback-aware deterministic
+  // The paper's algorithms, driven through the Lemma 2.1 reduction:
+  wb::WbFromRwPolicy waterfill(std::make_unique<WaterfillPolicy>());
+  wb::WbFromRwPolicy randomized(MakeRandomizedPolicy(11));
+  report(lru);
+  report(clean_first);
+  report(landlord);
+  report(waterfill);
+  report(randomized);
+  table.Print(std::cout);
+
+  std::cout << "\nTry: ./writeback_buffer_pool 0.5 100  (write-heavy, "
+               "expensive writebacks) — the gap between wb-lru and the "
+               "writeback-aware policies widens with the premium.\n";
+  return 0;
+}

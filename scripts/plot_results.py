@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Plot the experiment CSVs produced by `--csv <dir>` / run_all_experiments.sh.
+
+Usage:
+    scripts/plot_results.py bench_results/ [out_dir]
+
+Produces one PNG per known experiment if matplotlib is available. The
+plots mirror the figures defined in DESIGN.md section 4 (E2: ratio vs k;
+E3: ratio vs levels; E7: beta ablation; E8: eta ablation; E10: delta
+ablation).
+"""
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    return rows
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 1
+    src = sys.argv[1]
+    out = sys.argv[2] if len(sys.argv) > 2 else src
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; CSVs are in", src)
+        return 0
+
+    os.makedirs(out, exist_ok=True)
+
+    def save(fig, name):
+        path = os.path.join(out, name)
+        fig.savefig(path, dpi=150, bbox_inches="tight")
+        print("wrote", path)
+
+    # E2: ratio vs k (log-log against the references).
+    p = os.path.join(src, "e2_loop_ratio_vs_k.csv")
+    if os.path.exists(p):
+        rows = read_csv(p)
+        ks = [int(r["k"]) for r in rows]
+        fig, ax = plt.subplots()
+        for col, style in [("lru", "o-"), ("waterfill", "s-"),
+                           ("marking", "^-"), ("randomized", "d-"),
+                           ("ln^2(k)+1", "k--")]:
+            ax.plot(ks, [float(r[col]) for r in rows], style, label=col)
+        ax.set_xscale("log", base=2)
+        ax.set_yscale("log", base=2)
+        ax.set_xlabel("cache size k")
+        ax.set_ylabel("competitive ratio vs exact OPT")
+        ax.set_title("E2: adversarial loop, ratio growth in k")
+        ax.legend()
+        save(fig, "e2_ratio_vs_k.png")
+
+    # E7: beta ablation per workload.
+    p = os.path.join(src, "e7_beta_ablation.csv")
+    if os.path.exists(p):
+        rows = read_csv(p)
+        workloads = sorted({r["workload"] for r in rows})
+        fig, ax = plt.subplots()
+        for w in workloads:
+            sel = [r for r in rows if r["workload"] == w]
+            ax.plot([float(r["beta"]) for r in sel],
+                    [float(r["int/frac"]) for r in sel], "o-", label=w)
+        ax.set_xlabel("beta")
+        ax.set_ylabel("integral / fractional cost")
+        ax.set_title("E7: rounding aggressiveness ablation")
+        ax.legend()
+        save(fig, "e7_beta_ablation.png")
+
+    # E8: eta ablation.
+    p = os.path.join(src, "e8_eta_ablation.csv")
+    if os.path.exists(p):
+        rows = read_csv(p)
+        workloads = sorted({r["workload"] for r in rows})
+        fig, ax = plt.subplots()
+        for w in workloads:
+            sel = [r for r in rows if r["workload"] == w]
+            ax.plot([float(r["eta"]) for r in sel],
+                    [float(r["frac/OPT"]) for r in sel], "o-", label=w)
+        ax.set_xscale("log")
+        ax.set_xlabel("eta")
+        ax.set_ylabel("fractional cost / OPT")
+        ax.set_title("E8: eta ablation (paper: eta = 1/k)")
+        ax.legend()
+        save(fig, "e8_eta_ablation.png")
+
+    # E10: delta ablation.
+    p = os.path.join(src, "e10_delta_ablation.csv")
+    if os.path.exists(p):
+        rows = read_csv(p)
+        fig, ax = plt.subplots()
+        xs = range(len(rows))
+        ax.bar([x - 0.2 for x in xs],
+               [float(r["frac/exact"]) for r in rows], 0.4,
+               label="frac/exact")
+        ax.axhline(2.0, color="k", linestyle="--", label="Lemma 4.5 bound")
+        ax.set_xticks(list(xs))
+        ax.set_xticklabels([r["delta"] for r in rows])
+        ax.set_ylabel("cost inflation")
+        ax.set_title("E10: discretization grid ablation")
+        ax.legend()
+        save(fig, "e10_delta_ablation.png")
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Builds the project and regenerates every experiment table (and CSVs).
+#
+#   scripts/run_all_experiments.sh [--quick] [output_dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=""
+OUT="bench_results"
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK="--quick" ;;
+    *) OUT="$arg" ;;
+  esac
+done
+
+cmake -B build -G Ninja >/dev/null
+cmake --build build >/dev/null
+mkdir -p "$OUT"
+
+{
+  for b in build/bench/bench_e*; do
+    name=$(basename "$b")
+    echo "===== $name ====="
+    if [[ "$name" == "bench_e9_perf" ]]; then
+      "$b"
+    else
+      "$b" $QUICK --csv "$OUT"
+    fi
+    echo
+  done
+} | tee "$OUT/full_run.txt"
+
+echo "wrote $OUT/full_run.txt (+ per-table CSVs)"

@@ -1,0 +1,59 @@
+#include "baselines/clock.h"
+
+#include "baselines/serve_util.h"
+
+namespace wmlp {
+
+void ClockPolicy::Attach(const Instance& instance) {
+  ring_.clear();
+  in_ring_.assign(static_cast<size_t>(instance.num_pages()), false);
+  referenced_.assign(static_cast<size_t>(instance.num_pages()), false);
+  hand_ = 0;
+}
+
+void ClockPolicy::Serve(Time /*t*/, const Request& r, CacheOps& ops) {
+  const bool was_resident = ops.cache().contains(r.page);
+  ServeWithVictim(
+      r, ops,
+      [this](const Request& req, CacheOps& o) {
+        // Sweep: skip stale slots, give referenced pages a second chance.
+        while (true) {
+          if (ring_.empty()) break;
+          hand_ %= ring_.size();
+          const PageId q = ring_[hand_];
+          if (!o.cache().contains(q) || !in_ring_[static_cast<size_t>(q)]) {
+            // Stale slot: drop it, preserving circular order.
+            ring_.erase(ring_.begin() + static_cast<ptrdiff_t>(hand_));
+            continue;
+          }
+          if (q == req.page) {
+            hand_ = (hand_ + 1) % ring_.size();
+            continue;
+          }
+          if (referenced_[static_cast<size_t>(q)]) {
+            referenced_[static_cast<size_t>(q)] = false;
+            hand_ = (hand_ + 1) % ring_.size();
+            continue;
+          }
+          // Victim found; remove its slot, preserving order. The hand
+          // stays at this index (the successor shifts into place).
+          ring_.erase(ring_.begin() + static_cast<ptrdiff_t>(hand_));
+          return q;
+        }
+        WMLP_CHECK_MSG(false, "clock ring lost cached pages");
+        return PageId{-1};
+      },
+      [this](PageId victim) {
+        in_ring_[static_cast<size_t>(victim)] = false;
+      });
+  if (!was_resident && !in_ring_[static_cast<size_t>(r.page)]) {
+    ring_.push_back(r.page);
+    in_ring_[static_cast<size_t>(r.page)] = true;
+  }
+  // Textbook variant: the reference bit starts clear on load and is set by
+  // subsequent accesses (a freshly loaded page has not yet earned its
+  // second chance).
+  referenced_[static_cast<size_t>(r.page)] = was_resident;
+}
+
+}  // namespace wmlp

@@ -1,0 +1,26 @@
+// CLOCK (second-chance FIFO): pages sit on a circular list with a
+// reference bit set on access; the hand clears bits until it finds an
+// unreferenced victim. The classic constant-overhead LRU approximation,
+// generalized to multi-level paging like the other baselines.
+#pragma once
+
+#include <vector>
+
+#include "sim/policy.h"
+
+namespace wmlp {
+
+class ClockPolicy final : public Policy {
+ public:
+  void Attach(const Instance& instance) override;
+  void Serve(Time t, const Request& r, CacheOps& ops) override;
+  std::string name() const override { return "clock"; }
+
+ private:
+  std::vector<PageId> ring_;    // circular buffer of resident pages
+  std::vector<bool> in_ring_;   // per page
+  std::vector<bool> referenced_;
+  size_t hand_ = 0;
+};
+
+}  // namespace wmlp

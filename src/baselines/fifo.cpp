@@ -1,0 +1,40 @@
+#include "baselines/fifo.h"
+
+#include "baselines/serve_util.h"
+
+namespace wmlp {
+
+void FifoPolicy::Attach(const Instance& instance) {
+  queue_.clear();
+  queued_.assign(static_cast<size_t>(instance.num_pages()), false);
+}
+
+void FifoPolicy::Serve(Time /*t*/, const Request& r, CacheOps& ops) {
+  const bool was_resident = ops.cache().contains(r.page);
+  ServeWithVictim(
+      r, ops,
+      [this](const Request&, CacheOps& o) {
+        // The queue may contain stale entries for pages already evicted via
+        // forced replacement bookkeeping; skip them.
+        while (!queue_.empty() && !o.cache().contains(queue_.front())) {
+          queued_[static_cast<size_t>(queue_.front())] = false;
+          queue_.pop_front();
+        }
+        WMLP_CHECK_MSG(!queue_.empty(), "fifo queue lost cached pages");
+        return queue_.front();
+      },
+      [this](PageId victim) {
+        // Lazy removal: mark; the skip loop above drops it.
+        queued_[static_cast<size_t>(victim)] = false;
+      });
+  if (!was_resident && !queued_[static_cast<size_t>(r.page)]) {
+    queue_.push_back(r.page);
+    queued_[static_cast<size_t>(r.page)] = true;
+  }
+  // Drop stale entries for the victim eagerly where cheap.
+  while (!queue_.empty() && !queued_[static_cast<size_t>(queue_.front())]) {
+    queue_.pop_front();
+  }
+}
+
+}  // namespace wmlp

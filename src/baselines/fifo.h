@@ -1,0 +1,22 @@
+// First-In-First-Out eviction, generalized to multi-level paging.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "sim/policy.h"
+
+namespace wmlp {
+
+class FifoPolicy final : public Policy {
+ public:
+  void Attach(const Instance& instance) override;
+  void Serve(Time t, const Request& r, CacheOps& ops) override;
+  std::string name() const override { return "fifo"; }
+
+ private:
+  std::deque<PageId> queue_;  // front = oldest resident
+  std::vector<bool> queued_;
+};
+
+}  // namespace wmlp

@@ -1,0 +1,40 @@
+#include "baselines/landlord.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "baselines/serve_util.h"
+
+namespace wmlp {
+
+void LandlordPolicy::Attach(const Instance& instance) {
+  credit_.assign(static_cast<size_t>(instance.num_pages()), 0.0);
+  offset_ = 0.0;
+}
+
+void LandlordPolicy::Serve(Time /*t*/, const Request& r, CacheOps& ops) {
+  ServeWithVictim(
+      r, ops,
+      [this](const Request& req, CacheOps& o) {
+        double min_credit = std::numeric_limits<double>::infinity();
+        PageId victim = -1;
+        for (PageId q : o.cache().pages()) {
+          if (q == req.page) continue;
+          const double c = credit_[static_cast<size_t>(q)] - offset_;
+          if (c < min_credit) {
+            min_credit = c;
+            victim = q;
+          }
+        }
+        offset_ += std::max(0.0, min_credit);
+        return victim;
+      },
+      [](PageId) {});
+  // Refresh credit to the weight of the now-cached copy of the page.
+  const Level lvl = ops.cache().level_of(r.page);
+  credit_[static_cast<size_t>(r.page)] =
+      std::max(credit_[static_cast<size_t>(r.page)],
+               offset_ + ops.instance().weight(r.page, lvl));
+}
+
+}  // namespace wmlp

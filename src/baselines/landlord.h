@@ -1,0 +1,26 @@
+// Landlord / GreedyDual (Young; Cao & Irani): k-competitive deterministic
+// weighted caching, generalized to multi-level paging. Each cached copy
+// carries credit equal to its eviction weight, refreshed on hits; on a miss
+// with a full cache all credits drop by the minimum and a zero-credit page
+// is evicted. Uses a lazy global offset so each operation is O(k) worst
+// case only at eviction scans.
+#pragma once
+
+#include <vector>
+
+#include "sim/policy.h"
+
+namespace wmlp {
+
+class LandlordPolicy final : public Policy {
+ public:
+  void Attach(const Instance& instance) override;
+  void Serve(Time t, const Request& r, CacheOps& ops) override;
+  std::string name() const override { return "landlord"; }
+
+ private:
+  std::vector<double> credit_;  // stored credit; true credit = credit - offset
+  double offset_ = 0.0;
+};
+
+}  // namespace wmlp

@@ -1,0 +1,36 @@
+#include "baselines/lfu.h"
+
+#include "baselines/serve_util.h"
+
+namespace wmlp {
+
+void LfuPolicy::Attach(const Instance& instance) {
+  frequency_.assign(static_cast<size_t>(instance.num_pages()), 0);
+  last_access_.assign(static_cast<size_t>(instance.num_pages()), -1);
+}
+
+void LfuPolicy::Serve(Time t, const Request& r, CacheOps& ops) {
+  ServeWithVictim(
+      r, ops,
+      [this](const Request& req, CacheOps& o) {
+        PageId victim = -1;
+        for (PageId q : o.cache().pages()) {
+          if (q == req.page) continue;
+          if (victim == -1 ||
+              frequency_[static_cast<size_t>(q)] <
+                  frequency_[static_cast<size_t>(victim)] ||
+              (frequency_[static_cast<size_t>(q)] ==
+                   frequency_[static_cast<size_t>(victim)] &&
+               last_access_[static_cast<size_t>(q)] <
+                   last_access_[static_cast<size_t>(victim)])) {
+            victim = q;
+          }
+        }
+        return victim;
+      },
+      [](PageId) {});
+  ++frequency_[static_cast<size_t>(r.page)];
+  last_access_[static_cast<size_t>(r.page)] = t;
+}
+
+}  // namespace wmlp

@@ -1,0 +1,24 @@
+// Least-Frequently-Used eviction (with recency tie-break), generalized to
+// multi-level paging. Frequencies persist across residencies ("perfect
+// LFU").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/policy.h"
+
+namespace wmlp {
+
+class LfuPolicy final : public Policy {
+ public:
+  void Attach(const Instance& instance) override;
+  void Serve(Time t, const Request& r, CacheOps& ops) override;
+  std::string name() const override { return "lfu"; }
+
+ private:
+  std::vector<int64_t> frequency_;
+  std::vector<Time> last_access_;
+};
+
+}  // namespace wmlp

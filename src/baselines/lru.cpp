@@ -1,0 +1,32 @@
+#include "baselines/lru.h"
+
+#include "baselines/serve_util.h"
+
+namespace wmlp {
+
+void LruPolicy::Attach(const Instance& instance) {
+  order_.clear();
+  iters_.assign(static_cast<size_t>(instance.num_pages()), order_.end());
+  present_.assign(static_cast<size_t>(instance.num_pages()), false);
+}
+
+void LruPolicy::Touch(PageId p) {
+  const auto idx = static_cast<size_t>(p);
+  if (present_[idx]) order_.erase(iters_[idx]);
+  order_.push_front(p);
+  iters_[idx] = order_.begin();
+  present_[idx] = true;
+}
+
+void LruPolicy::Serve(Time /*t*/, const Request& r, CacheOps& ops) {
+  ServeWithVictim(
+      r, ops,
+      [this](const Request&, CacheOps&) { return order_.back(); },
+      [this](PageId victim) {
+        order_.erase(iters_[static_cast<size_t>(victim)]);
+        present_[static_cast<size_t>(victim)] = false;
+      });
+  Touch(r.page);
+}
+
+}  // namespace wmlp

@@ -1,0 +1,26 @@
+// Least-Recently-Used, generalized to multi-level paging (victim = LRU page;
+// fetches the requested level). Cost-oblivious: the classic baseline the
+// writeback-aware algorithms are measured against.
+#pragma once
+
+#include <list>
+#include <vector>
+
+#include "sim/policy.h"
+
+namespace wmlp {
+
+class LruPolicy final : public Policy {
+ public:
+  void Attach(const Instance& instance) override;
+  void Serve(Time t, const Request& r, CacheOps& ops) override;
+  std::string name() const override { return "lru"; }
+
+ private:
+  void Touch(PageId p);
+  std::list<PageId> order_;  // front = most recently used
+  std::vector<std::list<PageId>::iterator> iters_;
+  std::vector<bool> present_;
+};
+
+}  // namespace wmlp

@@ -1,0 +1,39 @@
+#include "baselines/marking.h"
+
+#include "baselines/serve_util.h"
+
+namespace wmlp {
+
+void MarkingPolicy::Attach(const Instance& instance) {
+  WMLP_CHECK_MSG(instance.num_levels() == 1,
+                 "marking is a single-level algorithm");
+  marked_.assign(static_cast<size_t>(instance.num_pages()), false);
+}
+
+void MarkingPolicy::Serve(Time /*t*/, const Request& r, CacheOps& ops) {
+  ServeWithVictim(
+      r, ops,
+      [this](const Request& req, CacheOps& o) {
+        // Collect unmarked cached pages; if none, start a new phase.
+        std::vector<PageId> unmarked;
+        for (PageId q : o.cache().pages()) {
+          if (q != req.page && !marked_[static_cast<size_t>(q)]) {
+            unmarked.push_back(q);
+          }
+        }
+        if (unmarked.empty()) {
+          for (PageId q : o.cache().pages()) {
+            marked_[static_cast<size_t>(q)] = false;
+          }
+          for (PageId q : o.cache().pages()) {
+            if (q != req.page) unmarked.push_back(q);
+          }
+        }
+        return unmarked[static_cast<size_t>(
+            rng_.NextBounded(unmarked.size()))];
+      },
+      [](PageId) {});
+  marked_[static_cast<size_t>(r.page)] = true;
+}
+
+}  // namespace wmlp

@@ -1,0 +1,28 @@
+// Randomized Marking (Fiat et al.): Theta(log k)-competitive for unweighted
+// paging. Pages are marked on access; on a miss a uniformly random unmarked
+// page is evicted; when all cached pages are marked a new phase begins and
+// all marks clear. Requires ell == 1 (it is an unweighted algorithm; on
+// weighted instances it simply ignores weights).
+#pragma once
+
+#include <vector>
+
+#include "sim/policy.h"
+#include "util/rng.h"
+
+namespace wmlp {
+
+class MarkingPolicy final : public Policy {
+ public:
+  explicit MarkingPolicy(uint64_t seed) : rng_(seed) {}
+
+  void Attach(const Instance& instance) override;
+  void Serve(Time t, const Request& r, CacheOps& ops) override;
+  std::string name() const override { return "marking"; }
+
+ private:
+  Rng rng_;
+  std::vector<bool> marked_;
+};
+
+}  // namespace wmlp

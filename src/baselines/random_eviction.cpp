@@ -1,0 +1,24 @@
+#include "baselines/random_eviction.h"
+
+#include "baselines/serve_util.h"
+
+namespace wmlp {
+
+void RandomEvictionPolicy::Attach(const Instance& /*instance*/) {}
+
+void RandomEvictionPolicy::Serve(Time /*t*/, const Request& r, CacheOps& ops) {
+  ServeWithVictim(
+      r, ops,
+      [this](const Request& req, CacheOps& o) {
+        const auto& pages = o.cache().pages();
+        PageId victim;
+        do {
+          victim = pages[static_cast<size_t>(
+              rng_.NextBounded(pages.size()))];
+        } while (victim == req.page);
+        return victim;
+      },
+      [](PageId) {});
+}
+
+}  // namespace wmlp

@@ -1,0 +1,22 @@
+// Uniformly random eviction. The simplest randomized baseline; k-competitive
+// for unweighted paging in expectation.
+#pragma once
+
+#include "sim/policy.h"
+#include "util/rng.h"
+
+namespace wmlp {
+
+class RandomEvictionPolicy final : public Policy {
+ public:
+  explicit RandomEvictionPolicy(uint64_t seed) : rng_(seed) {}
+
+  void Attach(const Instance& instance) override;
+  void Serve(Time t, const Request& r, CacheOps& ops) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace wmlp

@@ -1,0 +1,39 @@
+// Shared miss-handling skeleton for simple eviction policies.
+//
+// On a request (p, i):
+//   hit                      -> nothing
+//   own copy at level > i    -> forced replace (pays w(p, cur)), no victim
+//   absent, cache not full   -> fetch (p, i)
+//   absent, cache full       -> evict chosen victim, fetch (p, i)
+// Simple policies always fetch at the requested level i — the cheapest copy
+// allowed to serve the request (weights are non-increasing in level).
+#pragma once
+
+#include "sim/policy.h"
+#include "util/check.h"
+
+namespace wmlp {
+
+// VictimFn: PageId(const Request&, CacheOps&) — must return a cached page
+// different from the requested one. EvictHook: void(PageId) — lets the
+// policy update its bookkeeping for the evicted page.
+template <typename VictimFn, typename EvictHook>
+void ServeWithVictim(const Request& r, CacheOps& ops, VictimFn&& choose,
+                     EvictHook&& on_evict) {
+  const CacheState& cache = ops.cache();
+  if (cache.serves(r)) return;
+  if (cache.contains(r.page)) {
+    ops.Replace(r.page, r.level);
+    return;
+  }
+  if (cache.size() == cache.capacity()) {
+    const PageId victim = choose(r, ops);
+    WMLP_CHECK_MSG(victim != r.page && cache.contains(victim),
+                   "invalid victim " << victim);
+    on_evict(victim);
+    ops.Evict(victim);
+  }
+  ops.Fetch(r.page, r.level);
+}
+
+}  // namespace wmlp

@@ -1,0 +1,56 @@
+#include "baselines/sieve.h"
+
+#include "baselines/serve_util.h"
+
+namespace wmlp {
+
+void SievePolicy::Attach(const Instance& instance) {
+  queue_.clear();
+  iters_.assign(static_cast<size_t>(instance.num_pages()), queue_.end());
+  present_.assign(static_cast<size_t>(instance.num_pages()), false);
+  visited_.assign(static_cast<size_t>(instance.num_pages()), false);
+  hand_ = queue_.end();
+}
+
+void SievePolicy::Serve(Time /*t*/, const Request& r, CacheOps& ops) {
+  const bool was_resident = ops.cache().contains(r.page);
+  ServeWithVictim(
+      r, ops,
+      [this](const Request& req, CacheOps&) {
+        // Sweep from the hand (or the tail) toward the front, clearing
+        // visited bits; the first unvisited page that is not the requested
+        // one is evicted.
+        if (hand_ == queue_.end() && !queue_.empty()) {
+          hand_ = std::prev(queue_.end());
+        }
+        while (true) {
+          WMLP_CHECK_MSG(!queue_.empty(), "sieve queue empty with full cache");
+          const PageId q = *hand_;
+          const bool at_front = hand_ == queue_.begin();
+          if (q != req.page && !visited_[static_cast<size_t>(q)]) {
+            // Victim: advance the hand past it, then unlink.
+            auto victim_it = hand_;
+            hand_ = at_front ? queue_.end() : std::prev(hand_);
+            queue_.erase(victim_it);
+            return q;
+          }
+          visited_[static_cast<size_t>(q)] = false;
+          hand_ = at_front ? queue_.end() : std::prev(hand_);
+          if (hand_ == queue_.end()) hand_ = std::prev(queue_.end());
+        }
+      },
+      [this](PageId victim) {
+        present_[static_cast<size_t>(victim)] = false;
+        iters_[static_cast<size_t>(victim)] = queue_.end();
+      });
+  if (!was_resident && !present_[static_cast<size_t>(r.page)]) {
+    queue_.push_front(r.page);
+    iters_[static_cast<size_t>(r.page)] = queue_.begin();
+    present_[static_cast<size_t>(r.page)] = true;
+    visited_[static_cast<size_t>(r.page)] = false;
+  } else {
+    visited_[static_cast<size_t>(r.page)] = true;
+  }
+}
+
+}  // namespace wmlp

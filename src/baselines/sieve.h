@@ -1,0 +1,30 @@
+// SIEVE (Zhang et al., NSDI 2024): a FIFO queue with a "visited" bit and a
+// hand that sweeps from tail to head, evicting the first unvisited page
+// and clearing bits as it passes — simpler than CLOCK (no reinsertion) and
+// surprisingly strong on skewed web workloads. Included as a modern
+// systems baseline, generalized to multi-level paging.
+#pragma once
+
+#include <list>
+#include <vector>
+
+#include "sim/policy.h"
+
+namespace wmlp {
+
+class SievePolicy final : public Policy {
+ public:
+  void Attach(const Instance& instance) override;
+  void Serve(Time t, const Request& r, CacheOps& ops) override;
+  std::string name() const override { return "sieve"; }
+
+ private:
+  std::list<PageId> queue_;  // front = newest insertion
+  std::vector<std::list<PageId>::iterator> iters_;
+  std::vector<bool> present_;
+  std::vector<bool> visited_;
+  // Hand walks toward the front (newer pages); end() restarts at the tail.
+  std::list<PageId>::iterator hand_;
+};
+
+}  // namespace wmlp

@@ -1,0 +1,98 @@
+#include "baselines/two_q.h"
+
+#include <algorithm>
+
+#include "baselines/serve_util.h"
+
+namespace wmlp {
+
+TwoQPolicy::TwoQPolicy(double a1in_fraction)
+    : a1in_fraction_(a1in_fraction) {
+  WMLP_CHECK(a1in_fraction > 0.0 && a1in_fraction < 1.0);
+}
+
+void TwoQPolicy::Attach(const Instance& instance) {
+  a1in_target_ = std::max(
+      1, static_cast<int32_t>(a1in_fraction_ * instance.cache_size()));
+  ghost_capacity_ = std::max(1, instance.cache_size() / 2);
+  a1in_.clear();
+  am_.clear();
+  ghost_.clear();
+  where_.assign(static_cast<size_t>(instance.num_pages()), Where::kNone);
+  iter_.assign(static_cast<size_t>(instance.num_pages()), a1in_.end());
+}
+
+void TwoQPolicy::RememberGhost(PageId p) {
+  ghost_.push_front(p);
+  where_[static_cast<size_t>(p)] = Where::kGhost;
+  iter_[static_cast<size_t>(p)] = ghost_.begin();
+  if (static_cast<int32_t>(ghost_.size()) > ghost_capacity_) {
+    const PageId old = ghost_.back();
+    ghost_.pop_back();
+    where_[static_cast<size_t>(old)] = Where::kNone;
+    iter_[static_cast<size_t>(old)] = ghost_.end();
+  }
+}
+
+PageId TwoQPolicy::ChooseVictim(const Request& r, const CacheOps& ops) {
+  // Prefer the oldest probation page once A1in exceeds its target; the
+  // victim becomes a ghost so a re-reference promotes it next time.
+  auto back_not_req = [&](std::list<PageId>& q) -> PageId {
+    for (auto it = q.rbegin(); it != q.rend(); ++it) {
+      if (*it != r.page && ops.cache().contains(*it)) return *it;
+    }
+    return -1;
+  };
+  PageId victim = -1;
+  if (static_cast<int32_t>(a1in_.size()) >= a1in_target_) {
+    victim = back_not_req(a1in_);
+  }
+  if (victim < 0) victim = back_not_req(am_);
+  if (victim < 0) victim = back_not_req(a1in_);
+  WMLP_CHECK_MSG(victim >= 0, "2q lost track of cached pages");
+  return victim;
+}
+
+void TwoQPolicy::Serve(Time /*t*/, const Request& r, CacheOps& ops) {
+  const auto idx = static_cast<size_t>(r.page);
+  const bool was_resident = ops.cache().contains(r.page);
+  ServeWithVictim(
+      r, ops,
+      [this](const Request& req, CacheOps& o) {
+        return ChooseVictim(req, o);
+      },
+      [this](PageId victim) {
+        const auto v = static_cast<size_t>(victim);
+        if (where_[v] == Where::kA1in) {
+          a1in_.erase(iter_[v]);
+          RememberGhost(victim);  // probation demotion leaves a ghost
+        } else if (where_[v] == Where::kAm) {
+          am_.erase(iter_[v]);
+          where_[v] = Where::kNone;
+        }
+      });
+
+  if (was_resident) {
+    // Hit: A1in pages stay put (FIFO); Am pages move to the front.
+    if (where_[idx] == Where::kAm) {
+      am_.erase(iter_[idx]);
+      am_.push_front(r.page);
+      iter_[idx] = am_.begin();
+    }
+    return;
+  }
+  // Miss: ghosts (recently demoted) are promoted straight into Am;
+  // genuinely fresh pages enter probation.
+  if (where_[idx] == Where::kGhost) {
+    ghost_.erase(iter_[idx]);
+    am_.push_front(r.page);
+    where_[idx] = Where::kAm;
+    iter_[idx] = am_.begin();
+  } else {
+    a1in_.push_front(r.page);
+    where_[idx] = Where::kA1in;
+    iter_[idx] = a1in_.begin();
+  }
+}
+
+}  // namespace wmlp

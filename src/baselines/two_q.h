@@ -1,0 +1,41 @@
+// Simplified 2Q (Johnson & Shasha, VLDB '94): a FIFO probation queue A1in
+// absorbs first-touch pages (scan resistance); pages re-referenced after
+// leaving probation are promoted into the LRU main queue Am. A ghost list
+// A1out remembers recently demoted pages to detect the re-reference.
+// Generalized to multi-level paging like the other baselines.
+#pragma once
+
+#include <list>
+#include <vector>
+
+#include "sim/policy.h"
+
+namespace wmlp {
+
+class TwoQPolicy final : public Policy {
+ public:
+  // a1in_fraction: share of the cache reserved for the probation queue
+  // (the paper's Kin tunable; 0.25 is the classic default).
+  explicit TwoQPolicy(double a1in_fraction = 0.25);
+
+  void Attach(const Instance& instance) override;
+  void Serve(Time t, const Request& r, CacheOps& ops) override;
+  std::string name() const override { return "2q"; }
+
+ private:
+  enum class Where : uint8_t { kNone, kA1in, kAm, kGhost };
+
+  PageId ChooseVictim(const Request& r, const CacheOps& ops);
+  void RememberGhost(PageId p);
+
+  double a1in_fraction_;
+  int32_t a1in_target_ = 1;
+  int32_t ghost_capacity_ = 1;
+  std::list<PageId> a1in_;   // front = newest
+  std::list<PageId> am_;     // front = most recently used
+  std::list<PageId> ghost_;  // front = newest ghost
+  std::vector<Where> where_;
+  std::vector<std::list<PageId>::iterator> iter_;
+};
+
+}  // namespace wmlp

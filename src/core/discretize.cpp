@@ -1,0 +1,67 @@
+#include "core/discretize.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace wmlp {
+
+DiscretizedFractional::DiscretizedFractional(FractionalPolicyPtr inner,
+                                             double delta)
+    : inner_(std::move(inner)), requested_delta_(delta) {
+  WMLP_CHECK(inner_ != nullptr);
+  WMLP_CHECK(delta >= 0.0 && delta <= 1.0);
+}
+
+void DiscretizedFractional::Attach(const Instance& instance) {
+  instance_ = &instance;
+  delta_ = requested_delta_ > 0.0
+               ? requested_delta_
+               : 1.0 / (4.0 * static_cast<double>(instance.cache_size()));
+  inner_->Attach(instance);
+  u_.assign(static_cast<size_t>(instance.num_pages()) *
+                static_cast<size_t>(instance.num_levels()),
+            1.0);
+  last_changed_.clear();
+  lp_cost_ = 0.0;
+}
+
+double DiscretizedFractional::Snap(double u) const {
+  // Round up to the grid; exact grid points (within fp noise) stay put.
+  const double cells = std::ceil(u / delta_ - 1e-9);
+  return std::min(1.0, cells * delta_);
+}
+
+double DiscretizedFractional::U(PageId p, Level i) const {
+  return u_[static_cast<size_t>(p) *
+                static_cast<size_t>(instance_->num_levels()) +
+            static_cast<size_t>(i - 1)];
+}
+
+void DiscretizedFractional::Serve(Time t, const Request& r) {
+  inner_->Serve(t, r);
+  const int32_t ell = instance_->num_levels();
+  last_changed_.clear();
+  for (PageId p : inner_->last_changed()) {
+    bool page_changed = false;
+    for (Level i = 1; i <= ell; ++i) {
+      const size_t idx = static_cast<size_t>(p) * static_cast<size_t>(ell) +
+                         static_cast<size_t>(i - 1);
+      const double snapped = Snap(inner_->U(p, i));
+      if (snapped != u_[idx]) {
+        if (snapped > u_[idx]) {
+          lp_cost_ += instance_->weight(p, i) * (snapped - u_[idx]);
+        }
+        u_[idx] = snapped;
+        page_changed = true;
+      }
+    }
+    if (page_changed) last_changed_.push_back(p);
+  }
+}
+
+std::string DiscretizedFractional::name() const {
+  return "discretized(" + inner_->name() + ")";
+}
+
+}  // namespace wmlp

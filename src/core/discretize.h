@@ -1,0 +1,44 @@
+// Lemma 4.5 discretization: presents an inner fractional policy's solution
+// snapped to integer multiples of delta = 1/(4k), rounding u *up* (toward
+// eviction) so feasibility is preserved:
+//   - capacity: u only grows, so sum u(p, ell) >= n - k still holds;
+//   - monotonicity: ceil-to-grid is monotone, so u(p, i-1) >= u(p, i);
+//   - service: u(p_t, i_t) = 0 stays 0.
+// The rounding analysis needs the granularity (it charges reset probability
+// against a minimum fractional movement of delta); the <= 2x cost claim is
+// validated empirically by the E10 ablation.
+#pragma once
+
+#include "core/fractional.h"
+
+namespace wmlp {
+
+class DiscretizedFractional final : public FractionalPolicy {
+ public:
+  // delta = 0 selects the paper's 1/(4k).
+  DiscretizedFractional(FractionalPolicyPtr inner, double delta = 0.0);
+
+  void Attach(const Instance& instance) override;
+  void Serve(Time t, const Request& r) override;
+  double U(PageId p, Level i) const override;
+  const std::vector<PageId>& last_changed() const override {
+    return last_changed_;
+  }
+  Cost lp_cost() const override { return lp_cost_; }
+  std::string name() const override;
+
+  double delta() const { return delta_; }
+
+ private:
+  double Snap(double u) const;
+
+  FractionalPolicyPtr inner_;
+  double requested_delta_;
+  double delta_ = 0.0;
+  const Instance* instance_ = nullptr;
+  std::vector<double> u_;  // discretized view, flattened [p * ell + (i-1)]
+  std::vector<PageId> last_changed_;
+  Cost lp_cost_ = 0.0;
+};
+
+}  // namespace wmlp

@@ -1,0 +1,175 @@
+#include "core/fractional.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace wmlp {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+FractionalMlp::FractionalMlp(const FractionalOptions& options)
+    : options_(options) {
+  WMLP_CHECK(options.eta >= 0.0);
+}
+
+void FractionalMlp::Attach(const Instance& instance) {
+  instance_ = &instance;
+  eta_ = options_.eta > 0.0
+             ? options_.eta
+             : 1.0 / static_cast<double>(instance.cache_size());
+  u_.assign(static_cast<size_t>(instance.num_pages()) *
+                static_cast<size_t>(instance.num_levels()),
+            1.0);
+  last_changed_.clear();
+  lp_cost_ = 0.0;
+  movement_cost_ = 0.0;
+  schedule_.u.clear();
+  if (options_.record_schedule) schedule_.u.push_back(u_);
+}
+
+double FractionalMlp::U(PageId p, Level i) const {
+  return u_[static_cast<size_t>(p) *
+                static_cast<size_t>(instance_->num_levels()) +
+            static_cast<size_t>(i - 1)];
+}
+
+double& FractionalMlp::MutableU(PageId p, Level i) {
+  return u_[static_cast<size_t>(p) *
+                static_cast<size_t>(instance_->num_levels()) +
+            static_cast<size_t>(i - 1)];
+}
+
+void FractionalMlp::Serve(Time /*t*/, const Request& r) {
+  WMLP_CHECK(instance_ != nullptr);
+  const Instance& inst = *instance_;
+  const int32_t n = inst.num_pages();
+  const int32_t ell = inst.num_levels();
+  last_changed_.clear();
+  std::vector<bool> changed(static_cast<size_t>(n), false);
+  auto mark = [&](PageId p) {
+    if (!changed[static_cast<size_t>(p)]) {
+      changed[static_cast<size_t>(p)] = true;
+      last_changed_.push_back(p);
+    }
+  };
+
+  // ---- Step 1: serve the request (u of p_t only decreases; no cost). ----
+  for (Level j = r.level; j <= ell; ++j) {
+    double& u = MutableU(r.page, j);
+    if (u > 0.0) {
+      u = 0.0;
+      mark(r.page);
+    }
+  }
+
+  // ---- Step 2: evict continuously until the cache fits. -----------------
+  const double target = static_cast<double>(n - inst.cache_size());
+  while (true) {
+    double total = 0.0;
+    for (PageId q = 0; q < n; ++q) total += U(q, ell);
+    double need = target - total;
+    if (need <= kEps) break;
+
+    // Active pages: q != p_t with fractional presence. For each, locate the
+    // deepest non-empty level i_q and its event horizon (u reaching the cap
+    // u(q, i_q - 1), where y(q, i_q) is exhausted).
+    struct Active {
+      PageId q;
+      Level iq;
+      double u0;
+      double cap;
+      double w;
+    };
+    std::vector<Active> active;
+    for (PageId q = 0; q < n; ++q) {
+      if (q == r.page) continue;
+      if (U(q, ell) >= 1.0 - kEps) continue;
+      Level iq = 0;
+      for (Level i = ell; i >= 1; --i) {
+        const double cap = i == 1 ? 1.0 : U(q, i - 1);
+        if (U(q, i) < cap - kEps) {
+          iq = i;
+          break;
+        }
+        // Snap numerically-equal levels so the scan stays consistent.
+        if (U(q, i) != cap) MutableU(q, i) = cap;
+      }
+      WMLP_CHECK_MSG(iq >= 1, "present page without a non-empty level");
+      active.push_back(Active{q, iq, U(q, iq),
+                              iq == 1 ? 1.0 : U(q, iq - 1),
+                              inst.weight(q, iq)});
+    }
+    WMLP_CHECK_MSG(!active.empty(), "no page available for eviction");
+
+    // Earliest event: some u(q, i_q) reaches its cap.
+    double s_event = std::numeric_limits<double>::infinity();
+    for (const Active& a : active) {
+      const double s = a.w * std::log((a.cap + eta_) / (a.u0 + eta_));
+      s_event = std::min(s_event, s);
+    }
+    WMLP_CHECK(s_event > 0.0);
+
+    // Within the segment no caps bind, so the total gain
+    //   g(s) = sum_a (a.u0 + eta) e^{s / a.w} - (a.u0 + eta)
+    // is smooth, increasing, and convex, and its derivative comes free with
+    // each evaluation.
+    auto gain_and_rate = [&](double s, double* rate) {
+      double g = 0.0;
+      double r = 0.0;
+      for (const Active& a : active) {
+        const double e = (a.u0 + eta_) * std::exp(s / a.w);
+        g += e - (a.u0 + eta_);
+        r += e / a.w;
+      }
+      if (rate != nullptr) *rate = r;
+      return g;
+    };
+
+    double s_apply = s_event;
+    bool final_segment = false;
+    {
+      double rate_at_event = 0.0;
+      const double gain_at_event = gain_and_rate(s_event, &rate_at_event);
+      if (gain_at_event >= need - kEps) {
+        // The stopping clock lies inside this segment. Newton from the
+        // right: for an increasing convex g, iterates from a point with
+        // g > need decrease monotonically to the root.
+        double s = s_event;
+        double g = gain_at_event;
+        double r = rate_at_event;
+        for (int it = 0; it < 50 && g - need > 1e-13 * (1.0 + need);
+             ++it) {
+          s -= (g - need) / r;
+          WMLP_CHECK_MSG(s > 0.0, "Newton step left the segment");
+          g = gain_and_rate(s, &r);
+        }
+        s_apply = s;
+        final_segment = true;
+      }
+    }
+
+    // Apply the clock advance; charge the LP-objective cost
+    // sum_{j >= i_q} w(q, j) * Delta u (all suffix levels rise together).
+    for (const Active& a : active) {
+      const double u_new = std::min(
+          a.cap, (a.u0 + eta_) * std::exp(s_apply / a.w) - eta_);
+      if (u_new <= a.u0) continue;
+      mark(a.q);
+      movement_cost_ += a.w * (u_new - a.u0);
+      for (Level j = a.iq; j <= ell; ++j) {
+        MutableU(a.q, j) = std::min(u_new, 1.0);
+        lp_cost_ += inst.weight(a.q, j) * (u_new - a.u0);
+      }
+    }
+    if (final_segment) break;
+  }
+
+  if (options_.record_schedule) schedule_.u.push_back(u_);
+}
+
+}  // namespace wmlp

@@ -1,0 +1,98 @@
+// Deterministic fractional O(log k)-competitive algorithm (Section 4.2).
+//
+// State: prefix variables u(p, i) = 1 - sum_{j <= i} y(p, j), where y(p, j)
+// is the cached fraction of copy (p, j); u(p, i) = 1 means no mass in the
+// prefix 1..i.
+//
+// On a request (p_t, i_t):
+//   step 1: set u(p_t, j) = 0 for j >= i_t (serve the request; no eviction
+//           cost: all u of p_t only decrease);
+//   step 2: while sum_q u(q, ell) < n - k, continuously raise u of every
+//           other fractionally-present page q at its deepest non-empty
+//           level i_q, at rate (u(q, i_q) + eta) / w(q, i_q) per unit of
+//           shared clock, with eta = 1/k.
+// The continuous process integrates in closed form (u follows
+// (u0 + eta) e^{s/w} - eta between events), so step 2 runs event-to-event
+// with a binary search for the stopping clock inside the final segment.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lp/paging_lp.h"
+#include "trace/instance.h"
+
+namespace wmlp {
+
+// Interface shared by the exact fractional algorithm and its discretized
+// wrapper; the rounding policies consume it.
+class FractionalPolicy {
+ public:
+  virtual ~FractionalPolicy() = default;
+
+  virtual void Attach(const Instance& instance) = 0;
+  virtual void Serve(Time t, const Request& r) = 0;
+
+  // Current prefix variable u(p, i) in [0, 1].
+  virtual double U(PageId p, Level i) const = 0;
+
+  // Pages whose u changed during the last Serve (includes the requested
+  // page). Sorted order is not guaranteed.
+  virtual const std::vector<PageId>& last_changed() const = 0;
+
+  // Cumulative LP-objective eviction cost: sum over steps, p, i of
+  // w(p, i) * (Delta u(p, i))_+ .
+  virtual Cost lp_cost() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using FractionalPolicyPtr = std::unique_ptr<FractionalPolicy>;
+
+struct FractionalOptions {
+  // eta in the update rate; 0 selects the paper's 1/k.
+  double eta = 0.0;
+  // If true, record a FracSchedule snapshot after every step (tests).
+  bool record_schedule = false;
+};
+
+class FractionalMlp final : public FractionalPolicy {
+ public:
+  explicit FractionalMlp(const FractionalOptions& options = {});
+
+  void Attach(const Instance& instance) override;
+  void Serve(Time t, const Request& r) override;
+  double U(PageId p, Level i) const override;
+  const std::vector<PageId>& last_changed() const override {
+    return last_changed_;
+  }
+  Cost lp_cost() const override { return lp_cost_; }
+  std::string name() const override { return "fractional-mlp"; }
+
+  // Recorded schedule (only if options.record_schedule).
+  const FracSchedule& schedule() const { return schedule_; }
+  double eta() const { return eta_; }
+
+  // The Section 4.2 analysis quantity: cumulative y-movement cost
+  // sum w(q, i_q) * |dy(q, i_q)| over step-2 evictions (the LP cost above
+  // additionally charges the suffix levels; it is within 2x of this under
+  // 2-separated weights).
+  Cost movement_cost() const { return movement_cost_; }
+
+ private:
+  double& MutableU(PageId p, Level i);
+  // Raises u of all active pages by shared clock ds; returns the cost.
+  void ApplyClock(double s, const std::vector<PageId>& active);
+
+  FractionalOptions options_;
+  const Instance* instance_ = nullptr;
+  double eta_ = 0.0;
+  std::vector<double> u_;  // flattened [p * ell + (i-1)]
+  std::vector<PageId> last_changed_;
+  Cost lp_cost_ = 0.0;
+  Cost movement_cost_ = 0.0;
+  FracSchedule schedule_;
+};
+
+}  // namespace wmlp

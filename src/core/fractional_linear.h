@@ -1,0 +1,41 @@
+// An alternative fractional engine: linear water-filling.
+//
+// Like FractionalMlp but with the Landlord-style uniform rate
+// du/ds = 1/w(q, i_q) (no (u + eta) multiplicative factor). Fractionally
+// this is the relaxation of the deterministic O(k) algorithm, so its
+// fractional competitive ratio is Theta(k), not O(log k) — but it is a
+// perfectly valid input to the distribution-free rounding, which the
+// paper emphasizes is "independent of the way the fractional solution is
+// generated" (Section 4.3). Pairing the same rounding with both engines
+// exercises exactly that modularity claim (bench_e13), and the linear
+// dynamics integrate in closed form without exponentials, so this engine
+// is also several times faster.
+#pragma once
+
+#include "core/fractional.h"
+
+namespace wmlp {
+
+class FractionalLinear final : public FractionalPolicy {
+ public:
+  FractionalLinear() = default;
+
+  void Attach(const Instance& instance) override;
+  void Serve(Time t, const Request& r) override;
+  double U(PageId p, Level i) const override;
+  const std::vector<PageId>& last_changed() const override {
+    return last_changed_;
+  }
+  Cost lp_cost() const override { return lp_cost_; }
+  std::string name() const override { return "fractional-linear"; }
+
+ private:
+  double& MutableU(PageId p, Level i);
+
+  const Instance* instance_ = nullptr;
+  std::vector<double> u_;
+  std::vector<PageId> last_changed_;
+  Cost lp_cost_ = 0.0;
+};
+
+}  // namespace wmlp

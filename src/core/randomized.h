@@ -1,0 +1,47 @@
+// The combined O(log^2 k)-competitive randomized algorithm
+// (Theorems 1.2 / 1.5): fractional multiplicative update (Section 4.2)
+// -> Lemma 4.5 discretization -> distribution-free rounding (Section 4.3).
+#pragma once
+
+#include "core/discretize.h"
+#include "core/fractional.h"
+#include "core/rounding_multilevel.h"
+#include "core/rounding_weighted.h"
+#include "sim/policy.h"
+
+namespace wmlp {
+
+// Which fractional engine feeds the rounding. The rounding is
+// distribution-free and engine-agnostic (Section 4.3): kMultiplicative is
+// the paper's O(log k) algorithm; kLinear is the Landlord-style uniform
+// water-filling (Theta(k) fractionally, but faster and a valid input).
+enum class FractionalEngine { kMultiplicative, kLinear };
+
+struct RandomizedOptions {
+  double eta = 0.0;    // fractional update rate offset; 0 -> 1/k
+  double beta = 0.0;   // rounding aggressiveness; 0 -> 4 ln(k + 1)
+  double delta = 0.0;  // discretization grid; 0 -> 1/(4k); < 0 -> disabled
+  FractionalEngine engine = FractionalEngine::kMultiplicative;
+  // Force the multi-level rounding path even when ell == 1 (by default
+  // ell == 1 instances use the simpler Algorithm 1).
+  bool force_multilevel = false;
+};
+
+// Builds the full randomized online policy. `seed` drives all of its
+// random choices; the fractional trajectory itself is deterministic.
+PolicyPtr MakeRandomizedPolicy(uint64_t seed,
+                               const RandomizedOptions& options = {});
+
+// Convenience: the stack below the rounding (for experiments that need the
+// fractional cost alone).
+FractionalPolicyPtr MakeFractionalStack(const RandomizedOptions& options = {});
+
+// Seed-sweep accelerator: records the deterministic fractional trajectory
+// over `trace` ONCE, then returns a factory whose policies replay it under
+// independent rounding randomness. Policies from this factory are only
+// valid when simulated on exactly `trace`.
+PolicyFactory MakeReplayRandomizedFactory(const Trace& trace,
+                                          const RandomizedOptions& options =
+                                              {});
+
+}  // namespace wmlp

@@ -1,0 +1,97 @@
+#include "core/replay.h"
+
+#include "util/check.h"
+
+namespace wmlp {
+
+std::shared_ptr<const FracTrajectory> FracTrajectory::Record(
+    FractionalPolicy& inner, const Trace& trace) {
+  auto traj = std::make_shared<FracTrajectory>();
+  const Instance& inst = trace.instance;
+  const int32_t ell = inst.num_levels();
+  traj->num_pages_ = inst.num_pages();
+  traj->num_levels_ = ell;
+  inner.Attach(inst);
+  traj->inner_name_ = inner.name();
+  // Previous values so only genuine changes are recorded.
+  std::vector<double> prev(
+      static_cast<size_t>(inst.num_pages()) * static_cast<size_t>(ell), 1.0);
+  for (Time t = 0; t < trace.length(); ++t) {
+    inner.Serve(t, trace.requests[static_cast<size_t>(t)]);
+    std::vector<PageId> changed;
+    for (PageId p : inner.last_changed()) {
+      bool page_changed = false;
+      for (Level i = 1; i <= ell; ++i) {
+        const size_t idx = static_cast<size_t>(p) * static_cast<size_t>(ell) +
+                           static_cast<size_t>(i - 1);
+        const double u = inner.U(p, i);
+        if (u != prev[idx]) {
+          traj->index_.push_back(static_cast<int32_t>(idx));
+          traj->value_.push_back(u);
+          prev[idx] = u;
+          page_changed = true;
+        }
+      }
+      if (page_changed) changed.push_back(p);
+    }
+    traj->step_end_.push_back(static_cast<int64_t>(traj->index_.size()));
+    traj->changed_.push_back(std::move(changed));
+    traj->lp_cost_after_.push_back(inner.lp_cost());
+  }
+  return traj;
+}
+
+ReplayFractional::ReplayFractional(
+    std::shared_ptr<const FracTrajectory> trajectory)
+    : trajectory_(std::move(trajectory)) {
+  WMLP_CHECK(trajectory_ != nullptr);
+}
+
+void ReplayFractional::Attach(const Instance& instance) {
+  WMLP_CHECK_MSG(instance.num_pages() == trajectory_->num_pages_ &&
+                     instance.num_levels() == trajectory_->num_levels_,
+                 "instance does not match the recorded trajectory");
+  u_.assign(static_cast<size_t>(trajectory_->num_pages_) *
+                static_cast<size_t>(trajectory_->num_levels_),
+            1.0);
+  position_ = 0;
+}
+
+void ReplayFractional::Serve(Time /*t*/, const Request& /*r*/) {
+  WMLP_CHECK_MSG(position_ < trajectory_->num_steps(),
+                 "replay past the recorded trace");
+  const int64_t begin =
+      position_ == 0 ? 0
+                     : trajectory_->step_end_[static_cast<size_t>(
+                           position_ - 1)];
+  const int64_t end =
+      trajectory_->step_end_[static_cast<size_t>(position_)];
+  for (int64_t j = begin; j < end; ++j) {
+    u_[static_cast<size_t>(trajectory_->index_[static_cast<size_t>(j)])] =
+        trajectory_->value_[static_cast<size_t>(j)];
+  }
+  ++position_;
+}
+
+double ReplayFractional::U(PageId p, Level i) const {
+  return u_[static_cast<size_t>(p) *
+                static_cast<size_t>(trajectory_->num_levels_) +
+            static_cast<size_t>(i - 1)];
+}
+
+const std::vector<PageId>& ReplayFractional::last_changed() const {
+  static const std::vector<PageId> kEmpty;
+  if (position_ == 0) return kEmpty;
+  return trajectory_->changed_[static_cast<size_t>(position_ - 1)];
+}
+
+Cost ReplayFractional::lp_cost() const {
+  if (position_ == 0) return 0.0;
+  return trajectory_->lp_cost_after_[static_cast<size_t>(position_ - 1)];
+}
+
+std::string ReplayFractional::name() const {
+  return "replay(" + trajectory_->inner_name_ + ")";
+}
+
+}  // namespace wmlp

@@ -1,0 +1,67 @@
+// Record/replay for fractional trajectories.
+//
+// The fractional algorithm is deterministic, so experiments that average a
+// rounding policy over many seeds recompute the identical trajectory per
+// seed. FracTrajectory::Record captures one run as sparse per-step deltas;
+// ReplayFractional replays it as a FractionalPolicy at memcpy speed, so a
+// whole seed-sweep pays for the continuous water-filling once.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fractional.h"
+#include "trace/instance.h"
+
+namespace wmlp {
+
+class FracTrajectory {
+ public:
+  // Runs `inner` over `trace` and records its trajectory.
+  static std::shared_ptr<const FracTrajectory> Record(
+      FractionalPolicy& inner, const Trace& trace);
+
+  int64_t num_steps() const {
+    return static_cast<int64_t>(step_end_.size());
+  }
+  int64_t num_deltas() const { return static_cast<int64_t>(index_.size()); }
+  int32_t num_pages() const { return num_pages_; }
+  int32_t num_levels() const { return num_levels_; }
+
+ private:
+  friend class ReplayFractional;
+
+  int32_t num_pages_ = 0;
+  int32_t num_levels_ = 0;
+  std::string inner_name_;
+  // Sparse deltas, concatenated; step s owns [step_end_[s-1], step_end_[s]).
+  std::vector<int32_t> index_;   // flattened (p * ell + i - 1)
+  std::vector<double> value_;    // new u value
+  std::vector<int64_t> step_end_;
+  std::vector<std::vector<PageId>> changed_;  // per step
+  std::vector<Cost> lp_cost_after_;           // cumulative, per step
+};
+
+class ReplayFractional final : public FractionalPolicy {
+ public:
+  explicit ReplayFractional(
+      std::shared_ptr<const FracTrajectory> trajectory);
+
+  void Attach(const Instance& instance) override;
+  // `r` must match the recorded trace position (CHECKed only for bounds;
+  // the caller is responsible for replaying the same trace).
+  void Serve(Time t, const Request& r) override;
+  double U(PageId p, Level i) const override;
+  const std::vector<PageId>& last_changed() const override;
+  Cost lp_cost() const override;
+  std::string name() const override;
+
+ private:
+  std::shared_ptr<const FracTrajectory> trajectory_;
+  std::vector<double> u_;
+  int64_t position_ = 0;  // next step to replay
+};
+
+}  // namespace wmlp

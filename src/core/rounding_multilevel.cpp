@@ -1,0 +1,209 @@
+#include "core/rounding_multilevel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace wmlp {
+
+namespace {
+int64_t CeilTol(double v) {
+  return static_cast<int64_t>(std::ceil(v - 1e-7));
+}
+}  // namespace
+
+RoundedMultiLevel::RoundedMultiLevel(FractionalPolicyPtr fractional,
+                                     uint64_t seed,
+                                     const MultiLevelRoundingOptions& options)
+    : fractional_(std::move(fractional)), rng_(seed), options_(options) {
+  WMLP_CHECK(fractional_ != nullptr);
+  WMLP_CHECK(options.beta >= 0.0);
+}
+
+void RoundedMultiLevel::Attach(const Instance& instance) {
+  instance_ = &instance;
+  beta_ = options_.beta > 0.0
+              ? options_.beta
+              : 4.0 * std::log(static_cast<double>(instance.cache_size()) +
+                               1.0);
+  beta_ = std::max(beta_, 1.0);
+  fractional_->Attach(instance);
+  classes_ = std::make_unique<WeightClasses>(instance);
+  u_prev_.assign(static_cast<size_t>(instance.num_pages()) *
+                     static_cast<size_t>(instance.num_levels()),
+                 1.0);
+  class_mass_.assign(static_cast<size_t>(classes_->num_classes()), 0.0);
+  cached_per_class_.assign(static_cast<size_t>(classes_->num_classes()), 0);
+  reset_evictions_ = 0;
+}
+
+double RoundedMultiLevel::V(double u) const {
+  return std::min(beta_ * u, 1.0);
+}
+
+double RoundedMultiLevel::UPrev(PageId p, Level i) const {
+  if (i == 0) return 1.0;
+  return u_prev_[static_cast<size_t>(p) *
+                     static_cast<size_t>(instance_->num_levels()) +
+                 static_cast<size_t>(i - 1)];
+}
+
+double RoundedMultiLevel::VPrev(PageId p, Level i) const {
+  return V(UPrev(p, i));
+}
+
+void RoundedMultiLevel::AddMarginals(PageId p, double sign) {
+  const int32_t ell = instance_->num_levels();
+  for (Level i = 1; i <= ell; ++i) {
+    const double marginal = UPrev(p, i - 1) - UPrev(p, i);
+    class_mass_[static_cast<size_t>(classes_->class_of(p, i))] +=
+        sign * marginal;
+  }
+}
+
+void RoundedMultiLevel::Serve(Time t, const Request& r, CacheOps& ops) {
+  const Instance& inst = *instance_;
+  const int32_t ell = inst.num_levels();
+  fractional_->Serve(t, r);
+
+  auto class_of_cached = [&](PageId q) {
+    return classes_->class_of(q, ops.cache().level_of(q));
+  };
+
+  // ---- Requested page (Algorithm 2 lines 2-6). ---------------------------
+  {
+    const Level cur = ops.cache().level_of(r.page);
+    if (cur != 0 && cur > r.level) {
+      --cached_per_class_[static_cast<size_t>(class_of_cached(r.page))];
+      ops.Replace(r.page, r.level);
+      ++cached_per_class_[static_cast<size_t>(
+          classes_->class_of(r.page, r.level))];
+    } else if (cur == 0) {
+      ops.Fetch(r.page, r.level);
+      ++cached_per_class_[static_cast<size_t>(
+          classes_->class_of(r.page, r.level))];
+    }
+  }
+
+  // ---- Demotion sweep + bookkeeping for changed pages. -------------------
+  for (PageId p : fractional_->last_changed()) {
+    if (p != r.page) {
+      Level cached = ops.cache().level_of(p);
+      if (cached != 0) {
+        // Sequential sweep i = 1..ell: the copy may demote repeatedly.
+        for (Level i = cached; i <= ell; ++i) {
+          if (ops.cache().level_of(p) != i) continue;
+          const double v_new = V(fractional_->U(p, i));
+          const double dv = v_new - VPrev(p, i);
+          if (dv <= 0.0) break;  // boundary did not move; theta stays put
+          // v(p, i-1, t): current scaled value of the level above.
+          const double upper =
+              i == 1 ? 1.0 : V(fractional_->U(p, i - 1));
+          const double denom = upper - VPrev(p, i);
+          double prob = 1.0;
+          if (denom > 1e-12) prob = std::min(1.0, dv / denom);
+          if (!rng_.NextBernoulli(prob)) break;
+          --cached_per_class_[static_cast<size_t>(class_of_cached(p))];
+          if (i == ell) {
+            ops.Evict(p);
+          } else {
+            ops.Replace(p, i + 1);
+            ++cached_per_class_[static_cast<size_t>(
+                classes_->class_of(p, i + 1))];
+          }
+        }
+      }
+    }
+    // Refresh u_prev and class masses for this page.
+    AddMarginals(p, -1.0);
+    for (Level i = 1; i <= ell; ++i) {
+      u_prev_[static_cast<size_t>(p) * static_cast<size_t>(ell) +
+              static_cast<size_t>(i - 1)] = fractional_->U(p, i);
+    }
+    AddMarginals(p, +1.0);
+  }
+
+  // ---- Reset pass over copy weight classes, heaviest first. --------------
+  int64_t suffix_cached = 0;
+  double suffix_mass = 0.0;
+  for (int32_t c = classes_->num_classes() - 1; c >= 0; --c) {
+    suffix_cached += cached_per_class_[static_cast<size_t>(c)];
+    suffix_mass += class_mass_[static_cast<size_t>(c)];
+    while (suffix_cached > CeilTol(suffix_mass)) {
+      // Preferred victim: an arbitrary cached class-c copy other than p_t
+      // (the paper's rule). Corner case Algorithm 2 leaves to the full
+      // version: p_t's unit of fractional mass can *split* across classes
+      // (its cached copy sits at a cheap level while most of its mass sits
+      // at an expensive one), leaving class c with p_t as its only member
+      // while heavier classes exactly meet their ceilings. Then evicting
+      // the cheapest other cached copy is always feasibility-safe: it
+      // belongs to some class c' >= c, so every violated suffix count
+      // (all have class <= c') drops by one.
+      PageId victim = -1;
+      for (PageId q : ops.cache().pages()) {
+        if (q != r.page && class_of_cached(q) == c) {
+          victim = q;
+          break;
+        }
+      }
+      if (victim < 0) {
+        Cost best = std::numeric_limits<Cost>::infinity();
+        for (PageId q : ops.cache().pages()) {
+          if (q == r.page) continue;
+          const Cost w = inst.weight(q, ops.cache().level_of(q));
+          if (w < best) {
+            best = w;
+            victim = q;
+          }
+        }
+      }
+      WMLP_CHECK_MSG(victim >= 0,
+                     "type-" << c << " reset with no evictable copy at t="
+                             << t);
+      const int32_t victim_class = class_of_cached(victim);
+      WMLP_CHECK(victim_class >= c);
+      --cached_per_class_[static_cast<size_t>(victim_class)];
+      ops.Evict(victim);
+      --suffix_cached;
+      ++reset_evictions_;
+    }
+  }
+
+  if (options_.paranoid) CheckConsistency(ops, t);
+}
+
+void RoundedMultiLevel::CheckConsistency(const CacheOps& ops, Time t) const {
+  const Instance& inst = *instance_;
+  const int32_t ell = inst.num_levels();
+  std::vector<double> mass(class_mass_.size(), 0.0);
+  std::vector<int32_t> cached(cached_per_class_.size(), 0);
+  for (PageId p = 0; p < inst.num_pages(); ++p) {
+    for (Level i = 1; i <= ell; ++i) {
+      const double marginal =
+          (i == 1 ? 1.0 : fractional_->U(p, i - 1)) - fractional_->U(p, i);
+      mass[static_cast<size_t>(classes_->class_of(p, i))] += marginal;
+    }
+    const Level lvl = ops.cache().level_of(p);
+    if (lvl != 0) {
+      ++cached[static_cast<size_t>(classes_->class_of(p, lvl))];
+    }
+  }
+  for (size_t c = 0; c < mass.size(); ++c) {
+    WMLP_CHECK_MSG(std::abs(mass[c] - class_mass_[c]) < 1e-6,
+                   "class " << c << " mass drift at t=" << t << ": inc="
+                            << class_mass_[c] << " true=" << mass[c]);
+    WMLP_CHECK_MSG(cached[c] == cached_per_class_[static_cast<size_t>(c)],
+                   "class " << c << " cached-count drift at t=" << t
+                            << ": inc="
+                            << cached_per_class_[static_cast<size_t>(c)]
+                            << " true=" << cached[c]);
+  }
+}
+
+std::string RoundedMultiLevel::name() const {
+  return "rounded-ml(" + fractional_->name() + ")";
+}
+
+}  // namespace wmlp

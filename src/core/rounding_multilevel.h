@@ -1,0 +1,71 @@
+// Algorithm 2 (Section 4.3.3): distribution-free online rounding for
+// weighted multi-level paging.
+//
+// Scaled prefix variables v(p, i) = min(beta * u(p, i), 1), v(p, 0) = 1.
+// The coupled product distribution D(t) picks copy (p, i) with probability
+// v(p, i-1) - v(p, i) (a per-page threshold theta ~ U[0,1] falling in that
+// interval), none with probability v(p, ell).
+//
+// Per request:
+//   - p_t: evict any too-low copy (level > i_t) and add (p_t, i_t) if no
+//     serving copy exists;
+//   - every other changed page: sequential demotion sweep i = 1..ell; a
+//     cached copy at level i moves to i+1 (eviction at i = ell) with the
+//     conditional probability Delta v(p,i) / (v(p,i-1,t) - v(p,i,t-1)) —
+//     exactly the probability that the coupled threshold crossed the moving
+//     boundary;
+//   - reset pass over weight classes of *copies*, heaviest first, against
+//     the unscaled fractional suffix mass
+//     k_{>=c}(t) = sum_{(p,i) in P_{>=c}} (u(p,i-1,t) - u(p,i,t)).
+#pragma once
+
+#include <vector>
+
+#include "core/fractional.h"
+#include "core/weight_classes.h"
+#include "sim/policy.h"
+#include "util/rng.h"
+
+namespace wmlp {
+
+struct MultiLevelRoundingOptions {
+  double beta = 0.0;  // 0 -> 4 ln(k + 1)
+  // Recompute the incremental class masses / cached counts from scratch
+  // after every request and abort on divergence (debug aid).
+  bool paranoid = false;
+};
+
+class RoundedMultiLevel final : public Policy {
+ public:
+  RoundedMultiLevel(FractionalPolicyPtr fractional, uint64_t seed,
+                    const MultiLevelRoundingOptions& options = {});
+
+  void Attach(const Instance& instance) override;
+  void Serve(Time t, const Request& r, CacheOps& ops) override;
+  std::string name() const override;
+
+  const FractionalPolicy& fractional() const { return *fractional_; }
+  double beta() const { return beta_; }
+  int64_t reset_evictions() const { return reset_evictions_; }
+
+ private:
+  double V(double u) const;  // min(beta * u, 1)
+  void CheckConsistency(const CacheOps& ops, Time t) const;
+  double UPrev(PageId p, Level i) const;  // u(p, i, t-1); u(p, 0) = 1
+  double VPrev(PageId p, Level i) const;
+  // Removes/adds page p's marginal contribution to class masses.
+  void AddMarginals(PageId p, double sign);
+
+  FractionalPolicyPtr fractional_;
+  Rng rng_;
+  MultiLevelRoundingOptions options_;
+  double beta_ = 0.0;
+  const Instance* instance_ = nullptr;
+  std::unique_ptr<WeightClasses> classes_;
+  std::vector<double> u_prev_;  // flattened [p * ell + (i-1)]
+  std::vector<double> class_mass_;
+  std::vector<int32_t> cached_per_class_;
+  int64_t reset_evictions_ = 0;
+};
+
+}  // namespace wmlp

@@ -1,0 +1,114 @@
+#include "core/rounding_weighted.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace wmlp {
+
+namespace {
+// Ceiling with tolerance for accumulated floating-point drift in the
+// per-class mass sums.
+int64_t CeilTol(double v) {
+  return static_cast<int64_t>(std::ceil(v - 1e-7));
+}
+}  // namespace
+
+RoundedWeightedPaging::RoundedWeightedPaging(FractionalPolicyPtr fractional,
+                                             uint64_t seed,
+                                             const RoundingOptions& options)
+    : fractional_(std::move(fractional)), rng_(seed), options_(options) {
+  WMLP_CHECK(fractional_ != nullptr);
+  WMLP_CHECK(options.beta >= 0.0);
+}
+
+void RoundedWeightedPaging::Attach(const Instance& instance) {
+  WMLP_CHECK_MSG(instance.num_levels() == 1,
+                 "RoundedWeightedPaging requires ell == 1; use "
+                 "RoundedMultiLevel for ell > 1");
+  instance_ = &instance;
+  beta_ = options_.beta > 0.0
+              ? options_.beta
+              : 4.0 * std::log(static_cast<double>(instance.cache_size()) +
+                               1.0);
+  beta_ = std::max(beta_, 1.0);
+  fractional_->Attach(instance);
+  classes_ = std::make_unique<WeightClasses>(instance);
+  // x_p(0) = 1 for all pages (empty cache): zero fractional cached mass.
+  x_prev_.assign(static_cast<size_t>(instance.num_pages()), 1.0);
+  y_prev_.assign(static_cast<size_t>(instance.num_pages()), 1.0);
+  class_mass_.assign(static_cast<size_t>(classes_->num_classes()), 0.0);
+  cached_per_class_.assign(static_cast<size_t>(classes_->num_classes()), 0);
+  reset_evictions_ = 0;
+}
+
+double RoundedWeightedPaging::Y(double x) const {
+  return std::min(beta_ * x, 1.0);
+}
+
+void RoundedWeightedPaging::Serve(Time t, const Request& r, CacheOps& ops) {
+  fractional_->Serve(t, r);
+
+  // Fetch the requested page if absent (the local rule fetches p_t with
+  // probability 1: Delta y_{p_t} = -y_{p_t}(t-1)).
+  if (!ops.cache().contains(r.page)) {
+    ops.Fetch(r.page, 1);
+    ++cached_per_class_[static_cast<size_t>(classes_->class_of(r.page, 1))];
+  }
+
+  // Local rule + class-mass bookkeeping for every changed page.
+  for (PageId p : fractional_->last_changed()) {
+    const auto idx = static_cast<size_t>(p);
+    const double x_new = fractional_->U(p, 1);
+    const double y_new = Y(x_new);
+    const double y_old = y_prev_[idx];
+    const int32_t cls = classes_->class_of(p, 1);
+    class_mass_[static_cast<size_t>(cls)] -= (x_new - x_prev_[idx]);
+    x_prev_[idx] = x_new;
+
+    if (p != r.page) {
+      const double dy = y_new - y_old;
+      if (dy > 0.0 && ops.cache().contains(p)) {
+        WMLP_CHECK_MSG(y_old < 1.0, "cached page with y == 1");
+        if (rng_.NextBernoulli(dy / (1.0 - y_old))) {
+          ops.Evict(p);
+          --cached_per_class_[static_cast<size_t>(cls)];
+        }
+      }
+    }
+    y_prev_[idx] = y_new;
+  }
+
+  // Reset pass: heaviest class first; evict while the class-suffix cache
+  // occupancy exceeds the ceiling of the fractional suffix mass
+  // k_{>=c}(t) = sum_{p in P_{>=c}} (1 - x_p(t)).
+  int64_t suffix_cached = 0;
+  double suffix_mass = 0.0;
+  for (int32_t c = classes_->num_classes() - 1; c >= 0; --c) {
+    suffix_cached += cached_per_class_[static_cast<size_t>(c)];
+    suffix_mass += class_mass_[static_cast<size_t>(c)];
+    while (suffix_cached > CeilTol(suffix_mass)) {
+      PageId victim = -1;
+      for (PageId q : ops.cache().pages()) {
+        if (q != r.page && classes_->class_of(q, 1) == c) {
+          victim = q;
+          break;
+        }
+      }
+      WMLP_CHECK_MSG(victim >= 0,
+                     "type-" << c << " reset with no evictable page at t="
+                             << t);
+      ops.Evict(victim);
+      --cached_per_class_[static_cast<size_t>(c)];
+      --suffix_cached;
+      ++reset_evictions_;
+    }
+  }
+}
+
+std::string RoundedWeightedPaging::name() const {
+  return "rounded(" + fractional_->name() + ")";
+}
+
+}  // namespace wmlp

@@ -1,0 +1,61 @@
+// Algorithm 1 (Section 4.3.1): distribution-free online rounding for
+// weighted paging (ell = 1).
+//
+// Maintains an integral cache C(t) from a fractional solution x(t):
+//   y_p(t) = min(beta * x_p(t), 1), beta = 4 ln k by default.
+//   - fetch p_t if absent;
+//   - for each p != p_t whose fraction grew, evict independently with the
+//     conditional probability Delta y_p / (1 - y_p(t-1));
+//   - reset pass over weight classes, heaviest first: while class-suffix
+//     occupancy exceeds ceil(k_{>=c}(t)) (fractional missing mass), evict an
+//     arbitrary cached class-c page (Lemma 4.10 guarantees one exists and
+//     the excess is exactly 1).
+// The rounding is local: it reads only the fractional deltas and the
+// current cache, never a distribution over cache states.
+#pragma once
+
+#include <vector>
+
+#include "core/fractional.h"
+#include "core/weight_classes.h"
+#include "sim/policy.h"
+#include "util/rng.h"
+
+namespace wmlp {
+
+struct RoundingOptions {
+  // Aggressiveness multiplier; 0 selects 4 ln(k + 1).
+  double beta = 0.0;
+};
+
+class RoundedWeightedPaging final : public Policy {
+ public:
+  RoundedWeightedPaging(FractionalPolicyPtr fractional, uint64_t seed,
+                        const RoundingOptions& options = {});
+
+  void Attach(const Instance& instance) override;
+  void Serve(Time t, const Request& r, CacheOps& ops) override;
+  std::string name() const override;
+
+  const FractionalPolicy& fractional() const { return *fractional_; }
+  double beta() const { return beta_; }
+  // Number of reset evictions so far (cost-analysis diagnostics, Lemma 4.12).
+  int64_t reset_evictions() const { return reset_evictions_; }
+
+ private:
+  double Y(double x) const;  // min(beta * x, 1)
+
+  FractionalPolicyPtr fractional_;
+  Rng rng_;
+  RoundingOptions options_;
+  double beta_ = 0.0;
+  const Instance* instance_ = nullptr;
+  std::unique_ptr<WeightClasses> classes_;
+  std::vector<double> x_prev_;         // x_p(t-1) per page
+  std::vector<double> y_prev_;         // y_p(t-1) per page
+  std::vector<double> class_mass_;     // sum of (1 - x_p) over class members
+  std::vector<int32_t> cached_per_class_;
+  int64_t reset_evictions_ = 0;
+};
+
+}  // namespace wmlp

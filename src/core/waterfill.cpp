@@ -1,0 +1,53 @@
+#include "core/waterfill.h"
+
+#include "util/check.h"
+
+namespace wmlp {
+
+void WaterfillPolicy::Attach(const Instance& instance) {
+  instance_ = &instance;
+  heap_.clear();
+  key_.assign(static_cast<size_t>(instance.num_pages()), 0.0);
+  offset_ = 0.0;
+}
+
+double WaterfillPolicy::WaterLevel(PageId p, Level level) const {
+  WMLP_CHECK(instance_ != nullptr);
+  // key = offset_at_insert + remaining credit; credit = w - f. The global
+  // offset has risen since, so f = w - (key - offset).
+  const double remaining = key_[static_cast<size_t>(p)] - offset_;
+  const double w = instance_->weight(p, level);
+  return std::min(w, std::max(0.0, w - remaining));
+}
+
+void WaterfillPolicy::Serve(Time /*t*/, const Request& r, CacheOps& ops) {
+  const Instance& inst = ops.instance();
+  const CacheState& cache = ops.cache();
+  if (cache.serves(r)) return;  // step 1: already satisfied
+
+  const Level cur = cache.level_of(r.page);
+  if (cur != 0) {
+    // Step 2a: another copy of p_t at a lower level; replace it directly.
+    heap_.erase({key_[static_cast<size_t>(r.page)], r.page});
+    ops.Replace(r.page, r.level);
+    key_[static_cast<size_t>(r.page)] =
+        offset_ + inst.weight(r.page, r.level);
+    heap_.insert({key_[static_cast<size_t>(r.page)], r.page});
+    return;
+  }
+
+  // Step 2b: water-fill eviction if the cache is full.
+  if (cache.size() == cache.capacity()) {
+    WMLP_CHECK(!heap_.empty());
+    const auto [min_key, victim] = *heap_.begin();
+    heap_.erase(heap_.begin());
+    // Raise the water until the minimum copy drowns.
+    offset_ = std::max(offset_, min_key);
+    ops.Evict(victim);
+  }
+  ops.Fetch(r.page, r.level);  // f(p_t, i_t) = 0 => remaining credit = w
+  key_[static_cast<size_t>(r.page)] = offset_ + inst.weight(r.page, r.level);
+  heap_.insert({key_[static_cast<size_t>(r.page)], r.page});
+}
+
+}  // namespace wmlp

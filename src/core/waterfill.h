@@ -1,0 +1,46 @@
+// Deterministic O(k)-competitive water-filling algorithm (Section 4.1).
+//
+// Each cached copy (q, i_q) carries a water level f in [0, w(q, i_q)]; a
+// fetched copy starts at f = 0. On a miss with a full cache, all cached
+// copies' water rises at rate 1 until some copy reaches its weight; that
+// copy is evicted. Implemented with a lazy global offset (an ordered set of
+// "remaining credit + offset" keys), so each request costs O(log k).
+//
+// When a requested page holds a copy at too low a level, that copy is
+// replaced by the requested level directly (step 2a) with no water-fill.
+//
+// The 2k bound of Theorem 4.1 assumes 2-separated level weights
+// (w(q,i) >= 2 w(q,i+1)); for general weights the ratio is 4k after the
+// paper's level-merging preprocessing (Instance::MergeLevels +
+// ApplyLevelMap), which callers may apply; the policy itself is correct on
+// any monotone weights.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "sim/policy.h"
+
+namespace wmlp {
+
+class WaterfillPolicy final : public Policy {
+ public:
+  void Attach(const Instance& instance) override;
+  void Serve(Time t, const Request& r, CacheOps& ops) override;
+  std::string name() const override { return "waterfill"; }
+
+  // Current water level f(p, level) in [0, w(p, level)] of a cached copy
+  // (Theorem 4.1's analysis state; `level` must be the copy's level).
+  // Exposed for the potential-function verification tests.
+  double WaterLevel(PageId p, Level level) const;
+
+ private:
+  const Instance* instance_ = nullptr;
+  // Ordered by key = (remaining credit + offset at insert time); the
+  // minimum key is the next copy to drown.
+  std::set<std::pair<double, PageId>> heap_;
+  std::vector<double> key_;  // per page; valid while cached
+  double offset_ = 0.0;
+};
+
+}  // namespace wmlp

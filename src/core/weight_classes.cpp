@@ -1,0 +1,34 @@
+#include "core/weight_classes.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace wmlp {
+
+int32_t WeightClasses::ClassOf(Cost w) {
+  WMLP_CHECK(w >= 1.0);
+  int32_t c = 0;
+  Cost bound = 1.0;
+  while (w > bound * (1.0 + 1e-12)) {
+    bound *= 2.0;
+    ++c;
+  }
+  return c;
+}
+
+WeightClasses::WeightClasses(const Instance& instance)
+    : ell_(instance.num_levels()) {
+  class_.resize(static_cast<size_t>(instance.num_pages()) *
+                static_cast<size_t>(ell_));
+  for (PageId p = 0; p < instance.num_pages(); ++p) {
+    for (Level i = 1; i <= ell_; ++i) {
+      const int32_t c = ClassOf(instance.weight(p, i));
+      class_[static_cast<size_t>(p) * static_cast<size_t>(ell_) +
+             static_cast<size_t>(i - 1)] = c;
+      if (c + 1 > num_classes_) num_classes_ = c + 1;
+    }
+  }
+}
+
+}  // namespace wmlp

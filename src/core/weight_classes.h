@@ -1,0 +1,32 @@
+// Geometric weight classes (Section 4.3): class c holds weights in
+// (2^{c-1}, 2^c], with weight 1 in class 0. The rounding algorithms compare
+// cached-copy counts against fractional mass per class *suffix* P_{>=c}.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/instance.h"
+
+namespace wmlp {
+
+class WeightClasses {
+ public:
+  // Smallest c >= 0 with w <= 2^c (w >= 1).
+  static int32_t ClassOf(Cost w);
+
+  explicit WeightClasses(const Instance& instance);
+
+  int32_t num_classes() const { return num_classes_; }
+  int32_t class_of(PageId p, Level i) const {
+    return class_[static_cast<size_t>(p) * static_cast<size_t>(ell_) +
+                  static_cast<size_t>(i - 1)];
+  }
+
+ private:
+  int32_t ell_;
+  int32_t num_classes_ = 1;
+  std::vector<int32_t> class_;
+};
+
+}  // namespace wmlp

@@ -1,0 +1,146 @@
+#include "flow/min_cost_flow.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "util/check.h"
+
+namespace wmlp {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+MinCostFlow::MinCostFlow(int32_t num_nodes)
+    : first_out_(static_cast<size_t>(num_nodes), -1) {
+  WMLP_CHECK(num_nodes >= 0);
+}
+
+int32_t MinCostFlow::AddNode() {
+  first_out_.push_back(-1);
+  return static_cast<int32_t>(first_out_.size()) - 1;
+}
+
+int32_t MinCostFlow::AddArc(int32_t from, int32_t to, int64_t capacity,
+                            double cost) {
+  WMLP_CHECK(from >= 0 && from < num_nodes());
+  WMLP_CHECK(to >= 0 && to < num_nodes());
+  WMLP_CHECK(capacity >= 0);
+  const int32_t id = static_cast<int32_t>(arcs_.size());
+  arcs_.push_back(Arc{to, first_out_[static_cast<size_t>(from)], capacity,
+                      cost});
+  first_out_[static_cast<size_t>(from)] = id;
+  arcs_.push_back(Arc{from, first_out_[static_cast<size_t>(to)], 0, -cost});
+  first_out_[static_cast<size_t>(to)] = id + 1;
+  capacity_.push_back(capacity);
+  return id / 2;  // user-facing id
+}
+
+int64_t MinCostFlow::Flow(int32_t arc_id) const {
+  const size_t fwd = static_cast<size_t>(arc_id) * 2;
+  WMLP_CHECK(fwd < arcs_.size());
+  return capacity_[static_cast<size_t>(arc_id)] - arcs_[fwd].residual;
+}
+
+MinCostFlow::Result MinCostFlow::Solve(int32_t source, int32_t sink,
+                                       int64_t max_flow) {
+  WMLP_CHECK(source >= 0 && source < num_nodes());
+  WMLP_CHECK(sink >= 0 && sink < num_nodes());
+  WMLP_CHECK(source != sink);
+  const size_t n = first_out_.size();
+
+  // Bellman-Ford (queue-based) for initial potentials; required because
+  // arcs may have negative costs. Detects negative cycles via relaxation
+  // count.
+  std::vector<double> potential(n, 0.0);
+  {
+    std::vector<bool> in_queue(n, true);
+    std::vector<int64_t> relaxations(n, 0);
+    std::deque<int32_t> queue;
+    for (size_t v = 0; v < n; ++v) queue.push_back(static_cast<int32_t>(v));
+    while (!queue.empty()) {
+      const int32_t v = queue.front();
+      queue.pop_front();
+      in_queue[static_cast<size_t>(v)] = false;
+      for (int32_t e = first_out_[static_cast<size_t>(v)]; e != -1;
+           e = arcs_[static_cast<size_t>(e)].next) {
+        const Arc& a = arcs_[static_cast<size_t>(e)];
+        if (a.residual <= 0) continue;
+        const double nd = potential[static_cast<size_t>(v)] + a.cost;
+        if (nd < potential[static_cast<size_t>(a.to)] - 1e-12) {
+          potential[static_cast<size_t>(a.to)] = nd;
+          WMLP_CHECK_MSG(++relaxations[static_cast<size_t>(a.to)] <=
+                             static_cast<int64_t>(n) + 1,
+                         "negative cycle in flow network");
+          if (!in_queue[static_cast<size_t>(a.to)]) {
+            in_queue[static_cast<size_t>(a.to)] = true;
+            queue.push_back(a.to);
+          }
+        }
+      }
+    }
+  }
+
+  Result result;
+  std::vector<double> dist(n);
+  std::vector<int32_t> parent_arc(n);
+  while (result.flow < max_flow) {
+    // Dijkstra on reduced costs.
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(parent_arc.begin(), parent_arc.end(), -1);
+    dist[static_cast<size_t>(source)] = 0.0;
+    using Item = std::pair<double, int32_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    heap.emplace(0.0, source);
+    while (!heap.empty()) {
+      const auto [d, v] = heap.top();
+      heap.pop();
+      if (d > dist[static_cast<size_t>(v)] + 1e-12) continue;
+      for (int32_t e = first_out_[static_cast<size_t>(v)]; e != -1;
+           e = arcs_[static_cast<size_t>(e)].next) {
+        const Arc& a = arcs_[static_cast<size_t>(e)];
+        if (a.residual <= 0) continue;
+        const double reduced = a.cost + potential[static_cast<size_t>(v)] -
+                               potential[static_cast<size_t>(a.to)];
+        const double nd = d + std::max(0.0, reduced);
+        if (nd < dist[static_cast<size_t>(a.to)] - 1e-12) {
+          dist[static_cast<size_t>(a.to)] = nd;
+          parent_arc[static_cast<size_t>(a.to)] = e;
+          heap.emplace(nd, a.to);
+        }
+      }
+    }
+    if (parent_arc[static_cast<size_t>(sink)] == -1) break;  // no path
+
+    // Bottleneck along the path.
+    int64_t push = max_flow - result.flow;
+    for (int32_t v = sink; v != source;) {
+      const Arc& a = arcs_[static_cast<size_t>(parent_arc[
+          static_cast<size_t>(v)])];
+      push = std::min(push, a.residual);
+      v = arcs_[static_cast<size_t>(parent_arc[static_cast<size_t>(v)]) ^ 1]
+              .to;
+    }
+    // Apply.
+    double path_cost = 0.0;
+    for (int32_t v = sink; v != source;) {
+      const int32_t e = parent_arc[static_cast<size_t>(v)];
+      arcs_[static_cast<size_t>(e)].residual -= push;
+      arcs_[static_cast<size_t>(e) ^ 1].residual += push;
+      path_cost += arcs_[static_cast<size_t>(e)].cost;
+      v = arcs_[static_cast<size_t>(e) ^ 1].to;
+    }
+    result.flow += push;
+    result.cost += path_cost * static_cast<double>(push);
+    // Update potentials for the next round.
+    for (size_t v = 0; v < n; ++v) {
+      if (dist[v] < kInf) potential[v] += dist[v];
+    }
+  }
+  return result;
+}
+
+}  // namespace wmlp

@@ -1,0 +1,52 @@
+// Minimum-cost flow via successive shortest paths with Johnson potentials.
+//
+// Supports negative arc costs (no negative cycles), which the offline
+// weighted-caching OPT network needs (profit arcs carry negative cost).
+// Initial potentials come from Bellman-Ford; each augmentation then runs
+// Dijkstra on reduced costs. Capacities are integral; costs are doubles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wmlp {
+
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(int32_t num_nodes);
+
+  int32_t AddNode();
+  int32_t num_nodes() const { return static_cast<int32_t>(first_out_.size()); }
+
+  // Returns an arc id usable with Flow(). capacity >= 0.
+  int32_t AddArc(int32_t from, int32_t to, int64_t capacity, double cost);
+
+  struct Result {
+    int64_t flow = 0;   // total flow shipped (== max_flow unless saturated)
+    double cost = 0.0;  // total cost of the shipped flow
+  };
+
+  // Ships up to `max_flow` units from source to sink along successive
+  // shortest paths; stops early when no augmenting path remains. Min-cost
+  // for the shipped value by the standard SSP invariant.
+  Result Solve(int32_t source, int32_t sink,
+               int64_t max_flow = INT64_C(1) << 62);
+
+  // Flow currently on arc `arc_id` (after Solve).
+  int64_t Flow(int32_t arc_id) const;
+
+ private:
+  struct Arc {
+    int32_t to;
+    int32_t next;     // next arc out of the same tail, -1 terminates
+    int64_t residual; // remaining capacity
+    double cost;
+  };
+
+  // arcs_ stores arc and its reverse adjacently (id ^ 1 is the reverse).
+  std::vector<Arc> arcs_;
+  std::vector<int32_t> first_out_;
+  std::vector<int64_t> capacity_;  // original capacity per user arc id
+};
+
+}  // namespace wmlp

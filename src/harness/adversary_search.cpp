@@ -1,0 +1,84 @@
+#include "harness/adversary_search.h"
+
+#include <algorithm>
+
+#include "offline/weighted_opt.h"
+#include "sim/simulator.h"
+#include "trace/generators.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace wmlp {
+
+namespace {
+
+double MeasureRatio(const Trace& trace, const PolicyFactory& factory,
+                    int32_t trials, uint64_t seed, Cost* opt_out) {
+  const Cost opt = WeightedCachingOpt(trace);
+  if (opt_out != nullptr) *opt_out = opt;
+  if (opt <= 0.0) return 0.0;
+  double total = 0.0;
+  for (int32_t s = 0; s < trials; ++s) {
+    PolicyPtr policy = factory(DeriveSeed(seed, static_cast<uint64_t>(s)));
+    total += Simulate(trace, *policy).eviction_cost;
+  }
+  return total / (static_cast<double>(trials) * opt);
+}
+
+}  // namespace
+
+AdversaryResult FindAdversarialTrace(const Instance& instance,
+                                     const PolicyFactory& factory,
+                                     const AdversaryOptions& options) {
+  WMLP_CHECK_MSG(instance.num_levels() == 1,
+                 "adversary search needs the exact flow optimum (ell == 1)");
+  WMLP_CHECK(options.trace_length >= 2);
+  Rng rng(options.seed);
+
+  // Seed trace: the classic cyclic loop (already adversarial for
+  // deterministic policies when n > k).
+  const int32_t loop =
+      std::min(instance.num_pages(), instance.cache_size() + 1);
+  Trace current = GenLoop(instance, options.trace_length, loop,
+                          LevelMix::AllLowest(1));
+  AdversaryResult result;
+  result.initial_ratio = MeasureRatio(current, factory,
+                                      options.policy_trials, rng.Next(),
+                                      &result.opt);
+  double best = result.initial_ratio;
+
+  for (int64_t it = 0; it < options.iterations; ++it) {
+    Trace candidate = current;
+    for (int32_t m = 0; m < options.mutations_per_step; ++m) {
+      const size_t pos = static_cast<size_t>(
+          rng.NextBounded(candidate.requests.size()));
+      const PageId p = static_cast<PageId>(rng.NextBounded(
+          static_cast<uint64_t>(instance.num_pages())));
+      if (rng.NextBernoulli(0.2)) {
+        // Block mutation: repeat the page over a short run.
+        const size_t len = 1 + rng.NextBounded(6);
+        for (size_t i = pos; i < std::min(pos + len,
+                                          candidate.requests.size());
+             ++i) {
+          candidate.requests[i].page = p;
+        }
+      } else {
+        candidate.requests[pos].page = p;
+      }
+    }
+    Cost opt = 0.0;
+    const double ratio = MeasureRatio(candidate, factory,
+                                      options.policy_trials, rng.Next(),
+                                      &opt);
+    if (ratio > best) {
+      best = ratio;
+      current = std::move(candidate);
+      result.opt = opt;
+    }
+  }
+  result.trace = std::move(current);
+  result.ratio = best;
+  return result;
+}
+
+}  // namespace wmlp

@@ -1,0 +1,43 @@
+// Empirical adversary: local search over request sequences to maximize a
+// policy's measured competitive ratio (eviction cost / exact offline
+// optimum). Complements the analytic lower-bound constructions: the
+// paper proves worst-case ratios exist; this finds concrete bad traces
+// and measures how close simple search gets to the proven bounds
+// (experiment E14).
+//
+// ell = 1 only (the denominator uses the exact flow optimum).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/policy.h"
+#include "trace/instance.h"
+
+namespace wmlp {
+
+struct AdversaryOptions {
+  int64_t trace_length = 300;
+  int64_t iterations = 400;
+  // Mutations per step: each picks a random position and rewrites it with
+  // a random page (occasionally a block of positions).
+  int32_t mutations_per_step = 3;
+  // Randomized policies: average the ratio over this many seeds.
+  int32_t policy_trials = 1;
+  uint64_t seed = 1;
+};
+
+struct AdversaryResult {
+  Trace trace{Instance::Uniform(1, 1), {}};  // the worst trace found
+  double ratio = 0.0;   // policy cost / exact OPT on it
+  double initial_ratio = 0.0;
+  Cost opt = 0.0;
+};
+
+// Searches for a bad trace for `factory`'s policy on `instance`
+// (ell == 1). Starts from the cyclic loop over min(n, k+1) pages.
+AdversaryResult FindAdversarialTrace(const Instance& instance,
+                                     const PolicyFactory& factory,
+                                     const AdversaryOptions& options = {});
+
+}  // namespace wmlp

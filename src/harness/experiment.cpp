@@ -1,0 +1,33 @@
+#include "harness/experiment.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace wmlp {
+
+std::vector<SimResult> RunTrials(ThreadPool& pool, const Trace& trace,
+                                 const PolicyFactory& factory, int32_t trials,
+                                 uint64_t base_seed) {
+  WMLP_CHECK(trials >= 1);
+  std::vector<SimResult> results(static_cast<size_t>(trials));
+  ParallelFor(pool, trials, [&](int64_t i) {
+    PolicyPtr policy = factory(DeriveSeed(base_seed, static_cast<uint64_t>(i)));
+    results[static_cast<size_t>(i)] = Simulate(trace, *policy);
+  });
+  return results;
+}
+
+RatioSummary SummarizeRatios(const std::vector<SimResult>& results,
+                             double reference_cost) {
+  RatioSummary summary;
+  summary.reference = reference_cost;
+  for (const SimResult& r : results) {
+    summary.cost.Add(r.eviction_cost);
+    if (reference_cost > 0.0) {
+      summary.ratio.Add(r.eviction_cost / reference_cost);
+    }
+  }
+  return summary;
+}
+
+}  // namespace wmlp

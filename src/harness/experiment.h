@@ -1,0 +1,31 @@
+// Experiment runner: fans policy trials out over a thread pool with
+// deterministic per-trial seeds, independent of thread schedule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/thread_pool.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace wmlp {
+
+// Runs `trials` independent simulations of the policy produced by `factory`
+// (seeded with DeriveSeed(base_seed, trial)) over `trace`. Results are
+// indexed by trial.
+std::vector<SimResult> RunTrials(ThreadPool& pool, const Trace& trace,
+                                 const PolicyFactory& factory, int32_t trials,
+                                 uint64_t base_seed);
+
+// Summary of eviction-cost ratios of trials against an offline reference.
+struct RatioSummary {
+  RunningStat cost;         // raw eviction cost across trials
+  RunningStat ratio;        // cost / reference
+  double reference = 0.0;
+};
+
+RatioSummary SummarizeRatios(const std::vector<SimResult>& results,
+                             double reference_cost);
+
+}  // namespace wmlp

@@ -1,0 +1,87 @@
+#include "harness/table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace wmlp {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  WMLP_CHECK(!headers_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  WMLP_CHECK_MSG(cells.size() == headers_.size(),
+                 "row width " << cells.size() << " != header width "
+                              << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << "| " << std::setw(static_cast<int>(width[c])) << cells[c] << " ";
+    }
+    os << "|\n";
+  };
+  line(headers_);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    os << "|" << std::string(width[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) line(row);
+}
+
+namespace {
+std::string CsvEscape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::WriteCsv(std::ostream& os) const {
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ",";
+      os << CsvEscape(cells[c]);
+    }
+    os << "\n";
+  };
+  line(headers_);
+  for (const auto& row : rows_) line(row);
+}
+
+bool Table::WriteCsvFile(const std::string& path) const {
+  std::ofstream ofs(path);
+  if (!ofs) return false;
+  WriteCsv(ofs);
+  return static_cast<bool>(ofs);
+}
+
+std::string Fmt(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+std::string FmtInt(int64_t value) { return std::to_string(value); }
+
+}  // namespace wmlp

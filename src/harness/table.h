@@ -1,0 +1,31 @@
+// Fixed-width text tables (stdout) and CSV export for the benchmark
+// harness; every experiment binary prints its table rows through this.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wmlp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os) const;
+  void WriteCsv(std::ostream& os) const;
+  bool WriteCsvFile(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Fixed-precision double formatting ("12.345").
+std::string Fmt(double value, int precision = 3);
+std::string FmtInt(int64_t value);
+
+}  // namespace wmlp

@@ -1,0 +1,73 @@
+#include "harness/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace wmlp {
+
+ThreadPool::ThreadPool(int32_t num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int32_t>(std::thread::hardware_concurrency());
+    num_threads = std::max(num_threads, 1);
+  }
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int32_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    shutdown_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  WMLP_CHECK(task != nullptr);
+  {
+    std::unique_lock lock(mutex_);
+    WMLP_CHECK_MSG(!shutdown_, "submit after shutdown");
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_available_.wait(lock,
+                           [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutdown
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool& pool, int64_t count,
+                 const std::function<void(int64_t)>& fn) {
+  for (int64_t i = 0; i < count; ++i) {
+    pool.Submit([&fn, i] { fn(i); });
+  }
+  pool.Wait();
+}
+
+}  // namespace wmlp

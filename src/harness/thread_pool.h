@@ -1,0 +1,51 @@
+// Minimal fixed-size thread pool for fanning experiment trials out over
+// cores. Tasks are independent by construction (each trial gets its own
+// policy instance and derived seed), so the pool needs no work stealing or
+// task dependencies — a mutex-protected queue is plenty at trial
+// granularity (milliseconds to seconds per task).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace wmlp {
+
+class ThreadPool {
+ public:
+  // num_threads = 0 selects hardware_concurrency() (at least 1).
+  explicit ThreadPool(int32_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+  // Blocks until every submitted task has finished.
+  void Wait();
+
+  int32_t num_threads() const {
+    return static_cast<int32_t>(workers_.size());
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> tasks_;
+  int64_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+// Runs fn(i) for i in [0, count) across the pool and waits.
+void ParallelFor(ThreadPool& pool, int64_t count,
+                 const std::function<void(int64_t)>& fn);
+
+}  // namespace wmlp

@@ -1,0 +1,64 @@
+#include "lp/lp_problem.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace wmlp {
+
+int32_t LpProblem::AddVariable(double objective, double upper_bound,
+                               std::string name) {
+  WMLP_CHECK(upper_bound >= 0.0);
+  objective_.push_back(objective);
+  upper_bound_.push_back(upper_bound);
+  names_.push_back(std::move(name));
+  return num_variables() - 1;
+}
+
+void LpProblem::AddConstraint(LpConstraint constraint) {
+  WMLP_CHECK(constraint.index.size() == constraint.coef.size());
+  for (int32_t j : constraint.index) {
+    WMLP_CHECK(j >= 0 && j < num_variables());
+  }
+  constraints_.push_back(std::move(constraint));
+}
+
+double LpProblem::Evaluate(const std::vector<double>& x) const {
+  WMLP_CHECK(static_cast<int32_t>(x.size()) == num_variables());
+  double v = 0.0;
+  for (int32_t j = 0; j < num_variables(); ++j) {
+    v += objective_[static_cast<size_t>(j)] * x[static_cast<size_t>(j)];
+  }
+  return v;
+}
+
+double LpProblem::MaxViolation(const std::vector<double>& x) const {
+  WMLP_CHECK(static_cast<int32_t>(x.size()) == num_variables());
+  double viol = 0.0;
+  for (int32_t j = 0; j < num_variables(); ++j) {
+    viol = std::max(viol, -x[static_cast<size_t>(j)]);
+    viol = std::max(viol, x[static_cast<size_t>(j)] -
+                              upper_bound_[static_cast<size_t>(j)]);
+  }
+  for (const LpConstraint& c : constraints_) {
+    double lhs = 0.0;
+    for (size_t i = 0; i < c.index.size(); ++i) {
+      lhs += c.coef[i] * x[static_cast<size_t>(c.index[i])];
+    }
+    switch (c.sense) {
+      case ConstraintSense::kLe:
+        viol = std::max(viol, lhs - c.rhs);
+        break;
+      case ConstraintSense::kEq:
+        viol = std::max(viol, std::abs(lhs - c.rhs));
+        break;
+      case ConstraintSense::kGe:
+        viol = std::max(viol, c.rhs - lhs);
+        break;
+    }
+  }
+  return viol;
+}
+
+}  // namespace wmlp

@@ -1,0 +1,70 @@
+// A small dense linear program:
+//   minimize c^T x
+//   subject to per-row constraints  a_i^T x {<=, =, >=} b_i
+//   and bounds 0 <= x_j <= ub_j (ub may be +inf).
+//
+// Sized for validation instances (hundreds to a few thousand variables);
+// the experiment pipeline uses it to compute fractional offline optima on
+// small multi-level instances and to check online fractional solutions.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace wmlp {
+
+enum class ConstraintSense { kLe, kEq, kGe };
+
+struct LpConstraint {
+  // Sparse row: parallel index/coef arrays.
+  std::vector<int32_t> index;
+  std::vector<double> coef;
+  ConstraintSense sense = ConstraintSense::kGe;
+  double rhs = 0.0;
+};
+
+class LpProblem {
+ public:
+  // Adds a variable with objective coefficient c and upper bound ub
+  // (lower bound fixed at 0). Returns its index.
+  int32_t AddVariable(double objective,
+                      double upper_bound =
+                          std::numeric_limits<double>::infinity(),
+                      std::string name = {});
+
+  void AddConstraint(LpConstraint constraint);
+
+  int32_t num_variables() const {
+    return static_cast<int32_t>(objective_.size());
+  }
+  int32_t num_constraints() const {
+    return static_cast<int32_t>(constraints_.size());
+  }
+
+  double objective(int32_t j) const {
+    return objective_[static_cast<size_t>(j)];
+  }
+  double upper_bound(int32_t j) const {
+    return upper_bound_[static_cast<size_t>(j)];
+  }
+  const std::string& variable_name(int32_t j) const {
+    return names_[static_cast<size_t>(j)];
+  }
+  const LpConstraint& constraint(int32_t i) const {
+    return constraints_[static_cast<size_t>(i)];
+  }
+
+  // Objective value of an assignment (no feasibility check).
+  double Evaluate(const std::vector<double>& x) const;
+  // Max constraint/bound violation of an assignment.
+  double MaxViolation(const std::vector<double>& x) const;
+
+ private:
+  std::vector<double> objective_;
+  std::vector<double> upper_bound_;
+  std::vector<std::string> names_;
+  std::vector<LpConstraint> constraints_;
+};
+
+}  // namespace wmlp

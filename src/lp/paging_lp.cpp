@@ -1,0 +1,196 @@
+#include "lp/paging_lp.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace wmlp {
+
+PagingLpIndexer::PagingLpIndexer(const Instance& instance, Time horizon)
+    : ell_(instance.num_levels()),
+      block_(instance.num_pages() * instance.num_levels()),
+      horizon_(horizon) {}
+
+int32_t PagingLpIndexer::U(PageId p, Level i, Time t) const {
+  WMLP_DCHECK(t >= 1 && t <= horizon_);
+  return static_cast<int32_t>(t - 1) * 2 * block_ + p * ell_ + (i - 1);
+}
+
+int32_t PagingLpIndexer::Z(PageId p, Level i, Time t) const {
+  WMLP_DCHECK(t >= 1 && t <= horizon_);
+  return static_cast<int32_t>(t - 1) * 2 * block_ + block_ + p * ell_ +
+         (i - 1);
+}
+
+LpProblem BuildPagingLp(const Trace& trace) {
+  const Instance& inst = trace.instance;
+  const int32_t n = inst.num_pages();
+  const int32_t ell = inst.num_levels();
+  const Time T = trace.length();
+  PagingLpIndexer ix(inst, T);
+
+  LpProblem lp;
+  for (Time t = 1; t <= T; ++t) {
+    for (PageId p = 0; p < n; ++p) {
+      for (Level i = 1; i <= ell; ++i) {
+        std::ostringstream name;
+        name << "u(" << p << "," << i << "," << t << ")";
+        const int32_t id = lp.AddVariable(0.0, 1.0, name.str());
+        WMLP_CHECK(id == ix.U(p, i, t));
+      }
+    }
+    for (PageId p = 0; p < n; ++p) {
+      for (Level i = 1; i <= ell; ++i) {
+        std::ostringstream name;
+        name << "z(" << p << "," << i << "," << t << ")";
+        const int32_t id = lp.AddVariable(
+            inst.weight(p, i), std::numeric_limits<double>::infinity(),
+            name.str());
+        WMLP_CHECK(id == ix.Z(p, i, t));
+      }
+    }
+  }
+
+  for (Time t = 1; t <= T; ++t) {
+    const Request& req = trace.requests[static_cast<size_t>(t - 1)];
+    // Capacity: sum_p u(p, ell, t) >= n - k.
+    {
+      LpConstraint c;
+      c.sense = ConstraintSense::kGe;
+      c.rhs = static_cast<double>(n - inst.cache_size());
+      for (PageId p = 0; p < n; ++p) {
+        c.index.push_back(ix.U(p, ell, t));
+        c.coef.push_back(1.0);
+      }
+      lp.AddConstraint(std::move(c));
+    }
+    // Prefix monotonicity: u(p, i-1, t) - u(p, i, t) >= 0.
+    for (PageId p = 0; p < n; ++p) {
+      for (Level i = 2; i <= ell; ++i) {
+        LpConstraint c;
+        c.sense = ConstraintSense::kGe;
+        c.rhs = 0.0;
+        c.index = {ix.U(p, i - 1, t), ix.U(p, i, t)};
+        c.coef = {1.0, -1.0};
+        lp.AddConstraint(std::move(c));
+      }
+    }
+    // Movement: z(p, i, t) - u(p, i, t) + u(p, i, t-1) >= 0.
+    for (PageId p = 0; p < n; ++p) {
+      for (Level i = 1; i <= ell; ++i) {
+        LpConstraint c;
+        c.sense = ConstraintSense::kGe;
+        if (t == 1) {
+          // u(p, i, 0) = 1: z >= u(p, i, 1) - 1.
+          c.rhs = -1.0;
+          c.index = {ix.Z(p, i, t), ix.U(p, i, t)};
+          c.coef = {1.0, -1.0};
+        } else {
+          c.rhs = 0.0;
+          c.index = {ix.Z(p, i, t), ix.U(p, i, t), ix.U(p, i, t - 1)};
+          c.coef = {1.0, -1.0, 1.0};
+        }
+        lp.AddConstraint(std::move(c));
+      }
+    }
+    // Service: u(p_t, i_t, t) = 0 (monotonicity + u >= 0 force the rest).
+    {
+      LpConstraint c;
+      c.sense = ConstraintSense::kEq;
+      c.rhs = 0.0;
+      c.index = {ix.U(req.page, req.level, t)};
+      c.coef = {1.0};
+      lp.AddConstraint(std::move(c));
+    }
+  }
+  return lp;
+}
+
+SimplexResult SolvePagingLp(const Trace& trace, const SimplexOptions& options) {
+  return SolveLp(BuildPagingLp(trace), options);
+}
+
+namespace {
+bool Fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+}  // namespace
+
+bool CheckFracScheduleFeasible(const Trace& trace, const FracSchedule& sched,
+                               double tolerance, std::string* error) {
+  const Instance& inst = trace.instance;
+  const int32_t n = inst.num_pages();
+  const int32_t ell = inst.num_levels();
+  const Time T = trace.length();
+  if (static_cast<Time>(sched.u.size()) != T + 1) {
+    return Fail(error, "schedule must have T+1 snapshots");
+  }
+  auto at = [&](Time t, PageId p, Level i) {
+    return sched.u[static_cast<size_t>(t)]
+                  [static_cast<size_t>(p) * static_cast<size_t>(ell) +
+                   static_cast<size_t>(i - 1)];
+  };
+  for (Time t = 0; t <= T; ++t) {
+    if (static_cast<int32_t>(sched.u[static_cast<size_t>(t)].size()) !=
+        n * ell) {
+      return Fail(error, "snapshot has wrong size");
+    }
+    double total = 0.0;
+    for (PageId p = 0; p < n; ++p) {
+      for (Level i = 1; i <= ell; ++i) {
+        const double u = at(t, p, i);
+        if (u < -tolerance || u > 1.0 + tolerance) {
+          std::ostringstream oss;
+          oss << "u out of [0,1] at t=" << t << " p=" << p << " i=" << i
+              << ": " << u;
+          return Fail(error, oss.str());
+        }
+        if (i >= 2 && at(t, p, i - 1) < u - tolerance) {
+          std::ostringstream oss;
+          oss << "prefix monotonicity violated at t=" << t << " p=" << p
+              << " i=" << i;
+          return Fail(error, oss.str());
+        }
+      }
+      total += at(t, p, ell);
+    }
+    if (t >= 1 && total < static_cast<double>(n - inst.cache_size()) -
+                              tolerance) {
+      std::ostringstream oss;
+      oss << "capacity violated at t=" << t << ": sum u(p,ell)=" << total
+          << " < " << (n - inst.cache_size());
+      return Fail(error, oss.str());
+    }
+    if (t >= 1) {
+      const Request& req = trace.requests[static_cast<size_t>(t - 1)];
+      if (at(t, req.page, req.level) > tolerance) {
+        std::ostringstream oss;
+        oss << "request not served at t=" << t;
+        return Fail(error, oss.str());
+      }
+    }
+  }
+  return true;
+}
+
+Cost FracScheduleEvictionCost(const Trace& trace, const FracSchedule& sched) {
+  const Instance& inst = trace.instance;
+  const int32_t n = inst.num_pages();
+  const int32_t ell = inst.num_levels();
+  Cost cost = 0.0;
+  for (size_t t = 1; t < sched.u.size(); ++t) {
+    for (PageId p = 0; p < n; ++p) {
+      for (Level i = 1; i <= ell; ++i) {
+        const size_t idx = static_cast<size_t>(p) * static_cast<size_t>(ell) +
+                           static_cast<size_t>(i - 1);
+        const double delta = sched.u[t][idx] - sched.u[t - 1][idx];
+        if (delta > 0.0) cost += inst.weight(p, i) * delta;
+      }
+    }
+  }
+  return cost;
+}
+
+}  // namespace wmlp

@@ -1,0 +1,64 @@
+// The Section-2 LP for weighted multi-level paging, plus helpers to check
+// fractional schedules produced by the online algorithm against it.
+//
+// Variables (per time step t = 1..T):
+//   u(p, i, t) = 1 - sum_{j <= i} y(p, j, t)  (prefix "missing mass")
+//   z(p, i, t) >= (u(p, i, t) - u(p, i, t-1))_+ (eviction movement)
+// Constraints:
+//   sum_p u(p, ell, t) >= n - k           (cache capacity)
+//   u(p, i-1, t) >= u(p, i, t)            (prefix monotonicity)
+//   u(p_t, i_t, t) = 0                    (request served)
+//   0 <= u <= 1, z >= 0; u(p, i, 0) = 1   (cache starts empty)
+// Objective: sum w(p, i) z(p, i, t).
+//
+// The single cardinality constraint per time step replaces the exponential
+// family of subset constraints: together with the box constraints u <= 1
+// they are equivalent for the fractional relaxation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/lp_problem.h"
+#include "lp/simplex.h"
+#include "trace/instance.h"
+
+namespace wmlp {
+
+// Maps (p, i, t) to LP variable indices for a given trace.
+class PagingLpIndexer {
+ public:
+  explicit PagingLpIndexer(const Instance& instance, Time horizon);
+
+  int32_t U(PageId p, Level i, Time t) const;  // t in [1, horizon]
+  int32_t Z(PageId p, Level i, Time t) const;
+  int32_t num_variables() const { return 2 * block_ * static_cast<int32_t>(horizon_); }
+
+ private:
+  int32_t ell_;
+  int32_t block_;  // n * ell
+  Time horizon_;
+};
+
+LpProblem BuildPagingLp(const Trace& trace);
+
+// Solves the LP; returns the optimal fractional eviction cost.
+// Check status == kOptimal before using the value.
+SimplexResult SolvePagingLp(const Trace& trace,
+                            const SimplexOptions& options = {});
+
+// A fractional schedule: u[t][p * ell + (i-1)] for t = 0..T, where u[0] is
+// all ones (empty cache). Produced by the online fractional algorithm.
+struct FracSchedule {
+  std::vector<std::vector<double>> u;
+};
+
+// Verifies the schedule satisfies all LP constraints (with tolerance).
+bool CheckFracScheduleFeasible(const Trace& trace, const FracSchedule& sched,
+                               double tolerance = 1e-6,
+                               std::string* error = nullptr);
+
+// Eviction cost of a schedule: sum over t, p, i of w(p,i) * (Delta u)_+ .
+Cost FracScheduleEvictionCost(const Trace& trace, const FracSchedule& sched);
+
+}  // namespace wmlp

@@ -1,0 +1,277 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace wmlp {
+
+namespace {
+
+// Dense tableau: rows_ x cols_ matrix `a`, rhs `b`, basis index per row.
+class Tableau {
+ public:
+  Tableau(int32_t rows, int32_t cols)
+      : rows_(rows), cols_(cols),
+        a_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0),
+        b_(static_cast<size_t>(rows), 0.0),
+        basis_(static_cast<size_t>(rows), -1) {}
+
+  double& At(int32_t r, int32_t c) {
+    return a_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+              static_cast<size_t>(c)];
+  }
+  double At(int32_t r, int32_t c) const {
+    return a_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+              static_cast<size_t>(c)];
+  }
+  double& B(int32_t r) { return b_[static_cast<size_t>(r)]; }
+  double B(int32_t r) const { return b_[static_cast<size_t>(r)]; }
+  int32_t& Basis(int32_t r) { return basis_[static_cast<size_t>(r)]; }
+  int32_t Basis(int32_t r) const { return basis_[static_cast<size_t>(r)]; }
+  int32_t rows() const { return rows_; }
+  int32_t cols() const { return cols_; }
+
+  void Pivot(int32_t pr, int32_t pc) {
+    const double pivot = At(pr, pc);
+    WMLP_CHECK(std::abs(pivot) > 1e-12);
+    const double inv = 1.0 / pivot;
+    for (int32_t c = 0; c < cols_; ++c) At(pr, c) *= inv;
+    B(pr) *= inv;
+    At(pr, pc) = 1.0;  // exact
+    for (int32_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      const double factor = At(r, pc);
+      if (factor == 0.0) continue;
+      for (int32_t c = 0; c < cols_; ++c) {
+        At(r, c) -= factor * At(pr, c);
+      }
+      At(r, pc) = 0.0;  // exact
+      B(r) -= factor * B(pr);
+    }
+    Basis(pr) = pc;
+  }
+
+ private:
+  int32_t rows_, cols_;
+  std::vector<double> a_;
+  std::vector<double> b_;
+  std::vector<int32_t> basis_;
+};
+
+// Runs primal simplex on the tableau minimizing objective `cost` over the
+// first `num_cols` columns (columns >= num_cols, if any, are excluded from
+// entering). Bland's rule. Returns status and iteration budget consumed.
+SimplexStatus RunSimplex(Tableau& tab, std::vector<double>& cost,
+                         double& objective, int32_t num_cols,
+                         const SimplexOptions& options, int64_t& iters) {
+  // Reduced costs maintained directly in `cost` (the objective row), with
+  // `objective` the current (negated) value.
+  while (true) {
+    if (++iters > options.max_iterations) return SimplexStatus::kIterLimit;
+    // Bland: smallest index with negative reduced cost.
+    int32_t enter = -1;
+    for (int32_t c = 0; c < num_cols; ++c) {
+      if (cost[static_cast<size_t>(c)] < -options.tolerance) {
+        enter = c;
+        break;
+      }
+    }
+    if (enter == -1) return SimplexStatus::kOptimal;
+    // Ratio test; Bland tie-break on smallest basis index.
+    int32_t leave = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int32_t r = 0; r < tab.rows(); ++r) {
+      const double a = tab.At(r, enter);
+      if (a > options.tolerance) {
+        const double ratio = tab.B(r) / a;
+        if (ratio < best_ratio - options.tolerance ||
+            (ratio < best_ratio + options.tolerance &&
+             (leave == -1 || tab.Basis(r) < tab.Basis(leave)))) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+    }
+    if (leave == -1) return SimplexStatus::kUnbounded;
+    // Update objective row.
+    const double pivot = tab.At(leave, enter);
+    const double factor = cost[static_cast<size_t>(enter)] / pivot;
+    tab.Pivot(leave, enter);
+    for (int32_t c = 0; c < tab.cols(); ++c) {
+      // After Pivot, row `leave` is normalized; subtract factor * row.
+      cost[static_cast<size_t>(c)] -= factor * tab.At(leave, c) * pivot;
+    }
+    // Recompute precisely: cost[enter] must be zero.
+    cost[static_cast<size_t>(enter)] = 0.0;
+    objective -= factor * tab.B(leave) * pivot;
+  }
+}
+
+}  // namespace
+
+SimplexResult SolveLp(const LpProblem& problem,
+                      const SimplexOptions& options) {
+  const int32_t n = problem.num_variables();
+
+  // Collect rows: user constraints plus upper-bound rows.
+  struct Row {
+    std::vector<int32_t> index;
+    std::vector<double> coef;
+    ConstraintSense sense;
+    double rhs;
+  };
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(problem.num_constraints()));
+  for (int32_t i = 0; i < problem.num_constraints(); ++i) {
+    const LpConstraint& c = problem.constraint(i);
+    rows.push_back(Row{c.index, c.coef, c.sense, c.rhs});
+  }
+  for (int32_t j = 0; j < n; ++j) {
+    const double ub = problem.upper_bound(j);
+    if (std::isfinite(ub)) {
+      rows.push_back(Row{{j}, {1.0}, ConstraintSense::kLe, ub});
+    }
+  }
+  const int32_t m = static_cast<int32_t>(rows.size());
+
+  // Column layout: [0, n) original, [n, n + m) slacks (some unused),
+  // [n + m, n + 2m) artificials (some unused).
+  const int32_t slack0 = n;
+  const int32_t art0 = n + m;
+  Tableau tab(m, n + 2 * m);
+  std::vector<bool> has_artificial(static_cast<size_t>(m), false);
+
+  for (int32_t r = 0; r < m; ++r) {
+    Row& row = rows[static_cast<size_t>(r)];
+    // Normalize to rhs >= 0.
+    double sign = 1.0;
+    if (row.rhs < 0.0) {
+      sign = -1.0;
+      row.rhs = -row.rhs;
+      for (auto& c : row.coef) c = -c;
+      if (row.sense == ConstraintSense::kLe) {
+        row.sense = ConstraintSense::kGe;
+      } else if (row.sense == ConstraintSense::kGe) {
+        row.sense = ConstraintSense::kLe;
+      }
+    }
+    (void)sign;
+    for (size_t i = 0; i < row.index.size(); ++i) {
+      tab.At(r, row.index[i]) += row.coef[i];
+    }
+    tab.B(r) = row.rhs;
+    switch (row.sense) {
+      case ConstraintSense::kLe:
+        tab.At(r, slack0 + r) = 1.0;
+        tab.Basis(r) = slack0 + r;  // slack basic, feasible since rhs >= 0
+        break;
+      case ConstraintSense::kGe:
+        tab.At(r, slack0 + r) = -1.0;
+        tab.At(r, art0 + r) = 1.0;
+        tab.Basis(r) = art0 + r;
+        has_artificial[static_cast<size_t>(r)] = true;
+        break;
+      case ConstraintSense::kEq:
+        tab.At(r, art0 + r) = 1.0;
+        tab.Basis(r) = art0 + r;
+        has_artificial[static_cast<size_t>(r)] = true;
+        break;
+    }
+  }
+
+  SimplexResult result;
+  int64_t iters = 0;
+
+  // ---- Phase 1: minimize sum of artificials. -----------------------------
+  bool any_artificial = false;
+  for (int32_t r = 0; r < m; ++r) {
+    any_artificial = any_artificial || has_artificial[static_cast<size_t>(r)];
+  }
+  if (any_artificial) {
+    std::vector<double> cost1(static_cast<size_t>(tab.cols()), 0.0);
+    double obj1 = 0.0;
+    // Artificial columns have cost 1; express reduced costs for the initial
+    // basis by subtracting their (basic) rows from the cost row.
+    for (int32_t r = 0; r < m; ++r) {
+      if (!has_artificial[static_cast<size_t>(r)]) continue;
+      for (int32_t c = 0; c < tab.cols(); ++c) {
+        cost1[static_cast<size_t>(c)] -= tab.At(r, c);
+      }
+      cost1[static_cast<size_t>(art0 + r)] += 1.0;
+      obj1 -= tab.B(r);
+    }
+    const SimplexStatus st =
+        RunSimplex(tab, cost1, obj1, tab.cols(), options, iters);
+    if (st == SimplexStatus::kIterLimit) {
+      result.status = st;
+      return result;
+    }
+    WMLP_CHECK(st != SimplexStatus::kUnbounded);  // phase-1 is bounded below
+    if (-obj1 > 1e-6) {  // objective = -obj1 bookkeeping; see RunSimplex
+      // (we track the negated value; recompute from basics for robustness)
+    }
+    // Recompute the phase-1 objective from the basic solution directly.
+    double art_sum = 0.0;
+    for (int32_t r = 0; r < m; ++r) {
+      if (tab.Basis(r) >= art0) art_sum += tab.B(r);
+    }
+    if (art_sum > 1e-6) {
+      result.status = SimplexStatus::kInfeasible;
+      return result;
+    }
+    // Drive remaining (degenerate) artificials out of the basis.
+    for (int32_t r = 0; r < m; ++r) {
+      if (tab.Basis(r) < art0) continue;
+      int32_t enter = -1;
+      for (int32_t c = 0; c < art0; ++c) {
+        if (std::abs(tab.At(r, c)) > 1e-7) {
+          enter = c;
+          break;
+        }
+      }
+      if (enter != -1) {
+        tab.Pivot(r, enter);
+      }
+      // else: the row is all-zero over real columns — redundant; leave the
+      // artificial basic at value 0, it can never re-enter (excluded below).
+    }
+  }
+
+  // ---- Phase 2: original objective over real + slack columns. ------------
+  std::vector<double> cost2(static_cast<size_t>(tab.cols()), 0.0);
+  for (int32_t j = 0; j < n; ++j) cost2[static_cast<size_t>(j)] =
+      problem.objective(j);
+  double obj2 = 0.0;
+  // Price out the current basis.
+  for (int32_t r = 0; r < m; ++r) {
+    const int32_t bj = tab.Basis(r);
+    const double cb = bj < static_cast<int32_t>(cost2.size())
+                          ? cost2[static_cast<size_t>(bj)]
+                          : 0.0;
+    if (cb == 0.0) continue;
+    for (int32_t c = 0; c < tab.cols(); ++c) {
+      cost2[static_cast<size_t>(c)] -= cb * tab.At(r, c);
+    }
+    obj2 -= cb * tab.B(r);
+  }
+  const SimplexStatus st2 = RunSimplex(tab, cost2, obj2, art0, options, iters);
+  if (st2 != SimplexStatus::kOptimal) {
+    result.status = st2;
+    return result;
+  }
+
+  result.status = SimplexStatus::kOptimal;
+  result.x.assign(static_cast<size_t>(n), 0.0);
+  for (int32_t r = 0; r < m; ++r) {
+    if (tab.Basis(r) < n) {
+      result.x[static_cast<size_t>(tab.Basis(r))] = tab.B(r);
+    }
+  }
+  result.objective = problem.Evaluate(result.x);
+  return result;
+}
+
+}  // namespace wmlp

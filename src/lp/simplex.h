@@ -1,0 +1,30 @@
+// Dense two-phase primal simplex with Bland's anti-cycling rule.
+//
+// Deliberately simple and exact-ish (double arithmetic with tolerances):
+// built for the validation LPs in this repo (<= a few thousand rows), not
+// as a general-purpose solver.
+#pragma once
+
+#include <vector>
+
+#include "lp/lp_problem.h"
+
+namespace wmlp {
+
+enum class SimplexStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+struct SimplexResult {
+  SimplexStatus status = SimplexStatus::kIterLimit;
+  double objective = 0.0;
+  std::vector<double> x;  // primal solution (original variables only)
+};
+
+struct SimplexOptions {
+  double tolerance = 1e-9;
+  int64_t max_iterations = 2'000'000;
+};
+
+SimplexResult SolveLp(const LpProblem& problem,
+                      const SimplexOptions& options = {});
+
+}  // namespace wmlp

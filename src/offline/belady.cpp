@@ -1,0 +1,57 @@
+#include "offline/belady.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/check.h"
+
+namespace wmlp {
+
+SimResult BeladyRun(const Trace& trace) {
+  const Instance& inst = trace.instance;
+  WMLP_CHECK_MSG(inst.num_levels() == 1, "Belady requires ell == 1");
+  const Time T = trace.length();
+
+  // next_use[t] = index of the next request of the same page after t, or T.
+  std::vector<Time> next_use(static_cast<size_t>(T), T);
+  {
+    std::vector<Time> last(static_cast<size_t>(inst.num_pages()), T);
+    for (Time t = T - 1; t >= 0; --t) {
+      const PageId p = trace.requests[static_cast<size_t>(t)].page;
+      next_use[static_cast<size_t>(t)] = last[static_cast<size_t>(p)];
+      last[static_cast<size_t>(p)] = t;
+    }
+  }
+
+  // Cache as a set ordered by (next use, page), so the farthest-in-future
+  // victim is the max element. in_cache_next[p] tracks p's key.
+  std::set<std::pair<Time, PageId>> cache;
+  std::vector<Time> key(static_cast<size_t>(inst.num_pages()), -1);
+
+  SimResult result;
+  for (Time t = 0; t < T; ++t) {
+    const PageId p = trace.requests[static_cast<size_t>(t)].page;
+    const Time nu = next_use[static_cast<size_t>(t)];
+    if (key[static_cast<size_t>(p)] >= 0) {
+      ++result.hits;
+      cache.erase({key[static_cast<size_t>(p)], p});
+    } else {
+      ++result.misses;
+      ++result.fetches;
+      result.fetch_cost += inst.weight(p, 1);
+      if (static_cast<int32_t>(cache.size()) + 1 > inst.cache_size()) {
+        const auto victim = *cache.rbegin();
+        cache.erase(victim);
+        key[static_cast<size_t>(victim.second)] = -1;
+        ++result.evictions;
+        result.eviction_cost += inst.weight(victim.second, 1);
+      }
+    }
+    cache.insert({nu, p});
+    key[static_cast<size_t>(p)] = nu;
+  }
+  return result;
+}
+
+}  // namespace wmlp

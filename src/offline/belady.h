@@ -1,0 +1,16 @@
+// Belady's MIN: exact offline optimum for unweighted single-level paging
+// (farthest-in-future eviction). Exact only when all weights are equal;
+// still a useful reference policy otherwise.
+#pragma once
+
+#include "sim/simulator.h"
+#include "trace/instance.h"
+
+namespace wmlp {
+
+// Runs farthest-in-future over the trace (requires ell == 1) and returns the
+// cost accounting. For uniform weights, eviction_cost is the exact offline
+// optimum under the eviction-cost convention.
+SimResult BeladyRun(const Trace& trace);
+
+}  // namespace wmlp

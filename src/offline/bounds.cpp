@@ -1,0 +1,41 @@
+#include "offline/bounds.h"
+
+#include <cmath>
+
+#include "offline/heuristics.h"
+#include "offline/multilevel_dp.h"
+#include "offline/weighted_opt.h"
+#include "util/check.h"
+
+namespace wmlp {
+
+OfflineBounds ComputeOfflineBounds(const Trace& trace,
+                                   const BoundsOptions& options) {
+  const Instance& inst = trace.instance;
+  OfflineBounds bounds;
+  if (inst.num_levels() == 1) {
+    bounds.lower = bounds.upper = WeightedCachingOpt(trace);
+    bounds.exact = true;
+    return bounds;
+  }
+  const double log_states = static_cast<double>(inst.num_pages()) *
+                            std::log(static_cast<double>(inst.num_levels()) +
+                                     1.0);
+  if (log_states <= std::log(static_cast<double>(options.dp_state_limit))) {
+    DpOptions dp;
+    dp.max_states = options.dp_state_limit;
+    bounds.lower = bounds.upper = MultiLevelOptimal(trace, dp);
+    bounds.exact = true;
+    return bounds;
+  }
+  bounds.lower = MultiLevelLowerBound(trace);
+  bounds.upper = OfflineHeuristicUpperBound(trace);
+  bounds.exact = false;
+  WMLP_CHECK_MSG(bounds.upper >= bounds.lower - 1e-6,
+                 "bound sandwich inverted: lower=" << bounds.lower
+                                                   << " upper="
+                                                   << bounds.upper);
+  return bounds;
+}
+
+}  // namespace wmlp

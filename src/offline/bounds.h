@@ -1,0 +1,28 @@
+// One-stop offline optimum estimation: exact where the model admits it,
+// a provable [lower, upper] sandwich otherwise.
+#pragma once
+
+#include "trace/instance.h"
+
+namespace wmlp {
+
+struct OfflineBounds {
+  Cost lower = 0.0;
+  Cost upper = 0.0;
+  bool exact = false;  // lower == upper == OPT
+
+  Cost midpoint() const { return 0.5 * (lower + upper); }
+};
+
+struct BoundsOptions {
+  // Use the exact DP when (ell + 1)^n is at most this.
+  int64_t dp_state_limit = 300'000;
+};
+
+// ell == 1: exact via min-cost flow. Small multi-level: exact via DP.
+// Otherwise: lower = relaxed flow OPT at w(p, ell); upper = best offline
+// heuristic.
+OfflineBounds ComputeOfflineBounds(const Trace& trace,
+                                   const BoundsOptions& options = {});
+
+}  // namespace wmlp

@@ -1,0 +1,190 @@
+#include "offline/exhaustive.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace wmlp {
+
+namespace {
+
+constexpr Cost kInf = std::numeric_limits<Cost>::infinity();
+
+// Enumerates base-`base` digit vectors over n pages with at most k nonzero
+// digits, as flat integer encodings.
+std::vector<uint64_t> EnumerateStates(int32_t n, int32_t base, int32_t k,
+                                      int64_t max_states) {
+  const double projected = std::pow(static_cast<double>(base),
+                                    static_cast<double>(n));
+  WMLP_CHECK_MSG(projected <= static_cast<double>(max_states),
+                 "state space too large for exhaustive DP");
+  std::vector<uint64_t> states;
+  const uint64_t total = static_cast<uint64_t>(projected + 0.5);
+  for (uint64_t s = 0; s < total; ++s) {
+    uint64_t v = s;
+    int32_t occupied = 0;
+    for (int32_t p = 0; p < n; ++p) {
+      if (v % static_cast<uint64_t>(base) != 0) ++occupied;
+      v /= static_cast<uint64_t>(base);
+    }
+    if (occupied <= k) states.push_back(s);
+  }
+  return states;
+}
+
+int32_t Digit(uint64_t state, int32_t p, int32_t base) {
+  for (int32_t i = 0; i < p; ++i) state /= static_cast<uint64_t>(base);
+  return static_cast<int32_t>(state % static_cast<uint64_t>(base));
+}
+
+}  // namespace
+
+Cost MultiLevelOptimalExhaustive(const Trace& trace,
+                                 const ExhaustiveOptions& options) {
+  const Instance& inst = trace.instance;
+  const int32_t n = inst.num_pages();
+  const int32_t base = inst.num_levels() + 1;
+  const auto states =
+      EnumerateStates(n, base, inst.cache_size(), options.max_states);
+  const size_t S = states.size();
+
+  // Precompute per-state digits.
+  std::vector<int32_t> digits(S * static_cast<size_t>(n));
+  for (size_t i = 0; i < S; ++i) {
+    for (int32_t p = 0; p < n; ++p) {
+      digits[i * static_cast<size_t>(n) + static_cast<size_t>(p)] =
+          Digit(states[i], p, base);
+    }
+  }
+  auto transition_cost = [&](size_t from, size_t to) {
+    Cost c = 0.0;
+    for (int32_t p = 0; p < n; ++p) {
+      const int32_t old_d =
+          digits[from * static_cast<size_t>(n) + static_cast<size_t>(p)];
+      const int32_t new_d =
+          digits[to * static_cast<size_t>(n) + static_cast<size_t>(p)];
+      if (old_d != 0 && new_d != old_d) c += inst.weight(p, old_d);
+    }
+    return c;
+  };
+
+  std::vector<Cost> cost(S, kInf);
+  // Initial: empty cache (encoding 0 is always index of state 0).
+  WMLP_CHECK(states[0] == 0);
+  cost[0] = 0.0;
+
+  std::vector<Cost> next(S);
+  for (const Request& req : trace.requests) {
+    std::fill(next.begin(), next.end(), kInf);
+    for (size_t to = 0; to < S; ++to) {
+      const int32_t d =
+          digits[to * static_cast<size_t>(n) + static_cast<size_t>(req.page)];
+      if (d == 0 || d > req.level) continue;  // must serve the request
+      for (size_t from = 0; from < S; ++from) {
+        if (cost[from] >= kInf) continue;
+        const Cost c = cost[from] + transition_cost(from, to);
+        if (c < next[to]) next[to] = c;
+      }
+    }
+    cost.swap(next);
+  }
+  Cost best = kInf;
+  for (Cost c : cost) best = std::min(best, c);
+  WMLP_CHECK(best < kInf);
+  return best;
+}
+
+Cost WritebackOptimalExhaustive(const wb::WbTrace& trace,
+                                const ExhaustiveOptions& options) {
+  const wb::WbInstance& inst = trace.instance;
+  const int32_t n = inst.num_pages();
+  const int32_t base = 3;  // 0 absent, 1 clean, 2 dirty
+  const auto states =
+      EnumerateStates(n, base, inst.cache_size(), options.max_states);
+  const size_t S = states.size();
+
+  std::vector<int32_t> digits(S * static_cast<size_t>(n));
+  for (size_t i = 0; i < S; ++i) {
+    for (int32_t p = 0; p < n; ++p) {
+      digits[i * static_cast<size_t>(n) + static_cast<size_t>(p)] =
+          Digit(states[i], p, base);
+    }
+  }
+
+  // Legal per-page transition cost; -1 encodes illegal.
+  // old\new   0            1 (clean)     2 (dirty)
+  //  0        0            0 (fetch)     illegal (dirty needs a write)
+  //  1        w2 (evict)   0             illegal
+  //  2        w1           w1 (evict+refetch) 0
+  auto step_cost = [&](int32_t p, int32_t old_d, int32_t new_d) -> Cost {
+    if (old_d == new_d) return 0.0;
+    if (old_d == 0) return new_d == 1 ? 0.0 : -1.0;
+    if (old_d == 1) return new_d == 0 ? inst.clean_weight(p) : -1.0;
+    return inst.dirty_weight(p);  // old_d == 2, new_d in {0, 1}
+  };
+  auto transition_cost = [&](size_t from, size_t to) -> Cost {
+    Cost c = 0.0;
+    for (int32_t p = 0; p < n; ++p) {
+      const Cost sc = step_cost(
+          p, digits[from * static_cast<size_t>(n) + static_cast<size_t>(p)],
+          digits[to * static_cast<size_t>(n) + static_cast<size_t>(p)]);
+      if (sc < 0.0) return -1.0;
+      c += sc;
+    }
+    return c;
+  };
+
+  // State index lookup by encoding.
+  const uint64_t total = states.back() + 1;
+  std::vector<int32_t> index_of(static_cast<size_t>(total), -1);
+  for (size_t i = 0; i < S; ++i) {
+    index_of[static_cast<size_t>(states[i])] = static_cast<int32_t>(i);
+  }
+  auto with_digit = [&](uint64_t enc, int32_t p, int32_t d) {
+    uint64_t pow = 1;
+    for (int32_t i = 0; i < p; ++i) pow *= static_cast<uint64_t>(base);
+    const int32_t old_d = Digit(enc, p, base);
+    return enc + (static_cast<uint64_t>(d) - static_cast<uint64_t>(old_d)) *
+                     pow;
+  };
+
+  std::vector<Cost> cost(S, kInf);
+  WMLP_CHECK(states[0] == 0);
+  cost[0] = 0.0;
+  std::vector<Cost> next(S);
+  for (const wb::WbRequest& req : trace.requests) {
+    const bool is_write = req.op == wb::Op::kWrite;
+    std::fill(next.begin(), next.end(), kInf);
+    for (size_t mid = 0; mid < S; ++mid) {
+      // `mid` is the state right after the transition, before the write
+      // dirties the requested page.
+      const int32_t d = digits[mid * static_cast<size_t>(n) +
+                               static_cast<size_t>(req.page)];
+      if (d == 0) continue;  // must be cached to serve
+      // Post-request state: write marks dirty.
+      size_t to = mid;
+      if (is_write && d == 1) {
+        const int32_t idx =
+            index_of[static_cast<size_t>(with_digit(states[mid], req.page,
+                                                    2))];
+        WMLP_CHECK(idx >= 0);
+        to = static_cast<size_t>(idx);
+      }
+      for (size_t from = 0; from < S; ++from) {
+        if (cost[from] >= kInf) continue;
+        const Cost tc = transition_cost(from, mid);
+        if (tc < 0.0) continue;
+        if (cost[from] + tc < next[to]) next[to] = cost[from] + tc;
+      }
+    }
+    cost.swap(next);
+  }
+  Cost best = kInf;
+  for (Cost c : cost) best = std::min(best, c);
+  WMLP_CHECK(best < kInf);
+  return best;
+}
+
+}  // namespace wmlp

@@ -1,0 +1,29 @@
+// Exhaustive offline optima: full DP over ALL cache states with ARBITRARY
+// transitions (no laziness assumption). Exponentially more expensive than
+// the lazy DPs in multilevel_dp.h — usable only for tiny instances — but
+// assumption-free, so agreement between the two validates the
+// lazy-OPT-is-WLOG argument both rely on.
+#pragma once
+
+#include "trace/instance.h"
+#include "writeback/writeback_instance.h"
+
+namespace wmlp {
+
+struct ExhaustiveOptions {
+  // CHECK-fails if the state space (ell+1)^n exceeds this.
+  int64_t max_states = 20'000;
+};
+
+// Exact optimal eviction cost, enumerating every feasible cache state and
+// every state-to-state transition at every step.
+Cost MultiLevelOptimalExhaustive(const Trace& trace,
+                                 const ExhaustiveOptions& options = {});
+
+// Writeback analog. Transition legality: a page can become dirty only via
+// a write request; dirty pages stay dirty until evicted (paying w1), and
+// may be "cleaned" only by evict-plus-refetch (also paying w1).
+Cost WritebackOptimalExhaustive(const wb::WbTrace& trace,
+                                const ExhaustiveOptions& options = {});
+
+}  // namespace wmlp

@@ -1,0 +1,89 @@
+#include "offline/heuristics.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/cache_state.h"
+#include "util/check.h"
+
+namespace wmlp {
+
+namespace {
+
+// Shared lazy offline simulation differing only in the victim score:
+// evict the cached copy maximizing score(q, level, next_use_gap).
+template <typename ScoreFn>
+Cost RunOfflineHeuristic(const Trace& trace, ScoreFn score) {
+  const Instance& inst = trace.instance;
+  const Time T = trace.length();
+
+  // next_use[t] = next time the same page is requested (any level), or T.
+  std::vector<Time> next_use(static_cast<size_t>(T), T);
+  {
+    std::vector<Time> last(static_cast<size_t>(inst.num_pages()), T);
+    for (Time t = T - 1; t >= 0; --t) {
+      const PageId p = trace.requests[static_cast<size_t>(t)].page;
+      next_use[static_cast<size_t>(t)] = last[static_cast<size_t>(p)];
+      last[static_cast<size_t>(p)] = t;
+    }
+  }
+
+  CacheState cache(inst);
+  // upcoming[p] = next request time of p strictly after "now".
+  std::vector<Time> upcoming(static_cast<size_t>(inst.num_pages()), T);
+
+  Cost eviction_cost = 0.0;
+  for (Time t = 0; t < T; ++t) {
+    const Request& r = trace.requests[static_cast<size_t>(t)];
+    upcoming[static_cast<size_t>(r.page)] = next_use[static_cast<size_t>(t)];
+    if (cache.serves(r)) continue;
+    const Level cur = cache.level_of(r.page);
+    if (cur != 0) {
+      // Copy too low: forced replacement, no extra space needed.
+      eviction_cost += inst.weight(r.page, cur);
+      cache.Remove(r.page);
+      cache.Insert(r.page, r.level);
+      continue;
+    }
+    if (cache.size() == inst.cache_size()) {
+      PageId victim = -1;
+      double best = -1.0;
+      for (PageId q : cache.pages()) {
+        const double s = score(inst, q, cache.level_of(q),
+                               upcoming[static_cast<size_t>(q)] - t);
+        if (s > best) {
+          best = s;
+          victim = q;
+        }
+      }
+      WMLP_CHECK(victim >= 0);
+      eviction_cost += inst.weight(victim, cache.level_of(victim));
+      cache.Remove(victim);
+    }
+    cache.Insert(r.page, r.level);
+  }
+  return eviction_cost;
+}
+
+}  // namespace
+
+Cost OfflineFarthestNextUse(const Trace& trace) {
+  return RunOfflineHeuristic(
+      trace, [](const Instance&, PageId, Level, Time gap) {
+        return static_cast<double>(gap);
+      });
+}
+
+Cost OfflineWeightedFarthest(const Trace& trace) {
+  return RunOfflineHeuristic(
+      trace, [](const Instance& inst, PageId q, Level lvl, Time gap) {
+        return static_cast<double>(gap) / inst.weight(q, lvl);
+      });
+}
+
+Cost OfflineHeuristicUpperBound(const Trace& trace) {
+  return std::min(OfflineFarthestNextUse(trace),
+                  OfflineWeightedFarthest(trace));
+}
+
+}  // namespace wmlp

@@ -1,0 +1,21 @@
+// Offline upper-bound heuristics for multi-level paging at scales where the
+// exact DP is infeasible. Any feasible offline schedule upper-bounds OPT.
+#pragma once
+
+#include "trace/instance.h"
+
+namespace wmlp {
+
+// Lazy schedule; on a miss fetches the requested level and evicts the cached
+// copy whose page's next request is farthest in the future (Belady
+// generalization; ignores weights).
+Cost OfflineFarthestNextUse(const Trace& trace);
+
+// As above but the victim maximizes (time to next request) / weight:
+// prefers evicting cheap copies that are not needed soon.
+Cost OfflineWeightedFarthest(const Trace& trace);
+
+// Best (minimum) of the offline heuristics.
+Cost OfflineHeuristicUpperBound(const Trace& trace);
+
+}  // namespace wmlp

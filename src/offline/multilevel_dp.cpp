@@ -1,0 +1,280 @@
+#include "offline/multilevel_dp.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace wmlp {
+
+namespace {
+
+// State: base-(ell+1) encoding of per-page copy level (0 = absent).
+// Digit d(p) in {0, .., ell}; d(p) = j > 0 means copy (p, j) cached.
+
+class StateCodec {
+ public:
+  StateCodec(int32_t num_pages, int32_t num_levels)
+      : n_(num_pages), base_(num_levels + 1) {
+    pow_.resize(static_cast<size_t>(n_) + 1, 1);
+    for (int32_t p = 0; p < n_; ++p) {
+      const double projected =
+          static_cast<double>(pow_[static_cast<size_t>(p)]) *
+          static_cast<double>(base_);
+      WMLP_CHECK_MSG(projected < 9.2e18, "instance too large for DP");
+      pow_[static_cast<size_t>(p) + 1] =
+          pow_[static_cast<size_t>(p)] * static_cast<uint64_t>(base_);
+    }
+  }
+
+  int32_t Digit(uint64_t state, PageId p) const {
+    return static_cast<int32_t>((state / pow_[static_cast<size_t>(p)]) %
+                                static_cast<uint64_t>(base_));
+  }
+  uint64_t SetDigit(uint64_t state, PageId p, int32_t digit) const {
+    const int32_t old = Digit(state, p);
+    return state + (static_cast<uint64_t>(digit) - static_cast<uint64_t>(old)) *
+                       pow_[static_cast<size_t>(p)];
+  }
+
+  int32_t n() const { return n_; }
+
+ private:
+  int32_t n_;
+  int32_t base_;
+  std::vector<uint64_t> pow_;
+};
+
+using Frontier = std::unordered_map<uint64_t, Cost>;
+
+void Relax(Frontier& f, uint64_t state, Cost cost) {
+  auto [it, inserted] = f.try_emplace(state, cost);
+  if (!inserted && cost < it->second) it->second = cost;
+}
+
+}  // namespace
+
+Cost MultiLevelOptimal(const Trace& trace, const DpOptions& options) {
+  const Instance& inst = trace.instance;
+  const int32_t n = inst.num_pages();
+  const int32_t ell = inst.num_levels();
+  const int32_t k = inst.cache_size();
+  StateCodec codec(n, ell);
+
+  Frontier frontier;
+  frontier.emplace(0, 0.0);  // empty cache
+
+  std::vector<int32_t> occupancy_cache;  // reused per state
+  (void)occupancy_cache;
+
+  for (const Request& req : trace.requests) {
+    Frontier next;
+    for (const auto& [state, cost] : frontier) {
+      const int32_t cur = codec.Digit(state, req.page);
+      if (cur != 0 && cur <= req.level) {
+        // Hit: lazy OPT does nothing.
+        Relax(next, state, cost);
+        continue;
+      }
+      // Miss. If p holds a too-low copy, it must be evicted (one-copy rule).
+      Cost base_cost = cost;
+      uint64_t base_state = state;
+      if (cur != 0) {
+        base_cost += inst.weight(req.page, cur);
+        base_state = codec.SetDigit(state, req.page, 0);
+      }
+      // Count occupancy of base_state.
+      int32_t occ = 0;
+      for (PageId q = 0; q < n; ++q) {
+        if (codec.Digit(base_state, q) != 0) ++occ;
+      }
+      // Fetch (p, j) for each j <= requested level.
+      for (Level j = 1; j <= req.level; ++j) {
+        const uint64_t with_p = codec.SetDigit(base_state, req.page, j);
+        if (occ + 1 <= k) {
+          Relax(next, with_p, base_cost);
+        } else {
+          // Evict one victim q != p.
+          for (PageId q = 0; q < n; ++q) {
+            if (q == req.page) continue;
+            const int32_t dq = codec.Digit(base_state, q);
+            if (dq == 0) continue;
+            Relax(next, codec.SetDigit(with_p, q, 0),
+                  base_cost + inst.weight(q, dq));
+          }
+        }
+      }
+    }
+    WMLP_CHECK_MSG(static_cast<int64_t>(next.size()) <= options.max_states,
+                   "DP state frontier exceeded max_states");
+    frontier = std::move(next);
+  }
+
+  Cost best = 0.0;
+  bool first = true;
+  for (const auto& [state, cost] : frontier) {
+    (void)state;
+    if (first || cost < best) {
+      best = cost;
+      first = false;
+    }
+  }
+  WMLP_CHECK_MSG(!first, "no feasible DP state (should be impossible)");
+  return best;
+}
+
+Level OptimalSchedule::LevelOf(uint64_t state, PageId p,
+                               int32_t num_levels) {
+  const uint64_t base = static_cast<uint64_t>(num_levels) + 1;
+  for (PageId i = 0; i < p; ++i) state /= base;
+  return static_cast<Level>(state % base);
+}
+
+OptimalSchedule MultiLevelOptimalSchedule(const Trace& trace,
+                                          const DpOptions& options) {
+  const Instance& inst = trace.instance;
+  const int32_t n = inst.num_pages();
+  const int32_t ell = inst.num_levels();
+  const int32_t k = inst.cache_size();
+  StateCodec codec(n, ell);
+
+  // Frontier with parent pointers, retained per step for backtracking.
+  using Parents = std::unordered_map<uint64_t, std::pair<Cost, uint64_t>>;
+  std::vector<Parents> history;
+  Parents frontier;
+  frontier.emplace(0, std::make_pair(0.0, 0));
+
+  auto relax = [](Parents& f, uint64_t state, Cost cost, uint64_t parent) {
+    auto [it, inserted] = f.try_emplace(state, std::make_pair(cost, parent));
+    if (!inserted && cost < it->second.first) {
+      it->second = {cost, parent};
+    }
+  };
+
+  for (const Request& req : trace.requests) {
+    Parents next;
+    for (const auto& [state, entry] : frontier) {
+      const Cost cost = entry.first;
+      const int32_t cur = codec.Digit(state, req.page);
+      if (cur != 0 && cur <= req.level) {
+        relax(next, state, cost, state);
+        continue;
+      }
+      Cost base_cost = cost;
+      uint64_t base_state = state;
+      if (cur != 0) {
+        base_cost += inst.weight(req.page, cur);
+        base_state = codec.SetDigit(state, req.page, 0);
+      }
+      int32_t occ = 0;
+      for (PageId q = 0; q < n; ++q) {
+        if (codec.Digit(base_state, q) != 0) ++occ;
+      }
+      for (Level j = 1; j <= req.level; ++j) {
+        const uint64_t with_p = codec.SetDigit(base_state, req.page, j);
+        if (occ + 1 <= k) {
+          relax(next, with_p, base_cost, state);
+        } else {
+          for (PageId q = 0; q < n; ++q) {
+            if (q == req.page) continue;
+            const int32_t dq = codec.Digit(base_state, q);
+            if (dq == 0) continue;
+            relax(next, codec.SetDigit(with_p, q, 0),
+                  base_cost + inst.weight(q, dq), state);
+          }
+        }
+      }
+    }
+    WMLP_CHECK_MSG(static_cast<int64_t>(next.size()) <= options.max_states,
+                   "DP state frontier exceeded max_states");
+    history.push_back(next);
+    frontier = std::move(next);
+  }
+
+  OptimalSchedule schedule;
+  if (history.empty()) return schedule;
+  // Best final state, then walk parents backward.
+  uint64_t best_state = 0;
+  bool first = true;
+  for (const auto& [state, entry] : history.back()) {
+    if (first || entry.first < schedule.cost) {
+      schedule.cost = entry.first;
+      best_state = state;
+      first = false;
+    }
+  }
+  WMLP_CHECK(!first);
+  schedule.states.resize(history.size());
+  uint64_t cur = best_state;
+  for (size_t t = history.size(); t-- > 0;) {
+    schedule.states[t] = cur;
+    cur = history[t].at(cur).second;
+  }
+  return schedule;
+}
+
+Cost WritebackOptimal(const wb::WbTrace& trace, const DpOptions& options) {
+  const wb::WbInstance& inst = trace.instance;
+  const int32_t n = inst.num_pages();
+  const int32_t k = inst.cache_size();
+  // Digits: 0 absent, 1 clean, 2 dirty.
+  StateCodec codec(n, 2);
+
+  Frontier frontier;
+  frontier.emplace(0, 0.0);
+
+  auto evict_weight = [&](PageId q, int32_t digit) {
+    return digit == 2 ? inst.dirty_weight(q) : inst.clean_weight(q);
+  };
+
+  for (const wb::WbRequest& req : trace.requests) {
+    Frontier next;
+    const bool is_write = req.op == wb::Op::kWrite;
+    for (const auto& [state, cost] : frontier) {
+      const int32_t cur = codec.Digit(state, req.page);
+      if (cur != 0) {
+        // Hit; writes dirty the page for free.
+        const uint64_t s = is_write ? codec.SetDigit(state, req.page, 2)
+                                    : state;
+        Relax(next, s, cost);
+        continue;
+      }
+      // Miss: fetch p (clean unless the request is a write).
+      int32_t occ = 0;
+      for (PageId q = 0; q < n; ++q) {
+        if (codec.Digit(state, q) != 0) ++occ;
+      }
+      const uint64_t with_p =
+          codec.SetDigit(state, req.page, is_write ? 2 : 1);
+      if (occ + 1 <= k) {
+        Relax(next, with_p, cost);
+      } else {
+        for (PageId q = 0; q < n; ++q) {
+          if (q == req.page) continue;
+          const int32_t dq = codec.Digit(state, q);
+          if (dq == 0) continue;
+          Relax(next, codec.SetDigit(with_p, q, 0),
+                cost + evict_weight(q, dq));
+        }
+      }
+    }
+    WMLP_CHECK_MSG(static_cast<int64_t>(next.size()) <= options.max_states,
+                   "DP state frontier exceeded max_states");
+    frontier = std::move(next);
+  }
+
+  Cost best = 0.0;
+  bool first = true;
+  for (const auto& [state, cost] : frontier) {
+    (void)state;
+    if (first || cost < best) {
+      best = cost;
+      first = false;
+    }
+  }
+  WMLP_CHECK_MSG(!first, "no feasible DP state (should be impossible)");
+  return best;
+}
+
+}  // namespace wmlp

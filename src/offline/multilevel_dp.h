@@ -1,0 +1,53 @@
+// Exact offline optima by dynamic programming over cache states.
+//
+// The offline multi-level / writeback problem is NP-complete (Farach-Colton
+// & Liberatore), so exact computation is exponential in n; these DPs are for
+// small validation instances and as the denominator of exact competitive
+// ratios in the small-regime experiments.
+//
+// Lazy-OPT is WLOG under the eviction-cost convention: evictions can be
+// postponed to the moment space (or the one-copy rule) requires them, and
+// fetches advanced to request time, without changing cost. The DP therefore
+// only branches at misses: choice of fetched level j <= i and, when the
+// cache overflows, choice of victim.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/instance.h"
+#include "writeback/writeback_instance.h"
+
+namespace wmlp {
+
+struct DpOptions {
+  // Abort (CHECK-fail) if the state frontier ever exceeds this.
+  int64_t max_states = 4'000'000;
+};
+
+// Exact optimal eviction cost for a multi-level trace. Requires
+// (ell + 1)^n states to stay within options.max_states.
+Cost MultiLevelOptimal(const Trace& trace, const DpOptions& options = {});
+
+// As above, but also reconstructs one optimal schedule: states[t] is the
+// cache state AFTER serving request t (base-(ell+1) digit encoding, digit
+// = cached level or 0), states has length T. Used by the
+// potential-function verification tests (Section 4.2) which need the
+// offline adversary's actual moves, not just its cost.
+struct OptimalSchedule {
+  Cost cost = 0.0;
+  std::vector<uint64_t> states;
+
+  // Cached level of page p in the encoded state (0 = absent).
+  static Level LevelOf(uint64_t state, PageId p, int32_t num_levels);
+};
+
+OptimalSchedule MultiLevelOptimalSchedule(const Trace& trace,
+                                          const DpOptions& options = {});
+
+// Exact optimal eviction cost for a writeback trace (native DP over
+// {absent, clean, dirty} page states). By Lemma 2.1 this equals
+// MultiLevelOptimal(ToRwTrace(trace)).
+Cost WritebackOptimal(const wb::WbTrace& trace,
+                      const DpOptions& options = {});
+
+}  // namespace wmlp

@@ -1,0 +1,112 @@
+#include "offline/weighted_opt.h"
+
+#include <vector>
+
+#include "flow/min_cost_flow.h"
+#include "util/check.h"
+
+namespace wmlp {
+
+namespace {
+
+// Shared implementation: weighted caching OPT where request t concerns page
+// trace.requests[t].page and evicting that page costs weight[p].
+//
+// Interval-selection view. Between consecutive requests of a page at times
+// a < b (and after its last request), the page is either kept (saving its
+// eviction weight w) or evicted right after a. Capacity binds at request
+// instants: at time t the requested page p_t plus every kept interval with
+// a < t < b occupy slots, so at most k - 1 intervals may strictly contain
+// any t. An interval (a, b) therefore "occupies" the integer times
+// a+1 .. b-1; intervals with no interior time (b = a + 1, or a tail after
+// the final request) are freely keepable.
+//
+// Selections with <= k-1 overlap at every time decompose into exactly k-1
+// chains of interior-disjoint intervals (interval graphs are perfect), and
+// chains are unit flows on the time path when interval (a, b) is drawn as
+// an arc (a+1) -> b: consecutive chain members [a+1, b-1], [a'+1, b'-1]
+// with a' + 1 > b - 1 connect via zero-cost path arcs. Hence
+//   OPT = sum of all interval weights - free profit
+//         - max profit of a (k-1)-unit min-cost flow.
+Cost OptFromPageSequence(const std::vector<PageId>& pages,
+                         const std::vector<Cost>& weight, int32_t cache_size) {
+  const Time T = static_cast<Time>(pages.size());
+  if (T == 0) return 0.0;
+
+  // Nodes 0..T; path arcs t -> t+1 with capacity k-1, cost 0.
+  MinCostFlow mcf(static_cast<int32_t>(T) + 1);
+  if (cache_size > 1) {
+    for (Time t = 0; t < T; ++t) {
+      mcf.AddArc(static_cast<int32_t>(t), static_cast<int32_t>(t) + 1,
+                 cache_size - 1, 0.0);
+    }
+  }
+  Cost total_interval_weight = 0.0;
+  Cost free_profit = 0.0;
+  auto add_interval = [&](Time a, Time b_exclusive, Cost w) {
+    // Occupies integer times a+1 .. b_exclusive - 1.
+    total_interval_weight += w;
+    if (b_exclusive <= a + 1) {
+      free_profit += w;  // no interior time: always keepable
+      return;
+    }
+    if (cache_size > 1) {
+      mcf.AddArc(static_cast<int32_t>(a) + 1,
+                 static_cast<int32_t>(b_exclusive), 1, -w);
+    }
+  };
+  std::vector<Time> last_seen(weight.size(), -1);
+  for (Time t = 0; t < T; ++t) {
+    const PageId p = pages[static_cast<size_t>(t)];
+    const Time prev = last_seen[static_cast<size_t>(p)];
+    if (prev >= 0) {
+      add_interval(prev, t, weight[static_cast<size_t>(p)]);
+    }
+    last_seen[static_cast<size_t>(p)] = t;
+  }
+  for (size_t p = 0; p < last_seen.size(); ++p) {
+    if (last_seen[p] >= 0) {
+      // Tail: occupies times t_last+1 .. T-1.
+      add_interval(last_seen[p], T, weight[p]);
+    }
+  }
+
+  Cost flow_profit = 0.0;
+  if (cache_size > 1) {
+    const auto result =
+        mcf.Solve(0, static_cast<int32_t>(T), cache_size - 1);
+    flow_profit = -result.cost;
+  }
+  const Cost opt = total_interval_weight - free_profit - flow_profit;
+  WMLP_CHECK_MSG(opt > -1e-6, "negative OPT: numeric trouble in flow");
+  return opt < 0.0 ? 0.0 : opt;
+}
+
+}  // namespace
+
+Cost WeightedCachingOpt(const Trace& trace) {
+  const Instance& inst = trace.instance;
+  WMLP_CHECK_MSG(inst.num_levels() == 1,
+                 "WeightedCachingOpt requires ell == 1");
+  std::vector<PageId> pages;
+  pages.reserve(trace.requests.size());
+  for (const Request& r : trace.requests) pages.push_back(r.page);
+  std::vector<Cost> weight(static_cast<size_t>(inst.num_pages()));
+  for (PageId p = 0; p < inst.num_pages(); ++p) weight[static_cast<size_t>(p)] =
+      inst.weight(p, 1);
+  return OptFromPageSequence(pages, weight, inst.cache_size());
+}
+
+Cost MultiLevelLowerBound(const Trace& trace) {
+  const Instance& inst = trace.instance;
+  std::vector<PageId> pages;
+  pages.reserve(trace.requests.size());
+  for (const Request& r : trace.requests) pages.push_back(r.page);
+  std::vector<Cost> weight(static_cast<size_t>(inst.num_pages()));
+  for (PageId p = 0; p < inst.num_pages(); ++p) {
+    weight[static_cast<size_t>(p)] = inst.weight(p, inst.num_levels());
+  }
+  return OptFromPageSequence(pages, weight, inst.cache_size());
+}
+
+}  // namespace wmlp

@@ -1,0 +1,25 @@
+// Exact offline optimum for weighted caching (ell == 1) via min-cost flow.
+//
+// Standard interval-selection formulation: between consecutive requests of a
+// page (and after its last request), the page is either kept (occupying one
+// cache slot across that span, saving its eviction weight) or evicted
+// (paying w(p)). Selections with at most k overlapping kept-intervals per
+// inter-request segment are exactly the k-unit flows on a time-path network
+// with a profit arc per interval, so
+//   OPT_evictions = sum of all interval weights - max profit
+//                 = sum of all interval weights + min cost flow value.
+#pragma once
+
+#include "trace/instance.h"
+
+namespace wmlp {
+
+// Exact optimal eviction cost for an ell == 1 trace (weighted paging).
+Cost WeightedCachingOpt(const Trace& trace);
+
+// Lower bound on the multi-level optimum: relax every request (p, i) to
+// "any copy of p serves", charge only the cheapest level's weight w(p, ell).
+// For ell == 1 this is the exact optimum.
+Cost MultiLevelLowerBound(const Trace& trace);
+
+}  // namespace wmlp

@@ -1,0 +1,74 @@
+#include "registry/policy_registry.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "baselines/clock.h"
+#include "baselines/fifo.h"
+#include "baselines/landlord.h"
+#include "baselines/sieve.h"
+#include "baselines/two_q.h"
+#include "baselines/lfu.h"
+#include "baselines/lru.h"
+#include "baselines/marking.h"
+#include "baselines/random_eviction.h"
+#include "core/randomized.h"
+#include "core/waterfill.h"
+
+namespace wmlp {
+
+namespace {
+
+// Parses "k1=v1,k2=v2" into the options; unknown keys are ignored.
+RandomizedOptions ParseRandomizedParams(const std::string& params) {
+  RandomizedOptions options;
+  std::istringstream iss(params);
+  std::string kv;
+  while (std::getline(iss, kv, ',')) {
+    const size_t eq = kv.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = kv.substr(0, eq);
+    const double value = std::strtod(kv.c_str() + eq + 1, nullptr);
+    if (key == "beta") options.beta = value;
+    if (key == "eta") options.eta = value;
+    if (key == "delta") options.delta = value;
+    if (key == "engine") {
+      options.engine = kv.substr(eq + 1) == "linear"
+                           ? FractionalEngine::kLinear
+                           : FractionalEngine::kMultiplicative;
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
+PolicyPtr MakePolicyByName(const std::string& name, uint64_t seed) {
+  if (name == "lru") return std::make_unique<LruPolicy>();
+  if (name == "fifo") return std::make_unique<FifoPolicy>();
+  if (name == "clock") return std::make_unique<ClockPolicy>();
+  if (name == "sieve") return std::make_unique<SievePolicy>();
+  if (name == "2q") return std::make_unique<TwoQPolicy>();
+  if (name == "lfu") return std::make_unique<LfuPolicy>();
+  if (name == "random") return std::make_unique<RandomEvictionPolicy>(seed);
+  if (name == "marking") return std::make_unique<MarkingPolicy>(seed);
+  if (name == "landlord") return std::make_unique<LandlordPolicy>();
+  if (name == "waterfill") return std::make_unique<WaterfillPolicy>();
+  if (name == "randomized" || name == "fractional-rounded") {
+    return MakeRandomizedPolicy(seed);
+  }
+  constexpr char kPrefix[] = "randomized:";
+  if (name.rfind(kPrefix, 0) == 0) {
+    return MakeRandomizedPolicy(
+        seed, ParseRandomizedParams(name.substr(sizeof(kPrefix) - 1)));
+  }
+  return nullptr;
+}
+
+std::vector<std::string> KnownPolicyNames() {
+  return {"lru",      "fifo",     "clock",    "sieve",    "2q",
+          "lfu",      "random",   "marking",  "landlord",
+          "waterfill", "randomized"};
+}
+
+}  // namespace wmlp

@@ -1,0 +1,21 @@
+// Name-based policy construction: one place that knows every online policy
+// in the library. Used by the CLI tools and the experiment binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/policy.h"
+
+namespace wmlp {
+
+// Known names: lru, fifo, lfu, random, marking, landlord, waterfill,
+// fractional-rounded (alias: randomized), plus parameterized forms
+// "randomized:beta=<v>,eta=<v>,delta=<v>".
+// Returns nullptr for unknown names.
+PolicyPtr MakePolicyByName(const std::string& name, uint64_t seed);
+
+// All plain policy names (no parameterized forms).
+std::vector<std::string> KnownPolicyNames();
+
+}  // namespace wmlp

@@ -1,0 +1,148 @@
+#include "setcover/frac_construction.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace wmlp::sc {
+
+namespace {
+
+// Mutable u-state over the reduction instance, with snapshot collection.
+class UState {
+ public:
+  UState(const Instance& inst) : ell_(inst.num_levels()) {
+    u_.assign(static_cast<size_t>(inst.num_pages()) *
+                  static_cast<size_t>(ell_),
+              1.0);
+  }
+
+  double Get(PageId p, Level i) const {
+    return u_[static_cast<size_t>(p) * static_cast<size_t>(ell_) +
+              static_cast<size_t>(i - 1)];
+  }
+  void Set(PageId p, Level i, double v) {
+    u_[static_cast<size_t>(p) * static_cast<size_t>(ell_) +
+       static_cast<size_t>(i - 1)] = v;
+  }
+  const std::vector<double>& flat() const { return u_; }
+
+ private:
+  int32_t ell_;
+  std::vector<double> u_;
+};
+
+}  // namespace
+
+FracSchedule BuildFractionalRwSchedule(
+    const SetSystem& system,
+    const std::vector<std::vector<int32_t>>& phases,
+    const ReductionTrace& reduction, const std::vector<double>& cover_x) {
+  const Instance& inst = reduction.trace.instance;
+  const int32_t m = system.num_sets();
+  WMLP_CHECK(static_cast<int32_t>(cover_x.size()) == m);
+  WMLP_CHECK(inst.num_levels() == 2);
+
+  // Reconstruct the per-request layout of BuildRwPagingTrace.
+  UState u(inst);
+  FracSchedule sched;
+  sched.u.push_back(u.flat());  // t = 0: empty cache
+
+  auto snapshot = [&] { sched.u.push_back(u.flat()); };
+
+  size_t pos = 0;  // request cursor (for layout assertions)
+  auto expect = [&](PageId p, Level lvl) {
+    WMLP_CHECK_MSG(pos < reduction.trace.requests.size() &&
+                       reduction.trace.requests[pos] == (Request{p, lvl}),
+                   "layout mismatch at request " << pos);
+    ++pos;
+  };
+
+  for (const auto& phase : phases) {
+    // ---- (1) Init writes: fetch every write copy (fetches are free). ----
+    for (int32_t s = 0; s < m; ++s) {
+      expect(SetPage(s), 1);
+      u.Set(SetPage(s), 1, 0.0);
+      u.Set(SetPage(s), 2, 0.0);
+      snapshot();
+    }
+    // Fractionally swap x_S of each write copy for its read copy: the only
+    // u increases of the phase at write weight (cost w * |x|_1), applied
+    // together with serving the first element request below.
+    for (int32_t s = 0; s < m; ++s) {
+      u.Set(SetPage(s), 1, cover_x[static_cast<size_t>(s)]);
+      // u(S, 2) stays 0: total cached mass of S is still one unit.
+    }
+
+    for (int32_t e : phase) {
+      // ---- (2a) Make room for (e, 2): evict one unit of read-copy mass
+      // from sets containing e (possible since x covers e).
+      double need = 1.0;
+      std::vector<std::pair<int32_t, double>> phi;  // (set, fraction)
+      for (int32_t s : system.covering(e)) {
+        if (need <= 1e-12) break;
+        const double take =
+            std::min(need, cover_x[static_cast<size_t>(s)]);
+        if (take > 0.0) {
+          phi.emplace_back(s, take);
+          need -= take;
+        }
+      }
+      WMLP_CHECK_MSG(need <= 1e-9, "cover_x does not cover element " << e);
+      for (const auto& [s, take] : phi) {
+        u.Set(SetPage(s), 2, take);  // evict `take` of (S, 2)
+      }
+      u.Set(ElementPage(system, e), 2, 0.0);  // fetch the element copy
+
+      // rho(e) repetitions: all requests are hits under this state. Walk
+      // them by the exact layout (element read, then complement reads in
+      // increasing set order, `repetitions` times).
+      for (int32_t rep = 0; rep < reduction.repetitions; ++rep) {
+        expect(ElementPage(system, e), 2);
+        snapshot();
+        for (int32_t s = 0; s < m; ++s) {
+          if (system.Contains(s, e)) continue;
+          expect(SetPage(s), 2);
+          snapshot();
+        }
+      }
+      // ---- (2b) Reads of every set: restore the borrowed read copies and
+      // evict the element copy (cost <= 2 per element in total).
+      u.Set(ElementPage(system, e), 2, 1.0);
+      for (const auto& [s, take] : phi) {
+        (void)take;
+        u.Set(SetPage(s), 2, 0.0);
+      }
+      for (int32_t s = 0; s < m; ++s) {
+        expect(SetPage(s), 2);
+        snapshot();
+      }
+    }
+
+    // ---- (3) Terminate writes: restore full write copies (free: u only
+    // decreases).
+    for (int32_t s = 0; s < m; ++s) {
+      u.Set(SetPage(s), 1, 0.0);
+    }
+    for (int32_t s = 0; s < m; ++s) {
+      expect(SetPage(s), 1);
+      snapshot();
+    }
+  }
+  WMLP_CHECK_MSG(pos == reduction.trace.requests.size(),
+                 "layout walk did not consume the whole trace");
+  return sched;
+}
+
+Cost FractionalConstructionBudget(const SetSystem& system,
+                                  const ReductionTrace& reduction,
+                                  const std::vector<double>& cover_x,
+                                  int64_t elements_in_phase) {
+  (void)system;
+  double x1 = 0.0;
+  for (double x : cover_x) x1 += x;
+  const Cost w = reduction.trace.instance.weight(0, 1);
+  return w * x1 + 2.0 * static_cast<Cost>(elements_in_phase);
+}
+
+}  // namespace wmlp::sc

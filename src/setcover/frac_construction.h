@@ -1,0 +1,37 @@
+// The Theorem 1.4 construction: turn a *fractional* set cover into a
+// feasible *fractional* RW-paging schedule on the reduction trace whose
+// LP-objective cost is about w * |x|_1 + 2t per phase.
+//
+// Combined with Lemma 3.3 (any integral solution must evict an integral
+// cover's worth of write pages), an integrality-gap set system makes the
+// fractional schedule Omega(log n) cheaper than any integral one — the
+// paper's proof that any fractional-then-round scheme loses Omega(log k)
+// in the rounding.
+#pragma once
+
+#include <vector>
+
+#include "lp/paging_lp.h"
+#include "setcover/reduction.h"
+#include "setcover/set_system.h"
+
+namespace wmlp::sc {
+
+// `cover_x[s]` is a fractional cover of every phase's elements
+// (sum_{S ni e} x_S >= 1 for each requested element e, 0 <= x_S <= 1).
+// Returns a schedule with one snapshot per request (plus the initial empty
+// cache), feasible for the reduction trace's LP (checkable with
+// CheckFracScheduleFeasible).
+FracSchedule BuildFractionalRwSchedule(
+    const SetSystem& system,
+    const std::vector<std::vector<int32_t>>& phases,
+    const ReductionTrace& reduction, const std::vector<double>& cover_x);
+
+// The cost the construction promises per phase: w * |x|_1 + 2 * t where
+// t is the number of elements in the phase.
+Cost FractionalConstructionBudget(const SetSystem& system,
+                                  const ReductionTrace& reduction,
+                                  const std::vector<double>& cover_x,
+                                  int64_t elements_in_phase);
+
+}  // namespace wmlp::sc

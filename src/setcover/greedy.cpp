@@ -1,0 +1,116 @@
+#include "setcover/greedy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "lp/lp_problem.h"
+#include "lp/simplex.h"
+#include "util/check.h"
+
+namespace wmlp::sc {
+
+std::vector<int32_t> GreedyCover(const SetSystem& system,
+                                 const std::vector<int32_t>& targets) {
+  std::vector<bool> needed(static_cast<size_t>(system.num_elements()), false);
+  int32_t remaining = 0;
+  for (int32_t e : targets) {
+    if (!needed[static_cast<size_t>(e)]) {
+      needed[static_cast<size_t>(e)] = true;
+      ++remaining;
+    }
+  }
+  std::vector<int32_t> chosen;
+  while (remaining > 0) {
+    int32_t best_set = -1;
+    int32_t best_gain = 0;
+    for (int32_t s = 0; s < system.num_sets(); ++s) {
+      int32_t gain = 0;
+      for (int32_t e : system.set(s)) {
+        if (needed[static_cast<size_t>(e)]) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_set = s;
+      }
+    }
+    WMLP_CHECK_MSG(best_set >= 0, "targets not coverable");
+    chosen.push_back(best_set);
+    for (int32_t e : system.set(best_set)) {
+      if (needed[static_cast<size_t>(e)]) {
+        needed[static_cast<size_t>(e)] = false;
+        --remaining;
+      }
+    }
+  }
+  return chosen;
+}
+
+int32_t ExactCoverSize(const SetSystem& system,
+                       const std::vector<int32_t>& targets) {
+  // Deduplicate and index targets into bit positions.
+  std::vector<int32_t> uniq = targets;
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  const int32_t nt = static_cast<int32_t>(uniq.size());
+  WMLP_CHECK_MSG(nt <= 24, "ExactCoverSize limited to 24 targets");
+  if (nt == 0) return 0;
+  std::vector<int32_t> bit(static_cast<size_t>(system.num_elements()), -1);
+  for (int32_t i = 0; i < nt; ++i) {
+    bit[static_cast<size_t>(uniq[static_cast<size_t>(i)])] = i;
+  }
+  // Mask of targets covered by each set.
+  std::vector<uint32_t> mask(static_cast<size_t>(system.num_sets()), 0);
+  for (int32_t s = 0; s < system.num_sets(); ++s) {
+    for (int32_t e : system.set(s)) {
+      if (bit[static_cast<size_t>(e)] >= 0) {
+        mask[static_cast<size_t>(s)] |=
+            (1u << bit[static_cast<size_t>(e)]);
+      }
+    }
+  }
+  const uint32_t full = nt == 32 ? ~0u : ((1u << nt) - 1);
+  constexpr int32_t kInf = std::numeric_limits<int32_t>::max() / 2;
+  std::vector<int32_t> dp(static_cast<size_t>(full) + 1, kInf);
+  dp[0] = 0;
+  for (uint32_t covered = 0; covered <= full; ++covered) {
+    if (dp[covered] >= kInf) continue;
+    if (covered == full) break;
+    // Lowest uncovered target; some chosen set must cover it.
+    uint32_t low = 0;
+    while ((covered >> low) & 1u) ++low;
+    for (int32_t s = 0; s < system.num_sets(); ++s) {
+      if ((mask[static_cast<size_t>(s)] >> low) & 1u) {
+        const uint32_t next = covered | mask[static_cast<size_t>(s)];
+        dp[next] = std::min(dp[next], dp[covered] + 1);
+      }
+    }
+  }
+  WMLP_CHECK_MSG(dp[full] < kInf, "targets not coverable");
+  return dp[full];
+}
+
+double FractionalCoverValue(const SetSystem& system,
+                            const std::vector<int32_t>& targets) {
+  LpProblem lp;
+  for (int32_t s = 0; s < system.num_sets(); ++s) {
+    lp.AddVariable(1.0, 1.0);
+  }
+  std::vector<int32_t> uniq = targets;
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  for (int32_t e : uniq) {
+    LpConstraint c;
+    c.sense = ConstraintSense::kGe;
+    c.rhs = 1.0;
+    for (int32_t s : system.covering(e)) {
+      c.index.push_back(s);
+      c.coef.push_back(1.0);
+    }
+    lp.AddConstraint(std::move(c));
+  }
+  const SimplexResult result = SolveLp(lp);
+  WMLP_CHECK(result.status == SimplexStatus::kOptimal);
+  return result.objective;
+}
+
+}  // namespace wmlp::sc

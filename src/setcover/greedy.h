@@ -1,0 +1,25 @@
+// Offline set cover: greedy (ln n approximation), exact bitmask DP for
+// small target sets, and the fractional LP optimum.
+#pragma once
+
+#include <vector>
+
+#include "setcover/set_system.h"
+
+namespace wmlp::sc {
+
+// Greedy cover of `targets`: repeatedly picks the set covering the most
+// still-uncovered targets. Returns chosen set ids.
+std::vector<int32_t> GreedyCover(const SetSystem& system,
+                                 const std::vector<int32_t>& targets);
+
+// Exact minimum cover size of `targets` (requires |targets| <= 24: bitmask
+// DP over target subsets).
+int32_t ExactCoverSize(const SetSystem& system,
+                       const std::vector<int32_t>& targets);
+
+// Optimal fractional cover value of `targets` (LP via simplex).
+double FractionalCoverValue(const SetSystem& system,
+                            const std::vector<int32_t>& targets);
+
+}  // namespace wmlp::sc

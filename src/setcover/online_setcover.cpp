@@ -1,0 +1,84 @@
+#include "setcover/online_setcover.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace wmlp::sc {
+
+OnlineSetCover::OnlineSetCover(const SetSystem& system, uint64_t seed,
+                               int32_t threshold_count)
+    : system_(system),
+      x_(static_cast<size_t>(system.num_sets()), 0.0),
+      threshold_(static_cast<size_t>(system.num_sets()), 1.0),
+      chosen_(static_cast<size_t>(system.num_sets()), false) {
+  if (threshold_count <= 0) {
+    threshold_count = static_cast<int32_t>(std::ceil(
+        2.0 * std::log(static_cast<double>(system.num_elements()) + 1.0)));
+    threshold_count = std::max(threshold_count, 1);
+  }
+  Rng rng(seed);
+  for (auto& th : threshold_) {
+    for (int32_t j = 0; j < threshold_count; ++j) {
+      th = std::min(th, rng.NextDouble());
+    }
+  }
+}
+
+std::vector<int32_t> OnlineSetCover::ProcessElement(int32_t e) {
+  WMLP_CHECK(e >= 0 && e < system_.num_elements());
+  const auto& cover_sets = system_.covering(e);
+  WMLP_CHECK(!cover_sets.empty());
+
+  // Fractional update: doubling-plus-seed until e is fractionally covered.
+  const double d = static_cast<double>(cover_sets.size());
+  double total = 0.0;
+  for (int32_t s : cover_sets) total += x_[static_cast<size_t>(s)];
+  while (total < 1.0) {
+    total = 0.0;
+    for (int32_t s : cover_sets) {
+      double& xs = x_[static_cast<size_t>(s)];
+      xs = std::min(1.0, 2.0 * xs + 1.0 / d);
+      total += xs;
+    }
+  }
+
+  // Randomized rounding: take any covering set whose fraction crossed its
+  // threshold.
+  std::vector<int32_t> added;
+  bool covered = false;
+  for (int32_t s : cover_sets) {
+    if (chosen_[static_cast<size_t>(s)]) {
+      covered = true;
+      continue;
+    }
+    if (x_[static_cast<size_t>(s)] >= threshold_[static_cast<size_t>(s)]) {
+      chosen_[static_cast<size_t>(s)] = true;
+      ++cover_size_;
+      added.push_back(s);
+      covered = true;
+    }
+  }
+  // Fallback (low probability): deterministically add the heaviest set.
+  if (!covered) {
+    int32_t best = cover_sets.front();
+    for (int32_t s : cover_sets) {
+      if (x_[static_cast<size_t>(s)] > x_[static_cast<size_t>(best)]) {
+        best = s;
+      }
+    }
+    chosen_[static_cast<size_t>(best)] = true;
+    ++cover_size_;
+    added.push_back(best);
+  }
+  return added;
+}
+
+double OnlineSetCover::fractional_value() const {
+  double v = 0.0;
+  for (double xs : x_) v += xs;
+  return v;
+}
+
+}  // namespace wmlp::sc

@@ -1,0 +1,42 @@
+// Online set cover (Alon, Awerbuch, Azar, Buchbinder, Naor):
+//   - fractional multiplicative-update: O(log d) competitive fractionally
+//     (d = max element degree);
+//   - randomized rounding with Theta(log n) independent thresholds per set:
+//     O(log m log n) competitive integrally, with a deterministic fallback
+//     that keeps the cover feasible.
+// This is the problem RW-paging encodes (Section 3); the reduction
+// experiments run it both standalone and through the paging encoding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "setcover/set_system.h"
+#include "util/rng.h"
+
+namespace wmlp::sc {
+
+class OnlineSetCover {
+ public:
+  // `threshold_count` defaults to ceil(2 ln(n + 1)) when 0.
+  OnlineSetCover(const SetSystem& system, uint64_t seed,
+                 int32_t threshold_count = 0);
+
+  // Element e arrives; returns the ids of sets newly added to the integral
+  // cover (empty if e was already covered).
+  std::vector<int32_t> ProcessElement(int32_t e);
+
+  const std::vector<double>& fractional() const { return x_; }
+  double fractional_value() const;
+  const std::vector<bool>& chosen() const { return chosen_; }
+  int32_t cover_size() const { return cover_size_; }
+
+ private:
+  const SetSystem& system_;
+  std::vector<double> x_;
+  std::vector<double> threshold_;  // min of T iid U[0,1] draws per set
+  std::vector<bool> chosen_;
+  int32_t cover_size_ = 0;
+};
+
+}  // namespace wmlp::sc

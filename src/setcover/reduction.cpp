@@ -1,0 +1,129 @@
+#include "setcover/reduction.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace wmlp::sc {
+
+PageId SetPage(int32_t s) { return s; }
+
+PageId ElementPage(const SetSystem& system, int32_t e) {
+  return system.num_sets() + e;
+}
+
+ReductionTrace BuildRwPagingTrace(
+    const SetSystem& system,
+    const std::vector<std::vector<int32_t>>& phases,
+    const ReductionOptions& options) {
+  const int32_t m = system.num_sets();
+  const int32_t n = system.num_elements();
+  WMLP_CHECK(options.repetitions >= 1);
+  const Cost w = options.write_weight > 0.0
+                     ? options.write_weight
+                     : std::max<Cost>(2.0, static_cast<Cost>(n));
+
+  std::vector<std::vector<Cost>> weights(
+      static_cast<size_t>(m + n), std::vector<Cost>{w, 1.0});
+  Instance inst(m + n, /*cache_size=*/m, /*num_levels=*/2,
+                std::move(weights));
+
+  ReductionTrace out{Trace{std::move(inst), {}}, {}, m, options.repetitions};
+  auto& reqs = out.trace.requests;
+
+  // Precompute complements: sets NOT containing each element.
+  std::vector<std::vector<int32_t>> complement(static_cast<size_t>(n));
+  for (int32_t e = 0; e < n; ++e) {
+    for (int32_t s = 0; s < m; ++s) {
+      if (!system.Contains(s, e)) {
+        complement[static_cast<size_t>(e)].push_back(s);
+      }
+    }
+  }
+
+  for (const auto& phase : phases) {
+    const Time begin = static_cast<Time>(reqs.size());
+    // (1) Init: write request for every set.
+    for (int32_t s = 0; s < m; ++s) {
+      reqs.push_back(Request{SetPage(s), 1});
+    }
+    // (2) Element arrivals.
+    for (int32_t e : phase) {
+      WMLP_CHECK(e >= 0 && e < n);
+      for (int32_t rep = 0; rep < options.repetitions; ++rep) {
+        reqs.push_back(Request{ElementPage(system, e), 2});
+        for (int32_t s : complement[static_cast<size_t>(e)]) {
+          reqs.push_back(Request{SetPage(s), 2});
+        }
+      }
+      for (int32_t s = 0; s < m; ++s) {
+        reqs.push_back(Request{SetPage(s), 2});
+      }
+    }
+    // (3) Terminate: write request for every set.
+    for (int32_t s = 0; s < m; ++s) {
+      reqs.push_back(Request{SetPage(s), 1});
+    }
+    out.phase_ranges.emplace_back(begin, static_cast<Time>(reqs.size()));
+  }
+  return out;
+}
+
+PhaseAnalysis AnalyzeEvictions(const SetSystem& system,
+                               const std::vector<std::vector<int32_t>>& phases,
+                               const ReductionTrace& reduction,
+                               const std::vector<CacheEvent>& events) {
+  const int32_t m = reduction.num_sets;
+  PhaseAnalysis analysis;
+  analysis.evicted_sets.resize(phases.size());
+  analysis.is_valid_cover.resize(phases.size());
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const auto [begin, end] = reduction.phase_ranges[i];
+    std::vector<bool> evicted(static_cast<size_t>(m), false);
+    for (const CacheEvent& ev : events) {
+      if (ev.kind != CacheEvent::Kind::kEvict) continue;
+      if (ev.t < begin || ev.t >= end) continue;
+      if (ev.page >= m || ev.level != 1) continue;  // write copies of sets
+      evicted[static_cast<size_t>(ev.page)] = true;
+    }
+    auto& list = analysis.evicted_sets[i];
+    for (int32_t s = 0; s < m; ++s) {
+      if (evicted[static_cast<size_t>(s)]) list.push_back(s);
+    }
+    analysis.is_valid_cover[i] = system.IsCover(list, phases[i]);
+  }
+  return analysis;
+}
+
+std::vector<std::vector<int32_t>> GenPhaseEnsemble(
+    const SetSystem& system, int32_t num_candidates, int32_t num_phases,
+    int32_t elements_per_sequence, uint64_t seed) {
+  WMLP_CHECK(num_candidates >= 1 && num_phases >= 1);
+  WMLP_CHECK(elements_per_sequence >= 1 &&
+             elements_per_sequence <= system.num_elements());
+  Rng rng(seed);
+  const int32_t n = system.num_elements();
+  std::vector<std::vector<int32_t>> candidates(
+      static_cast<size_t>(num_candidates));
+  std::vector<int32_t> universe(static_cast<size_t>(n));
+  for (int32_t e = 0; e < n; ++e) universe[static_cast<size_t>(e)] = e;
+  for (auto& candidate : candidates) {
+    // Fisher-Yates prefix: a uniformly random ordered subset.
+    for (int32_t i = 0; i < elements_per_sequence; ++i) {
+      const uint64_t j = static_cast<uint64_t>(i) +
+                         rng.NextBounded(static_cast<uint64_t>(n - i));
+      std::swap(universe[static_cast<size_t>(i)],
+                universe[static_cast<size_t>(j)]);
+    }
+    candidate.assign(universe.begin(),
+                     universe.begin() + elements_per_sequence);
+  }
+  std::vector<std::vector<int32_t>> phases(static_cast<size_t>(num_phases));
+  for (auto& phase : phases) {
+    phase = candidates[static_cast<size_t>(
+        rng.NextBounded(static_cast<uint64_t>(num_candidates)))];
+  }
+  return phases;
+}
+
+}  // namespace wmlp::sc

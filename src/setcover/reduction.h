@@ -1,0 +1,75 @@
+// The Section-3 reduction from online set cover to RW-paging.
+//
+// Given a set system (U, F) with |F| = m and a sequence of element arrivals,
+// builds the RW-paging request sequence of the paper:
+//   cache size k = m; pages = one pair per set (write/read copies) plus one
+//   pair per element.
+//   Phase = (1) write request for every set ("init");
+//           (2) per arriving element e: `repetitions` copies of
+//               rho(e) = [read e, read every S not containing e],
+//               followed by a read of every set;
+//           (3) write request for every set ("terminate").
+// Lemma 3.2 (completeness): a cover C of the phase's elements yields a
+// solution of cost ~ |C| (w + 1) + 2t. Lemma 3.3 (soundness): if the write
+// copies evicted during a phase do not form a cover, cost >= repetitions.
+// The paper sets repetitions = m * n * w to force soundness asymptotically;
+// experiments use small values and *measure* the induced cost instead.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "setcover/set_system.h"
+#include "sim/policy.h"
+#include "trace/instance.h"
+
+namespace wmlp::sc {
+
+struct ReductionOptions {
+  int32_t repetitions = 3;   // the paper's "ell" parameter
+  Cost write_weight = 0.0;   // 0 -> auto: num_elements (paper picks w = n)
+};
+
+struct ReductionTrace {
+  Trace trace;
+  // Half-open request-index range [begin, end) of each phase.
+  std::vector<std::pair<Time, Time>> phase_ranges;
+  int32_t num_sets = 0;
+  int32_t repetitions = 1;  // the options.repetitions it was built with
+};
+
+// Page layout: set s -> page s; element e -> page num_sets + e.
+PageId SetPage(int32_t s);
+PageId ElementPage(const SetSystem& system, int32_t e);
+
+// phases[i] is the element-arrival sequence of phase i.
+ReductionTrace BuildRwPagingTrace(
+    const SetSystem& system,
+    const std::vector<std::vector<int32_t>>& phases,
+    const ReductionOptions& options = {});
+
+// Per-phase analysis of a policy's event log on a reduction trace: the set
+// ids whose *write copies* were evicted during the phase, and whether they
+// cover the phase's elements (Lemma 3.3's criterion).
+struct PhaseAnalysis {
+  std::vector<std::vector<int32_t>> evicted_sets;  // per phase
+  std::vector<bool> is_valid_cover;                // per phase
+};
+
+PhaseAnalysis AnalyzeEvictions(const SetSystem& system,
+                               const std::vector<std::vector<int32_t>>& phases,
+                               const ReductionTrace& reduction,
+                               const std::vector<CacheEvent>& events);
+
+// Feige-Korman-style phase ensemble (Theorem 3.4's structure, simplified):
+// `num_candidates` fixed element sequences (random subsets of size
+// `elements_per_sequence`, in random order) are drawn up-front; each of the
+// `num_phases` phases replays one candidate chosen uniformly at random.
+// An oblivious online algorithm cannot tailor its cover to the drawn
+// candidate, while offline covers each phase at its (small) optimum —
+// exactly the amplification the hardness proof uses.
+std::vector<std::vector<int32_t>> GenPhaseEnsemble(
+    const SetSystem& system, int32_t num_candidates, int32_t num_phases,
+    int32_t elements_per_sequence, uint64_t seed);
+
+}  // namespace wmlp::sc

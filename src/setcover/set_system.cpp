@@ -1,0 +1,123 @@
+#include "setcover/set_system.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace wmlp::sc {
+
+SetSystem::SetSystem(int32_t num_elements,
+                     std::vector<std::vector<int32_t>> sets)
+    : num_elements_(num_elements), sets_(std::move(sets)) {
+  WMLP_CHECK(num_elements >= 1);
+  WMLP_CHECK(!sets_.empty());
+  covering_.resize(static_cast<size_t>(num_elements));
+  member_.assign(
+      sets_.size() * static_cast<size_t>(num_elements), false);
+  for (size_t s = 0; s < sets_.size(); ++s) {
+    auto& elems = sets_[s];
+    std::sort(elems.begin(), elems.end());
+    elems.erase(std::unique(elems.begin(), elems.end()), elems.end());
+    for (int32_t e : elems) {
+      WMLP_CHECK_MSG(e >= 0 && e < num_elements, "element out of range");
+      covering_[static_cast<size_t>(e)].push_back(static_cast<int32_t>(s));
+      member_[s * static_cast<size_t>(num_elements) +
+              static_cast<size_t>(e)] = true;
+    }
+  }
+  for (int32_t e = 0; e < num_elements; ++e) {
+    WMLP_CHECK_MSG(!covering_[static_cast<size_t>(e)].empty(),
+                   "element " << e << " is uncoverable");
+  }
+}
+
+bool SetSystem::IsCover(const std::vector<int32_t>& chosen,
+                        const std::vector<int32_t>& targets) const {
+  std::vector<bool> in_chosen(static_cast<size_t>(num_sets()), false);
+  for (int32_t s : chosen) {
+    WMLP_CHECK(s >= 0 && s < num_sets());
+    in_chosen[static_cast<size_t>(s)] = true;
+  }
+  for (int32_t e : targets) {
+    bool covered = false;
+    for (int32_t s : covering(e)) {
+      if (in_chosen[static_cast<size_t>(s)]) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+SetSystem GenRandomSetSystem(int32_t num_elements, int32_t num_sets,
+                             double membership_prob, uint64_t seed) {
+  WMLP_CHECK(num_elements >= 1 && num_sets >= 1);
+  Rng rng(seed);
+  std::vector<std::vector<int32_t>> sets(static_cast<size_t>(num_sets));
+  std::vector<bool> covered(static_cast<size_t>(num_elements), false);
+  for (int32_t s = 0; s < num_sets; ++s) {
+    for (int32_t e = 0; e < num_elements; ++e) {
+      if (rng.NextBernoulli(membership_prob)) {
+        sets[static_cast<size_t>(s)].push_back(e);
+        covered[static_cast<size_t>(e)] = true;
+      }
+    }
+  }
+  for (int32_t e = 0; e < num_elements; ++e) {
+    if (!covered[static_cast<size_t>(e)]) {
+      const int32_t s = static_cast<int32_t>(
+          rng.NextBounded(static_cast<uint64_t>(num_sets)));
+      sets[static_cast<size_t>(s)].push_back(e);
+    }
+  }
+  return SetSystem(num_elements, std::move(sets));
+}
+
+SetSystem GenBlockSystem(int32_t num_blocks, int32_t block_size,
+                         int32_t num_spoilers, uint64_t seed) {
+  WMLP_CHECK(num_blocks >= 1 && block_size >= 1 && num_spoilers >= 0);
+  const int32_t n = num_blocks * block_size;
+  Rng rng(seed);
+  std::vector<std::vector<int32_t>> sets;
+  sets.reserve(static_cast<size_t>(num_blocks + num_spoilers));
+  for (int32_t b = 0; b < num_blocks; ++b) {
+    std::vector<int32_t> block(static_cast<size_t>(block_size));
+    for (int32_t i = 0; i < block_size; ++i) {
+      block[static_cast<size_t>(i)] = b * block_size + i;
+    }
+    sets.push_back(std::move(block));
+  }
+  for (int32_t s = 0; s < num_spoilers; ++s) {
+    // One random element from each block except one: never a full block, so
+    // any cover using spoilers needs more than num_blocks sets.
+    std::vector<int32_t> spoiler;
+    for (int32_t b = 0; b < num_blocks; ++b) {
+      if (b == s % num_blocks) continue;
+      spoiler.push_back(b * block_size +
+                        static_cast<int32_t>(rng.NextBounded(
+                            static_cast<uint64_t>(block_size))));
+    }
+    if (spoiler.empty()) spoiler.push_back(0);
+    sets.push_back(std::move(spoiler));
+  }
+  return SetSystem(n, std::move(sets));
+}
+
+SetSystem GenBitVectorSystem(int32_t dimension) {
+  WMLP_CHECK(dimension >= 2 && dimension <= 16);
+  const int32_t n = (1 << dimension) - 1;  // nonzero vectors, 1-indexed - 1
+  std::vector<std::vector<int32_t>> sets(static_cast<size_t>(n));
+  for (int32_t v = 1; v <= n; ++v) {
+    for (int32_t e = 1; e <= n; ++e) {
+      // <v, e> over GF(2) = parity of popcount(v & e).
+      if (__builtin_popcount(static_cast<unsigned>(v & e)) % 2 == 1) {
+        sets[static_cast<size_t>(v - 1)].push_back(e - 1);
+      }
+    }
+  }
+  return SetSystem(n, std::move(sets));
+}
+
+}  // namespace wmlp::sc

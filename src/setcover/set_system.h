@@ -1,0 +1,67 @@
+// Set systems (U, F) for the online set cover problem and the Section-3
+// reduction to RW-paging.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace wmlp::sc {
+
+class SetSystem {
+ public:
+  // sets[s] lists the element ids of set s; every element in
+  // [0, num_elements) must be covered by at least one set.
+  SetSystem(int32_t num_elements, std::vector<std::vector<int32_t>> sets);
+
+  int32_t num_elements() const { return num_elements_; }
+  int32_t num_sets() const { return static_cast<int32_t>(sets_.size()); }
+
+  const std::vector<int32_t>& set(int32_t s) const {
+    return sets_[static_cast<size_t>(s)];
+  }
+  // Sets containing element e.
+  const std::vector<int32_t>& covering(int32_t e) const {
+    return covering_[static_cast<size_t>(e)];
+  }
+  bool Contains(int32_t s, int32_t e) const {
+    return member_[static_cast<size_t>(s) *
+                       static_cast<size_t>(num_elements_) +
+                   static_cast<size_t>(e)];
+  }
+
+  // True iff every element of `targets` lies in some set of `chosen`.
+  bool IsCover(const std::vector<int32_t>& chosen,
+               const std::vector<int32_t>& targets) const;
+
+ private:
+  int32_t num_elements_;
+  std::vector<std::vector<int32_t>> sets_;
+  std::vector<std::vector<int32_t>> covering_;
+  std::vector<bool> member_;  // dense membership matrix
+};
+
+// Random system: each (set, element) membership independently with
+// probability `membership_prob`; any uncovered element is patched into a
+// random set so the system is feasible.
+SetSystem GenRandomSetSystem(int32_t num_elements, int32_t num_sets,
+                             double membership_prob, uint64_t seed);
+
+// Disjoint-blocks-plus-spoilers system with a known optimal cover of size
+// `num_blocks`: block sets partition the universe; `num_spoilers` extra sets
+// each cover scattered elements (tempting for greedy/online algorithms but
+// strictly worse). Used by tests that need a known optimum.
+SetSystem GenBlockSystem(int32_t num_blocks, int32_t block_size,
+                         int32_t num_spoilers, uint64_t seed);
+
+// The classic GF(2)^d integrality-gap system: elements and sets are the
+// nonzero vectors of GF(2)^d; set v contains element e iff <v, e> = 1.
+// Every element lies in exactly 2^{d-1} sets, so x_S = 2^{1-d} is a
+// fractional cover of value (2^d - 1) / 2^{d-1} < 2, while any integral
+// cover needs d sets (a sub-basis misses some orthogonal element). The
+// Omega(log n) gap drives the Theorem 1.4 experiments.
+SetSystem GenBitVectorSystem(int32_t dimension);
+
+}  // namespace wmlp::sc

@@ -1,0 +1,35 @@
+#include "sim/cache_state.h"
+
+#include "util/check.h"
+
+namespace wmlp {
+
+CacheState::CacheState(const Instance& instance)
+    : capacity_(instance.cache_size()),
+      levels_(static_cast<size_t>(instance.num_pages()), 0),
+      pos_(static_cast<size_t>(instance.num_pages()), -1) {}
+
+void CacheState::Insert(PageId p, Level level) {
+  WMLP_CHECK_MSG(!contains(p), "page " << p << " already cached");
+  WMLP_CHECK(level >= 1);
+  levels_[static_cast<size_t>(p)] = level;
+  pos_[static_cast<size_t>(p)] = static_cast<int32_t>(pages_.size());
+  pages_.push_back(p);
+  ++size_;
+}
+
+Level CacheState::Remove(PageId p) {
+  WMLP_CHECK_MSG(contains(p), "page " << p << " not cached");
+  const Level level = levels_[static_cast<size_t>(p)];
+  levels_[static_cast<size_t>(p)] = 0;
+  const int32_t idx = pos_[static_cast<size_t>(p)];
+  const PageId last = pages_.back();
+  pages_[static_cast<size_t>(idx)] = last;
+  pos_[static_cast<size_t>(last)] = idx;
+  pages_.pop_back();
+  pos_[static_cast<size_t>(p)] = -1;
+  --size_;
+  return level;
+}
+
+}  // namespace wmlp

@@ -1,0 +1,46 @@
+// Integral multi-level cache state: for each page, which copy (level) is
+// cached, if any. Enforces the one-copy-per-page rule structurally.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/instance.h"
+
+namespace wmlp {
+
+class CacheState {
+ public:
+  explicit CacheState(const Instance& instance);
+
+  // 0 if absent, otherwise the cached copy's level in [1, ell].
+  Level level_of(PageId p) const {
+    return levels_[static_cast<size_t>(p)];
+  }
+  bool contains(PageId p) const { return level_of(p) != 0; }
+  // True if a request (p, i) is a hit: some copy (p, j), j <= i, cached.
+  bool serves(const Request& r) const {
+    const Level l = level_of(r.page);
+    return l != 0 && l <= r.level;
+  }
+
+  int32_t size() const { return size_; }
+  int32_t capacity() const { return capacity_; }
+
+  // Inserts copy (p, level). Precondition: no copy of p cached.
+  void Insert(PageId p, Level level);
+  // Removes p's copy and returns its level. Precondition: p cached.
+  Level Remove(PageId p);
+
+  // Cached pages in unspecified order (stable between mutations).
+  const std::vector<PageId>& pages() const { return pages_; }
+
+ private:
+  int32_t capacity_;
+  int32_t size_ = 0;
+  std::vector<Level> levels_;    // per page; 0 = absent
+  std::vector<int32_t> pos_;     // per page; index into pages_, or -1
+  std::vector<PageId> pages_;    // dense list of cached pages
+};
+
+}  // namespace wmlp

@@ -1,0 +1,42 @@
+// Drives a Policy over a Trace, validating feasibility and accounting costs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/policy.h"
+#include "trace/instance.h"
+
+namespace wmlp {
+
+struct SimResult {
+  // Headline metric, the paper's convention: sum of w(p, i) over evictions.
+  Cost eviction_cost = 0.0;
+  // Reference metric: sum of w(p, i) over fetches (equal to eviction cost up
+  // to the additive weight of the final cache contents).
+  Cost fetch_cost = 0.0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t fetches = 0;
+
+  double hit_rate() const {
+    const int64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+struct SimOptions {
+  // If true (default), abort on any policy contract violation (unsatisfied
+  // request, overfull cache). Tests rely on this being fatal.
+  bool strict = true;
+  // If non-null, every fetch/evict is appended here.
+  std::vector<CacheEvent>* event_log = nullptr;
+};
+
+// Runs `policy` over `trace` starting from an empty cache.
+SimResult Simulate(const Trace& trace, Policy& policy,
+                   const SimOptions& options = {});
+
+}  // namespace wmlp

@@ -1,0 +1,144 @@
+#include "trace/analysis.h"
+
+#include <algorithm>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace wmlp {
+
+int64_t StackDistanceProfile::HitsAtCacheSize(int32_t c) const {
+  int64_t hits = 0;
+  for (int32_t d = 0; d < c && d < static_cast<int32_t>(histogram.size());
+       ++d) {
+    hits += histogram[static_cast<size_t>(d)];
+  }
+  return hits;
+}
+
+int64_t StackDistanceProfile::total_requests() const {
+  int64_t total = cold + deep;
+  for (int64_t h : histogram) total += h;
+  return total;
+}
+
+StackDistanceProfile ComputeStackDistances(const Trace& trace,
+                                           int32_t max_distance) {
+  WMLP_CHECK(max_distance >= 1);
+  StackDistanceProfile profile;
+  profile.histogram.assign(static_cast<size_t>(max_distance), 0);
+  // LRU stack as a list + iterator map; distance = position in the stack.
+  // O(d) per request via walking — fine for analysis-sized traces.
+  std::list<PageId> stack;
+  std::unordered_map<PageId, std::list<PageId>::iterator> where;
+  for (const Request& r : trace.requests) {
+    const auto it = where.find(r.page);
+    if (it == where.end()) {
+      ++profile.cold;
+    } else {
+      int32_t d = 0;
+      for (auto walk = stack.begin(); walk != it->second; ++walk) ++d;
+      if (d < max_distance) {
+        ++profile.histogram[static_cast<size_t>(d)];
+      } else {
+        ++profile.deep;
+      }
+      stack.erase(it->second);
+    }
+    stack.push_front(r.page);
+    where[r.page] = stack.begin();
+  }
+  return profile;
+}
+
+double AverageWorkingSet(const Trace& trace, int64_t window) {
+  WMLP_CHECK(window >= 1);
+  if (trace.requests.empty()) return 0.0;
+  double total = 0.0;
+  int64_t windows = 0;
+  for (size_t begin = 0; begin < trace.requests.size();
+       begin += static_cast<size_t>(window)) {
+    const size_t end = std::min(begin + static_cast<size_t>(window),
+                                trace.requests.size());
+    std::unordered_set<PageId> distinct;
+    for (size_t i = begin; i < end; ++i) {
+      distinct.insert(trace.requests[i].page);
+    }
+    total += static_cast<double>(distinct.size());
+    ++windows;
+  }
+  return total / static_cast<double>(windows);
+}
+
+Trace MixTraces(const std::vector<Trace>& components,
+                const std::vector<double>& mix_weights, int32_t cache_size,
+                uint64_t seed) {
+  WMLP_CHECK(!components.empty());
+  WMLP_CHECK(components.size() == mix_weights.size());
+  const int32_t ell = components.front().instance.num_levels();
+  int32_t total_pages = 0;
+  for (const Trace& c : components) {
+    WMLP_CHECK_MSG(c.instance.num_levels() == ell,
+                   "components must share the level count");
+    total_pages += c.instance.num_pages();
+  }
+  // Concatenated weight matrix with disjoint page-id ranges.
+  std::vector<std::vector<Cost>> weights;
+  weights.reserve(static_cast<size_t>(total_pages));
+  std::vector<PageId> offset(components.size());
+  PageId next = 0;
+  for (size_t i = 0; i < components.size(); ++i) {
+    offset[i] = next;
+    const Instance& inst = components[i].instance;
+    for (PageId p = 0; p < inst.num_pages(); ++p) {
+      std::vector<Cost> row(static_cast<size_t>(ell));
+      for (Level l = 1; l <= ell; ++l) {
+        row[static_cast<size_t>(l - 1)] = inst.weight(p, l);
+      }
+      weights.push_back(std::move(row));
+    }
+    next += inst.num_pages();
+  }
+  Trace out{Instance(total_pages, cache_size, ell, std::move(weights)), {}};
+
+  // Interleave by weighted sampling among non-exhausted components.
+  Rng rng(seed);
+  std::vector<size_t> cursor(components.size(), 0);
+  size_t remaining_components = 0;
+  double active_weight = 0.0;
+  std::vector<bool> active(components.size());
+  for (size_t i = 0; i < components.size(); ++i) {
+    WMLP_CHECK(mix_weights[i] > 0.0);
+    active[i] = !components[i].requests.empty();
+    if (active[i]) {
+      ++remaining_components;
+      active_weight += mix_weights[i];
+    }
+  }
+  while (remaining_components > 0) {
+    double pick = rng.NextDouble() * active_weight;
+    size_t chosen = components.size();
+    for (size_t i = 0; i < components.size(); ++i) {
+      if (!active[i]) continue;
+      if (pick < mix_weights[i] || chosen == components.size()) chosen = i;
+      pick -= mix_weights[i];
+      if (pick < 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    const Request& r = components[chosen].requests[cursor[chosen]];
+    out.requests.push_back(Request{offset[chosen] + r.page, r.level});
+    if (++cursor[chosen] == components[chosen].requests.size()) {
+      active[chosen] = false;
+      --remaining_components;
+      active_weight -= mix_weights[chosen];
+    }
+  }
+  return out;
+}
+
+}  // namespace wmlp

@@ -1,0 +1,46 @@
+// Workload characterization: LRU stack distances, working-set sizes, and
+// per-page reuse statistics. Used to sanity-check the synthetic generators
+// (tests) and to describe workload suites in experiment write-ups.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/instance.h"
+
+namespace wmlp {
+
+// histogram[d] = number of requests whose LRU stack distance is exactly d
+// (d = number of distinct pages referenced since the previous access to
+// the same page). Cold misses land in `cold`. Stack distances are
+// page-level (levels ignored). The histogram is truncated at max_distance;
+// deeper reuses count into `deep`.
+struct StackDistanceProfile {
+  std::vector<int64_t> histogram;
+  int64_t cold = 0;
+  int64_t deep = 0;
+
+  // Requests an LRU cache of size c would hit: sum of histogram[0..c-1].
+  int64_t HitsAtCacheSize(int32_t c) const;
+  int64_t total_requests() const;
+};
+
+StackDistanceProfile ComputeStackDistances(const Trace& trace,
+                                           int32_t max_distance = 1024);
+
+// Average number of distinct pages per window of `window` consecutive
+// requests (Denning's working set).
+double AverageWorkingSet(const Trace& trace, int64_t window);
+
+// ---- Composite workloads ---------------------------------------------------
+
+// Interleaves several traces into one: component i's requests appear in
+// their original order, chosen i.i.d. with probability proportional to
+// mix_weights[i], until every component is exhausted (the output length is
+// the sum of the inputs'). Components must share the level count; pages
+// are remapped to disjoint id ranges and the cache size is `cache_size`.
+Trace MixTraces(const std::vector<Trace>& components,
+                const std::vector<double>& mix_weights, int32_t cache_size,
+                uint64_t seed);
+
+}  // namespace wmlp

@@ -1,0 +1,113 @@
+// Synthetic workload generators.
+//
+// The paper is evaluated on abstract request sequences; these generators
+// realize (a) benign locality-driven workloads (zipf, markov, phases, scans)
+// on which all reasonable policies do well, and (b) the adversarial patterns
+// that witness the known lower bounds (cyclic loop over k+1 pages for
+// deterministic paging; weighted variants thereof).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/instance.h"
+#include "util/rng.h"
+
+namespace wmlp {
+
+// ---- Weight models -------------------------------------------------------
+
+enum class WeightModel {
+  kUniform,         // w(p, i) = ratio for all p, i
+  kGeometricLevels, // w(p, i) = ratio^(ell - i); 2-separated iff ratio >= 2
+  kZipfPages,       // w(p, ell) ~ 1 + ratio/rank(p); levels geometric on top
+  kLogUniform,      // w(p, ell) ~ exp(U[0, ln ratio]); levels geometric
+};
+
+// Builds a weight matrix for (n, ell). `ratio` scales the weight spread
+// (max/min); level weights within a page are geometric with factor >= 2 so
+// the paper's separation assumption holds exactly.
+std::vector<std::vector<Cost>> MakeWeights(int32_t num_pages,
+                                           int32_t num_levels,
+                                           WeightModel model, double ratio,
+                                           uint64_t seed);
+
+// ---- Level models --------------------------------------------------------
+
+// Probability distribution over levels 1..ell used to pick each request's
+// level independently. For RW-paging (ell = 2), probs = {write_ratio,
+// 1 - write_ratio}.
+struct LevelMix {
+  std::vector<double> probs;  // size ell; sums to 1
+
+  static LevelMix AllLowest(int32_t num_levels);   // always level ell
+  static LevelMix UniformMix(int32_t num_levels);  // uniform over levels
+  static LevelMix ReadWrite(double write_ratio);   // ell = 2
+  // Level i with probability proportional to decay^(i-1): frequent cheap
+  // low-level requests, rare expensive high-level ones when decay < 1 is
+  // applied from the bottom. `top_heavy` flips the direction.
+  static LevelMix Geometric(int32_t num_levels, double decay,
+                            bool top_heavy = false);
+};
+
+// ---- Generators ----------------------------------------------------------
+
+// Zipf(alpha) page popularity, independent level per request.
+Trace GenZipf(Instance instance, int64_t length, double alpha,
+              const LevelMix& mix, uint64_t seed);
+
+// Uniformly random pages.
+Trace GenUniform(Instance instance, int64_t length, const LevelMix& mix,
+                 uint64_t seed);
+
+// Cyclic loop over pages 0..loop_size-1 (classic adversarial trace when
+// loop_size = k + 1: every deterministic policy with cache k faults
+// constantly while OPT faults once per loop_size requests).
+Trace GenLoop(Instance instance, int64_t length, int32_t loop_size,
+              const LevelMix& mix);
+
+// Phase workload: working set of `ws_size` pages resampled every
+// `phase_len` requests; zipf inside the phase.
+Trace GenPhases(Instance instance, int64_t length, int32_t ws_size,
+                int64_t phase_len, double alpha, const LevelMix& mix,
+                uint64_t seed);
+
+// Zipf core traffic with sequential scans of `scan_len` pages injected with
+// probability scan_prob per request (models table scans polluting a cache).
+Trace GenScanMix(Instance instance, int64_t length, double alpha,
+                 int32_t scan_len, double scan_prob, const LevelMix& mix,
+                 uint64_t seed);
+
+// First-order Markov locality: with probability `stay` re-request a page
+// from the recent window (LRU stack distance ~ geometric), else a fresh
+// zipf draw.
+Trace GenMarkov(Instance instance, int64_t length, double stay,
+                int32_t window, double alpha, const LevelMix& mix,
+                uint64_t seed);
+
+// Weighted adversary: cycles over k+1 pages whose weights span `ratio`,
+// requesting expensive pages just rarely enough that evicting them is
+// tempting but wrong (stress for cost-oblivious policies like LRU).
+Trace GenWeightedAdversary(int32_t cache_size, int64_t length, double ratio,
+                           uint64_t seed);
+
+// Multi-granularity ("Optane-style", Section 1.1 motivation): pages are
+// sectors grouped into chunks of `sectors_per_chunk`; a request for a sector
+// is usually a cheap low-level request, but with probability
+// `chunk_fetch_prob` the workload benefits from the expensive full-chunk
+// copy (level 1). ell = 2; chunk locality induces correlated requests.
+Trace GenMultiGranularity(int32_t num_chunks, int32_t sectors_per_chunk,
+                          int32_t cache_size, int64_t length,
+                          double chunk_fetch_prob, double alpha,
+                          uint64_t seed);
+
+// Bursty read/write workload (ell = 2): each request's op follows a
+// two-state Markov chain — once a write happens, subsequent requests are
+// writes with probability `burst_stay`; otherwise writes start with
+// probability `write_start`. Models transaction-style write bursts, which
+// stress writeback-aware policies differently from i.i.d. write mixes
+// (dirty pages cluster in time).
+Trace GenWriteBursts(Instance instance, int64_t length, double alpha,
+                     double write_start, double burst_stay, uint64_t seed);
+
+}  // namespace wmlp

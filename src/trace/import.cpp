@@ -1,0 +1,129 @@
+#include "trace/import.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace wmlp {
+
+namespace {
+
+bool Fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+// Splits on whitespace or commas; returns up to the first two fields.
+void SplitLine(const std::string& line, std::string* key, std::string* op) {
+  key->clear();
+  op->clear();
+  size_t i = 0;
+  auto is_sep = [](char c) {
+    return c == ' ' || c == '\t' || c == ',' || c == '\r';
+  };
+  while (i < line.size() && is_sep(line[i])) ++i;
+  while (i < line.size() && !is_sep(line[i])) *key += line[i++];
+  while (i < line.size() && is_sep(line[i])) ++i;
+  while (i < line.size() && !is_sep(line[i])) *op += line[i++];
+}
+
+}  // namespace
+
+std::optional<ImportedTrace> ImportKeyTrace(std::istream& is,
+                                            const ImportOptions& options,
+                                            std::string* error) {
+  if (options.cache_size < 1) {
+    Fail(error, "cache_size must be >= 1");
+    return std::nullopt;
+  }
+  if (options.clean_cost < 1.0 || options.dirty_cost < options.clean_cost) {
+    Fail(error, "need dirty_cost >= clean_cost >= 1");
+    return std::nullopt;
+  }
+
+  struct RawRequest {
+    PageId page;
+    bool is_write;
+  };
+  std::vector<RawRequest> raw;
+  std::unordered_map<std::string, PageId> id_of;
+  std::vector<std::string> key_of;
+  bool has_ops = false;
+
+  std::string line, key, op;
+  int64_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    SplitLine(line, &key, &op);
+    if (key.empty() || key[0] == '#') continue;
+    bool is_write = false;
+    if (!op.empty()) {
+      if (op == "R" || op == "r" || op == "read" || op == "GET" ||
+          op == "get") {
+        is_write = false;
+        has_ops = true;
+      } else if (op == "W" || op == "w" || op == "write" || op == "SET" ||
+                 op == "set" || op == "PUT" || op == "put") {
+        is_write = true;
+        has_ops = true;
+      } else {
+        Fail(error, "line " + std::to_string(line_no) + ": unknown op '" +
+                        op + "'");
+        return std::nullopt;
+      }
+    }
+    const auto [it, inserted] =
+        id_of.try_emplace(key, static_cast<PageId>(key_of.size()));
+    if (inserted) key_of.push_back(key);
+    raw.push_back(RawRequest{it->second, is_write});
+    if (options.max_requests >= 0 &&
+        static_cast<int64_t>(raw.size()) >= options.max_requests) {
+      break;
+    }
+  }
+  if (raw.empty()) {
+    Fail(error, "no requests found");
+    return std::nullopt;
+  }
+
+  const int32_t n = static_cast<int32_t>(key_of.size());
+  // The cache cannot exceed the universe; clamp rather than reject so tiny
+  // logs still import.
+  const int32_t k = std::min(options.cache_size, n);
+
+  ImportedTrace out;
+  out.has_ops = has_ops;
+  out.key_of_page = std::move(key_of);
+  if (has_ops) {
+    std::vector<std::vector<Cost>> weights(
+        static_cast<size_t>(n),
+        std::vector<Cost>{options.dirty_cost, options.clean_cost});
+    out.trace = Trace{Instance(n, k, 2, std::move(weights)), {}};
+    for (const RawRequest& r : raw) {
+      out.trace.requests.push_back(
+          Request{r.page, r.is_write ? Level{1} : Level{2}});
+    }
+  } else {
+    out.trace = Trace{Instance::Uniform(n, k), {}};
+    for (const RawRequest& r : raw) {
+      out.trace.requests.push_back(Request{r.page, 1});
+    }
+  }
+  return out;
+}
+
+std::optional<ImportedTrace> ImportKeyTraceFile(const std::string& path,
+                                                const ImportOptions& options,
+                                                std::string* error) {
+  std::ifstream ifs(path);
+  if (!ifs) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return ImportKeyTrace(ifs, options, error);
+}
+
+}  // namespace wmlp

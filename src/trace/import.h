@@ -1,0 +1,46 @@
+// Importers for external trace logs, so the algorithms can run on real
+// workloads (web cache logs, storage traces) rather than only synthetic
+// generators.
+//
+// Accepted line format (whitespace- or comma-separated):
+//   <key>            a read access to <key>
+//   <key> R|W        an access with an explicit read/write op
+// Keys are arbitrary strings, assigned dense page ids in first-seen order.
+// Blank lines and lines starting with '#' are skipped.
+//
+// If any line carries an op, the import becomes an RW-paging trace
+// (ell = 2, level 1 = write) with weights {dirty_cost, clean_cost};
+// otherwise a single-level trace with unit weights.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/instance.h"
+
+namespace wmlp {
+
+struct ImportOptions {
+  int32_t cache_size = 16;
+  double dirty_cost = 10.0;  // level-1 weight when ops are present
+  double clean_cost = 1.0;
+  int64_t max_requests = -1;  // -1: no limit
+};
+
+struct ImportedTrace {
+  Trace trace{Instance::Uniform(1, 1), {}};
+  std::vector<std::string> key_of_page;  // page id -> original key
+  bool has_ops = false;
+};
+
+std::optional<ImportedTrace> ImportKeyTrace(std::istream& is,
+                                            const ImportOptions& options,
+                                            std::string* error = nullptr);
+
+std::optional<ImportedTrace> ImportKeyTraceFile(
+    const std::string& path, const ImportOptions& options,
+    std::string* error = nullptr);
+
+}  // namespace wmlp

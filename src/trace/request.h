@@ -1,0 +1,21 @@
+// Request types for weighted multi-level paging (Section 2 of the paper).
+#pragma once
+
+#include <cstdint>
+
+namespace wmlp {
+
+using PageId = int32_t;
+using Level = int32_t;  // 1-based; level 1 is the highest (most expensive)
+using Time = int64_t;
+using Cost = double;
+
+// A request (p, i): may be served by any cached copy (p, j) with j <= i.
+struct Request {
+  PageId page = 0;
+  Level level = 1;
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+}  // namespace wmlp

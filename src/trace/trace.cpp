@@ -1,0 +1,64 @@
+#include "trace/trace.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace wmlp {
+
+bool ValidateTrace(const Trace& trace, std::string* error) {
+  const Instance& inst = trace.instance;
+  for (size_t t = 0; t < trace.requests.size(); ++t) {
+    const Request& r = trace.requests[t];
+    if (!inst.valid_page(r.page) || !inst.valid_level(r.level)) {
+      if (error != nullptr) {
+        std::ostringstream oss;
+        oss << "request " << t << " (page=" << r.page << ", level=" << r.level
+            << ") out of range for " << inst.DebugString();
+        *error = oss.str();
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+TraceStats ComputeStats(const Trace& trace) {
+  TraceStats s;
+  s.length = static_cast<int64_t>(trace.requests.size());
+  std::unordered_set<PageId> pages;
+  int64_t level1 = 0;
+  double level_sum = 0.0;
+  for (const Request& r : trace.requests) {
+    pages.insert(r.page);
+    level_sum += static_cast<double>(r.level);
+    if (r.level == 1) ++level1;
+    s.total_request_weight += trace.instance.weight(r.page, r.level);
+  }
+  s.distinct_pages = static_cast<int64_t>(pages.size());
+  if (s.length > 0) {
+    s.mean_level = level_sum / static_cast<double>(s.length);
+    s.level1_fraction =
+        static_cast<double>(level1) / static_cast<double>(s.length);
+  }
+  return s;
+}
+
+Trace ApplyLevelMap(const Trace& trace, const Instance& merged,
+                    const std::vector<std::vector<Level>>& level_map) {
+  WMLP_CHECK(static_cast<int32_t>(level_map.size()) ==
+             trace.instance.num_pages());
+  Trace out{merged, {}};
+  out.requests.reserve(trace.requests.size());
+  for (const Request& r : trace.requests) {
+    const auto& lm = level_map[static_cast<size_t>(r.page)];
+    WMLP_CHECK(r.level >= 1 &&
+               static_cast<size_t>(r.level) <= lm.size());
+    out.requests.push_back(
+        Request{r.page, lm[static_cast<size_t>(r.level - 1)]});
+  }
+  return out;
+}
+
+}  // namespace wmlp

@@ -1,0 +1,33 @@
+// Trace validation and summary statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/instance.h"
+
+namespace wmlp {
+
+// Returns true iff every request references a valid page and level of the
+// instance. `error` (if non-null) receives a description of the first
+// violation.
+bool ValidateTrace(const Trace& trace, std::string* error = nullptr);
+
+struct TraceStats {
+  int64_t length = 0;
+  int64_t distinct_pages = 0;
+  double mean_level = 0.0;
+  // Fraction of requests at level 1 (== write fraction for RW traces).
+  double level1_fraction = 0.0;
+  // Sum over requests of w(p, level): trivial upper bound on any lazy
+  // algorithm's cost scale.
+  Cost total_request_weight = 0.0;
+};
+
+TraceStats ComputeStats(const Trace& trace);
+
+// Remaps each request's level through Instance::MergeLevels' map.
+Trace ApplyLevelMap(const Trace& trace, const Instance& merged,
+                    const std::vector<std::vector<Level>>& level_map);
+
+}  // namespace wmlp

@@ -1,0 +1,119 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace wmlp {
+
+namespace {
+constexpr char kMagic[] = "wmlp-trace v1";
+
+bool Fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+}  // namespace
+
+void WriteTrace(const Trace& trace, std::ostream& os) {
+  const Instance& inst = trace.instance;
+  os << kMagic << "\n";
+  os << inst.num_pages() << " " << inst.cache_size() << " "
+     << inst.num_levels() << "\n";
+  os.precision(17);
+  for (PageId p = 0; p < inst.num_pages(); ++p) {
+    for (Level i = 1; i <= inst.num_levels(); ++i) {
+      os << inst.weight(p, i) << (i == inst.num_levels() ? "" : " ");
+    }
+    os << "\n";
+  }
+  os << trace.requests.size() << "\n";
+  for (const Request& r : trace.requests) {
+    os << r.page << " " << r.level << "\n";
+  }
+}
+
+std::string TraceToString(const Trace& trace) {
+  std::ostringstream oss;
+  WriteTrace(trace, oss);
+  return oss.str();
+}
+
+std::optional<Trace> ReadTrace(std::istream& is, std::string* error) {
+  std::string magic;
+  std::getline(is, magic);
+  if (magic != kMagic) {
+    Fail(error, "bad magic line: '" + magic + "'");
+    return std::nullopt;
+  }
+  int32_t n = 0, k = 0, ell = 0;
+  if (!(is >> n >> k >> ell) || n < 1 || k < 1 || ell < 1) {
+    Fail(error, "bad header (n k ell)");
+    return std::nullopt;
+  }
+  std::vector<std::vector<Cost>> weights(
+      static_cast<size_t>(n), std::vector<Cost>(static_cast<size_t>(ell)));
+  for (auto& row : weights) {
+    for (auto& w : row) {
+      if (!(is >> w)) {
+        Fail(error, "truncated weight matrix");
+        return std::nullopt;
+      }
+      if (w < 1.0) {
+        Fail(error, "weight < 1");
+        return std::nullopt;
+      }
+    }
+    for (size_t i = 1; i < row.size(); ++i) {
+      if (row[i] > row[i - 1]) {
+        Fail(error, "weights not non-increasing in level");
+        return std::nullopt;
+      }
+    }
+  }
+  int64_t len = 0;
+  if (!(is >> len) || len < 0) {
+    Fail(error, "bad trace length");
+    return std::nullopt;
+  }
+  Trace trace{Instance(n, k, ell, std::move(weights)), {}};
+  trace.requests.reserve(static_cast<size_t>(len));
+  for (int64_t t = 0; t < len; ++t) {
+    Request r;
+    if (!(is >> r.page >> r.level)) {
+      Fail(error, "truncated request list");
+      return std::nullopt;
+    }
+    if (!trace.instance.valid_page(r.page) ||
+        !trace.instance.valid_level(r.level)) {
+      Fail(error, "request out of range");
+      return std::nullopt;
+    }
+    trace.requests.push_back(r);
+  }
+  return trace;
+}
+
+std::optional<Trace> TraceFromString(const std::string& text,
+                                     std::string* error) {
+  std::istringstream iss(text);
+  return ReadTrace(iss, error);
+}
+
+bool WriteTraceFile(const Trace& trace, const std::string& path) {
+  std::ofstream ofs(path);
+  if (!ofs) return false;
+  WriteTrace(trace, ofs);
+  return static_cast<bool>(ofs);
+}
+
+std::optional<Trace> ReadTraceFile(const std::string& path,
+                                   std::string* error) {
+  std::ifstream ifs(path);
+  if (!ifs) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return ReadTrace(ifs, error);
+}
+
+}  // namespace wmlp

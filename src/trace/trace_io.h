@@ -1,0 +1,32 @@
+// Plain-text (de)serialization for traces, so experiments can be re-run on
+// saved workloads and traces can be inspected by hand.
+//
+// Format (line-oriented):
+//   wmlp-trace v1
+//   n k ell
+//   <n lines of ell weights each>
+//   T
+//   <T lines: page level>
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "trace/instance.h"
+
+namespace wmlp {
+
+void WriteTrace(const Trace& trace, std::ostream& os);
+std::string TraceToString(const Trace& trace);
+
+// Returns nullopt on malformed input; `error` receives a description.
+std::optional<Trace> ReadTrace(std::istream& is, std::string* error = nullptr);
+std::optional<Trace> TraceFromString(const std::string& text,
+                                     std::string* error = nullptr);
+
+bool WriteTraceFile(const Trace& trace, const std::string& path);
+std::optional<Trace> ReadTraceFile(const std::string& path,
+                                   std::string* error = nullptr);
+
+}  // namespace wmlp

@@ -1,0 +1,45 @@
+// Contract-violation checks. WMLP_CHECK is always on (benchmarks measure
+// algorithmic cost, not nanoseconds, and silent invariant breakage would
+// invalidate every experiment); WMLP_DCHECK compiles out in NDEBUG builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace wmlp::detail {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::fprintf(stderr, "WMLP_CHECK failed: %s at %s:%d %s\n", expr, file, line,
+               msg.c_str());
+  std::abort();
+}
+
+}  // namespace wmlp::detail
+
+#define WMLP_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::wmlp::detail::CheckFailed(#cond, __FILE__, __LINE__, "");     \
+    }                                                                 \
+  } while (0)
+
+#define WMLP_CHECK_MSG(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream oss_;                                        \
+      oss_ << "- " << msg;                                            \
+      ::wmlp::detail::CheckFailed(#cond, __FILE__, __LINE__,          \
+                                  oss_.str());                        \
+    }                                                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define WMLP_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define WMLP_DCHECK(cond) WMLP_CHECK(cond)
+#endif

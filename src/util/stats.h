@@ -1,0 +1,41 @@
+// Streaming and batch statistics used by the experiment harness.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wmlp {
+
+// Welford's online algorithm: numerically stable mean/variance.
+class RunningStat {
+ public:
+  void Add(double x);
+  void Merge(const RunningStat& other);
+
+  int64_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  // sample variance (n-1); 0 if count < 2
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  // Half-width of the ~95% normal confidence interval for the mean.
+  double ci95_halfwidth() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Batch helpers.
+double Mean(std::span<const double> xs);
+double StdDev(std::span<const double> xs);
+// q in [0, 1]; linear interpolation between order statistics.
+double Percentile(std::vector<double> xs, double q);
+// Geometric mean; all xs must be > 0.
+double GeoMean(std::span<const double> xs);
+
+}  // namespace wmlp

@@ -1,0 +1,36 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace wmlp {
+
+ZipfSampler::ZipfSampler(int64_t n, double alpha) : alpha_(alpha) {
+  WMLP_CHECK(n >= 1);
+  WMLP_CHECK(alpha >= 0.0);
+  cdf_.resize(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+    cdf_[static_cast<size_t>(i)] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+int64_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<int64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(int64_t i) const {
+  WMLP_CHECK(i >= 0 && i < n());
+  const size_t idx = static_cast<size_t>(i);
+  return idx == 0 ? cdf_[0] : cdf_[idx] - cdf_[idx - 1];
+}
+
+}  // namespace wmlp

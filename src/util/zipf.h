@@ -1,0 +1,33 @@
+// Zipf(alpha) sampler over {0, ..., n-1}: P(i) proportional to 1/(i+1)^alpha.
+//
+// Uses precomputed cumulative weights with binary-search inversion: exact,
+// O(n) setup, O(log n) per sample. Trace generation is offline so the setup
+// cost is irrelevant; exactness matters for the frequency tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace wmlp {
+
+class ZipfSampler {
+ public:
+  // n >= 1; alpha >= 0 (alpha = 0 is uniform).
+  ZipfSampler(int64_t n, double alpha);
+
+  int64_t Sample(Rng& rng) const;
+
+  // Exact probability of item i (for tests).
+  double Probability(int64_t i) const;
+
+  int64_t n() const { return static_cast<int64_t>(cdf_.size()); }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i); cdf_.back() == 1.
+};
+
+}  // namespace wmlp

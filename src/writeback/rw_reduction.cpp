@@ -1,0 +1,86 @@
+#include "writeback/rw_reduction.h"
+
+#include "util/check.h"
+
+namespace wmlp::wb {
+
+Instance ToRwInstance(const WbInstance& instance) {
+  std::vector<std::vector<Cost>> weights(
+      static_cast<size_t>(instance.num_pages()));
+  for (PageId p = 0; p < instance.num_pages(); ++p) {
+    weights[static_cast<size_t>(p)] = {instance.dirty_weight(p),
+                                       instance.clean_weight(p)};
+  }
+  return Instance(instance.num_pages(), instance.cache_size(), 2,
+                  std::move(weights));
+}
+
+Trace ToRwTrace(const WbTrace& trace) {
+  Trace out{ToRwInstance(trace.instance), {}};
+  out.requests.reserve(trace.requests.size());
+  for (const WbRequest& r : trace.requests) {
+    out.requests.push_back(
+        Request{r.page, r.op == Op::kWrite ? Level{1} : Level{2}});
+  }
+  return out;
+}
+
+WbInstance ToWbInstance(const Instance& instance) {
+  WMLP_CHECK_MSG(instance.num_levels() == 2,
+                 "RW-paging instances have exactly 2 levels");
+  std::vector<Cost> w1(static_cast<size_t>(instance.num_pages()));
+  std::vector<Cost> w2(static_cast<size_t>(instance.num_pages()));
+  for (PageId p = 0; p < instance.num_pages(); ++p) {
+    w1[static_cast<size_t>(p)] = instance.weight(p, 1);
+    w2[static_cast<size_t>(p)] = instance.weight(p, 2);
+  }
+  return WbInstance(instance.num_pages(), instance.cache_size(),
+                    std::move(w1), std::move(w2));
+}
+
+WbTrace ToWbTrace(const Trace& trace) {
+  WbTrace out{ToWbInstance(trace.instance), {}};
+  out.requests.reserve(trace.requests.size());
+  for (const Request& r : trace.requests) {
+    WMLP_CHECK(r.level == 1 || r.level == 2);
+    out.requests.push_back(
+        WbRequest{r.page, r.level == 1 ? Op::kWrite : Op::kRead});
+  }
+  return out;
+}
+
+WbFromRwPolicy::WbFromRwPolicy(PolicyPtr inner) : inner_(std::move(inner)) {
+  WMLP_CHECK(inner_ != nullptr);
+}
+
+void WbFromRwPolicy::Attach(const WbInstance& instance) {
+  rw_instance_ = std::make_unique<Instance>(ToRwInstance(instance));
+  rw_cache_ = std::make_unique<CacheState>(*rw_instance_);
+  rw_ops_ = std::make_unique<CacheOps>(*rw_instance_, *rw_cache_);
+  inner_->Attach(*rw_instance_);
+}
+
+void WbFromRwPolicy::Serve(Time t, const WbRequest& r, WbCacheOps& ops) {
+  const Request rw_req{r.page, r.op == Op::kWrite ? Level{1} : Level{2}};
+  inner_->Serve(t, rw_req, *rw_ops_);
+  WMLP_CHECK_MSG(rw_cache_->serves(rw_req),
+                 inner_->name() << " left RW request unserved at t=" << t);
+  // Mirror: wb cache holds p iff the RW cache holds some copy of p. Only the
+  // (at most k) cached pages on either side can differ, so diff the dense
+  // page lists (copied: we mutate while iterating). Evictions first so the
+  // wb cache never transiently exceeds the RW count.
+  const std::vector<PageId> wb_pages = ops.cache().pages();
+  for (PageId p : wb_pages) {
+    if (!rw_cache_->contains(p)) ops.Evict(p);
+  }
+  const std::vector<PageId> rw_pages = rw_cache_->pages();
+  for (PageId p : rw_pages) {
+    if (!ops.cache().contains(p)) ops.Fetch(p);
+  }
+}
+
+std::string WbFromRwPolicy::name() const {
+  return "wb(" + inner_->name() + ")";
+}
+
+}  // namespace wmlp::wb

@@ -1,0 +1,45 @@
+// The Lemma 2.1 reduction: writeback-aware caching <-> RW-paging (2-level
+// weighted multi-level paging).
+//
+//   write request for p  <->  request (p, 1)     w(p, 1) = w1(p)
+//   read request for p   <->  request (p, 2)     w(p, 2) = w2(p)
+//
+// The integral optima of the two instances are equal, and any RW-paging
+// policy induces a writeback-aware policy of no larger cost
+// (WbFromRwPolicy below realizes that direction online).
+#pragma once
+
+#include "sim/policy.h"
+#include "writeback/writeback_instance.h"
+#include "writeback/writeback_simulator.h"
+
+namespace wmlp::wb {
+
+// Writeback instance/trace -> RW-paging (ell = 2) instance/trace.
+Instance ToRwInstance(const WbInstance& instance);
+Trace ToRwTrace(const WbTrace& trace);
+
+// RW-paging (ell = 2) instance/trace -> writeback instance/trace.
+WbInstance ToWbInstance(const Instance& instance);
+WbTrace ToWbTrace(const Trace& trace);
+
+// Runs an RW-paging policy on the reduced trace and mirrors its cache into
+// the writeback cache. By Lemma 2.1 the writeback cost never exceeds the RW
+// policy's cost on the reduced instance (a (p,2) -> (p,1) replacement in the
+// RW cache is free here: the page simply stays cached).
+class WbFromRwPolicy final : public WbPolicy {
+ public:
+  explicit WbFromRwPolicy(PolicyPtr inner);
+
+  void Attach(const WbInstance& instance) override;
+  void Serve(Time t, const WbRequest& r, WbCacheOps& ops) override;
+  std::string name() const override;
+
+ private:
+  PolicyPtr inner_;
+  std::unique_ptr<Instance> rw_instance_;
+  std::unique_ptr<CacheState> rw_cache_;
+  std::unique_ptr<CacheOps> rw_ops_;
+};
+
+}  // namespace wmlp::wb

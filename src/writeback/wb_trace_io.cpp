@@ -1,0 +1,107 @@
+#include "writeback/wb_trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace wmlp::wb {
+
+namespace {
+constexpr char kMagic[] = "wmlp-wbtrace v1";
+
+bool Fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+}  // namespace
+
+void WriteWbTrace(const WbTrace& trace, std::ostream& os) {
+  const WbInstance& inst = trace.instance;
+  os << kMagic << "\n";
+  os << inst.num_pages() << " " << inst.cache_size() << "\n";
+  os.precision(17);
+  for (PageId p = 0; p < inst.num_pages(); ++p) {
+    os << inst.dirty_weight(p) << " " << inst.clean_weight(p) << "\n";
+  }
+  os << trace.requests.size() << "\n";
+  for (const WbRequest& r : trace.requests) {
+    os << r.page << " " << (r.op == Op::kWrite ? 'W' : 'R') << "\n";
+  }
+}
+
+std::string WbTraceToString(const WbTrace& trace) {
+  std::ostringstream oss;
+  WriteWbTrace(trace, oss);
+  return oss.str();
+}
+
+std::optional<WbTrace> ReadWbTrace(std::istream& is, std::string* error) {
+  std::string magic;
+  std::getline(is, magic);
+  if (magic != kMagic) {
+    Fail(error, "bad magic line: '" + magic + "'");
+    return std::nullopt;
+  }
+  int32_t n = 0, k = 0;
+  if (!(is >> n >> k) || n < 1 || k < 1) {
+    Fail(error, "bad header (n k)");
+    return std::nullopt;
+  }
+  std::vector<Cost> w1(static_cast<size_t>(n));
+  std::vector<Cost> w2(static_cast<size_t>(n));
+  for (int32_t p = 0; p < n; ++p) {
+    if (!(is >> w1[static_cast<size_t>(p)] >> w2[static_cast<size_t>(p)])) {
+      Fail(error, "truncated weights");
+      return std::nullopt;
+    }
+    if (w2[static_cast<size_t>(p)] < 1.0 ||
+        w1[static_cast<size_t>(p)] < w2[static_cast<size_t>(p)]) {
+      Fail(error, "invalid weights (need w1 >= w2 >= 1)");
+      return std::nullopt;
+    }
+  }
+  int64_t len = 0;
+  if (!(is >> len) || len < 0) {
+    Fail(error, "bad trace length");
+    return std::nullopt;
+  }
+  WbTrace trace{WbInstance(n, k, std::move(w1), std::move(w2)), {}};
+  trace.requests.reserve(static_cast<size_t>(len));
+  for (int64_t t = 0; t < len; ++t) {
+    PageId page;
+    char op;
+    if (!(is >> page >> op) || !trace.instance.valid_page(page) ||
+        (op != 'R' && op != 'W')) {
+      Fail(error, "bad request record");
+      return std::nullopt;
+    }
+    trace.requests.push_back(
+        WbRequest{page, op == 'W' ? Op::kWrite : Op::kRead});
+  }
+  return trace;
+}
+
+std::optional<WbTrace> WbTraceFromString(const std::string& text,
+                                         std::string* error) {
+  std::istringstream iss(text);
+  return ReadWbTrace(iss, error);
+}
+
+bool WriteWbTraceFile(const WbTrace& trace, const std::string& path) {
+  std::ofstream ofs(path);
+  if (!ofs) return false;
+  WriteWbTrace(trace, ofs);
+  return static_cast<bool>(ofs);
+}
+
+std::optional<WbTrace> ReadWbTraceFile(const std::string& path,
+                                       std::string* error) {
+  std::ifstream ifs(path);
+  if (!ifs) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return ReadWbTrace(ifs, error);
+}
+
+}  // namespace wmlp::wb

@@ -1,0 +1,31 @@
+// Text (de)serialization for writeback traces.
+//
+// Format:
+//   wmlp-wbtrace v1
+//   n k
+//   <n lines: w1 w2>
+//   T
+//   <T lines: page op>     op: R or W
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "writeback/writeback_instance.h"
+
+namespace wmlp::wb {
+
+void WriteWbTrace(const WbTrace& trace, std::ostream& os);
+std::string WbTraceToString(const WbTrace& trace);
+
+std::optional<WbTrace> ReadWbTrace(std::istream& is,
+                                   std::string* error = nullptr);
+std::optional<WbTrace> WbTraceFromString(const std::string& text,
+                                         std::string* error = nullptr);
+
+bool WriteWbTraceFile(const WbTrace& trace, const std::string& path);
+std::optional<WbTrace> ReadWbTraceFile(const std::string& path,
+                                       std::string* error = nullptr);
+
+}  // namespace wmlp::wb

@@ -1,0 +1,75 @@
+#include "writeback/writeback_instance.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/zipf.h"
+
+namespace wmlp::wb {
+
+WbInstance::WbInstance(int32_t num_pages, int32_t cache_size,
+                       std::vector<Cost> dirty_weights,
+                       std::vector<Cost> clean_weights)
+    : num_pages_(num_pages),
+      cache_size_(cache_size),
+      w1_(std::move(dirty_weights)),
+      w2_(std::move(clean_weights)) {
+  WMLP_CHECK(num_pages >= 1 && cache_size >= 1);
+  WMLP_CHECK(static_cast<int32_t>(w1_.size()) == num_pages);
+  WMLP_CHECK(static_cast<int32_t>(w2_.size()) == num_pages);
+  for (int32_t p = 0; p < num_pages; ++p) {
+    WMLP_CHECK_MSG(w2_[static_cast<size_t>(p)] >= 1.0, "w2 >= 1");
+    WMLP_CHECK_MSG(
+        w1_[static_cast<size_t>(p)] >= w2_[static_cast<size_t>(p)],
+        "w1 >= w2");
+  }
+}
+
+WbTrace GenWbZipf(const WbWorkloadOptions& options) {
+  WMLP_CHECK(options.num_pages >= 1);
+  Rng rng(options.seed);
+  std::vector<Cost> w1(static_cast<size_t>(options.num_pages));
+  std::vector<Cost> w2(static_cast<size_t>(options.num_pages));
+  for (int32_t p = 0; p < options.num_pages; ++p) {
+    if (options.page_dependent) {
+      const double lo = std::log(options.clean_cost);
+      const double hi = std::log(options.dirty_cost);
+      const double c = std::exp(lo + rng.NextDouble() * (hi - lo));
+      const double d = std::exp(lo + rng.NextDouble() * (hi - lo));
+      w2[static_cast<size_t>(p)] = std::max(1.0, std::min(c, d));
+      w1[static_cast<size_t>(p)] = std::max(1.0, std::max(c, d));
+    } else {
+      w1[static_cast<size_t>(p)] = options.dirty_cost;
+      w2[static_cast<size_t>(p)] = options.clean_cost;
+    }
+  }
+  WbTrace trace{WbInstance(options.num_pages, options.cache_size,
+                           std::move(w1), std::move(w2)),
+                {}};
+  ZipfSampler zipf(options.num_pages, options.alpha);
+  trace.requests.reserve(static_cast<size_t>(options.length));
+  for (int64_t t = 0; t < options.length; ++t) {
+    trace.requests.push_back(
+        WbRequest{static_cast<PageId>(zipf.Sample(rng)),
+                  rng.NextBernoulli(options.write_ratio) ? Op::kWrite
+                                                         : Op::kRead});
+  }
+  return trace;
+}
+
+WbTrace GenWbLoop(int32_t num_pages, int32_t cache_size, int64_t length,
+                  int32_t loop_size, double dirty_cost, double clean_cost) {
+  WMLP_CHECK(loop_size >= 1 && loop_size <= num_pages);
+  std::vector<Cost> w1(static_cast<size_t>(num_pages), dirty_cost);
+  std::vector<Cost> w2(static_cast<size_t>(num_pages), clean_cost);
+  WbTrace trace{
+      WbInstance(num_pages, cache_size, std::move(w1), std::move(w2)), {}};
+  trace.requests.reserve(static_cast<size_t>(length));
+  for (int64_t t = 0; t < length; ++t) {
+    trace.requests.push_back(
+        WbRequest{static_cast<PageId>(t % loop_size), Op::kWrite});
+  }
+  return trace;
+}
+
+}  // namespace wmlp::wb

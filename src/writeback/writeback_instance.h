@@ -1,0 +1,74 @@
+// Writeback-aware caching (Section 2): reads and writes; evicting a dirty
+// page costs w1(p), evicting a clean page costs w2(p), w1(p) >= w2(p) >= 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/instance.h"
+#include "util/rng.h"
+
+namespace wmlp::wb {
+
+enum class Op : uint8_t { kRead, kWrite };
+
+struct WbRequest {
+  PageId page = 0;
+  Op op = Op::kRead;
+
+  friend bool operator==(const WbRequest&, const WbRequest&) = default;
+};
+
+class WbInstance {
+ public:
+  // dirty_weights[p] = w1(p), clean_weights[p] = w2(p).
+  WbInstance(int32_t num_pages, int32_t cache_size,
+             std::vector<Cost> dirty_weights, std::vector<Cost> clean_weights);
+
+  int32_t num_pages() const { return num_pages_; }
+  int32_t cache_size() const { return cache_size_; }
+  Cost dirty_weight(PageId p) const { return w1_[static_cast<size_t>(p)]; }
+  Cost clean_weight(PageId p) const { return w2_[static_cast<size_t>(p)]; }
+  bool valid_page(PageId p) const { return p >= 0 && p < num_pages_; }
+
+  friend bool operator==(const WbInstance&, const WbInstance&) = default;
+
+ private:
+  int32_t num_pages_;
+  int32_t cache_size_;
+  std::vector<Cost> w1_;
+  std::vector<Cost> w2_;
+};
+
+struct WbTrace {
+  WbInstance instance;
+  std::vector<WbRequest> requests;
+
+  Time length() const { return static_cast<Time>(requests.size()); }
+};
+
+// ---- Generators ----------------------------------------------------------
+
+struct WbWorkloadOptions {
+  int32_t num_pages = 64;
+  int32_t cache_size = 16;
+  int64_t length = 10000;
+  double alpha = 0.8;          // zipf skew of page popularity
+  double write_ratio = 0.3;    // probability a request is a write
+  double dirty_cost = 10.0;    // w1 for all pages
+  double clean_cost = 1.0;     // w2 for all pages
+  // If true, per-page costs are log-uniform in [clean_cost, dirty_cost]
+  // instead of uniform across pages (page-dependent costs, the paper's
+  // "weighted" generalization of [8]).
+  bool page_dependent = false;
+  uint64_t seed = 1;
+};
+
+WbTrace GenWbZipf(const WbWorkloadOptions& options);
+
+// Cyclic loop over loop_size pages, all requests writes: adversarial for
+// deterministic policies, maximal writeback pressure.
+WbTrace GenWbLoop(int32_t num_pages, int32_t cache_size, int64_t length,
+                  int32_t loop_size, double dirty_cost, double clean_cost);
+
+}  // namespace wmlp::wb

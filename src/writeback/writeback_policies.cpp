@@ -1,0 +1,114 @@
+#include "writeback/writeback_policies.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace wmlp::wb {
+
+// ---- WbLru ----------------------------------------------------------------
+
+void WbLru::Attach(const WbInstance& instance) {
+  order_.clear();
+  iters_.assign(static_cast<size_t>(instance.num_pages()), order_.end());
+  present_.assign(static_cast<size_t>(instance.num_pages()), false);
+}
+
+void WbLru::Touch(PageId p) {
+  const auto idx = static_cast<size_t>(p);
+  if (present_[idx]) order_.erase(iters_[idx]);
+  order_.push_front(p);
+  iters_[idx] = order_.begin();
+  present_[idx] = true;
+}
+
+void WbLru::Serve(Time /*t*/, const WbRequest& r, WbCacheOps& ops) {
+  if (!ops.cache().contains(r.page)) {
+    if (ops.cache().size() == ops.cache().capacity()) {
+      const PageId victim = order_.back();
+      order_.pop_back();
+      present_[static_cast<size_t>(victim)] = false;
+      ops.Evict(victim);
+    }
+    ops.Fetch(r.page);
+  }
+  Touch(r.page);
+}
+
+// ---- WbCleanFirstLru -------------------------------------------------------
+
+void WbCleanFirstLru::Attach(const WbInstance& instance) {
+  order_.clear();
+  iters_.assign(static_cast<size_t>(instance.num_pages()), order_.end());
+  present_.assign(static_cast<size_t>(instance.num_pages()), false);
+}
+
+void WbCleanFirstLru::Touch(PageId p) {
+  const auto idx = static_cast<size_t>(p);
+  if (present_[idx]) order_.erase(iters_[idx]);
+  order_.push_front(p);
+  iters_[idx] = order_.begin();
+  present_[idx] = true;
+}
+
+void WbCleanFirstLru::Serve(Time /*t*/, const WbRequest& r, WbCacheOps& ops) {
+  if (!ops.cache().contains(r.page)) {
+    if (ops.cache().size() == ops.cache().capacity()) {
+      // Least-recently-used clean page; fall back to LRU overall.
+      PageId victim = -1;
+      for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+        if (!ops.cache().dirty(*it)) {
+          victim = *it;
+          break;
+        }
+      }
+      if (victim < 0) victim = order_.back();
+      order_.erase(iters_[static_cast<size_t>(victim)]);
+      present_[static_cast<size_t>(victim)] = false;
+      ops.Evict(victim);
+    }
+    ops.Fetch(r.page);
+  }
+  Touch(r.page);
+}
+
+// ---- WbLandlord ------------------------------------------------------------
+
+void WbLandlord::Attach(const WbInstance& instance) {
+  credit_.assign(static_cast<size_t>(instance.num_pages()), 0.0);
+  offset_ = 0.0;
+}
+
+void WbLandlord::Serve(Time /*t*/, const WbRequest& r, WbCacheOps& ops) {
+  const WbInstance& inst = ops.instance();
+  const auto idx = static_cast<size_t>(r.page);
+  if (ops.cache().contains(r.page)) {
+    // Refresh credit to the current eviction cost; a write raises it to w1.
+    const Cost target = (r.op == Op::kWrite || ops.cache().dirty(r.page))
+                            ? inst.dirty_weight(r.page)
+                            : inst.clean_weight(r.page);
+    credit_[idx] = std::max(credit_[idx], offset_ + target);
+    return;
+  }
+  if (ops.cache().size() == ops.cache().capacity()) {
+    // Drop all credits by the minimum remaining credit; evict a zero.
+    double min_credit = std::numeric_limits<double>::infinity();
+    PageId victim = -1;
+    for (PageId q : ops.cache().pages()) {
+      const double c = credit_[static_cast<size_t>(q)] - offset_;
+      if (c < min_credit) {
+        min_credit = c;
+        victim = q;
+      }
+    }
+    WMLP_CHECK(victim >= 0);
+    offset_ += std::max(0.0, min_credit);
+    ops.Evict(victim);
+  }
+  ops.Fetch(r.page);
+  credit_[idx] = offset_ + (r.op == Op::kWrite ? inst.dirty_weight(r.page)
+                                               : inst.clean_weight(r.page));
+}
+
+}  // namespace wmlp::wb

@@ -1,0 +1,62 @@
+// Native writeback-aware baseline policies (systems heuristics), used as
+// comparators for the paper's algorithms in the E4 experiments.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "writeback/writeback_simulator.h"
+
+namespace wmlp::wb {
+
+// Cost-oblivious LRU: evicts the least-recently-used page, ignoring dirty
+// bits entirely. The "what systems did before writeback-awareness" baseline.
+class WbLru final : public WbPolicy {
+ public:
+  void Attach(const WbInstance& instance) override;
+  void Serve(Time t, const WbRequest& r, WbCacheOps& ops) override;
+  std::string name() const override { return "wb-lru"; }
+
+ private:
+  void Touch(PageId p);
+  std::list<PageId> order_;  // front = most recent
+  std::vector<std::list<PageId>::iterator> iters_;
+  std::vector<bool> present_;
+};
+
+// Clean-first LRU: evicts the least-recently-used *clean* page if any clean
+// page exists, else the least-recently-used page. The classic cheap
+// writeback-avoidance heuristic (cf. Linux page reclaim preferring clean).
+class WbCleanFirstLru final : public WbPolicy {
+ public:
+  void Attach(const WbInstance& instance) override;
+  void Serve(Time t, const WbRequest& r, WbCacheOps& ops) override;
+  std::string name() const override { return "wb-clean-first-lru"; }
+
+ private:
+  void Touch(PageId p);
+  std::list<PageId> order_;  // front = most recent
+  std::vector<std::list<PageId>::iterator> iters_;
+  std::vector<bool> present_;
+};
+
+// Writeback-aware Landlord/GreedyDual: each cached page carries credit equal
+// to its *current* eviction cost (w2 when clean, bumped to w1 when
+// dirtied); on a miss with a full cache, all credits drop by the minimum and
+// a zero-credit page is evicted. This is the natural extension of the
+// k-competitive weighted-caching algorithm to the writeback model (the
+// deterministic algorithm of Beckmann et al. [8] is of this family).
+class WbLandlord final : public WbPolicy {
+ public:
+  void Attach(const WbInstance& instance) override;
+  void Serve(Time t, const WbRequest& r, WbCacheOps& ops) override;
+  std::string name() const override { return "wb-landlord"; }
+
+ private:
+  // Lazy global-decrement: stored credit minus offset_ is the true credit.
+  std::vector<double> credit_;
+  double offset_ = 0.0;
+};
+
+}  // namespace wmlp::wb

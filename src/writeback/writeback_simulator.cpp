@@ -1,0 +1,89 @@
+#include "writeback/writeback_simulator.h"
+
+#include "util/check.h"
+
+namespace wmlp::wb {
+
+WbCacheState::WbCacheState(const WbInstance& instance)
+    : capacity_(instance.cache_size()),
+      state_(static_cast<size_t>(instance.num_pages()), 0),
+      pos_(static_cast<size_t>(instance.num_pages()), -1) {}
+
+void WbCacheState::Insert(PageId p) {
+  WMLP_CHECK_MSG(!contains(p), "page " << p << " already cached");
+  state_[static_cast<size_t>(p)] = 1;
+  pos_[static_cast<size_t>(p)] = static_cast<int32_t>(pages_.size());
+  pages_.push_back(p);
+  ++size_;
+}
+
+void WbCacheState::MarkDirty(PageId p) {
+  WMLP_CHECK_MSG(contains(p), "page " << p << " not cached");
+  state_[static_cast<size_t>(p)] = 2;
+}
+
+bool WbCacheState::Remove(PageId p) {
+  WMLP_CHECK_MSG(contains(p), "page " << p << " not cached");
+  const bool was_dirty = dirty(p);
+  state_[static_cast<size_t>(p)] = 0;
+  const int32_t idx = pos_[static_cast<size_t>(p)];
+  const PageId last = pages_.back();
+  pages_[static_cast<size_t>(idx)] = last;
+  pos_[static_cast<size_t>(last)] = idx;
+  pages_.pop_back();
+  pos_[static_cast<size_t>(p)] = -1;
+  --size_;
+  return was_dirty;
+}
+
+WbCacheOps::WbCacheOps(const WbInstance& instance, WbCacheState& state)
+    : instance_(instance), state_(state) {}
+
+void WbCacheOps::Fetch(PageId p) {
+  WMLP_CHECK(instance_.valid_page(p));
+  state_.Insert(p);
+}
+
+void WbCacheOps::Evict(PageId p) {
+  const bool was_dirty = state_.Remove(p);
+  const Cost w =
+      was_dirty ? instance_.dirty_weight(p) : instance_.clean_weight(p);
+  eviction_cost_ += w;
+  if (was_dirty) {
+    writeback_cost_ += instance_.dirty_weight(p) - instance_.clean_weight(p);
+    ++dirty_evictions_;
+  }
+  ++evictions_;
+}
+
+WbSimResult Simulate(const WbTrace& trace, WbPolicy& policy) {
+  const WbInstance& inst = trace.instance;
+  WbCacheState state(inst);
+  WbCacheOps ops(inst, state);
+  policy.Attach(inst);
+  WbSimResult result;
+  for (Time t = 0; t < trace.length(); ++t) {
+    const WbRequest& r = trace.requests[static_cast<size_t>(t)];
+    WMLP_CHECK(inst.valid_page(r.page));
+    const bool hit = state.contains(r.page);
+    policy.Serve(t, r, ops);
+    WMLP_CHECK_MSG(state.contains(r.page),
+                   policy.name() << " left page " << r.page
+                                 << " uncached at t=" << t);
+    WMLP_CHECK_MSG(state.size() <= state.capacity(),
+                   policy.name() << " overfilled cache at t=" << t);
+    if (r.op == Op::kWrite) state.MarkDirty(r.page);
+    if (hit) {
+      ++result.hits;
+    } else {
+      ++result.misses;
+    }
+  }
+  result.eviction_cost = ops.eviction_cost();
+  result.writeback_cost = ops.writeback_cost();
+  result.evictions = ops.evictions();
+  result.dirty_evictions = ops.dirty_evictions();
+  return result;
+}
+
+}  // namespace wmlp::wb

@@ -1,0 +1,86 @@
+// Native writeback-aware cache simulation: dirty bits, asymmetric eviction
+// costs. Mirrors sim/simulator.h for the writeback model.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "writeback/writeback_instance.h"
+
+namespace wmlp::wb {
+
+// Cache state with dirty bits. Dirtiness is managed by the simulator: a
+// write request to a cached page marks it dirty at zero cost; a page fetched
+// by a write request becomes dirty immediately.
+class WbCacheState {
+ public:
+  explicit WbCacheState(const WbInstance& instance);
+
+  bool contains(PageId p) const { return state_[static_cast<size_t>(p)] != 0; }
+  bool dirty(PageId p) const { return state_[static_cast<size_t>(p)] == 2; }
+  int32_t size() const { return size_; }
+  int32_t capacity() const { return capacity_; }
+  const std::vector<PageId>& pages() const { return pages_; }
+
+  void Insert(PageId p);          // clean; precondition: absent
+  void MarkDirty(PageId p);       // precondition: cached
+  bool Remove(PageId p);          // returns whether it was dirty
+
+ private:
+  int32_t capacity_;
+  int32_t size_ = 0;
+  std::vector<uint8_t> state_;    // 0 absent, 1 clean, 2 dirty
+  std::vector<int32_t> pos_;
+  std::vector<PageId> pages_;
+};
+
+class WbCacheOps {
+ public:
+  WbCacheOps(const WbInstance& instance, WbCacheState& state);
+
+  const WbInstance& instance() const { return instance_; }
+  const WbCacheState& cache() const { return state_; }
+
+  void Fetch(PageId p);   // fetched clean; simulator dirties on writes
+  void Evict(PageId p);   // charges w1 if dirty, w2 if clean
+
+  Cost eviction_cost() const { return eviction_cost_; }
+  Cost writeback_cost() const { return writeback_cost_; }
+  int64_t evictions() const { return evictions_; }
+  int64_t dirty_evictions() const { return dirty_evictions_; }
+
+ private:
+  const WbInstance& instance_;
+  WbCacheState& state_;
+  Cost eviction_cost_ = 0.0;
+  Cost writeback_cost_ = 0.0;  // the w1 - w2 premium paid on dirty evictions
+  int64_t evictions_ = 0;
+  int64_t dirty_evictions_ = 0;
+};
+
+class WbPolicy {
+ public:
+  virtual ~WbPolicy() = default;
+  virtual void Attach(const WbInstance& instance) = 0;
+  // On return, r.page must be cached and |cache| <= k.
+  virtual void Serve(Time t, const WbRequest& r, WbCacheOps& ops) = 0;
+  virtual std::string name() const = 0;
+};
+
+using WbPolicyPtr = std::unique_ptr<WbPolicy>;
+using WbPolicyFactory = std::function<WbPolicyPtr(uint64_t seed)>;
+
+struct WbSimResult {
+  Cost eviction_cost = 0.0;   // total: w1 per dirty + w2 per clean eviction
+  Cost writeback_cost = 0.0;  // (w1 - w2) premium part only
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t dirty_evictions = 0;
+};
+
+WbSimResult Simulate(const WbTrace& trace, WbPolicy& policy);
+
+}  // namespace wmlp::wb

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "baselines/lru.h"
+#include "baselines/marking.h"
+#include "harness/adversary_search.h"
+#include "offline/weighted_opt.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+
+namespace wmlp {
+namespace {
+
+TEST(AdversarySearch, RatioNeverDecreases) {
+  Instance inst = Instance::Uniform(12, 4);
+  AdversaryOptions opts;
+  opts.trace_length = 120;
+  opts.iterations = 60;
+  opts.seed = 3;
+  const AdversaryResult res = FindAdversarialTrace(
+      inst, [](uint64_t) { return std::make_unique<LruPolicy>(); }, opts);
+  EXPECT_GE(res.ratio, res.initial_ratio - 1e-12);
+  EXPECT_GT(res.ratio, 1.0);
+}
+
+TEST(AdversarySearch, ResultTraceIsValidAndReproducesRatio) {
+  Instance inst = Instance::Uniform(10, 4);
+  AdversaryOptions opts;
+  opts.trace_length = 100;
+  opts.iterations = 40;
+  opts.seed = 5;
+  const AdversaryResult res = FindAdversarialTrace(
+      inst, [](uint64_t) { return std::make_unique<LruPolicy>(); }, opts);
+  EXPECT_TRUE(ValidateTrace(res.trace));
+  const Cost opt = WeightedCachingOpt(res.trace);
+  ASSERT_GT(opt, 0.0);
+  LruPolicy lru;
+  EXPECT_NEAR(Simulate(res.trace, lru).eviction_cost / opt, res.ratio,
+              1e-9);
+  EXPECT_NEAR(opt, res.opt, 1e-9);
+}
+
+TEST(AdversarySearch, LruPushedTowardK) {
+  Instance inst = Instance::Uniform(10, 5);
+  AdversaryOptions opts;
+  opts.trace_length = 200;
+  opts.iterations = 100;
+  opts.seed = 7;
+  const AdversaryResult res = FindAdversarialTrace(
+      inst, [](uint64_t) { return std::make_unique<LruPolicy>(); }, opts);
+  // The loop already yields ~k; search must keep it >= 60% of k.
+  EXPECT_GT(res.ratio, 3.0);
+}
+
+TEST(AdversarySearch, RandomizedPolicyAveragedOverSeeds) {
+  Instance inst = Instance::Uniform(9, 4);
+  AdversaryOptions opts;
+  opts.trace_length = 100;
+  opts.iterations = 20;
+  opts.policy_trials = 3;
+  opts.seed = 9;
+  const AdversaryResult res = FindAdversarialTrace(
+      inst,
+      [](uint64_t seed) { return std::make_unique<MarkingPolicy>(seed); },
+      opts);
+  EXPECT_GT(res.ratio, 1.0);
+  // Marking's bound is Theta(log k): the search can't push it to k.
+  EXPECT_LT(res.ratio, 4.0);
+}
+
+TEST(AdversarySearch, RejectsMultiLevel) {
+  Instance inst(4, 2, 2, {{4.0, 1.0}, {4.0, 1.0}, {4.0, 1.0}, {4.0, 1.0}});
+  EXPECT_DEATH(
+      FindAdversarialTrace(
+          inst, [](uint64_t) { return std::make_unique<LruPolicy>(); }, {}),
+      "ell == 1");
+}
+
+}  // namespace
+}  // namespace wmlp

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/lru.h"
+#include "sim/simulator.h"
+#include "trace/analysis.h"
+#include "trace/generators.h"
+#include "trace/trace.h"
+
+namespace wmlp {
+namespace {
+
+TEST(StackDistance, LoopHasConstantDistance) {
+  Instance inst = Instance::Uniform(10, 4);
+  const Trace t = GenLoop(inst, 100, 5, LevelMix::AllLowest(1));
+  const auto profile = ComputeStackDistances(t);
+  EXPECT_EQ(profile.cold, 5);
+  // Every reuse of the 5-page loop has stack distance exactly 4.
+  EXPECT_EQ(profile.histogram[4], 95);
+  for (int d = 0; d < 4; ++d) EXPECT_EQ(profile.histogram[d], 0);
+}
+
+TEST(StackDistance, ImmediateRepeatIsDistanceZero) {
+  Instance inst = Instance::Uniform(4, 2);
+  Trace t{inst, {{0, 1}, {0, 1}, {1, 1}, {0, 1}}};
+  const auto profile = ComputeStackDistances(t);
+  EXPECT_EQ(profile.cold, 2);
+  EXPECT_EQ(profile.histogram[0], 1);  // the repeat of 0
+  EXPECT_EQ(profile.histogram[1], 1);  // 0 after 1
+}
+
+TEST(StackDistance, HitsAtCacheSizePredictsLru) {
+  // Mattson's inclusion property: an LRU cache of size c hits exactly the
+  // requests with stack distance < c. Cross-check against the simulator.
+  Instance inst = Instance::Uniform(32, 6);
+  const Trace t = GenZipf(inst, 3000, 0.9, LevelMix::AllLowest(1), 7);
+  const auto profile = ComputeStackDistances(t);
+  LruPolicy lru;
+  const SimResult res = Simulate(t, lru);
+  EXPECT_EQ(profile.HitsAtCacheSize(6), res.hits);
+}
+
+TEST(StackDistance, DeepAndTotalAccounting) {
+  Instance inst = Instance::Uniform(8, 2);
+  const Trace t = GenZipf(inst, 500, 0.3, LevelMix::AllLowest(1), 9);
+  const auto profile = ComputeStackDistances(t, /*max_distance=*/2);
+  EXPECT_EQ(profile.total_requests(), 500);
+  EXPECT_GT(profile.deep, 0);  // alpha=0.3 over 8 pages reuses deeply
+}
+
+TEST(WorkingSet, LoopAndPhases) {
+  Instance inst = Instance::Uniform(50, 4);
+  const Trace loop = GenLoop(inst, 500, 5, LevelMix::AllLowest(1));
+  EXPECT_NEAR(AverageWorkingSet(loop, 100), 5.0, 1e-9);
+  const Trace phases = GenPhases(inst, 1000, 8, 250, 0.3,
+                                 LevelMix::AllLowest(1), 3);
+  const double ws = AverageWorkingSet(phases, 250);
+  EXPECT_LE(ws, 8.0 + 1e-9);
+  EXPECT_GT(ws, 3.0);
+}
+
+TEST(MixTraces, RemapsAndPreservesOrder) {
+  Instance a = Instance::Uniform(4, 2);
+  Instance b = Instance::Uniform(3, 2);
+  Trace ta{a, {{0, 1}, {1, 1}, {2, 1}}};
+  Trace tb{b, {{0, 1}, {1, 1}}};
+  const Trace mixed = MixTraces({ta, tb}, {1.0, 1.0}, 3, 5);
+  EXPECT_EQ(mixed.instance.num_pages(), 7);
+  EXPECT_EQ(mixed.requests.size(), 5u);
+  EXPECT_TRUE(ValidateTrace(mixed));
+  // Component A's pages are 0..3; component B's pages are 4..6; each
+  // component's subsequence must preserve its original order.
+  std::vector<PageId> from_a, from_b;
+  for (const Request& r : mixed.requests) {
+    if (r.page < 4) {
+      from_a.push_back(r.page);
+    } else {
+      from_b.push_back(r.page - 4);
+    }
+  }
+  EXPECT_EQ(from_a, (std::vector<PageId>{0, 1, 2}));
+  EXPECT_EQ(from_b, (std::vector<PageId>{0, 1}));
+}
+
+TEST(MixTraces, WeightsBiasInterleaving) {
+  Instance a = Instance::Uniform(2, 2);
+  Instance b = Instance::Uniform(2, 2);
+  Trace ta{a, std::vector<Request>(500, Request{0, 1})};
+  Trace tb{b, std::vector<Request>(500, Request{0, 1})};
+  const Trace mixed = MixTraces({ta, tb}, {9.0, 1.0}, 2, 11);
+  // Early prefix should be dominated by component A.
+  int64_t a_early = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    if (mixed.requests[i].page < 2) ++a_early;
+  }
+  EXPECT_GT(a_early, 70);
+}
+
+TEST(MixTraces, RequiresMatchingLevels) {
+  Instance a = Instance::Uniform(2, 1);
+  Instance b(2, 1, 2, {{4.0, 1.0}, {4.0, 1.0}});
+  Trace ta{a, {{0, 1}}};
+  Trace tb{b, {{0, 2}}};
+  EXPECT_DEATH(MixTraces({ta, tb}, {1.0, 1.0}, 2, 1),
+               "share the level count");
+}
+
+TEST(MixTraces, MultiLevelWeightsPreserved) {
+  Instance a(2, 1, 2, {{8.0, 2.0}, {6.0, 1.0}});
+  Instance b(1, 1, 2, {{4.0, 1.0}});
+  Trace ta{a, {{1, 2}}};
+  Trace tb{b, {{0, 1}}};
+  const Trace mixed = MixTraces({ta, tb}, {1.0, 1.0}, 2, 3);
+  EXPECT_EQ(mixed.instance.weight(1, 1), 6.0);
+  EXPECT_EQ(mixed.instance.weight(2, 1), 4.0);  // b's page remapped to 2
+}
+
+}  // namespace
+}  // namespace wmlp

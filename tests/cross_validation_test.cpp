@@ -1,0 +1,211 @@
+// Independent-method cross-validation of the numeric substrates:
+//   - simplex vs brute-force vertex enumeration (Gaussian elimination),
+//   - min-cost flow vs an LP formulation of the same flow problem.
+// Agreement between structurally different solvers is the strongest
+// correctness evidence available without a reference implementation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "flow/min_cost_flow.h"
+#include "lp/lp_problem.h"
+#include "lp/simplex.h"
+#include "util/rng.h"
+
+namespace wmlp {
+namespace {
+
+// ---- Brute-force LP via vertex enumeration ---------------------------------
+//
+// For an LP with n variables, all >= 0, rows a_i x >= b_i (plus upper
+// bounds folded in as rows), every vertex of the feasible polyhedron is
+// the solution of n linearly independent tight constraints (chosen among
+// rows and the x_j >= 0 facets). Enumerate all n-subsets, solve, check
+// feasibility, take the best objective. Exponential — tests keep n <= 4.
+
+struct DenseRow {
+  std::vector<double> a;
+  double b;
+};
+
+// Solves A x = b by Gaussian elimination; returns false if singular.
+bool SolveSquare(std::vector<std::vector<double>> a, std::vector<double> b,
+                 std::vector<double>* x) {
+  const size_t n = b.size();
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    if (std::abs(a[pivot][col]) < 1e-9) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col] / a[col][col];
+      for (size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  x->resize(n);
+  for (size_t i = 0; i < n; ++i) (*x)[i] = b[i] / a[i][i];
+  return true;
+}
+
+// Minimizes c over the rows (all interpreted as a x >= b) with x >= 0.
+// Returns +inf if infeasible vertex-wise (caller only uses this when the
+// LP is known bounded & feasible).
+double BruteForceLp(const std::vector<double>& c,
+                    const std::vector<DenseRow>& rows) {
+  const size_t n = c.size();
+  // Candidate tight constraints: all rows plus the n nonnegativity facets.
+  std::vector<DenseRow> facets = rows;
+  for (size_t j = 0; j < n; ++j) {
+    DenseRow r;
+    r.a.assign(n, 0.0);
+    r.a[j] = 1.0;
+    r.b = 0.0;
+    facets.push_back(r);
+  }
+  const size_t m = facets.size();
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<size_t> pick(n);
+  // Enumerate n-subsets of facets via recursion.
+  std::function<void(size_t, size_t)> rec = [&](size_t start, size_t depth) {
+    if (depth == n) {
+      std::vector<std::vector<double>> a(n);
+      std::vector<double> b(n);
+      for (size_t i = 0; i < n; ++i) {
+        a[i] = facets[pick[i]].a;
+        b[i] = facets[pick[i]].b;
+      }
+      std::vector<double> x;
+      if (!SolveSquare(a, b, &x)) return;
+      // Feasibility.
+      for (double v : x) {
+        if (v < -1e-7) return;
+      }
+      for (const DenseRow& r : rows) {
+        double lhs = 0.0;
+        for (size_t j = 0; j < n; ++j) lhs += r.a[j] * x[j];
+        if (lhs < r.b - 1e-7) return;
+      }
+      double obj = 0.0;
+      for (size_t j = 0; j < n; ++j) obj += c[j] * x[j];
+      best = std::min(best, obj);
+      return;
+    }
+    for (size_t i = start; i + (n - depth - 1) < m; ++i) {
+      pick[depth] = i;
+      rec(i + 1, depth + 1);
+    }
+  };
+  rec(0, 0);
+  return best;
+}
+
+TEST(CrossValidation, SimplexMatchesVertexEnumeration) {
+  Rng rng(2024);
+  int solved = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t n = 2 + rng.NextBounded(3);  // 2..4 variables
+    const size_t m = 2 + rng.NextBounded(4);  // 2..5 rows
+    std::vector<double> c(n);
+    for (auto& v : c) v = 0.2 + rng.NextDouble() * 2.0;  // positive => bounded
+    std::vector<DenseRow> rows(m);
+    LpProblem lp;
+    for (size_t j = 0; j < n; ++j) lp.AddVariable(c[j]);
+    for (size_t i = 0; i < m; ++i) {
+      rows[i].a.resize(n);
+      LpConstraint con;
+      con.sense = ConstraintSense::kGe;
+      for (size_t j = 0; j < n; ++j) {
+        rows[i].a[j] = rng.NextDouble() * 2.0 - 0.4;
+        con.index.push_back(static_cast<int32_t>(j));
+        con.coef.push_back(rows[i].a[j]);
+      }
+      rows[i].b = rng.NextDouble() * 2.0;
+      con.rhs = rows[i].b;
+      lp.AddConstraint(std::move(con));
+    }
+    const auto res = SolveLp(lp);
+    const double brute = BruteForceLp(c, rows);
+    if (res.status == SimplexStatus::kInfeasible) {
+      EXPECT_TRUE(std::isinf(brute)) << "trial " << trial;
+      continue;
+    }
+    ASSERT_EQ(res.status, SimplexStatus::kOptimal) << "trial " << trial;
+    ASSERT_FALSE(std::isinf(brute)) << "trial " << trial;
+    EXPECT_NEAR(res.objective, brute, 1e-6) << "trial " << trial;
+    ++solved;
+  }
+  EXPECT_GE(solved, 20);  // most random instances should be feasible
+}
+
+// ---- Min-cost flow vs LP ----------------------------------------------------
+
+TEST(CrossValidation, MinCostFlowMatchesLpFormulation) {
+  Rng rng(4048);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int32_t num_nodes = 4 + static_cast<int32_t>(rng.NextBounded(3));
+    const int32_t num_arcs = 6 + static_cast<int32_t>(rng.NextBounded(6));
+    struct ArcSpec {
+      int32_t from, to;
+      int64_t cap;
+      double cost;
+    };
+    std::vector<ArcSpec> arcs;
+    MinCostFlow mcf(num_nodes);
+    for (int32_t i = 0; i < num_arcs; ++i) {
+      ArcSpec a;
+      a.from = static_cast<int32_t>(rng.NextBounded(
+          static_cast<uint64_t>(num_nodes)));
+      do {
+        a.to = static_cast<int32_t>(rng.NextBounded(
+            static_cast<uint64_t>(num_nodes)));
+      } while (a.to == a.from);
+      a.cap = 1 + static_cast<int64_t>(rng.NextBounded(4));
+      a.cost = rng.NextDouble() * 5.0;  // nonnegative: no negative cycles
+      mcf.AddArc(a.from, a.to, a.cap, a.cost);
+      arcs.push_back(a);
+    }
+    const int32_t source = 0;
+    const int32_t sink = num_nodes - 1;
+    const int64_t want = 1 + static_cast<int64_t>(rng.NextBounded(3));
+    const auto flow_res = mcf.Solve(source, sink, want);
+
+    // LP: min sum c_e f_e  s.t.  flow conservation with value = shipped,
+    // 0 <= f_e <= cap_e. Uses the flow value the solver achieved (the LP
+    // checks optimality for that value, which is what SSP guarantees).
+    LpProblem lp;
+    for (const auto& a : arcs) lp.AddVariable(a.cost,
+                                              static_cast<double>(a.cap));
+    for (int32_t v = 0; v < num_nodes; ++v) {
+      LpConstraint con;
+      con.sense = ConstraintSense::kEq;
+      double rhs = 0.0;
+      if (v == source) rhs = static_cast<double>(flow_res.flow);
+      if (v == sink) rhs = -static_cast<double>(flow_res.flow);
+      con.rhs = rhs;
+      for (size_t e = 0; e < arcs.size(); ++e) {
+        if (arcs[e].from == v) {
+          con.index.push_back(static_cast<int32_t>(e));
+          con.coef.push_back(1.0);
+        } else if (arcs[e].to == v) {
+          con.index.push_back(static_cast<int32_t>(e));
+          con.coef.push_back(-1.0);
+        }
+      }
+      if (con.index.empty() && rhs == 0.0) continue;
+      lp.AddConstraint(std::move(con));
+    }
+    const auto lp_res = SolveLp(lp);
+    ASSERT_EQ(lp_res.status, SimplexStatus::kOptimal) << "trial " << trial;
+    EXPECT_NEAR(lp_res.objective, flow_res.cost, 1e-6) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace wmlp

@@ -1,0 +1,194 @@
+// Boundary and degenerate-input behaviour across modules: each test pins a
+// contract the rest of the code relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "baselines/landlord.h"
+#include "baselines/lru.h"
+#include "core/randomized.h"
+#include "core/waterfill.h"
+#include "flow/min_cost_flow.h"
+#include "lp/simplex.h"
+#include "offline/belady.h"
+#include "offline/multilevel_dp.h"
+#include "offline/weighted_opt.h"
+#include "sim/simulator.h"
+#include "trace/generators.h"
+#include "trace/trace_io.h"
+#include "util/stats.h"
+
+namespace wmlp {
+namespace {
+
+// ---- Degenerate cache sizes -------------------------------------------------
+
+TEST(EdgeCases, CacheSizeOneForcesEverything) {
+  Instance inst = Instance::Uniform(4, 1);
+  const Trace t = GenLoop(inst, 40, 4, LevelMix::AllLowest(1));
+  // Every policy has zero choice: all costs equal, OPT included.
+  LruPolicy lru;
+  LandlordPolicy landlord;
+  WaterfillPolicy waterfill;
+  const Cost c1 = Simulate(t, lru).eviction_cost;
+  const Cost c2 = Simulate(t, landlord).eviction_cost;
+  const Cost c3 = Simulate(t, waterfill).eviction_cost;
+  const Cost opt = WeightedCachingOpt(t);
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(c2, c3);
+  EXPECT_NEAR(c1, opt, 1e-9);
+}
+
+TEST(EdgeCases, CacheHoldsWholeUniverse) {
+  Instance inst = Instance::Uniform(6, 6);
+  const Trace t = GenZipf(inst, 200, 0.8, LevelMix::AllLowest(1), 1);
+  PolicyPtr p = MakeRandomizedPolicy(2);
+  const SimResult res = Simulate(t, *p);
+  EXPECT_EQ(res.evictions, 0);
+  EXPECT_NEAR(WeightedCachingOpt(t), 0.0, 1e-9);
+}
+
+TEST(EdgeCases, SingleRequestTrace) {
+  Instance inst = Instance::Uniform(3, 2);
+  Trace t{inst, {{1, 1}}};
+  WaterfillPolicy p;
+  const SimResult res = Simulate(t, p);
+  EXPECT_EQ(res.misses, 1);
+  EXPECT_EQ(res.evictions, 0);
+  EXPECT_NEAR(BeladyRun(t).eviction_cost, 0.0, 1e-12);
+}
+
+TEST(EdgeCases, RepeatedSameRequest) {
+  Instance inst(2, 1, 2, {{8.0, 2.0}, {8.0, 2.0}});
+  Trace t{inst, std::vector<Request>(50, Request{0, 2})};
+  PolicyPtr p = MakeRandomizedPolicy(3);
+  const SimResult res = Simulate(t, *p);
+  EXPECT_EQ(res.hits, 49);
+  EXPECT_NEAR(MultiLevelOptimal(t), 0.0, 1e-12);
+}
+
+// ---- Level boundary cases ---------------------------------------------------
+
+TEST(EdgeCases, AlwaysLevelOneIsWeightedPagingAtTopWeights) {
+  // Requests pinned to level 1 make lower copies useless; the optimum
+  // equals the ell = 1 optimum at the level-1 weights.
+  Instance ml(4, 2, 2, {{8.0, 1.0}, {6.0, 1.0}, {4.0, 1.0}, {2.0, 1.0}});
+  Instance single(4, 2, 1, {{8.0}, {6.0}, {4.0}, {2.0}});
+  const Trace base = GenZipf(single, 40, 0.6, LevelMix::AllLowest(1), 5);
+  Trace ml_trace{ml, base.requests};  // same pages, level 1 everywhere
+  EXPECT_NEAR(MultiLevelOptimal(ml_trace), WeightedCachingOpt(base), 1e-9);
+}
+
+TEST(EdgeCases, ManyLevelsSinglePage) {
+  // One page, ell = 4, k = 1: requests ping between levels; OPT fetches
+  // the highest level it will ever need and pays only forced transitions.
+  Instance inst(1, 1, 4, {{16.0, 8.0, 4.0, 1.0}});
+  Trace t{inst, {{0, 4}, {0, 2}, {0, 4}, {0, 1}, {0, 3}}};
+  // Fetch (0,1) at t0 serves everything: cost 0.
+  EXPECT_NEAR(MultiLevelOptimal(t), 0.0, 1e-12);
+  WaterfillPolicy p;
+  const SimResult res = Simulate(t, p);
+  EXPECT_GE(res.eviction_cost, 0.0);
+}
+
+// ---- Numeric substrates -----------------------------------------------------
+
+TEST(EdgeCases, FlowZeroCapacityArcIgnored) {
+  MinCostFlow mcf(2);
+  mcf.AddArc(0, 1, 0, -100.0);
+  const auto res = mcf.Solve(0, 1);
+  EXPECT_EQ(res.flow, 0);
+  EXPECT_EQ(res.cost, 0.0);
+}
+
+TEST(EdgeCases, FlowSelfParallelArcs) {
+  MinCostFlow mcf(2);
+  mcf.AddArc(0, 1, 1, 5.0);
+  mcf.AddArc(0, 1, 1, 1.0);
+  const auto res = mcf.Solve(0, 1, 2);
+  EXPECT_EQ(res.flow, 2);
+  EXPECT_NEAR(res.cost, 6.0, 1e-9);
+}
+
+TEST(EdgeCases, SimplexEmptyObjective) {
+  LpProblem lp;
+  lp.AddVariable(0.0, 1.0);
+  lp.AddConstraint({{0}, {1.0}, ConstraintSense::kGe, 0.5});
+  const auto res = SolveLp(lp);
+  ASSERT_EQ(res.status, SimplexStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 0.0, 1e-9);
+  EXPECT_GE(res.x[0], 0.5 - 1e-9);
+}
+
+TEST(EdgeCases, SimplexTightEquality) {
+  LpProblem lp;
+  lp.AddVariable(1.0, 2.0);
+  lp.AddConstraint({{0}, {1.0}, ConstraintSense::kEq, 2.0});  // at the UB
+  const auto res = SolveLp(lp);
+  ASSERT_EQ(res.status, SimplexStatus::kOptimal);
+  EXPECT_NEAR(res.x[0], 2.0, 1e-9);
+}
+
+TEST(EdgeCases, StatsPercentileSingleElement) {
+  EXPECT_EQ(Percentile({42.0}, 0.0), 42.0);
+  EXPECT_EQ(Percentile({42.0}, 1.0), 42.0);
+  EXPECT_EQ(Percentile({42.0}, 0.5), 42.0);
+}
+
+// ---- Trace IO precision -----------------------------------------------------
+
+TEST(EdgeCases, TraceIoPreservesDoublesExactly) {
+  Instance inst(2, 1, 1, {{3.141592653589793}, {2.718281828459045}});
+  Trace t{inst, {{0, 1}, {1, 1}}};
+  const auto back = TraceFromString(TraceToString(t));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->instance.weight(0, 1), 3.141592653589793);
+  EXPECT_EQ(back->instance.weight(1, 1), 2.718281828459045);
+}
+
+TEST(EdgeCases, EmptyTraceRoundTrips) {
+  Instance inst = Instance::Uniform(2, 1);
+  Trace t{inst, {}};
+  const auto back = TraceFromString(TraceToString(t));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->requests.empty());
+}
+
+// ---- Randomized stack corner configs ---------------------------------------
+
+TEST(EdgeCases, RandomizedWithKEqualsNMinusOne) {
+  // Tightest possible cache: n = k + 1, so the fractional solution must
+  // keep exactly one unit of mass evicted at all times.
+  Instance inst = Instance::Uniform(5, 4);
+  const Trace t = GenZipf(inst, 300, 0.9, LevelMix::AllLowest(1), 7);
+  PolicyPtr p = MakeRandomizedPolicy(8);
+  const SimResult res = Simulate(t, *p);
+  EXPECT_GT(res.hits + res.misses, 0);
+}
+
+TEST(EdgeCases, RandomizedExtremeWeightSpread) {
+  Instance inst(8, 3, 1,
+                {{1024.0}, {512.0}, {128.0}, {16.0},
+                 {4.0}, {2.0}, {1.0}, {1.0}});
+  const Trace t = GenZipf(inst, 400, 0.7, LevelMix::AllLowest(1), 9);
+  PolicyPtr p = MakeRandomizedPolicy(10);
+  const SimResult res = Simulate(t, *p);
+  const Cost opt = WeightedCachingOpt(t);
+  EXPECT_GE(res.eviction_cost, opt - 1e-9);
+}
+
+TEST(EdgeCases, BetaOneDegradesGracefully) {
+  // beta = 1: the rounding tracks the fractional solution exactly and
+  // leans on resets; must stay feasible everywhere.
+  Instance inst = Instance::Uniform(12, 4);
+  const Trace t = GenLoop(inst, 600, 5, LevelMix::AllLowest(1));
+  RandomizedOptions opts;
+  opts.beta = 1.0;
+  PolicyPtr p = MakeRandomizedPolicy(11, opts);
+  const SimResult res = Simulate(t, *p);
+  EXPECT_GT(res.misses, 0);
+}
+
+}  // namespace
+}  // namespace wmlp

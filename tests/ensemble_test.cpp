@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "setcover/reduction.h"
+#include "setcover/set_system.h"
+#include "trace/trace.h"
+
+namespace wmlp {
+namespace {
+
+using sc::GenPhaseEnsemble;
+using sc::SetSystem;
+
+SetSystem System() { return sc::GenRandomSetSystem(20, 8, 0.2, 7); }
+
+TEST(PhaseEnsemble, ShapesAndBounds) {
+  const SetSystem sys = System();
+  const auto phases = GenPhaseEnsemble(sys, 4, 10, 6, 1);
+  ASSERT_EQ(phases.size(), 10u);
+  for (const auto& phase : phases) {
+    ASSERT_EQ(phase.size(), 6u);
+    std::set<int32_t> uniq(phase.begin(), phase.end());
+    EXPECT_EQ(uniq.size(), 6u);  // subsets: no duplicate elements
+    for (int32_t e : phase) {
+      EXPECT_GE(e, 0);
+      EXPECT_LT(e, sys.num_elements());
+    }
+  }
+}
+
+TEST(PhaseEnsemble, PhasesDrawnFromCandidates) {
+  const SetSystem sys = System();
+  const auto phases = GenPhaseEnsemble(sys, 3, 20, 5, 2);
+  // With 3 candidates and 20 phases, at most 3 distinct sequences appear
+  // and at least one repeats.
+  std::set<std::vector<int32_t>> distinct(phases.begin(), phases.end());
+  EXPECT_LE(distinct.size(), 3u);
+  EXPECT_LT(distinct.size(), phases.size());
+}
+
+TEST(PhaseEnsemble, DeterministicInSeed) {
+  const SetSystem sys = System();
+  const auto a = GenPhaseEnsemble(sys, 4, 8, 6, 5);
+  const auto b = GenPhaseEnsemble(sys, 4, 8, 6, 5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PhaseEnsemble, FullUniverseSequences) {
+  const SetSystem sys = System();
+  const auto phases =
+      GenPhaseEnsemble(sys, 2, 4, sys.num_elements(), 6);
+  for (const auto& phase : phases) {
+    std::set<int32_t> uniq(phase.begin(), phase.end());
+    EXPECT_EQ(static_cast<int32_t>(uniq.size()), sys.num_elements());
+  }
+}
+
+TEST(PhaseEnsemble, BuildsValidReductionTraces) {
+  const SetSystem sys = System();
+  const auto phases = GenPhaseEnsemble(sys, 3, 5, 8, 9);
+  sc::ReductionOptions opts;
+  opts.repetitions = 2;
+  const auto red = sc::BuildRwPagingTrace(sys, phases, opts);
+  EXPECT_EQ(red.phase_ranges.size(), 5u);
+  std::string err;
+  EXPECT_TRUE(ValidateTrace(red.trace, &err)) << err;
+}
+
+}  // namespace
+}  // namespace wmlp

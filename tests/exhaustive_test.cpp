@@ -1,0 +1,132 @@
+// The lazy DPs (multilevel_dp) vs assumption-free exhaustive DPs
+// (exhaustive): agreement on random tiny instances validates the
+// laziness-is-WLOG argument the fast optima rely on.
+#include <gtest/gtest.h>
+
+#include "offline/exhaustive.h"
+#include "offline/multilevel_dp.h"
+#include "offline/weighted_opt.h"
+#include "trace/generators.h"
+#include "util/rng.h"
+#include "writeback/rw_reduction.h"
+
+namespace wmlp {
+namespace {
+
+TEST(Exhaustive, MatchesLazyDpSingleLevel) {
+  Rng seeds(101);
+  for (int trial = 0; trial < 8; ++trial) {
+    Instance inst(4, 2, 1,
+                  MakeWeights(4, 1, WeightModel::kLogUniform, 8.0,
+                              seeds.Next()));
+    const Trace t = GenZipf(inst, 18, 0.5, LevelMix::AllLowest(1),
+                            seeds.Next());
+    EXPECT_NEAR(MultiLevelOptimalExhaustive(t), MultiLevelOptimal(t), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(Exhaustive, MatchesLazyDpTwoLevels) {
+  Rng seeds(102);
+  for (int trial = 0; trial < 8; ++trial) {
+    Instance inst(4, 2, 2,
+                  MakeWeights(4, 2, WeightModel::kGeometricLevels, 4.0,
+                              seeds.Next()));
+    const Trace t = GenZipf(inst, 16, 0.5, LevelMix::UniformMix(2),
+                            seeds.Next());
+    EXPECT_NEAR(MultiLevelOptimalExhaustive(t), MultiLevelOptimal(t), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(Exhaustive, MatchesLazyDpThreeLevels) {
+  Rng seeds(103);
+  for (int trial = 0; trial < 5; ++trial) {
+    Instance inst(3, 2, 3,
+                  MakeWeights(3, 3, WeightModel::kGeometricLevels, 8.0,
+                              seeds.Next()));
+    const Trace t = GenZipf(inst, 14, 0.5, LevelMix::UniformMix(3),
+                            seeds.Next());
+    EXPECT_NEAR(MultiLevelOptimalExhaustive(t), MultiLevelOptimal(t), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(Exhaustive, MatchesFlowOnWeightedPaging) {
+  Rng seeds(104);
+  for (int trial = 0; trial < 5; ++trial) {
+    Instance inst(5, 3, 1,
+                  MakeWeights(5, 1, WeightModel::kLogUniform, 8.0,
+                              seeds.Next()));
+    const Trace t = GenZipf(inst, 20, 0.6, LevelMix::AllLowest(1),
+                            seeds.Next());
+    EXPECT_NEAR(MultiLevelOptimalExhaustive(t), WeightedCachingOpt(t), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(Exhaustive, WritebackMatchesLazyDp) {
+  Rng seeds(105);
+  for (int trial = 0; trial < 8; ++trial) {
+    wb::WbWorkloadOptions opts;
+    opts.num_pages = 4;
+    opts.cache_size = 2;
+    opts.length = 16;
+    opts.write_ratio = 0.4;
+    opts.dirty_cost = 6.0;
+    opts.clean_cost = 1.0;
+    opts.page_dependent = trial % 2 == 0;
+    opts.seed = seeds.Next();
+    const wb::WbTrace t = wb::GenWbZipf(opts);
+    EXPECT_NEAR(WritebackOptimalExhaustive(t), WritebackOptimal(t), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(Exhaustive, WritebackEquivalenceTriangle) {
+  // Three independent computations of the same optimum: native writeback
+  // exhaustive, native writeback lazy, multi-level lazy on the reduction.
+  wb::WbWorkloadOptions opts;
+  opts.num_pages = 4;
+  opts.cache_size = 2;
+  opts.length = 20;
+  opts.write_ratio = 0.5;
+  opts.dirty_cost = 4.0;
+  opts.clean_cost = 1.0;
+  opts.seed = 99;
+  const wb::WbTrace t = wb::GenWbZipf(opts);
+  const Cost a = WritebackOptimalExhaustive(t);
+  const Cost b = WritebackOptimal(t);
+  const Cost c = MultiLevelOptimal(wb::ToRwTrace(t));
+  EXPECT_NEAR(a, b, 1e-9);
+  EXPECT_NEAR(b, c, 1e-9);
+}
+
+TEST(Exhaustive, RefusesHugeStateSpaces) {
+  Instance inst = Instance::Uniform(30, 4);
+  Trace t{inst, {{0, 1}}};
+  EXPECT_DEATH(MultiLevelOptimalExhaustive(t), "too large");
+}
+
+TEST(Exhaustive, EmptyTraceIsFree) {
+  Instance inst = Instance::Uniform(3, 2);
+  Trace t{inst, {}};
+  EXPECT_EQ(MultiLevelOptimalExhaustive(t), 0.0);
+}
+
+TEST(Exhaustive, DirtyCleaningViaRefetchConsidered) {
+  // One page, k = 1: write then many reads then eviction pressure never
+  // happens... craft: W0, R1, R0: evicting dirty 0 costs w1; the exhaustive
+  // DP may also evict-and-refetch 0 clean before t1 (cost w1, then the
+  // final eviction would be w2) — with only these three requests, OPT is
+  // simply w1 (evict dirty 0 once for page 1).
+  wb::WbInstance inst(2, 1, {5.0, 5.0}, {1.0, 1.0});
+  wb::WbTrace t{inst,
+                {{0, wb::Op::kWrite}, {1, wb::Op::kRead},
+                 {0, wb::Op::kRead}}};
+  EXPECT_NEAR(WritebackOptimalExhaustive(t), 5.0 + 1.0, 1e-9);
+  EXPECT_NEAR(WritebackOptimal(t), 5.0 + 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace wmlp

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "flow/min_cost_flow.h"
+
+namespace wmlp {
+namespace {
+
+TEST(MinCostFlow, SingleArc) {
+  MinCostFlow mcf(2);
+  const int arc = mcf.AddArc(0, 1, 5, 2.0);
+  const auto res = mcf.Solve(0, 1);
+  EXPECT_EQ(res.flow, 5);
+  EXPECT_NEAR(res.cost, 10.0, 1e-9);
+  EXPECT_EQ(mcf.Flow(arc), 5);
+}
+
+TEST(MinCostFlow, PrefersCheaperPath) {
+  // Two parallel paths 0->1->3 (cost 1+1) and 0->2->3 (cost 3+3), cap 1 each.
+  MinCostFlow mcf(4);
+  mcf.AddArc(0, 1, 1, 1.0);
+  mcf.AddArc(1, 3, 1, 1.0);
+  mcf.AddArc(0, 2, 1, 3.0);
+  mcf.AddArc(2, 3, 1, 3.0);
+  const auto one = mcf.Solve(0, 3, 1);
+  EXPECT_EQ(one.flow, 1);
+  EXPECT_NEAR(one.cost, 2.0, 1e-9);
+}
+
+TEST(MinCostFlow, FullFlowUsesBothPaths) {
+  MinCostFlow mcf(4);
+  mcf.AddArc(0, 1, 1, 1.0);
+  mcf.AddArc(1, 3, 1, 1.0);
+  mcf.AddArc(0, 2, 1, 3.0);
+  mcf.AddArc(2, 3, 1, 3.0);
+  const auto res = mcf.Solve(0, 3);
+  EXPECT_EQ(res.flow, 2);
+  EXPECT_NEAR(res.cost, 8.0, 1e-9);
+}
+
+TEST(MinCostFlow, StopsAtMaxFlow) {
+  MinCostFlow mcf(2);
+  mcf.AddArc(0, 1, 10, 1.0);
+  const auto res = mcf.Solve(0, 1, 4);
+  EXPECT_EQ(res.flow, 4);
+  EXPECT_NEAR(res.cost, 4.0, 1e-9);
+}
+
+TEST(MinCostFlow, NegativeArcCosts) {
+  // Profitable detour: 0->1 cost 1, or 0->2->1 with total cost -2.
+  MinCostFlow mcf(3);
+  mcf.AddArc(0, 1, 1, 1.0);
+  mcf.AddArc(0, 2, 1, -1.0);
+  mcf.AddArc(2, 1, 1, -1.0);
+  const auto res = mcf.Solve(0, 1, 1);
+  EXPECT_EQ(res.flow, 1);
+  EXPECT_NEAR(res.cost, -2.0, 1e-9);
+}
+
+TEST(MinCostFlow, ResidualReroutes) {
+  // Classic case where the second augmentation must push back over the
+  // first path's arc: 0->1 (1, 0), 1->3 (1, 0), 0->2 (1, 2), 2->1 via
+  // residual... construct: arcs 0->1 cap1 cost0; 0->2 cap1 cost2;
+  // 1->2 cap1 cost0; 1->3 cap1 cost2; 2->3 cap1 cost0.
+  MinCostFlow mcf(4);
+  mcf.AddArc(0, 1, 1, 0.0);
+  mcf.AddArc(0, 2, 1, 2.0);
+  mcf.AddArc(1, 2, 1, 0.0);
+  mcf.AddArc(1, 3, 1, 2.0);
+  mcf.AddArc(2, 3, 1, 0.0);
+  const auto res = mcf.Solve(0, 3);
+  EXPECT_EQ(res.flow, 2);
+  // Optimal: 0->1->2->3 (0) and 0->2? cap of 2->3 is 1... flow 2 needs
+  // 0->1->3 (2) + 0->2->3 (2) = 4, or 0->1->2->3 (0) + 0->2 blocked ->
+  // 0->2 then 2->3 full: must use 1->3: total = 0 + 2+2 = 4.
+  EXPECT_NEAR(res.cost, 4.0, 1e-9);
+}
+
+TEST(MinCostFlow, DisconnectedReturnsZero) {
+  MinCostFlow mcf(3);
+  mcf.AddArc(0, 1, 1, 1.0);
+  const auto res = mcf.Solve(0, 2);
+  EXPECT_EQ(res.flow, 0);
+  EXPECT_EQ(res.cost, 0.0);
+}
+
+TEST(MinCostFlow, AddNode) {
+  MinCostFlow mcf(1);
+  const int32_t v = mcf.AddNode();
+  EXPECT_EQ(v, 1);
+  EXPECT_EQ(mcf.num_nodes(), 2);
+  mcf.AddArc(0, v, 3, 1.5);
+  const auto res = mcf.Solve(0, v);
+  EXPECT_EQ(res.flow, 3);
+  EXPECT_NEAR(res.cost, 4.5, 1e-9);
+}
+
+TEST(MinCostFlow, PathNetworkWithIntervalArcs) {
+  // Mimics the weighted-caching OPT network: path 0..3 cap 1 cost 0,
+  // interval arcs with negative cost; best single unit takes the most
+  // profitable chain of disjoint intervals.
+  MinCostFlow mcf(4);
+  for (int t = 0; t < 3; ++t) mcf.AddArc(t, t + 1, 1, 0.0);
+  mcf.AddArc(0, 2, 1, -5.0);  // interval A
+  mcf.AddArc(2, 3, 1, -4.0);  // interval B (disjoint with A)
+  mcf.AddArc(0, 3, 1, -8.0);  // interval C overlapping both
+  const auto res = mcf.Solve(0, 3, 1);
+  EXPECT_EQ(res.flow, 1);
+  EXPECT_NEAR(res.cost, -9.0, 1e-9);  // A + B beats C
+}
+
+TEST(MinCostFlow, FlowPerArcQuery) {
+  MinCostFlow mcf(3);
+  const int a = mcf.AddArc(0, 1, 2, 1.0);
+  const int b = mcf.AddArc(1, 2, 1, 1.0);
+  mcf.Solve(0, 2);
+  EXPECT_EQ(mcf.Flow(a), 1);  // bottlenecked by b
+  EXPECT_EQ(mcf.Flow(b), 1);
+}
+
+}  // namespace
+}  // namespace wmlp

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "core/fractional_linear.h"
+#include "core/randomized.h"
+#include "lp/paging_lp.h"
+#include "offline/weighted_opt.h"
+#include "sim/simulator.h"
+#include "trace/generators.h"
+#include "util/rng.h"
+
+namespace wmlp {
+namespace {
+
+FracSchedule RunRecorded(FractionalPolicy& frac, const Trace& trace) {
+  frac.Attach(trace.instance);
+  FracSchedule sched;
+  const size_t width = static_cast<size_t>(trace.instance.num_pages()) *
+                       static_cast<size_t>(trace.instance.num_levels());
+  sched.u.emplace_back(width, 1.0);
+  for (Time t = 0; t < trace.length(); ++t) {
+    frac.Serve(t, trace.requests[static_cast<size_t>(t)]);
+    std::vector<double> snap;
+    snap.reserve(width);
+    for (PageId p = 0; p < trace.instance.num_pages(); ++p) {
+      for (Level i = 1; i <= trace.instance.num_levels(); ++i) {
+        snap.push_back(frac.U(p, i));
+      }
+    }
+    sched.u.push_back(std::move(snap));
+  }
+  return sched;
+}
+
+TEST(FractionalLinear, LpFeasibleSingleLevel) {
+  Instance inst(8, 3, 1, MakeWeights(8, 1, WeightModel::kLogUniform, 8.0, 1));
+  const Trace t = GenZipf(inst, 150, 0.7, LevelMix::AllLowest(1), 2);
+  FractionalLinear frac;
+  const FracSchedule sched = RunRecorded(frac, t);
+  std::string err;
+  EXPECT_TRUE(CheckFracScheduleFeasible(t, sched, 1e-6, &err)) << err;
+}
+
+TEST(FractionalLinear, LpFeasibleMultiLevel) {
+  Instance inst(6, 2, 3,
+                MakeWeights(6, 3, WeightModel::kGeometricLevels, 16.0, 3));
+  const Trace t = GenZipf(inst, 150, 0.7, LevelMix::UniformMix(3), 4);
+  FractionalLinear frac;
+  const FracSchedule sched = RunRecorded(frac, t);
+  std::string err;
+  EXPECT_TRUE(CheckFracScheduleFeasible(t, sched, 1e-6, &err)) << err;
+}
+
+TEST(FractionalLinear, CostMatchesSchedule) {
+  Instance inst(6, 2, 2,
+                MakeWeights(6, 2, WeightModel::kGeometricLevels, 4.0, 5));
+  const Trace t = GenZipf(inst, 100, 0.6, LevelMix::UniformMix(2), 6);
+  FractionalLinear frac;
+  const FracSchedule sched = RunRecorded(frac, t);
+  EXPECT_NEAR(frac.lp_cost(), FracScheduleEvictionCost(t, sched), 1e-6);
+}
+
+TEST(FractionalLinear, UniformWeightsSpreadEvenly) {
+  // With uniform weights the linear waterfill raises every present page at
+  // the same rate: after serving a fresh page with a full fractional
+  // cache, every other page's u rises by the same amount.
+  Instance inst = Instance::Uniform(5, 3);
+  Trace warm{inst, {{0, 1}, {1, 1}, {2, 1}}};
+  FractionalLinear frac;
+  frac.Attach(inst);
+  for (Time t = 0; t < warm.length(); ++t) {
+    frac.Serve(t, warm.requests[static_cast<size_t>(t)]);
+  }
+  // Cache fractionally full (u0=u1=u2=0, others 1). Request page 3.
+  frac.Serve(3, Request{3, 1});
+  const double u0 = frac.U(0, 1);
+  EXPECT_NEAR(frac.U(1, 1), u0, 1e-9);
+  EXPECT_NEAR(frac.U(2, 1), u0, 1e-9);
+  EXPECT_NEAR(3.0 * u0, 1.0, 1e-9);  // one unit spread over three pages
+}
+
+TEST(FractionalLinear, CheaperPagesEvictFaster) {
+  // k = 2: serving page 2 must evict one unit from {0 (w=8), 1 (w=1)} at
+  // rates 1/8 and 1 respectively: u0 ~ 1/9, u1 ~ 8/9.
+  Instance inst(3, 2, 1, {{8.0}, {1.0}, {1.0}});
+  FractionalLinear frac;
+  frac.Attach(inst);
+  frac.Serve(0, Request{0, 1});
+  frac.Serve(1, Request{1, 1});
+  frac.Serve(2, Request{2, 1});
+  EXPECT_NEAR(frac.U(0, 1), 1.0 / 9.0, 1e-9);
+  EXPECT_NEAR(frac.U(1, 1), 8.0 / 9.0, 1e-9);
+}
+
+TEST(FractionalLinear, CompetitiveButWorseThanMlpOnAdversary) {
+  // Theta(k) vs O(log k): on a long weighted adversarial trace the linear
+  // engine should not beat the multiplicative one by much, and typically
+  // loses as k grows. Loose check: both stay within k * OPT.
+  const Trace t = GenWeightedAdversary(16, 6000, 64.0, 7);
+  const Cost opt = WeightedCachingOpt(t);
+  ASSERT_GT(opt, 0.0);
+  FractionalLinear lin;
+  lin.Attach(t.instance);
+  RandomizedOptions mopts;
+  FractionalPolicyPtr mlp = MakeFractionalStack(mopts);
+  mlp->Attach(t.instance);
+  for (Time i = 0; i < t.length(); ++i) {
+    lin.Serve(i, t.requests[static_cast<size_t>(i)]);
+    mlp->Serve(i, t.requests[static_cast<size_t>(i)]);
+  }
+  EXPECT_LE(lin.lp_cost(), 17.0 * opt);
+  EXPECT_LE(mlp->lp_cost(), 17.0 * opt);
+}
+
+TEST(FractionalLinear, WorksThroughRandomizedStack) {
+  Instance inst(24, 6, 2,
+                MakeWeights(24, 2, WeightModel::kGeometricLevels, 8.0, 8));
+  const Trace t = GenZipf(inst, 600, 0.8, LevelMix::UniformMix(2), 9);
+  RandomizedOptions opts;
+  opts.engine = FractionalEngine::kLinear;
+  PolicyPtr p = MakeRandomizedPolicy(11, opts);
+  const SimResult res = Simulate(t, *p);
+  EXPECT_GT(res.misses, 0);
+}
+
+TEST(FractionalLinear, OnlyRequestedPageDecreases) {
+  Instance inst = Instance::Uniform(8, 3);
+  const Trace t = GenZipf(inst, 150, 0.7, LevelMix::AllLowest(1), 10);
+  FractionalLinear frac;
+  frac.Attach(inst);
+  std::vector<double> prev(8, 1.0);
+  for (Time i = 0; i < t.length(); ++i) {
+    const Request& r = t.requests[static_cast<size_t>(i)];
+    frac.Serve(i, r);
+    for (PageId p = 0; p < 8; ++p) {
+      if (p != r.page) {
+        EXPECT_GE(frac.U(p, 1), prev[static_cast<size_t>(p)] - 1e-9);
+      }
+      prev[static_cast<size_t>(p)] = frac.U(p, 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wmlp

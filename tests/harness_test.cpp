@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "baselines/lru.h"
+#include "core/randomized.h"
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "harness/thread_pool.h"
+#include "trace/generators.h"
+
+namespace wmlp {
+namespace {
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  ParallelFor(pool, 50, [&hits](int64_t i) {
+    ++hits[static_cast<size_t>(i)];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneThread) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+TEST(Experiment, TrialsAreDeterministicPerSeed) {
+  Instance inst = Instance::Uniform(16, 4);
+  const Trace t = GenZipf(inst, 400, 0.8, LevelMix::AllLowest(1), 1);
+  ThreadPool pool(2);
+  const PolicyFactory factory = [](uint64_t seed) {
+    return MakeRandomizedPolicy(seed);
+  };
+  const auto a = RunTrials(pool, t, factory, 4, 99);
+  const auto b = RunTrials(pool, t, factory, 4, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].eviction_cost, b[i].eviction_cost) << "trial " << i;
+  }
+}
+
+TEST(Experiment, DeterministicPoliciesIdenticalAcrossTrials) {
+  Instance inst = Instance::Uniform(16, 4);
+  const Trace t = GenZipf(inst, 300, 0.8, LevelMix::AllLowest(1), 2);
+  ThreadPool pool(4);
+  const PolicyFactory factory = [](uint64_t) {
+    return std::make_unique<LruPolicy>();
+  };
+  const auto res = RunTrials(pool, t, factory, 6, 1);
+  for (size_t i = 1; i < res.size(); ++i) {
+    EXPECT_EQ(res[i].eviction_cost, res[0].eviction_cost);
+  }
+}
+
+TEST(Experiment, SummarizeRatios) {
+  std::vector<SimResult> results(3);
+  results[0].eviction_cost = 10.0;
+  results[1].eviction_cost = 20.0;
+  results[2].eviction_cost = 30.0;
+  const RatioSummary s = SummarizeRatios(results, 10.0);
+  EXPECT_NEAR(s.cost.mean(), 20.0, 1e-12);
+  EXPECT_NEAR(s.ratio.mean(), 2.0, 1e-12);
+  EXPECT_EQ(s.ratio.count(), 3);
+  // Zero reference: ratios skipped.
+  const RatioSummary z = SummarizeRatios(results, 0.0);
+  EXPECT_EQ(z.ratio.count(), 0);
+}
+
+TEST(Table, PrintAligned) {
+  Table table({"alg", "cost"});
+  table.AddRow({"lru", "12.5"});
+  table.AddRow({"landlord", "3.25"});
+  std::ostringstream oss;
+  table.Print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("alg"), std::string::npos);
+  EXPECT_NE(out.find("landlord"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table table({"name", "note"});
+  table.AddRow({"a,b", "say \"hi\""});
+  std::ostringstream oss;
+  table.WriteCsv(oss);
+  EXPECT_EQ(oss.str(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, RowWidthMismatchFatal) {
+  Table table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "row width");
+}
+
+TEST(Table, Fmt) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(2.0, 0), "2");
+  EXPECT_EQ(FmtInt(42), "42");
+}
+
+}  // namespace
+}  // namespace wmlp

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/import.h"
+#include "trace/trace.h"
+#include "writeback/rw_reduction.h"
+
+namespace wmlp {
+namespace {
+
+std::optional<ImportedTrace> FromString(const std::string& text,
+                                        const ImportOptions& opts = {},
+                                        std::string* err = nullptr) {
+  std::istringstream iss(text);
+  return ImportKeyTrace(iss, opts, err);
+}
+
+TEST(Import, PlainKeysSingleLevel) {
+  const auto imported = FromString("alpha\nbeta\nalpha\ngamma\n");
+  ASSERT_TRUE(imported.has_value());
+  EXPECT_FALSE(imported->has_ops);
+  EXPECT_EQ(imported->trace.instance.num_levels(), 1);
+  EXPECT_EQ(imported->trace.instance.num_pages(), 3);
+  ASSERT_EQ(imported->trace.requests.size(), 4u);
+  EXPECT_EQ(imported->trace.requests[0].page, 0);
+  EXPECT_EQ(imported->trace.requests[2].page, 0);  // alpha reused id 0
+  EXPECT_EQ(imported->key_of_page[0], "alpha");
+  EXPECT_EQ(imported->key_of_page[2], "gamma");
+  EXPECT_TRUE(ValidateTrace(imported->trace));
+}
+
+TEST(Import, ReadWriteOpsBecomeRwTrace) {
+  ImportOptions opts;
+  opts.dirty_cost = 8.0;
+  opts.clean_cost = 2.0;
+  const auto imported =
+      FromString("x W\ny R\nx R\nz write\ny GET\n", opts);
+  ASSERT_TRUE(imported.has_value());
+  EXPECT_TRUE(imported->has_ops);
+  EXPECT_EQ(imported->trace.instance.num_levels(), 2);
+  EXPECT_EQ(imported->trace.instance.weight(0, 1), 8.0);
+  EXPECT_EQ(imported->trace.instance.weight(0, 2), 2.0);
+  EXPECT_EQ(imported->trace.requests[0].level, 1);  // write
+  EXPECT_EQ(imported->trace.requests[1].level, 2);  // read
+  EXPECT_EQ(imported->trace.requests[3].level, 1);  // "write" keyword
+  // RW import converts back to a writeback trace cleanly.
+  const auto wb = wb::ToWbTrace(imported->trace);
+  EXPECT_EQ(wb.requests[0].op, wb::Op::kWrite);
+}
+
+TEST(Import, CommaSeparatedAndComments) {
+  const auto imported =
+      FromString("# a comment\nkey1,SET\n\nkey2,GET\nkey1,GET\n");
+  ASSERT_TRUE(imported.has_value());
+  EXPECT_TRUE(imported->has_ops);
+  ASSERT_EQ(imported->trace.requests.size(), 3u);
+  EXPECT_EQ(imported->trace.requests[0].level, 1);
+}
+
+TEST(Import, CacheSizeClampedToUniverse) {
+  ImportOptions opts;
+  opts.cache_size = 100;
+  const auto imported = FromString("a\nb\n", opts);
+  ASSERT_TRUE(imported.has_value());
+  EXPECT_EQ(imported->trace.instance.cache_size(), 2);
+}
+
+TEST(Import, MaxRequestsTruncates) {
+  ImportOptions opts;
+  opts.max_requests = 2;
+  const auto imported = FromString("a\nb\nc\nd\n", opts);
+  ASSERT_TRUE(imported.has_value());
+  EXPECT_EQ(imported->trace.requests.size(), 2u);
+}
+
+TEST(Import, Rejections) {
+  std::string err;
+  EXPECT_FALSE(FromString("", {}, &err).has_value());
+  EXPECT_NE(err.find("no requests"), std::string::npos);
+  EXPECT_FALSE(FromString("a X\n", {}, &err).has_value());
+  EXPECT_NE(err.find("unknown op"), std::string::npos);
+  ImportOptions bad;
+  bad.dirty_cost = 0.5;
+  EXPECT_FALSE(FromString("a\n", bad, &err).has_value());
+}
+
+TEST(Import, MixedOpAndNoOpLinesTreatedAsReads) {
+  const auto imported = FromString("a W\nb\nc R\n");
+  ASSERT_TRUE(imported.has_value());
+  EXPECT_TRUE(imported->has_ops);
+  EXPECT_EQ(imported->trace.requests[1].level, 2);  // bare line => read
+}
+
+}  // namespace
+}  // namespace wmlp

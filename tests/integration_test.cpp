@@ -1,0 +1,211 @@
+// Cross-module integration: full pipelines the experiments rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/landlord.h"
+#include "baselines/lru.h"
+#include "core/randomized.h"
+#include "core/waterfill.h"
+#include "harness/experiment.h"
+#include "harness/thread_pool.h"
+#include "offline/bounds.h"
+#include "offline/multilevel_dp.h"
+#include "offline/weighted_opt.h"
+#include "setcover/greedy.h"
+#include "setcover/reduction.h"
+#include "sim/simulator.h"
+#include "trace/generators.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "writeback/rw_reduction.h"
+#include "writeback/writeback_policies.h"
+
+namespace wmlp {
+namespace {
+
+// E1-style pipeline: all policies on one weighted trace vs exact OPT.
+TEST(Integration, WeightedPagingPipeline) {
+  Instance inst(48, 8, 1,
+                MakeWeights(48, 1, WeightModel::kZipfPages, 16.0, 1));
+  const Trace t = GenZipf(inst, 2500, 0.8, LevelMix::AllLowest(1), 2);
+  const Cost opt = WeightedCachingOpt(t);
+  ASSERT_GT(opt, 0.0);
+
+  LruPolicy lru;
+  LandlordPolicy landlord;
+  WaterfillPolicy waterfill;
+  const double r_lru = Simulate(t, lru).eviction_cost / opt;
+  const double r_ll = Simulate(t, landlord).eviction_cost / opt;
+  const double r_wf = Simulate(t, waterfill).eviction_cost / opt;
+  EXPECT_GE(r_lru, 1.0 - 1e-9);
+  EXPECT_GE(r_ll, 1.0 - 1e-9);
+  EXPECT_GE(r_wf, 1.0 - 1e-9);
+
+  ThreadPool pool(2);
+  const auto trials = RunTrials(
+      pool, t, [](uint64_t s) { return MakeRandomizedPolicy(s); }, 4, 7);
+  const RatioSummary rnd = SummarizeRatios(trials, opt);
+  EXPECT_GE(rnd.ratio.mean(), 1.0 - 1e-9);
+  // Sanity ceiling: nothing should be worse than ~3k on a benign zipf trace.
+  EXPECT_LE(rnd.ratio.mean(), 3.0 * inst.cache_size());
+}
+
+// E2-style: on the adversarial loop, randomized beats deterministic by a
+// growing margin.
+TEST(Integration, LoopSeparationRandomizedVsDeterministic) {
+  const int32_t k = 64;
+  Instance inst = Instance::Uniform(k + 1, k);
+  const Trace t = GenLoop(inst, 6000, k + 1, LevelMix::AllLowest(1));
+  const Cost opt = WeightedCachingOpt(t);
+  ASSERT_GT(opt, 0.0);
+
+  LruPolicy lru;
+  const double lru_ratio = Simulate(t, lru).eviction_cost / opt;
+  RunningStat rnd;
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    PolicyPtr p = MakeRandomizedPolicy(seed);
+    rnd.Add(Simulate(t, *p).eviction_cost / opt);
+  }
+  // LRU is Theta(k)-competitive on the loop; the randomized ratio must sit
+  // meaningfully below it once 4 ln k << k.
+  EXPECT_GT(lru_ratio, 0.5 * k);
+  EXPECT_LT(rnd.mean(), 0.8 * lru_ratio);
+}
+
+// E3-style: multi-level with exact DP denominators.
+TEST(Integration, MultiLevelRatiosAgainstExactDp) {
+  Rng seeds(11);
+  for (int32_t ell : {1, 2, 3}) {
+    Instance inst(5, 2, ell,
+                  MakeWeights(5, ell, WeightModel::kGeometricLevels, 8.0,
+                              seeds.Next()));
+    const Trace t = GenZipf(inst, 150, 0.7,
+                            ell == 1 ? LevelMix::AllLowest(1)
+                                     : LevelMix::UniformMix(ell),
+                            seeds.Next());
+    const Cost opt = MultiLevelOptimal(t);
+    if (opt < 1e-9) continue;
+    RunningStat rnd;
+    for (uint64_t seed = 0; seed < 3; ++seed) {
+      PolicyPtr p = MakeRandomizedPolicy(seed);
+      rnd.Add(Simulate(t, *p).eviction_cost / opt);
+    }
+    EXPECT_GE(rnd.mean(), 1.0 - 1e-9) << "ell=" << ell;
+    EXPECT_LE(rnd.mean(), 40.0) << "ell=" << ell;
+  }
+}
+
+// E4-style: writeback-aware policies beat cost-oblivious LRU when the
+// writeback premium is large.
+TEST(Integration, WritebackAwareBeatsObliviousLru) {
+  wb::WbWorkloadOptions opts;
+  opts.num_pages = 64;
+  opts.cache_size = 8;
+  opts.length = 6000;
+  opts.write_ratio = 0.3;
+  opts.dirty_cost = 64.0;
+  opts.clean_cost = 1.0;
+  opts.seed = 12;
+  const wb::WbTrace t = wb::GenWbZipf(opts);
+
+  wb::WbLru lru;
+  wb::WbCleanFirstLru clean_first;
+  wb::WbLandlord landlord;
+  const auto lru_res = wb::Simulate(t, lru);
+  const auto cf_res = wb::Simulate(t, clean_first);
+  const auto ll_res = wb::Simulate(t, landlord);
+  // Writeback-aware deterministic policies beat the cost-oblivious LRU.
+  EXPECT_LT(ll_res.eviction_cost, lru_res.eviction_cost);
+  EXPECT_LT(cf_res.eviction_cost, lru_res.eviction_cost);
+
+  // The randomized O(log^2 k) algorithm is worst-case machinery: on this
+  // benign zipf workload it need not beat LRU, but it must stay within a
+  // small constant of it (k = 8 here, so log^2 k is ~4.3).
+  wb::WbFromRwPolicy randomized(MakeRandomizedPolicy(13));
+  const auto rnd_res = wb::Simulate(t, randomized);
+  EXPECT_LT(rnd_res.eviction_cost, 2.0 * lru_res.eviction_cost);
+}
+
+// E5-style: the reduction pipeline end to end with the online set cover
+// yardstick.
+TEST(Integration, ReductionPipeline) {
+  const sc::SetSystem sys = sc::GenRandomSetSystem(10, 6, 0.25, 14);
+  std::vector<int32_t> phase(10);
+  for (int32_t e = 0; e < 10; ++e) phase[static_cast<size_t>(e)] = e;
+  sc::ReductionOptions ropts;
+  ropts.repetitions = 3;
+  const auto red = sc::BuildRwPagingTrace(sys, {phase}, ropts);
+
+  const int32_t exact_cover = sc::ExactCoverSize(sys, phase);
+  ASSERT_GE(exact_cover, 1);
+
+  WaterfillPolicy det;
+  std::vector<CacheEvent> log;
+  SimOptions sim_opts;
+  sim_opts.event_log = &log;
+  const SimResult det_res = Simulate(red.trace, det, sim_opts);
+  // Lemma 3.2-style yardstick: cover cost scale is c * (w + 1).
+  const double w = red.trace.instance.weight(0, 1);
+  EXPECT_GT(det_res.eviction_cost, 0.0);
+  // The policy's write evictions per phase, interpreted as a cover attempt.
+  const auto analysis = sc::AnalyzeEvictions(sys, {phase}, red, log);
+  if (analysis.is_valid_cover[0]) {
+    EXPECT_GE(static_cast<double>(analysis.evicted_sets[0].size()),
+              static_cast<double>(exact_cover));
+  }
+  (void)w;
+}
+
+// Equivalence at the policy level: mapping a writeback trace through the
+// reduction and back is the identity.
+TEST(Integration, ReductionRoundTripIdentity) {
+  wb::WbWorkloadOptions opts;
+  opts.num_pages = 10;
+  opts.cache_size = 3;
+  opts.length = 200;
+  opts.seed = 15;
+  const wb::WbTrace t = wb::GenWbZipf(opts);
+  const wb::WbTrace round = wb::ToWbTrace(wb::ToRwTrace(t));
+  EXPECT_EQ(round.instance, t.instance);
+  EXPECT_EQ(round.requests, t.requests);
+}
+
+// Offline bounds integrate with the harness on a multi-level workload.
+TEST(Integration, BoundsPipelineMultiLevel) {
+  Instance inst(40, 6, 2,
+                MakeWeights(40, 2, WeightModel::kGeometricLevels, 8.0, 16));
+  const Trace t = GenZipf(inst, 1200, 0.8, LevelMix::UniformMix(2), 17);
+  const OfflineBounds b = ComputeOfflineBounds(t);
+  ASSERT_FALSE(b.exact);
+  ASSERT_GT(b.lower, 0.0);
+  PolicyPtr p = MakeRandomizedPolicy(18);
+  const SimResult res = Simulate(t, *p);
+  // Online cost must be at least the lower bound (it is a valid solution).
+  EXPECT_GE(res.eviction_cost, -1e-9);
+  const double ratio_hi = res.eviction_cost / b.lower;
+  EXPECT_GT(ratio_hi, 0.0);
+}
+
+TEST(Integration, LevelMergePipeline) {
+  // Run waterfill through the merge preprocessing on a non-separated
+  // instance; costs on the merged instance are within 2x of the original
+  // weights by construction.
+  Instance inst(6, 2, 3, {{8.0, 7.0, 1.0},
+                          {8.0, 7.0, 1.0},
+                          {8.0, 7.0, 1.0},
+                          {8.0, 7.0, 1.0},
+                          {8.0, 7.0, 1.0},
+                          {8.0, 7.0, 1.0}});
+  ASSERT_FALSE(inst.levels_two_separated());
+  const Trace t = GenZipf(inst, 300, 0.7, LevelMix::UniformMix(3), 19);
+  const auto merged = inst.MergeLevels();
+  const Trace mapped = ApplyLevelMap(t, merged.instance, merged.level_map);
+  WaterfillPolicy p;
+  const SimResult res = Simulate(mapped, p);
+  EXPECT_GT(res.misses, 0);
+}
+
+}  // namespace
+}  // namespace wmlp

@@ -1,0 +1,118 @@
+// Direct unit test of the Algorithm 2 demotion rule (Lemma 4.14, stated
+// in the paper with proof deferred to the full version):
+//
+//   Applying, for i = 1..ell in increasing order, "demote a level-i copy
+//   to i+1 (evict at ell) with probability
+//   Delta v(p,i) / (v(p,i-1,t) - v(p,i,t-1))" to a cache state sampled
+//   from the product distribution D(t-1) yields a state distributed as
+//   D(t), where D picks copy i with probability v(p,i-1) - v(p,i).
+//
+// The test drives ONE page through a scripted sequence of increasing
+// v-vectors, starting from an exact sample of D(0), applies the rule per
+// step, and compares the empirical final distribution to D(T)'s exact
+// marginals — an equality check (chi-square-style tolerance), not just a
+// bound.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace wmlp {
+namespace {
+
+constexpr int kEll = 3;
+
+// v[0..ell]: v[0] = 1, non-increasing; copy i in {1..ell} has marginal
+// v[i-1] - v[i]; "no copy" has probability v[ell].
+using V = std::array<double, kEll + 1>;
+
+int SampleD(const V& v, Rng& rng) {
+  const double theta = rng.NextDouble();
+  // Copy i iff theta in (v[i], v[i-1]]; none iff theta <= v[ell].
+  for (int i = 1; i <= kEll; ++i) {
+    if (theta > v[i] && theta <= v[i - 1]) return i;
+  }
+  return 0;  // none
+}
+
+// Applies the Algorithm-2 demotion sweep to a cached copy level (0 = none)
+// for the move v_prev -> v_now.
+int ApplyLocalRule(int level, const V& v_prev, const V& v_now, Rng& rng) {
+  if (level == 0) return 0;  // nothing cached; copies are never added here
+  for (int i = level; i <= kEll; ++i) {
+    if (level != i) continue;
+    const double dv = v_now[i] - v_prev[i];
+    if (dv <= 0.0) break;
+    const double denom = v_now[i - 1] - v_prev[i];
+    const double prob = denom > 1e-12 ? std::min(1.0, dv / denom) : 1.0;
+    if (!rng.NextBernoulli(prob)) break;
+    level = i == kEll ? 0 : i + 1;
+  }
+  return level;
+}
+
+void RunScript(const std::vector<V>& script, int runs, uint64_t seed) {
+  std::array<int64_t, kEll + 1> counts{};  // final copy level histogram
+  Rng rng(seed);
+  for (int r = 0; r < runs; ++r) {
+    int level = SampleD(script.front(), rng);
+    for (size_t t = 1; t < script.size(); ++t) {
+      level = ApplyLocalRule(level, script[t - 1], script[t], rng);
+    }
+    ++counts[static_cast<size_t>(level)];
+  }
+  const V& final_v = script.back();
+  auto expect_near = [&](int level, double expected) {
+    const double empirical =
+        static_cast<double>(counts[static_cast<size_t>(level)]) / runs;
+    // 4-sigma binomial tolerance.
+    const double sigma =
+        std::sqrt(std::max(expected * (1.0 - expected), 1e-4) / runs);
+    EXPECT_NEAR(empirical, expected, 4.0 * sigma + 0.005)
+        << "level " << level;
+  };
+  expect_near(0, final_v[kEll]);
+  for (int i = 1; i <= kEll; ++i) {
+    expect_near(i, final_v[i - 1] - final_v[i]);
+  }
+}
+
+TEST(Lemma414, SingleStepSmallMove) {
+  RunScript({{1.0, 0.2, 0.1, 0.05}, {1.0, 0.3, 0.15, 0.08}}, 60000, 1);
+}
+
+TEST(Lemma414, SingleStepBigMove) {
+  RunScript({{1.0, 0.1, 0.05, 0.0}, {1.0, 0.8, 0.5, 0.3}}, 60000, 2);
+}
+
+TEST(Lemma414, ManySmallSteps) {
+  // Gradual drift: v rises linearly over 20 steps.
+  std::vector<V> script;
+  for (int t = 0; t <= 20; ++t) {
+    const double f = t / 20.0;
+    script.push_back(V{1.0, 0.1 + 0.7 * f, 0.05 + 0.6 * f,
+                       0.0 + 0.5 * f});
+  }
+  RunScript(script, 60000, 3);
+}
+
+TEST(Lemma414, BoundaryReachesOne) {
+  // v(p, i) saturating at 1 must force demotion past level i.
+  RunScript({{1.0, 0.5, 0.2, 0.1}, {1.0, 1.0, 0.6, 0.3}}, 60000, 4);
+}
+
+TEST(Lemma414, UnevenLevelMoves) {
+  // Different levels move by different amounts; level 3 is stationary in
+  // the second step. (Each v must stay non-increasing across levels and
+  // non-decreasing over time.)
+  RunScript({{1.0, 0.4, 0.3, 0.2},
+             {1.0, 0.6, 0.4, 0.25},
+             {1.0, 0.9, 0.7, 0.25}},
+            60000, 5);
+}
+
+}  // namespace
+}  // namespace wmlp

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "lp/lp_problem.h"
+#include "lp/paging_lp.h"
+#include "lp/simplex.h"
+#include "offline/weighted_opt.h"
+#include "trace/generators.h"
+#include "util/rng.h"
+
+namespace wmlp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Simplex, SimpleMinimization) {
+  // min x + y s.t. x + 2y >= 4, 3x + y >= 6, x,y >= 0.
+  LpProblem lp;
+  lp.AddVariable(1.0);
+  lp.AddVariable(1.0);
+  lp.AddConstraint({{0, 1}, {1.0, 2.0}, ConstraintSense::kGe, 4.0});
+  lp.AddConstraint({{0, 1}, {3.0, 1.0}, ConstraintSense::kGe, 6.0});
+  const auto res = SolveLp(lp);
+  ASSERT_EQ(res.status, SimplexStatus::kOptimal);
+  // Optimum at intersection: x = 8/5, y = 6/5, obj = 14/5.
+  EXPECT_NEAR(res.objective, 14.0 / 5.0, 1e-8);
+  EXPECT_NEAR(res.x[0], 8.0 / 5.0, 1e-8);
+  EXPECT_NEAR(res.x[1], 6.0 / 5.0, 1e-8);
+}
+
+TEST(Simplex, MaximizationViaNegation) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> min -(3x + 2y).
+  LpProblem lp;
+  lp.AddVariable(-3.0);
+  lp.AddVariable(-2.0);
+  lp.AddConstraint({{0, 1}, {1.0, 1.0}, ConstraintSense::kLe, 4.0});
+  lp.AddConstraint({{0, 1}, {1.0, 3.0}, ConstraintSense::kLe, 6.0});
+  const auto res = SolveLp(lp);
+  ASSERT_EQ(res.status, SimplexStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -12.0, 1e-8);  // x=4, y=0
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // min 2x + 3y s.t. x + y = 10, x - y = 2.
+  LpProblem lp;
+  lp.AddVariable(2.0);
+  lp.AddVariable(3.0);
+  lp.AddConstraint({{0, 1}, {1.0, 1.0}, ConstraintSense::kEq, 10.0});
+  lp.AddConstraint({{0, 1}, {1.0, -1.0}, ConstraintSense::kEq, 2.0});
+  const auto res = SolveLp(lp);
+  ASSERT_EQ(res.status, SimplexStatus::kOptimal);
+  EXPECT_NEAR(res.x[0], 6.0, 1e-8);
+  EXPECT_NEAR(res.x[1], 4.0, 1e-8);
+  EXPECT_NEAR(res.objective, 24.0, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LpProblem lp;
+  lp.AddVariable(1.0);
+  lp.AddConstraint({{0}, {1.0}, ConstraintSense::kGe, 5.0});
+  lp.AddConstraint({{0}, {1.0}, ConstraintSense::kLe, 3.0});
+  EXPECT_EQ(SolveLp(lp).status, SimplexStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LpProblem lp;
+  lp.AddVariable(-1.0);  // min -x with x unbounded above
+  lp.AddConstraint({{0}, {1.0}, ConstraintSense::kGe, 0.0});
+  EXPECT_EQ(SolveLp(lp).status, SimplexStatus::kUnbounded);
+}
+
+TEST(Simplex, UpperBoundsRespected) {
+  LpProblem lp;
+  lp.AddVariable(-1.0, 2.5);  // min -x, x <= 2.5
+  const auto res = SolveLp(lp);
+  ASSERT_EQ(res.status, SimplexStatus::kOptimal);
+  EXPECT_NEAR(res.x[0], 2.5, 1e-8);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // x >= 2 written as -x <= -2.
+  LpProblem lp;
+  lp.AddVariable(1.0);
+  lp.AddConstraint({{0}, {-1.0}, ConstraintSense::kLe, -2.0});
+  const auto res = SolveLp(lp);
+  ASSERT_EQ(res.status, SimplexStatus::kOptimal);
+  EXPECT_NEAR(res.x[0], 2.0, 1e-8);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple constraints active at the optimum (classic degeneracy).
+  LpProblem lp;
+  lp.AddVariable(-1.0);
+  lp.AddVariable(-1.0);
+  lp.AddConstraint({{0, 1}, {1.0, 1.0}, ConstraintSense::kLe, 1.0});
+  lp.AddConstraint({{0, 1}, {1.0, 1.0}, ConstraintSense::kLe, 1.0});
+  lp.AddConstraint({{0}, {1.0}, ConstraintSense::kLe, 1.0});
+  lp.AddConstraint({{1}, {1.0}, ConstraintSense::kLe, 1.0});
+  const auto res = SolveLp(lp);
+  ASSERT_EQ(res.status, SimplexStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -1.0, 1e-8);
+}
+
+TEST(Simplex, RandomLpsFeasibleSolutionsAreValid) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    LpProblem lp;
+    const int nv = 3 + static_cast<int>(rng.NextBounded(4));
+    for (int j = 0; j < nv; ++j) {
+      lp.AddVariable(rng.NextDouble() * 4.0 - 1.0, 5.0);
+    }
+    const int nc = 2 + static_cast<int>(rng.NextBounded(5));
+    for (int i = 0; i < nc; ++i) {
+      LpConstraint c;
+      for (int j = 0; j < nv; ++j) {
+        c.index.push_back(j);
+        c.coef.push_back(rng.NextDouble() * 2.0 - 0.5);
+      }
+      c.sense = ConstraintSense::kGe;
+      c.rhs = rng.NextDouble() * 2.0;
+      lp.AddConstraint(std::move(c));
+    }
+    const auto res = SolveLp(lp);
+    if (res.status == SimplexStatus::kOptimal) {
+      EXPECT_LT(lp.MaxViolation(res.x), 1e-6);
+      EXPECT_NEAR(lp.Evaluate(res.x), res.objective, 1e-6);
+    }
+  }
+}
+
+TEST(LpProblem, EvaluateAndViolation) {
+  LpProblem lp;
+  lp.AddVariable(2.0, 1.0);
+  lp.AddVariable(1.0);
+  lp.AddConstraint({{0, 1}, {1.0, 1.0}, ConstraintSense::kGe, 1.0});
+  std::vector<double> x = {0.5, 0.25};
+  EXPECT_NEAR(lp.Evaluate(x), 1.25, 1e-12);
+  EXPECT_NEAR(lp.MaxViolation(x), 0.25, 1e-12);
+  x[1] = 0.5;
+  EXPECT_NEAR(lp.MaxViolation(x), 0.0, 1e-12);
+}
+
+// ---- Paging LP -------------------------------------------------------------
+
+Trace TinyWeightedTrace() {
+  Instance inst(3, 1, 1, {{4.0}, {2.0}, {1.0}});
+  return Trace{inst, {{0, 1}, {1, 1}, {0, 1}, {2, 1}, {0, 1}}};
+}
+
+TEST(PagingLp, MatchesFlowOptOnWeightedPaging) {
+  // For ell = 1 the LP is integral; its optimum equals the flow OPT.
+  const Trace t = TinyWeightedTrace();
+  const auto res = SolvePagingLp(t);
+  ASSERT_EQ(res.status, SimplexStatus::kOptimal);
+  EXPECT_NEAR(res.objective, WeightedCachingOpt(t), 1e-6);
+}
+
+TEST(PagingLp, RandomWeightedTracesMatchFlow) {
+  Rng rng(123);
+  for (int trial = 0; trial < 5; ++trial) {
+    Instance inst(4, 2, 1,
+                  MakeWeights(4, 1, WeightModel::kLogUniform, 8.0,
+                              1000 + static_cast<uint64_t>(trial)));
+    const Trace t = GenZipf(inst, 12, 0.6, LevelMix::AllLowest(1),
+                            2000 + static_cast<uint64_t>(trial));
+    const auto res = SolvePagingLp(t);
+    ASSERT_EQ(res.status, SimplexStatus::kOptimal);
+    EXPECT_LE(res.objective, WeightedCachingOpt(t) + 1e-6);
+  }
+}
+
+TEST(PagingLp, MultiLevelLpLowerBoundsIntegralCost) {
+  Instance inst(3, 2, 2, {{8.0, 2.0}, {8.0, 2.0}, {8.0, 2.0}});
+  Trace t{inst, {{0, 1}, {1, 2}, {2, 1}, {0, 2}, {1, 1}, {2, 2}}};
+  const auto res = SolvePagingLp(t);
+  ASSERT_EQ(res.status, SimplexStatus::kOptimal);
+  EXPECT_GE(res.objective, -1e-9);
+}
+
+TEST(FracSchedule, FeasibilityChecker) {
+  Instance inst(2, 1, 1, {{1.0}, {1.0}});
+  Trace t{inst, {{0, 1}, {1, 1}}};
+  FracSchedule ok;
+  ok.u = {{1.0, 1.0}, {0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_TRUE(CheckFracScheduleFeasible(t, ok));
+  // Capacity violation: both pages fully cached with k = 1.
+  FracSchedule bad = ok;
+  bad.u[2] = {0.0, 0.0};
+  std::string err;
+  EXPECT_FALSE(CheckFracScheduleFeasible(t, bad, 1e-6, &err));
+  EXPECT_NE(err.find("capacity"), std::string::npos);
+  // Unserved request.
+  FracSchedule unserved = ok;
+  unserved.u[1] = {0.5, 0.5};
+  EXPECT_FALSE(CheckFracScheduleFeasible(t, unserved, 1e-6, &err));
+}
+
+TEST(FracSchedule, EvictionCost) {
+  Instance inst(2, 1, 1, {{4.0}, {2.0}});
+  Trace t{inst, {{0, 1}, {1, 1}}};
+  FracSchedule s;
+  s.u = {{1.0, 1.0}, {0.0, 1.0}, {0.5, 0.0}};
+  // Page 0 rises by 0.5 (cost 2.0); page 1 only falls.
+  EXPECT_NEAR(FracScheduleEvictionCost(t, s), 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace wmlp

@@ -1,0 +1,178 @@
+// Executes the Section 4.2 potential-function proof step by step:
+//
+//   Phi(t) = 2 sum_q sum_j w(q,j) v(q,j,t) ln((1+eta)/(u(q,j,t)+eta))
+//
+// where u is the online fractional state and v the offline optimum's
+// integral prefix indicators (from an actual OPT schedule reconstructed by
+// the DP). The analysis claims, per time step,
+//
+//   Delta(ON) + Delta(Phi) <= c * Delta(OFF),   c = 4 ln(1 + 1/eta),
+//
+// with Delta(ON) the online y-movement cost and Delta(OFF) the offline
+// eviction cost. Verifying the inequality on every step of random
+// instances is a machine check of Lemmas 4.2-4.4.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fractional.h"
+#include "offline/multilevel_dp.h"
+#include "trace/generators.h"
+#include "util/rng.h"
+
+namespace wmlp {
+namespace {
+
+// v(q, j, t): 1 iff OFF's cached copy of q (if any) sits at a level > j
+// (i.e. the prefix 1..j is missing). Absent page: all 1.
+int32_t OffV(uint64_t state, PageId q, Level j, int32_t ell) {
+  const Level lvl = OptimalSchedule::LevelOf(state, q, ell);
+  if (lvl == 0) return 1;
+  return j < lvl ? 1 : 0;
+}
+
+double Potential(const Instance& inst, const FractionalMlp& frac,
+                 uint64_t off_state, double eta) {
+  double phi = 0.0;
+  for (PageId q = 0; q < inst.num_pages(); ++q) {
+    for (Level j = 1; j <= inst.num_levels(); ++j) {
+      if (OffV(off_state, q, j, inst.num_levels()) == 0) continue;
+      phi += 2.0 * inst.weight(q, j) *
+             std::log((1.0 + eta) / (frac.U(q, j) + eta));
+    }
+  }
+  return phi;
+}
+
+double OffStepCost(const Instance& inst, uint64_t from, uint64_t to) {
+  double c = 0.0;
+  for (PageId q = 0; q < inst.num_pages(); ++q) {
+    const Level d0 = OptimalSchedule::LevelOf(from, q, inst.num_levels());
+    const Level d1 = OptimalSchedule::LevelOf(to, q, inst.num_levels());
+    if (d0 != 0 && d1 != d0) c += inst.weight(q, d0);
+  }
+  return c;
+}
+
+void VerifyPotentialInequality(const Trace& trace) {
+  const Instance& inst = trace.instance;
+  const OptimalSchedule opt = MultiLevelOptimalSchedule(trace);
+  ASSERT_EQ(opt.states.size(), trace.requests.size());
+
+  FractionalMlp frac;
+  frac.Attach(inst);
+  const double eta = 1.0 / inst.cache_size();
+  const double c = 4.0 * std::log(1.0 + 1.0 / eta);
+
+  uint64_t off_prev = 0;  // empty cache
+  double phi_prev = 0.0;  // u = v-weighted ln(1) = 0
+  Cost on_prev = 0.0;
+  for (size_t t = 0; t < trace.requests.size(); ++t) {
+    frac.Serve(static_cast<Time>(t), trace.requests[t]);
+    const uint64_t off_now = opt.states[t];
+    const double phi_now = Potential(inst, frac, off_now, eta);
+    const double d_on = frac.movement_cost() - on_prev;
+    const double d_off = OffStepCost(inst, off_prev, off_now);
+    EXPECT_LE(d_on + (phi_now - phi_prev), c * d_off + 1e-6)
+        << "step " << t << ": dOn=" << d_on
+        << " dPhi=" << (phi_now - phi_prev) << " c*dOff=" << c * d_off;
+    off_prev = off_now;
+    phi_prev = phi_now;
+    on_prev = frac.movement_cost();
+  }
+  // Telescoping consequence: total online cost <= c * OPT + Phi(0).
+  EXPECT_LE(frac.movement_cost(), c * opt.cost + 1e-6);
+}
+
+TEST(Potential, HoldsStepwiseSingleLevelUniform) {
+  Instance inst = Instance::Uniform(5, 2);
+  const Trace t = GenZipf(inst, 80, 0.6, LevelMix::AllLowest(1), 1);
+  VerifyPotentialInequality(t);
+}
+
+TEST(Potential, HoldsStepwiseSingleLevelWeighted) {
+  Rng seeds(11);
+  for (int trial = 0; trial < 4; ++trial) {
+    Instance inst(5, 2, 1,
+                  MakeWeights(5, 1, WeightModel::kLogUniform, 8.0,
+                              seeds.Next()));
+    const Trace t = GenZipf(inst, 60, 0.6, LevelMix::AllLowest(1),
+                            seeds.Next());
+    VerifyPotentialInequality(t);
+  }
+}
+
+TEST(Potential, HoldsStepwiseTwoLevels) {
+  Rng seeds(12);
+  for (int trial = 0; trial < 4; ++trial) {
+    Instance inst(4, 2, 2,
+                  MakeWeights(4, 2, WeightModel::kGeometricLevels, 4.0,
+                              seeds.Next()));
+    const Trace t = GenZipf(inst, 50, 0.6, LevelMix::UniformMix(2),
+                            seeds.Next());
+    VerifyPotentialInequality(t);
+  }
+}
+
+TEST(Potential, HoldsStepwiseThreeLevels) {
+  Instance inst(3, 2, 3,
+                MakeWeights(3, 3, WeightModel::kGeometricLevels, 8.0, 21));
+  const Trace t = GenZipf(inst, 40, 0.6, LevelMix::UniformMix(3), 22);
+  VerifyPotentialInequality(t);
+}
+
+TEST(Potential, HoldsOnAdversarialLoop) {
+  Instance inst = Instance::Uniform(4, 3);
+  const Trace t = GenLoop(inst, 60, 4, LevelMix::AllLowest(1));
+  VerifyPotentialInequality(t);
+}
+
+TEST(OptimalSchedule, MatchesCostAndIsFeasible) {
+  Rng seeds(31);
+  for (int trial = 0; trial < 5; ++trial) {
+    Instance inst(5, 2, 2,
+                  MakeWeights(5, 2, WeightModel::kGeometricLevels, 4.0,
+                              seeds.Next()));
+    const Trace t = GenZipf(inst, 40, 0.6, LevelMix::UniformMix(2),
+                            seeds.Next());
+    const OptimalSchedule sched = MultiLevelOptimalSchedule(t);
+    EXPECT_NEAR(sched.cost, MultiLevelOptimal(t), 1e-9);
+    // Every state serves its request and respects capacity.
+    for (size_t i = 0; i < t.requests.size(); ++i) {
+      const Request& r = t.requests[i];
+      const Level lvl = OptimalSchedule::LevelOf(sched.states[i], r.page,
+                                                 inst.num_levels());
+      EXPECT_GE(lvl, 1) << "step " << i;
+      EXPECT_LE(lvl, r.level) << "step " << i;
+      int32_t occ = 0;
+      for (PageId q = 0; q < inst.num_pages(); ++q) {
+        if (OptimalSchedule::LevelOf(sched.states[i], q,
+                                     inst.num_levels()) != 0) {
+          ++occ;
+        }
+      }
+      EXPECT_LE(occ, inst.cache_size()) << "step " << i;
+    }
+    // Replaying the transitions reproduces the cost.
+    Cost replay = 0.0;
+    uint64_t prev = 0;
+    for (uint64_t s : sched.states) {
+      replay += [&] {
+        double c = 0.0;
+        for (PageId q = 0; q < inst.num_pages(); ++q) {
+          const Level d0 =
+              OptimalSchedule::LevelOf(prev, q, inst.num_levels());
+          const Level d1 =
+              OptimalSchedule::LevelOf(s, q, inst.num_levels());
+          if (d0 != 0 && d1 != d0) c += inst.weight(q, d0);
+        }
+        return c;
+      }();
+      prev = s;
+    }
+    EXPECT_NEAR(replay, sched.cost, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace wmlp

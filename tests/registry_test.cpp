@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "registry/policy_registry.h"
+#include "sim/simulator.h"
+#include "trace/generators.h"
+
+namespace wmlp {
+namespace {
+
+class RegistrySuite : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistrySuite, ConstructsAndRuns) {
+  PolicyPtr p = MakePolicyByName(GetParam(), 3);
+  ASSERT_NE(p, nullptr) << GetParam();
+  Instance inst = Instance::Uniform(16, 4);
+  const Trace t = GenZipf(inst, 300, 0.8, LevelMix::AllLowest(1), 1);
+  const SimResult res = Simulate(t, *p);
+  EXPECT_GT(res.misses, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNames, RegistrySuite,
+                         ::testing::ValuesIn(KnownPolicyNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(Registry, UnknownNameReturnsNull) {
+  EXPECT_EQ(MakePolicyByName("does-not-exist", 1), nullptr);
+  EXPECT_EQ(MakePolicyByName("", 1), nullptr);
+}
+
+TEST(Registry, RandomizedAlias) {
+  EXPECT_NE(MakePolicyByName("fractional-rounded", 1), nullptr);
+}
+
+TEST(Registry, ParameterizedRandomized) {
+  PolicyPtr p = MakePolicyByName("randomized:beta=2.0,eta=0.1", 1);
+  ASSERT_NE(p, nullptr);
+  Instance inst = Instance::Uniform(8, 4);
+  Trace t{inst, {{0, 1}, {1, 1}, {2, 1}}};
+  const SimResult res = Simulate(t, *p);
+  EXPECT_EQ(res.misses, 3);
+}
+
+TEST(Registry, ParameterizedIgnoresUnknownKeys) {
+  PolicyPtr p = MakePolicyByName("randomized:bogus=1,beta=3", 1);
+  ASSERT_NE(p, nullptr);
+}
+
+TEST(Registry, KnownNamesAreAllConstructible) {
+  for (const auto& name : KnownPolicyNames()) {
+    EXPECT_NE(MakePolicyByName(name, 7), nullptr) << name;
+  }
+}
+
+}  // namespace
+}  // namespace wmlp

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "core/randomized.h"
+#include "core/replay.h"
+#include "core/rounding_multilevel.h"
+#include "core/rounding_weighted.h"
+#include "sim/simulator.h"
+#include "trace/generators.h"
+
+namespace wmlp {
+namespace {
+
+TEST(Replay, TrajectoryMatchesDirectRun) {
+  Instance inst(16, 4, 2,
+                MakeWeights(16, 2, WeightModel::kGeometricLevels, 8.0, 1));
+  const Trace t = GenZipf(inst, 400, 0.8, LevelMix::UniformMix(2), 2);
+
+  FractionalPolicyPtr recorder = MakeFractionalStack();
+  const auto traj = FracTrajectory::Record(*recorder, t);
+
+  FractionalPolicyPtr direct = MakeFractionalStack();
+  direct->Attach(inst);
+  ReplayFractional replay(traj);
+  replay.Attach(inst);
+  for (Time i = 0; i < t.length(); ++i) {
+    const Request& r = t.requests[static_cast<size_t>(i)];
+    direct->Serve(i, r);
+    replay.Serve(i, r);
+    for (PageId p = 0; p < inst.num_pages(); ++p) {
+      for (Level l = 1; l <= 2; ++l) {
+        ASSERT_EQ(replay.U(p, l), direct->U(p, l))
+            << "divergence at t=" << i << " p=" << p << " l=" << l;
+      }
+    }
+    ASSERT_DOUBLE_EQ(replay.lp_cost(), direct->lp_cost());
+  }
+}
+
+TEST(Replay, ChangedPagesMatch) {
+  Instance inst = Instance::Uniform(12, 3);
+  const Trace t = GenZipf(inst, 200, 0.7, LevelMix::AllLowest(1), 3);
+  FractionalPolicyPtr recorder = MakeFractionalStack();
+  const auto traj = FracTrajectory::Record(*recorder, t);
+  ReplayFractional replay(traj);
+  replay.Attach(inst);
+  FractionalPolicyPtr direct = MakeFractionalStack();
+  direct->Attach(inst);
+  for (Time i = 0; i < t.length(); ++i) {
+    const Request& r = t.requests[static_cast<size_t>(i)];
+    direct->Serve(i, r);
+    replay.Serve(i, r);
+    // The replay's changed list is the recorder's (deduplicated to pages
+    // with a genuine value change); every genuinely changed page must be
+    // in it.
+    std::vector<bool> in_replay(12, false);
+    for (PageId p : replay.last_changed()) in_replay[static_cast<size_t>(p)] =
+        true;
+    for (PageId p : direct->last_changed()) {
+      // direct may report spurious "changed" pages (touched but equal);
+      // check value-changed pages only via previous-state tracking is
+      // covered by TrajectoryMatchesDirectRun. Here: replay-changed subset
+      // of direct-changed.
+      (void)p;
+    }
+    for (PageId p : replay.last_changed()) {
+      bool in_direct = false;
+      for (PageId q : direct->last_changed()) in_direct |= (q == p);
+      EXPECT_TRUE(in_direct);
+    }
+  }
+}
+
+TEST(Replay, RoundingIdenticalToDirectForSameSeed) {
+  // Same rounding seed + identical fractional values => identical random
+  // decisions => identical integral runs. The replay path must be
+  // bit-for-bit equivalent.
+  Instance inst(24, 6, 1,
+                MakeWeights(24, 1, WeightModel::kLogUniform, 8.0, 4));
+  const Trace t = GenZipf(inst, 800, 0.8, LevelMix::AllLowest(1), 5);
+  FractionalPolicyPtr recorder = MakeFractionalStack();
+  const auto traj = FracTrajectory::Record(*recorder, t);
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    RoundedWeightedPaging direct(MakeFractionalStack(), seed);
+    RoundedWeightedPaging replayed(std::make_unique<ReplayFractional>(traj),
+                                   seed);
+    const SimResult a = Simulate(t, direct);
+    const SimResult b = Simulate(t, replayed);
+    EXPECT_EQ(a.eviction_cost, b.eviction_cost) << "seed " << seed;
+    EXPECT_EQ(a.evictions, b.evictions) << "seed " << seed;
+  }
+}
+
+TEST(Replay, MultiLevelRoundingIdenticalToDirect) {
+  Instance inst(16, 4, 3,
+                MakeWeights(16, 3, WeightModel::kGeometricLevels, 16.0, 6));
+  const Trace t = GenZipf(inst, 600, 0.8, LevelMix::UniformMix(3), 7);
+  FractionalPolicyPtr recorder = MakeFractionalStack();
+  const auto traj = FracTrajectory::Record(*recorder, t);
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    RoundedMultiLevel direct(MakeFractionalStack(), seed);
+    RoundedMultiLevel replayed(std::make_unique<ReplayFractional>(traj),
+                               seed);
+    const SimResult a = Simulate(t, direct);
+    const SimResult b = Simulate(t, replayed);
+    EXPECT_EQ(a.eviction_cost, b.eviction_cost) << "seed " << seed;
+  }
+}
+
+TEST(Replay, FactoryProducesWorkingPolicies) {
+  Instance inst(16, 4, 2,
+                MakeWeights(16, 2, WeightModel::kGeometricLevels, 8.0, 8));
+  const Trace t = GenZipf(inst, 400, 0.8, LevelMix::UniformMix(2), 9);
+  const PolicyFactory factory = MakeReplayRandomizedFactory(t);
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    PolicyPtr p = factory(seed);
+    const SimResult res = Simulate(t, *p);
+    EXPECT_GT(res.misses, 0);
+  }
+}
+
+TEST(Replay, AttachRejectsMismatchedInstance) {
+  Instance inst = Instance::Uniform(8, 2);
+  const Trace t = GenZipf(inst, 50, 0.5, LevelMix::AllLowest(1), 10);
+  FractionalPolicyPtr recorder = MakeFractionalStack();
+  const auto traj = FracTrajectory::Record(*recorder, t);
+  ReplayFractional replay(traj);
+  Instance other = Instance::Uniform(9, 2);
+  EXPECT_DEATH(replay.Attach(other), "does not match");
+}
+
+TEST(Replay, ServePastEndFatal) {
+  Instance inst = Instance::Uniform(4, 2);
+  Trace t{inst, {{0, 1}, {1, 1}}};
+  FractionalPolicyPtr recorder = MakeFractionalStack();
+  const auto traj = FracTrajectory::Record(*recorder, t);
+  ReplayFractional replay(traj);
+  replay.Attach(inst);
+  replay.Serve(0, t.requests[0]);
+  replay.Serve(1, t.requests[1]);
+  EXPECT_DEATH(replay.Serve(2, Request{0, 1}), "past the recorded");
+}
+
+TEST(Replay, CompressionIsSparse) {
+  // On a localized trace most pages don't move each step: the delta log
+  // must be much smaller than T * n entries.
+  Instance inst = Instance::Uniform(64, 8);
+  const Trace t = GenZipf(inst, 2000, 1.1, LevelMix::AllLowest(1), 11);
+  FractionalPolicyPtr recorder = MakeFractionalStack();
+  const auto traj = FracTrajectory::Record(*recorder, t);
+  EXPECT_EQ(traj->num_steps(), 2000);
+  EXPECT_LT(traj->num_deltas(), 2000 * 64 / 2);
+}
+
+}  // namespace
+}  // namespace wmlp

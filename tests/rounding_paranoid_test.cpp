@@ -1,0 +1,100 @@
+// Stress sweep for the multi-level rounding with the paranoid
+// from-scratch consistency checker enabled: every (n, k, ell, beta,
+// workload) cell replays the full invariant set (class masses, cached
+// counts, feasibility, one-copy) on every request.
+#include <gtest/gtest.h>
+
+#include "core/randomized.h"
+#include "core/rounding_multilevel.h"
+#include "sim/simulator.h"
+#include "trace/generators.h"
+
+namespace wmlp {
+namespace {
+
+struct ParanoidCase {
+  int32_t n, k, ell;
+  double beta;  // 0 = default 4 ln(k+1)
+  int32_t workload;  // 0 zipf, 1 loop, 2 phases, 3 write-then-read
+  uint64_t seed;
+};
+
+class ParanoidSweep : public ::testing::TestWithParam<ParanoidCase> {};
+
+Trace MakeWorkload(const ParanoidCase& c) {
+  Instance inst(c.n, c.k, c.ell,
+                MakeWeights(c.n, c.ell, WeightModel::kGeometricLevels, 8.0,
+                            c.seed));
+  const LevelMix mix = c.ell == 1 ? LevelMix::AllLowest(1)
+                                  : LevelMix::UniformMix(c.ell);
+  switch (c.workload) {
+    case 0:
+      return GenZipf(inst, 800, 0.8, mix, c.seed + 1);
+    case 1:
+      return GenLoop(inst, 800, std::min(c.n, c.k + 1), mix);
+    case 2:
+      return GenPhases(inst, 800, std::min(c.n, c.k + 2), 100, 0.7, mix,
+                       c.seed + 1);
+    default: {
+      // First half at level 1 (writes), second half at level ell (reads):
+      // maximal demotion traffic.
+      Trace t = GenZipf(inst, 800, 0.8, mix, c.seed + 1);
+      for (size_t i = 0; i < t.requests.size(); ++i) {
+        t.requests[i].level = i < t.requests.size() / 2
+                                  ? 1
+                                  : inst.num_levels();
+      }
+      return t;
+    }
+  }
+}
+
+TEST_P(ParanoidSweep, InvariantsHoldEveryStep) {
+  const ParanoidCase& c = GetParam();
+  const Trace trace = MakeWorkload(c);
+  MultiLevelRoundingOptions opts;
+  opts.beta = c.beta;
+  opts.paranoid = true;
+  RoundedMultiLevel policy(MakeFractionalStack(), c.seed + 2, opts);
+  const SimResult res = Simulate(trace, policy);
+  EXPECT_GT(res.misses, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ParanoidSweep,
+    ::testing::Values(
+        ParanoidCase{8, 2, 2, 0.0, 0, 1}, ParanoidCase{8, 2, 2, 1.0, 0, 2},
+        ParanoidCase{16, 4, 2, 1.0, 1, 3},
+        ParanoidCase{16, 4, 3, 2.0, 0, 4},
+        ParanoidCase{16, 15, 2, 1.0, 1, 5},
+        ParanoidCase{24, 6, 4, 0.0, 2, 6},
+        ParanoidCase{24, 6, 2, 1.0, 3, 7},
+        ParanoidCase{12, 3, 2, 4.0, 3, 8},
+        ParanoidCase{32, 8, 2, 1.0, 0, 9},
+        ParanoidCase{9, 8, 3, 1.0, 1, 10},
+        ParanoidCase{6, 2, 5, 1.0, 0, 11},
+        ParanoidCase{6, 5, 2, 0.0, 3, 12}),
+    [](const auto& info) {
+      const ParanoidCase& c = info.param;
+      return "n" + std::to_string(c.n) + "k" + std::to_string(c.k) + "ell" +
+             std::to_string(c.ell) + "b" +
+             std::to_string(static_cast<int>(c.beta * 10)) + "w" +
+             std::to_string(c.workload);
+    });
+
+TEST(ParanoidSingleLevel, WeightedRoundingAgainstLoopChurn) {
+  // ell = 1 on the loop at tiny beta: resets fire constantly; the strict
+  // simulator plus the reset CHECKs exercise the Lemma 4.10 bookkeeping.
+  Instance inst = Instance::Uniform(9, 8);
+  const Trace t = GenLoop(inst, 2000, 9, LevelMix::AllLowest(1));
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    RandomizedOptions opts;
+    opts.beta = 1.0;
+    PolicyPtr p = MakeRandomizedPolicy(seed, opts);
+    const SimResult res = Simulate(t, *p);
+    EXPECT_GT(res.misses, 0);
+  }
+}
+
+}  // namespace
+}  // namespace wmlp

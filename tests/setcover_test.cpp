@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "baselines/landlord.h"
+#include "core/waterfill.h"
+#include "setcover/greedy.h"
+#include "setcover/online_setcover.h"
+#include "setcover/reduction.h"
+#include "setcover/set_system.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+
+namespace wmlp {
+namespace {
+
+using sc::SetSystem;
+
+SetSystem TinySystem() {
+  // U = {0..4}; S0 = {0,1}, S1 = {1,2,3}, S2 = {3,4}, S3 = {0,2,4}.
+  return SetSystem(5, {{0, 1}, {1, 2, 3}, {3, 4}, {0, 2, 4}});
+}
+
+TEST(SetSystem, MembershipAndCovering) {
+  const SetSystem sys = TinySystem();
+  EXPECT_EQ(sys.num_elements(), 5);
+  EXPECT_EQ(sys.num_sets(), 4);
+  EXPECT_TRUE(sys.Contains(1, 2));
+  EXPECT_FALSE(sys.Contains(0, 2));
+  EXPECT_EQ(sys.covering(0).size(), 2u);  // S0 and S3
+}
+
+TEST(SetSystem, IsCover) {
+  const SetSystem sys = TinySystem();
+  EXPECT_TRUE(sys.IsCover({1, 3}, {0, 1, 2, 3, 4}));
+  EXPECT_FALSE(sys.IsCover({0, 2}, {0, 1, 2, 3, 4}));  // misses 2
+  EXPECT_TRUE(sys.IsCover({0}, {0, 1}));
+}
+
+TEST(SetSystem, UncoverableElementFatal) {
+  EXPECT_DEATH(SetSystem(3, {{0, 1}}), "uncoverable");
+}
+
+TEST(SetSystem, RandomSystemsAlwaysFeasible) {
+  Rng seeds(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const SetSystem sys =
+        sc::GenRandomSetSystem(20, 8, 0.1, seeds.Next());
+    std::vector<int32_t> all(20);
+    std::iota(all.begin(), all.end(), 0);
+    std::vector<int32_t> everything(static_cast<size_t>(sys.num_sets()));
+    std::iota(everything.begin(), everything.end(), 0);
+    EXPECT_TRUE(sys.IsCover(everything, all));
+  }
+}
+
+TEST(SetSystem, BlockSystemHasKnownOptimum) {
+  const SetSystem sys = sc::GenBlockSystem(4, 3, 6, 9);
+  std::vector<int32_t> all(12);
+  std::iota(all.begin(), all.end(), 0);
+  EXPECT_EQ(sc::ExactCoverSize(sys, all), 4);
+}
+
+TEST(SetSystem, BitVectorSystemStructure) {
+  for (int32_t d = 2; d <= 4; ++d) {
+    const SetSystem sys = sc::GenBitVectorSystem(d);
+    const int32_t n = (1 << d) - 1;
+    EXPECT_EQ(sys.num_elements(), n);
+    EXPECT_EQ(sys.num_sets(), n);
+    // Every element lies in exactly 2^{d-1} sets.
+    for (int32_t e = 0; e < n; ++e) {
+      EXPECT_EQ(static_cast<int32_t>(sys.covering(e).size()), 1 << (d - 1))
+          << "d=" << d << " e=" << e;
+    }
+  }
+}
+
+TEST(SetSystem, BitVectorExactCoverIsDimension) {
+  for (int32_t d = 2; d <= 4; ++d) {
+    const SetSystem sys = sc::GenBitVectorSystem(d);
+    std::vector<int32_t> all(static_cast<size_t>(sys.num_elements()));
+    std::iota(all.begin(), all.end(), 0);
+    EXPECT_EQ(sc::ExactCoverSize(sys, all), d) << "d=" << d;
+  }
+}
+
+TEST(SetSystem, BitVectorFractionalGap) {
+  const SetSystem sys = sc::GenBitVectorSystem(4);
+  std::vector<int32_t> all(15);
+  std::iota(all.begin(), all.end(), 0);
+  const double frac = sc::FractionalCoverValue(sys, all);
+  // x_S = 2^{1-d} covers fractionally: value (2^d - 1)/2^{d-1} = 15/8.
+  EXPECT_NEAR(frac, 15.0 / 8.0, 1e-6);
+  EXPECT_GT(static_cast<double>(sc::ExactCoverSize(sys, all)) / frac, 2.0);
+}
+
+TEST(Greedy, CoversAndIsReasonable) {
+  const SetSystem sys = TinySystem();
+  std::vector<int32_t> all = {0, 1, 2, 3, 4};
+  const auto cover = sc::GreedyCover(sys, all);
+  EXPECT_TRUE(sys.IsCover(cover, all));
+  EXPECT_LE(cover.size(), 3u);
+}
+
+TEST(Greedy, ExactCoverSizeHandExamples) {
+  const SetSystem sys = TinySystem();
+  EXPECT_EQ(sc::ExactCoverSize(sys, {0, 1, 2, 3, 4}), 2);  // {S1, S3}
+  EXPECT_EQ(sc::ExactCoverSize(sys, {0}), 1);
+  EXPECT_EQ(sc::ExactCoverSize(sys, {}), 0);
+}
+
+TEST(Greedy, GreedyWithinLnNOfExact) {
+  Rng seeds(6);
+  for (int trial = 0; trial < 8; ++trial) {
+    const SetSystem sys = sc::GenRandomSetSystem(16, 10, 0.2, seeds.Next());
+    std::vector<int32_t> all(16);
+    std::iota(all.begin(), all.end(), 0);
+    const auto greedy = sc::GreedyCover(sys, all);
+    const int32_t exact = sc::ExactCoverSize(sys, all);
+    const double bound = (std::log(16.0) + 1.0) * exact;
+    EXPECT_LE(static_cast<double>(greedy.size()), bound) << "trial " << trial;
+  }
+}
+
+TEST(Greedy, FractionalLowerBoundsIntegral) {
+  Rng seeds(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    const SetSystem sys = sc::GenRandomSetSystem(12, 8, 0.25, seeds.Next());
+    std::vector<int32_t> all(12);
+    std::iota(all.begin(), all.end(), 0);
+    const double frac = sc::FractionalCoverValue(sys, all);
+    const int32_t exact = sc::ExactCoverSize(sys, all);
+    EXPECT_LE(frac, exact + 1e-6) << "trial " << trial;
+    EXPECT_GT(frac, 0.0);
+  }
+}
+
+TEST(OnlineSetCover, AlwaysCovers) {
+  Rng seeds(8);
+  for (int trial = 0; trial < 5; ++trial) {
+    const SetSystem sys = sc::GenRandomSetSystem(24, 10, 0.15, seeds.Next());
+    sc::OnlineSetCover online(sys, seeds.Next());
+    std::vector<int32_t> arrived;
+    for (int32_t e = 0; e < sys.num_elements(); ++e) {
+      online.ProcessElement(e);
+      arrived.push_back(e);
+      std::vector<int32_t> chosen;
+      for (int32_t s = 0; s < sys.num_sets(); ++s) {
+        if (online.chosen()[static_cast<size_t>(s)]) chosen.push_back(s);
+      }
+      ASSERT_TRUE(sys.IsCover(chosen, arrived))
+          << "uncovered after element " << e;
+    }
+  }
+}
+
+TEST(OnlineSetCover, FractionalValueBoundedAndCoverSane) {
+  const SetSystem sys = sc::GenRandomSetSystem(20, 12, 0.15, 99);
+  sc::OnlineSetCover online(sys, 100);
+  for (int32_t e = 0; e < sys.num_elements(); ++e) online.ProcessElement(e);
+  std::vector<int32_t> all(20);
+  std::iota(all.begin(), all.end(), 0);
+  const int32_t exact = sc::ExactCoverSize(sys, all);
+  // O(log m log n) competitiveness, loose numeric version.
+  const double bound =
+      4.0 * (std::log(12.0) + 1.0) * (std::log(20.0) + 1.0) *
+          static_cast<double>(exact) + 4.0;
+  EXPECT_LE(static_cast<double>(online.cover_size()), bound);
+  EXPECT_GE(online.fractional_value(), 0.9);  // must fractionally cover
+}
+
+TEST(OnlineSetCover, RepeatedElementsAddNothing) {
+  const SetSystem sys = TinySystem();
+  sc::OnlineSetCover online(sys, 3);
+  online.ProcessElement(0);
+  const int32_t size_after_first = online.cover_size();
+  const auto added = online.ProcessElement(0);
+  EXPECT_TRUE(added.empty());
+  EXPECT_EQ(online.cover_size(), size_after_first);
+}
+
+// ---- Reduction (Section 3) -------------------------------------------------
+
+TEST(Reduction, TraceStructure) {
+  const SetSystem sys = TinySystem();
+  sc::ReductionOptions opts;
+  opts.repetitions = 2;
+  const auto red = sc::BuildRwPagingTrace(sys, {{0, 3}}, opts);
+  EXPECT_TRUE(ValidateTrace(red.trace));
+  EXPECT_EQ(red.trace.instance.cache_size(), sys.num_sets());
+  EXPECT_EQ(red.trace.instance.num_pages(),
+            sys.num_sets() + sys.num_elements());
+  EXPECT_EQ(red.phase_ranges.size(), 1u);
+  // Phase layout: m writes + per element (reps * (1 + |complement|) + m)
+  // + m writes.
+  const auto [begin, end] = red.phase_ranges[0];
+  EXPECT_EQ(begin, 0);
+  EXPECT_EQ(end, red.trace.length());
+  // First m requests are writes for the sets.
+  for (int32_t s = 0; s < sys.num_sets(); ++s) {
+    EXPECT_EQ(red.trace.requests[static_cast<size_t>(s)],
+              (Request{sc::SetPage(s), 1}));
+  }
+  // Last m requests are writes again.
+  for (int32_t s = 0; s < sys.num_sets(); ++s) {
+    EXPECT_EQ(red.trace.requests[red.trace.requests.size() -
+                                 static_cast<size_t>(sys.num_sets() - s)],
+              (Request{sc::SetPage(s), 1}));
+  }
+}
+
+TEST(Reduction, WeightsAreWriteHeavy) {
+  const SetSystem sys = TinySystem();
+  const auto red = sc::BuildRwPagingTrace(sys, {{0}}, {});
+  const Instance& inst = red.trace.instance;
+  EXPECT_EQ(inst.num_levels(), 2);
+  EXPECT_GE(inst.weight(0, 1), static_cast<Cost>(sys.num_elements()));
+  EXPECT_EQ(inst.weight(0, 2), 1.0);
+}
+
+TEST(Reduction, SoundnessDisjunction) {
+  // Lemma 3.3 in measurable form: per phase, EITHER the write pages a
+  // policy evicts form a valid cover of the phase's elements, OR every
+  // repetition of some rho(e) forces at least one eviction (cost >= 1
+  // each), so the phase cost is at least `repetitions`.
+  const SetSystem sys = sc::GenRandomSetSystem(8, 5, 0.3, 17);
+  std::vector<std::vector<int32_t>> phases = {{0, 1, 2, 3, 4, 5, 6, 7}};
+  sc::ReductionOptions opts;
+  opts.repetitions = 4;
+  const auto red = sc::BuildRwPagingTrace(sys, phases, opts);
+
+  WaterfillPolicy policy;
+  std::vector<CacheEvent> log;
+  SimOptions sim_opts;
+  sim_opts.event_log = &log;
+  const SimResult res = Simulate(red.trace, policy, sim_opts);
+  const auto analysis = sc::AnalyzeEvictions(sys, phases, red, log);
+  ASSERT_EQ(analysis.is_valid_cover.size(), 1u);
+  if (!analysis.is_valid_cover[0]) {
+    EXPECT_GE(res.eviction_cost, static_cast<double>(opts.repetitions));
+  } else {
+    EXPECT_FALSE(analysis.evicted_sets[0].empty());
+  }
+}
+
+TEST(Reduction, CompletenessCostBound) {
+  // Lemma 3.2: there is a solution of cost <= c(w + 1) + 2t; hence OPT on
+  // the reduced trace is at most that. Verified against the DP on a tiny
+  // system.
+  const SetSystem sys = SetSystem(2, {{0}, {1}, {0, 1}});
+  std::vector<std::vector<int32_t>> phases = {{0, 1}};
+  sc::ReductionOptions opts;
+  opts.repetitions = 2;
+  opts.write_weight = 4.0;
+  const auto red = sc::BuildRwPagingTrace(sys, phases, opts);
+  // Optimal cover: {S2} of size 1 => bound 1 * (4 + 1) + 2 * 2 = 9, plus
+  // the initial fill is free (eviction-cost convention).
+  // A feasible policy: Landlord.
+  LandlordPolicy p;
+  const SimResult res = Simulate(red.trace, p);
+  EXPECT_GT(res.eviction_cost, 0.0);
+  // Loose sanity: some solution achieves the Lemma 3.2 bound; Landlord may
+  // exceed it but not absurdly (k-competitive with k = 3).
+  EXPECT_LE(res.eviction_cost, 3.0 * 9.0 + 3.0 * 4.0);
+}
+
+TEST(Reduction, MultiPhaseRangesDisjoint) {
+  const SetSystem sys = TinySystem();
+  const auto red =
+      sc::BuildRwPagingTrace(sys, {{0, 1}, {2, 3}, {4}}, {});
+  ASSERT_EQ(red.phase_ranges.size(), 3u);
+  for (size_t i = 1; i < red.phase_ranges.size(); ++i) {
+    EXPECT_EQ(red.phase_ranges[i].first, red.phase_ranges[i - 1].second);
+  }
+  EXPECT_EQ(red.phase_ranges.back().second, red.trace.length());
+}
+
+}  // namespace
+}  // namespace wmlp

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/zipf.h"
+
+namespace wmlp {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BoundedInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(Rng, BoundedUniform) {
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextBounded(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_FALSE(rng.NextBernoulli(-0.5));
+    EXPECT_TRUE(rng.NextBernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(DeriveSeed, ChildStreamsIndependent) {
+  const uint64_t s1 = DeriveSeed(123, 0);
+  const uint64_t s2 = DeriveSeed(123, 1);
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(s1, DeriveSeed(123, 0));  // deterministic
+}
+
+TEST(Zipf, UniformWhenAlphaZero) {
+  ZipfSampler z(4, 0.0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(z.Probability(i), 0.25, 1e-12);
+  }
+}
+
+TEST(Zipf, ProbabilitiesSumToOne) {
+  ZipfSampler z(100, 0.9);
+  double sum = 0.0;
+  for (int i = 0; i < 100; ++i) sum += z.Probability(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, ProbabilitiesMonotone) {
+  ZipfSampler z(50, 1.2);
+  for (int i = 1; i < 50; ++i) {
+    EXPECT_LE(z.Probability(i), z.Probability(i - 1) + 1e-15);
+  }
+}
+
+TEST(Zipf, ExactRatios) {
+  ZipfSampler z(3, 1.0);
+  // Weights 1, 1/2, 1/3.
+  EXPECT_NEAR(z.Probability(0) / z.Probability(1), 2.0, 1e-9);
+  EXPECT_NEAR(z.Probability(0) / z.Probability(2), 3.0, 1e-9);
+}
+
+TEST(Zipf, EmpiricalMatchesExact) {
+  ZipfSampler z(8, 0.8);
+  Rng rng(21);
+  std::vector<int> counts(8, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<size_t>(z.Sample(rng))];
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<size_t>(i)]) / n,
+                z.Probability(i), 0.01);
+  }
+}
+
+TEST(RunningStat, MeanVarianceMinMax) {
+  RunningStat rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.Add(x);
+  EXPECT_EQ(rs.count(), 8);
+  EXPECT_NEAR(rs.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(rs.min(), 2.0);
+  EXPECT_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  RunningStat a, b, all;
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble() * 10.0;
+    (i % 2 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, EmptyAndSingle) {
+  RunningStat rs;
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  rs.Add(3.5);
+  EXPECT_EQ(rs.mean(), 3.5);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.ci95_halfwidth(), 0.0);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_NEAR(Percentile(xs, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(Percentile(xs, 1.0), 5.0, 1e-12);
+  EXPECT_NEAR(Percentile(xs, 0.5), 3.0, 1e-12);
+  EXPECT_NEAR(Percentile(xs, 0.25), 2.0, 1e-12);
+}
+
+TEST(Stats, GeoMean) {
+  std::vector<double> xs = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(GeoMean(xs), 4.0, 1e-9);
+}
+
+TEST(Stats, MeanAndStdDev) {
+  std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_NEAR(Mean(xs), 2.0, 1e-12);
+  EXPECT_NEAR(StdDev(xs), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace wmlp

@@ -1,0 +1,145 @@
+// Executes the Theorem 4.1 potential analysis step by step:
+//
+//   Phi = sum_{p in ON} [ k * v(p, i_p) * (w(p,i_p) - f(p,i_p))
+//                         + f(p, i_p) ]
+//
+// with v the offline optimum's prefix indicator at the online copy's
+// level, f the water levels, and the paper's cost convention (online
+// eviction costs w, online fetch earns w/2; offline pays w per eviction).
+// Claim (1): Delta(ON) + Delta(Phi) <= k * Delta(OFF) at every time step
+// (details deferred to the paper's full version — checked here by
+// machine on random 2-separated instances).
+#include <gtest/gtest.h>
+
+#include "core/waterfill.h"
+#include "offline/multilevel_dp.h"
+#include "trace/generators.h"
+#include "util/rng.h"
+
+namespace wmlp {
+namespace {
+
+double OffV(uint64_t state, PageId q, Level j, int32_t ell) {
+  const Level lvl = OptimalSchedule::LevelOf(state, q, ell);
+  if (lvl == 0) return 1.0;
+  return j < lvl ? 1.0 : 0.0;
+}
+
+double OffStepCost(const Instance& inst, uint64_t from, uint64_t to) {
+  double c = 0.0;
+  for (PageId q = 0; q < inst.num_pages(); ++q) {
+    const Level d0 = OptimalSchedule::LevelOf(from, q, inst.num_levels());
+    const Level d1 = OptimalSchedule::LevelOf(to, q, inst.num_levels());
+    if (d0 != 0 && d1 != d0) c += inst.weight(q, d0);
+  }
+  return c;
+}
+
+double Potential(const Instance& inst, const WaterfillPolicy& policy,
+                 const CacheState& cache, uint64_t off_state) {
+  const double k = static_cast<double>(inst.cache_size());
+  double phi = 0.0;
+  for (PageId p : cache.pages()) {
+    const Level ip = cache.level_of(p);
+    const double w = inst.weight(p, ip);
+    const double f = policy.WaterLevel(p, ip);
+    phi += k * OffV(off_state, p, ip, inst.num_levels()) * (w - f) + f;
+  }
+  return phi;
+}
+
+void VerifyWaterfillPotential(const Trace& trace) {
+  const Instance& inst = trace.instance;
+  const OptimalSchedule opt = MultiLevelOptimalSchedule(trace);
+  ASSERT_EQ(opt.states.size(), trace.requests.size());
+
+  WaterfillPolicy policy;
+  CacheState cache(inst);
+  CacheOps ops(inst, cache);
+  policy.Attach(inst);
+
+  const double k = static_cast<double>(inst.cache_size());
+  uint64_t off_prev = 0;
+  double phi_prev = 0.0;
+  double on_prev = 0.0;  // cumulative: evictions - fetches / 2
+  for (size_t t = 0; t < trace.requests.size(); ++t) {
+    ops.set_time(static_cast<Time>(t));
+    policy.Serve(static_cast<Time>(t), trace.requests[t], ops);
+    ASSERT_TRUE(cache.serves(trace.requests[t]));
+    ASSERT_LE(cache.size(), inst.cache_size());
+
+    const uint64_t off_now = opt.states[t];
+    const double on_now = ops.eviction_cost() - 0.5 * ops.fetch_cost();
+    const double phi_now = Potential(inst, policy, cache, off_now);
+    const double d_on = on_now - on_prev;
+    const double d_off = OffStepCost(inst, off_prev, off_now);
+    EXPECT_LE(d_on + (phi_now - phi_prev), k * d_off + 1e-6)
+        << "step " << t << ": dOn=" << d_on
+        << " dPhi=" << (phi_now - phi_prev) << " k*dOff=" << k * d_off;
+    off_prev = off_now;
+    phi_prev = phi_now;
+    on_prev = on_now;
+  }
+  // Telescoping: (evictions - fetches/2) <= k * OPT, so the true eviction
+  // cost is at most 2k * OPT + (weights of the final cache contents).
+  EXPECT_LE(on_prev, k * opt.cost + 1e-6);
+  EXPECT_LE(ops.eviction_cost(),
+            2.0 * k * opt.cost + 2.0 * k * inst.max_weight());
+}
+
+TEST(WaterfillPotential, SingleLevelUniform) {
+  Instance inst = Instance::Uniform(5, 2);
+  const Trace t = GenZipf(inst, 80, 0.6, LevelMix::AllLowest(1), 1);
+  VerifyWaterfillPotential(t);
+}
+
+TEST(WaterfillPotential, SingleLevelWeighted) {
+  Rng seeds(41);
+  for (int trial = 0; trial < 4; ++trial) {
+    Instance inst(5, 2, 1,
+                  MakeWeights(5, 1, WeightModel::kLogUniform, 8.0,
+                              seeds.Next()));
+    const Trace t = GenZipf(inst, 60, 0.6, LevelMix::AllLowest(1),
+                            seeds.Next());
+    VerifyWaterfillPotential(t);
+  }
+}
+
+TEST(WaterfillPotential, TwoLevelsSeparated) {
+  Rng seeds(42);
+  for (int trial = 0; trial < 4; ++trial) {
+    Instance inst(4, 2, 2,
+                  MakeWeights(4, 2, WeightModel::kGeometricLevels, 4.0,
+                              seeds.Next()));
+    const Trace t = GenZipf(inst, 50, 0.6, LevelMix::UniformMix(2),
+                            seeds.Next());
+    VerifyWaterfillPotential(t);
+  }
+}
+
+TEST(WaterfillPotential, AdversarialLoop) {
+  Instance inst = Instance::Uniform(4, 3);
+  const Trace t = GenLoop(inst, 60, 4, LevelMix::AllLowest(1));
+  VerifyWaterfillPotential(t);
+}
+
+TEST(WaterfillPotential, WaterLevelAccessorBounds) {
+  Instance inst(4, 2, 1, {{8.0}, {4.0}, {2.0}, {1.0}});
+  const Trace t = GenZipf(inst, 100, 0.7, LevelMix::AllLowest(1), 5);
+  WaterfillPolicy policy;
+  CacheState cache(inst);
+  CacheOps ops(inst, cache);
+  policy.Attach(inst);
+  for (Time i = 0; i < t.length(); ++i) {
+    policy.Serve(i, t.requests[static_cast<size_t>(i)], ops);
+    for (PageId p : cache.pages()) {
+      const Level lvl = cache.level_of(p);
+      const double f = policy.WaterLevel(p, lvl);
+      EXPECT_GE(f, 0.0);
+      EXPECT_LE(f, inst.weight(p, lvl));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wmlp

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "core/waterfill.h"
+#include "offline/multilevel_dp.h"
+#include "offline/weighted_opt.h"
+#include "sim/simulator.h"
+#include "trace/generators.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace wmlp {
+namespace {
+
+TEST(Waterfill, ServesAndStaysFeasible) {
+  Instance inst(20, 5, 3,
+                MakeWeights(20, 3, WeightModel::kGeometricLevels, 16.0, 1));
+  const Trace t = GenZipf(inst, 2000, 0.8, LevelMix::UniformMix(3), 2);
+  WaterfillPolicy p;
+  const SimResult res = Simulate(t, p);
+  EXPECT_GT(res.hits, 0);
+  EXPECT_GT(res.misses, 0);
+}
+
+TEST(Waterfill, MostlyFaultsOnAdversarialLoop) {
+  // With uniform weights the waterfill is FIFO-like (ties broken by page
+  // id give it occasional lucky hits); on the k+1 loop it must still fault
+  // on the large majority of requests while OPT faults once per lap.
+  Instance inst = Instance::Uniform(5, 4);
+  const Trace t = GenLoop(inst, 200, 5, LevelMix::AllLowest(1));
+  WaterfillPolicy p;
+  const SimResult res = Simulate(t, p);
+  EXPECT_LT(res.hit_rate(), 0.3);
+}
+
+TEST(Waterfill, ForcedReplacementPath) {
+  // (0,2) cached; request (0,1) must replace without waterfill eviction.
+  Instance inst(4, 2, 2, {{8.0, 2.0}, {8.0, 2.0}, {8.0, 2.0}, {8.0, 2.0}});
+  Trace t{inst, {{0, 2}, {0, 1}}};
+  WaterfillPolicy p;
+  const SimResult res = Simulate(t, p);
+  EXPECT_EQ(res.evictions, 1);
+  EXPECT_NEAR(res.eviction_cost, 2.0, 1e-12);
+}
+
+TEST(Waterfill, PrefersEvictingCheapCopies) {
+  // Expensive page 0 (w=64) and cheap pages: the first waterfill eviction
+  // drowns a cheap copy first.
+  Instance inst(4, 2, 1, {{64.0}, {2.0}, {2.0}, {2.0}});
+  Trace t{inst, {{0, 1}, {1, 1}, {2, 1}}};
+  WaterfillPolicy p;
+  std::vector<CacheEvent> log;
+  SimOptions opts;
+  opts.event_log = &log;
+  Simulate(t, p, opts);
+  std::vector<PageId> evicted;
+  for (const auto& ev : log) {
+    if (ev.kind == CacheEvent::Kind::kEvict) evicted.push_back(ev.page);
+  }
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 1);
+}
+
+TEST(Waterfill, EmpiricallyOKCompetitiveSingleLevel) {
+  // Theorem 4.1 (2k with separation; 4k general): measured ratio against
+  // exact OPT stays below 4k + slack on random weighted traces.
+  Rng seeds(3);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int32_t k = 3 + static_cast<int32_t>(seeds.Next() % 3);
+    Instance inst(k * 3, k, 1,
+                  MakeWeights(k * 3, 1, WeightModel::kLogUniform, 32.0,
+                              seeds.Next()));
+    const Trace t = GenZipf(inst, 800, 0.6, LevelMix::AllLowest(1),
+                            seeds.Next());
+    const Cost opt = WeightedCachingOpt(t);
+    if (opt < 1.0) continue;
+    WaterfillPolicy p;
+    const SimResult res = Simulate(t, p);
+    EXPECT_LE(res.eviction_cost,
+              4.0 * k * opt + 2.0 * inst.max_weight())
+        << "trial " << trial << " k=" << k;
+  }
+}
+
+TEST(Waterfill, EmpiricallyOKCompetitiveMultiLevel) {
+  Rng seeds(4);
+  for (int trial = 0; trial < 5; ++trial) {
+    Instance inst(5, 2, 2,
+                  MakeWeights(5, 2, WeightModel::kGeometricLevels, 4.0,
+                              seeds.Next()));
+    const Trace t = GenZipf(inst, 120, 0.6, LevelMix::UniformMix(2),
+                            seeds.Next());
+    const Cost opt = MultiLevelOptimal(t);
+    WaterfillPolicy p;
+    const SimResult res = Simulate(t, p);
+    EXPECT_LE(res.eviction_cost, 4.0 * 2 * opt + 3.0 * inst.max_weight())
+        << "trial " << trial;
+  }
+}
+
+TEST(Waterfill, DeterministicAcrossRuns) {
+  Instance inst(16, 4, 2,
+                MakeWeights(16, 2, WeightModel::kGeometricLevels, 8.0, 5));
+  const Trace t = GenZipf(inst, 500, 0.8, LevelMix::UniformMix(2), 6);
+  WaterfillPolicy a, b;
+  EXPECT_EQ(Simulate(t, a).eviction_cost, Simulate(t, b).eviction_cost);
+}
+
+TEST(Waterfill, NoEvictionWithoutPressure) {
+  Instance inst = Instance::Uniform(4, 4);
+  const Trace t = GenZipf(inst, 100, 0.5, LevelMix::AllLowest(1), 7);
+  WaterfillPolicy p;
+  EXPECT_EQ(Simulate(t, p).evictions, 0);
+}
+
+}  // namespace
+}  // namespace wmlp

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "baselines/landlord.h"
+#include "baselines/lru.h"
+#include "core/randomized.h"
+#include "offline/multilevel_dp.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "writeback/rw_reduction.h"
+#include "writeback/wb_trace_io.h"
+#include "writeback/writeback_policies.h"
+#include "writeback/writeback_simulator.h"
+
+namespace wmlp {
+namespace {
+
+using wb::Op;
+using wb::WbInstance;
+using wb::WbRequest;
+using wb::WbTrace;
+
+WbInstance SmallWb(int32_t n = 4, int32_t k = 2, Cost w1 = 5.0,
+                   Cost w2 = 1.0) {
+  return WbInstance(n, k, std::vector<Cost>(static_cast<size_t>(n), w1),
+                    std::vector<Cost>(static_cast<size_t>(n), w2));
+}
+
+TEST(WbInstance, ValidatesWeights) {
+  EXPECT_DEATH(WbInstance(1, 1, {1.0}, {2.0}), "w1 >= w2");
+  EXPECT_DEATH(WbInstance(1, 1, {2.0}, {0.5}), "w2 >= 1");
+}
+
+TEST(WbCacheState, DirtyLifecycle) {
+  const WbInstance inst = SmallWb();
+  wb::WbCacheState c(inst);
+  c.Insert(0);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.dirty(0));
+  c.MarkDirty(0);
+  EXPECT_TRUE(c.dirty(0));
+  EXPECT_TRUE(c.Remove(0));  // was dirty
+  EXPECT_FALSE(c.contains(0));
+}
+
+TEST(WbSimulator, DirtyEvictionCostsMore) {
+  const WbInstance inst = SmallWb(3, 1);
+  WbTrace t{inst,
+            {{0, Op::kWrite}, {1, Op::kRead}, {2, Op::kRead}}};
+  wb::WbLru p;
+  const auto res = wb::Simulate(t, p);
+  // Evict dirty 0 (5) then clean 1 (1).
+  EXPECT_EQ(res.evictions, 2);
+  EXPECT_EQ(res.dirty_evictions, 1);
+  EXPECT_NEAR(res.eviction_cost, 6.0, 1e-12);
+  EXPECT_NEAR(res.writeback_cost, 4.0, 1e-12);
+}
+
+TEST(WbSimulator, WriteHitDirtiesForFree) {
+  const WbInstance inst = SmallWb(2, 2);
+  WbTrace t{inst, {{0, Op::kRead}, {0, Op::kWrite}}};
+  wb::WbLru p;
+  const auto res = wb::Simulate(t, p);
+  EXPECT_EQ(res.hits, 1);
+  EXPECT_NEAR(res.eviction_cost, 0.0, 1e-12);
+}
+
+TEST(Reduction, RoundTripInstances) {
+  const WbInstance inst = SmallWb(5, 3, 7.0, 2.0);
+  const Instance rw = wb::ToRwInstance(inst);
+  EXPECT_EQ(rw.num_levels(), 2);
+  EXPECT_EQ(rw.num_pages(), 5);
+  EXPECT_EQ(rw.weight(0, 1), 7.0);
+  EXPECT_EQ(rw.weight(0, 2), 2.0);
+  const WbInstance back = wb::ToWbInstance(rw);
+  EXPECT_EQ(back, inst);
+}
+
+TEST(Reduction, RoundTripTraces) {
+  WbTrace t{SmallWb(), {{0, Op::kWrite}, {1, Op::kRead}, {0, Op::kRead}}};
+  const Trace rw = wb::ToRwTrace(t);
+  ASSERT_EQ(rw.requests.size(), 3u);
+  EXPECT_EQ(rw.requests[0], (Request{0, 1}));
+  EXPECT_EQ(rw.requests[1], (Request{1, 2}));
+  EXPECT_EQ(rw.requests[2], (Request{0, 2}));
+  const WbTrace back = wb::ToWbTrace(rw);
+  EXPECT_EQ(back.requests, t.requests);
+}
+
+TEST(Reduction, AdapterCostNeverExceedsRwCost) {
+  // Lemma 2.1 direction: the induced writeback policy pays at most what the
+  // RW policy pays on the reduced instance.
+  Rng seeds(31337);
+  for (int trial = 0; trial < 6; ++trial) {
+    wb::WbWorkloadOptions opts;
+    opts.num_pages = 16;
+    opts.cache_size = 4;
+    opts.length = 600;
+    opts.write_ratio = 0.35;
+    opts.dirty_cost = 8.0;
+    opts.clean_cost = 1.0;
+    opts.seed = seeds.Next();
+    const WbTrace t = wb::GenWbZipf(opts);
+    const Trace rw = wb::ToRwTrace(t);
+
+    // RW policy cost on the reduced trace.
+    LandlordPolicy rw_policy;
+    const SimResult rw_res = Simulate(rw, rw_policy);
+
+    // Same policy driven through the adapter on the writeback side.
+    wb::WbFromRwPolicy adapter(std::make_unique<LandlordPolicy>());
+    const auto wb_res = wb::Simulate(t, adapter);
+    EXPECT_LE(wb_res.eviction_cost, rw_res.eviction_cost + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(Reduction, AdapterWithRandomizedPolicy) {
+  wb::WbWorkloadOptions opts;
+  opts.num_pages = 12;
+  opts.cache_size = 4;
+  opts.length = 300;
+  opts.write_ratio = 0.5;
+  opts.dirty_cost = 16.0;
+  opts.clean_cost = 1.0;
+  opts.seed = 5;
+  const WbTrace t = wb::GenWbZipf(opts);
+  const Trace rw = wb::ToRwTrace(t);
+
+  PolicyPtr rw_policy = MakeRandomizedPolicy(77);
+  const SimResult rw_res = Simulate(rw, *rw_policy);
+
+  wb::WbFromRwPolicy adapter(MakeRandomizedPolicy(77));
+  const auto wb_res = wb::Simulate(t, adapter);
+  EXPECT_LE(wb_res.eviction_cost, rw_res.eviction_cost + 1e-9);
+}
+
+TEST(Reduction, OptimaEqualOnLoop) {
+  const WbTrace t = wb::GenWbLoop(4, 2, 20, 3, 4.0, 1.0);
+  EXPECT_NEAR(WritebackOptimal(t), MultiLevelOptimal(wb::ToRwTrace(t)),
+              1e-9);
+}
+
+// ---- Native writeback baselines -------------------------------------------
+
+class WbPolicySuite : public ::testing::TestWithParam<int> {};
+
+wb::WbPolicyPtr MakeWbPolicy(int which) {
+  switch (which) {
+    case 0: return std::make_unique<wb::WbLru>();
+    case 1: return std::make_unique<wb::WbCleanFirstLru>();
+    case 2: return std::make_unique<wb::WbLandlord>();
+    default: return nullptr;
+  }
+}
+
+const char* WbPolicyName(int which) {
+  static const char* names[] = {"lru", "cleanfirst", "landlord"};
+  return names[which];
+}
+
+TEST_P(WbPolicySuite, FeasibleOnMixedWorkload) {
+  wb::WbWorkloadOptions opts;
+  opts.num_pages = 24;
+  opts.cache_size = 6;
+  opts.length = 2000;
+  opts.write_ratio = 0.4;
+  opts.seed = 11;
+  const WbTrace t = wb::GenWbZipf(opts);
+  auto p = MakeWbPolicy(GetParam());
+  const auto res = wb::Simulate(t, *p);
+  EXPECT_GT(res.hits, 0);
+  EXPECT_GT(res.misses, 0);
+}
+
+TEST_P(WbPolicySuite, AllWritesMakesEveryEvictionDirty) {
+  wb::WbWorkloadOptions opts;
+  opts.num_pages = 10;
+  opts.cache_size = 3;
+  opts.length = 500;
+  opts.write_ratio = 1.0;
+  opts.seed = 13;
+  const WbTrace t = wb::GenWbZipf(opts);
+  auto p = MakeWbPolicy(GetParam());
+  const auto res = wb::Simulate(t, *p);
+  EXPECT_EQ(res.evictions, res.dirty_evictions);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWbPolicies, WbPolicySuite,
+                         ::testing::Range(0, 3),
+                         [](const auto& info) {
+                           return WbPolicyName(info.param);
+                         });
+
+TEST(WbCleanFirstLru, AvoidsDirtyEvictionsWhenPossible) {
+  const WbInstance inst = SmallWb(4, 2, 100.0, 1.0);
+  // Dirty 0, clean 1 in cache; fetching 2 must evict clean 1.
+  WbTrace t{inst, {{0, Op::kWrite}, {1, Op::kRead}, {2, Op::kRead}}};
+  wb::WbCleanFirstLru p;
+  const auto res = wb::Simulate(t, p);
+  EXPECT_EQ(res.dirty_evictions, 0);
+  EXPECT_NEAR(res.eviction_cost, 1.0, 1e-12);
+}
+
+TEST(WbLru, ObliviousToDirtyBits) {
+  const WbInstance inst = SmallWb(4, 2, 100.0, 1.0);
+  WbTrace t{inst, {{0, Op::kWrite}, {1, Op::kRead}, {2, Op::kRead}}};
+  wb::WbLru p;
+  const auto res = wb::Simulate(t, p);
+  // LRU evicts page 0 (oldest) despite the writeback premium.
+  EXPECT_EQ(res.dirty_evictions, 1);
+  EXPECT_NEAR(res.eviction_cost, 100.0, 1e-12);
+}
+
+TEST(WbTraceIo, RoundTrip) {
+  wb::WbWorkloadOptions opts;
+  opts.num_pages = 6;
+  opts.cache_size = 3;
+  opts.length = 40;
+  opts.write_ratio = 0.5;
+  opts.page_dependent = true;
+  opts.dirty_cost = 9.0;
+  opts.seed = 77;
+  const WbTrace t = wb::GenWbZipf(opts);
+  std::string err;
+  const auto back = wb::WbTraceFromString(wb::WbTraceToString(t), &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->instance, t.instance);
+  EXPECT_EQ(back->requests, t.requests);
+}
+
+TEST(WbTraceIo, RejectsBadInput) {
+  std::string err;
+  EXPECT_FALSE(wb::WbTraceFromString("nope\n", &err).has_value());
+  EXPECT_NE(err.find("magic"), std::string::npos);
+  // w1 < w2.
+  EXPECT_FALSE(
+      wb::WbTraceFromString("wmlp-wbtrace v1\n1 1\n1 2\n0\n", &err)
+          .has_value());
+  // Bad op char.
+  EXPECT_FALSE(
+      wb::WbTraceFromString("wmlp-wbtrace v1\n1 1\n2 1\n1\n0 X\n", &err)
+          .has_value());
+  // Out-of-range page.
+  EXPECT_FALSE(
+      wb::WbTraceFromString("wmlp-wbtrace v1\n1 1\n2 1\n1\n4 R\n", &err)
+          .has_value());
+}
+
+TEST(GenWb, PageDependentWeightsRespectOrdering) {
+  wb::WbWorkloadOptions opts;
+  opts.num_pages = 40;
+  opts.page_dependent = true;
+  opts.dirty_cost = 50.0;
+  opts.clean_cost = 1.0;
+  opts.length = 1;
+  opts.seed = 3;
+  const WbTrace t = wb::GenWbZipf(opts);
+  for (PageId p = 0; p < 40; ++p) {
+    EXPECT_GE(t.instance.dirty_weight(p), t.instance.clean_weight(p));
+    EXPECT_GE(t.instance.clean_weight(p), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace wmlp

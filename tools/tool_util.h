@@ -1,0 +1,57 @@
+// Tiny flag parsing shared by the CLI tools: --key value pairs plus bare
+// --flags, with typed getters and defaults.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+namespace wmlp::tools {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      arg = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "";
+      }
+    }
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string GetString(const std::string& key,
+                        const std::string& def = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t def) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def
+                               : std::strtoll(it->second.c_str(), nullptr,
+                                              10);
+  }
+
+  double GetDouble(const std::string& key, double def) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+[[noreturn]] inline void Die(const std::string& message) {
+  std::cerr << "error: " << message << "\n";
+  std::exit(1);
+}
+
+}  // namespace wmlp::tools

@@ -1,0 +1,103 @@
+// Run an online policy on a saved or imported trace.
+//
+// Usage:
+//   wmlp_run --trace t.wmlp --policy landlord [--seed 1] [--trials 5]
+//            [--opt]
+//   wmlp_run --import accesses.log --k 64 [--dirty 10] [--clean 1] ...
+//
+// --import reads a plain key/op log (one "<key> [R|W]" per line; see
+// trace/import.h) instead of the wmlp trace format.
+// --opt also computes the offline optimum bounds and prints ratios.
+// Randomized policies are averaged over --trials seeds.
+#include <iostream>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "harness/thread_pool.h"
+#include "offline/bounds.h"
+#include "registry/policy_registry.h"
+#include "tool_util.h"
+#include "trace/import.h"
+#include "trace/trace_io.h"
+
+int main(int argc, char** argv) {
+  using namespace wmlp;
+  const tools::Flags flags(argc, argv);
+  const std::string path = flags.GetString("trace");
+  const std::string import_path = flags.GetString("import");
+  const std::string policy_name = flags.GetString("policy", "lru");
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const int32_t trials = static_cast<int32_t>(flags.GetInt("trials", 1));
+  if (path.empty() && import_path.empty()) {
+    tools::Die("--trace or --import is required");
+  }
+
+  std::string err;
+  std::optional<Trace> trace;
+  if (!import_path.empty()) {
+    ImportOptions iopts;
+    iopts.cache_size = static_cast<int32_t>(flags.GetInt("k", 16));
+    iopts.dirty_cost = flags.GetDouble("dirty", 10.0);
+    iopts.clean_cost = flags.GetDouble("clean", 1.0);
+    iopts.max_requests = flags.GetInt("max-requests", -1);
+    auto imported = ImportKeyTraceFile(import_path, iopts, &err);
+    if (!imported) tools::Die(err);
+    std::cout << "imported " << imported->trace.requests.size()
+              << " requests over " << imported->trace.instance.num_pages()
+              << " keys"
+              << (imported->has_ops ? " (RW-paging via read/write ops)"
+                                    : " (single level)")
+              << "\n";
+    trace = std::move(imported->trace);
+  } else {
+    trace = ReadTraceFile(path, &err);
+    if (!trace) tools::Die(err);
+  }
+
+  // Validate the policy name once.
+  if (MakePolicyByName(policy_name, seed) == nullptr) {
+    std::string names;
+    for (const auto& n : KnownPolicyNames()) names += " " + n;
+    tools::Die("unknown policy '" + policy_name + "'; known:" + names);
+  }
+
+  ThreadPool pool;
+  const auto results = RunTrials(
+      pool, *trace,
+      [&](uint64_t s) { return MakePolicyByName(policy_name, s); }, trials,
+      seed);
+
+  RunningStat cost, hits;
+  int64_t evictions = 0;
+  for (const auto& r : results) {
+    cost.Add(r.eviction_cost);
+    hits.Add(r.hit_rate());
+    evictions += r.evictions;
+  }
+  std::cout << "policy " << policy_name << " on "
+            << (import_path.empty() ? path : import_path) << " ("
+            << trace->length() << " requests, "
+            << trace->instance.DebugString() << ")\n";
+  std::cout << "  eviction cost: " << Fmt(cost.mean(), 2);
+  if (trials > 1) {
+    std::cout << " +- " << Fmt(cost.ci95_halfwidth(), 2) << " (" << trials
+              << " trials)";
+  }
+  std::cout << "\n  hit rate:      " << Fmt(hits.mean(), 4) << "\n";
+  std::cout << "  evictions:     " << evictions / trials << "\n";
+
+  if (flags.Has("opt")) {
+    const OfflineBounds b = ComputeOfflineBounds(*trace);
+    if (b.exact) {
+      std::cout << "  offline OPT:   " << Fmt(b.lower, 2)
+                << " (exact)\n  ratio:         "
+                << Fmt(cost.mean() / b.lower, 3) << "\n";
+    } else {
+      std::cout << "  offline OPT in [" << Fmt(b.lower, 2) << ", "
+                << Fmt(b.upper, 2) << "]\n  ratio in      ["
+                << Fmt(cost.mean() / b.upper, 3) << ", "
+                << Fmt(cost.mean() / b.lower, 3) << "]\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Generate a synthetic trace and write it to the wmlp text format.
+//
+// Usage:
+//   wmlp_tracegen --kind zipf --n 64 --k 8 --ell 2 --length 10000
+//       --alpha 0.8 --weights geometric --ratio 8 --mix uniform
+//       --seed 1 --out trace.wmlp
+//
+// Kinds: zipf, uniform, loop (--loop-size), phases (--ws-size,
+// --phase-len), scan (--scan-len, --scan-prob), markov (--stay, --window),
+// wadv (weighted adversary; ignores --n/--ell), multigran (--chunks,
+// --sectors, --chunk-prob; ignores --n/--ell).
+// Weights: uniform, geometric, zipfpages, loguniform.
+// Mix: lowest, uniform, rw:<write_ratio>, geo:<decay>.
+#include <iostream>
+
+#include "tool_util.h"
+#include "trace/generators.h"
+#include "trace/trace.h"
+#include "trace/trace_io.h"
+
+namespace wmlp {
+namespace {
+
+WeightModel ParseWeights(const std::string& s) {
+  if (s == "uniform") return WeightModel::kUniform;
+  if (s == "geometric") return WeightModel::kGeometricLevels;
+  if (s == "zipfpages") return WeightModel::kZipfPages;
+  if (s == "loguniform") return WeightModel::kLogUniform;
+  tools::Die("unknown --weights '" + s + "'");
+}
+
+LevelMix ParseMix(const std::string& s, int32_t ell) {
+  if (s == "lowest") return LevelMix::AllLowest(ell);
+  if (s == "uniform") return LevelMix::UniformMix(ell);
+  if (s.rfind("rw:", 0) == 0) {
+    if (ell != 2) tools::Die("--mix rw requires --ell 2");
+    return LevelMix::ReadWrite(std::strtod(s.c_str() + 3, nullptr));
+  }
+  if (s.rfind("geo:", 0) == 0) {
+    return LevelMix::Geometric(ell, std::strtod(s.c_str() + 4, nullptr));
+  }
+  tools::Die("unknown --mix '" + s + "'");
+}
+
+}  // namespace
+}  // namespace wmlp
+
+int main(int argc, char** argv) {
+  using namespace wmlp;
+  const tools::Flags flags(argc, argv);
+  const std::string kind = flags.GetString("kind", "zipf");
+  const int32_t n = static_cast<int32_t>(flags.GetInt("n", 64));
+  const int32_t k = static_cast<int32_t>(flags.GetInt("k", 8));
+  const int32_t ell = static_cast<int32_t>(flags.GetInt("ell", 1));
+  const int64_t length = flags.GetInt("length", 10000);
+  const double alpha = flags.GetDouble("alpha", 0.8);
+  const double ratio = flags.GetDouble("ratio", 8.0);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const std::string out = flags.GetString("out");
+  if (out.empty()) tools::Die("--out is required");
+
+  const WeightModel wm = ParseWeights(flags.GetString("weights", "geometric"));
+  const LevelMix mix = ParseMix(flags.GetString("mix", "lowest"), ell);
+  Instance inst(n, k, ell, MakeWeights(n, ell, wm, ratio, seed));
+
+  Trace trace{Instance::Uniform(1, 1), {}};
+  if (kind == "zipf") {
+    trace = GenZipf(inst, length, alpha, mix, seed + 1);
+  } else if (kind == "uniform") {
+    trace = GenUniform(inst, length, mix, seed + 1);
+  } else if (kind == "loop") {
+    trace = GenLoop(inst, length,
+                    static_cast<int32_t>(flags.GetInt("loop-size", k + 1)),
+                    mix);
+  } else if (kind == "phases") {
+    trace = GenPhases(inst, length,
+                      static_cast<int32_t>(flags.GetInt("ws-size", k + 4)),
+                      flags.GetInt("phase-len", 500), alpha, mix, seed + 1);
+  } else if (kind == "scan") {
+    trace = GenScanMix(inst, length,
+                       alpha,
+                       static_cast<int32_t>(flags.GetInt("scan-len", 32)),
+                       flags.GetDouble("scan-prob", 0.02), mix, seed + 1);
+  } else if (kind == "markov") {
+    trace = GenMarkov(inst, length, flags.GetDouble("stay", 0.7),
+                      static_cast<int32_t>(flags.GetInt("window", 16)),
+                      alpha, mix, seed + 1);
+  } else if (kind == "wadv") {
+    trace = GenWeightedAdversary(k, length, ratio, seed + 1);
+  } else if (kind == "multigran") {
+    trace = GenMultiGranularity(
+        static_cast<int32_t>(flags.GetInt("chunks", 32)),
+        static_cast<int32_t>(flags.GetInt("sectors", 8)), k, length,
+        flags.GetDouble("chunk-prob", 0.15), alpha, seed + 1);
+  } else {
+    tools::Die("unknown --kind '" + kind + "'");
+  }
+
+  if (!WriteTraceFile(trace, out)) tools::Die("cannot write " + out);
+  const TraceStats stats = ComputeStats(trace);
+  std::cout << "wrote " << out << ": " << trace.instance.DebugString()
+            << ", T=" << stats.length << ", distinct pages "
+            << stats.distinct_pages << ", mean level "
+            << stats.mean_level << "\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Generate or load a writeback trace and run writeback-aware policies.
+//
+// Usage:
+//   wmlp_wbrun --n 64 --k 8 --length 10000 --write-ratio 0.3
+//       --dirty 20 --clean 1 [--alpha 0.8] [--seed 1] [--save t.wbtrace]
+//   wmlp_wbrun --trace t.wbtrace
+//
+// Runs the native writeback baselines and the paper's algorithms through
+// the Lemma 2.1 reduction, printing a comparison against the offline
+// lower bound.
+#include <iostream>
+
+#include "core/randomized.h"
+#include "core/waterfill.h"
+#include "harness/table.h"
+#include "offline/multilevel_dp.h"
+#include "offline/weighted_opt.h"
+#include "tool_util.h"
+#include "writeback/rw_reduction.h"
+#include "writeback/wb_trace_io.h"
+#include "writeback/writeback_policies.h"
+#include "writeback/writeback_simulator.h"
+
+int main(int argc, char** argv) {
+  using namespace wmlp;
+  const tools::Flags flags(argc, argv);
+
+  wb::WbTrace trace{wb::WbInstance(1, 1, {1.0}, {1.0}), {}};
+  if (flags.Has("trace")) {
+    std::string err;
+    auto loaded = wb::ReadWbTraceFile(flags.GetString("trace"), &err);
+    if (!loaded) tools::Die(err);
+    trace = std::move(*loaded);
+  } else {
+    wb::WbWorkloadOptions opts;
+    opts.num_pages = static_cast<int32_t>(flags.GetInt("n", 64));
+    opts.cache_size = static_cast<int32_t>(flags.GetInt("k", 8));
+    opts.length = flags.GetInt("length", 10000);
+    opts.alpha = flags.GetDouble("alpha", 0.8);
+    opts.write_ratio = flags.GetDouble("write-ratio", 0.3);
+    opts.dirty_cost = flags.GetDouble("dirty", 20.0);
+    opts.clean_cost = flags.GetDouble("clean", 1.0);
+    opts.page_dependent = flags.Has("page-dependent");
+    opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+    trace = wb::GenWbZipf(opts);
+  }
+  if (flags.Has("save")) {
+    if (!wb::WriteWbTraceFile(trace, flags.GetString("save"))) {
+      tools::Die("cannot write " + flags.GetString("save"));
+    }
+    std::cout << "saved trace to " << flags.GetString("save") << "\n";
+  }
+
+  const Cost lb = MultiLevelLowerBound(wb::ToRwTrace(trace));
+  std::cout << "writeback trace: n=" << trace.instance.num_pages()
+            << " k=" << trace.instance.cache_size()
+            << " T=" << trace.length() << "; offline lower bound " << lb
+            << "\n\n";
+
+  // Small instances: exact optimum too.
+  if (trace.instance.num_pages() <= 10 && trace.length() <= 200) {
+    std::cout << "exact offline optimum: " << WritebackOptimal(trace)
+              << "\n\n";
+  }
+
+  Table table({"policy", "cost", "vs-LB", "dirty-evictions"});
+  auto report = [&](wb::WbPolicy& p) {
+    const auto res = wb::Simulate(trace, p);
+    table.AddRow({p.name(), Fmt(res.eviction_cost, 1),
+                  lb > 0 ? Fmt(res.eviction_cost / lb, 2) : "-",
+                  FmtInt(res.dirty_evictions)});
+  };
+  wb::WbLru lru;
+  wb::WbCleanFirstLru clean_first;
+  wb::WbLandlord landlord;
+  wb::WbFromRwPolicy waterfill(std::make_unique<WaterfillPolicy>());
+  wb::WbFromRwPolicy randomized(
+      MakeRandomizedPolicy(static_cast<uint64_t>(flags.GetInt("seed", 1))));
+  report(lru);
+  report(clean_first);
+  report(landlord);
+  report(waterfill);
+  report(randomized);
+  table.Print(std::cout);
+  return 0;
+}
