@@ -2,15 +2,18 @@
 // the distribution-free rounding is "easy to implement and very efficient"
 // compared to maintaining a distribution over cache states.
 //
+// Policies are constructed by registry name and driven through the engine
+// (TraceSource + Engine), i.e. the exact production serve loop. The
+// *Observed variant attaches a CostMeter + LatencyHistogram to measure the
+// observer indirection, which should be within noise of the bare run.
+//
 // Reports requests/second for each policy across (n, k, ell) points.
 #include <benchmark/benchmark.h>
 
-#include "baselines/landlord.h"
-#include "baselines/lru.h"
 #include "core/fractional.h"
-#include "core/randomized.h"
-#include "core/waterfill.h"
-#include "sim/simulator.h"
+#include "engine/engine.h"
+#include "engine/step_observers.h"
+#include "registry/policy_registry.h"
 #include "trace/generators.h"
 
 namespace wmlp {
@@ -24,38 +27,43 @@ Trace BenchTrace(int32_t n, int32_t k, int32_t ell) {
                  8);
 }
 
-template <typename MakePolicy>
-void RunPolicyBench(benchmark::State& state, MakePolicy make) {
+void RunPolicyBench(benchmark::State& state, const std::string& name,
+                    bool observed = false) {
   const int32_t n = static_cast<int32_t>(state.range(0));
   const int32_t k = static_cast<int32_t>(state.range(1));
   const int32_t ell = static_cast<int32_t>(state.range(2));
   const Trace trace = BenchTrace(n, k, ell);
+  TraceSource source(trace);
   for (auto _ : state) {
-    auto policy = make();
-    const SimResult res = Simulate(trace, *policy);
+    auto policy = MakePolicyByName(name, 3);
+    source.Reset();
+    CostMeter meter;
+    LatencyHistogram latency;
+    MultiObserver multi({&meter, &latency});
+    EngineOptions opts;
+    if (observed) opts.observer = &multi;
+    Engine engine(source, *policy, opts);
+    const SimResult res = engine.Run();
     benchmark::DoNotOptimize(res.eviction_cost);
   }
   state.SetItemsProcessed(state.iterations() * trace.length());
 }
 
-void BM_Lru(benchmark::State& state) {
-  RunPolicyBench(state, [] { return std::make_unique<LruPolicy>(); });
+void BM_Lru(benchmark::State& state) { RunPolicyBench(state, "lru"); }
+void BM_LruObserved(benchmark::State& state) {
+  RunPolicyBench(state, "lru", /*observed=*/true);
 }
 void BM_Landlord(benchmark::State& state) {
-  RunPolicyBench(state, [] { return std::make_unique<LandlordPolicy>(); });
+  RunPolicyBench(state, "landlord");
 }
 void BM_Waterfill(benchmark::State& state) {
-  RunPolicyBench(state, [] { return std::make_unique<WaterfillPolicy>(); });
+  RunPolicyBench(state, "waterfill");
 }
 void BM_Randomized(benchmark::State& state) {
-  RunPolicyBench(state, [] { return MakeRandomizedPolicy(3); });
+  RunPolicyBench(state, "randomized");
 }
 void BM_RandomizedLinearEngine(benchmark::State& state) {
-  RunPolicyBench(state, [] {
-    RandomizedOptions opts;
-    opts.engine = FractionalEngine::kLinear;
-    return MakeRandomizedPolicy(3, opts);
-  });
+  RunPolicyBench(state, "fractional-rounded-linear");
 }
 
 void BM_FractionalOnly(benchmark::State& state) {
@@ -84,6 +92,7 @@ void BM_FractionalOnly(benchmark::State& state) {
       ->Unit(benchmark::kMillisecond)
 
 BENCHMARK(BM_Lru) WMLP_PERF_ARGS;
+BENCHMARK(BM_LruObserved) WMLP_PERF_ARGS;
 BENCHMARK(BM_Landlord) WMLP_PERF_ARGS;
 BENCHMARK(BM_Waterfill) WMLP_PERF_ARGS;
 BENCHMARK(BM_Randomized) WMLP_PERF_ARGS;

@@ -14,7 +14,10 @@ for arg in "$@"; do
   esac
 done
 
-cmake -B build -G Ninja >/dev/null
+# Benchmarks must run optimized; a Debug build here once produced a
+# full_run.txt with google-benchmark's "Library was built as DEBUG" warning
+# and ~10x-off throughput numbers.
+cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build >/dev/null
 mkdir -p "$OUT"
 

@@ -5,9 +5,9 @@
 namespace wmlp {
 
 std::shared_ptr<const FracTrajectory> FracTrajectory::Record(
-    FractionalPolicy& inner, const Trace& trace) {
+    FractionalPolicy& inner, RequestSource& source) {
   auto traj = std::make_shared<FracTrajectory>();
-  const Instance& inst = trace.instance;
+  const Instance& inst = source.instance();
   const int32_t ell = inst.num_levels();
   traj->num_pages_ = inst.num_pages();
   traj->num_levels_ = ell;
@@ -16,8 +16,9 @@ std::shared_ptr<const FracTrajectory> FracTrajectory::Record(
   // Previous values so only genuine changes are recorded.
   std::vector<double> prev(
       static_cast<size_t>(inst.num_pages()) * static_cast<size_t>(ell), 1.0);
-  for (Time t = 0; t < trace.length(); ++t) {
-    inner.Serve(t, trace.requests[static_cast<size_t>(t)]);
+  Request r;
+  for (Time t = 0; source.Next(r); ++t) {
+    inner.Serve(t, r);
     std::vector<PageId> changed;
     for (PageId p : inner.last_changed()) {
       bool page_changed = false;
@@ -39,6 +40,12 @@ std::shared_ptr<const FracTrajectory> FracTrajectory::Record(
     traj->lp_cost_after_.push_back(inner.lp_cost());
   }
   return traj;
+}
+
+std::shared_ptr<const FracTrajectory> FracTrajectory::Record(
+    FractionalPolicy& inner, const Trace& trace) {
+  TraceSource source(trace);
+  return Record(inner, source);
 }
 
 ReplayFractional::ReplayFractional(

@@ -13,13 +13,20 @@
 #include <vector>
 
 #include "core/fractional.h"
+#include "engine/request_source.h"
 #include "trace/instance.h"
 
 namespace wmlp {
 
 class FracTrajectory {
  public:
-  // Runs `inner` over `trace` and records its trajectory.
+  // Runs `inner` over the source's request stream and records its
+  // trajectory. The source is consumed; traces longer than memory stream
+  // through a StreamingFileSource (only the sparse deltas are retained).
+  static std::shared_ptr<const FracTrajectory> Record(
+      FractionalPolicy& inner, RequestSource& source);
+
+  // Convenience: record over an in-memory trace.
   static std::shared_ptr<const FracTrajectory> Record(
       FractionalPolicy& inner, const Trace& trace);
 

@@ -1,0 +1,75 @@
+#include "engine/engine.h"
+
+#include "util/check.h"
+
+namespace wmlp {
+
+Engine::Engine(RequestSource& source, Policy& policy,
+               const EngineOptions& options)
+    : source_(source),
+      policy_(policy),
+      options_(options),
+      state_(source.instance()),
+      ops_(source.instance(), state_, options.observer) {
+  policy_.Attach(source_.instance());
+}
+
+bool Engine::Step() {
+  if (done_) return false;
+  Request r;
+  if (!source_.Next(r)) {
+    done_ = true;
+    return false;
+  }
+  const Instance& inst = source_.instance();
+  WMLP_CHECK_MSG(inst.valid_page(r.page) && inst.valid_level(r.level),
+                 "invalid request at t=" << time_);
+  ops_.set_time(time_);
+  const bool hit = state_.serves(r);
+  policy_.Serve(time_, r, ops_);
+  if (options_.strict) {
+    WMLP_CHECK_MSG(state_.serves(r),
+                   policy_.name() << " left request (page=" << r.page
+                                  << ", level=" << r.level
+                                  << ") unserved at t=" << time_);
+    WMLP_CHECK_MSG(state_.size() <= state_.capacity(),
+                   policy_.name() << " overfilled cache at t=" << time_
+                                  << ": " << state_.size() << " > "
+                                  << state_.capacity());
+  }
+  if (hit) {
+    ++hits_;
+  } else {
+    ++misses_;
+  }
+  if (options_.observer != nullptr) {
+    options_.observer->OnStep(time_, r, hit);
+  }
+  ++time_;
+  return true;
+}
+
+int64_t Engine::RunFor(int64_t n) {
+  int64_t served = 0;
+  while (served < n && Step()) ++served;
+  return served;
+}
+
+SimResult Engine::Run() {
+  while (Step()) {
+  }
+  return result();
+}
+
+SimResult Engine::result() const {
+  SimResult result;
+  result.eviction_cost = ops_.eviction_cost();
+  result.fetch_cost = ops_.fetch_cost();
+  result.hits = hits_;
+  result.misses = misses_;
+  result.evictions = ops_.evictions();
+  result.fetches = ops_.fetches();
+  return result;
+}
+
+}  // namespace wmlp

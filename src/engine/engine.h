@@ -1,0 +1,69 @@
+// Incremental, steppable driver for online policies — the one place that
+// owns the serve loop, feasibility checking, and observability wiring.
+//
+// Replaces the monolithic Simulate(Trace, Policy) loop: requests come from
+// a RequestSource (in-memory, streamed from disk, or generated on the fly),
+// instrumentation attaches as StepObservers, and execution is resumable
+// (Step / RunFor / Run), so experiments can checkpoint mid-run and inspect
+// live cache state. Simulate survives as a thin compatibility wrapper.
+#pragma once
+
+#include <cstdint>
+
+#include "engine/request_source.h"
+#include "sim/policy.h"
+#include "sim/simulator.h"
+
+namespace wmlp {
+
+struct EngineOptions {
+  // If true (default), abort on any policy contract violation (unsatisfied
+  // request, overfull cache). Tests rely on this being fatal.
+  bool strict = true;
+  // Optional observer notified on every fetch, eviction, and served
+  // request. Attach a MultiObserver to fan out. Must outlive the engine.
+  StepObserver* observer = nullptr;
+};
+
+class Engine {
+ public:
+  // `source` and `policy` must outlive the engine. Attaches the policy to
+  // the source's instance; the cache starts empty.
+  Engine(RequestSource& source, Policy& policy,
+         const EngineOptions& options = {});
+
+  // Serves the next request. Returns false (and does nothing) once the
+  // source is exhausted.
+  bool Step();
+
+  // Serves up to `n` requests; returns how many were actually served.
+  int64_t RunFor(int64_t n);
+
+  // Runs to exhaustion and returns the final result.
+  SimResult Run();
+
+  // Snapshot of the run so far (valid mid-run; cheap).
+  SimResult result() const;
+
+  // Requests served so far == the next request's timestamp.
+  Time time() const { return time_; }
+  bool done() const { return done_; }
+
+  // Live mid-run state, for checkpointed experiments.
+  const CacheState& cache() const { return state_; }
+  const CacheOps& ops() const { return ops_; }
+  const Instance& instance() const { return source_.instance(); }
+
+ private:
+  RequestSource& source_;
+  Policy& policy_;
+  EngineOptions options_;
+  CacheState state_;
+  CacheOps ops_;
+  Time time_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace wmlp

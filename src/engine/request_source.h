@@ -1,0 +1,146 @@
+// Streaming request feeds for the engine.
+//
+// A RequestSource yields the request sequence one request at a time, so the
+// engine never requires the whole trace in memory:
+//   - TraceSource          wraps an in-memory Trace (zero-copy view).
+//   - StreamingFileSource  reads the trace_io v1 format incrementally in
+//                          fixed-size chunks (instance + O(chunk) requests
+//                          resident, regardless of trace length).
+//   - GeneratorSource      synthesizes requests on the fly from the same
+//                          samplers as trace/generators (bit-identical to
+//                          the materialized traces for matching parameters).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/generators.h"
+#include "trace/instance.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace wmlp {
+
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+
+  // The instance every emitted request refers to. Stable for the lifetime
+  // of the source.
+  virtual const Instance& instance() const = 0;
+
+  // Writes the next request into `r` and returns true, or returns false
+  // when the sequence is exhausted.
+  virtual bool Next(Request& r) = 0;
+
+  // Total number of requests this source will emit, or -1 if unknown.
+  virtual int64_t length_hint() const { return -1; }
+};
+
+// Zero-copy view over an in-memory trace. Reset() rewinds, so one source
+// can drive repeated runs (benchmarks, seed sweeps).
+class TraceSource final : public RequestSource {
+ public:
+  // Non-owning: `trace` must outlive the source.
+  explicit TraceSource(const Trace& trace) : trace_(&trace) {}
+  // Owning variant for sources built from temporaries.
+  explicit TraceSource(Trace&& trace)
+      : owned_(std::move(trace)), trace_(&*owned_) {}
+
+  const Instance& instance() const override { return trace_->instance; }
+  bool Next(Request& r) override {
+    if (pos_ >= trace_->length()) return false;
+    r = trace_->requests[static_cast<size_t>(pos_++)];
+    return true;
+  }
+  int64_t length_hint() const override { return trace_->length(); }
+
+  void Reset() { pos_ = 0; }
+
+ private:
+  std::optional<Trace> owned_;
+  const Trace* trace_;
+  Time pos_ = 0;
+};
+
+// Incremental reader for the trace_io plain-text format ("wmlp-trace v1").
+// Parses the header and weight matrix eagerly (the Instance must exist in
+// full), then streams the request list in chunks of `chunk_size` requests,
+// so peak memory is O(n * ell + chunk) however long the trace is.
+struct StreamingFileOptions {
+  int64_t chunk_size = 4096;  // requests buffered per refill
+};
+
+class StreamingFileSource final : public RequestSource {
+ public:
+  using Options = StreamingFileOptions;
+
+  // Returns nullptr on malformed header/weights; `error` receives a
+  // description. Request-list corruption is detected lazily during Next()
+  // and aborts (the stream cannot be partially trusted).
+  static std::unique_ptr<StreamingFileSource> Open(
+      const std::string& path, std::string* error = nullptr,
+      const Options& options = {});
+
+  const Instance& instance() const override { return *instance_; }
+  bool Next(Request& r) override;
+  int64_t length_hint() const override { return total_; }
+
+  // Introspection for tests: the buffer never holds more than chunk_size
+  // requests.
+  int64_t chunk_size() const { return options_.chunk_size; }
+  int64_t buffered() const { return static_cast<int64_t>(buffer_.size()); }
+
+ private:
+  StreamingFileSource(std::ifstream stream, Instance instance, int64_t total,
+                      const Options& options);
+
+  void Refill();
+
+  std::ifstream stream_;
+  std::optional<Instance> instance_;
+  Options options_;
+  int64_t total_ = 0;     // declared request count
+  int64_t consumed_ = 0;  // requests handed out so far
+  int64_t read_ = 0;      // requests pulled off the stream so far
+  std::vector<Request> buffer_;
+  size_t buffer_pos_ = 0;
+};
+
+// Emits requests from a per-step sampler without materializing a Trace.
+// The named factories reuse the exact samplers of trace/generators, so a
+// GeneratorSource replay is bit-identical to simulating the corresponding
+// materialized GenZipf/GenUniform/GenLoop trace.
+class GeneratorSource final : public RequestSource {
+ public:
+  // sampler(t, rng) -> the request at time t. Must be valid for `instance`.
+  using Sampler = std::function<Request(Time t, Rng& rng)>;
+
+  GeneratorSource(Instance instance, int64_t length, uint64_t seed,
+                  Sampler sampler);
+
+  static GeneratorSource Zipf(Instance instance, int64_t length, double alpha,
+                              const LevelMix& mix, uint64_t seed);
+  static GeneratorSource Uniform(Instance instance, int64_t length,
+                                 const LevelMix& mix, uint64_t seed);
+  static GeneratorSource Loop(Instance instance, int64_t length,
+                              int32_t loop_size, const LevelMix& mix);
+
+  const Instance& instance() const override { return instance_; }
+  bool Next(Request& r) override;
+  int64_t length_hint() const override { return length_; }
+
+ private:
+  Instance instance_;
+  int64_t length_;
+  Rng rng_;
+  Sampler sampler_;
+  Time pos_ = 0;
+};
+
+}  // namespace wmlp

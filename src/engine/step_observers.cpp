@@ -1,0 +1,69 @@
+#include "engine/step_observers.h"
+
+#include <chrono>
+#include <cmath>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace wmlp {
+
+uint64_t LatencyHistogram::NowCycles() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#elif defined(__aarch64__)
+  uint64_t cnt;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(cnt));
+  return cnt;
+#else
+  return static_cast<uint64_t>(std::chrono::duration_cast<
+                                   std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now()
+                                       .time_since_epoch())
+                                   .count());
+#endif
+}
+
+void LatencyHistogram::Start() {
+  last_ = NowCycles();
+  armed_ = true;
+}
+
+void LatencyHistogram::OnStep(Time, const Request&, bool) {
+  const uint64_t now = NowCycles();
+  if (armed_) {
+    const uint64_t cycles = now - last_;
+    // floor(log2(cycles)), with 0 cycles landing in bucket 0.
+    const int bucket =
+        cycles < 2 ? 0 : 63 - __builtin_clzll(cycles);
+    ++counts_[static_cast<size_t>(bucket < kBuckets ? bucket : kBuckets - 1)];
+    ++count_;
+    total_cycles_ += cycles;
+    if (cycles > max_cycles_) max_cycles_ = cycles;
+  }
+  last_ = now;
+  armed_ = true;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count_);
+  double seen = 0.0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const double c = static_cast<double>(counts_[static_cast<size_t>(b)]);
+    if (c == 0.0) continue;
+    if (seen + c >= target) {
+      const double lo = b == 0 ? 0.0 : std::ldexp(1.0, b);
+      const double hi = std::ldexp(1.0, b + 1);
+      const double frac = (target - seen) / c;
+      return lo + frac * (hi - lo);
+    }
+    seen += c;
+  }
+  return static_cast<double>(max_cycles_);
+}
+
+}  // namespace wmlp

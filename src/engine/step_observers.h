@@ -1,0 +1,133 @@
+// Provided StepObserver implementations.
+//
+//   CostMeter         independent fetch/eviction cost + count accounting
+//                     (the cost-convention tests hang off this).
+//   EventLogObserver  appends CacheEvent rows to a caller-owned vector —
+//                     the engine-era home of SimOptions::event_log.
+//   LatencyHistogram  per-request serve-time percentiles from a cycle
+//                     counter, bucketed in log2 bins (no per-request
+//                     allocation, constant memory).
+//   MultiObserver     fans notifications out to several observers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/policy.h"
+#include "sim/step_observer.h"
+
+namespace wmlp {
+
+class CostMeter final : public StepObserver {
+ public:
+  void OnFetch(Time, PageId, Level, Cost w) override {
+    fetch_cost_ += w;
+    ++fetches_;
+  }
+  void OnEvict(Time, PageId, Level, Cost w) override {
+    eviction_cost_ += w;
+    ++evictions_;
+  }
+  void OnStep(Time, const Request&, bool hit) override {
+    ++steps_;
+    hit ? ++hits_ : ++misses_;
+  }
+
+  Cost fetch_cost() const { return fetch_cost_; }
+  Cost eviction_cost() const { return eviction_cost_; }
+  int64_t fetches() const { return fetches_; }
+  int64_t evictions() const { return evictions_; }
+  int64_t steps() const { return steps_; }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ private:
+  Cost fetch_cost_ = 0.0;
+  Cost eviction_cost_ = 0.0;
+  int64_t fetches_ = 0;
+  int64_t evictions_ = 0;
+  int64_t steps_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+class EventLogObserver final : public StepObserver {
+ public:
+  // `out` must outlive the observer; may not be null.
+  explicit EventLogObserver(std::vector<CacheEvent>* out) : out_(out) {}
+
+  void OnFetch(Time t, PageId p, Level level, Cost) override {
+    out_->push_back(CacheEvent{t, CacheEvent::Kind::kFetch, p, level});
+  }
+  void OnEvict(Time t, PageId p, Level level, Cost) override {
+    out_->push_back(CacheEvent{t, CacheEvent::Kind::kEvict, p, level});
+  }
+
+ private:
+  std::vector<CacheEvent>* out_;
+};
+
+// Measures the cycles elapsed between consecutive OnStep notifications —
+// i.e. the full per-request cost as the engine sees it (policy Serve,
+// feasibility checks, source advance) — and keeps a log2 histogram, from
+// which percentiles are interpolated. The first step after Start() (or
+// construction) only arms the counter.
+class LatencyHistogram final : public StepObserver {
+ public:
+  static constexpr int kBuckets = 64;  // bucket b holds cycles in [2^b, 2^{b+1})
+
+  LatencyHistogram() { counts_.fill(0); }
+
+  void OnStep(Time t, const Request& r, bool hit) override;
+
+  // Re-arms the counter (e.g. after a pause between RunFor calls, so the
+  // gap is not recorded as one giant latency).
+  void Start();
+
+  int64_t count() const { return count_; }
+  // Approximate q-quantile (q in [0, 1]) in cycles: linear interpolation
+  // within the containing log2 bucket. Returns 0 with no samples.
+  double Quantile(double q) const;
+  uint64_t max_cycles() const { return max_cycles_; }
+  double mean_cycles() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(total_cycles_) /
+                             static_cast<double>(count_);
+  }
+
+  // Raw monotonic cycle counter (rdtsc / cntvct / steady_clock fallback).
+  static uint64_t NowCycles();
+
+ private:
+  std::array<int64_t, kBuckets> counts_{};
+  int64_t count_ = 0;
+  uint64_t total_cycles_ = 0;
+  uint64_t max_cycles_ = 0;
+  uint64_t last_ = 0;
+  bool armed_ = false;
+};
+
+class MultiObserver final : public StepObserver {
+ public:
+  MultiObserver() = default;
+  explicit MultiObserver(std::vector<StepObserver*> observers)
+      : observers_(std::move(observers)) {}
+
+  void Add(StepObserver* observer) { observers_.push_back(observer); }
+
+  void OnFetch(Time t, PageId p, Level level, Cost w) override {
+    for (StepObserver* o : observers_) o->OnFetch(t, p, level, w);
+  }
+  void OnEvict(Time t, PageId p, Level level, Cost w) override {
+    for (StepObserver* o : observers_) o->OnEvict(t, p, level, w);
+  }
+  void OnStep(Time t, const Request& r, bool hit) override {
+    for (StepObserver* o : observers_) o->OnStep(t, r, hit);
+  }
+
+ private:
+  std::vector<StepObserver*> observers_;
+};
+
+}  // namespace wmlp

@@ -1,5 +1,6 @@
 #include "harness/experiment.h"
 
+#include "engine/engine.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -12,7 +13,9 @@ std::vector<SimResult> RunTrials(ThreadPool& pool, const Trace& trace,
   std::vector<SimResult> results(static_cast<size_t>(trials));
   ParallelFor(pool, trials, [&](int64_t i) {
     PolicyPtr policy = factory(DeriveSeed(base_seed, static_cast<uint64_t>(i)));
-    results[static_cast<size_t>(i)] = Simulate(trace, *policy);
+    TraceSource source(trace);
+    Engine engine(source, *policy);
+    results[static_cast<size_t>(i)] = engine.Run();
   });
   return results;
 }

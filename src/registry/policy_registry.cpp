@@ -57,6 +57,11 @@ PolicyPtr MakePolicyByName(const std::string& name, uint64_t seed) {
   if (name == "randomized" || name == "fractional-rounded") {
     return MakeRandomizedPolicy(seed);
   }
+  if (name == "fractional-rounded-linear") {
+    RandomizedOptions options;
+    options.engine = FractionalEngine::kLinear;
+    return MakeRandomizedPolicy(seed, options);
+  }
   constexpr char kPrefix[] = "randomized:";
   if (name.rfind(kPrefix, 0) == 0) {
     return MakeRandomizedPolicy(
@@ -66,9 +71,10 @@ PolicyPtr MakePolicyByName(const std::string& name, uint64_t seed) {
 }
 
 std::vector<std::string> KnownPolicyNames() {
-  return {"lru",      "fifo",     "clock",    "sieve",    "2q",
-          "lfu",      "random",   "marking",  "landlord",
-          "waterfill", "randomized"};
+  return {"lru",        "fifo",     "clock",
+          "sieve",      "2q",       "lfu",
+          "random",     "marking",  "landlord",
+          "waterfill",  "randomized", "fractional-rounded-linear"};
 }
 
 }  // namespace wmlp

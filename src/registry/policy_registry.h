@@ -9,9 +9,11 @@
 
 namespace wmlp {
 
-// Known names: lru, fifo, lfu, random, marking, landlord, waterfill,
-// fractional-rounded (alias: randomized), plus parameterized forms
-// "randomized:beta=<v>,eta=<v>,delta=<v>".
+// Known names: lru, fifo, clock, sieve, 2q, lfu, random, marking, landlord,
+// waterfill, fractional-rounded (alias: randomized),
+// fractional-rounded-linear (the Theta(k) linear engine under the same
+// rounding), plus parameterized forms
+// "randomized:beta=<v>,eta=<v>,delta=<v>,engine=<multiplicative|linear>".
 // Returns nullptr for unknown names.
 PolicyPtr MakePolicyByName(const std::string& name, uint64_t seed);
 

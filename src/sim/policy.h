@@ -13,12 +13,14 @@
 #include <vector>
 
 #include "sim/cache_state.h"
+#include "sim/step_observer.h"
 #include "trace/instance.h"
 
 namespace wmlp {
 
-// Optional per-action event log (used by tests and the set-cover
-// experiments to inspect which copies a policy evicted and when).
+// Per-action event record (used by tests and the set-cover experiments to
+// inspect which copies a policy evicted and when). Collected by
+// EventLogObserver (engine/step_observers.h) or the Simulate compat shim.
 struct CacheEvent {
   enum class Kind : uint8_t { kFetch, kEvict };
   Time t = 0;
@@ -30,7 +32,7 @@ struct CacheEvent {
 class CacheOps {
  public:
   CacheOps(const Instance& instance, CacheState& state,
-           std::vector<CacheEvent>* event_log = nullptr);
+           StepObserver* observer = nullptr);
 
   const Instance& instance() const { return instance_; }
   const CacheState& cache() const { return state_; }
@@ -55,13 +57,14 @@ class CacheOps {
   int64_t evictions() const { return evictions_; }
   int64_t fetches() const { return fetches_; }
 
-  // Set by the simulator before each Serve call; timestamps event-log rows.
+  // Set by the engine before each Serve call; timestamps observer
+  // notifications.
   void set_time(Time t) { time_ = t; }
 
  private:
   const Instance& instance_;
   CacheState& state_;
-  std::vector<CacheEvent>* event_log_ = nullptr;
+  StepObserver* observer_ = nullptr;
   Time time_ = 0;
   Cost eviction_cost_ = 0.0;
   Cost fetch_cost_ = 0.0;

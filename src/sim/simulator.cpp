@@ -1,33 +1,32 @@
 #include "sim/simulator.h"
 
+#include "engine/engine.h"
+#include "engine/request_source.h"
+#include "engine/step_observers.h"
 #include "util/check.h"
 
 namespace wmlp {
 
 CacheOps::CacheOps(const Instance& instance, CacheState& state,
-                   std::vector<CacheEvent>* event_log)
-    : instance_(instance), state_(state), event_log_(event_log) {}
+                   StepObserver* observer)
+    : instance_(instance), state_(state), observer_(observer) {}
 
 void CacheOps::Fetch(PageId p, Level level) {
   WMLP_CHECK(instance_.valid_page(p));
   WMLP_CHECK(instance_.valid_level(level));
   state_.Insert(p, level);  // enforces one copy per page
-  fetch_cost_ += instance_.weight(p, level);
+  const Cost w = instance_.weight(p, level);
+  fetch_cost_ += w;
   ++fetches_;
-  if (event_log_ != nullptr) {
-    event_log_->push_back(
-        CacheEvent{time_, CacheEvent::Kind::kFetch, p, level});
-  }
+  if (observer_ != nullptr) observer_->OnFetch(time_, p, level, w);
 }
 
 void CacheOps::Evict(PageId p) {
   const Level level = state_.Remove(p);
-  eviction_cost_ += instance_.weight(p, level);
+  const Cost w = instance_.weight(p, level);
+  eviction_cost_ += w;
   ++evictions_;
-  if (event_log_ != nullptr) {
-    event_log_->push_back(
-        CacheEvent{time_, CacheEvent::Kind::kEvict, p, level});
-  }
+  if (observer_ != nullptr) observer_->OnEvict(time_, p, level, w);
 }
 
 void CacheOps::Replace(PageId p, Level to_level) {
@@ -37,39 +36,22 @@ void CacheOps::Replace(PageId p, Level to_level) {
 
 SimResult Simulate(const Trace& trace, Policy& policy,
                    const SimOptions& options) {
-  const Instance& inst = trace.instance;
-  CacheState state(inst);
-  CacheOps ops(inst, state, options.event_log);
-  policy.Attach(inst);
-  SimResult result;
-  for (Time t = 0; t < trace.length(); ++t) {
-    ops.set_time(t);
-    const Request& r = trace.requests[static_cast<size_t>(t)];
-    WMLP_CHECK_MSG(inst.valid_page(r.page) && inst.valid_level(r.level),
-                   "invalid request at t=" << t);
-    const bool hit = state.serves(r);
-    policy.Serve(t, r, ops);
-    if (options.strict) {
-      WMLP_CHECK_MSG(state.serves(r),
-                     policy.name() << " left request (page=" << r.page
-                                   << ", level=" << r.level
-                                   << ") unserved at t=" << t);
-      WMLP_CHECK_MSG(state.size() <= state.capacity(),
-                     policy.name() << " overfilled cache at t=" << t << ": "
-                                   << state.size() << " > "
-                                   << state.capacity());
-    }
-    if (hit) {
-      ++result.hits;
-    } else {
-      ++result.misses;
-    }
+  TraceSource source(trace);
+  EngineOptions eopts;
+  eopts.strict = options.strict;
+  EventLogObserver log_observer(options.event_log);
+  MultiObserver multi;
+  if (options.event_log != nullptr && options.observer != nullptr) {
+    multi.Add(&log_observer);
+    multi.Add(options.observer);
+    eopts.observer = &multi;
+  } else if (options.event_log != nullptr) {
+    eopts.observer = &log_observer;
+  } else {
+    eopts.observer = options.observer;
   }
-  result.eviction_cost = ops.eviction_cost();
-  result.fetch_cost = ops.fetch_cost();
-  result.evictions = ops.evictions();
-  result.fetches = ops.fetches();
-  return result;
+  Engine engine(source, policy, eopts);
+  return engine.Run();
 }
 
 }  // namespace wmlp

@@ -1,4 +1,7 @@
-// Drives a Policy over a Trace, validating feasibility and accounting costs.
+// Compatibility surface for one-shot simulation: SimResult + Simulate().
+//
+// The actual serve loop lives in engine/engine.h (RequestSource +
+// StepObserver + Engine); Simulate wraps a TraceSource-backed Engine run.
 #pragma once
 
 #include <cstdint>
@@ -31,11 +34,15 @@ struct SimOptions {
   // If true (default), abort on any policy contract violation (unsatisfied
   // request, overfull cache). Tests rely on this being fatal.
   bool strict = true;
-  // If non-null, every fetch/evict is appended here.
+  // If non-null, every fetch/evict is appended here (served by an
+  // EventLogObserver under the hood).
   std::vector<CacheEvent>* event_log = nullptr;
+  // Optional additional observer, forwarded to the engine.
+  StepObserver* observer = nullptr;
 };
 
-// Runs `policy` over `trace` starting from an empty cache.
+// Runs `policy` over `trace` starting from an empty cache. Thin wrapper
+// over Engine(TraceSource, policy).Run().
 SimResult Simulate(const Trace& trace, Policy& policy,
                    const SimOptions& options = {});
 

@@ -1,0 +1,32 @@
+// Observation points for simulated cache runs.
+//
+// CacheOps notifies an (optional) StepObserver on every fetch and eviction,
+// and the engine notifies it once per served request. Rich instrumentation
+// (cost meters, event logs, latency histograms) lives in
+// engine/step_observers.h as StepObserver implementations, so the hot path
+// pays exactly one predictable branch when no observer is attached.
+#pragma once
+
+#include "trace/request.h"
+
+namespace wmlp {
+
+class StepObserver {
+ public:
+  virtual ~StepObserver() = default;
+
+  // Copy (p, level) was fetched at time t; w = w(p, level) (the fetch-meter
+  // charge; fetches are free under the paper's eviction-cost convention).
+  virtual void OnFetch(Time /*t*/, PageId /*p*/, Level /*level*/,
+                       Cost /*w*/) {}
+
+  // Copy (p, level) was evicted at time t; w = w(p, level), the headline
+  // cost charge.
+  virtual void OnEvict(Time /*t*/, PageId /*p*/, Level /*level*/,
+                       Cost /*w*/) {}
+
+  // The request at time t finished serving (after feasibility checks).
+  virtual void OnStep(Time /*t*/, const Request& /*r*/, bool /*hit*/) {}
+};
+
+}  // namespace wmlp

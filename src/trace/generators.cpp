@@ -84,8 +84,6 @@ LevelMix LevelMix::Geometric(int32_t num_levels, double decay,
   return m;
 }
 
-namespace {
-
 Level SampleLevel(const LevelMix& mix, Rng& rng) {
   WMLP_CHECK(!mix.probs.empty());
   const double u = rng.NextDouble();
@@ -96,6 +94,8 @@ Level SampleLevel(const LevelMix& mix, Rng& rng) {
   }
   return static_cast<Level>(mix.probs.size());
 }
+
+namespace {
 
 void CheckMix(const Instance& inst, const LevelMix& mix) {
   WMLP_CHECK_MSG(static_cast<int32_t>(mix.probs.size()) == inst.num_levels(),

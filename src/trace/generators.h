@@ -50,6 +50,10 @@ struct LevelMix {
                             bool top_heavy = false);
 };
 
+// Draws a level (1-based) from `mix`. Exposed so streaming sources
+// (engine/request_source.h) reproduce generator output request-for-request.
+Level SampleLevel(const LevelMix& mix, Rng& rng);
+
 // ---- Generators ----------------------------------------------------------
 
 // Zipf(alpha) page popularity, independent level per request.

@@ -36,12 +36,16 @@ bool WbCacheState::Remove(PageId p) {
   return was_dirty;
 }
 
-WbCacheOps::WbCacheOps(const WbInstance& instance, WbCacheState& state)
-    : instance_(instance), state_(state) {}
+WbCacheOps::WbCacheOps(const WbInstance& instance, WbCacheState& state,
+                       StepObserver* observer)
+    : instance_(instance), state_(state), observer_(observer) {}
 
 void WbCacheOps::Fetch(PageId p) {
   WMLP_CHECK(instance_.valid_page(p));
   state_.Insert(p);
+  if (observer_ != nullptr) {
+    observer_->OnFetch(time_, p, 2, instance_.clean_weight(p));
+  }
 }
 
 void WbCacheOps::Evict(PageId p) {
@@ -54,18 +58,23 @@ void WbCacheOps::Evict(PageId p) {
     ++dirty_evictions_;
   }
   ++evictions_;
+  if (observer_ != nullptr) {
+    observer_->OnEvict(time_, p, was_dirty ? 1 : 2, w);
+  }
 }
 
-WbSimResult Simulate(const WbTrace& trace, WbPolicy& policy) {
+WbSimResult Simulate(const WbTrace& trace, WbPolicy& policy,
+                     StepObserver* observer) {
   const WbInstance& inst = trace.instance;
   WbCacheState state(inst);
-  WbCacheOps ops(inst, state);
+  WbCacheOps ops(inst, state, observer);
   policy.Attach(inst);
   WbSimResult result;
   for (Time t = 0; t < trace.length(); ++t) {
     const WbRequest& r = trace.requests[static_cast<size_t>(t)];
     WMLP_CHECK(inst.valid_page(r.page));
     const bool hit = state.contains(r.page);
+    ops.set_time(t);
     policy.Serve(t, r, ops);
     WMLP_CHECK_MSG(state.contains(r.page),
                    policy.name() << " left page " << r.page
@@ -77,6 +86,9 @@ WbSimResult Simulate(const WbTrace& trace, WbPolicy& policy) {
       ++result.hits;
     } else {
       ++result.misses;
+    }
+    if (observer != nullptr) {
+      observer->OnStep(t, Request{r.page, r.op == Op::kWrite ? 1 : 2}, hit);
     }
   }
   result.eviction_cost = ops.eviction_cost();

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/step_observer.h"
 #include "writeback/writeback_instance.h"
 
 namespace wmlp::wb {
@@ -38,7 +39,12 @@ class WbCacheState {
 
 class WbCacheOps {
  public:
-  WbCacheOps(const WbInstance& instance, WbCacheState& state);
+  // The optional observer sees the writeback run through the Lemma 2.1
+  // lens: level 1 = dirty (w1), level 2 = clean (w2). Pages are fetched
+  // clean, so OnFetch always reports level 2; OnEvict reports the state
+  // (and weight) actually charged.
+  WbCacheOps(const WbInstance& instance, WbCacheState& state,
+             StepObserver* observer = nullptr);
 
   const WbInstance& instance() const { return instance_; }
   const WbCacheState& cache() const { return state_; }
@@ -51,9 +57,14 @@ class WbCacheOps {
   int64_t evictions() const { return evictions_; }
   int64_t dirty_evictions() const { return dirty_evictions_; }
 
+  // Set by the simulator before each Serve call.
+  void set_time(Time t) { time_ = t; }
+
  private:
   const WbInstance& instance_;
   WbCacheState& state_;
+  StepObserver* observer_ = nullptr;
+  Time time_ = 0;
   Cost eviction_cost_ = 0.0;
   Cost writeback_cost_ = 0.0;  // the w1 - w2 premium paid on dirty evictions
   int64_t evictions_ = 0;
@@ -81,6 +92,7 @@ struct WbSimResult {
   int64_t dirty_evictions = 0;
 };
 
-WbSimResult Simulate(const WbTrace& trace, WbPolicy& policy);
+WbSimResult Simulate(const WbTrace& trace, WbPolicy& policy,
+                     StepObserver* observer = nullptr);
 
 }  // namespace wmlp::wb

@@ -1,0 +1,76 @@
+// Footnote 1 of the paper: the fetch-cost and eviction-cost conventions
+// agree up to the additive weight of the final cache contents. Every copy
+// fetched is either evicted later (charged to both meters at the same
+// w(p, i)) or still cached at the end, so for any policy run from an empty
+// cache:
+//
+//     fetch_cost == eviction_cost + sum_{p in final cache} w(p, level(p)).
+//
+// Checked here for every registry policy on fuzzed instances through a
+// CostMeter observer (which must itself agree with the engine's meters).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "engine/engine.h"
+#include "engine/step_observers.h"
+#include "registry/policy_registry.h"
+#include "trace/generators.h"
+#include "util/rng.h"
+
+namespace wmlp {
+namespace {
+
+Cost FinalCacheWeight(const Engine& engine) {
+  Cost total = 0.0;
+  const CacheState& cache = engine.cache();
+  for (PageId p : cache.pages()) {
+    total += engine.instance().weight(p, cache.level_of(p));
+  }
+  return total;
+}
+
+TEST(CostConvention, HoldsForEveryRegistryPolicyOnFuzzedInstances) {
+  Rng rng(0xFEED);
+  for (int round = 0; round < 8; ++round) {
+    const int32_t n = static_cast<int32_t>(rng.NextInt(6, 40));
+    const int32_t k = static_cast<int32_t>(rng.NextInt(2, std::max(2, n / 2)));
+    const int32_t ell = static_cast<int32_t>(rng.NextInt(1, 3));
+    const auto model = static_cast<WeightModel>(rng.NextInt(0, 3));
+    Instance inst(n, k, ell,
+                  MakeWeights(n, ell, model, 1.0 + rng.NextDouble() * 30.0,
+                              rng.Next()));
+    const Trace trace =
+        GenZipf(inst, 400, rng.NextDouble() * 1.2,
+                ell == 1 ? LevelMix::AllLowest(1) : LevelMix::UniformMix(ell),
+                rng.Next());
+
+    for (const auto& name : KnownPolicyNames()) {
+      // marking is single-level-only; it is still covered by the ell == 1
+      // rounds of the fuzz loop.
+      if (name == "marking" && ell > 1) continue;
+      PolicyPtr policy = MakePolicyByName(name, rng.Next());
+      ASSERT_NE(policy, nullptr) << name;
+      CostMeter meter;
+      TraceSource source(trace);
+      EngineOptions opts;
+      opts.observer = &meter;
+      Engine engine(source, *policy, opts);
+      const SimResult res = engine.Run();
+
+      // The observer and the engine's own meters must agree exactly.
+      ASSERT_DOUBLE_EQ(meter.fetch_cost(), res.fetch_cost) << name;
+      ASSERT_DOUBLE_EQ(meter.eviction_cost(), res.eviction_cost) << name;
+
+      const Cost residual = FinalCacheWeight(engine);
+      const Cost scale = std::max(1.0, res.fetch_cost);
+      EXPECT_NEAR(res.fetch_cost, res.eviction_cost + residual,
+                  1e-9 * scale)
+          << name << " round=" << round << " (n=" << n << " k=" << k
+          << " ell=" << ell << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wmlp

@@ -1,0 +1,288 @@
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "engine/request_source.h"
+#include "engine/step_observers.h"
+#include "registry/policy_registry.h"
+#include "trace/generators.h"
+#include "trace/trace_io.h"
+
+namespace wmlp {
+namespace {
+
+bool SameResult(const SimResult& a, const SimResult& b) {
+  return a.eviction_cost == b.eviction_cost && a.fetch_cost == b.fetch_cost &&
+         a.hits == b.hits && a.misses == b.misses &&
+         a.evictions == b.evictions && a.fetches == b.fetches;
+}
+
+Trace MultiLevelTrace(int64_t length = 600) {
+  Instance inst(24, 6, 3,
+                MakeWeights(24, 3, WeightModel::kLogUniform, 16.0, 11));
+  return GenZipf(inst, length, 0.8, LevelMix::UniformMix(3), 5);
+}
+
+std::string TempTracePath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(TraceSource, YieldsTheTraceInOrder) {
+  const Trace t = MultiLevelTrace(50);
+  TraceSource source(t);
+  EXPECT_EQ(source.length_hint(), 50);
+  Request r;
+  for (Time i = 0; i < t.length(); ++i) {
+    ASSERT_TRUE(source.Next(r));
+    EXPECT_EQ(r, t.requests[static_cast<size_t>(i)]);
+  }
+  EXPECT_FALSE(source.Next(r));
+  source.Reset();
+  ASSERT_TRUE(source.Next(r));
+  EXPECT_EQ(r, t.requests[0]);
+}
+
+TEST(Engine, MatchesSimulateForEveryRegistryPolicy) {
+  const Trace multi = MultiLevelTrace();
+  Instance flat = Instance::Uniform(24, 6);
+  const Trace single = GenZipf(flat, 600, 0.8, LevelMix::AllLowest(1), 5);
+  for (const auto& name : KnownPolicyNames()) {
+    // marking is single-level-only (it CHECKs ell == 1 at Attach).
+    const Trace& t = name == "marking" ? single : multi;
+    PolicyPtr a = MakePolicyByName(name, 42);
+    PolicyPtr b = MakePolicyByName(name, 42);
+    ASSERT_NE(a, nullptr) << name;
+    const SimResult via_simulate = Simulate(t, *a);
+    TraceSource source(t);
+    Engine engine(source, *b);
+    EXPECT_TRUE(SameResult(via_simulate, engine.Run())) << name;
+  }
+}
+
+TEST(Engine, StepAndRunForAreResumable) {
+  const Trace t = MultiLevelTrace();
+  PolicyPtr full = MakePolicyByName("landlord", 1);
+  const SimResult whole = Simulate(t, *full);
+
+  PolicyPtr stepped = MakePolicyByName("landlord", 1);
+  TraceSource source(t);
+  Engine engine(source, *stepped);
+  EXPECT_TRUE(engine.Step());
+  EXPECT_EQ(engine.time(), 1);
+  EXPECT_EQ(engine.RunFor(99), 99);
+  EXPECT_EQ(engine.time(), 100);
+  // Mid-run state is inspectable and feasible.
+  EXPECT_LE(engine.cache().size(), engine.cache().capacity());
+  const SimResult partial = engine.result();
+  EXPECT_EQ(partial.hits + partial.misses, 100);
+
+  const SimResult final_result = engine.Run();
+  EXPECT_TRUE(SameResult(whole, final_result));
+  EXPECT_TRUE(engine.done());
+  EXPECT_FALSE(engine.Step());
+  EXPECT_EQ(engine.RunFor(10), 0);
+}
+
+TEST(StreamingFileSource, BitIdenticalToInMemoryReplay) {
+  const Trace t = MultiLevelTrace();
+  const std::string path = TempTracePath("stream_identical.wmlp");
+  ASSERT_TRUE(WriteTraceFile(t, path));
+
+  for (const auto& name : {"lru", "landlord", "randomized"}) {
+    PolicyPtr mem_policy = MakePolicyByName(name, 9);
+    const SimResult in_memory = Simulate(t, *mem_policy);
+
+    std::string err;
+    StreamingFileOptions opts;
+    opts.chunk_size = 7;  // tiny chunk: force many refills
+    auto source = StreamingFileSource::Open(path, &err, opts);
+    ASSERT_NE(source, nullptr) << err;
+    EXPECT_EQ(source->instance(), t.instance);
+    EXPECT_EQ(source->length_hint(), t.length());
+
+    PolicyPtr stream_policy = MakePolicyByName(name, 9);
+    Engine engine(*source, *stream_policy);
+    // Step one-by-one so the buffered bound is observable mid-run.
+    while (engine.Step()) {
+      ASSERT_LE(source->buffered(), source->chunk_size());
+    }
+    EXPECT_TRUE(SameResult(in_memory, engine.result())) << name;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StreamingFileSource, HoldsAtMostOneChunk) {
+  Instance inst = Instance::Uniform(32, 4);
+  const Trace t = GenZipf(inst, 5000, 0.7, LevelMix::AllLowest(1), 3);
+  const std::string path = TempTracePath("stream_chunk.wmlp");
+  ASSERT_TRUE(WriteTraceFile(t, path));
+
+  StreamingFileOptions opts;
+  opts.chunk_size = 64;
+  auto source = StreamingFileSource::Open(path, nullptr, opts);
+  ASSERT_NE(source, nullptr);
+  Request r;
+  int64_t served = 0;
+  while (source->Next(r)) {
+    ASSERT_LE(source->buffered(), 64);
+    ++served;
+  }
+  EXPECT_EQ(served, t.length());
+  std::remove(path.c_str());
+}
+
+TEST(StreamingFileSource, RejectsMalformedFiles) {
+  const std::string path = TempTracePath("stream_bad.wmlp");
+  {
+    std::ofstream ofs(path);
+    ofs << "not-a-trace\n";
+  }
+  std::string err;
+  EXPECT_EQ(StreamingFileSource::Open(path, &err), nullptr);
+  EXPECT_NE(err.find("magic"), std::string::npos);
+  EXPECT_EQ(StreamingFileSource::Open(TempTracePath("missing.wmlp"), &err),
+            nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(GeneratorSource, ZipfMatchesMaterializedGenerator) {
+  Instance inst(40, 8, 2, MakeWeights(40, 2, WeightModel::kZipfPages, 8.0, 2));
+  const Trace t = GenZipf(inst, 400, 0.9, LevelMix::UniformMix(2), 17);
+  GeneratorSource source = GeneratorSource::Zipf(
+      inst, 400, 0.9, LevelMix::UniformMix(2), 17);
+  Request r;
+  for (Time i = 0; i < t.length(); ++i) {
+    ASSERT_TRUE(source.Next(r));
+    ASSERT_EQ(r, t.requests[static_cast<size_t>(i)]) << "t=" << i;
+  }
+  EXPECT_FALSE(source.Next(r));
+}
+
+TEST(GeneratorSource, LoopMatchesMaterializedGenerator) {
+  Instance inst = Instance::Uniform(9, 8);
+  const Trace t = GenLoop(inst, 300, 9, LevelMix::AllLowest(1));
+  GeneratorSource source =
+      GeneratorSource::Loop(inst, 300, 9, LevelMix::AllLowest(1));
+  Request r;
+  for (Time i = 0; i < t.length(); ++i) {
+    ASSERT_TRUE(source.Next(r));
+    ASSERT_EQ(r, t.requests[static_cast<size_t>(i)]);
+  }
+  EXPECT_FALSE(source.Next(r));
+}
+
+TEST(GeneratorSource, DrivesTheEngineWithoutMaterializing) {
+  Instance inst = Instance::Uniform(65, 64);
+  PolicyPtr lru_gen = MakePolicyByName("lru", 1);
+  GeneratorSource source =
+      GeneratorSource::Loop(inst, 650, 65, LevelMix::AllLowest(1));
+  Engine engine(source, *lru_gen);
+  const SimResult streamed = engine.Run();
+
+  PolicyPtr lru_mem = MakePolicyByName("lru", 1);
+  const SimResult materialized =
+      Simulate(GenLoop(inst, 650, 65, LevelMix::AllLowest(1)), *lru_mem);
+  EXPECT_TRUE(SameResult(streamed, materialized));
+  // The classic adversary: LRU faults on every request.
+  EXPECT_EQ(streamed.misses, 650);
+}
+
+TEST(Observers, CostMeterMatchesSimResult) {
+  const Trace t = MultiLevelTrace();
+  PolicyPtr p = MakePolicyByName("landlord", 1);
+  CostMeter meter;
+  TraceSource source(t);
+  EngineOptions opts;
+  opts.observer = &meter;
+  Engine engine(source, *p, opts);
+  const SimResult res = engine.Run();
+  EXPECT_DOUBLE_EQ(meter.fetch_cost(), res.fetch_cost);
+  EXPECT_DOUBLE_EQ(meter.eviction_cost(), res.eviction_cost);
+  EXPECT_EQ(meter.fetches(), res.fetches);
+  EXPECT_EQ(meter.evictions(), res.evictions);
+  EXPECT_EQ(meter.hits(), res.hits);
+  EXPECT_EQ(meter.misses(), res.misses);
+  EXPECT_EQ(meter.steps(), t.length());
+}
+
+TEST(Observers, EventLogObserverMatchesSimulateCompatShim) {
+  const Trace t = MultiLevelTrace();
+  std::vector<CacheEvent> via_shim;
+  {
+    PolicyPtr p = MakePolicyByName("lru", 1);
+    SimOptions opts;
+    opts.event_log = &via_shim;
+    Simulate(t, *p, opts);
+  }
+  std::vector<CacheEvent> via_engine;
+  {
+    PolicyPtr p = MakePolicyByName("lru", 1);
+    EventLogObserver log(&via_engine);
+    TraceSource source(t);
+    EngineOptions opts;
+    opts.observer = &log;
+    Engine engine(source, *p, opts);
+    engine.Run();
+  }
+  ASSERT_EQ(via_shim.size(), via_engine.size());
+  for (size_t i = 0; i < via_shim.size(); ++i) {
+    EXPECT_EQ(via_shim[i].t, via_engine[i].t);
+    EXPECT_EQ(via_shim[i].kind, via_engine[i].kind);
+    EXPECT_EQ(via_shim[i].page, via_engine[i].page);
+    EXPECT_EQ(via_shim[i].level, via_engine[i].level);
+  }
+}
+
+TEST(Observers, MultiObserverFansOut) {
+  const Trace t = MultiLevelTrace(200);
+  CostMeter a, b;
+  MultiObserver multi({&a, &b});
+  PolicyPtr p = MakePolicyByName("fifo", 1);
+  SimOptions opts;
+  opts.observer = &multi;
+  const SimResult res = Simulate(t, *p, opts);
+  EXPECT_DOUBLE_EQ(a.eviction_cost(), res.eviction_cost);
+  EXPECT_DOUBLE_EQ(b.eviction_cost(), res.eviction_cost);
+  EXPECT_EQ(a.steps(), b.steps());
+}
+
+TEST(Observers, SimulateCombinesEventLogAndObserver) {
+  const Trace t = MultiLevelTrace(200);
+  std::vector<CacheEvent> log;
+  CostMeter meter;
+  PolicyPtr p = MakePolicyByName("lru", 1);
+  SimOptions opts;
+  opts.event_log = &log;
+  opts.observer = &meter;
+  const SimResult res = Simulate(t, *p, opts);
+  EXPECT_DOUBLE_EQ(meter.eviction_cost(), res.eviction_cost);
+  EXPECT_EQ(static_cast<int64_t>(log.size()), res.fetches + res.evictions);
+}
+
+TEST(Observers, LatencyHistogramRecordsEveryStep) {
+  const Trace t = MultiLevelTrace();
+  LatencyHistogram latency;
+  PolicyPtr p = MakePolicyByName("landlord", 1);
+  SimOptions opts;
+  opts.observer = &latency;
+  latency.Start();
+  Simulate(t, *p, opts);
+  EXPECT_EQ(latency.count(), t.length());
+  EXPECT_GE(latency.Quantile(0.9), latency.Quantile(0.5));
+  EXPECT_GE(static_cast<double>(latency.max_cycles()),
+            latency.Quantile(0.99) * 0.0);  // quantiles are finite
+  EXPECT_GT(latency.mean_cycles(), 0.0);
+}
+
+TEST(Observers, QuantileEdgeCases) {
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.Quantile(0.5), 0.0);
+  EXPECT_EQ(empty.count(), 0);
+}
+
+}  // namespace
+}  // namespace wmlp

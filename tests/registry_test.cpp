@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "engine/engine.h"
+#include "engine/step_observers.h"
 #include "registry/policy_registry.h"
 #include "sim/simulator.h"
 #include "trace/generators.h"
@@ -18,9 +22,31 @@ TEST_P(RegistrySuite, ConstructsAndRuns) {
   EXPECT_GT(res.misses, 0);
 }
 
+TEST_P(RegistrySuite, ServesAMultiLevelSmokeTraceThroughTheEngine) {
+  PolicyPtr p = MakePolicyByName(GetParam(), 3);
+  ASSERT_NE(p, nullptr) << GetParam();
+  // marking is single-level-only (CHECKs ell == 1 at Attach).
+  const int32_t ell = GetParam() == "marking" ? 1 : 2;
+  Instance inst(12, 4, ell,
+                MakeWeights(12, ell, WeightModel::kGeometricLevels, 4.0, 1));
+  TraceSource source(GenZipf(inst, 200, 0.7, LevelMix::UniformMix(ell), 2));
+  CostMeter meter;
+  EngineOptions opts;
+  opts.observer = &meter;
+  Engine engine(source, *p, opts);
+  const SimResult res = engine.Run();
+  EXPECT_EQ(res.hits + res.misses, 200);
+  EXPECT_EQ(meter.steps(), 200);
+  EXPECT_GT(res.misses, 0);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllNames, RegistrySuite,
                          ::testing::ValuesIn(KnownPolicyNames()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
 
 TEST(Registry, UnknownNameReturnsNull) {
   EXPECT_EQ(MakePolicyByName("does-not-exist", 1), nullptr);
@@ -45,9 +71,30 @@ TEST(Registry, ParameterizedIgnoresUnknownKeys) {
   ASSERT_NE(p, nullptr);
 }
 
-TEST(Registry, KnownNamesAreAllConstructible) {
+TEST(Registry, KnownNamesRoundTripThroughMakePolicyByName) {
   for (const auto& name : KnownPolicyNames()) {
-    EXPECT_NE(MakePolicyByName(name, 7), nullptr) << name;
+    PolicyPtr p = MakePolicyByName(name, 7);
+    ASSERT_NE(p, nullptr) << name;
+    // A constructed policy serves a smoke trace without violating the
+    // engine's feasibility checks (strict mode aborts otherwise).
+    Instance inst = Instance::Uniform(8, 3);
+    const Trace t = GenZipf(inst, 60, 0.5, LevelMix::AllLowest(1), 4);
+    const SimResult res = Simulate(t, *p);
+    EXPECT_EQ(res.hits + res.misses, 60) << name;
+  }
+}
+
+TEST(Registry, LinearEngineVariantIsRegistered) {
+  PolicyPtr p = MakePolicyByName("fractional-rounded-linear", 1);
+  ASSERT_NE(p, nullptr);
+  const auto names = KnownPolicyNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "fractional-rounded-linear"),
+            names.end());
+  // The previously unreachable baselines are reachable by name too.
+  for (const auto& name : {"clock", "sieve", "2q"}) {
+    EXPECT_NE(MakePolicyByName(name, 1), nullptr) << name;
+    EXPECT_NE(std::find(names.begin(), names.end(), name), names.end())
+        << name;
   }
 }
 

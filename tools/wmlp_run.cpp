@@ -1,16 +1,24 @@
-// Run an online policy on a saved or imported trace.
+// Run an online policy on a saved, streamed, or imported trace.
 //
 // Usage:
 //   wmlp_run --trace t.wmlp --policy landlord [--seed 1] [--trials 5]
 //            [--opt]
+//   wmlp_run --trace-stream t.wmlp --policy lru [--chunk 4096] [--latency]
 //   wmlp_run --import accesses.log --k 64 [--dirty 10] [--clean 1] ...
 //
+// --trace-stream replays the same format incrementally through the engine's
+// StreamingFileSource, holding only O(chunk) requests in memory — use it for
+// traces that do not fit in RAM. --latency additionally prints per-request
+// serve-time percentiles (cycle counter).
 // --import reads a plain key/op log (one "<key> [R|W]" per line; see
 // trace/import.h) instead of the wmlp trace format.
-// --opt also computes the offline optimum bounds and prints ratios.
+// --opt also computes the offline optimum bounds and prints ratios
+// (in-memory paths only).
 // Randomized policies are averaged over --trials seeds.
 #include <iostream>
 
+#include "engine/engine.h"
+#include "engine/step_observers.h"
 #include "harness/experiment.h"
 #include "harness/table.h"
 #include "harness/thread_pool.h"
@@ -19,17 +27,95 @@
 #include "tool_util.h"
 #include "trace/import.h"
 #include "trace/trace_io.h"
+#include "util/rng.h"
+
+namespace wmlp {
+namespace {
+
+// Streams the file through the engine once per trial (the source is
+// single-pass, so each trial re-opens the file). Returns per-trial results.
+std::vector<SimResult> RunStreaming(const std::string& path,
+                                    const std::string& policy_name,
+                                    int32_t trials, uint64_t seed,
+                                    int64_t chunk,
+                                    LatencyHistogram* histogram) {
+  std::vector<SimResult> results;
+  for (int32_t trial = 0; trial < trials; ++trial) {
+    std::string err;
+    StreamingFileOptions sopts;
+    sopts.chunk_size = chunk;
+    auto source = StreamingFileSource::Open(path, &err, sopts);
+    if (source == nullptr) tools::Die(err);
+    PolicyPtr policy =
+        MakePolicyByName(policy_name,
+                         DeriveSeed(seed, static_cast<uint64_t>(trial)));
+    EngineOptions eopts;
+    if (histogram != nullptr) {
+      histogram->Start();
+      eopts.observer = histogram;
+    }
+    Engine engine(*source, *policy, eopts);
+    results.push_back(engine.Run());
+  }
+  return results;
+}
+
+}  // namespace
+}  // namespace wmlp
 
 int main(int argc, char** argv) {
   using namespace wmlp;
   const tools::Flags flags(argc, argv);
   const std::string path = flags.GetString("trace");
+  const std::string stream_path = flags.GetString("trace-stream");
   const std::string import_path = flags.GetString("import");
   const std::string policy_name = flags.GetString("policy", "lru");
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   const int32_t trials = static_cast<int32_t>(flags.GetInt("trials", 1));
-  if (path.empty() && import_path.empty()) {
-    tools::Die("--trace or --import is required");
+  if (path.empty() && import_path.empty() && stream_path.empty()) {
+    tools::Die("--trace, --trace-stream, or --import is required");
+  }
+
+  // Validate the policy name once.
+  if (MakePolicyByName(policy_name, seed) == nullptr) {
+    std::string names;
+    for (const auto& n : KnownPolicyNames()) names += " " + n;
+    tools::Die("unknown policy '" + policy_name + "'; known:" + names);
+  }
+
+  if (!stream_path.empty()) {
+    if (flags.Has("opt")) {
+      tools::Die("--opt needs the whole trace in memory; use --trace");
+    }
+    LatencyHistogram histogram;
+    const auto results = RunStreaming(
+        stream_path, policy_name, trials, seed, flags.GetInt("chunk", 4096),
+        flags.Has("latency") ? &histogram : nullptr);
+    RunningStat cost, hits;
+    int64_t evictions = 0, length = 0;
+    for (const auto& r : results) {
+      cost.Add(r.eviction_cost);
+      hits.Add(r.hit_rate());
+      evictions += r.evictions;
+      length = r.hits + r.misses;
+    }
+    std::cout << "policy " << policy_name << " on " << stream_path
+              << " (streamed, " << length << " requests)\n";
+    std::cout << "  eviction cost: " << Fmt(cost.mean(), 2);
+    if (trials > 1) {
+      std::cout << " +- " << Fmt(cost.ci95_halfwidth(), 2) << " (" << trials
+                << " trials)";
+    }
+    std::cout << "\n  hit rate:      " << Fmt(hits.mean(), 4) << "\n";
+    std::cout << "  evictions:     " << evictions / trials << "\n";
+    if (histogram.count() > 0) {
+      std::cout << "  serve latency (cycles): p50="
+                << Fmt(histogram.Quantile(0.5), 0)
+                << " p90=" << Fmt(histogram.Quantile(0.9), 0)
+                << " p99=" << Fmt(histogram.Quantile(0.99), 0)
+                << " max=" << histogram.max_cycles() << "\n";
+    }
+    return 0;
   }
 
   std::string err;
@@ -52,13 +138,6 @@ int main(int argc, char** argv) {
   } else {
     trace = ReadTraceFile(path, &err);
     if (!trace) tools::Die(err);
-  }
-
-  // Validate the policy name once.
-  if (MakePolicyByName(policy_name, seed) == nullptr) {
-    std::string names;
-    for (const auto& n : KnownPolicyNames()) names += " " + n;
-    tools::Die("unknown policy '" + policy_name + "'; known:" + names);
   }
 
   ThreadPool pool;
