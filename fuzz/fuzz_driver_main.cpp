@@ -1,0 +1,35 @@
+// Standalone corpus driver, used when the tree is not configured with
+// -DWMLP_LIBFUZZER=ON (e.g. gcc builds, or clang without the fuzzer
+// runtime): runs every file named on the command line through
+// LLVMFuzzerTestOneInput once. This keeps the fuzz targets buildable,
+// deterministic, and smoke-testable with any toolchain; actual coverage-
+// guided fuzzing swaps this file for libFuzzer's own main.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s corpus-file...\n", argv[0]);
+    return 2;
+  }
+  int ran = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 2;
+    }
+    const std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+    ++ran;
+  }
+  std::printf("ok: %d corpus inputs\n", ran);
+  return 0;
+}

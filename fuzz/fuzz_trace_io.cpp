@@ -1,0 +1,41 @@
+// libFuzzer target for the trace_io v1 text parser.
+//
+// Contract under fuzzing: any byte string either parses into a Trace whose
+// instance satisfies the documented guarantees (finite weights >= 1,
+// non-increasing in level, in-range requests) or is rejected with an error
+// message — never a crash, hang, or unbounded allocation. Accepted traces
+// must survive a serialize -> parse -> serialize round trip byte-for-byte.
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "trace/trace_io.h"
+#include "util/check.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  std::string error;
+  const auto trace = wmlp::TraceFromString(text, &error);
+  if (!trace.has_value()) {
+    WMLP_CHECK_MSG(!error.empty(), "rejected input without an error message");
+    return 0;
+  }
+  const wmlp::Instance& inst = trace->instance;
+  for (wmlp::PageId p = 0; p < inst.num_pages(); ++p) {
+    for (wmlp::Level i = 1; i <= inst.num_levels(); ++i) {
+      const wmlp::Cost w = inst.weight(p, i);
+      WMLP_CHECK_MSG(std::isfinite(w) && w >= 1.0, "bad accepted weight");
+      if (i > 1) WMLP_CHECK(w <= inst.weight(p, i - 1));
+    }
+  }
+  for (const wmlp::Request& r : trace->requests) {
+    WMLP_CHECK(inst.valid_page(r.page) && inst.valid_level(r.level));
+  }
+  const std::string once = wmlp::TraceToString(*trace);
+  const auto reparsed = wmlp::TraceFromString(once, &error);
+  WMLP_CHECK_MSG(reparsed.has_value(), "round trip failed to parse");
+  WMLP_CHECK_MSG(wmlp::TraceToString(*reparsed) == once,
+                 "round trip not a fixed point");
+  return 0;
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Regenerates the checked-in fuzz seed corpora under tests/corpus/.
+#
+# Seeds are deterministic (fixed tracegen seeds, handcrafted byte blobs),
+# so re-running this script reproduces the corpus bit-for-bit; CI replays
+# the corpus through the standalone fuzz drivers as a smoke test, and
+# local libFuzzer runs (-DWMLP_LIBFUZZER=ON with clang) use it as the
+# starting population.
+#
+# Usage: scripts/make_fuzz_corpus.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+tracegen="$build/tools/wmlp_tracegen"
+
+if [[ ! -x "$tracegen" ]]; then
+  echo "error: $tracegen not built (cmake --build $build --target wmlp_tracegen)" >&2
+  exit 1
+fi
+
+trace_dir="$repo/tests/corpus/trace_io"
+differ_dir="$repo/tests/corpus/policy_differ"
+rm -rf "$trace_dir" "$differ_dir"
+mkdir -p "$trace_dir" "$differ_dir"
+
+# ---- trace_io corpus: valid traces spanning the format space -------------
+
+gen() {
+  local name="$1"
+  shift
+  "$tracegen" --out "$trace_dir/$name" "$@"
+}
+
+gen zipf_small.trace        --kind zipf --n 12 --k 4 --ell 1 --length 60 --seed 1
+gen zipf_multilevel.trace   --kind zipf --n 10 --k 3 --ell 3 --length 50 \
+                            --weights geometric --mix uniform --seed 2
+gen loop_adversary.trace    --kind loop --n 8 --k 4 --ell 1 --length 40 --seed 3
+gen phases.trace            --kind phases --n 24 --k 6 --ell 2 --length 80 \
+                            --mix uniform --seed 4
+gen markov.trace            --kind markov --n 16 --k 5 --ell 2 --length 60 \
+                            --mix uniform --seed 5
+gen zipf_wide_weights.trace --kind zipf --n 8 --k 2 --ell 2 --length 30 \
+                            --weights zipfpages --ratio 64 --mix uniform --seed 6
+gen tiny.trace              --kind zipf --n 2 --k 1 --ell 1 --length 5 --seed 7
+
+# Malformed inputs: each exercises one reject path of the parser.
+printf 'garbage\n'                                    > "$trace_dir/bad_magic.trace"
+printf 'wmlp-trace v1\n0 1 1\n'                       > "$trace_dir/bad_header.trace"
+printf 'wmlp-trace v1\n2 1 1\n4\n8\n1\n0 1\n'         > "$trace_dir/weights_increasing.trace"
+printf 'wmlp-trace v1\n2 1 2\n4 8\n4 2\n1\n0 1\n'     > "$trace_dir/level_weights_increasing.trace"
+printf 'wmlp-trace v1\n2 1 1\n2\n1\n3\n0 1\n'         > "$trace_dir/truncated_requests.trace"
+printf 'wmlp-trace v1\n2 1 1\n2\n1\n1\n5 1\n'         > "$trace_dir/request_out_of_range.trace"
+printf 'wmlp-trace v1\n2 1 1\nnan\n1\n0\n'            > "$trace_dir/nan_weight.trace"
+printf 'wmlp-trace v1\n1073741824 1 1\n'              > "$trace_dir/huge_header.trace"
+printf 'wmlp-trace v1\n2 1 1\n1\n1\n1099511627776\n'  > "$trace_dir/huge_length.trace"
+printf ''                                             > "$trace_dir/empty.trace"
+
+# ---- policy_differ corpus: byte blobs decoded by the harness -------------
+#
+# Layout (fuzz/fuzz_policy_differ.cpp ByteReader): n, k, ell, weight model,
+# ratio, seed, then (page, level) byte pairs. Seeds cover the decoder's
+# corner cases; fuzzing mutates from here.
+
+printf ''                                  > "$differ_dir/empty.bin"
+printf '\x00'                              > "$differ_dir/one_byte.bin"
+printf '\x00\x00\x00\x00\x00\x00'          > "$differ_dir/minimal.bin"
+printf '\x07\x02\x01\x00\x08\x03%b' \
+  '\x00\x00\x01\x00\x02\x00\x03\x00\x04\x00\x05\x00\x06\x00\x07\x00' \
+                                           > "$differ_dir/uniform_cycle.bin"
+printf '\x05\x01\x02\x01\x10\x07%b' \
+  '\x00\x01\x01\x00\x02\x01\x03\x00\x00\x00\x04\x01' \
+                                           > "$differ_dir/multilevel_mix.bin"
+printf '\x08\x03\x02\x02\x20\x01%b' \
+  '\x01\x01\x01\x01\x01\x01\x02\x00\x03\x01\x02\x00\x01\x01' \
+                                           > "$differ_dir/repeat_heavy.bin"
+head -c 96 /dev/zero | tr '\0' '\5'        > "$differ_dir/long_same_byte.bin"
+
+echo "corpus written:"
+find "$trace_dir" "$differ_dir" -type f | sort | sed "s|$repo/||"

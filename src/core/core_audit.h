@@ -1,0 +1,63 @@
+// Auditors for the fractional layer (WMLP_AUDIT; see util/audit.h).
+//
+//   AuditFractionalState  the §4.2 state invariants: every prefix variable
+//                         u(p, i) lies in [0, 1] and is non-increasing in
+//                         the level i (prefix mass only grows with depth),
+//                         and the total cached mass sum_p (1 - u(p, ell))
+//                         is feasible (<= k). Equivalently, the absent
+//                         mass sum_p u(p, ell) >= n - k — the quantity the
+//                         step-2 water-raising process conserves once the
+//                         cache has filled.
+//   AuditFractionalServed the step-1 postcondition: after Serve(t, (p, i))
+//                         the requested prefix is fully present,
+//                         u(p, j) = 0 for all j >= i.
+#pragma once
+
+#include "core/fractional.h"
+#include "trace/instance.h"
+#include "util/audit.h"
+
+namespace wmlp::audit {
+
+inline void AuditFractionalState(const Instance& inst,
+                                 const FractionalPolicy& frac) {
+  constexpr double kTol = 1e-6;
+  double absent = 0.0;
+  for (PageId p = 0; p < inst.num_pages(); ++p) {
+    double above = 1.0;
+    for (Level i = 1; i <= inst.num_levels(); ++i) {
+      const double u = frac.U(p, i);
+      WMLP_AUDIT_CHECK(u >= -kTol && u <= 1.0 + kTol,
+                       frac.name() << ": u(" << p << ", " << i << ") = "
+                                   << u << " outside [0, 1]");
+      WMLP_AUDIT_CHECK(u <= above + kTol,
+                       frac.name() << ": u(" << p << ", " << i << ") = "
+                                   << u << " exceeds u at level above ("
+                                   << above << ")");
+      above = u;
+    }
+    absent += frac.U(p, inst.num_levels());
+  }
+  const double required =
+      static_cast<double>(inst.num_pages() - inst.cache_size());
+  WMLP_AUDIT_CHECK(
+      absent >= required - kTol,
+      frac.name() << ": fractional mass infeasible: absent mass " << absent
+                  << " < n - k = " << required
+                  << " (cached mass exceeds the cache size)");
+}
+
+inline void AuditFractionalServed(const Instance& inst,
+                                  const FractionalPolicy& frac,
+                                  const Request& r) {
+  constexpr double kTol = 1e-9;
+  for (Level j = r.level; j <= inst.num_levels(); ++j) {
+    WMLP_AUDIT_CHECK(frac.U(r.page, j) <= kTol,
+                     frac.name() << ": request (" << r.page << ", "
+                                 << r.level << ") left unserved: u("
+                                 << r.page << ", " << j << ") = "
+                                 << frac.U(r.page, j));
+  }
+}
+
+}  // namespace wmlp::audit

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/core_audit.h"
 #include "util/check.h"
 
 namespace wmlp {
@@ -120,13 +121,13 @@ void FractionalMlp::Serve(Time /*t*/, const Request& r) {
     // each evaluation.
     auto gain_and_rate = [&](double s, double* rate) {
       double g = 0.0;
-      double r = 0.0;
+      double dg = 0.0;
       for (const Active& a : active) {
         const double e = (a.u0 + eta_) * std::exp(s / a.w);
         g += e - (a.u0 + eta_);
-        r += e / a.w;
+        dg += e / a.w;
       }
-      if (rate != nullptr) *rate = r;
+      if (rate != nullptr) *rate = dg;
       return g;
     };
 
@@ -141,12 +142,12 @@ void FractionalMlp::Serve(Time /*t*/, const Request& r) {
         // g > need decrease monotonically to the root.
         double s = s_event;
         double g = gain_at_event;
-        double r = rate_at_event;
+        double rate = rate_at_event;
         for (int it = 0; it < 50 && g - need > 1e-13 * (1.0 + need);
              ++it) {
-          s -= (g - need) / r;
+          s -= (g - need) / rate;
           WMLP_CHECK_MSG(s > 0.0, "Newton step left the segment");
-          g = gain_and_rate(s, &r);
+          g = gain_and_rate(s, &rate);
         }
         s_apply = s;
         final_segment = true;
@@ -170,6 +171,11 @@ void FractionalMlp::Serve(Time /*t*/, const Request& r) {
   }
 
   if (options_.record_schedule) schedule_.u.push_back(u_);
+
+  if constexpr (audit::kEnabled) {
+    audit::AuditFractionalState(inst, *this);
+    audit::AuditFractionalServed(inst, *this, r);
+  }
 }
 
 }  // namespace wmlp

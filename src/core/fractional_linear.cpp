@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/core_audit.h"
 #include "util/check.h"
 
 namespace wmlp {
@@ -114,6 +115,11 @@ void FractionalLinear::Serve(Time /*t*/, const Request& r) {
       }
     }
     if (s_need <= s_event) break;
+  }
+
+  if constexpr (audit::kEnabled) {
+    audit::AuditFractionalState(inst, *this);
+    audit::AuditFractionalServed(inst, *this, r);
   }
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "util/audit.h"
 #include "util/check.h"
 
 namespace wmlp {
@@ -171,7 +172,7 @@ void RoundedMultiLevel::Serve(Time t, const Request& r, CacheOps& ops) {
     }
   }
 
-  if (options_.paranoid) CheckConsistency(ops, t);
+  if (audit::kEnabled || options_.paranoid) CheckConsistency(ops, t);
 }
 
 void RoundedMultiLevel::CheckConsistency(const CacheOps& ops, Time t) const {
@@ -191,14 +192,26 @@ void RoundedMultiLevel::CheckConsistency(const CacheOps& ops, Time t) const {
     }
   }
   for (size_t c = 0; c < mass.size(); ++c) {
-    WMLP_CHECK_MSG(std::abs(mass[c] - class_mass_[c]) < 1e-6,
-                   "class " << c << " mass drift at t=" << t << ": inc="
-                            << class_mass_[c] << " true=" << mass[c]);
-    WMLP_CHECK_MSG(cached[c] == cached_per_class_[static_cast<size_t>(c)],
-                   "class " << c << " cached-count drift at t=" << t
-                            << ": inc="
-                            << cached_per_class_[static_cast<size_t>(c)]
-                            << " true=" << cached[c]);
+    WMLP_AUDIT_CHECK(std::abs(mass[c] - class_mass_[c]) < 1e-6,
+                     "class " << c << " mass drift at t=" << t << ": inc="
+                              << class_mass_[c] << " true=" << mass[c]);
+    WMLP_AUDIT_CHECK(cached[c] == cached_per_class_[c],
+                     "class " << c << " cached-count drift at t=" << t
+                              << ": inc=" << cached_per_class_[c]
+                              << " true=" << cached[c]);
+  }
+  // Reset postcondition (Algorithm 2): after the heaviest-first reset pass
+  // no class suffix holds more copies than its fractional mass ceiling.
+  int64_t suffix_cached = 0;
+  double suffix_mass = 0.0;
+  for (size_t c = mass.size(); c-- > 0;) {
+    suffix_cached += cached[c];
+    suffix_mass += mass[c];
+    WMLP_AUDIT_CHECK(suffix_cached <= CeilTol(suffix_mass),
+                     "reset postcondition violated at t=" << t
+                         << ": suffix >= class " << c << " holds "
+                         << suffix_cached << " copies > ceil(mass "
+                         << suffix_mass << ")");
   }
 }
 

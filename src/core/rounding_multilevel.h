@@ -48,9 +48,16 @@ class RoundedMultiLevel final : public Policy {
   double beta() const { return beta_; }
   int64_t reset_evictions() const { return reset_evictions_; }
 
+  // Recomputes the per-class fractional masses and cached-copy counts from
+  // scratch and checks them against the incremental state, plus the
+  // Algorithm 2 reset postcondition: every class-suffix occupancy is at
+  // most the ceiling of its fractional suffix mass. Runs after every Serve
+  // under WMLP_AUDIT or options.paranoid; failures route through
+  // audit::Fail. Public so audit tests can drive it with corrupted doubles.
+  void CheckConsistency(const CacheOps& ops, Time t) const;
+
  private:
   double V(double u) const;  // min(beta * u, 1)
-  void CheckConsistency(const CacheOps& ops, Time t) const;
   double UPrev(PageId p, Level i) const;  // u(p, i, t-1); u(p, 0) = 1
   double VPrev(PageId p, Level i) const;
   // Removes/adds page p's marginal contribution to class masses.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/audit.h"
 #include "util/check.h"
 
 namespace wmlp {
@@ -104,6 +105,42 @@ void RoundedWeightedPaging::Serve(Time t, const Request& r, CacheOps& ops) {
       --suffix_cached;
       ++reset_evictions_;
     }
+  }
+
+  if constexpr (audit::kEnabled) CheckConsistency(ops, t);
+}
+
+void RoundedWeightedPaging::CheckConsistency(const CacheOps& ops,
+                                             Time t) const {
+  const Instance& inst = *instance_;
+  std::vector<double> mass(class_mass_.size(), 0.0);
+  std::vector<int32_t> cached(cached_per_class_.size(), 0);
+  for (PageId p = 0; p < inst.num_pages(); ++p) {
+    const auto cls = static_cast<size_t>(classes_->class_of(p, 1));
+    mass[cls] += 1.0 - fractional_->U(p, 1);
+    if (ops.cache().contains(p)) ++cached[cls];
+  }
+  for (size_t c = 0; c < mass.size(); ++c) {
+    WMLP_AUDIT_CHECK(std::abs(mass[c] - class_mass_[c]) < 1e-6,
+                     "class " << c << " mass drift at t=" << t << ": inc="
+                              << class_mass_[c] << " true=" << mass[c]);
+    WMLP_AUDIT_CHECK(cached[c] == cached_per_class_[c],
+                     "class " << c << " cached-count drift at t=" << t
+                              << ": inc=" << cached_per_class_[c]
+                              << " true=" << cached[c]);
+  }
+  // Reset postcondition (Lemma 4.10): no class suffix may hold more copies
+  // than the ceiling of its fractional suffix mass.
+  int64_t suffix_cached = 0;
+  double suffix_mass = 0.0;
+  for (size_t c = mass.size(); c-- > 0;) {
+    suffix_cached += cached[c];
+    suffix_mass += mass[c];
+    WMLP_AUDIT_CHECK(suffix_cached <= CeilTol(suffix_mass),
+                     "reset postcondition violated at t=" << t
+                         << ": suffix >= class " << c << " holds "
+                         << suffix_cached << " copies > ceil(mass "
+                         << suffix_mass << ")");
   }
 }
 

@@ -42,6 +42,14 @@ class RoundedWeightedPaging final : public Policy {
   // Number of reset evictions so far (cost-analysis diagnostics, Lemma 4.12).
   int64_t reset_evictions() const { return reset_evictions_; }
 
+  // Recomputes per-class fractional masses and cached counts from scratch
+  // and checks them against the incremental state, plus the Algorithm 1
+  // reset postcondition: every class-suffix occupancy is at most the
+  // ceiling of its fractional suffix mass. Runs after every Serve under
+  // WMLP_AUDIT; failures route through audit::Fail. Public so audit tests
+  // can drive it with corrupted doubles.
+  void CheckConsistency(const CacheOps& ops, Time t) const;
+
  private:
   double Y(double x) const;  // min(beta * x, 1)
 

@@ -1,5 +1,8 @@
 #include "core/waterfill.h"
 
+#include <algorithm>
+
+#include "util/audit.h"
 #include "util/check.h"
 
 namespace wmlp {
@@ -9,6 +12,35 @@ void WaterfillPolicy::Attach(const Instance& instance) {
   heap_.clear();
   key_.assign(static_cast<size_t>(instance.num_pages()), 0.0);
   offset_ = 0.0;
+  audited_offset_ = 0.0;
+}
+
+void WaterfillPolicy::AuditState(const CacheState& cache) const {
+  constexpr double kTol = 1e-9;
+  WMLP_AUDIT_CHECK(instance_ != nullptr, "waterfill: audit before Attach");
+  WMLP_AUDIT_CHECK(offset_ >= audited_offset_ - kTol,
+                   "waterfill: water clock ran backwards (offset "
+                       << offset_ << " < previous " << audited_offset_
+                       << ")");
+  audited_offset_ = std::max(audited_offset_, offset_);
+  WMLP_AUDIT_CHECK(heap_.size() == cache.pages().size(),
+                   "waterfill: heap has " << heap_.size() << " entries for "
+                                          << cache.pages().size()
+                                          << " cached pages");
+  for (PageId p : cache.pages()) {
+    const double key = key_[static_cast<size_t>(p)];
+    WMLP_AUDIT_CHECK(heap_.count({key, p}) == 1,
+                     "waterfill: cached page " << p
+                                               << " missing from heap");
+    // Remaining credit w - f must stay in [0, w]: the copy has not drowned
+    // (minimum-key eviction fires first) and water never falls.
+    const double w = instance_->weight(p, cache.level_of(p));
+    const double remaining = key - offset_;
+    WMLP_AUDIT_CHECK(remaining >= -kTol && remaining <= w + kTol,
+                     "waterfill: page " << p << " remaining credit "
+                                        << remaining << " outside [0, "
+                                        << w << "]");
+  }
 }
 
 double WaterfillPolicy::WaterLevel(PageId p, Level level) const {
@@ -20,7 +52,13 @@ double WaterfillPolicy::WaterLevel(PageId p, Level level) const {
   return std::min(w, std::max(0.0, w - remaining));
 }
 
-void WaterfillPolicy::Serve(Time /*t*/, const Request& r, CacheOps& ops) {
+void WaterfillPolicy::Serve(Time t, const Request& r, CacheOps& ops) {
+  ServeImpl(t, r, ops);
+  if constexpr (audit::kEnabled) AuditState(ops.cache());
+}
+
+void WaterfillPolicy::ServeImpl(Time /*t*/, const Request& r,
+                                CacheOps& ops) {
   const Instance& inst = ops.instance();
   const CacheState& cache = ops.cache();
   if (cache.serves(r)) return;  // step 1: already satisfied

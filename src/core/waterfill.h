@@ -34,13 +34,23 @@ class WaterfillPolicy final : public Policy {
   // Exposed for the potential-function verification tests.
   double WaterLevel(PageId p, Level level) const;
 
+  // WMLP_AUDIT auditor (also callable directly from tests): checks that
+  // `cache` and the internal heap describe the same set of copies, that
+  // each cached copy's remaining credit lies in [0, w], and that the
+  // global water clock never ran backwards since the last audit.
+  void AuditState(const CacheState& cache) const;
+
  private:
+  void ServeImpl(Time t, const Request& r, CacheOps& ops);
+
   const Instance* instance_ = nullptr;
   // Ordered by key = (remaining credit + offset at insert time); the
   // minimum key is the next copy to drown.
   std::set<std::pair<double, PageId>> heap_;
   std::vector<double> key_;  // per page; valid while cached
   double offset_ = 0.0;
+  // High-water mark of offset_ seen by AuditState (water monotonicity).
+  mutable double audited_offset_ = 0.0;
 };
 
 }  // namespace wmlp

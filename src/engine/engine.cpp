@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include "sim/sim_audit.h"
 #include "util/check.h"
 
 namespace wmlp {
@@ -36,6 +37,11 @@ bool Engine::Step() {
                    policy_.name() << " overfilled cache at t=" << time_
                                   << ": " << state_.size() << " > "
                                   << state_.capacity());
+  }
+  if constexpr (audit::kEnabled) {
+    audit::AuditCacheState(inst, state_);
+    audit::AuditCostConvention(inst, state_, ops_.fetch_cost(),
+                               ops_.eviction_cost());
   }
   if (hit) {
     ++hits_;

@@ -1,6 +1,7 @@
 #include "engine/request_source.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "util/check.h"
@@ -42,6 +43,10 @@ std::unique_ptr<StreamingFileSource> StreamingFileSource::Open(
     Fail(error, "bad header (n k ell)");
     return nullptr;
   }
+  if (static_cast<int64_t>(n) * ell > (int64_t{1} << 26)) {
+    Fail(error, "weight matrix too large (n * ell > 2^26)");
+    return nullptr;
+  }
   std::vector<std::vector<Cost>> weights(
       static_cast<size_t>(n), std::vector<Cost>(static_cast<size_t>(ell)));
   for (auto& row : weights) {
@@ -50,8 +55,8 @@ std::unique_ptr<StreamingFileSource> StreamingFileSource::Open(
         Fail(error, "truncated weight matrix");
         return nullptr;
       }
-      if (w < 1.0) {
-        Fail(error, "weight < 1");
+      if (!std::isfinite(w) || w < 1.0) {
+        Fail(error, "weight not finite or < 1");
         return nullptr;
       }
     }

@@ -1,0 +1,71 @@
+// Auditors for the integral cache layer (WMLP_AUDIT; see util/audit.h).
+//
+//   AuditCacheState     one-copy-per-page, level bounds, size bookkeeping,
+//                       and cache-mass feasibility |C| <= k.
+//   AuditCostConvention the fetch == evict + residual convention: at every
+//                       step, cumulative fetch cost minus cumulative
+//                       eviction cost equals the weight of the copies still
+//                       resident (every fetched copy is either evicted and
+//                       charged, or still cached).
+//
+// Both recompute from scratch (O(n) / O(k) per call) — audit mode trades
+// speed for loud invariant breakage.
+#pragma once
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "sim/cache_state.h"
+#include "trace/instance.h"
+#include "util/audit.h"
+
+namespace wmlp::audit {
+
+inline void AuditCacheState(const Instance& inst, const CacheState& cache) {
+  WMLP_AUDIT_CHECK(cache.capacity() == inst.cache_size(),
+                   "cache capacity " << cache.capacity()
+                                     << " != instance k "
+                                     << inst.cache_size());
+  WMLP_AUDIT_CHECK(
+      cache.size() == static_cast<int32_t>(cache.pages().size()),
+      "size() " << cache.size() << " disagrees with pages() count "
+                << cache.pages().size());
+  WMLP_AUDIT_CHECK(cache.size() <= cache.capacity(),
+                   "cache overfull: " << cache.size() << " > "
+                                      << cache.capacity());
+  std::vector<char> listed(static_cast<size_t>(inst.num_pages()), 0);
+  for (PageId p : cache.pages()) {
+    WMLP_AUDIT_CHECK(inst.valid_page(p), "cached page " << p
+                                                        << " out of range");
+    WMLP_AUDIT_CHECK(listed[static_cast<size_t>(p)] == 0,
+                     "page " << p << " listed twice (one-copy-per-page)");
+    listed[static_cast<size_t>(p)] = 1;
+    const Level level = cache.level_of(p);
+    WMLP_AUDIT_CHECK(level >= 1 && level <= inst.num_levels(),
+                     "page " << p << " cached at invalid level " << level);
+  }
+  // The reverse direction: any page with a nonzero level must be listed.
+  for (PageId p = 0; p < inst.num_pages(); ++p) {
+    if (cache.level_of(p) != 0) {
+      WMLP_AUDIT_CHECK(listed[static_cast<size_t>(p)] == 1,
+                       "page " << p << " cached but missing from pages()");
+    }
+  }
+}
+
+inline void AuditCostConvention(const Instance& inst, const CacheState& cache,
+                                Cost fetch_cost, Cost eviction_cost) {
+  Cost resident = 0.0;
+  for (PageId p : cache.pages()) {
+    resident += inst.weight(p, cache.level_of(p));
+  }
+  const Cost gap = fetch_cost - eviction_cost - resident;
+  const Cost tol = 1e-6 * (1.0 + std::abs(fetch_cost));
+  WMLP_AUDIT_CHECK(std::abs(gap) <= tol,
+                   "cost convention violated: fetch " << fetch_cost
+                       << " - evict " << eviction_cost << " != resident "
+                       << resident << " (gap " << gap << ")");
+}
+
+}  // namespace wmlp::audit

@@ -1,5 +1,7 @@
 #include "trace/trace_io.h"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -7,6 +9,16 @@ namespace wmlp {
 
 namespace {
 constexpr char kMagic[] = "wmlp-trace v1";
+
+// Hard ceiling on the eagerly-allocated weight matrix (n * ell entries):
+// a malformed or hostile header must not be able to demand gigabytes
+// before the body has produced a single value. 1 << 26 doubles = 512 MiB.
+constexpr int64_t kMaxWeightEntries = int64_t{1} << 26;
+
+// The request list is streamed, so a huge declared length is fine — but
+// reserve() must not trust it (a "1e18 requests" header on a 10-byte body
+// would otherwise OOM before the truncation check fires).
+constexpr int64_t kMaxReserve = int64_t{1} << 20;
 
 bool Fail(std::string* error, const std::string& msg) {
   if (error != nullptr) *error = msg;
@@ -50,6 +62,10 @@ std::optional<Trace> ReadTrace(std::istream& is, std::string* error) {
     Fail(error, "bad header (n k ell)");
     return std::nullopt;
   }
+  if (static_cast<int64_t>(n) * ell > kMaxWeightEntries) {
+    Fail(error, "weight matrix too large (n * ell > 2^26)");
+    return std::nullopt;
+  }
   std::vector<std::vector<Cost>> weights(
       static_cast<size_t>(n), std::vector<Cost>(static_cast<size_t>(ell)));
   for (auto& row : weights) {
@@ -58,8 +74,10 @@ std::optional<Trace> ReadTrace(std::istream& is, std::string* error) {
         Fail(error, "truncated weight matrix");
         return std::nullopt;
       }
-      if (w < 1.0) {
-        Fail(error, "weight < 1");
+      // isfinite also rejects NaN, which would otherwise slip through the
+      // ordering checks below (every comparison against NaN is false).
+      if (!std::isfinite(w) || w < 1.0) {
+        Fail(error, "weight not finite or < 1");
         return std::nullopt;
       }
     }
@@ -76,7 +94,7 @@ std::optional<Trace> ReadTrace(std::istream& is, std::string* error) {
     return std::nullopt;
   }
   Trace trace{Instance(n, k, ell, std::move(weights)), {}};
-  trace.requests.reserve(static_cast<size_t>(len));
+  trace.requests.reserve(static_cast<size_t>(std::min(len, kMaxReserve)));
   for (int64_t t = 0; t < len; ++t) {
     Request r;
     if (!(is >> r.page >> r.level)) {

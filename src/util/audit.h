@@ -1,0 +1,83 @@
+// Paper-invariant audit layer (Section 4 invariants, machine-enforced).
+//
+// The auditors themselves (sim/sim_audit.h, core/core_audit.h, plus the
+// policy self-audits in waterfill/rounding) are always compiled, so tests
+// can exercise them in every build; the per-step call sites are gated on
+// `audit::kEnabled`, which is true only when the tree is configured with
+// -DWMLP_AUDIT=ON. Audit mode recomputes state from scratch every step, so
+// it is deliberately slow — it exists to make invariant breakage loud, not
+// to run in benchmarks.
+//
+// Failures route through a process-wide handler that aborts by default
+// (same contract as WMLP_CHECK); tests install a throwing handler via
+// ScopedFailureHandler to prove each auditor can actually fire.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace wmlp::audit {
+
+#ifdef WMLP_AUDIT
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+// Called with a human-readable description of the violated invariant. A
+// handler may throw (tests) or abort; if it returns normally the process
+// aborts anyway — an audit failure is never ignorable.
+using FailureHandler = void (*)(const std::string& message);
+
+namespace detail {
+inline FailureHandler& HandlerSlot() {
+  static FailureHandler handler = nullptr;  // nullptr = abort
+  return handler;
+}
+}  // namespace detail
+
+// Installs `handler` (nullptr restores the aborting default); returns the
+// previous handler. Not thread-safe; install before spawning workers.
+inline FailureHandler SetFailureHandler(FailureHandler handler) {
+  FailureHandler previous = detail::HandlerSlot();
+  detail::HandlerSlot() = handler;
+  return previous;
+}
+
+[[noreturn]] inline void FailAbort(const std::string& message) {
+  std::fprintf(stderr, "WMLP_AUDIT failed: %s\n", message.c_str());
+  std::abort();
+}
+
+inline void Fail(const std::string& message) {
+  FailureHandler handler = detail::HandlerSlot();
+  if (handler != nullptr) handler(message);
+  FailAbort(message);
+}
+
+// RAII scope for tests: installs a (typically throwing) handler and
+// restores the previous one on exit.
+class ScopedFailureHandler {
+ public:
+  explicit ScopedFailureHandler(FailureHandler handler)
+      : previous_(SetFailureHandler(handler)) {}
+  ~ScopedFailureHandler() { SetFailureHandler(previous_); }
+  ScopedFailureHandler(const ScopedFailureHandler&) = delete;
+  ScopedFailureHandler& operator=(const ScopedFailureHandler&) = delete;
+
+ private:
+  FailureHandler previous_;
+};
+
+}  // namespace wmlp::audit
+
+#define WMLP_AUDIT_CHECK(cond, msg)                    \
+  do {                                                 \
+    if (!(cond)) {                                     \
+      std::ostringstream audit_oss_;                   \
+      audit_oss_ << #cond << " - " << msg;             \
+      ::wmlp::audit::Fail(audit_oss_.str());           \
+    }                                                  \
+  } while (0)

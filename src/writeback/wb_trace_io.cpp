@@ -1,5 +1,7 @@
 #include "writeback/wb_trace_io.h"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -8,6 +10,11 @@ namespace wmlp::wb {
 
 namespace {
 constexpr char kMagic[] = "wmlp-wbtrace v1";
+
+// Same hostile-header guards as trace_io.cpp: bound the eager weight
+// allocation and never trust the declared length for reserve().
+constexpr int64_t kMaxPages = int64_t{1} << 26;
+constexpr int64_t kMaxReserve = int64_t{1} << 20;
 
 bool Fail(std::string* error, const std::string& msg) {
   if (error != nullptr) *error = msg;
@@ -47,6 +54,10 @@ std::optional<WbTrace> ReadWbTrace(std::istream& is, std::string* error) {
     Fail(error, "bad header (n k)");
     return std::nullopt;
   }
+  if (n > kMaxPages) {
+    Fail(error, "too many pages (n > 2^26)");
+    return std::nullopt;
+  }
   std::vector<Cost> w1(static_cast<size_t>(n));
   std::vector<Cost> w2(static_cast<size_t>(n));
   for (int32_t p = 0; p < n; ++p) {
@@ -54,9 +65,13 @@ std::optional<WbTrace> ReadWbTrace(std::istream& is, std::string* error) {
       Fail(error, "truncated weights");
       return std::nullopt;
     }
-    if (w2[static_cast<size_t>(p)] < 1.0 ||
+    // isfinite also rejects NaN, which every ordering check below would
+    // silently accept (comparisons against NaN are all false).
+    if (!std::isfinite(w1[static_cast<size_t>(p)]) ||
+        !std::isfinite(w2[static_cast<size_t>(p)]) ||
+        w2[static_cast<size_t>(p)] < 1.0 ||
         w1[static_cast<size_t>(p)] < w2[static_cast<size_t>(p)]) {
-      Fail(error, "invalid weights (need w1 >= w2 >= 1)");
+      Fail(error, "invalid weights (need finite w1 >= w2 >= 1)");
       return std::nullopt;
     }
   }
@@ -66,7 +81,7 @@ std::optional<WbTrace> ReadWbTrace(std::istream& is, std::string* error) {
     return std::nullopt;
   }
   WbTrace trace{WbInstance(n, k, std::move(w1), std::move(w2)), {}};
-  trace.requests.reserve(static_cast<size_t>(len));
+  trace.requests.reserve(static_cast<size_t>(std::min(len, kMaxReserve)));
   for (int64_t t = 0; t < len; ++t) {
     PageId page;
     char op;

@@ -1,0 +1,301 @@
+// Audit-layer tests (util/audit.h, sim/sim_audit.h, core/core_audit.h).
+//
+// Auditors that cannot fail are dead code: every negative test here feeds
+// an auditor deliberately-corrupted state through a test double and
+// asserts it fires. Positive tests run real policies end to end with the
+// auditors armed and a throwing handler installed, so a miscalibrated
+// tolerance shows up as a test failure rather than a silent pass.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/core_audit.h"
+#include "core/fractional.h"
+#include "core/rounding_multilevel.h"
+#include "core/rounding_weighted.h"
+#include "core/waterfill.h"
+#include "engine/engine.h"
+#include "engine/request_source.h"
+#include "registry/policy_registry.h"
+#include "sim/sim_audit.h"
+#include "trace/generators.h"
+#include "util/audit.h"
+
+namespace wmlp {
+namespace {
+
+[[noreturn]] void ThrowingHandler(const std::string& message) {
+  throw std::runtime_error(message);
+}
+
+Instance TwoLevelInstance() {
+  return Instance(4, 2, 2, {{8.0, 2.0}, {8.0, 2.0}, {4.0, 1.0}, {4.0, 1.0}});
+}
+
+Trace SmallZipfTrace(int32_t n, int32_t k, int32_t ell) {
+  const Instance inst(
+      n, k, ell,
+      MakeWeights(n, ell, WeightModel::kGeometricLevels, 8.0, /*seed=*/7));
+  const LevelMix mix =
+      ell == 1 ? LevelMix::AllLowest(1) : LevelMix::UniformMix(ell);
+  return GenZipf(inst, /*length=*/400, /*alpha=*/0.8, mix, /*seed=*/11);
+}
+
+// A FractionalPolicy wrapper whose reported U values can be corrupted
+// after the fact: the inner policy stays consistent, but consumers that
+// recompute from U (the rounding consistency auditors, the fractional
+// state auditor) see a state that no longer matches their bookkeeping.
+class CorruptibleFractional final : public FractionalPolicy {
+ public:
+  explicit CorruptibleFractional(FractionalPolicyPtr inner)
+      : inner_(std::move(inner)) {}
+
+  void Attach(const Instance& instance) override {
+    inner_->Attach(instance);
+  }
+  void Serve(Time t, const Request& r) override { inner_->Serve(t, r); }
+  double U(PageId p, Level i) const override {
+    const double u = inner_->U(p, i);
+    return corrupt_ ? u * 0.5 : u;
+  }
+  const std::vector<PageId>& last_changed() const override {
+    return inner_->last_changed();
+  }
+  Cost lp_cost() const override { return inner_->lp_cost(); }
+  std::string name() const override { return "corruptible"; }
+
+  void set_corrupt(bool corrupt) { corrupt_ = corrupt; }
+
+ private:
+  FractionalPolicyPtr inner_;
+  bool corrupt_ = false;
+};
+
+// A FractionalPolicy test double reporting arbitrary fixed U values.
+class FixedFractional final : public FractionalPolicy {
+ public:
+  FixedFractional(std::vector<double> u, int32_t ell)
+      : u_(std::move(u)), ell_(ell) {}
+
+  void Attach(const Instance&) override {}
+  void Serve(Time, const Request&) override {}
+  double U(PageId p, Level i) const override {
+    return u_[static_cast<size_t>(p) * static_cast<size_t>(ell_) +
+              static_cast<size_t>(i - 1)];
+  }
+  const std::vector<PageId>& last_changed() const override {
+    return changed_;
+  }
+  Cost lp_cost() const override { return 0.0; }
+  std::string name() const override { return "fixed"; }
+
+ private:
+  std::vector<double> u_;
+  int32_t ell_;
+  std::vector<PageId> changed_;
+};
+
+class AuditTest : public ::testing::Test {
+ protected:
+  audit::ScopedFailureHandler handler_{ThrowingHandler};
+};
+
+// ---- Cache-state auditor -------------------------------------------------
+
+TEST_F(AuditTest, CleanCacheStatePasses) {
+  const Instance inst = TwoLevelInstance();
+  CacheState state(inst);
+  state.Insert(0, 1);
+  state.Insert(2, 2);
+  EXPECT_NO_THROW(audit::AuditCacheState(inst, state));
+}
+
+TEST_F(AuditTest, OverfullCacheFires) {
+  const Instance inst = Instance::Uniform(4, 1);
+  CacheState state(inst);
+  state.Insert(0, 1);
+  state.Insert(1, 1);  // CacheOps may overfill transiently; audit must see it
+  EXPECT_THROW(audit::AuditCacheState(inst, state), std::runtime_error);
+}
+
+TEST_F(AuditTest, InvalidCachedLevelFires) {
+  const Instance inst = Instance::Uniform(4, 2);
+  CacheState state(inst);
+  state.Insert(0, 3);  // ell == 1: no such level
+  EXPECT_THROW(audit::AuditCacheState(inst, state), std::runtime_error);
+}
+
+TEST_F(AuditTest, CapacityMismatchFires) {
+  const Instance inst = Instance::Uniform(4, 2);
+  const Instance other = Instance::Uniform(4, 3);
+  CacheState state(other);
+  EXPECT_THROW(audit::AuditCacheState(inst, state), std::runtime_error);
+}
+
+// ---- Cost-convention auditor ---------------------------------------------
+
+TEST_F(AuditTest, CostConventionHoldsOnRealRun) {
+  const Trace trace = SmallZipfTrace(12, 4, 2);
+  WaterfillPolicy policy;
+  TraceSource source(trace);
+  Engine engine(source, policy);
+  while (engine.Step()) {
+    audit::AuditCacheState(trace.instance, engine.cache());
+    audit::AuditCostConvention(trace.instance, engine.cache(),
+                               engine.ops().fetch_cost(),
+                               engine.ops().eviction_cost());
+    policy.AuditState(engine.cache());
+  }
+}
+
+TEST_F(AuditTest, CostConventionFiresOnWrongTotals) {
+  const Instance inst = TwoLevelInstance();
+  CacheState state(inst);
+  state.Insert(0, 1);  // resident weight 8
+  EXPECT_NO_THROW(audit::AuditCostConvention(inst, state, 8.0, 0.0));
+  // Fetch meter under-charged: fetch - evict != resident.
+  EXPECT_THROW(audit::AuditCostConvention(inst, state, 5.0, 0.0),
+               std::runtime_error);
+  // Eviction meter over-charged.
+  EXPECT_THROW(audit::AuditCostConvention(inst, state, 8.0, 3.0),
+               std::runtime_error);
+}
+
+// ---- Fractional-state auditor --------------------------------------------
+
+TEST_F(AuditTest, FractionalAuditPassesOnRealPolicy) {
+  const Trace trace = SmallZipfTrace(10, 3, 2);
+  FractionalMlp frac;
+  frac.Attach(trace.instance);
+  Time t = 0;
+  for (const Request& r : trace.requests) {
+    frac.Serve(t++, r);
+    audit::AuditFractionalState(trace.instance, frac);
+    audit::AuditFractionalServed(trace.instance, frac, r);
+  }
+}
+
+TEST_F(AuditTest, FractionalOutOfRangeUFires) {
+  const Instance inst = Instance::Uniform(3, 1);
+  const FixedFractional frac({1.5, 1.0, 1.0}, 1);
+  EXPECT_THROW(audit::AuditFractionalState(inst, frac),
+               std::runtime_error);
+}
+
+TEST_F(AuditTest, FractionalNonMonotoneLevelsFire) {
+  const Instance inst = TwoLevelInstance();
+  // u(p, 2) > u(p, 1): suffix mass would be negative.
+  const FixedFractional frac({0.2, 0.8, 1, 1, 1, 1, 1, 1}, 2);
+  EXPECT_THROW(audit::AuditFractionalState(inst, frac),
+               std::runtime_error);
+}
+
+TEST_F(AuditTest, FractionalInfeasibleMassFires) {
+  const Instance inst = Instance::Uniform(4, 2);
+  // All pages fully cached: mass 4 > k = 2, absent mass 0 < n - k = 2.
+  const FixedFractional frac({0.0, 0.0, 0.0, 0.0}, 1);
+  EXPECT_THROW(audit::AuditFractionalState(inst, frac),
+               std::runtime_error);
+}
+
+TEST_F(AuditTest, FractionalUnservedRequestFires) {
+  const Instance inst = Instance::Uniform(4, 2);
+  const FixedFractional frac({1.0, 0.0, 1.0, 0.0}, 1);
+  const Request r{0, 1};
+  EXPECT_THROW(audit::AuditFractionalServed(inst, frac, r),
+               std::runtime_error);
+}
+
+// ---- Waterfill self-audit ------------------------------------------------
+
+TEST_F(AuditTest, WaterfillAuditFiresOnForeignCache) {
+  const Trace trace = SmallZipfTrace(12, 4, 1);
+  WaterfillPolicy policy;
+  TraceSource source(trace);
+  Engine engine(source, policy);
+  engine.Run();
+  EXPECT_NO_THROW(policy.AuditState(engine.cache()));
+  // A cache holding a copy the policy never fetched: heap and cache
+  // disagree, exactly the corruption the auditor exists to catch.
+  CacheState foreign(trace.instance);
+  foreign.Insert(0, 1);
+  foreign.Insert(1, 1);
+  EXPECT_THROW(policy.AuditState(foreign), std::runtime_error);
+}
+
+// ---- Rounding consistency + reset postcondition auditors -----------------
+
+TEST_F(AuditTest, WeightedRoundingConsistencyFiresAfterCorruption) {
+  const Trace trace = SmallZipfTrace(10, 3, 1);
+  auto owned = std::make_unique<CorruptibleFractional>(
+      std::make_unique<FractionalMlp>());
+  CorruptibleFractional* fractional = owned.get();
+  RoundedWeightedPaging policy(std::move(owned), /*seed=*/5);
+  TraceSource source(trace);
+  Engine engine(source, policy);
+  engine.Run();
+  EXPECT_NO_THROW(policy.CheckConsistency(engine.ops(), trace.length()));
+  fractional->set_corrupt(true);
+  EXPECT_THROW(policy.CheckConsistency(engine.ops(), trace.length()),
+               std::runtime_error);
+}
+
+TEST_F(AuditTest, MultiLevelRoundingConsistencyFiresAfterCorruption) {
+  const Trace trace = SmallZipfTrace(10, 3, 2);
+  auto owned = std::make_unique<CorruptibleFractional>(
+      std::make_unique<FractionalMlp>());
+  CorruptibleFractional* fractional = owned.get();
+  RoundedMultiLevel policy(std::move(owned), /*seed=*/5);
+  TraceSource source(trace);
+  Engine engine(source, policy);
+  engine.Run();
+  EXPECT_NO_THROW(policy.CheckConsistency(engine.ops(), trace.length()));
+  fractional->set_corrupt(true);
+  EXPECT_THROW(policy.CheckConsistency(engine.ops(), trace.length()),
+               std::runtime_error);
+}
+
+// ---- Handler machinery ---------------------------------------------------
+
+TEST(AuditHandlerTest, ScopedHandlerRestoresPrevious) {
+  audit::SetFailureHandler(nullptr);
+  {
+    audit::ScopedFailureHandler scoped(ThrowingHandler);
+    EXPECT_THROW(audit::Fail("inner"), std::runtime_error);
+  }
+  // Restored to the aborting default.
+  EXPECT_DEATH(audit::Fail("outer"), "WMLP_AUDIT failed: outer");
+}
+
+TEST(AuditHandlerTest, DefaultHandlerAborts) {
+  const Instance inst = Instance::Uniform(2, 1);
+  CacheState state(inst);
+  state.Insert(0, 1);
+  state.Insert(1, 1);
+  EXPECT_DEATH(audit::AuditCacheState(inst, state), "WMLP_AUDIT failed");
+}
+
+// ---- Every registry policy is audit-clean end to end ---------------------
+
+TEST_F(AuditTest, AllRegistryPoliciesAuditCleanPerStep) {
+  const Trace trace = SmallZipfTrace(12, 4, 1);
+  for (const std::string& name : KnownPolicyNames()) {
+    SCOPED_TRACE(name);
+    const PolicyPtr policy = MakePolicyByName(name, /*seed=*/3);
+    ASSERT_NE(policy, nullptr);
+    TraceSource source(trace);
+    Engine engine(source, *policy);
+    while (engine.Step()) {
+      audit::AuditCacheState(trace.instance, engine.cache());
+      audit::AuditCostConvention(trace.instance, engine.cache(),
+                                 engine.ops().fetch_cost(),
+                                 engine.ops().eviction_cost());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wmlp

@@ -65,8 +65,8 @@ TEST_P(BaselineSuite, NoEvictionsWhenEverythingFits) {
 
 INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineSuite,
                          ::testing::Range(0, 5),
-                         [](const auto& info) {
-                           return BaselineName(info.param);
+                         [](const auto& suite_info) {
+                           return BaselineName(suite_info.param);
                          });
 
 TEST(Lru, EvictsLeastRecentlyUsed) {

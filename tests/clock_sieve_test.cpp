@@ -117,9 +117,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          SweepCase{24, 6, 3, 4},
                                          SweepCase{3, 2, 1, 5},
                                          SweepCase{64, 16, 2, 6})),
-    [](const auto& info) {
-      const int which = std::get<0>(info.param);
-      const SweepCase& c = std::get<1>(info.param);
+    [](const auto& suite_info) {
+      const int which = std::get<0>(suite_info.param);
+      const SweepCase& c = std::get<1>(suite_info.param);
       return std::string(which == 0 ? "clock" : "sieve") + "_n" +
              std::to_string(c.n) + "k" + std::to_string(c.k) + "ell" +
              std::to_string(c.ell);

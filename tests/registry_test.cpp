@@ -42,8 +42,8 @@ TEST_P(RegistrySuite, ServesAMultiLevelSmokeTraceThroughTheEngine) {
 
 INSTANTIATE_TEST_SUITE_P(AllNames, RegistrySuite,
                          ::testing::ValuesIn(KnownPolicyNames()),
-                         [](const auto& info) {
-                           std::string name = info.param;
+                         [](const auto& suite_info) {
+                           std::string name = suite_info.param;
                            std::replace(name.begin(), name.end(), '-', '_');
                            return name;
                          });

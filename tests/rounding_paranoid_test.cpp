@@ -74,8 +74,8 @@ INSTANTIATE_TEST_SUITE_P(
         ParanoidCase{9, 8, 3, 1.0, 1, 10},
         ParanoidCase{6, 2, 5, 1.0, 0, 11},
         ParanoidCase{6, 5, 2, 0.0, 3, 12}),
-    [](const auto& info) {
-      const ParanoidCase& c = info.param;
+    [](const auto& suite_info) {
+      const ParanoidCase& c = suite_info.param;
       return "n" + std::to_string(c.n) + "k" + std::to_string(c.k) + "ell" +
              std::to_string(c.ell) + "b" +
              std::to_string(static_cast<int>(c.beta * 10)) + "w" +

@@ -75,8 +75,8 @@ INSTANTIATE_TEST_SUITE_P(
                       RoundingCase{24, 6, 4, 0.9, 7},
                       RoundingCase{9, 8, 1, 0.5, 8},
                       RoundingCase{64, 16, 2, 1.0, 9}),
-    [](const auto& info) {
-      const RoundingCase& c = info.param;
+    [](const auto& suite_info) {
+      const RoundingCase& c = suite_info.param;
       return "n" + std::to_string(c.n) + "k" + std::to_string(c.k) + "ell" +
              std::to_string(c.ell) + "s" + std::to_string(c.seed);
     });

@@ -1,0 +1,126 @@
+// Regression tests for parser robustness bugs surfaced by the static
+// analysis / fuzzing pass:
+//
+//   * NaN weights passed validation in all three trace readers because
+//     every ordering comparison against NaN is false ("w < 1.0" never
+//     fires) — now rejected via std::isfinite.
+//   * Hostile headers (giant n * ell, giant declared length) triggered
+//     multi-GiB eager allocations before the truncation check could run —
+//     now bounded by entry caps and a capped reserve.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "engine/request_source.h"
+#include "trace/generators.h"
+#include "trace/trace_io.h"
+#include "writeback/wb_trace_io.h"
+
+namespace wmlp {
+namespace {
+
+std::string WriteTempTrace(const std::string& text) {
+  const std::string path =
+      ::testing::TempDir() + "/trace_robustness_input.txt";
+  std::ofstream ofs(path);
+  ofs << text;
+  return path;
+}
+
+// ---- NaN / non-finite weights --------------------------------------------
+
+TEST(TraceRobustness, RejectsNanWeight) {
+  // libstdc++ stream extraction already rejects "nan" (LWG 2381), so this
+  // fails as a truncated read; the isfinite guard in the parser is the
+  // backstop should extraction ever hand one through.
+  std::string err;
+  EXPECT_FALSE(
+      TraceFromString("wmlp-trace v1\n2 1 1\nnan\n1\n0\n", &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(TraceRobustness, RejectsInfiniteWeight) {
+  std::string err;
+  EXPECT_FALSE(
+      TraceFromString("wmlp-trace v1\n2 1 1\ninf\n1\n0\n", &err).has_value());
+}
+
+TEST(TraceRobustness, RejectsNanWeightInMatrix) {
+  // NaN in a later row, after valid rows, and at a non-first level.
+  std::string err;
+  EXPECT_FALSE(TraceFromString(
+                   "wmlp-trace v1\n2 1 2\n4 2\n4 nan\n0\n", &err)
+                   .has_value());
+}
+
+TEST(TraceRobustness, StreamingSourceRejectsNanWeight) {
+  const std::string path =
+      WriteTempTrace("wmlp-trace v1\n2 1 1\nnan\n1\n0\n");
+  std::string err;
+  EXPECT_EQ(StreamingFileSource::Open(path, &err), nullptr);
+  EXPECT_FALSE(err.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceRobustness, WritebackRejectsNanWeights) {
+  std::string err;
+  EXPECT_FALSE(
+      wb::WbTraceFromString("wmlp-wbtrace v1\n2 1\nnan 1\n1 1\n0\n", &err)
+          .has_value());
+  EXPECT_FALSE(
+      wb::WbTraceFromString("wmlp-wbtrace v1\n2 1\n2 nan\n1 1\n0\n", &err)
+          .has_value());
+}
+
+// ---- Hostile headers ------------------------------------------------------
+
+TEST(TraceRobustness, RejectsHugeWeightMatrixHeader) {
+  // n * ell = 2^30: would have been an 8 GiB allocation before the guard.
+  // Must reject from the header alone, fast, without touching the body.
+  std::string err;
+  EXPECT_FALSE(TraceFromString("wmlp-trace v1\n1073741824 1 1\n", &err)
+                   .has_value());
+  EXPECT_NE(err.find("too large"), std::string::npos) << err;
+}
+
+TEST(TraceRobustness, StreamingSourceRejectsHugeHeader) {
+  const std::string path =
+      WriteTempTrace("wmlp-trace v1\n1073741824 1 1\n");
+  std::string err;
+  EXPECT_EQ(StreamingFileSource::Open(path, &err), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(TraceRobustness, WritebackRejectsHugePageCount) {
+  std::string err;
+  EXPECT_FALSE(
+      wb::WbTraceFromString("wmlp-wbtrace v1\n1073741824 1\n", &err)
+          .has_value());
+}
+
+TEST(TraceRobustness, HugeDeclaredLengthFailsAsTruncation) {
+  // Declared length of 2^40 with a one-request body: must fail as a
+  // truncation, not die reserving 16 TiB for the request vector.
+  std::string err;
+  EXPECT_FALSE(TraceFromString(
+                   "wmlp-trace v1\n2 1 1\n1\n1\n1099511627776\n0 1\n", &err)
+                   .has_value());
+}
+
+// ---- Round-trip still intact after the guards -----------------------------
+
+TEST(TraceRobustness, ValidTraceStillRoundTrips) {
+  const Instance inst(
+      3, 2, 2, MakeWeights(3, 2, WeightModel::kGeometricLevels, 4.0, 1));
+  const Trace trace =
+      GenZipf(inst, 20, 0.7, LevelMix::UniformMix(2), /*seed=*/2);
+  std::string err;
+  const auto back = TraceFromString(TraceToString(trace), &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->requests.size(), trace.requests.size());
+}
+
+}  // namespace
+}  // namespace wmlp

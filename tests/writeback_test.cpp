@@ -187,8 +187,8 @@ TEST_P(WbPolicySuite, AllWritesMakesEveryEvictionDirty) {
 
 INSTANTIATE_TEST_SUITE_P(AllWbPolicies, WbPolicySuite,
                          ::testing::Range(0, 3),
-                         [](const auto& info) {
-                           return WbPolicyName(info.param);
+                         [](const auto& suite_info) {
+                           return WbPolicyName(suite_info.param);
                          });
 
 TEST(WbCleanFirstLru, AvoidsDirtyEvictionsWhenPossible) {

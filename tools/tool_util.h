@@ -1,13 +1,23 @@
 // Tiny flag parsing shared by the CLI tools: --key value pairs plus bare
-// --flags, with typed getters and defaults.
+// --flags, with typed getters and defaults. Typed getters parse strictly:
+// a malformed or trailing-junk value dies with a message naming the flag
+// instead of silently reading as 0 (the old strtoll-with-no-checks
+// behavior turned "--trials 1O" into "--trials 0").
 #pragma once
 
+#include <cerrno>
+#include <charconv>
 #include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
 
 namespace wmlp::tools {
+
+[[noreturn]] inline void Die(const std::string& message) {
+  std::cerr << "error: " << message << "\n";
+  std::exit(1);
+}
 
 class Flags {
  public:
@@ -34,24 +44,32 @@ class Flags {
 
   int64_t GetInt(const std::string& key, int64_t def) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? def
-                               : std::strtoll(it->second.c_str(), nullptr,
-                                              10);
+    if (it == values_.end()) return def;
+    const std::string& text = it->second;
+    int64_t value = 0;
+    const auto [end, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || end != text.data() + text.size()) {
+      Die("--" + key + " expects an integer, got '" + text + "'");
+    }
+    return value;
   }
 
   double GetDouble(const std::string& key, double def) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? def
-                               : std::strtod(it->second.c_str(), nullptr);
+    if (it == values_.end()) return def;
+    const std::string& text = it->second;
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end != text.c_str() + text.size() || text.empty()) {
+      Die("--" + key + " expects a number, got '" + text + "'");
+    }
+    return value;
   }
 
  private:
   std::map<std::string, std::string> values_;
 };
-
-[[noreturn]] inline void Die(const std::string& message) {
-  std::cerr << "error: " << message << "\n";
-  std::exit(1);
-}
 
 }  // namespace wmlp::tools
