@@ -1,0 +1,317 @@
+// Perf suite: reproducible wall-clock measurements for the solver stack,
+// with machine-readable JSON output for the CI regression gate
+// (scripts/check_perf_regression.py).
+//
+// Measures ns/request for
+//   - waterfill            (integral policy, registry, engine serve loop)
+//   - fractional-fast      (FractionalMlp, output-sensitive event heap)
+//   - fractional-reference (FractionalMlpReference, O(n*ell) per step)
+//   - rounded              (registry "randomized": RoundedMultiLevel over
+//                           the fast fractional solver, engine serve loop)
+// across n in {1e3, 1e4, 1e5, 1e6} (quick: {1e3, 1e4}) and ell in
+// {1, 2, 4}. The reference solver is skipped at n = 1e6 — its per-step
+// O(n*ell) scan makes that cell minutes of runtime for no extra
+// information; the skip is announced on stdout, never silent.
+//
+// Weights use WeightModel::kGeometricLevels: level-determined weights keep
+// the fast solver's weight-group count at G <= ell, the regime the
+// output-sensitive design targets. Per-page weight spreads (kLogUniform)
+// degrade G toward n and are covered by E9/ARCHITECTURE.md, not here —
+// mixing regimes in one table would make the regression gate ambiguous.
+//
+// Flags:
+//   --quick            small grid for CI smoke (cells match the full grid's
+//                      small-n cells so the gate can compare across modes)
+//   --json <path>      write BENCH_perf.json-style output
+//   --git-sha <sha>    stamp the JSON (run_benchmarks.sh passes rev-parse)
+//   --reps <r>         timed repetitions per cell, best-of (default 2)
+//   --threads <t>      trace pre-generation parallelism; 0 = hardware
+//                      concurrency. Timing itself is always sequential —
+//                      concurrent cells would contend and skew ns/request.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/fractional.h"
+#include "core/fractional_reference.h"
+#include "engine/engine.h"
+#include "harness/table.h"
+#include "harness/thread_pool.h"
+#include "registry/policy_registry.h"
+#include "trace/generators.h"
+
+namespace wmlp {
+namespace {
+
+struct SuiteArgs {
+  bool quick = false;
+  std::string json_path;
+  std::string git_sha = "unknown";
+  int32_t reps = 2;
+  int32_t threads = 0;
+};
+
+SuiteArgs ParseArgs(int argc, char** argv) {
+  SuiteArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      args.quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--git-sha") == 0 && i + 1 < argc) {
+      args.git_sha = argv[++i];
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      args.reps = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      args.threads = std::atoi(argv[++i]);
+    } else {
+      std::cerr << "usage: bench_perf_suite [--quick] [--json path] "
+                   "[--git-sha sha] [--reps r] [--threads t]\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+struct Cell {
+  std::string bench;
+  int32_t n = 0;
+  int32_t k = 0;
+  int32_t ell = 0;
+  int64_t requests = 0;
+  double ns_per_request = 0.0;
+  double cost = 0.0;  // lp cost (fractional) or eviction cost (integral)
+};
+
+Trace BuildTrace(int32_t n, int32_t ell, int64_t requests) {
+  const int32_t k = n / 4;
+  Instance inst(n, k, ell,
+                MakeWeights(n, ell, WeightModel::kGeometricLevels, 4.0, 7));
+  return GenZipf(std::move(inst), requests, 0.8,
+                 ell == 1 ? LevelMix::AllLowest(1) : LevelMix::UniformMix(ell),
+                 8);
+}
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedNs(Clock::time_point start) {
+  return static_cast<double>(std::chrono::duration_cast<std::chrono::
+                                 nanoseconds>(Clock::now() - start)
+                                 .count());
+}
+
+// Runs `run` (which returns the run's cost) at least `reps` times — and,
+// for cells whose single run is far below the timer's noise floor, until
+// at least kMinMeasuredNs of total measured time has accumulated — and
+// returns the best-of ns/request plus the (deterministic) cost. Without
+// the floor, a ~30 us waterfill cell jitters well past the 25% regression
+// gate from scheduling noise alone.
+Cell TimeCell(const std::string& bench, const Trace& trace, int32_t reps,
+              double (*run)(const Trace&)) {
+  constexpr double kMinMeasuredNs = 5e7;  // 50 ms
+  constexpr int32_t kMaxReps = 200;
+  Cell cell;
+  cell.bench = bench;
+  cell.n = trace.instance.num_pages();
+  cell.k = static_cast<int32_t>(trace.instance.cache_size());
+  cell.ell = trace.instance.num_levels();
+  cell.requests = trace.length();
+  double best_ns = 0.0;
+  double total_ns = 0.0;
+  for (int32_t rep = 0;
+       rep < reps || (total_ns < kMinMeasuredNs && rep < kMaxReps); ++rep) {
+    const auto start = Clock::now();
+    cell.cost = run(trace);
+    const double ns = ElapsedNs(start);
+    total_ns += ns;
+    if (rep == 0 || ns < best_ns) best_ns = ns;
+  }
+  cell.ns_per_request = best_ns / static_cast<double>(trace.length());
+  return cell;
+}
+
+double RunFractionalFast(const Trace& trace) {
+  FractionalMlp frac;
+  frac.Attach(trace.instance);
+  for (Time t = 0; t < trace.length(); ++t) {
+    frac.Serve(t, trace.requests[static_cast<size_t>(t)]);
+  }
+  return frac.lp_cost();
+}
+
+double RunFractionalReference(const Trace& trace) {
+  FractionalMlpReference frac;
+  frac.Attach(trace.instance);
+  for (Time t = 0; t < trace.length(); ++t) {
+    frac.Serve(t, trace.requests[static_cast<size_t>(t)]);
+  }
+  return frac.lp_cost();
+}
+
+double RunWaterfill(const Trace& trace) {
+  auto policy = MakePolicyByName("waterfill", 3);
+  TraceSource source(trace);
+  Engine engine(source, *policy);
+  return engine.Run().eviction_cost;
+}
+
+double RunRounded(const Trace& trace) {
+  auto policy = MakePolicyByName("randomized", 3);
+  TraceSource source(trace);
+  Engine engine(source, *policy);
+  return engine.Run().eviction_cost;
+}
+
+int64_t PeakRssKb() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return -1;
+  return usage.ru_maxrss;  // kilobytes on Linux
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string FmtG(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+void WriteJson(const SuiteArgs& args, const std::vector<Cell>& cells,
+               const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "error: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  os << "{\n";
+  os << "  \"schema\": \"wmlp-bench-perf-v1\",\n";
+  os << "  \"git_sha\": \"" << JsonEscape(args.git_sha) << "\",\n";
+#ifdef NDEBUG
+  os << "  \"optimized\": true,\n";
+#else
+  os << "  \"optimized\": false,\n";
+#endif
+  os << "  \"quick\": " << (args.quick ? "true" : "false") << ",\n";
+  os << "  \"reps\": " << args.reps << ",\n";
+  os << "  \"weight_model\": \"geometric-levels\",\n";
+  os << "  \"peak_rss_kb\": " << PeakRssKb() << ",\n";
+  os << "  \"results\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    os << "    {\"bench\": \"" << c.bench << "\", \"n\": " << c.n
+       << ", \"k\": " << c.k << ", \"ell\": " << c.ell
+       << ", \"requests\": " << c.requests
+       << ", \"ns_per_request\": " << FmtG(c.ns_per_request)
+       << ", \"cost\": " << FmtG(c.cost) << "}"
+       << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+int Main(int argc, char** argv) {
+  const SuiteArgs args = ParseArgs(argc, argv);
+#ifndef NDEBUG
+  std::cerr << "warning: bench_perf_suite built without optimization; "
+               "numbers are not comparable to the checked-in baseline\n";
+#endif
+
+  const std::vector<int32_t> sizes =
+      args.quick ? std::vector<int32_t>{1000, 10000}
+                 : std::vector<int32_t>{1000, 10000, 100000, 1000000};
+  const std::vector<int32_t> levels = {1, 2, 4};
+  const int64_t requests = args.quick ? 1000 : 4000;
+
+  // Pre-generate every trace in parallel (the only concurrency here; the
+  // timed section below is strictly sequential).
+  struct Point {
+    int32_t n;
+    int32_t ell;
+  };
+  std::vector<Point> points;
+  for (int32_t n : sizes) {
+    for (int32_t ell : levels) points.push_back({n, ell});
+  }
+  std::vector<Trace> traces;
+  traces.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    traces.push_back(Trace{Instance(1, 1, 1, {{1.0}}), {}});
+  }
+  ThreadPool pool(args.threads);
+  ParallelFor(pool, static_cast<int64_t>(points.size()), [&](int64_t i) {
+    const auto idx = static_cast<size_t>(i);
+    traces[idx] = BuildTrace(points[idx].n, points[idx].ell, requests);
+  });
+
+  std::vector<Cell> cells;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Trace& trace = traces[i];
+    const int32_t n = points[i].n;
+    cells.push_back(TimeCell("waterfill", trace, args.reps, RunWaterfill));
+    cells.push_back(
+        TimeCell("fractional-fast", trace, args.reps, RunFractionalFast));
+    if (n <= 100000) {
+      cells.push_back(TimeCell("fractional-reference", trace, args.reps,
+                               RunFractionalReference));
+    } else {
+      std::cout << "note: skipping fractional-reference at n=" << n
+                << " (O(n*ell) per step; the cell would dominate runtime)\n";
+    }
+    cells.push_back(TimeCell("rounded", trace, args.reps, RunRounded));
+    std::cout << "measured n=" << n << " ell=" << points[i].ell << "\n";
+  }
+
+  Table table({"bench", "n", "ell", "requests", "ns/req", "Mreq/s"});
+  for (const Cell& c : cells) {
+    table.AddRow({c.bench, FmtInt(c.n), FmtInt(c.ell), FmtInt(c.requests),
+                  Fmt(c.ns_per_request, 1),
+                  Fmt(1000.0 / std::max(c.ns_per_request, 1e-9), 3)});
+  }
+  std::cout << "\n== perf: solver suite ==\n";
+  table.Print(std::cout);
+
+  // Headline speedup: fast vs reference at the largest n both ran.
+  std::map<std::pair<int32_t, int32_t>, double> fast_ns;
+  std::map<std::pair<int32_t, int32_t>, double> ref_ns;
+  for (const Cell& c : cells) {
+    if (c.bench == "fractional-fast") fast_ns[{c.n, c.ell}] = c.ns_per_request;
+    if (c.bench == "fractional-reference") {
+      ref_ns[{c.n, c.ell}] = c.ns_per_request;
+    }
+  }
+  for (const auto& [key, ref] : ref_ns) {
+    const auto it = fast_ns.find(key);
+    if (it == fast_ns.end()) continue;
+    std::cout << "speedup fractional-fast vs reference at n=" << key.first
+              << " ell=" << key.second << ": " << Fmt(ref / it->second, 2)
+              << "x\n";
+  }
+  std::cout << "peak RSS: " << PeakRssKb() << " kB\n";
+
+  if (!args.json_path.empty()) {
+    WriteJson(args, cells, args.json_path);
+    std::cout << "wrote " << args.json_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace wmlp
+
+int main(int argc, char** argv) { return wmlp::Main(argc, argv); }

@@ -32,6 +32,13 @@ mkdir -p "$OUT"
     fi
     echo
   done
+
+  # Machine-readable perf trajectory alongside the CSVs (E15). No gate
+  # here — scripts/run_benchmarks.sh owns the regression check.
+  echo "===== bench_perf_suite ====="
+  SHA=$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
+  build/bench/bench_perf_suite $QUICK --json "$OUT/BENCH_perf.json" \
+    --git-sha "$SHA"
 } | tee "$OUT/full_run.txt"
 
-echo "wrote $OUT/full_run.txt (+ per-table CSVs)"
+echo "wrote $OUT/full_run.txt (+ per-table CSVs + BENCH_perf.json)"

@@ -2,16 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
+#include <utility>
 
 #include "core/core_audit.h"
+#include "core/stopping_clock.h"
 #include "util/check.h"
 
 namespace wmlp {
 
 namespace {
+// Tolerance for cap comparisons and near-equal level snapping; matches the
+// reference solver so both trajectories make the same discrete decisions.
 constexpr double kEps = 1e-12;
-}
+// Rebuild a group's aggregates once (s_horizon - base_s)/w exceeds this:
+// it bounds both the exponent magnitude at evaluation time and — more
+// importantly — the e^{(S - base_s)/w} amplification of rounding residuals
+// accumulated in the sums since the last rebuild (see RebaseGroupsTo).
+constexpr double kMaxGroupExp = 8.0;
+// Renormalize the clock once it exceeds this (see RenormalizeClock): the
+// ulp at 256 is ~5.7e-14, keeping clock quantization well below the kEps
+// decision tolerance for the lightest admissible weight (w >= 1, which the
+// Instance validates).
+constexpr double kClockRenormThreshold = 256.0;
+}  // namespace
 
 FractionalMlp::FractionalMlp(const FractionalOptions& options)
     : options_(options) {
@@ -20,162 +33,510 @@ FractionalMlp::FractionalMlp(const FractionalOptions& options)
 
 void FractionalMlp::Attach(const Instance& instance) {
   instance_ = &instance;
+  n_ = instance.num_pages();
+  ell_ = instance.num_levels();
   eta_ = options_.eta > 0.0
              ? options_.eta
              : 1.0 / static_cast<double>(instance.cache_size());
-  u_.assign(static_cast<size_t>(instance.num_pages()) *
-                static_cast<size_t>(instance.num_levels()),
-            1.0);
-  last_changed_.clear();
+  clock_ = 0.0;
   lp_cost_ = 0.0;
   movement_cost_ = 0.0;
+
+  const size_t n = static_cast<size_t>(n_);
+  u_.assign(n * static_cast<size_t>(ell_), 1.0);
+  state_.assign(n, PageState::kAbsent);
+  cursor_.assign(n, 0);
+  u0_.assign(n, 0.0);
+  s0_.assign(n, 0.0);
+  csum_.assign(n, 0.0);
+  event_s_.assign(n, 0.0);
+  gen_.assign(n, 0);
+  group_of_.assign(n, -1);
+  pos_in_group_.assign(n, -1);
+
+  groups_.clear();
+  group_index_.clear();
+  active_groups_.clear();
+  heap_ = std::priority_queue<Event, std::vector<Event>, EventAfter>();
+  absent_count_ = n_;
+  active_count_ = 0;
+
+  req_page_ = -1;
+  step1_changed_ = false;
+  clock_advanced_ = false;
+  departed_.clear();
+  last_changed_valid_ = true;
+  last_changed_.clear();
+  changed_mark_.assign(n, 0);
+
+  events_processed_ = 0;
+  segments_solved_ = 0;
   schedule_.u.clear();
   if (options_.record_schedule) schedule_.u.push_back(u_);
 }
 
-double FractionalMlp::U(PageId p, Level i) const {
-  return u_[static_cast<size_t>(p) *
-                static_cast<size_t>(instance_->num_levels()) +
-            static_cast<size_t>(i - 1)];
+double FractionalMlp::DynamicU(PageId p) const {
+  const size_t sp = static_cast<size_t>(p);
+  const double w = instance_->weight(p, cursor_[sp]);
+  const double val =
+      (u0_[sp] + eta_) * std::exp((clock_ - s0_[sp]) / w) - eta_;
+  const double cap = CapOf(p);
+  return val < cap ? val : cap;
 }
 
-double& FractionalMlp::MutableU(PageId p, Level i) {
-  return u_[static_cast<size_t>(p) *
-                static_cast<size_t>(instance_->num_levels()) +
-            static_cast<size_t>(i - 1)];
+double FractionalMlp::U(PageId p, Level i) const {
+  const size_t sp = static_cast<size_t>(p);
+  if (state_[sp] != PageState::kActive || i < cursor_[sp]) {
+    return u_[Idx(p, i)];
+  }
+  return DynamicU(p);
+}
+
+double FractionalMlp::SuffixWeight(PageId p, Level from) const {
+  double c = 0.0;
+  for (Level j = from; j <= ell_; ++j) c += instance_->weight(p, j);
+  return c;
+}
+
+int32_t FractionalMlp::GroupIndexFor(double w) {
+  const auto it = group_index_.find(w);
+  if (it != group_index_.end()) return it->second;
+  const int32_t gi = static_cast<int32_t>(groups_.size());
+  groups_.emplace_back();
+  groups_.back().w = w;
+  groups_.back().base_s = clock_;
+  group_index_.emplace(w, gi);
+  return gi;
+}
+
+void FractionalMlp::GroupInsert(PageId p) {
+  const size_t sp = static_cast<size_t>(p);
+  const double w = instance_->weight(p, cursor_[sp]);
+  const int32_t gi = GroupIndexFor(w);
+  Group& g = groups_[static_cast<size_t>(gi)];
+  if (g.members.empty()) {
+    // A group that sat empty keeps a stale base; the clock may have jumped
+    // arbitrarily far past it (a heavy-weight event), and a term computed
+    // against the old base underflows to 0 while evaluation multiplies by
+    // e^{(clock - base)/w} = inf, poisoning the sums with 0 * inf. An
+    // empty group carries no mass, so rebasing it to the clock is exact.
+    g.base_s = clock_;
+    g.mass_sum = 0.0;
+    g.lp_sum = 0.0;
+    g.removals = 0;
+  } else if ((clock_ - g.base_s) / g.w > kMaxGroupExp) {
+    RebuildGroup(g);
+  }
+  const double term =
+      (u0_[sp] + eta_) * std::exp((g.base_s - s0_[sp]) / g.w);
+  g.mass_sum += term;
+  g.lp_sum += csum_[sp] * term;
+  group_of_[sp] = gi;
+  pos_in_group_[sp] = static_cast<int32_t>(g.members.size());
+  g.members.push_back(p);
+  if (g.members.size() == 1) {
+    g.active_pos = static_cast<int32_t>(active_groups_.size());
+    active_groups_.push_back(gi);
+  }
+  ++active_count_;
+}
+
+void FractionalMlp::GroupRemove(PageId p) {
+  const size_t sp = static_cast<size_t>(p);
+  const int32_t gi = group_of_[sp];
+  Group& g = groups_[static_cast<size_t>(gi)];
+  const double term =
+      (u0_[sp] + eta_) * std::exp((g.base_s - s0_[sp]) / g.w);
+  g.mass_sum -= term;
+  g.lp_sum -= csum_[sp] * term;
+  const int32_t pos = pos_in_group_[sp];
+  const PageId back = g.members.back();
+  g.members[static_cast<size_t>(pos)] = back;
+  pos_in_group_[static_cast<size_t>(back)] = pos;
+  g.members.pop_back();
+  group_of_[sp] = -1;
+  pos_in_group_[sp] = -1;
+  --active_count_;
+  if (g.members.empty()) {
+    // Exact reset: an empty group carries no mass and no drift.
+    g.mass_sum = 0.0;
+    g.lp_sum = 0.0;
+    g.base_s = clock_;
+    g.removals = 0;
+    const int32_t apos = g.active_pos;
+    const int32_t moved = active_groups_.back();
+    active_groups_[static_cast<size_t>(apos)] = moved;
+    groups_[static_cast<size_t>(moved)].active_pos = apos;
+    active_groups_.pop_back();
+    g.active_pos = -1;
+    return;
+  }
+  if (++g.removals > 32 + 2 * static_cast<int64_t>(g.members.size())) {
+    RebuildGroup(g);
+  }
+}
+
+void FractionalMlp::RebuildGroup(Group& g) {
+  g.base_s = clock_;
+  g.mass_sum = 0.0;
+  g.lp_sum = 0.0;
+  for (const PageId q : g.members) {
+    const size_t sq = static_cast<size_t>(q);
+    const double term =
+        (u0_[sq] + eta_) * std::exp((clock_ - s0_[sq]) / g.w);
+    g.mass_sum += term;
+    g.lp_sum += csum_[sq] * term;
+  }
+  g.removals = 0;
+}
+
+void FractionalMlp::RebaseGroupsTo(double s_horizon) {
+  for (const int32_t gi : active_groups_) {
+    Group& g = groups_[static_cast<size_t>(gi)];
+    if ((s_horizon - g.base_s) / g.w <= kMaxGroupExp) continue;
+    // A full rebuild, not a factor multiplication: rounding residuals left
+    // in the sums by earlier inserts/removals are amplified by
+    // e^{(S - base_s)/w} at evaluation time, so merely folding the factor
+    // into the sums would amplify the accumulated error without bound.
+    // Rebuilding recomputes every term at the current clock, resetting all
+    // residuals to the scale of the live values. Amortized O(1) per
+    // request: the clock advances ~w/|active| per request in steady state,
+    // so a group is rebuilt about once per kMaxGroupExp * |active|
+    // requests.
+    RebuildGroup(g);
+  }
+}
+
+void FractionalMlp::PushEvent(PageId p) {
+  const size_t sp = static_cast<size_t>(p);
+  const double w = instance_->weight(p, cursor_[sp]);
+  const double cap = CapOf(p);
+  const double s_ev =
+      s0_[sp] + w * std::log((cap + eta_) / (u0_[sp] + eta_));
+  event_s_[sp] = s_ev;
+  heap_.push(Event{s_ev, p, gen_[sp]});
+  CompactHeapIfNeeded();
+}
+
+bool FractionalMlp::PeekEvent(Event* out) {
+  while (!heap_.empty()) {
+    const Event& e = heap_.top();
+    if (state_[static_cast<size_t>(e.page)] == PageState::kActive &&
+        gen_[static_cast<size_t>(e.page)] == e.gen) {
+      *out = e;
+      return true;
+    }
+    heap_.pop();
+  }
+  return false;
+}
+
+void FractionalMlp::CompactHeapIfNeeded() {
+  if (heap_.size() <= 1024 ||
+      heap_.size() <= 8 * static_cast<size_t>(active_count_)) {
+    return;
+  }
+  // Stale entries (lazy deletions) dominate the heap: rebuild it from the
+  // live pages' stored event times. Amortized O(1) per push.
+  std::vector<Event> fresh;
+  fresh.reserve(static_cast<size_t>(active_count_));
+  for (const int32_t gi : active_groups_) {
+    for (const PageId q : groups_[static_cast<size_t>(gi)].members) {
+      const size_t sq = static_cast<size_t>(q);
+      fresh.push_back(Event{event_s_[sq], q, gen_[sq]});
+    }
+  }
+  heap_ = std::priority_queue<Event, std::vector<Event>, EventAfter>(
+      EventAfter{}, std::move(fresh));
+}
+
+void FractionalMlp::RenormalizeClock() {
+  const double c = clock_;
+  std::vector<Event> fresh;
+  fresh.reserve(static_cast<size_t>(active_count_));
+  for (const int32_t gi : active_groups_) {
+    Group& g = groups_[static_cast<size_t>(gi)];
+    g.base_s -= c;
+    for (const PageId q : g.members) {
+      const size_t sq = static_cast<size_t>(q);
+      s0_[sq] -= c;
+      event_s_[sq] -= c;
+      fresh.push_back(Event{event_s_[sq], q, gen_[sq]});
+    }
+  }
+  // Empty groups keep a base in old coordinates; GroupInsert rebases them
+  // before use. The heap is rebuilt so live entries carry shifted times
+  // (stale entries are dropped wholesale).
+  heap_ = std::priority_queue<Event, std::vector<Event>, EventAfter>(
+      EventAfter{}, std::move(fresh));
+  clock_ = 0.0;
+}
+
+double FractionalMlp::TotalAbsentMass() const {
+  double total = static_cast<double>(absent_count_);
+  if (req_page_ >= 0 &&
+      state_[static_cast<size_t>(req_page_)] == PageState::kDetached) {
+    total += u_[Idx(req_page_, ell_)];
+  }
+  for (const int32_t gi : active_groups_) {
+    const Group& g = groups_[static_cast<size_t>(gi)];
+    const double e = std::exp((clock_ - g.base_s) / g.w);
+    total += g.mass_sum * e - eta_ * static_cast<double>(g.members.size());
+  }
+  return total;
+}
+
+void FractionalMlp::AccrueCosts(double s1, double s2) {
+  for (const int32_t gi : active_groups_) {
+    const Group& g = groups_[static_cast<size_t>(gi)];
+    // expm1 keeps the exponential difference accurate when (s2 - s1)/w is
+    // tiny; the direct e2 - e1 would cancel and the error is amplified by
+    // w in the movement meter.
+    const double e1 = std::exp((s1 - g.base_s) / g.w);
+    const double d = e1 * std::expm1((s2 - s1) / g.w);
+    movement_cost_ += g.w * g.mass_sum * d;
+    lp_cost_ += g.lp_sum * d;
+  }
+}
+
+void FractionalMlp::ProcessEvent(PageId p) {
+  const size_t sp = static_cast<size_t>(p);
+  GroupRemove(p);
+  const Level oldc = cursor_[sp];
+  const double cap = oldc == 1 ? 1.0 : u_[Idx(p, oldc - 1)];
+  for (Level j = oldc; j <= ell_; ++j) u_[Idx(p, j)] = cap;
+  ++gen_[sp];
+  ++events_processed_;
+
+  Level newc = 0;
+  if (cap < 1.0) {
+    // Deepest non-empty level moved above oldc; rescan with the same
+    // snapping rule as the reference's per-segment scan.
+    for (Level i = oldc - 1; i >= 1; --i) {
+      const double ci = i == 1 ? 1.0 : u_[Idx(p, i - 1)];
+      if (u_[Idx(p, i)] < ci - kEps) {
+        newc = i;
+        break;
+      }
+      if (u_[Idx(p, i)] != ci) {
+        const double d = ci - u_[Idx(p, i)];
+        if (d > 0.0) {
+          lp_cost_ += instance_->weight(p, i) * d;
+          movement_cost_ += instance_->weight(p, i) * d;
+        }
+        u_[Idx(p, i)] = ci;
+      }
+    }
+  }
+  if (newc == 0) {
+    // All levels within kEps of 1: the page is (numerically) fully absent.
+    // The residual rises are charged like any other move.
+    for (Level j = 1; j <= ell_; ++j) {
+      const double d = 1.0 - u_[Idx(p, j)];
+      if (d > 0.0) {
+        lp_cost_ += instance_->weight(p, j) * d;
+        movement_cost_ += instance_->weight(p, j) * d;
+      }
+      u_[Idx(p, j)] = 1.0;
+    }
+    state_[sp] = PageState::kAbsent;
+    ++absent_count_;
+    departed_.push_back(p);
+    return;
+  }
+  cursor_[sp] = newc;
+  u0_[sp] = u_[Idx(p, newc)];
+  s0_[sp] = clock_;
+  csum_[sp] = SuffixWeight(p, newc);
+  GroupInsert(p);
+  PushEvent(p);
+}
+
+void FractionalMlp::DetachAndMaterialize(PageId p) {
+  const size_t sp = static_cast<size_t>(p);
+  WMLP_CHECK(state_[sp] != PageState::kDetached);
+  if (state_[sp] == PageState::kAbsent) {
+    --absent_count_;  // u_ row is already all 1.0
+  } else {
+    const double val = DynamicU(p);
+    GroupRemove(p);
+    ++gen_[sp];
+    for (Level j = cursor_[sp]; j <= ell_; ++j) u_[Idx(p, j)] = val;
+  }
+  state_[sp] = PageState::kDetached;
+}
+
+void FractionalMlp::Activate(PageId p) {
+  const size_t sp = static_cast<size_t>(p);
+  Level newc = 0;
+  for (Level i = ell_; i >= 1; --i) {
+    const double ci = i == 1 ? 1.0 : u_[Idx(p, i - 1)];
+    if (u_[Idx(p, i)] < ci - kEps) {
+      newc = i;
+      break;
+    }
+    if (u_[Idx(p, i)] != ci) {
+      const double d = ci - u_[Idx(p, i)];
+      if (d > 0.0) {
+        lp_cost_ += instance_->weight(p, i) * d;
+        movement_cost_ += instance_->weight(p, i) * d;
+      }
+      u_[Idx(p, i)] = ci;
+    }
+  }
+  WMLP_CHECK_MSG(newc >= 1, "served page has no non-empty level");
+  state_[sp] = PageState::kActive;
+  cursor_[sp] = newc;
+  u0_[sp] = u_[Idx(p, newc)];
+  s0_[sp] = clock_;
+  csum_[sp] = SuffixWeight(p, newc);
+  ++gen_[sp];
+  GroupInsert(p);
+  PushEvent(p);
 }
 
 void FractionalMlp::Serve(Time /*t*/, const Request& r) {
   WMLP_CHECK(instance_ != nullptr);
   const Instance& inst = *instance_;
-  const int32_t n = inst.num_pages();
-  const int32_t ell = inst.num_levels();
+
+  req_page_ = r.page;
+  step1_changed_ = false;
+  clock_advanced_ = false;
+  departed_.clear();
   last_changed_.clear();
-  std::vector<bool> changed(static_cast<size_t>(n), false);
-  auto mark = [&](PageId p) {
-    if (!changed[static_cast<size_t>(p)]) {
-      changed[static_cast<size_t>(p)] = true;
-      last_changed_.push_back(p);
-    }
-  };
+  last_changed_valid_ = false;
+
+  if (clock_ > kClockRenormThreshold) RenormalizeClock();
 
   // ---- Step 1: serve the request (u of p_t only decreases; no cost). ----
-  for (Level j = r.level; j <= ell; ++j) {
-    double& u = MutableU(r.page, j);
+  DetachAndMaterialize(r.page);
+  for (Level j = r.level; j <= ell_; ++j) {
+    double& u = u_[Idx(r.page, j)];
     if (u > 0.0) {
       u = 0.0;
-      mark(r.page);
+      step1_changed_ = true;
     }
   }
 
   // ---- Step 2: evict continuously until the cache fits. -----------------
-  const double target = static_cast<double>(n - inst.cache_size());
-  while (true) {
-    double total = 0.0;
-    for (PageId q = 0; q < n; ++q) total += U(q, ell);
-    double need = target - total;
-    if (need <= kEps) break;
-
-    // Active pages: q != p_t with fractional presence. For each, locate the
-    // deepest non-empty level i_q and its event horizon (u reaching the cap
-    // u(q, i_q - 1), where y(q, i_q) is exhausted).
-    struct Active {
-      PageId q;
-      Level iq;
-      double u0;
-      double cap;
-      double w;
-    };
-    std::vector<Active> active;
-    for (PageId q = 0; q < n; ++q) {
-      if (q == r.page) continue;
-      if (U(q, ell) >= 1.0 - kEps) continue;
-      Level iq = 0;
-      for (Level i = ell; i >= 1; --i) {
-        const double cap = i == 1 ? 1.0 : U(q, i - 1);
-        if (U(q, i) < cap - kEps) {
-          iq = i;
-          break;
+  const double target = static_cast<double>(n_ - inst.cache_size());
+  double need = target - TotalAbsentMass();
+  if (need > kEps) {
+    clock_advanced_ = true;
+    while (need > kEps) {
+      Event ev;
+      WMLP_CHECK_MSG(PeekEvent(&ev), "no page available for eviction");
+      {
+        // A page whose remaining rise to its cap is within kEps is due:
+        // advance its cursor without moving the clock. This mirrors the
+        // reference's segment-start scan, which snaps u >= cap - kEps
+        // levels to the cap for free, so both solvers make the same
+        // discrete decisions at segment boundaries.
+        const size_t sp = static_cast<size_t>(ev.page);
+        const double w = instance_->weight(ev.page, cursor_[sp]);
+        const double cap = CapOf(ev.page);
+        const double remaining =
+            (cap + eta_) * (1.0 - std::exp((clock_ - ev.s) / w));
+        if (remaining <= kEps) {
+          // The gap to the cap is still real movement and must be charged:
+          // on heavy pages even a kEps-sized rise carries O(w * kEps) cost,
+          // and the meters must integrate every move no matter which
+          // mechanism (snap or charged clock advance) performs it.
+          const double rise = std::max(0.0, remaining);
+          lp_cost_ += csum_[sp] * rise;
+          movement_cost_ += w * rise;
+          heap_.pop();
+          ProcessEvent(ev.page);
+          need = target - TotalAbsentMass();
+          continue;
         }
-        // Snap numerically-equal levels so the scan stays consistent.
-        if (U(q, i) != cap) MutableU(q, i) = cap;
       }
-      WMLP_CHECK_MSG(iq >= 1, "present page without a non-empty level");
-      active.push_back(Active{q, iq, U(q, iq),
-                              iq == 1 ? 1.0 : U(q, iq - 1),
-                              inst.weight(q, iq)});
-    }
-    WMLP_CHECK_MSG(!active.empty(), "no page available for eviction");
+      ++segments_solved_;
+      RebaseGroupsTo(ev.s);
 
-    // Earliest event: some u(q, i_q) reaches its cap.
-    double s_event = std::numeric_limits<double>::infinity();
-    for (const Active& a : active) {
-      const double s = a.w * std::log((a.cap + eta_) / (a.u0 + eta_));
-      s_event = std::min(s_event, s);
-    }
-    WMLP_CHECK(s_event > 0.0);
-
-    // Within the segment no caps bind, so the total gain
-    //   g(s) = sum_a (a.u0 + eta) e^{s / a.w} - (a.u0 + eta)
-    // is smooth, increasing, and convex, and its derivative comes free with
-    // each evaluation.
-    auto gain_and_rate = [&](double s, double* rate) {
-      double g = 0.0;
-      double dg = 0.0;
-      for (const Active& a : active) {
-        const double e = (a.u0 + eta_) * std::exp(s / a.w);
-        g += e - (a.u0 + eta_);
-        dg += e / a.w;
-      }
-      if (rate != nullptr) *rate = dg;
-      return g;
-    };
-
-    double s_apply = s_event;
-    bool final_segment = false;
-    {
-      double rate_at_event = 0.0;
-      const double gain_at_event = gain_and_rate(s_event, &rate_at_event);
-      if (gain_at_event >= need - kEps) {
-        // The stopping clock lies inside this segment. Newton from the
-        // right: for an increasing convex g, iterates from a point with
-        // g > need decrease monotonically to the root.
-        double s = s_event;
-        double g = gain_at_event;
-        double rate = rate_at_event;
-        for (int it = 0; it < 50 && g - need > 1e-13 * (1.0 + need);
-             ++it) {
-          s -= (g - need) / rate;
-          WMLP_CHECK_MSG(s > 0.0, "Newton step left the segment");
-          g = gain_and_rate(s, &rate);
+      // Within the segment no caps bind, so the total gain over the active
+      // set is a sum of one exponential per weight group.
+      auto gain_and_rate = [&](double s, double* rate) {
+        double g = 0.0;
+        double dg = 0.0;
+        for (const int32_t gi : active_groups_) {
+          const Group& grp = groups_[static_cast<size_t>(gi)];
+          // e2 - e1 via expm1: for large w the clock advance is a tiny
+          // fraction of w and the direct difference of two exponentials
+          // near 1 would cancel catastrophically (the error is then
+          // amplified by w in the cost meters).
+          const double e1 = std::exp((clock_ - grp.base_s) / grp.w);
+          const double d = e1 * std::expm1((s - clock_) / grp.w);
+          g += grp.mass_sum * d;
+          dg += grp.mass_sum * (e1 + d) / grp.w;
         }
-        s_apply = s;
-        final_segment = true;
+        if (rate != nullptr) *rate = dg;
+        return g;
+      };
+      double rate_ev = 0.0;
+      const double gain_ev = gain_and_rate(ev.s, &rate_ev);
+      if (gain_ev >= need - kEps) {
+        // Stopping clock inside this segment.
+        const double s_apply =
+            SolveStoppingClock(gain_and_rate, need, ev.s, gain_ev, rate_ev);
+        AccrueCosts(clock_, s_apply);
+        clock_ = s_apply;
+        break;
       }
+      AccrueCosts(clock_, ev.s);
+      clock_ = ev.s;
+      heap_.pop();
+      ProcessEvent(ev.page);
+      need = target - TotalAbsentMass();
     }
-
-    // Apply the clock advance; charge the LP-objective cost
-    // sum_{j >= i_q} w(q, j) * Delta u (all suffix levels rise together).
-    for (const Active& a : active) {
-      const double u_new = std::min(
-          a.cap, (a.u0 + eta_) * std::exp(s_apply / a.w) - eta_);
-      if (u_new <= a.u0) continue;
-      mark(a.q);
-      movement_cost_ += a.w * (u_new - a.u0);
-      for (Level j = a.iq; j <= ell; ++j) {
-        MutableU(a.q, j) = std::min(u_new, 1.0);
-        lp_cost_ += inst.weight(a.q, j) * (u_new - a.u0);
-      }
-    }
-    if (final_segment) break;
   }
 
-  if (options_.record_schedule) schedule_.u.push_back(u_);
+  // Re-enter the requested page into the active machinery.
+  Activate(r.page);
+
+  if (options_.record_schedule) {
+    std::vector<double> snap(u_.size());
+    for (PageId p = 0; p < n_; ++p) {
+      for (Level i = 1; i <= ell_; ++i) snap[Idx(p, i)] = U(p, i);
+    }
+    schedule_.u.push_back(std::move(snap));
+  }
 
   if constexpr (audit::kEnabled) {
     audit::AuditFractionalState(inst, *this);
     audit::AuditFractionalServed(inst, *this, r);
   }
+}
+
+void FractionalMlp::BuildLastChanged() const {
+  last_changed_.clear();
+  const auto add = [&](PageId p) {
+    if (changed_mark_[static_cast<size_t>(p)] == 0) {
+      changed_mark_[static_cast<size_t>(p)] = 1;
+      last_changed_.push_back(p);
+    }
+  };
+  if (req_page_ >= 0 && step1_changed_) add(req_page_);
+  for (const PageId p : departed_) add(p);
+  if (clock_advanced_) {
+    // Every page active during the raise moved (the requested page did
+    // not: it was detached for the whole of step 2).
+    for (const int32_t gi : active_groups_) {
+      for (const PageId q : groups_[static_cast<size_t>(gi)].members) {
+        if (q == req_page_) continue;
+        add(q);
+      }
+    }
+  }
+  for (const PageId p : last_changed_) {
+    changed_mark_[static_cast<size_t>(p)] = 0;
+  }
+  last_changed_valid_ = true;
+}
+
+const std::vector<PageId>& FractionalMlp::last_changed() const {
+  if (!last_changed_valid_) BuildLastChanged();
+  return last_changed_;
 }
 
 }  // namespace wmlp

@@ -1,4 +1,5 @@
-// Deterministic fractional O(log k)-competitive algorithm (Section 4.2).
+// Deterministic fractional O(log k)-competitive algorithm (Section 4.2),
+// output-sensitive implementation.
 //
 // State: prefix variables u(p, i) = 1 - sum_{j <= i} y(p, j), where y(p, j)
 // is the cached fraction of copy (p, j); u(p, i) = 1 means no mass in the
@@ -11,13 +12,46 @@
 //           other fractionally-present page q at its deepest non-empty
 //           level i_q, at rate (u(q, i_q) + eta) / w(q, i_q) per unit of
 //           shared clock, with eta = 1/k.
-// The continuous process integrates in closed form (u follows
-// (u0 + eta) e^{s/w} - eta between events), so step 2 runs event-to-event
-// with a binary search for the stopping clock inside the final segment.
+//
+// The continuous process integrates in closed form between events:
+// u(s) = (u0 + eta) e^{s/w} - eta. Instead of rescanning all n pages per
+// eviction segment (see FractionalMlpReference), this implementation keeps
+// the water-raising machinery persistent across requests:
+//
+//   - a global water clock S; each active page stores (u0, s0) — its value
+//     at its last materialization — and its live value is the lazy
+//     exponential (u0 + eta) e^{(S - s0)/w} - eta, computed on demand;
+//   - a per-page deepest-non-empty-level cursor; levels >= cursor all share
+//     the cursor's (dynamic) value, levels < cursor are frozen in u_;
+//   - segment boundaries are a min-heap of absolute event times
+//     s = s0 + w log((cap + eta)/(u0 + eta)) with lazy deletion, popped in
+//     O(log n) instead of a full-array min-scan;
+//   - pages are grouped by their cursor weight w; each group maintains
+//     aggregate sums A = sum (u0 + eta) e^{-s0/w} (mass) and
+//     B = sum c_q (u0 + eta) e^{-s0/w} (LP cost, c_q = suffix weight sum),
+//     held against a periodically rebased group exponent origin so the
+//     absent-mass total, the stopping-clock Newton solve, and both cost
+//     meters evaluate in O(#distinct weights) per segment with no per-page
+//     work.
+//
+// Per-request work is O((ell + E) (G + log n)) where E is the number of
+// cap events fired (amortized: each request adds at most ell future
+// events) and G the number of distinct w(p, cursor) weights in the active
+// set — instead of O(n ell) per segment. Hierarchies with shared level
+// weights (the common case: level costs are device properties) have
+// G <= ell; fully per-page weight models degrade gracefully to the
+// reference's per-segment cost.
+//
+// The trajectory matches FractionalMlpReference to fp accuracy
+// (cross-checked to 1e-9 by tests/fractional_fast_test.cpp over randomized
+// instances).
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <queue>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "lp/paging_lp.h"
@@ -38,7 +72,8 @@ class FractionalPolicy {
   virtual double U(PageId p, Level i) const = 0;
 
   // Pages whose u changed during the last Serve (includes the requested
-  // page). Sorted order is not guaranteed.
+  // page). Sorted order is not guaranteed; implementations may
+  // over-report pages whose u moved only within fp tolerance.
   virtual const std::vector<PageId>& last_changed() const = 0;
 
   // Cumulative LP-objective eviction cost: sum over steps, p, i of
@@ -64,9 +99,10 @@ class FractionalMlp final : public FractionalPolicy {
   void Attach(const Instance& instance) override;
   void Serve(Time t, const Request& r) override;
   double U(PageId p, Level i) const override;
-  const std::vector<PageId>& last_changed() const override {
-    return last_changed_;
-  }
+  // Lazily materialized: building the list costs O(active set) at the
+  // first call after a Serve, and nothing at all if never called — a run
+  // that only reads costs never touches per-page state.
+  const std::vector<PageId>& last_changed() const override;
   Cost lp_cost() const override { return lp_cost_; }
   std::string name() const override { return "fractional-mlp"; }
 
@@ -80,19 +116,130 @@ class FractionalMlp final : public FractionalPolicy {
   // 2-separated weights).
   Cost movement_cost() const { return movement_cost_; }
 
+  // Introspection for tests and the perf suite.
+  int64_t events_processed() const { return events_processed_; }
+  int64_t segments_solved() const { return segments_solved_; }
+  int32_t num_weight_groups() const {
+    return static_cast<int32_t>(groups_.size());
+  }
+
  private:
-  double& MutableU(PageId p, Level i);
-  // Raises u of all active pages by shared clock ds; returns the cost.
-  void ApplyClock(double s, const std::vector<PageId>& active);
+  // Aggregates over the active pages sharing one cursor weight w. With
+  // term_q = (u0_q + eta) e^{(base_s - s0_q)/w}, the group's live absent
+  // mass at clock S is mass_sum * e^{(S - base_s)/w} - eta * |members|,
+  // and its LP-cost meter advances by lp_sum * (e^{(S2 - base_s)/w} -
+  // e^{(S1 - base_s)/w}). base_s is rebased forward (folding the factor
+  // into the sums) before exponents can overflow, and the sums are rebuilt
+  // from members periodically to shed removal cancellation error.
+  struct Group {
+    double w = 0.0;
+    double base_s = 0.0;
+    double mass_sum = 0.0;
+    double lp_sum = 0.0;
+    std::vector<PageId> members;
+    int64_t removals = 0;   // since last rebuild
+    int32_t active_pos = -1;  // index in active_groups_, -1 when empty
+  };
+
+  struct Event {
+    double s;
+    PageId page;
+    uint32_t gen;  // must match gen_[page] or the entry is stale
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.s > b.s;
+    }
+  };
+
+  enum class PageState : uint8_t { kAbsent, kActive, kDetached };
+
+  size_t Idx(PageId p, Level i) const {
+    return static_cast<size_t>(p) * static_cast<size_t>(ell_) +
+           static_cast<size_t>(i - 1);
+  }
+  double CapOf(PageId p) const {
+    return cursor_[static_cast<size_t>(p)] == 1
+               ? 1.0
+               : u_[Idx(p, cursor_[static_cast<size_t>(p)] - 1)];
+  }
+  // Live value of u(p, cursor..ell) for an active page, clamped to its cap.
+  double DynamicU(PageId p) const;
+  double SuffixWeight(PageId p, Level from) const;
+
+  int32_t GroupIndexFor(double w);
+  void GroupInsert(PageId p);
+  void GroupRemove(PageId p);
+  void RebuildGroup(Group& g);
+  void RebaseGroupsTo(double s_horizon);
+
+  void PushEvent(PageId p);
+  // Drops stale heap entries; returns false if no live event remains.
+  bool PeekEvent(Event* out);
+  void CompactHeapIfNeeded();
+  // Shifts every s-coordinate down by clock_ and resets clock_ to 0. The
+  // clock is monotone, and once it grows large its ulp exceeds the 1e-12
+  // resolution the light-weight pages need (after a heavy-weight event the
+  // clock can sit at ~w_max * log(1/eta)). Quantities near the clock shift
+  // exactly (Sterbenz); far ones belong to proportionally heavy weights,
+  // which absorb the O(ulp(clock)) shift error as O(ulp(clock)/w) in the
+  // exponent.
+  void RenormalizeClock();
+
+  // Total absent mass sum_p u(p, ell) at the current clock.
+  double TotalAbsentMass() const;
+  // Advances lp_cost_/movement_cost_ for the raise from clock s1 to s2.
+  void AccrueCosts(double s1, double s2);
+
+  // Moves p's cursor up after its cap event (or absorbs it at u = 1).
+  void ProcessEvent(PageId p);
+  // Detaches the requested page from the active machinery, writing its
+  // live values into u_.
+  void DetachAndMaterialize(PageId p);
+  // (Re)computes p's cursor from u_ and re-enters it into the active set.
+  void Activate(PageId p);
+
+  void BuildLastChanged() const;
 
   FractionalOptions options_;
   const Instance* instance_ = nullptr;
+  int32_t n_ = 0;
+  int32_t ell_ = 0;
   double eta_ = 0.0;
-  std::vector<double> u_;  // flattened [p * ell + (i-1)]
-  std::vector<PageId> last_changed_;
+  double clock_ = 0.0;  // global water clock S
   Cost lp_cost_ = 0.0;
   Cost movement_cost_ = 0.0;
   FracSchedule schedule_;
+
+  std::vector<double> u_;  // flattened [p * ell + (i-1)]
+  std::vector<PageState> state_;
+  std::vector<Level> cursor_;
+  std::vector<double> u0_;       // value at cursor at materialization
+  std::vector<double> s0_;       // materialization clock
+  std::vector<double> csum_;     // sum_{j >= cursor} w(p, j)
+  std::vector<double> event_s_;  // current cap-event time (heap rebuilds)
+  std::vector<uint32_t> gen_;
+  std::vector<int32_t> group_of_;
+  std::vector<int32_t> pos_in_group_;
+
+  std::vector<Group> groups_;
+  std::vector<int32_t> active_groups_;  // indices of non-empty groups
+  std::unordered_map<double, int32_t> group_index_;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> heap_;
+  int64_t absent_count_ = 0;
+  int64_t active_count_ = 0;
+
+  // last_changed bookkeeping (lazy; see BuildLastChanged).
+  PageId req_page_ = -1;
+  bool step1_changed_ = false;
+  bool clock_advanced_ = false;
+  std::vector<PageId> departed_;
+  mutable bool last_changed_valid_ = true;
+  mutable std::vector<PageId> last_changed_;
+  mutable std::vector<uint8_t> changed_mark_;
+
+  int64_t events_processed_ = 0;
+  int64_t segments_solved_ = 0;
 };
 
 }  // namespace wmlp

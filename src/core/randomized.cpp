@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/fractional_linear.h"
+#include "core/fractional_reference.h"
 #include "core/replay.h"
 
 namespace wmlp {
@@ -52,6 +53,10 @@ FractionalPolicyPtr MakeFractionalStack(const RandomizedOptions& options) {
   FractionalPolicyPtr frac;
   if (options.engine == FractionalEngine::kLinear) {
     frac = std::make_unique<FractionalLinear>();
+  } else if (options.engine == FractionalEngine::kReference) {
+    FractionalOptions fopts;
+    fopts.eta = options.eta;
+    frac = std::make_unique<FractionalMlpReference>(fopts);
   } else {
     FractionalOptions fopts;
     fopts.eta = options.eta;

@@ -13,9 +13,12 @@ namespace wmlp {
 
 // Which fractional engine feeds the rounding. The rounding is
 // distribution-free and engine-agnostic (Section 4.3): kMultiplicative is
-// the paper's O(log k) algorithm; kLinear is the Landlord-style uniform
-// water-filling (Theta(k) fractionally, but faster and a valid input).
-enum class FractionalEngine { kMultiplicative, kLinear };
+// the paper's O(log k) algorithm (the output-sensitive event-heap solver);
+// kReference is the same algorithm via the O(n * ell)-per-step reference
+// implementation (cross-check oracle, bit-equivalent trajectories up to
+// 1e-9); kLinear is the Landlord-style uniform water-filling (Theta(k)
+// fractionally, but faster and a valid input).
+enum class FractionalEngine { kMultiplicative, kReference, kLinear };
 
 struct RandomizedOptions {
   double eta = 0.0;    // fractional update rate offset; 0 -> 1/k

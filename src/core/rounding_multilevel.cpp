@@ -178,8 +178,10 @@ void RoundedMultiLevel::Serve(Time t, const Request& r, CacheOps& ops) {
 void RoundedMultiLevel::CheckConsistency(const CacheOps& ops, Time t) const {
   const Instance& inst = *instance_;
   const int32_t ell = inst.num_levels();
-  std::vector<double> mass(class_mass_.size(), 0.0);
-  std::vector<int32_t> cached(cached_per_class_.size(), 0);
+  std::vector<double>& mass = check_mass_;
+  std::vector<int32_t>& cached = check_cached_;
+  mass.assign(class_mass_.size(), 0.0);
+  cached.assign(cached_per_class_.size(), 0);
   for (PageId p = 0; p < inst.num_pages(); ++p) {
     for (Level i = 1; i <= ell; ++i) {
       const double marginal =

@@ -72,6 +72,10 @@ class RoundedMultiLevel final : public Policy {
   std::vector<double> u_prev_;  // flattened [p * ell + (i-1)]
   std::vector<double> class_mass_;
   std::vector<int32_t> cached_per_class_;
+  // CheckConsistency scratch, hoisted so audit/paranoid builds do not
+  // allocate per step.
+  mutable std::vector<double> check_mass_;
+  mutable std::vector<int32_t> check_cached_;
   int64_t reset_evictions_ = 0;
 };
 

@@ -113,8 +113,10 @@ void RoundedWeightedPaging::Serve(Time t, const Request& r, CacheOps& ops) {
 void RoundedWeightedPaging::CheckConsistency(const CacheOps& ops,
                                              Time t) const {
   const Instance& inst = *instance_;
-  std::vector<double> mass(class_mass_.size(), 0.0);
-  std::vector<int32_t> cached(cached_per_class_.size(), 0);
+  std::vector<double>& mass = check_mass_;
+  std::vector<int32_t>& cached = check_cached_;
+  mass.assign(class_mass_.size(), 0.0);
+  cached.assign(cached_per_class_.size(), 0);
   for (PageId p = 0; p < inst.num_pages(); ++p) {
     const auto cls = static_cast<size_t>(classes_->class_of(p, 1));
     mass[cls] += 1.0 - fractional_->U(p, 1);

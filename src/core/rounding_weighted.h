@@ -63,6 +63,10 @@ class RoundedWeightedPaging final : public Policy {
   std::vector<double> y_prev_;         // y_p(t-1) per page
   std::vector<double> class_mass_;     // sum of (1 - x_p) over class members
   std::vector<int32_t> cached_per_class_;
+  // CheckConsistency scratch, hoisted so audit/paranoid builds do not
+  // allocate per step.
+  mutable std::vector<double> check_mass_;
+  mutable std::vector<int32_t> check_cached_;
   int64_t reset_evictions_ = 0;
 };
 

@@ -7,12 +7,66 @@
 
 namespace wmlp {
 
+namespace {
+// Min-heap on (key, page): std::greater yields the smallest pair at the
+// front, so ties on key break toward the smaller PageId — the same order
+// the previous std::set implementation produced.
+struct EntryAfter {
+  bool operator()(const std::pair<double, PageId>& a,
+                  const std::pair<double, PageId>& b) const {
+    return a > b;
+  }
+};
+}  // namespace
+
 void WaterfillPolicy::Attach(const Instance& instance) {
   instance_ = &instance;
   heap_.clear();
   key_.assign(static_cast<size_t>(instance.num_pages()), 0.0);
+  live_.assign(static_cast<size_t>(instance.num_pages()), 0);
+  live_size_ = 0;
   offset_ = 0.0;
   audited_offset_ = 0.0;
+}
+
+void WaterfillPolicy::HeapInsert(PageId p) {
+  heap_.emplace_back(key_[static_cast<size_t>(p)], p);
+  std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
+  live_[static_cast<size_t>(p)] = 1;
+  ++live_size_;
+}
+
+void WaterfillPolicy::HeapErase(PageId p) {
+  live_[static_cast<size_t>(p)] = 0;
+  --live_size_;
+  // Lazy: the entry stays until it surfaces or a compaction sweeps it.
+  if (heap_.size() > 64 &&
+      heap_.size() > 2 * static_cast<size_t>(live_size_)) {
+    heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                               [&](const std::pair<double, PageId>& e) {
+                                 const size_t sp =
+                                     static_cast<size_t>(e.second);
+                                 return live_[sp] == 0 ||
+                                        key_[sp] != e.first;
+                               }),
+                heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), EntryAfter{});
+  }
+}
+
+PageId WaterfillPolicy::HeapPopMin() {
+  for (;;) {
+    WMLP_CHECK(!heap_.empty());
+    const auto [key, p] = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    heap_.pop_back();
+    const size_t sp = static_cast<size_t>(p);
+    if (live_[sp] != 0 && key_[sp] == key) {
+      live_[sp] = 0;
+      --live_size_;
+      return p;
+    }
+  }
 }
 
 void WaterfillPolicy::AuditState(const CacheState& cache) const {
@@ -23,19 +77,18 @@ void WaterfillPolicy::AuditState(const CacheState& cache) const {
                        << offset_ << " < previous " << audited_offset_
                        << ")");
   audited_offset_ = std::max(audited_offset_, offset_);
-  WMLP_AUDIT_CHECK(heap_.size() == cache.pages().size(),
-                   "waterfill: heap has " << heap_.size() << " entries for "
-                                          << cache.pages().size()
-                                          << " cached pages");
+  WMLP_AUDIT_CHECK(
+      live_size_ == static_cast<int64_t>(cache.pages().size()),
+      "waterfill: heap has " << live_size_ << " entries for "
+                             << cache.pages().size() << " cached pages");
   for (PageId p : cache.pages()) {
-    const double key = key_[static_cast<size_t>(p)];
-    WMLP_AUDIT_CHECK(heap_.count({key, p}) == 1,
+    WMLP_AUDIT_CHECK(live_[static_cast<size_t>(p)] != 0,
                      "waterfill: cached page " << p
                                                << " missing from heap");
     // Remaining credit w - f must stay in [0, w]: the copy has not drowned
     // (minimum-key eviction fires first) and water never falls.
     const double w = instance_->weight(p, cache.level_of(p));
-    const double remaining = key - offset_;
+    const double remaining = key_[static_cast<size_t>(p)] - offset_;
     WMLP_AUDIT_CHECK(remaining >= -kTol && remaining <= w + kTol,
                      "waterfill: page " << p << " remaining credit "
                                         << remaining << " outside [0, "
@@ -66,26 +119,25 @@ void WaterfillPolicy::ServeImpl(Time /*t*/, const Request& r,
   const Level cur = cache.level_of(r.page);
   if (cur != 0) {
     // Step 2a: another copy of p_t at a lower level; replace it directly.
-    heap_.erase({key_[static_cast<size_t>(r.page)], r.page});
+    HeapErase(r.page);
     ops.Replace(r.page, r.level);
     key_[static_cast<size_t>(r.page)] =
         offset_ + inst.weight(r.page, r.level);
-    heap_.insert({key_[static_cast<size_t>(r.page)], r.page});
+    HeapInsert(r.page);
     return;
   }
 
   // Step 2b: water-fill eviction if the cache is full.
   if (cache.size() == cache.capacity()) {
-    WMLP_CHECK(!heap_.empty());
-    const auto [min_key, victim] = *heap_.begin();
-    heap_.erase(heap_.begin());
+    WMLP_CHECK(live_size_ > 0);
+    const PageId victim = HeapPopMin();
     // Raise the water until the minimum copy drowns.
-    offset_ = std::max(offset_, min_key);
+    offset_ = std::max(offset_, key_[static_cast<size_t>(victim)]);
     ops.Evict(victim);
   }
   ops.Fetch(r.page, r.level);  // f(p_t, i_t) = 0 => remaining credit = w
   key_[static_cast<size_t>(r.page)] = offset_ + inst.weight(r.page, r.level);
-  heap_.insert({key_[static_cast<size_t>(r.page)], r.page});
+  HeapInsert(r.page);
 }
 
 }  // namespace wmlp

@@ -3,8 +3,10 @@
 // Each cached copy (q, i_q) carries a water level f in [0, w(q, i_q)]; a
 // fetched copy starts at f = 0. On a miss with a full cache, all cached
 // copies' water rises at rate 1 until some copy reaches its weight; that
-// copy is evicted. Implemented with a lazy global offset (an ordered set of
-// "remaining credit + offset" keys), so each request costs O(log k).
+// copy is evicted. Implemented with a lazy global offset over a
+// lazy-deletion binary min-heap of "remaining credit + offset" keys, so
+// each request costs amortized O(log k) with no per-node allocation (the
+// ordered-set version allocated a red-black node per insert).
 //
 // When a requested page holds a copy at too low a level, that copy is
 // replaced by the requested level directly (step 2a) with no water-fill.
@@ -16,7 +18,8 @@
 // any monotone weights.
 #pragma once
 
-#include <set>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/policy.h"
@@ -42,12 +45,21 @@ class WaterfillPolicy final : public Policy {
 
  private:
   void ServeImpl(Time t, const Request& r, CacheOps& ops);
+  void HeapInsert(PageId p);
+  void HeapErase(PageId p);
+  // Pops stale entries until the top is live, then removes and returns it.
+  PageId HeapPopMin();
 
   const Instance* instance_ = nullptr;
-  // Ordered by key = (remaining credit + offset at insert time); the
-  // minimum key is the next copy to drown.
-  std::set<std::pair<double, PageId>> heap_;
-  std::vector<double> key_;  // per page; valid while cached
+  // Binary min-heap ordered by key = (remaining credit + offset at insert
+  // time); the minimum key is the next copy to drown. Erases are lazy: an
+  // entry is live iff its page is flagged live AND its key matches the
+  // page's current key (a page re-inserted at a new key strands its old
+  // entry). Ties break on PageId, matching the ordered-set trajectory.
+  std::vector<std::pair<double, PageId>> heap_;
+  std::vector<double> key_;    // per page; valid while cached
+  std::vector<uint8_t> live_;  // per page; 1 iff currently cached
+  int64_t live_size_ = 0;
   double offset_ = 0.0;
   // High-water mark of offset_ seen by AuditState (water monotonicity).
   mutable double audited_offset_ = 0.0;

@@ -33,9 +33,14 @@ RandomizedOptions ParseRandomizedParams(const std::string& params) {
     if (key == "eta") options.eta = value;
     if (key == "delta") options.delta = value;
     if (key == "engine") {
-      options.engine = kv.substr(eq + 1) == "linear"
-                           ? FractionalEngine::kLinear
-                           : FractionalEngine::kMultiplicative;
+      const std::string engine = kv.substr(eq + 1);
+      if (engine == "linear") {
+        options.engine = FractionalEngine::kLinear;
+      } else if (engine == "reference") {
+        options.engine = FractionalEngine::kReference;
+      } else {
+        options.engine = FractionalEngine::kMultiplicative;
+      }
     }
   }
   return options;
@@ -62,6 +67,13 @@ PolicyPtr MakePolicyByName(const std::string& name, uint64_t seed) {
     options.engine = FractionalEngine::kLinear;
     return MakeRandomizedPolicy(seed, options);
   }
+  // The reference (O(n * ell)-per-step) fractional engine under the same
+  // rounding: the cross-check oracle for the output-sensitive default.
+  if (name == "fractional-rounded-reference") {
+    RandomizedOptions options;
+    options.engine = FractionalEngine::kReference;
+    return MakeRandomizedPolicy(seed, options);
+  }
   constexpr char kPrefix[] = "randomized:";
   if (name.rfind(kPrefix, 0) == 0) {
     return MakeRandomizedPolicy(
@@ -74,7 +86,8 @@ std::vector<std::string> KnownPolicyNames() {
   return {"lru",        "fifo",     "clock",
           "sieve",      "2q",       "lfu",
           "random",     "marking",  "landlord",
-          "waterfill",  "randomized", "fractional-rounded-linear"};
+          "waterfill",  "randomized", "fractional-rounded-linear",
+          "fractional-rounded-reference"};
 }
 
 }  // namespace wmlp

@@ -1,0 +1,213 @@
+// Randomized equivalence suite: the output-sensitive FractionalMlp must
+// reproduce the FractionalMlpReference trajectory — full u state and both
+// cost meters — to 1e-9 after every step, across instance shapes, weight
+// models, trace generators, and the E8 eta-ablation values. Plus unit
+// tests for the shared stopping-clock root finder and a regression test on
+// near-degenerate weight spreads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fractional.h"
+#include "core/fractional_reference.h"
+#include "core/stopping_clock.h"
+#include "trace/generators.h"
+#include "util/rng.h"
+
+namespace wmlp {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+// Runs both solvers in lockstep and asserts full-state agreement after
+// every step, so a divergence reports the first step it appears at.
+//
+// cost_abs_tol adds an absolute slack to the cost-meter comparison. It is
+// 0 for well-conditioned instances; with near-degenerate weights (ratios
+// ~1e12) any decision difference at the solvers' shared kEps = 1e-12
+// tolerance moves O(w_max * kEps) ~ 1 of cost even though the u states
+// agree to ~1e-12, so cost agreement below w_max * kEps per decision is
+// not attainable and the test budgets for it explicitly.
+void ExpectLockstepEquivalent(const Trace& trace,
+                              const FractionalOptions& opts,
+                              const std::string& label,
+                              double cost_abs_tol = 0.0) {
+  FractionalMlp fast(opts);
+  FractionalMlpReference ref(opts);
+  fast.Attach(trace.instance);
+  ref.Attach(trace.instance);
+  const int32_t n = trace.instance.num_pages();
+  const int32_t ell = trace.instance.num_levels();
+  ASSERT_DOUBLE_EQ(fast.eta(), ref.eta());
+  for (Time t = 0; t < trace.length(); ++t) {
+    const Request& r = trace.requests[static_cast<size_t>(t)];
+    fast.Serve(t, r);
+    ref.Serve(t, r);
+    ASSERT_NEAR(fast.lp_cost(), ref.lp_cost(),
+                cost_abs_tol + kTol * (1.0 + std::abs(ref.lp_cost())))
+        << label << " lp_cost at t=" << t;
+    ASSERT_NEAR(fast.movement_cost(), ref.movement_cost(),
+                cost_abs_tol + kTol * (1.0 + std::abs(ref.movement_cost())))
+        << label << " movement_cost at t=" << t;
+    for (PageId p = 0; p < n; ++p) {
+      for (Level i = 1; i <= ell; ++i) {
+        ASSERT_NEAR(fast.U(p, i), ref.U(p, i), kTol)
+            << label << " u(" << p << "," << i << ") at t=" << t
+            << " (request p=" << r.page << " i=" << r.level << ")";
+      }
+    }
+  }
+}
+
+Trace MakeRandomTrace(uint64_t seed) {
+  Rng rng(seed);
+  const int32_t n = 4 + static_cast<int32_t>(rng.NextBounded(29));
+  const int32_t k = 1 + static_cast<int32_t>(
+                            rng.NextBounded(static_cast<uint64_t>(n - 1)));
+  const int32_t ell = 1 + static_cast<int32_t>(rng.NextBounded(4));
+  const WeightModel models[] = {WeightModel::kUniform,
+                                WeightModel::kGeometricLevels,
+                                WeightModel::kZipfPages,
+                                WeightModel::kLogUniform};
+  const WeightModel wm = models[rng.NextBounded(4)];
+  const double spread = 2.0 + 14.0 * rng.NextDouble();
+  Instance inst(n, k, ell, MakeWeights(n, ell, wm, spread, seed + 1));
+  const LevelMix mixes[] = {LevelMix::AllLowest(ell),
+                            LevelMix::UniformMix(ell),
+                            LevelMix::Geometric(ell, 0.5)};
+  const LevelMix mix = mixes[rng.NextBounded(3)];
+  const Time len = 100 + static_cast<Time>(rng.NextBounded(80));
+  switch (rng.NextBounded(3)) {
+    case 0:
+      return GenZipf(inst, len, 0.4 + rng.NextDouble(), mix, seed + 2);
+    case 1:
+      return GenLoop(inst, len,
+                     k + 1 + static_cast<int32_t>(rng.NextBounded(
+                                 static_cast<uint64_t>(n - k))),
+                     mix);
+    default:
+      return GenPhases(inst, len, std::min(n, k + 2), 25,
+                       0.4 + rng.NextDouble(), mix, seed + 2);
+  }
+}
+
+TEST(FractionalFast, MatchesReferenceOnRandomInstances) {
+  // >= 200 randomized instances spanning shapes, weight models, mixes.
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    const Trace trace = MakeRandomTrace(seed * 7919 + 13);
+    ExpectLockstepEquivalent(trace, {}, "seed=" + std::to_string(seed));
+    if (HasFatalFailure()) return;  // first divergence is the report
+  }
+}
+
+TEST(FractionalFast, MatchesReferenceAcrossEtaAblation) {
+  // The E8 eta grid (bench_e8_eta_ablation) with k=16.
+  constexpr int32_t n = 48;
+  constexpr int32_t k = 16;
+  constexpr int32_t ell = 2;
+  const double dk = static_cast<double>(k);
+  const double etas[] = {1e-6, 1.0 / (dk * dk), 1.0 / dk,
+                         1.0 / std::sqrt(dk), 1.0};
+  Instance inst(n, k, ell,
+                MakeWeights(n, ell, WeightModel::kGeometricLevels, 8.0, 3));
+  const Trace trace = GenZipf(inst, 250, 0.7, LevelMix::UniformMix(ell), 4);
+  for (const double eta : etas) {
+    FractionalOptions opts;
+    opts.eta = eta;
+    ExpectLockstepEquivalent(trace, opts, "eta=" + std::to_string(eta));
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(FractionalFast, MatchesReferenceOnNearDegenerateWeights) {
+  // Weight ratios of ~1e12 within and across pages: the stopping-clock
+  // conditioning regression (Newton stalls; bisection fallback must keep
+  // both solvers on the same trajectory).
+  constexpr int32_t n = 8;
+  constexpr int32_t k = 3;
+  constexpr int32_t ell = 2;
+  std::vector<std::vector<Cost>> w(static_cast<size_t>(n));
+  for (int32_t p = 0; p < n; ++p) {
+    const bool heavy = (p % 2) == 0;
+    w[static_cast<size_t>(p)] = {heavy ? 1e12 : 1.0 + 1e-9 * p, 1.0};
+  }
+  Instance inst(n, k, ell, std::move(w));
+  const Trace trace = GenZipf(inst, 200, 0.6, LevelMix::UniformMix(ell), 9);
+  // u states must still agree to kTol; the cost meters get a w_max * kEps
+  // per-step budget for knife-edge decisions (see ExpectLockstepEquivalent).
+  const double cost_slack = 1e12 * 1e-12 * static_cast<double>(trace.length());
+  ExpectLockstepEquivalent(trace, {}, "degenerate", cost_slack);
+}
+
+TEST(FractionalFast, OutputSensitiveCountersAdvance) {
+  Instance inst(32, 8, 2,
+                MakeWeights(32, 2, WeightModel::kGeometricLevels, 4.0, 5));
+  const Trace trace = GenZipf(inst, 300, 0.8, LevelMix::UniformMix(2), 6);
+  FractionalMlp fast;
+  fast.Attach(inst);
+  for (Time t = 0; t < trace.length(); ++t) {
+    fast.Serve(t, trace.requests[static_cast<size_t>(t)]);
+  }
+  EXPECT_GT(fast.segments_solved(), 0);
+  EXPECT_GT(fast.events_processed(), 0);
+  // Shared geometric level weights: one group per level, not per page.
+  EXPECT_LE(fast.num_weight_groups(), 2);
+}
+
+// ---- SolveStoppingClock unit tests -------------------------------------
+
+TEST(StoppingClock, NewtonSolvesExponentialGain) {
+  // g(s) = e^s - 1, need = 1 => s = log 2.
+  auto g = [](double s, double* rate) {
+    const double e = std::exp(s);
+    if (rate != nullptr) *rate = e;
+    return e - 1.0;
+  };
+  const double s_hi = 2.0;
+  double rate_hi = 0.0;
+  const double g_hi = g(s_hi, &rate_hi);
+  StoppingClockStats stats;
+  const double s = SolveStoppingClock(g, 1.0, s_hi, g_hi, rate_hi, &stats);
+  EXPECT_NEAR(s, std::log(2.0), 1e-12);
+  EXPECT_FALSE(stats.used_bisection);
+  EXPECT_GT(stats.newton_iterations, 0);
+  // Never undershoots: the returned clock satisfies the need.
+  EXPECT_GE(g(s, nullptr), 1.0 - 1e-12);
+}
+
+TEST(StoppingClock, BisectionFallbackWhenNewtonStalls) {
+  // A gain function whose reported rate is far too large: Newton creeps
+  // and cannot converge in 50 iterations; the solver must fall back to
+  // bisection instead of silently accepting the last iterate.
+  auto g = [](double s, double* rate) {
+    if (rate != nullptr) *rate = 1000.0;
+    return s;
+  };
+  StoppingClockStats stats;
+  const double s = SolveStoppingClock(g, 0.5, 1.0, 1.0, 1000.0, &stats);
+  EXPECT_NEAR(s, 0.5, 1e-9);
+  EXPECT_TRUE(stats.used_bisection);
+  EXPECT_GE(g(s, nullptr), 0.5 - 1e-12);
+}
+
+TEST(StoppingClock, RecoversFromNewtonUndershoot) {
+  // A too-small reported rate makes the first Newton step overshoot past
+  // the root (g < need); the bracket must recover on [s, s_hi] and still
+  // return a clock that meets the need.
+  auto g = [](double s, double* rate) {
+    if (rate != nullptr) *rate = 0.6;
+    return s;
+  };
+  StoppingClockStats stats;
+  const double s = SolveStoppingClock(g, 0.5, 1.0, 1.0, 0.6, &stats);
+  EXPECT_TRUE(stats.used_bisection);
+  EXPECT_GE(s, 0.5 - 1e-12);
+  EXPECT_NEAR(s, 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace wmlp

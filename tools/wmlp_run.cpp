@@ -2,7 +2,7 @@
 //
 // Usage:
 //   wmlp_run --trace t.wmlp --policy landlord [--seed 1] [--trials 5]
-//            [--opt]
+//            [--opt] [--reference-solver]
 //   wmlp_run --trace-stream t.wmlp --policy lru [--chunk 4096] [--latency]
 //   wmlp_run --import accesses.log --k 64 [--dirty 10] [--clean 1] ...
 //
@@ -69,7 +69,19 @@ int main(int argc, char** argv) {
   const std::string path = flags.GetString("trace");
   const std::string stream_path = flags.GetString("trace-stream");
   const std::string import_path = flags.GetString("import");
-  const std::string policy_name = flags.GetString("policy", "lru");
+  std::string policy_name = flags.GetString("policy", "lru");
+  // The fractional stack defaults to the output-sensitive solver;
+  // --reference-solver opts back into the O(n * ell)-per-step oracle.
+  if (flags.Has("reference-solver")) {
+    if (policy_name == "randomized" || policy_name == "fractional-rounded") {
+      policy_name = "fractional-rounded-reference";
+    } else if (policy_name.rfind("randomized:", 0) == 0) {
+      policy_name += ",engine=reference";
+    } else {
+      tools::Die("--reference-solver only applies to the randomized /"
+                 " fractional-rounded policies");
+    }
+  }
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   const int32_t trials = static_cast<int32_t>(flags.GetInt("trials", 1));
   if (path.empty() && import_path.empty() && stream_path.empty()) {
