@@ -1,0 +1,219 @@
+// Serve-layer throughput: requests/sec and aggregate cost of the sharded
+// concurrent service (src/server/) across a shards x clients grid, JSON
+// rows in the bench_perf_suite schema so run_benchmarks.sh can merge them
+// into BENCH_perf.json.
+//
+// Two numbers matter here and they pull in opposite directions:
+//   * throughput — more shards means more engines draining in parallel,
+//     more clients means more submission bandwidth (until inbox mutexes
+//     contend);
+//   * aggregate cost — sharding statically splits the cache, so a shard
+//     with a hot working set cannot borrow slack capacity from a cold
+//     one; the "penalty" column is sharded cost / monolithic cost.
+// Cost is bitwise deterministic in (trace, policy, seed, shards) by the
+// server's contract, so the bench also cross-checks that every client
+// count reproduces the same cost and aborts on mismatch — a free
+// regression test on every benchmark run.
+//
+// serve-* cells are informational in the CI gate: wall-clock here is
+// dominated by thread scheduling, which jitters far past the 25% solver
+// gate (check_perf_regression.py skips "serve-" benches by name).
+//
+// Flags: --quick (small grid), --json <path>, --git-sha <sha>, --reps <r>.
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/request_source.h"
+#include "harness/table.h"
+#include "registry/policy_registry.h"
+#include "server/server.h"
+#include "trace/generators.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace wmlp {
+namespace {
+
+struct SuiteArgs {
+  bool quick = false;
+  std::string json_path;
+  std::string git_sha = "unknown";
+  int32_t reps = 3;
+};
+
+SuiteArgs ParseArgs(int argc, char** argv) {
+  SuiteArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      args.quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--git-sha") == 0 && i + 1 < argc) {
+      args.git_sha = argv[++i];
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      args.reps = std::max(1, std::atoi(argv[++i]));
+    } else {
+      std::cerr << "usage: bench_serve_throughput [--quick] [--json path] "
+                   "[--git-sha sha] [--reps r]\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+struct Cell {
+  std::string bench;  // "serve-s<shards>-c<clients>"
+  int32_t n = 0;
+  int32_t k = 0;
+  int32_t ell = 0;
+  int64_t requests = 0;
+  double ns_per_request = 0.0;  // best-of wall time / requests
+  double cost = 0.0;            // aggregate eviction cost (deterministic)
+};
+
+std::string FmtG(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void WriteJson(const SuiteArgs& args, const std::vector<Cell>& cells,
+               const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "error: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  os << "{\n";
+  os << "  \"schema\": \"wmlp-bench-perf-v1\",\n";
+  os << "  \"git_sha\": \"" << JsonEscape(args.git_sha) << "\",\n";
+#ifdef NDEBUG
+  os << "  \"optimized\": true,\n";
+#else
+  os << "  \"optimized\": false,\n";
+#endif
+  os << "  \"quick\": " << (args.quick ? "true" : "false") << ",\n";
+  os << "  \"reps\": " << args.reps << ",\n";
+  os << "  \"policy\": \"waterfill\",\n";
+  os << "  \"results\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    os << "    {\"bench\": \"" << c.bench << "\", \"n\": " << c.n
+       << ", \"k\": " << c.k << ", \"ell\": " << c.ell
+       << ", \"requests\": " << c.requests
+       << ", \"ns_per_request\": " << FmtG(c.ns_per_request)
+       << ", \"cost\": " << FmtG(c.cost) << "}"
+       << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+int Main(int argc, char** argv) {
+  const SuiteArgs args = ParseArgs(argc, argv);
+#ifndef NDEBUG
+  std::cerr << "warning: bench_serve_throughput built without optimization; "
+               "throughput numbers are not meaningful\n";
+#endif
+
+  const int32_t n = 4096;
+  const int64_t requests = args.quick ? 50'000 : 400'000;
+  Instance inst(n, n / 4, 2,
+                MakeWeights(n, 2, WeightModel::kGeometricLevels, 4.0, 7));
+  const Trace trace =
+      GenZipf(std::move(inst), requests, 0.8, LevelMix::UniformMix(2), 8);
+
+  const std::vector<int32_t> shard_grid =
+      args.quick ? std::vector<int32_t>{1, 4} : std::vector<int32_t>{1, 2, 4,
+                                                                     8};
+  const std::vector<int32_t> client_grid =
+      args.quick ? std::vector<int32_t>{1, 2} : std::vector<int32_t>{1, 2, 4};
+
+  // Monolithic reference for the sharding-penalty column; seeded like
+  // shard 0 so the shards=1 row reproduces it exactly.
+  PolicyPtr mono_policy = MakePolicyByName("waterfill", DeriveSeed(1, 0));
+  TraceSource mono_source(trace);
+  Engine mono_engine(mono_source, *mono_policy);
+  const Cost mono_cost = mono_engine.Run().eviction_cost;
+
+  std::vector<Cell> cells;
+  Table table({"shards", "clients", "Mreq/s", "cost", "penalty"});
+  for (const int32_t shards : shard_grid) {
+    Cost shard_cost = -1.0;  // determinism cross-check across client counts
+    for (const int32_t clients : client_grid) {
+      ServeOptions options;
+      options.shards = shards;
+      options.clients = clients;
+      options.batch = 256;
+      options.policy = "waterfill";
+      options.seed = 1;
+      double best_seconds = 0.0;
+      Cost cost = 0.0;
+      for (int32_t rep = 0; rep < args.reps; ++rep) {
+        const ServeReport report = ServeTrace(trace, options);
+        cost = report.totals.eviction_cost;
+        if (rep == 0 || report.wall_seconds < best_seconds) {
+          best_seconds = report.wall_seconds;
+        }
+      }
+      if (shard_cost < 0.0) shard_cost = cost;
+      WMLP_CHECK_MSG(cost == shard_cost,
+                     "serve cost varied with client count: determinism "
+                     "contract violated");
+      if (shards == 1) {
+        WMLP_CHECK_MSG(cost == mono_cost,
+                       "shards=1 diverged from the monolithic engine run");
+      }
+      Cell cell;
+      cell.bench =
+          "serve-s" + std::to_string(shards) + "-c" + std::to_string(clients);
+      cell.n = n;
+      cell.k = static_cast<int32_t>(trace.instance.cache_size());
+      cell.ell = 2;
+      cell.requests = requests;
+      cell.ns_per_request =
+          best_seconds * 1e9 / static_cast<double>(requests);
+      cell.cost = cost;
+      cells.push_back(cell);
+      table.AddRow({FmtInt(shards), FmtInt(clients),
+                    Fmt(1e3 / std::max(cell.ns_per_request, 1e-9), 3),
+                    Fmt(cost, 2),
+                    mono_cost > 0.0 ? Fmt(cost / mono_cost, 4)
+                                    : std::string("n/a")});
+      std::cout << "measured shards=" << shards << " clients=" << clients
+                << "\n";
+    }
+  }
+
+  std::cout << "\n== perf: sharded serve throughput (waterfill, n=" << n
+            << ", " << requests << " requests) ==\n";
+  table.Print(std::cout);
+  std::cout << "monolithic cost: " << Fmt(mono_cost, 2) << "\n";
+
+  if (!args.json_path.empty()) {
+    WriteJson(args, cells, args.json_path);
+    std::cout << "wrote " << args.json_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace wmlp
+
+int main(int argc, char** argv) { return wmlp::Main(argc, argv); }

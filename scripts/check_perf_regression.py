@@ -93,12 +93,21 @@ def main():
 
     failures = []
 
-    # Per-cell regression check.
+    # Per-cell regression check. serve-* cells (sharded serving layer) are
+    # informational only: their wall-clock is dominated by thread
+    # scheduling, which jitters far past the solver gate's margin, so they
+    # are printed but can never fail the gate.
     compared = 0
     for key, c in sorted(cur_cells.items()):
         b = base_cells.get(key)
         if b is None:
             print(f"note: no baseline for {key}; skipping")
+            continue
+        if key[0].startswith("serve-"):
+            ratio = c["ns_per_request"] / b["ns_per_request"]
+            print(f"{key}: {c['ns_per_request']:8.1f} ns/req  "
+                  f"baseline {b['ns_per_request']:8.1f}  {ratio:5.2f}x  "
+                  "info (serve cells never gate)")
             continue
         compared += 1
         ratio = c["ns_per_request"] / b["ns_per_request"]

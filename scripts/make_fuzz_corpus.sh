@@ -21,8 +21,9 @@ fi
 
 trace_dir="$repo/tests/corpus/trace_io"
 differ_dir="$repo/tests/corpus/policy_differ"
-rm -rf "$trace_dir" "$differ_dir"
-mkdir -p "$trace_dir" "$differ_dir"
+serve_dir="$repo/tests/corpus/serve_config"
+rm -rf "$trace_dir" "$differ_dir" "$serve_dir"
+mkdir -p "$trace_dir" "$differ_dir" "$serve_dir"
 
 # ---- trace_io corpus: valid traces spanning the format space -------------
 
@@ -76,5 +77,36 @@ printf '\x08\x03\x02\x02\x20\x01%b' \
                                            > "$differ_dir/repeat_heavy.bin"
 head -c 96 /dev/zero | tr '\0' '\5'        > "$differ_dir/long_same_byte.bin"
 
+# ---- serve_config corpus: byte blobs decoded by the harness -------------
+#
+# Layout (fuzz/fuzz_serve_config.cpp ByteReader): policy selector, n, k,
+# ell (skipped for marking), seed, shards (int32 BE), clients (int32 BE),
+# batch (int64 BE), then (page, level) byte pairs. One multi-shard serve
+# trace, one single-shard engine-equivalence trace, and reject-path seeds.
+
+# waterfill, n=32 k=16 ell=2, shards=4 clients=3 batch=64, 20 requests.
+printf '\x09\x1f\x0f\x01\x05%b%b%b%b' \
+  '\x00\x00\x00\x04' '\x00\x00\x00\x03' \
+  '\x00\x00\x00\x00\x00\x00\x00\x40' \
+  '\x00\x01\x05\x02\x0a\x01\x03\x02\x00\x01\x1c\x02\x07\x01\x05\x02\x0a\x02\x00\x01\x11\x01\x02\x02\x15\x01\x03\x01\x00\x02\x0c\x01\x1f\x02\x05\x01\x0a\x01\x01\x02' \
+                                           > "$serve_dir/serve_multi_shard.bin"
+# lru, n=10 k=4 ell=1, shards=1 clients=2 batch=8: engine-equivalence path.
+printf '\x00\x09\x03\x00\x07%b%b%b%b' \
+  '\x00\x00\x00\x01' '\x00\x00\x00\x02' \
+  '\x00\x00\x00\x00\x00\x00\x00\x08' \
+  '\x00\x01\x01\x01\x02\x01\x03\x01\x00\x01\x04\x01\x05\x01\x01\x01\x06\x01\x02\x01' \
+                                           > "$serve_dir/serve_single_shard.bin"
+# Reject paths: zero shards; huge batch (> kMaxBatch); unknown policy (13).
+printf '\x09\x1f\x0f\x01\x05%b%b%b' \
+  '\x00\x00\x00\x00' '\x00\x00\x00\x02' \
+  '\x00\x00\x00\x00\x00\x00\x01\x00' > "$serve_dir/reject_zero_shards.bin"
+printf '\x09\x1f\x0f\x01\x05%b%b%b' \
+  '\x00\x00\x00\x02' '\x00\x00\x00\x02' \
+  '\x7f\xff\xff\xff\xff\xff\xff\xff' > "$serve_dir/reject_huge_batch.bin"
+printf '\x0d\x05\x02\x01\x03%b%b%b' \
+  '\x00\x00\x00\x02' '\x00\x00\x00\x01' \
+  '\x00\x00\x00\x00\x00\x00\x00\x10' > "$serve_dir/reject_unknown_policy.bin"
+printf ''                                  > "$serve_dir/empty.bin"
+
 echo "corpus written:"
-find "$trace_dir" "$differ_dir" -type f | sort | sed "s|$repo/||"
+find "$trace_dir" "$differ_dir" "$serve_dir" -type f | sort | sed "s|$repo/||"

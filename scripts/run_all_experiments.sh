@@ -39,6 +39,14 @@ mkdir -p "$OUT"
   SHA=$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
   build/bench/bench_perf_suite $QUICK --json "$OUT/BENCH_perf.json" \
     --git-sha "$SHA"
+  echo
+
+  # E16: sharded serving — cost vs shards (the static-split penalty) and
+  # throughput vs clients (docs/EXPERIMENTS.md). JSON goes to its own file
+  # here; run_benchmarks.sh owns the merged BENCH_perf.json artifact.
+  echo "===== bench_serve_throughput (E16) ====="
+  build/bench/bench_serve_throughput $QUICK \
+    --json "$OUT/BENCH_serve.json" --git-sha "$SHA"
 } | tee "$OUT/full_run.txt"
 
 echo "wrote $OUT/full_run.txt (+ per-table CSVs + BENCH_perf.json)"

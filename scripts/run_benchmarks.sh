@@ -26,12 +26,21 @@ done
 # Same rationale as run_all_experiments.sh: throughput from an unoptimized
 # build is meaningless, and the regression gate would fire spuriously.
 cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build build --target bench_perf_suite >/dev/null
+cmake --build build --target bench_perf_suite bench_serve_throughput \
+  >/dev/null
 mkdir -p "$OUT"
 
 SHA=$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
-build/bench/bench_perf_suite $QUICK --json "$OUT/BENCH_perf.json" \
+build/bench/bench_perf_suite $QUICK --json "$OUT/BENCH_perf.solver.json" \
   --git-sha "$SHA"
+build/bench/bench_serve_throughput $QUICK \
+  --json "$OUT/BENCH_perf.serve.json" --git-sha "$SHA"
+# One merged artifact: solver cells (gated) + serve-* cells (informational;
+# the gate skips them by bench-name prefix). The cell sets are disjoint, so
+# --merge-max is a plain union here.
+python3 scripts/check_perf_regression.py --out "$OUT/BENCH_perf.json" \
+  --merge-max "$OUT/BENCH_perf.solver.json" "$OUT/BENCH_perf.serve.json"
+rm -f "$OUT/BENCH_perf.solver.json" "$OUT/BENCH_perf.serve.json"
 
 if [[ -n "$QUICK" ]]; then
   BASELINE="bench_results/BENCH_baseline_quick.json"

@@ -96,6 +96,18 @@ class LatencyHistogram final : public StepObserver {
                              static_cast<double>(count_);
   }
 
+  // Accumulates `other`'s samples into this histogram (log2 buckets align
+  // exactly, so merging loses nothing the buckets hadn't already lost).
+  // Used by the serving layer to fold per-shard histograms into one
+  // report. The arming state is untouched: merging is for finished
+  // histograms, not live ones.
+  void Merge(const LatencyHistogram& other) {
+    for (int b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+    count_ += other.count_;
+    total_cycles_ += other.total_cycles_;
+    if (other.max_cycles_ > max_cycles_) max_cycles_ = other.max_cycles_;
+  }
+
   // Raw monotonic cycle counter (rdtsc / cntvct / steady_clock fallback).
   static uint64_t NowCycles();
 

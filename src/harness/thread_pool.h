@@ -24,8 +24,17 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  // Enqueues a task. Legal at any point before destruction, including
+  // after a Wait(): Wait is a barrier, not a shutdown, so Submit/Wait
+  // cycles can repeat on one pool (the experiment harness reuses one
+  // pool across RunTrials calls). Tasks still queued when the
+  // destructor runs are drained, not dropped.
   void Submit(std::function<void()> task);
-  // Blocks until every submitted task has finished.
+  // Blocks until the in-flight count reaches zero: every task submitted
+  // before the call — and any submitted concurrently while it blocks —
+  // has finished. With a single submitting thread (the harness's usage)
+  // this is exactly "all my submissions completed". Not a shutdown; the
+  // pool accepts new Submits afterwards.
   void Wait();
 
   int32_t num_threads() const {

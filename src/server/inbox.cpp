@@ -1,0 +1,76 @@
+#include "server/inbox.h"
+
+#include "util/check.h"
+
+namespace wmlp {
+
+ShardInbox::ShardInbox(int32_t num_clients)
+    : clients_(static_cast<size_t>(num_clients)) {
+  WMLP_CHECK(num_clients >= 1);
+}
+
+void ShardInbox::Push(int32_t client, std::vector<SeqRequest>&& batch) {
+  if (batch.empty()) return;
+  {
+    std::unique_lock lock(mutex_);
+    ClientQueue& q = clients_[static_cast<size_t>(client)];
+    WMLP_CHECK_MSG(!q.closed, "push after close from client " << client);
+    WMLP_DCHECK(q.queue.empty() || q.queue.back().seq < batch.front().seq);
+    q.queue.insert(q.queue.end(), batch.begin(), batch.end());
+  }
+  batch.clear();
+  ready_.notify_one();
+}
+
+void ShardInbox::Close(int32_t client) {
+  {
+    std::unique_lock lock(mutex_);
+    clients_[static_cast<size_t>(client)].closed = true;
+  }
+  ready_.notify_one();
+}
+
+bool ShardInbox::CanPopLocked() const {
+  bool any_nonempty = false;
+  for (const ClientQueue& q : clients_) {
+    if (q.queue.empty()) {
+      if (!q.closed) return false;  // a smaller seq may still arrive
+    } else {
+      any_nonempty = true;
+    }
+  }
+  return any_nonempty;
+}
+
+bool ShardInbox::FinishedLocked() const {
+  for (const ClientQueue& q : clients_) {
+    if (!q.closed || !q.queue.empty()) return false;
+  }
+  return true;
+}
+
+size_t ShardInbox::PopReady(std::vector<SeqRequest>& out, size_t max_out) {
+  std::unique_lock lock(mutex_);
+  ready_.wait(lock, [this] { return CanPopLocked() || FinishedLocked(); });
+  size_t popped = 0;
+  while (popped < max_out && CanPopLocked()) {
+    ClientQueue* best = nullptr;
+    for (ClientQueue& q : clients_) {
+      if (q.queue.empty()) continue;
+      if (best == nullptr || q.queue.front().seq < best->queue.front().seq) {
+        best = &q;
+      }
+    }
+    out.push_back(best->queue.front());
+    best->queue.pop_front();
+    ++popped;
+  }
+  return popped;
+}
+
+bool ShardInbox::drained() {
+  std::unique_lock lock(mutex_);
+  return FinishedLocked();
+}
+
+}  // namespace wmlp

@@ -1,0 +1,81 @@
+// Per-shard request inbox: N client threads push batches, one shard
+// worker pops requests in global sequence order.
+//
+// Concurrency model is deliberately boring — one mutex per inbox, batch
+// swap on both sides. Clients hand over a whole vector per Push (one lock
+// acquisition per batch, not per request); the worker drains the maximal
+// currently-safe run per PopReady call. At serving granularity the mutex
+// is uncontended noise; the interesting part is ordering, not locking.
+//
+// Ordering contract (the determinism foundation, see server.h): every
+// request carries its global sequence number, each client's pushes are
+// ascending in it, and PopReady only releases request seq when it can
+// prove no smaller-seq request can still arrive — i.e. when every client
+// that has not called Close has a nonempty queue. The shard therefore
+// consumes exactly the subsequence of the global stream it owns, in
+// global order, independent of client count, batch size, and thread
+// schedule. The cost is a stall whenever some open client has an empty
+// queue; that is the documented price of bitwise determinism (E16
+// measures what remains of the parallelism).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "trace/request.h"
+
+namespace wmlp {
+
+// A request tagged with its position in the global submitted stream.
+// `request.page` stays a *global* page id; the shard boundary remaps it
+// to the shard-local instance (server.cpp).
+struct SeqRequest {
+  int64_t seq = 0;
+  Request request;
+};
+
+class ShardInbox {
+ public:
+  explicit ShardInbox(int32_t num_clients);
+
+  ShardInbox(const ShardInbox&) = delete;
+  ShardInbox& operator=(const ShardInbox&) = delete;
+
+  // Appends `batch` (ascending seq, all seqs greater than any previous
+  // push from this client) to `client`'s queue. Illegal after Close
+  // (checked). Empty batches are allowed and ignored.
+  void Push(int32_t client, std::vector<SeqRequest>&& batch);
+
+  // Declares that `client` will push no further batches. Idempotent.
+  void Close(int32_t client);
+
+  // Blocks until at least one request is provably next in sequence order
+  // (or every client has closed and drained), then appends up to
+  // `max_out` in-order requests to `out` and returns how many were
+  // appended. Returns 0 only at end of stream. Single-consumer.
+  size_t PopReady(std::vector<SeqRequest>& out, size_t max_out);
+
+  // True once every client has closed and every queue is drained.
+  bool drained();
+
+ private:
+  struct ClientQueue {
+    std::deque<SeqRequest> queue;
+    bool closed = false;
+  };
+
+  // A pop is safe iff some queue is nonempty and no *open* client's queue
+  // is empty: within a client seqs ascend, so the min over the heads is
+  // the global min of everything still to come. Caller holds mutex_.
+  bool CanPopLocked() const;
+  bool FinishedLocked() const;
+
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::vector<ClientQueue> clients_;
+};
+
+}  // namespace wmlp

@@ -1,0 +1,47 @@
+#include "server/metrics.h"
+
+#include "util/check.h"
+
+namespace wmlp {
+
+ShardedMetrics::ShardedMetrics(int32_t num_shards, bool collect_latency) {
+  WMLP_CHECK(num_shards >= 1);
+  meters_.reserve(static_cast<size_t>(num_shards));
+  multi_.reserve(static_cast<size_t>(num_shards));
+  if (collect_latency) latency_.reserve(static_cast<size_t>(num_shards));
+  for (int32_t s = 0; s < num_shards; ++s) {
+    meters_.push_back(std::make_unique<CostMeter>());
+    auto multi = std::make_unique<MultiObserver>();
+    multi->Add(meters_.back().get());
+    if (collect_latency) {
+      latency_.push_back(std::make_unique<LatencyHistogram>());
+      multi->Add(latency_.back().get());
+    }
+    multi_.push_back(std::move(multi));
+  }
+}
+
+StepObserver* ShardedMetrics::observer(int32_t s) {
+  return multi_[static_cast<size_t>(s)].get();
+}
+
+SimResult ShardedMetrics::Totals() const {
+  SimResult totals;
+  for (const auto& meter : meters_) {
+    totals.eviction_cost += meter->eviction_cost();
+    totals.fetch_cost += meter->fetch_cost();
+    totals.hits += meter->hits();
+    totals.misses += meter->misses();
+    totals.evictions += meter->evictions();
+    totals.fetches += meter->fetches();
+  }
+  return totals;
+}
+
+LatencyHistogram ShardedMetrics::MergedLatency() const {
+  LatencyHistogram merged;
+  for (const auto& histogram : latency_) merged.Merge(*histogram);
+  return merged;
+}
+
+}  // namespace wmlp

@@ -1,0 +1,203 @@
+#include "server/server.h"
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "engine/engine.h"
+#include "engine/request_source.h"
+#include "registry/policy_registry.h"
+#include "server/inbox.h"
+#include "server/metrics.h"
+#include "server/sharding.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace wmlp {
+
+namespace {
+
+// RequestSource over a shard inbox: blocks in Next() until the inbox can
+// release in-order requests, and remaps global page ids to the shard's
+// dense local ids at the boundary. Single-consumer (the shard worker).
+class InboxSource final : public RequestSource {
+ public:
+  InboxSource(const ShardMap& map, int32_t shard, ShardInbox& inbox)
+      : map_(map), shard_(shard), inbox_(inbox) {}
+
+  const Instance& instance() const override {
+    return map_.shard_instance(shard_);
+  }
+
+  bool Next(Request& r) override {
+    if (pos_ >= buffer_.size()) {
+      buffer_.clear();
+      pos_ = 0;
+      if (inbox_.PopReady(buffer_, kRefill) == 0) return false;
+    }
+    const Request global = buffer_[pos_++].request;
+    WMLP_DCHECK(map_.shard_of(global.page) == shard_);
+    r.page = map_.local_id(global.page);
+    r.level = global.level;
+    ++served_;
+    return true;
+  }
+
+  int64_t served() const { return served_; }
+
+ private:
+  static constexpr size_t kRefill = 1024;
+
+  const ShardMap& map_;
+  int32_t shard_;
+  ShardInbox& inbox_;
+  std::vector<SeqRequest> buffer_;
+  size_t pos_ = 0;
+  int64_t served_ = 0;
+};
+
+// Contiguous range of the trace owned by client c out of n: the partition
+// depends only on (length, n), so the per-shard subsequences — and with
+// them every cost field — are independent of which thread submits what.
+std::pair<int64_t, int64_t> ClientRange(int64_t length, int32_t client,
+                                        int32_t clients) {
+  const int64_t lo = length * client / clients;
+  const int64_t hi = length * (client + 1) / clients;
+  return {lo, hi};
+}
+
+void RunClient(const Trace& trace, const ShardMap& map, int32_t client,
+               int32_t clients, int64_t batch,
+               std::vector<std::unique_ptr<ShardInbox>>& inboxes) {
+  const int32_t shards = map.num_shards();
+  std::vector<std::vector<SeqRequest>> buffers(
+      static_cast<size_t>(shards));
+  const auto [lo, hi] = ClientRange(trace.length(), client, clients);
+  for (int64_t i = lo; i < hi; ++i) {
+    const Request& r = trace.requests[static_cast<size_t>(i)];
+    const auto s = static_cast<size_t>(map.shard_of(r.page));
+    buffers[s].push_back(SeqRequest{i, r});
+    if (static_cast<int64_t>(buffers[s].size()) >= batch) {
+      inboxes[s]->Push(client, std::move(buffers[s]));
+      buffers[s].clear();
+    }
+  }
+  for (size_t s = 0; s < buffers.size(); ++s) {
+    inboxes[s]->Push(client, std::move(buffers[s]));
+    inboxes[s]->Close(client);
+  }
+}
+
+}  // namespace
+
+std::string ValidateServeConfig(const Instance& instance,
+                                const ServeOptions& options) {
+  if (options.clients < 1) return "clients must be >= 1";
+  if (options.clients > kMaxClients) {
+    return "clients must be <= " + std::to_string(kMaxClients);
+  }
+  if (options.batch < 1) return "batch must be >= 1";
+  if (options.batch > kMaxBatch) {
+    return "batch must be <= " + std::to_string(kMaxBatch);
+  }
+  if (MakePolicyByName(options.policy, options.seed) == nullptr) {
+    return "unknown policy '" + options.policy + "'";
+  }
+  return ShardabilityError(instance, options.shards);
+}
+
+ServeReport ServeTrace(const Trace& trace, const ServeOptions& options) {
+  const std::string error = ValidateServeConfig(trace.instance, options);
+  WMLP_CHECK_MSG(error.empty(), "bad serve config: " << error);
+
+  const ShardMap map(trace.instance, options.shards);
+  const int32_t shards = options.shards;
+  const int32_t clients = options.clients;
+
+  std::vector<std::unique_ptr<ShardInbox>> inboxes;
+  inboxes.reserve(static_cast<size_t>(shards));
+  for (int32_t s = 0; s < shards; ++s) {
+    inboxes.push_back(std::make_unique<ShardInbox>(clients));
+  }
+
+  // Shard state lives outside the worker threads so results survive the
+  // joins. Empty shards get no policy, engine, or worker.
+  ShardedMetrics metrics(shards, options.collect_latency);
+  std::vector<std::unique_ptr<InboxSource>> sources(
+      static_cast<size_t>(shards));
+  std::vector<PolicyPtr> policies(static_cast<size_t>(shards));
+  std::vector<std::unique_ptr<Engine>> engines(
+      static_cast<size_t>(shards));
+  std::vector<SimResult> results(static_cast<size_t>(shards));
+  for (int32_t s = 0; s < shards; ++s) {
+    if (map.shard_empty(s)) continue;
+    const auto idx = static_cast<size_t>(s);
+    sources[idx] = std::make_unique<InboxSource>(map, s, *inboxes[idx]);
+    policies[idx] = MakePolicyByName(
+        options.policy, DeriveSeed(options.seed, static_cast<uint64_t>(s)));
+    EngineOptions eopts;
+    eopts.observer = metrics.observer(s);
+    engines[idx] =
+        std::make_unique<Engine>(*sources[idx], *policies[idx], eopts);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(shards) +
+                  static_cast<size_t>(clients));
+  for (int32_t s = 0; s < shards; ++s) {
+    if (map.shard_empty(s)) continue;
+    workers.emplace_back([&results, &engines, s] {
+      const auto idx = static_cast<size_t>(s);
+      results[idx] = engines[idx]->Run();
+    });
+  }
+  for (int32_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&trace, &map, c, clients, &options, &inboxes] {
+      RunClient(trace, map, c, clients, options.batch, inboxes);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  ServeReport report;
+  report.requests = trace.length();
+  report.wall_seconds = wall_seconds;
+  report.requests_per_sec =
+      wall_seconds > 0.0 ? static_cast<double>(trace.length()) / wall_seconds
+                         : 0.0;
+  report.shards.resize(static_cast<size_t>(shards));
+  int64_t routed = 0;
+  for (int32_t s = 0; s < shards; ++s) {
+    const auto idx = static_cast<size_t>(s);
+    ShardReport& sr = report.shards[idx];
+    sr.pages = static_cast<int32_t>(map.shard_pages(s).size());
+    sr.capacity = map.shard_capacity(s);
+    if (map.shard_empty(s)) continue;
+    sr.result = results[idx];
+    sr.requests = sources[idx]->served();
+    routed += sr.requests;
+    WMLP_CHECK_MSG(inboxes[idx]->drained(),
+                   "shard " << s << " exited with queued requests");
+    // The per-shard CostMeter is an independent witness of the engine's
+    // accounting; any disagreement is a serving-layer bug.
+    const CostMeter& meter = metrics.meter(s);
+    WMLP_CHECK(sr.result.eviction_cost == meter.eviction_cost());
+    WMLP_CHECK(sr.result.fetch_cost == meter.fetch_cost());
+    WMLP_CHECK(sr.result.evictions == meter.evictions());
+    WMLP_CHECK(sr.result.fetches == meter.fetches());
+    WMLP_CHECK(sr.result.hits == meter.hits());
+    WMLP_CHECK(sr.result.misses == meter.misses());
+  }
+  WMLP_CHECK_MSG(routed == trace.length(),
+                 "served " << routed << " of " << trace.length()
+                           << " requests");
+  report.totals = metrics.Totals();
+  if (options.collect_latency) report.latency = metrics.MergedLatency();
+  return report;
+}
+
+}  // namespace wmlp

@@ -1,0 +1,146 @@
+// Concurrency stress for the sharded serving layer. The interesting
+// failures here are data races and lost wakeups, so this binary is meant
+// to run under TSan (the CI tsan job raises the iteration count via
+// WMLP_STRESS_ITERS); in a plain build it still verifies ordering and
+// determinism under real thread contention, just with fewer rounds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/inbox.h"
+#include "server/server.h"
+#include "trace/generators.h"
+#include "util/rng.h"
+
+namespace wmlp {
+namespace {
+
+int64_t StressIters(int64_t base) {
+  const char* env = std::getenv("WMLP_STRESS_ITERS");
+  if (env == nullptr) return base;
+  const int64_t parsed = std::atoll(env);
+  return parsed > 0 ? parsed : base;
+}
+
+// Hammers one inbox with P producers pushing randomized batch sizes and
+// one consumer merging; every round must come out as 0..T-1 in order.
+TEST(ServerStressTest, InboxProducersConsumerOrdering) {
+  const int64_t rounds = StressIters(20);
+  constexpr int32_t kProducers = 8;
+  constexpr int64_t kTotal = 4000;
+  for (int64_t round = 0; round < rounds; ++round) {
+    ShardInbox inbox(kProducers);
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int32_t c = 0; c < kProducers; ++c) {
+      producers.emplace_back([c, round, &inbox] {
+        Rng rng(DeriveSeed(static_cast<uint64_t>(round) * 31 + 7,
+                           static_cast<uint64_t>(c)));
+        std::vector<SeqRequest> batch;
+        // Producer c owns seqs congruent to c mod kProducers, ascending.
+        for (int64_t seq = c; seq < kTotal; seq += kProducers) {
+          batch.push_back(SeqRequest{seq, Request{0, 1}});
+          if (rng.NextBounded(4) == 0) {
+            inbox.Push(c, std::move(batch));
+            batch.clear();
+          }
+        }
+        inbox.Push(c, std::move(batch));
+        inbox.Close(c);
+      });
+    }
+    std::atomic<bool> ok{true};
+    std::thread consumer([&inbox, &ok] {
+      std::vector<SeqRequest> out;
+      int64_t expected = 0;
+      while (true) {
+        out.clear();
+        const size_t got = inbox.PopReady(out, 128);
+        if (got == 0) break;
+        for (const SeqRequest& r : out) {
+          if (r.seq != expected) {
+            ok.store(false);
+            return;
+          }
+          ++expected;
+        }
+      }
+      if (expected != kTotal) ok.store(false);
+    });
+    for (std::thread& p : producers) p.join();
+    consumer.join();
+    ASSERT_TRUE(ok.load()) << "round " << round;
+    EXPECT_TRUE(inbox.drained());
+  }
+}
+
+// Full-pipeline hammer: many concurrent serves with varying client
+// counts and batch sizes must all reproduce the reference cost fields.
+TEST(ServerStressTest, ConcurrentServesStayDeterministic) {
+  const int64_t rounds = StressIters(6);
+  Instance inst(48, 12, 2,
+                MakeWeights(48, 2, WeightModel::kGeometricLevels, 4.0, 3));
+  const Trace trace =
+      GenZipf(std::move(inst), 3000, 0.8, LevelMix::UniformMix(2), 5);
+
+  ServeOptions reference_options;
+  reference_options.shards = 4;
+  reference_options.clients = 1;
+  reference_options.policy = "waterfill";
+  reference_options.seed = 11;
+  const ServeReport reference = ServeTrace(trace, reference_options);
+
+  for (int64_t round = 0; round < rounds; ++round) {
+    for (const int32_t clients : {2, 5, 11}) {
+      ServeOptions options = reference_options;
+      options.clients = clients;
+      options.batch = 1 + (round * 13 + clients) % 97;
+      const ServeReport report = ServeTrace(trace, options);
+      ASSERT_EQ(report.totals.eviction_cost,
+                reference.totals.eviction_cost)
+          << "round " << round << " clients " << clients;
+      ASSERT_EQ(report.totals.hits, reference.totals.hits);
+      for (size_t s = 0; s < report.shards.size(); ++s) {
+        ASSERT_EQ(report.shards[s].result.eviction_cost,
+                  reference.shards[s].result.eviction_cost)
+            << "shard " << s;
+      }
+    }
+  }
+}
+
+// Close/push interleavings with stalling clients: a client that closes
+// without ever pushing must unblock the merge rather than wedge it.
+TEST(ServerStressTest, SilentClientsNeverWedgeTheMerge) {
+  const int64_t rounds = StressIters(50);
+  for (int64_t round = 0; round < rounds; ++round) {
+    constexpr int32_t kClients = 6;
+    ShardInbox inbox(kClients);
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int32_t c = 0; c < kClients; ++c) {
+      threads.emplace_back([c, round, &inbox] {
+        // Odd clients push one late-seq request; even clients only close.
+        if (c % 2 == 1) {
+          std::vector<SeqRequest> batch{
+              SeqRequest{static_cast<int64_t>(round * kClients + c),
+                         Request{0, 1}}};
+          inbox.Push(c, std::move(batch));
+        }
+        inbox.Close(c);
+      });
+    }
+    std::vector<SeqRequest> out;
+    while (inbox.PopReady(out, 8) > 0) {
+    }
+    EXPECT_EQ(out.size(), 3u) << "round " << round;
+    for (std::thread& t : threads) t.join();
+  }
+}
+
+}  // namespace
+}  // namespace wmlp

@@ -1,0 +1,113 @@
+// Serve a saved trace through the sharded concurrent cache service.
+//
+// Usage:
+//   wmlp_serve --trace t.wmlp [--shards 4] [--clients 2] [--batch 256]
+//              [--policy waterfill] [--seed 1] [--latency] [--compare]
+//
+// Hash-partitions the trace's pages across --shards independent policy
+// instances, feeds them from --clients submitting threads in --batch-sized
+// batches, and prints the merged report: total cost, a per-shard table,
+// and throughput. Cost and count fields are bitwise deterministic for
+// fixed (trace, policy, seed, shards) regardless of --clients and --batch
+// (see src/server/server.h for the contract); --shards 1 reproduces the
+// plain engine run exactly.
+//
+// --latency additionally prints per-request serve-time percentiles merged
+// across the per-shard cycle-counter histograms. --compare also runs the
+// unsharded engine on the same trace and prints the sharding penalty
+// (sharded cost / monolithic cost).
+#include <iostream>
+
+#include "engine/engine.h"
+#include "engine/request_source.h"
+#include "harness/table.h"
+#include "registry/policy_registry.h"
+#include "server/server.h"
+#include "tool_util.h"
+#include "trace/trace_io.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace wmlp;
+  const tools::Flags flags(argc, argv);
+  const std::string path = flags.GetString("trace");
+  if (path.empty()) tools::Die("--trace is required");
+
+  ServeOptions options;
+  options.policy = flags.GetString("policy", "waterfill");
+  options.shards = static_cast<int32_t>(flags.GetInt("shards", 4));
+  options.clients = static_cast<int32_t>(flags.GetInt("clients", 2));
+  options.batch = flags.GetInt("batch", 256);
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  options.collect_latency = flags.Has("latency");
+
+  // Flag-range quirk: tool_util's Flags parse into int64, so an overflowing
+  // "--shards 99999999999" dies in GetInt; values that fit int64 but not
+  // the config surface (zero, negative, or above the ceilings) are
+  // rejected here by ValidateServeConfig, never clamped.
+  const int64_t raw_shards = flags.GetInt("shards", 4);
+  const int64_t raw_clients = flags.GetInt("clients", 2);
+  if (raw_shards != options.shards) tools::Die("--shards out of range");
+  if (raw_clients != options.clients) tools::Die("--clients out of range");
+
+  std::string err;
+  const auto trace = ReadTraceFile(path, &err);
+  if (!trace) tools::Die(err);
+  err = ValidateServeConfig(trace->instance, options);
+  if (!err.empty()) tools::Die(err);
+
+  const ServeReport report = ServeTrace(*trace, options);
+
+  std::cout << "policy " << options.policy << " on " << path << " ("
+            << report.requests << " requests, "
+            << trace->instance.DebugString() << ")\n";
+  std::cout << "  shards=" << options.shards
+            << " clients=" << options.clients
+            << " batch=" << options.batch << " seed=" << options.seed
+            << "\n";
+  std::cout << "  eviction cost: " << Fmt(report.totals.eviction_cost, 2)
+            << "\n";
+  std::cout << "  hit rate:      " << Fmt(report.totals.hit_rate(), 4)
+            << "\n";
+  std::cout << "  evictions:     " << report.totals.evictions << "\n";
+  std::cout << "  throughput:    "
+            << Fmt(report.requests_per_sec / 1e6, 3) << " Mreq/s ("
+            << Fmt(report.wall_seconds * 1e3, 1) << " ms wall)\n";
+
+  Table table({"shard", "pages", "capacity", "requests", "hit rate",
+               "eviction cost"});
+  for (size_t s = 0; s < report.shards.size(); ++s) {
+    const ShardReport& sr = report.shards[s];
+    table.AddRow({FmtInt(static_cast<int64_t>(s)), FmtInt(sr.pages),
+                  FmtInt(sr.capacity), FmtInt(sr.requests),
+                  Fmt(sr.result.hit_rate(), 4),
+                  Fmt(sr.result.eviction_cost, 2)});
+  }
+  table.Print(std::cout);
+
+  if (report.latency.count() > 0) {
+    std::cout << "  serve latency (cycles): p50="
+              << Fmt(report.latency.Quantile(0.5), 0)
+              << " p90=" << Fmt(report.latency.Quantile(0.9), 0)
+              << " p99=" << Fmt(report.latency.Quantile(0.99), 0)
+              << " max=" << report.latency.max_cycles() << "\n";
+  }
+
+  if (flags.Has("compare")) {
+    // The monolithic reference: one engine, one policy over the whole
+    // cache, seeded like shard 0 so --shards 1 matches it bitwise.
+    PolicyPtr policy =
+        MakePolicyByName(options.policy, DeriveSeed(options.seed, 0));
+    TraceSource source(*trace);
+    Engine engine(source, *policy);
+    const SimResult mono = engine.Run();
+    std::cout << "  monolithic cost: " << Fmt(mono.eviction_cost, 2)
+              << "\n  sharding penalty: "
+              << (mono.eviction_cost > 0.0
+                      ? Fmt(report.totals.eviction_cost / mono.eviction_cost,
+                            3)
+                      : std::string("n/a"))
+              << "x\n";
+  }
+  return 0;
+}
