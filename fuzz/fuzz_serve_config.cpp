@@ -15,6 +15,13 @@
 //      contract in server.h).
 //   3. Accepted single-shard configs reproduce the plain Engine run
 //      exactly.
+//   4. The telemetry run-option surface (--telemetry-out / --trace-out /
+//      --stats-interval) validates without crashing on arbitrary paths and
+//      bit-pattern intervals, rejecting the documented invalid shapes; and
+//      arming the tracer between the two serve runs must not change a
+//      single cost/count bit (telemetry observes, never steers).
+#include <bit>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -24,6 +31,8 @@
 #include "registry/policy_registry.h"
 #include "server/server.h"
 #include "server/sharding.h"
+#include "telemetry/export.h"
+#include "telemetry/trace_span.h"
 #include "trace/generators.h"
 #include "trace/trace.h"
 #include "util/check.h"
@@ -63,6 +72,52 @@ void ExpectSame(const SimResult& a, const SimResult& b, const char* what) {
   WMLP_CHECK_MSG(a.fetches == b.fetches, what);
 }
 
+// Decodes and cross-checks a TelemetryRunOptions from the byte stream.
+// Returns whether the options validated (the caller uses that to decide
+// if arming the tracer mid-run is part of this input's schedule).
+bool FuzzTelemetryOptions(ByteReader& in) {
+  telemetry::TelemetryRunOptions topts;
+  const uint8_t shape = in.Next();
+  // Paths of 0..7 raw bytes: control characters, quotes, UTF-8 fragments.
+  const size_t out_len = in.Next() % 8;
+  for (size_t i = 0; i < out_len; ++i) {
+    topts.telemetry_out.push_back(static_cast<char>(in.Next()));
+  }
+  if (shape & 1) {
+    topts.trace_out = topts.telemetry_out;  // the same-file reject path
+  } else {
+    const size_t trace_len = in.Next() % 8;
+    for (size_t i = 0; i < trace_len; ++i) {
+      topts.trace_out.push_back(static_cast<char>(in.Next()));
+    }
+  }
+  // Interval from a raw bit pattern: hits NaN, infinities, denormals,
+  // negatives, and the [0.01, 86400] window edges.
+  topts.stats_interval = std::bit_cast<double>(
+      static_cast<uint64_t>(in.Next64()));
+
+  const std::string err = telemetry::ValidateTelemetryRunOptions(topts);
+  bool has_control = false;
+  for (const std::string* p : {&topts.telemetry_out, &topts.trace_out}) {
+    for (char ch : *p) {
+      if (static_cast<unsigned char>(ch) < 0x20) has_control = true;
+    }
+  }
+  const bool must_reject =
+      has_control || !std::isfinite(topts.stats_interval) ||
+      topts.stats_interval < 0.0 ||
+      (topts.stats_interval != 0.0 &&
+       (topts.stats_interval < 0.01 || topts.stats_interval > 86400.0)) ||
+      (!topts.telemetry_out.empty() &&
+       topts.telemetry_out == topts.trace_out);
+  if (must_reject) {
+    WMLP_CHECK_MSG(!err.empty(), "invalid telemetry options accepted");
+  } else {
+    WMLP_CHECK_MSG(err.empty(), "valid telemetry options rejected");
+  }
+  return err.empty();
+}
+
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
@@ -88,6 +143,8 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   options.shards = in.Next32();
   options.clients = in.Next32();
   options.batch = in.Next64();
+
+  const bool telemetry_ok = FuzzTelemetryOptions(in);
 
   Instance inst(n, k, ell,
                 MakeWeights(n, ell, WeightModel::kZipfPages, 8.0, seed));
@@ -120,10 +177,21 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   const ServeReport first = ServeTrace(trace, run);
   WMLP_CHECK(first.requests == trace.length());
 
+  // Second run under a different client/batch schedule AND, on inputs
+  // whose telemetry options validated, with the tracer armed — the
+  // determinism contract promises both knobs are invisible in the results.
+  // (In telemetry-OFF builds arming is inert and this degrades to the
+  // plain schedule check.)
+  const bool arm_tracer = telemetry_ok && (seed & 1) != 0;
+  if (arm_tracer) telemetry::Tracer::Arm();
   ServeOptions varied = run;
   varied.clients = 1 + (options.clients + 2) % 7;
   varied.batch = 1 + (options.batch + 31) % 200;
   const ServeReport second = ServeTrace(trace, varied);
+  if (arm_tracer) {
+    telemetry::Tracer::Disarm();
+    telemetry::Tracer::Drain();  // keep per-thread buffers from pooling
+  }
   ExpectSame(first.totals, second.totals,
              "serve totals varied with client/batch schedule");
   WMLP_CHECK(first.shards.size() == second.shards.size());

@@ -83,6 +83,11 @@ def main():
 
     base = load(args.baseline)
     cur = load(args.current)
+    # Name the baseline explicitly: quick and full runs gate against
+    # different files, and a gate failure is uninterpretable without
+    # knowing which envelope it was measured against.
+    print(f"gating {args.current} against baseline {args.baseline} "
+          f"(recorded at sha {base.get('git_sha', 'unknown')})")
     if not cur.get("optimized", False):
         print("error: current run was not built optimized; refusing to gate",
               file=sys.stderr)

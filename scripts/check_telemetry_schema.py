@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Validates telemetry output files against docs/telemetry_schema.json.
+
+  scripts/check_telemetry_schema.py --snapshot s.json [--trace t.json]
+      [--schema docs/telemetry_schema.json]
+      [--require-compiled]
+      [--require-nonzero wmlp_engine_steps_total ...]
+
+Checks the structural rules the schema file declares (required keys, type
+enums, bucket-count arity) plus the cross-field invariants that cannot be
+expressed declaratively: histogram bucket counts summing to the recorded
+count, strictly increasing explicit bounds, non-negative trace timestamps
+and durations. --require-nonzero asserts that a named counter (or a
+histogram's count) is present and positive — CI uses it to prove the
+hot-path instrumentation actually fired. Substring match on metric names is
+NOT performed; names must match exactly (label suffix included).
+
+Exit status: 0 pass, 1 validation failure, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+FAILURES = []
+
+
+def fail(msg):
+    FAILURES.append(msg)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def is_count(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def check_required(obj, keys, where):
+    ok = True
+    for key in keys:
+        if key not in obj:
+            fail(f"{where}: missing required key '{key}'")
+            ok = False
+    return ok
+
+
+def check_metric(m, rules, index):
+    where = f"metrics[{index}]"
+    if not isinstance(m, dict):
+        fail(f"{where}: not an object")
+        return
+    if not check_required(m, rules["metric_required"], where):
+        return
+    name = m["name"]
+    if not isinstance(name, str) or not name:
+        fail(f"{where}: name must be a non-empty string")
+        return
+    where = f"metric '{name}'"
+    mtype = m["type"]
+    if mtype not in rules["metric_types"]:
+        fail(f"{where}: unknown type '{mtype}'")
+        return
+    if mtype == "counter":
+        if check_required(m, rules["counter_required"], where):
+            if not is_count(m["value"]):
+                fail(f"{where}: counter value must be a non-negative integer")
+    elif mtype == "gauge":
+        if check_required(m, rules["gauge_required"], where):
+            if not is_number(m["value"]) or not math.isfinite(m["value"]):
+                fail(f"{where}: gauge value must be a finite number")
+    else:  # histogram
+        if not check_required(m, rules["histogram_required"], where):
+            return
+        if not is_count(m["count"]):
+            fail(f"{where}: count must be a non-negative integer")
+            return
+        if not is_number(m["sum"]) or not math.isfinite(m["sum"]):
+            fail(f"{where}: sum must be a finite number")
+        layout = m["layout"]
+        if layout not in rules["histogram_layouts"]:
+            fail(f"{where}: unknown layout '{layout}'")
+            return
+        counts = m["counts"]
+        if not isinstance(counts, list) or not all(
+                is_count(c) for c in counts):
+            fail(f"{where}: counts must be a list of non-negative integers")
+            return
+        if layout == "pow2":
+            want = rules["pow2_bucket_count"]
+            if len(counts) != want:
+                fail(f"{where}: pow2 layout needs {want} buckets, "
+                     f"got {len(counts)}")
+            if "bounds" in m:
+                fail(f"{where}: pow2 layout must not carry explicit bounds")
+        else:
+            bounds = m.get("bounds")
+            if not isinstance(bounds, list) or not all(
+                    is_number(b) and math.isfinite(b) for b in bounds):
+                fail(f"{where}: explicit layout needs a list of finite "
+                     "bounds")
+                return
+            if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+                fail(f"{where}: bounds must be strictly increasing")
+            if len(counts) != len(bounds) + 1:
+                fail(f"{where}: explicit layout needs len(bounds)+1 buckets "
+                     f"({len(bounds) + 1}), got {len(counts)}")
+        if sum(counts) != m["count"]:
+            fail(f"{where}: bucket counts sum to {sum(counts)} but count "
+                 f"is {m['count']}")
+
+
+def metric_magnitude(m):
+    """The 'did it fire' magnitude: counter value or histogram count."""
+    if m.get("type") == "counter":
+        return m.get("value", 0)
+    if m.get("type") == "histogram":
+        return m.get("count", 0)
+    if m.get("type") == "gauge":
+        return abs(m.get("value", 0.0))
+    return 0
+
+
+def check_snapshot(doc, rules, require_compiled, require_nonzero):
+    if not isinstance(doc, dict):
+        fail("snapshot: top level is not an object")
+        return
+    if not check_required(doc, rules["required"], "snapshot"):
+        return
+    if doc["schema"] != rules["schema_id"]:
+        fail(f"snapshot: schema is '{doc['schema']}', "
+             f"expected '{rules['schema_id']}'")
+    if not isinstance(doc["telemetry_compiled"], bool):
+        fail("snapshot: telemetry_compiled must be a boolean")
+    if not is_number(doc["uptime_seconds"]) or doc["uptime_seconds"] < 0:
+        fail("snapshot: uptime_seconds must be a non-negative number")
+    metrics = doc["metrics"]
+    if not isinstance(metrics, list):
+        fail("snapshot: metrics must be an array")
+        return
+    seen = {}
+    for i, m in enumerate(metrics):
+        check_metric(m, rules, i)
+        if isinstance(m, dict) and isinstance(m.get("name"), str):
+            if m["name"] in seen:
+                fail(f"snapshot: duplicate metric name '{m['name']}'")
+            seen[m["name"]] = m
+    if require_compiled and doc.get("telemetry_compiled") is not True:
+        fail("snapshot: telemetry_compiled is false but --require-compiled "
+             "was given (was the binary built with -DWMLP_TELEMETRY=ON?)")
+    for name in require_nonzero:
+        m = seen.get(name)
+        if m is None:
+            fail(f"snapshot: required metric '{name}' is absent")
+        elif metric_magnitude(m) <= 0:
+            fail(f"snapshot: required metric '{name}' is zero")
+
+
+def check_trace(doc, rules):
+    if not isinstance(doc, dict):
+        fail("trace: top level is not an object")
+        return
+    if not check_required(doc, rules["required"], "trace"):
+        return
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("trace: traceEvents must be an array")
+        return
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(e, dict):
+            fail(f"{where}: not an object")
+            continue
+        if not check_required(e, rules["event_required"], where):
+            continue
+        if not isinstance(e["name"], str) or not e["name"]:
+            fail(f"{where}: name must be a non-empty string")
+        if e["ph"] not in rules["event_phases"]:
+            fail(f"{where}: phase '{e['ph']}' not allowed")
+        for key in ("ts", "dur"):
+            if not is_number(e[key]) or e[key] < 0:
+                fail(f"{where}: {key} must be a non-negative number")
+        for key in ("pid", "tid"):
+            if not is_count(e[key]):
+                fail(f"{where}: {key} must be a non-negative integer")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--snapshot", help="snapshot JSON to validate")
+    ap.add_argument("--trace", help="trace_event JSON to validate")
+    ap.add_argument("--schema",
+                    default=os.path.join(os.path.dirname(__file__), "..",
+                                         "docs", "telemetry_schema.json"))
+    ap.add_argument("--require-compiled", action="store_true",
+                    help="fail unless the snapshot says telemetry_compiled")
+    ap.add_argument("--require-nonzero", nargs="*", default=[],
+                    metavar="METRIC",
+                    help="metric names that must be present and positive")
+    args = ap.parse_args()
+    if not args.snapshot and not args.trace:
+        ap.error("give --snapshot and/or --trace")
+    if args.require_nonzero and not args.snapshot:
+        ap.error("--require-nonzero needs --snapshot")
+
+    schema = load(args.schema)
+
+    n_metrics = n_events = 0
+    if args.snapshot:
+        doc = load(args.snapshot)
+        check_snapshot(doc, schema["snapshot"], args.require_compiled,
+                       args.require_nonzero)
+        if isinstance(doc, dict) and isinstance(doc.get("metrics"), list):
+            n_metrics = len(doc["metrics"])
+    if args.trace:
+        doc = load(args.trace)
+        check_trace(doc, schema["trace"])
+        if isinstance(doc, dict) and isinstance(doc.get("traceEvents"),
+                                                list):
+            n_events = len(doc["traceEvents"])
+
+    if FAILURES:
+        print("TELEMETRY SCHEMA CHECK FAILED:", file=sys.stderr)
+        for f in FAILURES:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    parts = []
+    if args.snapshot:
+        parts.append(f"{args.snapshot}: {n_metrics} metrics")
+    if args.trace:
+        parts.append(f"{args.trace}: {n_events} events")
+    print("telemetry schema check passed (" + "; ".join(parts) + ")")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

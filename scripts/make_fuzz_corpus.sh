@@ -81,21 +81,42 @@ head -c 96 /dev/zero | tr '\0' '\5'        > "$differ_dir/long_same_byte.bin"
 #
 # Layout (fuzz/fuzz_serve_config.cpp ByteReader): policy selector, n, k,
 # ell (skipped for marking), seed, shards (int32 BE), clients (int32 BE),
-# batch (int64 BE), then (page, level) byte pairs. One multi-shard serve
-# trace, one single-shard engine-equivalence trace, and reject-path seeds.
+# batch (int64 BE), telemetry options (shape byte, telemetry_out length +
+# bytes, trace_out length + bytes unless shape bit 0 aliases the paths,
+# stats-interval as raw double bits, int64 BE), then (page, level) byte
+# pairs. One multi-shard serve trace, one single-shard engine-equivalence
+# trace, telemetry-flag seeds, and reject-path seeds.
+
+# Telemetry segment "everything off": separate empty paths, interval 0.0.
+TEL_OFF='\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00'
 
 # waterfill, n=32 k=16 ell=2, shards=4 clients=3 batch=64, 20 requests.
-printf '\x09\x1f\x0f\x01\x05%b%b%b%b' \
+printf '\x09\x1f\x0f\x01\x05%b%b%b%b%b' \
   '\x00\x00\x00\x04' '\x00\x00\x00\x03' \
-  '\x00\x00\x00\x00\x00\x00\x00\x40' \
+  '\x00\x00\x00\x00\x00\x00\x00\x40' "$TEL_OFF" \
   '\x00\x01\x05\x02\x0a\x01\x03\x02\x00\x01\x1c\x02\x07\x01\x05\x02\x0a\x02\x00\x01\x11\x01\x02\x02\x15\x01\x03\x01\x00\x02\x0c\x01\x1f\x02\x05\x01\x0a\x01\x01\x02' \
                                            > "$serve_dir/serve_multi_shard.bin"
 # lru, n=10 k=4 ell=1, shards=1 clients=2 batch=8: engine-equivalence path.
-printf '\x00\x09\x03\x00\x07%b%b%b%b' \
+printf '\x00\x09\x03\x00\x07%b%b%b%b%b' \
   '\x00\x00\x00\x01' '\x00\x00\x00\x02' \
-  '\x00\x00\x00\x00\x00\x00\x00\x08' \
+  '\x00\x00\x00\x00\x00\x00\x00\x08' "$TEL_OFF" \
   '\x00\x01\x01\x01\x02\x01\x03\x01\x00\x01\x04\x01\x05\x01\x01\x01\x06\x01\x02\x01' \
                                            > "$serve_dir/serve_single_shard.bin"
+# Valid telemetry flags: distinct 4-byte paths, interval 1.0
+# (0x3FF0000000000000), odd seed so the second serve run arms the tracer.
+printf '\x09\x1f\x0f\x01\x04%b%b%b%b%b%b' \
+  '\x00\x00\x00\x02' '\x00\x00\x00\x02' \
+  '\x00\x00\x00\x00\x00\x00\x00\x20' \
+  '\x00\x04s.js\x04t.js' '\x3f\xf0\x00\x00\x00\x00\x00\x00' \
+  '\x00\x01\x05\x02\x0a\x01\x03\x02\x07\x01\x11\x02\x02\x01\x15\x02' \
+                                           > "$serve_dir/telemetry_flags.bin"
+# Telemetry reject paths: shape bit 0 aliases trace_out onto a nonempty
+# telemetry_out (same-file reject) and the interval bits decode to a NaN.
+printf '\x09\x1f\x0f\x01\x05%b%b%b%b%b%b' \
+  '\x00\x00\x00\x02' '\x00\x00\x00\x02' \
+  '\x00\x00\x00\x00\x00\x00\x00\x20' \
+  '\x01\x04s.js' '\x7f\xf8\x00\x00\x00\x00\x00\x00' \
+  '\x00\x01\x05\x02\x0a\x01' > "$serve_dir/telemetry_reject.bin"
 # Reject paths: zero shards; huge batch (> kMaxBatch); unknown policy (13).
 printf '\x09\x1f\x0f\x01\x05%b%b%b' \
   '\x00\x00\x00\x00' '\x00\x00\x00\x02' \

@@ -29,6 +29,14 @@ cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build --target bench_perf_suite bench_serve_throughput \
   >/dev/null
 mkdir -p "$OUT"
+# Catch an unwritable output directory up front: a read-only $OUT would
+# otherwise surface as a confusing downstream parse error (or, worse, a
+# stale BENCH_perf.json silently gating the wrong run).
+if ! touch "$OUT/.write_probe" 2>/dev/null; then
+  echo "error: output directory '$OUT' is not writable" >&2
+  exit 1
+fi
+rm -f "$OUT/.write_probe"
 
 SHA=$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 build/bench/bench_perf_suite $QUICK --json "$OUT/BENCH_perf.solver.json" \
@@ -41,6 +49,24 @@ build/bench/bench_serve_throughput $QUICK \
 python3 scripts/check_perf_regression.py --out "$OUT/BENCH_perf.json" \
   --merge-max "$OUT/BENCH_perf.solver.json" "$OUT/BENCH_perf.serve.json"
 rm -f "$OUT/BENCH_perf.solver.json" "$OUT/BENCH_perf.serve.json"
+
+# Fail loudly if the merged artifact did not materialize or has no cells —
+# every downstream consumer (the gate, CI artifact upload, plotting)
+# assumes this file is real.
+if [[ ! -s "$OUT/BENCH_perf.json" ]]; then
+  echo "error: $OUT/BENCH_perf.json is missing or empty after the" \
+    "benchmark run; see the bench output above" >&2
+  exit 1
+fi
+if ! python3 -c "
+import json, sys
+with open('$OUT/BENCH_perf.json') as f:
+    doc = json.load(f)
+sys.exit(0 if doc.get('results') else 1)
+"; then
+  echo "error: $OUT/BENCH_perf.json contains no benchmark cells" >&2
+  exit 1
+fi
 
 if [[ -n "$QUICK" ]]; then
   BASELINE="bench_results/BENCH_baseline_quick.json"

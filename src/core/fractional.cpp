@@ -6,6 +6,7 @@
 
 #include "core/core_audit.h"
 #include "core/stopping_clock.h"
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 
 namespace wmlp {
@@ -71,6 +72,8 @@ void FractionalMlp::Attach(const Instance& instance) {
 
   events_processed_ = 0;
   segments_solved_ = 0;
+  newton_iterations_ = 0;
+  bisection_fallbacks_ = 0;
   schedule_.u.clear();
   if (options_.record_schedule) schedule_.u.push_back(u_);
 }
@@ -124,6 +127,10 @@ void FractionalMlp::GroupInsert(PageId p) {
     g.mass_sum = 0.0;
     g.lp_sum = 0.0;
     g.removals = 0;
+    if constexpr (telemetry::kEnabled) {
+      WMLP_TELEMETRY_COUNTER(rebases, "wmlp_fractional_empty_group_rebase_total");
+      rebases.Inc();
+    }
   } else if ((clock_ - g.base_s) / g.w > kMaxGroupExp) {
     RebuildGroup(g);
   }
@@ -177,6 +184,10 @@ void FractionalMlp::GroupRemove(PageId p) {
 }
 
 void FractionalMlp::RebuildGroup(Group& g) {
+  if constexpr (telemetry::kEnabled) {
+    WMLP_TELEMETRY_COUNTER(rebuilds, "wmlp_fractional_group_rebuild_total");
+    rebuilds.Inc();
+  }
   g.base_s = clock_;
   g.mass_sum = 0.0;
   g.lp_sum = 0.0;
@@ -251,6 +262,10 @@ void FractionalMlp::CompactHeapIfNeeded() {
 }
 
 void FractionalMlp::RenormalizeClock() {
+  if constexpr (telemetry::kEnabled) {
+    WMLP_TELEMETRY_COUNTER(renorms, "wmlp_fractional_clock_renorm_total");
+    renorms.Inc();
+  }
   const double c = clock_;
   std::vector<Event> fresh;
   fresh.reserve(static_cast<size_t>(active_count_));
@@ -307,6 +322,10 @@ void FractionalMlp::ProcessEvent(PageId p) {
   for (Level j = oldc; j <= ell_; ++j) u_[Idx(p, j)] = cap;
   ++gen_[sp];
   ++events_processed_;
+  if constexpr (telemetry::kEnabled) {
+    WMLP_TELEMETRY_COUNTER(events, "wmlp_fractional_events_total");
+    events.Inc();
+  }
 
   Level newc = 0;
   if (cap < 1.0) {
@@ -399,6 +418,11 @@ void FractionalMlp::Serve(Time /*t*/, const Request& r) {
   WMLP_CHECK(instance_ != nullptr);
   const Instance& inst = *instance_;
 
+  if constexpr (telemetry::kEnabled) {
+    WMLP_TELEMETRY_COUNTER(serves, "wmlp_fractional_serve_total");
+    serves.Inc();
+  }
+
   req_page_ = r.page;
   step1_changed_ = false;
   clock_advanced_ = false;
@@ -452,6 +476,10 @@ void FractionalMlp::Serve(Time /*t*/, const Request& r) {
         }
       }
       ++segments_solved_;
+      if constexpr (telemetry::kEnabled) {
+        WMLP_TELEMETRY_COUNTER(segments, "wmlp_fractional_segments_total");
+        segments.Inc();
+      }
       RebaseGroupsTo(ev.s);
 
       // Within the segment no caps bind, so the total gain over the active
@@ -477,8 +505,21 @@ void FractionalMlp::Serve(Time /*t*/, const Request& r) {
       const double gain_ev = gain_and_rate(ev.s, &rate_ev);
       if (gain_ev >= need - kEps) {
         // Stopping clock inside this segment.
-        const double s_apply =
-            SolveStoppingClock(gain_and_rate, need, ev.s, gain_ev, rate_ev);
+        StoppingClockStats sc_stats;
+        const double s_apply = SolveStoppingClock(
+            gain_and_rate, need, ev.s, gain_ev, rate_ev, &sc_stats);
+        newton_iterations_ += sc_stats.newton_iterations;
+        if (sc_stats.used_bisection) ++bisection_fallbacks_;
+        if constexpr (telemetry::kEnabled) {
+          WMLP_TELEMETRY_COUNTER(newton,
+                                 "wmlp_fractional_newton_iterations_total");
+          newton.Add(static_cast<uint64_t>(sc_stats.newton_iterations));
+          if (sc_stats.used_bisection) {
+            WMLP_TELEMETRY_COUNTER(bisect,
+                                   "wmlp_fractional_bisection_fallback_total");
+            bisect.Inc();
+          }
+        }
         AccrueCosts(clock_, s_apply);
         clock_ = s_apply;
         break;

@@ -119,6 +119,8 @@ class FractionalMlp final : public FractionalPolicy {
   // Introspection for tests and the perf suite.
   int64_t events_processed() const { return events_processed_; }
   int64_t segments_solved() const { return segments_solved_; }
+  int64_t newton_iterations() const { return newton_iterations_; }
+  int64_t bisection_fallbacks() const { return bisection_fallbacks_; }
   int32_t num_weight_groups() const {
     return static_cast<int32_t>(groups_.size());
   }
@@ -240,6 +242,8 @@ class FractionalMlp final : public FractionalPolicy {
 
   int64_t events_processed_ = 0;
   int64_t segments_solved_ = 0;
+  int64_t newton_iterations_ = 0;
+  int64_t bisection_fallbacks_ = 0;
 };
 
 }  // namespace wmlp

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "telemetry/telemetry.h"
 #include "util/audit.h"
 #include "util/check.h"
 
@@ -169,6 +170,14 @@ void RoundedMultiLevel::Serve(Time t, const Request& r, CacheOps& ops) {
       ops.Evict(victim);
       --suffix_cached;
       ++reset_evictions_;
+      if constexpr (telemetry::kEnabled) {
+        WMLP_TELEMETRY_COUNTER(resets, "wmlp_rounding_reset_evictions_total");
+        resets.Inc();
+        WMLP_TELEMETRY_HISTOGRAM(
+            by_class, "wmlp_rounding_reset_class",
+            ::wmlp::telemetry::HistogramLayout::PowerOfTwo());
+        by_class.Observe(static_cast<double>(c) + 1.0);
+      }
     }
   }
 

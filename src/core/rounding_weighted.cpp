@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/telemetry.h"
 #include "util/audit.h"
 #include "util/check.h"
 
@@ -104,6 +105,16 @@ void RoundedWeightedPaging::Serve(Time t, const Request& r, CacheOps& ops) {
       --cached_per_class_[static_cast<size_t>(c)];
       --suffix_cached;
       ++reset_evictions_;
+      if constexpr (telemetry::kEnabled) {
+        WMLP_TELEMETRY_COUNTER(resets, "wmlp_rounding_reset_evictions_total");
+        resets.Inc();
+        // Which weight class triggered the reset step: class index c lands
+        // in pow2 bucket floor(log2(c + 1)).
+        WMLP_TELEMETRY_HISTOGRAM(
+            by_class, "wmlp_rounding_reset_class",
+            ::wmlp::telemetry::HistogramLayout::PowerOfTwo());
+        by_class.Observe(static_cast<double>(c) + 1.0);
+      }
     }
   }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.h"
 #include "util/audit.h"
 #include "util/check.h"
 
@@ -30,6 +31,10 @@ void WaterfillPolicy::Attach(const Instance& instance) {
 }
 
 void WaterfillPolicy::HeapInsert(PageId p) {
+  if constexpr (telemetry::kEnabled) {
+    WMLP_TELEMETRY_COUNTER(pushes, "wmlp_waterfill_heap_push_total");
+    pushes.Inc();
+  }
   heap_.emplace_back(key_[static_cast<size_t>(p)], p);
   std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
   live_[static_cast<size_t>(p)] = 1;
@@ -39,9 +44,17 @@ void WaterfillPolicy::HeapInsert(PageId p) {
 void WaterfillPolicy::HeapErase(PageId p) {
   live_[static_cast<size_t>(p)] = 0;
   --live_size_;
+  if constexpr (telemetry::kEnabled) {
+    WMLP_TELEMETRY_COUNTER(erases, "wmlp_waterfill_heap_lazy_delete_total");
+    erases.Inc();
+  }
   // Lazy: the entry stays until it surfaces or a compaction sweeps it.
   if (heap_.size() > 64 &&
       heap_.size() > 2 * static_cast<size_t>(live_size_)) {
+    if constexpr (telemetry::kEnabled) {
+      WMLP_TELEMETRY_COUNTER(sweeps, "wmlp_waterfill_heap_compaction_total");
+      sweeps.Inc();
+    }
     heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
                                [&](const std::pair<double, PageId>& e) {
                                  const size_t sp =
@@ -65,6 +78,10 @@ PageId WaterfillPolicy::HeapPopMin() {
       live_[sp] = 0;
       --live_size_;
       return p;
+    }
+    if constexpr (telemetry::kEnabled) {
+      WMLP_TELEMETRY_COUNTER(stale, "wmlp_waterfill_heap_stale_pop_total");
+      stale.Inc();
     }
   }
 }
@@ -133,6 +150,12 @@ void WaterfillPolicy::ServeImpl(Time /*t*/, const Request& r,
     const PageId victim = HeapPopMin();
     // Raise the water until the minimum copy drowns.
     offset_ = std::max(offset_, key_[static_cast<size_t>(victim)]);
+    if constexpr (telemetry::kEnabled) {
+      WMLP_TELEMETRY_COUNTER(drowned, "wmlp_waterfill_drown_evictions_total");
+      drowned.Inc();
+      WMLP_TELEMETRY_GAUGE(clock, "wmlp_waterfill_water_clock");
+      clock.Set(offset_);
+    }
     ops.Evict(victim);
   }
   ops.Fetch(r.page, r.level);  // f(p_t, i_t) = 0 => remaining credit = w

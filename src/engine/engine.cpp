@@ -1,6 +1,8 @@
 #include "engine/engine.h"
 
 #include "sim/sim_audit.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace_span.h"
 #include "util/check.h"
 
 namespace wmlp {
@@ -17,10 +19,15 @@ Engine::Engine(RequestSource& source, Policy& policy,
 
 bool Engine::Step() {
   if (done_) return false;
+  telemetry::TraceSpan span("engine.step", "engine");
   Request r;
   if (!source_.Next(r)) {
     done_ = true;
     return false;
+  }
+  if constexpr (telemetry::kEnabled) {
+    WMLP_TELEMETRY_COUNTER(steps, "wmlp_engine_steps_total");
+    steps.Inc();
   }
   const Instance& inst = source_.instance();
   WMLP_CHECK_MSG(inst.valid_page(r.page) && inst.valid_level(r.level),
@@ -45,8 +52,16 @@ bool Engine::Step() {
   }
   if (hit) {
     ++hits_;
+    if constexpr (telemetry::kEnabled) {
+      WMLP_TELEMETRY_COUNTER(hit_count, "wmlp_engine_hits_total");
+      hit_count.Inc();
+    }
   } else {
     ++misses_;
+    if constexpr (telemetry::kEnabled) {
+      WMLP_TELEMETRY_COUNTER(miss_count, "wmlp_engine_misses_total");
+      miss_count.Inc();
+    }
   }
   if (options_.observer != nullptr) {
     options_.observer->OnStep(time_, r, hit);
@@ -62,6 +77,7 @@ int64_t Engine::RunFor(int64_t n) {
 }
 
 SimResult Engine::Run() {
+  telemetry::TraceSpan span("engine.run", "engine");
   while (Step()) {
   }
   return result();

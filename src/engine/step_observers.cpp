@@ -30,18 +30,18 @@ void LatencyHistogram::Start() {
   armed_ = true;
 }
 
+void LatencyHistogram::Record(uint64_t cycles) {
+  // floor(log2(cycles)), with 0 cycles landing in bucket 0.
+  const int bucket = cycles < 2 ? 0 : 63 - __builtin_clzll(cycles);
+  ++counts_[static_cast<size_t>(bucket < kBuckets ? bucket : kBuckets - 1)];
+  ++count_;
+  total_cycles_ += cycles;
+  if (cycles > max_cycles_) max_cycles_ = cycles;
+}
+
 void LatencyHistogram::OnStep(Time, const Request&, bool) {
   const uint64_t now = NowCycles();
-  if (armed_) {
-    const uint64_t cycles = now - last_;
-    // floor(log2(cycles)), with 0 cycles landing in bucket 0.
-    const int bucket =
-        cycles < 2 ? 0 : 63 - __builtin_clzll(cycles);
-    ++counts_[static_cast<size_t>(bucket < kBuckets ? bucket : kBuckets - 1)];
-    ++count_;
-    total_cycles_ += cycles;
-    if (cycles > max_cycles_) max_cycles_ = cycles;
-  }
+  if (armed_) Record(now - last_);
   last_ = now;
   armed_ = true;
 }

@@ -81,6 +81,10 @@ class LatencyHistogram final : public StepObserver {
 
   void OnStep(Time t, const Request& r, bool hit) override;
 
+  // Adds one sample directly (OnStep measures and delegates here). Public
+  // so tests can feed exact values against a sorted-vector oracle.
+  void Record(uint64_t cycles);
+
   // Re-arms the counter (e.g. after a pause between RunFor calls, so the
   // gap is not recorded as one giant latency).
   void Start();

@@ -1,8 +1,23 @@
 #include "server/inbox.h"
 
+#include <chrono>
+
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 
 namespace wmlp {
+
+namespace {
+
+// Telemetry only: nanoseconds on the steady clock, called solely inside
+// `if constexpr (telemetry::kEnabled)` blocks.
+[[maybe_unused]] int64_t NowNsForTelemetry() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 ShardInbox::ShardInbox(int32_t num_clients)
     : clients_(static_cast<size_t>(num_clients)) {
@@ -11,6 +26,12 @@ ShardInbox::ShardInbox(int32_t num_clients)
 
 void ShardInbox::Push(int32_t client, std::vector<SeqRequest>&& batch) {
   if (batch.empty()) return;
+  if constexpr (telemetry::kEnabled) {
+    WMLP_TELEMETRY_COUNTER(batches, "wmlp_inbox_push_batches_total");
+    batches.Inc();
+    WMLP_TELEMETRY_COUNTER(requests, "wmlp_inbox_push_requests_total");
+    requests.Add(batch.size());
+  }
   {
     std::unique_lock lock(mutex_);
     ClientQueue& q = clients_[static_cast<size_t>(client)];
@@ -50,8 +71,16 @@ bool ShardInbox::FinishedLocked() const {
 }
 
 size_t ShardInbox::PopReady(std::vector<SeqRequest>& out, size_t max_out) {
+  int64_t wait_start = 0;
+  if constexpr (telemetry::kEnabled) wait_start = NowNsForTelemetry();
   std::unique_lock lock(mutex_);
   ready_.wait(lock, [this] { return CanPopLocked() || FinishedLocked(); });
+  int64_t merge_start = 0;
+  if constexpr (telemetry::kEnabled) {
+    merge_start = NowNsForTelemetry();
+    WMLP_TELEMETRY_COUNTER(wait_ns, "wmlp_inbox_wait_ns_total");
+    wait_ns.Add(static_cast<uint64_t>(merge_start - wait_start));
+  }
   size_t popped = 0;
   while (popped < max_out && CanPopLocked()) {
     ClientQueue* best = nullptr;
@@ -64,6 +93,23 @@ size_t ShardInbox::PopReady(std::vector<SeqRequest>& out, size_t max_out) {
     out.push_back(best->queue.front());
     best->queue.pop_front();
     ++popped;
+  }
+  if constexpr (telemetry::kEnabled) {
+    WMLP_TELEMETRY_COUNTER(merge_ns, "wmlp_inbox_merge_ns_total");
+    merge_ns.Add(static_cast<uint64_t>(NowNsForTelemetry() - merge_start));
+    WMLP_TELEMETRY_COUNTER(pops, "wmlp_inbox_pop_batches_total");
+    pops.Inc();
+    WMLP_TELEMETRY_COUNTER(pop_requests, "wmlp_inbox_pop_requests_total");
+    pop_requests.Add(popped);
+    // Hold-back depth: requests still queued after the pop — present but
+    // not yet provably next in sequence order (or beyond max_out).
+    size_t held = 0;
+    for (const ClientQueue& q : clients_) held += q.queue.size();
+    WMLP_TELEMETRY_HISTOGRAM(depth, "wmlp_inbox_holdback_depth",
+                             ::wmlp::telemetry::HistogramLayout::PowerOfTwo());
+    depth.Observe(static_cast<double>(held));
+    WMLP_TELEMETRY_GAUGE(depth_now, "wmlp_inbox_holdback_depth_now");
+    depth_now.Set(static_cast<double>(held));
   }
   return popped;
 }

@@ -42,6 +42,12 @@ class ShardedMetrics {
   SimResult Totals() const;
   LatencyHistogram MergedLatency() const;
 
+  // Publishes per-shard counters into the telemetry registry in fixed
+  // shard order (shard 0 first — the same order Totals() folds in), plus
+  // serve-level totals. Runs on the calling (coordinator) thread after the
+  // joins, so it never races the workers; a no-op without WMLP_TELEMETRY.
+  void PublishTelemetry() const;
+
   int32_t num_shards() const {
     return static_cast<int32_t>(meters_.size());
   }

@@ -11,6 +11,8 @@
 #include "server/inbox.h"
 #include "server/metrics.h"
 #include "server/sharding.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace_span.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -108,6 +110,7 @@ std::string ValidateServeConfig(const Instance& instance,
 }
 
 ServeReport ServeTrace(const Trace& trace, const ServeOptions& options) {
+  telemetry::TraceSpan serve_span("server.serve_trace", "server");
   const std::string error = ValidateServeConfig(trace.instance, options);
   WMLP_CHECK_MSG(error.empty(), "bad serve config: " << error);
 
@@ -149,6 +152,7 @@ ServeReport ServeTrace(const Trace& trace, const ServeOptions& options) {
   for (int32_t s = 0; s < shards; ++s) {
     if (map.shard_empty(s)) continue;
     workers.emplace_back([&results, &engines, s] {
+      telemetry::TraceSpan shard_span("server.shard_worker", "server");
       const auto idx = static_cast<size_t>(s);
       results[idx] = engines[idx]->Run();
     });
@@ -197,6 +201,14 @@ ServeReport ServeTrace(const Trace& trace, const ServeOptions& options) {
                            << " requests");
   report.totals = metrics.Totals();
   if (options.collect_latency) report.latency = metrics.MergedLatency();
+  // Publish after the joins and witness checks, in fixed shard order;
+  // telemetry reads the meters, it never feeds back into the report.
+  metrics.PublishTelemetry();
+  if constexpr (telemetry::kEnabled) {
+    telemetry::Registry::Get()
+        .GetGauge("wmlp_serve_last_wall_seconds")
+        .Set(wall_seconds);
+  }
   return report;
 }
 

@@ -1,0 +1,316 @@
+#include "telemetry/export.h"
+
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "telemetry/trace_span.h"
+#include "util/check.h"
+
+namespace wmlp::telemetry {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Splits "name{labels}" into its base and label list so histogram
+// exposition can suffix the base and merge an `le` label.
+void SplitLabels(const std::string& name, std::string* base,
+                 std::string* labels) {
+  std::size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  // Interior of "{...}" (registration forbids nothing here; the writer just
+  // echoes it back).
+  std::size_t close = name.rfind('}');
+  *labels = name.substr(brace + 1,
+                        close == std::string::npos || close <= brace
+                            ? std::string::npos
+                            : close - brace - 1);
+}
+
+std::string WithLabels(const std::string& base, const std::string& labels) {
+  if (labels.empty()) return base;
+  return base + "{" + labels + "}";
+}
+
+std::string BucketUpperEdge(const MetricSnapshot& m, std::size_t bucket) {
+  if (m.pow2) {
+    if (bucket + 1 >= m.bucket_counts.size()) return "+Inf";
+    return FmtDouble(std::ldexp(1.0, static_cast<int>(bucket) + 1));
+  }
+  if (bucket >= m.bounds.size()) return "+Inf";
+  return FmtDouble(m.bounds[bucket]);
+}
+
+}  // namespace
+
+void WritePrometheusText(std::ostream& os,
+                         const std::vector<MetricSnapshot>& metrics) {
+  for (const MetricSnapshot& m : metrics) {
+    std::string base, labels;
+    SplitLabels(m.name, &base, &labels);
+    switch (m.type) {
+      case MetricType::kCounter:
+        os << "# TYPE " << base << " counter\n"
+           << m.name << " " << m.counter_value << "\n";
+        break;
+      case MetricType::kGauge:
+        os << "# TYPE " << base << " gauge\n"
+           << m.name << " " << FmtDouble(m.gauge_value) << "\n";
+        break;
+      case MetricType::kHistogram: {
+        os << "# TYPE " << base << " histogram\n";
+        uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < m.bucket_counts.size(); ++b) {
+          cumulative += m.bucket_counts[b];
+          std::string le = "le=\"" + BucketUpperEdge(m, b) + "\"";
+          std::string lab = labels.empty() ? le : labels + "," + le;
+          os << WithLabels(base + "_bucket", lab) << " " << cumulative << "\n";
+        }
+        os << WithLabels(base + "_sum", labels) << " " << FmtDouble(m.hist_sum)
+           << "\n"
+           << WithLabels(base + "_count", labels) << " " << m.hist_count
+           << "\n";
+        break;
+      }
+    }
+  }
+}
+
+std::string SnapshotToJson(const std::vector<MetricSnapshot>& metrics,
+                           double uptime_seconds) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"schema\": \"wmlp-telemetry-snapshot-v1\",\n"
+     << "  \"telemetry_compiled\": " << (kEnabled ? "true" : "false") << ",\n"
+     << "  \"uptime_seconds\": " << FmtDouble(uptime_seconds) << ",\n"
+     << "  \"metrics\": [";
+  bool first = true;
+  for (const MetricSnapshot& m : metrics) {
+    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << JsonEscape(m.name)
+       << "\", ";
+    first = false;
+    switch (m.type) {
+      case MetricType::kCounter:
+        os << "\"type\": \"counter\", \"value\": " << m.counter_value << "}";
+        break;
+      case MetricType::kGauge:
+        os << "\"type\": \"gauge\", \"value\": " << FmtDouble(m.gauge_value)
+           << "}";
+        break;
+      case MetricType::kHistogram: {
+        os << "\"type\": \"histogram\", \"count\": " << m.hist_count
+           << ", \"sum\": " << FmtDouble(m.hist_sum) << ", \"layout\": \""
+           << (m.pow2 ? "pow2" : "explicit") << "\"";
+        if (!m.pow2) {
+          os << ", \"bounds\": [";
+          for (std::size_t i = 0; i < m.bounds.size(); ++i) {
+            os << (i ? "," : "") << FmtDouble(m.bounds[i]);
+          }
+          os << "]";
+        }
+        os << ", \"counts\": [";
+        for (std::size_t b = 0; b < m.bucket_counts.size(); ++b) {
+          os << (b ? "," : "") << m.bucket_counts[b];
+        }
+        os << "]}";
+        break;
+      }
+    }
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+bool WriteSnapshotJson(const std::string& path, double uptime_seconds,
+                       std::string* err) {
+  std::string body =
+      SnapshotToJson(Registry::Get().Collect(), uptime_seconds);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (err) *err = "cannot open telemetry snapshot file: " + path;
+    return false;
+  }
+  out << body;
+  out.flush();
+  if (!out) {
+    if (err) *err = "write failed for telemetry snapshot file: " + path;
+    return false;
+  }
+  return true;
+}
+
+bool WriteTraceJson(const std::string& path, std::string* err) {
+  std::vector<TraceEvent> events = Tracer::Drain();
+  if (int64_t dropped = Tracer::dropped(); dropped > 0) {
+    std::cerr << "warning: trace buffer cap dropped " << dropped
+              << " events\n";
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (err) *err = "cannot open trace file: " + path;
+    return false;
+  }
+  out << TraceEventsToJson(events);
+  out.flush();
+  if (!out) {
+    if (err) *err = "write failed for trace file: " + path;
+    return false;
+  }
+  return true;
+}
+
+std::string ValidateTelemetryRunOptions(const TelemetryRunOptions& options) {
+  for (const std::string* path : {&options.telemetry_out, &options.trace_out}) {
+    for (char ch : *path) {
+      if (static_cast<unsigned char>(ch) < 0x20) {
+        return "telemetry output path contains control characters";
+      }
+    }
+  }
+  if (!options.telemetry_out.empty() &&
+      options.telemetry_out == options.trace_out) {
+    return "--telemetry-out and --trace-out must name different files";
+  }
+  if (!std::isfinite(options.stats_interval)) {
+    return "--stats-interval must be finite";
+  }
+  if (options.stats_interval < 0.0) {
+    return "--stats-interval must be >= 0";
+  }
+  if (options.stats_interval != 0.0 &&
+      (options.stats_interval < 0.01 || options.stats_interval > 86400.0)) {
+    return "--stats-interval must be in [0.01, 86400] seconds (or 0 = off)";
+  }
+  return "";
+}
+
+struct TelemetrySession::Impl {
+  TelemetryRunOptions options;
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  bool finished = false;
+  bool armed_tracer = false;
+
+  std::thread stats_thread;
+  std::mutex stats_mu;
+  std::condition_variable stats_cv;
+  bool stats_stop = false;
+
+  void StatsLoop() {
+    auto interval = std::chrono::duration<double>(options.stats_interval);
+    std::unique_lock<std::mutex> lock(stats_mu);
+    while (!stats_cv.wait_for(lock, interval, [this] { return stats_stop; })) {
+      lock.unlock();
+      double uptime =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      std::ostringstream os;
+      os << "# wmlp telemetry t=" << uptime << "s\n";
+      WritePrometheusText(os, Registry::Get().Collect());
+      std::cerr << os.str();
+      lock.lock();
+    }
+  }
+};
+
+TelemetrySession::TelemetrySession(const TelemetryRunOptions& options)
+    : impl_(new Impl) {
+  std::string invalid = ValidateTelemetryRunOptions(options);
+  WMLP_CHECK_MSG(invalid.empty(),
+                 "TelemetrySession given unvalidated options");
+  impl_->options = options;
+  if (!options.trace_out.empty()) {
+    Tracer::Arm();
+    impl_->armed_tracer = true;
+  }
+  if (options.stats_interval > 0.0) {
+    impl_->stats_thread = std::thread([this] { impl_->StatsLoop(); });
+  }
+}
+
+bool TelemetrySession::Finish(std::string* err) {
+  Impl& im = *impl_;
+  if (im.finished) return true;
+  im.finished = true;
+  if (im.stats_thread.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(im.stats_mu);
+      im.stats_stop = true;
+    }
+    im.stats_cv.notify_all();
+    im.stats_thread.join();
+  }
+  if (im.armed_tracer) Tracer::Disarm();
+  double uptime = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - im.start)
+                      .count();
+  bool ok = true;
+  std::string first_err;
+  if (!im.options.telemetry_out.empty()) {
+    std::string e;
+    if (!WriteSnapshotJson(im.options.telemetry_out, uptime, &e)) {
+      ok = false;
+      first_err = e;
+    }
+  }
+  if (!im.options.trace_out.empty()) {
+    std::string e;
+    if (!WriteTraceJson(im.options.trace_out, &e) && ok) {
+      ok = false;
+      first_err = e;
+    }
+  }
+  if (!ok && err) *err = first_err;
+  return ok;
+}
+
+TelemetrySession::~TelemetrySession() {
+  std::string err;
+  if (!Finish(&err) && !err.empty()) {
+    std::cerr << "warning: " << err << "\n";
+  }
+  delete impl_;
+}
+
+}  // namespace wmlp::telemetry

@@ -1,0 +1,80 @@
+// Telemetry exporters and the CLI-facing run-options surface.
+//
+//   WritePrometheusText   Prometheus text exposition of a Collect()ed
+//                         snapshot (counters/gauges as-is, histograms as
+//                         _count/_sum/_bucket{le=...} with cumulative
+//                         buckets).
+//   SnapshotToJson /      the "wmlp-telemetry-snapshot-v1" JSON document
+//   WriteSnapshotJson     (schema: docs/telemetry_schema.json; reader:
+//                         telemetry/snapshot_reader.h; checker:
+//                         scripts/check_telemetry_schema.py).
+//   WriteTraceJson        drains the tracer into a Chrome/Perfetto
+//                         trace_event file.
+//   TelemetryRunOptions + the --telemetry-out/--trace-out/--stats-interval
+//   TelemetrySession      contract shared by wmlp_run / wmlp_wbrun /
+//                         wmlp_serve (and fuzzed by fuzz_serve_config).
+//
+// Everything here works in telemetry-OFF builds too: the registry simply
+// holds no instrumented values, so snapshots come out schema-valid with
+// `"telemetry_compiled": false` and an empty (or tool-populated) metric set.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace wmlp::telemetry {
+
+void WritePrometheusText(std::ostream& os,
+                         const std::vector<MetricSnapshot>& metrics);
+
+std::string SnapshotToJson(const std::vector<MetricSnapshot>& metrics,
+                           double uptime_seconds);
+
+// Collects the registry and writes the snapshot JSON to `path`. Returns
+// false (with `*err` set) on I/O failure.
+bool WriteSnapshotJson(const std::string& path, double uptime_seconds,
+                       std::string* err);
+
+// Drains the tracer and writes trace_event JSON to `path`. Warns on stderr
+// if events were dropped at the per-thread buffer cap.
+bool WriteTraceJson(const std::string& path, std::string* err);
+
+// The telemetry options every instrumented tool accepts. Empty path / zero
+// interval = that output disabled.
+struct TelemetryRunOptions {
+  std::string telemetry_out;     // --telemetry-out: snapshot JSON path
+  std::string trace_out;         // --trace-out: Perfetto trace path
+  double stats_interval = 0.0;   // --stats-interval: seconds between
+                                 // periodic stderr stats dumps
+};
+
+// Returns "" when the options are usable, else a human-readable error.
+// Rejects non-finite/negative intervals, intervals outside [0.01 s, 1 day],
+// control characters in paths, and both outputs aimed at the same file.
+std::string ValidateTelemetryRunOptions(const TelemetryRunOptions& options);
+
+// RAII wrapper a tool creates after flag parsing: arms the tracer when a
+// trace is requested, runs the periodic stats thread, and on Finish()
+// (or destruction) writes the requested snapshot/trace files.
+class TelemetrySession {
+ public:
+  // `options` must already be validated; a non-empty validation error here
+  // aborts (programmer error, not user error).
+  explicit TelemetrySession(const TelemetryRunOptions& options);
+  ~TelemetrySession();
+  TelemetrySession(const TelemetrySession&) = delete;
+  TelemetrySession& operator=(const TelemetrySession&) = delete;
+
+  // Stops the stats thread, disarms the tracer, writes the output files.
+  // Idempotent. Returns false with `*err` set on the first I/O failure.
+  bool Finish(std::string* err);
+
+ private:
+  struct Impl;
+  Impl* impl_;  // manual pimpl; freed in the destructor
+};
+
+}  // namespace wmlp::telemetry

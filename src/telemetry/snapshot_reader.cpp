@@ -1,0 +1,375 @@
+#include "telemetry/snapshot_reader.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace wmlp::telemetry {
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* err) : text_(text), err_(err) {}
+
+  bool ParseDocument(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out, 0)) return false;
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing characters after document");
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  bool Fail(const std::string& what) {
+    if (err_ && err_->empty()) {
+      std::ostringstream os;
+      os << "JSON parse error at offset " << pos_ << ": " << what;
+      *err_ = os.str();
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Eat(char expected) {
+    if (pos_ >= text_.size() || text_[pos_] != expected) {
+      return Fail(std::string("expected '") + expected + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"': {
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string_value);
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          out->kind = JsonValue::Kind::kBool;
+          out->bool_value = true;
+          return true;
+        }
+        return Fail("bad literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          out->kind = JsonValue::Kind::kBool;
+          out->bool_value = false;
+          return true;
+        }
+        return Fail("bad literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          out->kind = JsonValue::Kind::kNull;
+          return true;
+        }
+        return Fail("bad literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kObject;
+    if (!Eat('{')) return false;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (!Eat(':')) return false;
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->object[key] = std::move(value);
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Eat('}');
+    }
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kArray;
+    if (!Eat('[')) return false;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->array.push_back(std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Eat(']');
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Eat('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("truncated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("bad \\u escape");
+          }
+          // Exporters only escape control characters, which are ASCII; wider
+          // code points would need UTF-8 encoding this reader doesn't do.
+          if (code > 0x7f) return Fail("\\u escape beyond ASCII unsupported");
+          *out += static_cast<char>(code);
+          break;
+        }
+        default: return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Fail("expected a value");
+    std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || errno == ERANGE ||
+        !std::isfinite(value)) {
+      return Fail("bad number '" + token + "'");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number_value = value;
+    return true;
+  }
+
+  std::string_view text_;
+  std::string* err_;
+  std::size_t pos_ = 0;
+};
+
+bool ExpectString(const JsonValue& obj, const std::string& key,
+                  std::string* out, std::string* err) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kString) {
+    if (err) *err = "snapshot: missing or non-string field '" + key + "'";
+    return false;
+  }
+  *out = v->string_value;
+  return true;
+}
+
+bool ExpectNumber(const JsonValue& obj, const std::string& key, double* out,
+                  std::string* err) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
+    if (err) *err = "snapshot: missing or non-number field '" + key + "'";
+    return false;
+  }
+  *out = v->number_value;
+  return true;
+}
+
+bool ParseMetric(const JsonValue& node, MetricSnapshot* out, std::string* err) {
+  if (!node.is_object()) {
+    if (err) *err = "snapshot: metric entry is not an object";
+    return false;
+  }
+  std::string type;
+  if (!ExpectString(node, "name", &out->name, err)) return false;
+  if (!ExpectString(node, "type", &type, err)) return false;
+  if (type == "counter") {
+    out->type = MetricType::kCounter;
+    double value;
+    if (!ExpectNumber(node, "value", &value, err)) return false;
+    out->counter_value = static_cast<uint64_t>(value);
+  } else if (type == "gauge") {
+    out->type = MetricType::kGauge;
+    if (!ExpectNumber(node, "value", &out->gauge_value, err)) return false;
+  } else if (type == "histogram") {
+    out->type = MetricType::kHistogram;
+    double count;
+    if (!ExpectNumber(node, "count", &count, err)) return false;
+    out->hist_count = static_cast<uint64_t>(count);
+    if (!ExpectNumber(node, "sum", &out->hist_sum, err)) return false;
+    std::string layout;
+    if (!ExpectString(node, "layout", &layout, err)) return false;
+    if (layout != "pow2" && layout != "explicit") {
+      if (err) *err = "snapshot: metric '" + out->name + "' has bad layout";
+      return false;
+    }
+    out->pow2 = layout == "pow2";
+    if (!out->pow2) {
+      const JsonValue* bounds = node.Find("bounds");
+      if (bounds == nullptr || !bounds->is_array()) {
+        if (err) *err = "snapshot: explicit histogram missing bounds";
+        return false;
+      }
+      for (const JsonValue& b : bounds->array) {
+        if (b.kind != JsonValue::Kind::kNumber) {
+          if (err) *err = "snapshot: non-number histogram bound";
+          return false;
+        }
+        out->bounds.push_back(b.number_value);
+      }
+    }
+    const JsonValue* counts = node.Find("counts");
+    if (counts == nullptr || !counts->is_array()) {
+      if (err) *err = "snapshot: histogram missing counts";
+      return false;
+    }
+    for (const JsonValue& c : counts->array) {
+      if (c.kind != JsonValue::Kind::kNumber) {
+        if (err) *err = "snapshot: non-number histogram bucket count";
+        return false;
+      }
+      out->bucket_counts.push_back(static_cast<uint64_t>(c.number_value));
+    }
+    std::size_t expected = out->pow2 ? 64 : out->bounds.size() + 1;
+    if (out->bucket_counts.size() != expected) {
+      if (err) {
+        *err = "snapshot: metric '" + out->name +
+               "' bucket count array has the wrong length";
+      }
+      return false;
+    }
+  } else {
+    if (err) *err = "snapshot: unknown metric type '" + type + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ParseJson(std::string_view text, JsonValue* out, std::string* err) {
+  if (err) err->clear();
+  Parser parser(text, err);
+  return parser.ParseDocument(out);
+}
+
+bool ParseSnapshot(std::string_view text, SnapshotFile* out,
+                   std::string* err) {
+  JsonValue doc;
+  if (!ParseJson(text, &doc, err)) return false;
+  if (!doc.is_object()) {
+    if (err) *err = "snapshot: document is not an object";
+    return false;
+  }
+  if (!ExpectString(doc, "schema", &out->schema, err)) return false;
+  if (out->schema != "wmlp-telemetry-snapshot-v1") {
+    if (err) *err = "snapshot: unknown schema '" + out->schema + "'";
+    return false;
+  }
+  const JsonValue* compiled = doc.Find("telemetry_compiled");
+  if (compiled == nullptr || compiled->kind != JsonValue::Kind::kBool) {
+    if (err) *err = "snapshot: missing or non-bool 'telemetry_compiled'";
+    return false;
+  }
+  out->telemetry_compiled = compiled->bool_value;
+  if (!ExpectNumber(doc, "uptime_seconds", &out->uptime_seconds, err)) {
+    return false;
+  }
+  const JsonValue* metrics = doc.Find("metrics");
+  if (metrics == nullptr || !metrics->is_array()) {
+    if (err) *err = "snapshot: missing or non-array 'metrics'";
+    return false;
+  }
+  out->metrics.clear();
+  for (const JsonValue& node : metrics->array) {
+    MetricSnapshot metric;
+    if (!ParseMetric(node, &metric, err)) return false;
+    out->metrics.push_back(std::move(metric));
+  }
+  return true;
+}
+
+bool ReadSnapshotFile(const std::string& path, SnapshotFile* out,
+                      std::string* err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (err) *err = "cannot open snapshot file: " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseSnapshot(buf.str(), out, err);
+}
+
+}  // namespace wmlp::telemetry

@@ -1,0 +1,59 @@
+// Minimal JSON reader for telemetry snapshot files.
+//
+// The repo deliberately has no external JSON dependency; this is a small
+// strict recursive-descent parser covering exactly what the exporters emit
+// (objects, arrays, strings with the common escapes, numbers, booleans,
+// null) plus a typed loader for "wmlp-telemetry-snapshot-v1" documents.
+// wmlp_stats and the telemetry tests are the consumers; it is NOT a
+// general-purpose parser (no \uXXXX surrogate pairs, 256-deep nesting cap).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace wmlp::telemetry {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  // Insertion order is irrelevant for our documents; a sorted map keeps
+  // lookups simple.
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  // Returns nullptr when missing or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+// Parses exactly one JSON document (trailing non-whitespace is an error).
+// Returns false with a position-annotated message in `*err` on failure.
+bool ParseJson(std::string_view text, JsonValue* out, std::string* err);
+
+// A loaded snapshot file: header fields + per-metric values reusing
+// MetricSnapshot from telemetry.h.
+struct SnapshotFile {
+  std::string schema;
+  bool telemetry_compiled = false;
+  double uptime_seconds = 0.0;
+  std::vector<MetricSnapshot> metrics;
+};
+
+// Parses a snapshot document from text / from a file, validating the
+// "wmlp-telemetry-snapshot-v1" structure (same rules as
+// scripts/check_telemetry_schema.py).
+bool ParseSnapshot(std::string_view text, SnapshotFile* out, std::string* err);
+bool ReadSnapshotFile(const std::string& path, SnapshotFile* out,
+                      std::string* err);
+
+}  // namespace wmlp::telemetry

@@ -1,0 +1,145 @@
+// LatencyHistogram percentile-interpolation tests (satellite of the
+// telemetry PR): exact values at bucket boundaries, the single-sample
+// case, and post-Merge p50/p99 agreement with a sorted-vector oracle.
+// Samples are injected through Record(), so no cycle counter is involved
+// and every expectation is exact arithmetic on the documented
+// linear-within-log2-bucket rule.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "engine/step_observers.h"
+
+namespace wmlp {
+namespace {
+
+// The log2 bucket Record() files `v` under, mirroring the implementation's
+// documented rule (v < 2 -> bucket 0; bucket b covers [2^b, 2^{b+1})).
+int BucketOf(uint64_t v) {
+  return v < 2 ? 0 : 63 - __builtin_clzll(v);
+}
+
+// Oracle: the smallest sorted value with rank >= q * n, matching the
+// histogram's "target = q * count" walk.
+uint64_t OracleQuantile(std::vector<uint64_t> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  const double target = q * static_cast<double>(samples.size());
+  const size_t index =
+      target <= 1.0
+          ? 0
+          : static_cast<size_t>(std::ceil(target)) - 1;
+  return samples[std::min(index, samples.size() - 1)];
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean_cycles(), 0.0);
+  EXPECT_EQ(h.max_cycles(), 0u);
+}
+
+TEST(LatencyHistogramTest, SingleSampleInterpolatesWithinItsBucket) {
+  LatencyHistogram h;
+  h.Record(5);  // bucket 2: [4, 8)
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.max_cycles(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean_cycles(), 5.0);
+  // target = q * 1, one sample in [4, 8): Quantile(q) = 4 + q * 4.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 6.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 8.0);
+  // Out-of-range q clamps.
+  EXPECT_DOUBLE_EQ(h.Quantile(-3.0), h.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(7.0), h.Quantile(1.0));
+}
+
+TEST(LatencyHistogramTest, ExactBucketBoundaryValues) {
+  // A sample sitting exactly on a power of two is the lower edge of its
+  // bucket, so Quantile(0) must return the value itself.
+  for (const uint64_t v : {uint64_t{2}, uint64_t{8}, uint64_t{1} << 20,
+                           uint64_t{1} << 40}) {
+    LatencyHistogram h;
+    h.Record(v);
+    EXPECT_DOUBLE_EQ(h.Quantile(0.0), static_cast<double>(v)) << "v=" << v;
+    EXPECT_DOUBLE_EQ(h.Quantile(1.0), static_cast<double>(2 * v));
+  }
+  // Sub-2 samples (0 and 1) all land in bucket 0, spanning [0, 2).
+  LatencyHistogram small;
+  small.Record(0);
+  small.Record(1);
+  EXPECT_DOUBLE_EQ(small.Quantile(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(small.Quantile(0.5), 1.0);
+}
+
+TEST(LatencyHistogramTest, EvenSplitAcrossTwoBucketsInterpolatesExactly) {
+  LatencyHistogram h;
+  // Four samples in bucket 2 ([4,8)), four in bucket 4 ([16,32)).
+  for (int i = 0; i < 4; ++i) h.Record(4);
+  for (int i = 0; i < 4; ++i) h.Record(16);
+  // target = 0.5 * 8 = 4 lands exactly on bucket 2's cumulative edge:
+  // frac = 4/4 = 1 -> its upper edge.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 8.0);
+  // target = 0.25 * 8 = 2 -> halfway through bucket 2.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 6.0);
+  // target = 0.75 * 8 = 6 -> halfway through bucket 4.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.75), 24.0);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesRecordingEverythingIntoOne) {
+  // Deterministic LCG; spans several orders of magnitude like real cycle
+  // counts.
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return (state >> 33) % 1000000 + 1;
+  };
+  LatencyHistogram a, b, combined;
+  std::vector<uint64_t> all;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = next();
+    (i % 2 == 0 ? a : b).Record(v);
+    combined.Record(v);
+    all.push_back(v);
+  }
+  LatencyHistogram merged;
+  merged.Merge(a);
+  merged.Merge(b);
+
+  // Merging loses nothing the buckets had not already lost: identical
+  // counts, identical quantiles at every probe.
+  EXPECT_EQ(merged.count(), combined.count());
+  EXPECT_EQ(merged.max_cycles(), combined.max_cycles());
+  EXPECT_DOUBLE_EQ(merged.mean_cycles(), combined.mean_cycles());
+  for (const double q : {0.0, 0.01, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(merged.Quantile(q), combined.Quantile(q)) << "q=" << q;
+  }
+
+  // p50/p99 agree with the sorted-vector oracle up to bucket resolution:
+  // the interpolated value lies inside the oracle value's log2 bucket.
+  for (const double q : {0.5, 0.99}) {
+    const uint64_t oracle = OracleQuantile(all, q);
+    const int bucket = BucketOf(oracle);
+    const double lo = bucket == 0 ? 0.0 : std::ldexp(1.0, bucket);
+    const double hi = std::ldexp(1.0, bucket + 1);
+    const double got = merged.Quantile(q);
+    EXPECT_GE(got, lo) << "q=" << q << " oracle=" << oracle;
+    EXPECT_LE(got, hi) << "q=" << q << " oracle=" << oracle;
+  }
+}
+
+TEST(LatencyHistogramTest, MeanAndMaxTrackRawSamples) {
+  LatencyHistogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(90);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.mean_cycles(), 40.0);
+  EXPECT_EQ(h.max_cycles(), 90u);
+}
+
+}  // namespace
+}  // namespace wmlp

@@ -12,6 +12,8 @@
 #include <map>
 #include <string>
 
+#include "telemetry/export.h"
+
 namespace wmlp::tools {
 
 [[noreturn]] inline void Die(const std::string& message) {
@@ -71,5 +73,19 @@ class Flags {
  private:
   std::map<std::string, std::string> values_;
 };
+
+// The shared --telemetry-out/--trace-out/--stats-interval surface. Dies on
+// invalid combinations so every tool rejects them identically; the result
+// is safe to hand straight to telemetry::TelemetrySession.
+inline telemetry::TelemetryRunOptions ParseTelemetryFlags(
+    const Flags& flags) {
+  telemetry::TelemetryRunOptions options;
+  options.telemetry_out = flags.GetString("telemetry-out");
+  options.trace_out = flags.GetString("trace-out");
+  options.stats_interval = flags.GetDouble("stats-interval", 0.0);
+  const std::string err = telemetry::ValidateTelemetryRunOptions(options);
+  if (!err.empty()) Die(err);
+  return options;
+}
 
 }  // namespace wmlp::tools

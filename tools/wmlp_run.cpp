@@ -6,6 +6,10 @@
 //   wmlp_run --trace-stream t.wmlp --policy lru [--chunk 4096] [--latency]
 //   wmlp_run --import accesses.log --k 64 [--dirty 10] [--clean 1] ...
 //
+// All modes accept --telemetry-out (snapshot JSON), --trace-out (Perfetto
+// trace_event JSON), and --stats-interval (periodic Prometheus text on
+// stderr); see src/telemetry/export.h.
+//
 // --trace-stream replays the same format incrementally through the engine's
 // StreamingFileSource, holding only O(chunk) requests in memory — use it for
 // traces that do not fit in RAM. --latency additionally prints per-request
@@ -95,6 +99,10 @@ int main(int argc, char** argv) {
     tools::Die("unknown policy '" + policy_name + "'; known:" + names);
   }
 
+  const telemetry::TelemetryRunOptions topts =
+      tools::ParseTelemetryFlags(flags);
+  telemetry::TelemetrySession telemetry_session(topts);
+
   if (!stream_path.empty()) {
     if (flags.Has("opt")) {
       tools::Die("--opt needs the whole trace in memory; use --trace");
@@ -127,6 +135,8 @@ int main(int argc, char** argv) {
                 << " p99=" << Fmt(histogram.Quantile(0.99), 0)
                 << " max=" << histogram.max_cycles() << "\n";
     }
+    std::string terr;
+    if (!telemetry_session.Finish(&terr)) tools::Die(terr);
     return 0;
   }
 
@@ -190,5 +200,6 @@ int main(int argc, char** argv) {
                 << Fmt(cost.mean() / b.lower, 3) << "]\n";
     }
   }
+  if (!telemetry_session.Finish(&err)) tools::Die(err);
   return 0;
 }

@@ -3,6 +3,8 @@
 // Usage:
 //   wmlp_serve --trace t.wmlp [--shards 4] [--clients 2] [--batch 256]
 //              [--policy waterfill] [--seed 1] [--latency] [--compare]
+//              [--telemetry-out s.json] [--trace-out t.json]
+//              [--stats-interval 1.0]
 //
 // Hash-partitions the trace's pages across --shards independent policy
 // instances, feeds them from --clients submitting threads in --batch-sized
@@ -16,6 +18,12 @@
 // across the per-shard cycle-counter histograms. --compare also runs the
 // unsharded engine on the same trace and prints the sharding penalty
 // (sharded cost / monolithic cost).
+//
+// --telemetry-out writes a wmlp-telemetry-snapshot-v1 JSON of every
+// registered metric at exit; --trace-out writes Chrome/Perfetto trace_event
+// JSON of the engine/server spans; --stats-interval N dumps Prometheus text
+// to stderr every N seconds while serving. In telemetry-OFF builds the
+// files are still written (schema-valid, but with no instrumented values).
 #include <iostream>
 
 #include "engine/engine.h"
@@ -50,12 +58,16 @@ int main(int argc, char** argv) {
   if (raw_shards != options.shards) tools::Die("--shards out of range");
   if (raw_clients != options.clients) tools::Die("--clients out of range");
 
+  const telemetry::TelemetryRunOptions topts =
+      tools::ParseTelemetryFlags(flags);
+
   std::string err;
   const auto trace = ReadTraceFile(path, &err);
   if (!trace) tools::Die(err);
   err = ValidateServeConfig(trace->instance, options);
   if (!err.empty()) tools::Die(err);
 
+  telemetry::TelemetrySession telemetry_session(topts);
   const ServeReport report = ServeTrace(*trace, options);
 
   std::cout << "policy " << options.policy << " on " << path << " ("
@@ -109,5 +121,6 @@ int main(int argc, char** argv) {
                       : std::string("n/a"))
               << "x\n";
   }
+  if (!telemetry_session.Finish(&err)) tools::Die(err);
   return 0;
 }

@@ -1,0 +1,205 @@
+// Offline reporter over telemetry snapshot files.
+//
+// Usage:
+//   wmlp_stats --snapshot s.json                 summarize one snapshot
+//   wmlp_stats --snapshot s.json --prometheus    re-emit Prometheus text
+//   wmlp_stats --snapshot b.json --base a.json   diff: b minus a
+//   ... [--filter substr]                        restrict to matching names
+//
+// The summary prints one row per metric: counters as their value, gauges
+// as-is, histograms as count/mean/p50/p99 interpolated from the stored
+// buckets (the same linear-within-bucket rule as LatencyHistogram).
+// Diff mode subtracts the base snapshot metric-by-metric — counters and
+// histogram buckets as unsigned deltas (a counter that went backwards is
+// reported as an error, since counters are monotone within a process),
+// gauges as signed deltas — and summarizes the difference, which turns two
+// snapshots taken around a phase into that phase's own report.
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/table.h"
+#include "telemetry/export.h"
+#include "telemetry/snapshot_reader.h"
+#include "tool_util.h"
+
+namespace wmlp {
+namespace {
+
+using telemetry::MetricSnapshot;
+using telemetry::MetricType;
+using telemetry::SnapshotFile;
+
+// Linear-within-bucket quantile over the snapshot's stored buckets. Bucket
+// edges: pow2 -> [2^b, 2^{b+1}) with bucket 0 starting at 0; explicit ->
+// (prev_bound, bounds[i]] with a final overflow bucket treated as
+// [last_bound, 2*last_bound) for interpolation purposes.
+double HistQuantile(const MetricSnapshot& m, double q) {
+  if (m.hist_count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(m.hist_count);
+  double seen = 0.0;
+  for (size_t b = 0; b < m.bucket_counts.size(); ++b) {
+    const double c = static_cast<double>(m.bucket_counts[b]);
+    if (c == 0.0) continue;
+    if (seen + c >= target) {
+      double lo, hi;
+      if (m.pow2) {
+        lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b));
+        hi = std::ldexp(1.0, static_cast<int>(b) + 1);
+      } else if (b < m.bounds.size()) {
+        lo = b == 0 ? 0.0 : m.bounds[b - 1];
+        hi = m.bounds[b];
+      } else {  // overflow bucket: no upper edge; extrapolate one doubling
+        lo = m.bounds.empty() ? 0.0 : m.bounds.back();
+        hi = lo > 0.0 ? 2.0 * lo : 1.0;
+      }
+      const double frac = (target - seen) / c;
+      return lo + frac * (hi - lo);
+    }
+    seen += c;
+  }
+  return 0.0;
+}
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+void Summarize(const std::vector<MetricSnapshot>& metrics,
+               const std::string& filter) {
+  Table table({"metric", "type", "value", "p50", "p99"});
+  for (const MetricSnapshot& m : metrics) {
+    if (!filter.empty() && m.name.find(filter) == std::string::npos) {
+      continue;
+    }
+    switch (m.type) {
+      case MetricType::kCounter:
+        table.AddRow({m.name, TypeName(m.type),
+                      FmtInt(static_cast<int64_t>(m.counter_value)), "-",
+                      "-"});
+        break;
+      case MetricType::kGauge:
+        table.AddRow(
+            {m.name, TypeName(m.type), Fmt(m.gauge_value, 3), "-", "-"});
+        break;
+      case MetricType::kHistogram: {
+        const double mean =
+            m.hist_count == 0
+                ? 0.0
+                : m.hist_sum / static_cast<double>(m.hist_count);
+        table.AddRow({m.name, TypeName(m.type),
+                      "n=" + FmtInt(static_cast<int64_t>(m.hist_count)) +
+                          " mean=" + Fmt(mean, 2),
+                      Fmt(HistQuantile(m, 0.5), 2),
+                      Fmt(HistQuantile(m, 0.99), 2)});
+        break;
+      }
+    }
+  }
+  table.Print(std::cout);
+}
+
+// b minus a. Metrics only in `b` pass through unchanged; metrics only in
+// `a` are dropped (they recorded nothing during the window).
+std::vector<MetricSnapshot> Diff(const std::vector<MetricSnapshot>& base,
+                                 const std::vector<MetricSnapshot>& now) {
+  std::vector<MetricSnapshot> out;
+  for (const MetricSnapshot& b : now) {
+    const MetricSnapshot* a = nullptr;
+    for (const MetricSnapshot& cand : base) {
+      if (cand.name == b.name) {
+        a = &cand;
+        break;
+      }
+    }
+    MetricSnapshot d = b;
+    if (a != nullptr) {
+      if (a->type != b.type) {
+        tools::Die("metric '" + b.name + "' changed type between snapshots");
+      }
+      switch (b.type) {
+        case MetricType::kCounter:
+          if (a->counter_value > b.counter_value) {
+            tools::Die("counter '" + b.name +
+                       "' went backwards between snapshots");
+          }
+          d.counter_value = b.counter_value - a->counter_value;
+          break;
+        case MetricType::kGauge:
+          d.gauge_value = b.gauge_value - a->gauge_value;
+          break;
+        case MetricType::kHistogram: {
+          if (a->pow2 != b.pow2 || a->bounds != b.bounds ||
+              a->bucket_counts.size() != b.bucket_counts.size()) {
+            tools::Die("histogram '" + b.name +
+                       "' changed layout between snapshots");
+          }
+          if (a->hist_count > b.hist_count) {
+            tools::Die("histogram '" + b.name +
+                       "' count went backwards between snapshots");
+          }
+          d.hist_count = b.hist_count - a->hist_count;
+          d.hist_sum = b.hist_sum - a->hist_sum;
+          for (size_t i = 0; i < d.bucket_counts.size(); ++i) {
+            if (a->bucket_counts[i] > b.bucket_counts[i]) {
+              tools::Die("histogram '" + b.name +
+                         "' bucket went backwards between snapshots");
+            }
+            d.bucket_counts[i] = b.bucket_counts[i] - a->bucket_counts[i];
+          }
+          break;
+        }
+      }
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace wmlp
+
+int main(int argc, char** argv) {
+  using namespace wmlp;
+  const tools::Flags flags(argc, argv);
+  const std::string snapshot_path = flags.GetString("snapshot");
+  if (snapshot_path.empty()) tools::Die("--snapshot is required");
+
+  std::string err;
+  telemetry::SnapshotFile snapshot;
+  if (!telemetry::ReadSnapshotFile(snapshot_path, &snapshot, &err)) {
+    tools::Die(err);
+  }
+
+  std::vector<telemetry::MetricSnapshot> metrics = snapshot.metrics;
+  const std::string base_path = flags.GetString("base");
+  if (!base_path.empty()) {
+    telemetry::SnapshotFile base;
+    if (!telemetry::ReadSnapshotFile(base_path, &base, &err)) {
+      tools::Die(err);
+    }
+    metrics = Diff(base.metrics, metrics);
+  }
+
+  if (flags.Has("prometheus")) {
+    telemetry::WritePrometheusText(std::cout, metrics);
+    return 0;
+  }
+
+  std::cout << "snapshot " << snapshot_path << " (schema " << snapshot.schema
+            << ", telemetry "
+            << (snapshot.telemetry_compiled ? "compiled" : "not compiled")
+            << ", uptime " << Fmt(snapshot.uptime_seconds, 3) << " s";
+  if (!base_path.empty()) std::cout << ", diffed against " << base_path;
+  std::cout << ", " << metrics.size() << " metrics)\n";
+  Summarize(metrics, flags.GetString("filter"));
+  return 0;
+}

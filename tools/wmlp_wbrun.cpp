@@ -5,6 +5,9 @@
 //       --dirty 20 --clean 1 [--alpha 0.8] [--seed 1] [--save t.wbtrace]
 //   wmlp_wbrun --trace t.wbtrace
 //
+// Accepts the shared telemetry flags (--telemetry-out, --trace-out,
+// --stats-interval); see src/telemetry/export.h.
+//
 // Runs the native writeback baselines and the paper's algorithms through
 // the Lemma 2.1 reduction, printing a comparison against the offline
 // lower bound. Reduction policies are constructed by name via the policy
@@ -27,6 +30,9 @@
 int main(int argc, char** argv) {
   using namespace wmlp;
   const tools::Flags flags(argc, argv);
+  const telemetry::TelemetryRunOptions topts =
+      tools::ParseTelemetryFlags(flags);
+  telemetry::TelemetrySession telemetry_session(topts);
 
   wb::WbTrace trace{wb::WbInstance(1, 1, {1.0}, {1.0}), {}};
   if (flags.Has("trace")) {
@@ -94,5 +100,7 @@ int main(int argc, char** argv) {
     report(wb_policy, Fmt(engine.Run().eviction_cost, 1));
   }
   table.Print(std::cout);
+  std::string terr;
+  if (!telemetry_session.Finish(&terr)) tools::Die(terr);
   return 0;
 }
