@@ -1,0 +1,112 @@
+#include "alloc_hook.h"
+
+#ifdef NDEBUG
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+// Relaxed is enough: the benches only read the counter on one thread with
+// the workload quiesced, and an exact global order of bumps is irrelevant
+// for a count.
+std::atomic<int64_t> g_allocs{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  // malloc(0) may return nullptr legitimately; operator new must not.
+  if (size == 0) size = 1;
+  return std::malloc(size);
+}
+
+void* CountedAllocAligned(std::size_t size, std::size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size == 0 ? align : size) != 0) return nullptr;
+  return p;
+}
+
+}  // namespace
+
+namespace wmlp::bench {
+
+int64_t AllocCount() { return g_allocs.load(std::memory_order_relaxed); }
+bool AllocCountingEnabled() { return true; }
+
+}  // namespace wmlp::bench
+
+// Replaceable global allocation functions ([new.delete]): every form
+// funnels through the counted malloc so nothing escapes the count, and
+// every delete form frees with std::free (posix_memalign memory is
+// free()-compatible).
+
+void* operator new(std::size_t size) {
+  if (void* p = CountedAlloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  if (void* p = CountedAlloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (void* p = CountedAllocAligned(size, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  if (void* p = CountedAllocAligned(size, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return CountedAllocAligned(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return CountedAllocAligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#else  // !NDEBUG
+
+namespace wmlp::bench {
+
+int64_t AllocCount() { return 0; }
+bool AllocCountingEnabled() { return false; }
+
+}  // namespace wmlp::bench
+
+#endif  // NDEBUG

@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc_hook.h"
 #include "core/fractional.h"
 #include "core/fractional_reference.h"
 #include "engine/engine.h"
@@ -88,6 +89,12 @@ struct Cell {
   int32_t ell = 0;
   int64_t requests = 0;
   double ns_per_request = 0.0;
+  // Heap allocations per request over one full rep (policy construction +
+  // Attach + serve loop). Setup is O(1) allocations independent of trace
+  // length, so a serve loop that allocates per request shows up as O(1)
+  // here and anything near zero certifies an allocation-free steady
+  // state. -1 when counting is compiled out (debug builds).
+  double allocs_per_request = -1.0;
   double cost = 0.0;  // lp cost (fractional) or eviction cost (integral)
 };
 
@@ -126,15 +133,25 @@ Cell TimeCell(const std::string& bench, const Trace& trace, int32_t reps,
   cell.requests = trace.length();
   double best_ns = 0.0;
   double total_ns = 0.0;
+  int64_t best_allocs = 0;
   for (int32_t rep = 0;
        rep < reps || (total_ns < kMinMeasuredNs && rep < kMaxReps); ++rep) {
+    const int64_t allocs_before = bench::AllocCount();
     const auto start = Clock::now();
     cell.cost = run(trace);
     const double ns = ElapsedNs(start);
+    const int64_t allocs = bench::AllocCount() - allocs_before;
     total_ns += ns;
+    // Deterministic workload: the count is identical across reps; min
+    // guards against a stray lazy-init alloc in the first rep.
+    if (rep == 0 || allocs < best_allocs) best_allocs = allocs;
     if (rep == 0 || ns < best_ns) best_ns = ns;
   }
   cell.ns_per_request = best_ns / static_cast<double>(trace.length());
+  if (bench::AllocCountingEnabled()) {
+    cell.allocs_per_request =
+        static_cast<double>(best_allocs) / static_cast<double>(trace.length());
+  }
   return cell;
 }
 
@@ -218,6 +235,7 @@ void WriteJson(const SuiteArgs& args, const std::vector<Cell>& cells,
        << ", \"k\": " << c.k << ", \"ell\": " << c.ell
        << ", \"requests\": " << c.requests
        << ", \"ns_per_request\": " << FmtG(c.ns_per_request)
+       << ", \"allocs_per_request\": " << FmtG(c.allocs_per_request)
        << ", \"cost\": " << FmtG(c.cost) << "}"
        << (i + 1 < cells.size() ? "," : "") << "\n";
   }
@@ -277,11 +295,14 @@ int Main(int argc, char** argv) {
     std::cout << "measured n=" << n << " ell=" << points[i].ell << "\n";
   }
 
-  Table table({"bench", "n", "ell", "requests", "ns/req", "Mreq/s"});
+  Table table(
+      {"bench", "n", "ell", "requests", "ns/req", "Mreq/s", "allocs/req"});
   for (const Cell& c : cells) {
     table.AddRow({c.bench, FmtInt(c.n), FmtInt(c.ell), FmtInt(c.requests),
                   Fmt(c.ns_per_request, 1),
-                  Fmt(1000.0 / std::max(c.ns_per_request, 1e-9), 3)});
+                  Fmt(1000.0 / std::max(c.ns_per_request, 1e-9), 3),
+                  c.allocs_per_request < 0.0 ? std::string("n/a")
+                                             : Fmt(c.allocs_per_request, 4)});
   }
   std::cout << "\n== perf: solver suite ==\n";
   table.Print(std::cout);

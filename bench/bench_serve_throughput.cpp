@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc_hook.h"
 #include "engine/engine.h"
 #include "engine/request_source.h"
 #include "harness/table.h"
@@ -74,6 +75,11 @@ struct Cell {
   int32_t ell = 0;
   int64_t requests = 0;
   double ns_per_request = 0.0;  // best-of wall time / requests
+  // Heap allocations per request over one full rep. Setup (shard maps,
+  // inboxes, threads) is O(shards + clients) allocations independent of
+  // the request count, so near-zero certifies an allocation-free steady
+  // serve path. -1 when counting is compiled out (debug builds).
+  double allocs_per_request = -1.0;
   double cost = 0.0;            // aggregate eviction cost (deterministic)
 };
 
@@ -118,6 +124,7 @@ void WriteJson(const SuiteArgs& args, const std::vector<Cell>& cells,
        << ", \"k\": " << c.k << ", \"ell\": " << c.ell
        << ", \"requests\": " << c.requests
        << ", \"ns_per_request\": " << FmtG(c.ns_per_request)
+       << ", \"allocs_per_request\": " << FmtG(c.allocs_per_request)
        << ", \"cost\": " << FmtG(c.cost) << "}"
        << (i + 1 < cells.size() ? "," : "") << "\n";
   }
@@ -153,7 +160,8 @@ int Main(int argc, char** argv) {
   const Cost mono_cost = mono_engine.Run().eviction_cost;
 
   std::vector<Cell> cells;
-  Table table({"shards", "clients", "Mreq/s", "cost", "penalty"});
+  Table table({"shards", "clients", "Mreq/s", "allocs/req", "cost",
+               "penalty"});
   for (const int32_t shards : shard_grid) {
     Cost shard_cost = -1.0;  // determinism cross-check across client counts
     for (const int32_t clients : client_grid) {
@@ -165,9 +173,13 @@ int Main(int argc, char** argv) {
       options.seed = 1;
       double best_seconds = 0.0;
       Cost cost = 0.0;
+      int64_t best_allocs = 0;
       for (int32_t rep = 0; rep < args.reps; ++rep) {
+        const int64_t allocs_before = bench::AllocCount();
         const ServeReport report = ServeTrace(trace, options);
+        const int64_t allocs = bench::AllocCount() - allocs_before;
         cost = report.totals.eviction_cost;
+        if (rep == 0 || allocs < best_allocs) best_allocs = allocs;
         if (rep == 0 || report.wall_seconds < best_seconds) {
           best_seconds = report.wall_seconds;
         }
@@ -189,10 +201,17 @@ int Main(int argc, char** argv) {
       cell.requests = requests;
       cell.ns_per_request =
           best_seconds * 1e9 / static_cast<double>(requests);
+      if (bench::AllocCountingEnabled()) {
+        cell.allocs_per_request =
+            static_cast<double>(best_allocs) / static_cast<double>(requests);
+      }
       cell.cost = cost;
       cells.push_back(cell);
       table.AddRow({FmtInt(shards), FmtInt(clients),
                     Fmt(1e3 / std::max(cell.ns_per_request, 1e-9), 3),
+                    cell.allocs_per_request < 0.0
+                        ? std::string("n/a")
+                        : Fmt(cell.allocs_per_request, 4),
                     Fmt(cost, 2),
                     mono_cost > 0.0 ? Fmt(cost / mono_cost, 4)
                                     : std::string("n/a")});

@@ -7,7 +7,20 @@ Compares a current BENCH_perf.json against a checked-in baseline:
     more than --max-regression slower (ns/request) than the baseline;
   * the fractional-fast solver must beat fractional-reference by at least
     --min-speedup x at the largest n where both ran with ell = 2 (the
-    output-sensitivity acceptance criterion).
+    output-sensitivity acceptance criterion);
+  * cells on the paper's solver and serve paths must stay allocation-free
+    in steady state: a cell's total heap allocations (allocs_per_request *
+    requests, measured by the bench binaries' operator-new hook) must fit
+    an affine budget --alloc-setup-budget + --max-allocs-per-request *
+    requests. The constant term absorbs policy construction and Attach;
+    serve-* cells get 2*n extra constant budget for their O(n) per-rep
+    setup (ShardMap, per-shard engines, thread spawns); the linear term
+    (default 0.01/request) catches any per-request
+    allocation long before it reaches 1 per request. Baseline-independent:
+    the budget is absolute, not relative to the recorded baseline.
+    Baseline-policy contrast rows (bench names containing "lru" or
+    "landlord", which allocate per miss by design) and cells from debug
+    builds (allocs_per_request < 0) are exempt.
 
 Cells present in only one file are reported but never fail the gate — the
 grids differ between --quick and full mode by design.
@@ -31,6 +44,19 @@ def load(path):
 
 def cell_key(c):
     return (c["bench"], c["n"], c["ell"], c["requests"])
+
+
+def allocs_gated(bench):
+    """Whether the allocs/request budget applies to this bench.
+
+    The zero-steady-state-allocation contract covers the paper's solver
+    paths (waterfill, fractional, rounded), the sharded serve layer, and
+    the batched engine path. Classic baseline policies (lru, landlord)
+    allocate a node per miss by design and ride along as contrast rows.
+    """
+    if "lru" in bench or "landlord" in bench:
+        return False
+    return True
 
 
 def merge_max(out_path, in_paths):
@@ -67,6 +93,12 @@ def main():
     ap.add_argument("--min-speedup", type=float, default=5.0,
                     help="required fractional-fast over fractional-reference "
                          "throughput ratio at the largest common (n, ell=2)")
+    ap.add_argument("--max-allocs-per-request", type=float, default=0.01,
+                    help="linear term of the per-cell allocation budget")
+    ap.add_argument("--alloc-setup-budget", type=float, default=512.0,
+                    help="constant term of the per-cell allocation budget "
+                         "(absorbs construction/Attach, which is O(1) "
+                         "allocations regardless of trace length)")
     ap.add_argument("--merge-max", nargs="+", metavar="RUN.json",
                     help="instead of gating, merge these runs into "
                          "--out, keeping each cell's slowest timing")
@@ -126,6 +158,39 @@ def main():
               f"baseline {b['ns_per_request']:8.1f}  {ratio:5.2f}x  {status}")
     if compared == 0:
         failures.append("no cells in common between baseline and current run")
+
+    # Allocation budget: absolute, over the current run only (no baseline
+    # needed), on every gated cell that was measured with the counting
+    # hook compiled in.
+    alloc_checked = 0
+    for key, c in sorted(cur_cells.items()):
+        apr = c.get("allocs_per_request", -1.0)
+        if apr is None or apr < 0 or not allocs_gated(key[0]):
+            continue
+        alloc_checked += 1
+        total = apr * c["requests"]
+        budget = (args.alloc_setup_budget +
+                  args.max_allocs_per_request * c["requests"])
+        # Serve cells pay an O(n) one-time setup on every measured rep:
+        # ShardMap page lists and remap tables, per-shard engines and
+        # policies, thread spawns, inbox staging. Give them 2 allocations
+        # per page of extra constant budget; the linear term is unchanged,
+        # so a true per-request allocation still fails immediately.
+        if key[0].startswith("serve-"):
+            budget += 2.0 * c["n"]
+        status = "ok"
+        if total > budget:
+            status = "ALLOC REGRESSION"
+            failures.append(
+                f"{key}: {total:.0f} heap allocations "
+                f"({apr:.4f}/request) exceeds budget {budget:.0f}")
+        print(f"{key}: {total:8.0f} allocs ({apr:.4f}/req)  "
+              f"budget {budget:8.0f}  {status}")
+    if alloc_checked:
+        print(f"allocation budget checked on {alloc_checked} cells")
+    else:
+        print("note: no cells carried allocs_per_request; allocation budget "
+              "not checked (old bench binary or debug build)")
 
     # Output-sensitivity check: fast vs reference at the largest common n
     # with ell = 2.

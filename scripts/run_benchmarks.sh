@@ -27,7 +27,7 @@ done
 # build is meaningless, and the regression gate would fire spuriously.
 cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build --target bench_perf_suite bench_serve_throughput \
-  >/dev/null
+  bench_batch_sweep >/dev/null
 mkdir -p "$OUT"
 # Catch an unwritable output directory up front: a read-only $OUT would
 # otherwise surface as a confusing downstream parse error (or, worse, a
@@ -43,12 +43,16 @@ build/bench/bench_perf_suite $QUICK --json "$OUT/BENCH_perf.solver.json" \
   --git-sha "$SHA"
 build/bench/bench_serve_throughput $QUICK \
   --json "$OUT/BENCH_perf.serve.json" --git-sha "$SHA"
+build/bench/bench_batch_sweep $QUICK \
+  --json "$OUT/BENCH_perf.batch.json" --git-sha "$SHA"
 # One merged artifact: solver cells (gated) + serve-* cells (informational;
-# the gate skips them by bench-name prefix). The cell sets are disjoint, so
-# --merge-max is a plain union here.
+# the gate skips them by bench-name prefix) + batch<b>-<policy> sweep
+# cells. The cell sets are disjoint, so --merge-max is a plain union here.
 python3 scripts/check_perf_regression.py --out "$OUT/BENCH_perf.json" \
-  --merge-max "$OUT/BENCH_perf.solver.json" "$OUT/BENCH_perf.serve.json"
-rm -f "$OUT/BENCH_perf.solver.json" "$OUT/BENCH_perf.serve.json"
+  --merge-max "$OUT/BENCH_perf.solver.json" "$OUT/BENCH_perf.serve.json" \
+  "$OUT/BENCH_perf.batch.json"
+rm -f "$OUT/BENCH_perf.solver.json" "$OUT/BENCH_perf.serve.json" \
+  "$OUT/BENCH_perf.batch.json"
 
 # Fail loudly if the merged artifact did not materialize or has no cells —
 # every downstream consumer (the gate, CI artifact upload, plotting)
@@ -83,10 +87,13 @@ if [[ "$UPDATE" -eq 1 ]]; then
     --git-sha "$SHA" >/dev/null
   build/bench/bench_perf_suite $QUICK --json "$OUT/BENCH_perf.run3.json" \
     --git-sha "$SHA" >/dev/null
+  build/bench/bench_batch_sweep $QUICK --json "$OUT/BENCH_perf.batch2.json" \
+    --git-sha "$SHA" >/dev/null
   python3 scripts/check_perf_regression.py --out "$BASELINE" --merge-max \
     "$OUT/BENCH_perf.json" "$OUT/BENCH_perf.run2.json" \
-    "$OUT/BENCH_perf.run3.json"
-  rm -f "$OUT/BENCH_perf.run2.json" "$OUT/BENCH_perf.run3.json"
+    "$OUT/BENCH_perf.run3.json" "$OUT/BENCH_perf.batch2.json"
+  rm -f "$OUT/BENCH_perf.run2.json" "$OUT/BENCH_perf.run3.json" \
+    "$OUT/BENCH_perf.batch2.json"
   echo "updated $BASELINE"
 else
   python3 scripts/check_perf_regression.py \

@@ -1,7 +1,9 @@
 #include "core/fractional.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <memory>
 #include <utility>
 
 #include "core/core_audit.h"
@@ -43,24 +45,42 @@ void FractionalMlp::Attach(const Instance& instance) {
   lp_cost_ = 0.0;
   movement_cost_ = 0.0;
 
+  // Per-page state is epoch-stamped and materialized lazily (see Rec), so
+  // attaching costs O(1) in the number of pages once the backing arrays
+  // have grown to size: no 70-bytes-per-page zeroing pass, which would
+  // dominate short runs over large universes. The arrays are allocated
+  // uninitialized — a stale record is never read, only its epoch stamp.
   const size_t n = static_cast<size_t>(n_);
-  u_.assign(n * static_cast<size_t>(ell_), 1.0);
-  state_.assign(n, PageState::kAbsent);
-  cursor_.assign(n, 0);
-  u0_.assign(n, 0.0);
-  s0_.assign(n, 0.0);
-  csum_.assign(n, 0.0);
-  event_s_.assign(n, 0.0);
-  gen_.assign(n, 0);
-  group_of_.assign(n, -1);
-  pos_in_group_.assign(n, -1);
+  const size_t un = n * static_cast<size_t>(ell_);
+  if (un > u_cap_) {
+    u_ = std::make_unique_for_overwrite<double[]>(un);
+    u_cap_ = un;
+  }
+  if (n > page_cap_) {
+    rec_ = std::make_unique_for_overwrite<PageRec[]>(n);
+    epoch_of_.assign(n, 0);
+    changed_mark_.assign(n, 0);
+    page_cap_ = n;
+    epoch_ = 0;
+  }
+  // Bumping the epoch invalidates every record; on wraparound all stamps
+  // are cleared so an ancient stamp can never alias the new epoch.
+  if (++epoch_ == 0) {
+    std::fill(epoch_of_.begin(), epoch_of_.end(), 0u);
+    epoch_ = 1;
+  }
 
   groups_.clear();
-  group_index_.clear();
+  group_index_.Reset();
   active_groups_.clear();
-  heap_ = std::priority_queue<Event, std::vector<Event>, EventAfter>();
+  heap_.clear();
   absent_count_ = n_;
   active_count_ = 0;
+  act_w_.clear();
+  act_mass_.clear();
+  act_lp_.clear();
+  act_e1_.clear();
+  act_count_.clear();
 
   req_page_ = -1;
   step1_changed_ = false;
@@ -68,28 +88,28 @@ void FractionalMlp::Attach(const Instance& instance) {
   departed_.clear();
   last_changed_valid_ = true;
   last_changed_.clear();
-  changed_mark_.assign(n, 0);
 
   events_processed_ = 0;
   segments_solved_ = 0;
   newton_iterations_ = 0;
   bisection_fallbacks_ = 0;
   schedule_.u.clear();
-  if (options_.record_schedule) schedule_.u.push_back(u_);
+  if (options_.record_schedule) schedule_.u.emplace_back(un, 1.0);
 }
 
 double FractionalMlp::DynamicU(PageId p) const {
-  const size_t sp = static_cast<size_t>(p);
-  const double w = instance_->weight(p, cursor_[sp]);
+  const PageRec& rec = rec_[static_cast<size_t>(p)];
+  const double w = instance_->weight(p, rec.cursor);
   const double val =
-      (u0_[sp] + eta_) * std::exp((clock_ - s0_[sp]) / w) - eta_;
-  const double cap = CapOf(p);
+      (rec.u0 + eta_) * std::exp((clock_ - rec.s0) / w) - eta_;
+  const double cap = CapOf(rec, p);
   return val < cap ? val : cap;
 }
 
 double FractionalMlp::U(PageId p, Level i) const {
-  const size_t sp = static_cast<size_t>(p);
-  if (state_[sp] != PageState::kActive || i < cursor_[sp]) {
+  if (!Fresh(p)) return 1.0;  // untouched this epoch: fully absent
+  const PageRec& rec = rec_[static_cast<size_t>(p)];
+  if (rec.state != PageState::kActive || i < rec.cursor) {
     return u_[Idx(p, i)];
   }
   return DynamicU(p);
@@ -102,19 +122,20 @@ double FractionalMlp::SuffixWeight(PageId p, Level from) const {
 }
 
 int32_t FractionalMlp::GroupIndexFor(double w) {
-  const auto it = group_index_.find(w);
-  if (it != group_index_.end()) return it->second;
+  const uint64_t key = std::bit_cast<uint64_t>(w);
+  const int32_t found = group_index_.Find(key);
+  if (found >= 0) return found;
   const int32_t gi = static_cast<int32_t>(groups_.size());
   groups_.emplace_back();
   groups_.back().w = w;
   groups_.back().base_s = clock_;
-  group_index_.emplace(w, gi);
+  group_index_.Insert(key, gi);
   return gi;
 }
 
 void FractionalMlp::GroupInsert(PageId p) {
-  const size_t sp = static_cast<size_t>(p);
-  const double w = instance_->weight(p, cursor_[sp]);
+  PageRec& rec = rec_[static_cast<size_t>(p)];
+  const double w = instance_->weight(p, rec.cursor);
   const int32_t gi = GroupIndexFor(w);
   Group& g = groups_[static_cast<size_t>(gi)];
   if (g.members.empty()) {
@@ -135,11 +156,12 @@ void FractionalMlp::GroupInsert(PageId p) {
     RebuildGroup(g);
   }
   const double term =
-      (u0_[sp] + eta_) * std::exp((g.base_s - s0_[sp]) / g.w);
+      (rec.u0 + eta_) * std::exp((g.base_s - rec.s0) / g.w);
+  rec.term = term;
   g.mass_sum += term;
-  g.lp_sum += csum_[sp] * term;
-  group_of_[sp] = gi;
-  pos_in_group_[sp] = static_cast<int32_t>(g.members.size());
+  g.lp_sum += rec.csum * term;
+  rec.group_of = gi;
+  rec.pos_in_group = static_cast<int32_t>(g.members.size());
   g.members.push_back(p);
   if (g.members.size() == 1) {
     g.active_pos = static_cast<int32_t>(active_groups_.size());
@@ -149,20 +171,23 @@ void FractionalMlp::GroupInsert(PageId p) {
 }
 
 void FractionalMlp::GroupRemove(PageId p) {
-  const size_t sp = static_cast<size_t>(p);
-  const int32_t gi = group_of_[sp];
+  PageRec& rec = rec_[static_cast<size_t>(p)];
+  const int32_t gi = rec.group_of;
   Group& g = groups_[static_cast<size_t>(gi)];
-  const double term =
-      (u0_[sp] + eta_) * std::exp((g.base_s - s0_[sp]) / g.w);
+  // Subtract the cached term — the exact double GroupInsert/RebuildGroup
+  // added against the current base_s — instead of re-deriving it through
+  // exp: bit-identical removal with no exponential on this path, and the
+  // sums carry no insert/remove round-trip residue.
+  const double term = rec.term;
   g.mass_sum -= term;
-  g.lp_sum -= csum_[sp] * term;
-  const int32_t pos = pos_in_group_[sp];
+  g.lp_sum -= rec.csum * term;
+  const int32_t pos = rec.pos_in_group;
   const PageId back = g.members.back();
   g.members[static_cast<size_t>(pos)] = back;
-  pos_in_group_[static_cast<size_t>(back)] = pos;
+  rec_[static_cast<size_t>(back)].pos_in_group = pos;
   g.members.pop_back();
-  group_of_[sp] = -1;
-  pos_in_group_[sp] = -1;
+  rec.group_of = -1;
+  rec.pos_in_group = -1;
   --active_count_;
   if (g.members.empty()) {
     // Exact reset: an empty group carries no mass and no drift.
@@ -192,16 +217,18 @@ void FractionalMlp::RebuildGroup(Group& g) {
   g.mass_sum = 0.0;
   g.lp_sum = 0.0;
   for (const PageId q : g.members) {
-    const size_t sq = static_cast<size_t>(q);
+    PageRec& rq = rec_[static_cast<size_t>(q)];
     const double term =
-        (u0_[sq] + eta_) * std::exp((clock_ - s0_[sq]) / g.w);
+        (rq.u0 + eta_) * std::exp((clock_ - rq.s0) / g.w);
+    rq.term = term;
     g.mass_sum += term;
-    g.lp_sum += csum_[sq] * term;
+    g.lp_sum += rq.csum * term;
   }
   g.removals = 0;
 }
 
-void FractionalMlp::RebaseGroupsTo(double s_horizon) {
+bool FractionalMlp::RebaseGroupsTo(double s_horizon) {
+  bool rebuilt = false;
   for (const int32_t gi : active_groups_) {
     Group& g = groups_[static_cast<size_t>(gi)];
     if ((s_horizon - g.base_s) / g.w <= kMaxGroupExp) continue;
@@ -215,25 +242,44 @@ void FractionalMlp::RebaseGroupsTo(double s_horizon) {
     // so a group is rebuilt about once per kMaxGroupExp * |active|
     // requests.
     RebuildGroup(g);
+    rebuilt = true;
+  }
+  return rebuilt;
+}
+
+void FractionalMlp::GatherActive() {
+  const size_t m = active_groups_.size();
+  act_w_.resize(m);
+  act_mass_.resize(m);
+  act_lp_.resize(m);
+  act_e1_.resize(m);
+  act_count_.resize(m);
+  for (size_t j = 0; j < m; ++j) {
+    const Group& g = groups_[static_cast<size_t>(active_groups_[j])];
+    act_w_[j] = g.w;
+    act_mass_[j] = g.mass_sum;
+    act_lp_[j] = g.lp_sum;
+    act_e1_[j] = std::exp((clock_ - g.base_s) / g.w);
+    act_count_[j] = static_cast<int64_t>(g.members.size());
   }
 }
 
 void FractionalMlp::PushEvent(PageId p) {
-  const size_t sp = static_cast<size_t>(p);
-  const double w = instance_->weight(p, cursor_[sp]);
-  const double cap = CapOf(p);
+  PageRec& rec = rec_[static_cast<size_t>(p)];
+  const double w = instance_->weight(p, rec.cursor);
+  const double cap = CapOf(rec, p);
   const double s_ev =
-      s0_[sp] + w * std::log((cap + eta_) / (u0_[sp] + eta_));
-  event_s_[sp] = s_ev;
-  heap_.push(Event{s_ev, p, gen_[sp]});
+      rec.s0 + w * std::log((cap + eta_) / (rec.u0 + eta_));
+  rec.event_s = s_ev;
+  heap_.push(Event{s_ev, p, rec.gen});
   CompactHeapIfNeeded();
 }
 
 bool FractionalMlp::PeekEvent(Event* out) {
   while (!heap_.empty()) {
     const Event& e = heap_.top();
-    if (state_[static_cast<size_t>(e.page)] == PageState::kActive &&
-        gen_[static_cast<size_t>(e.page)] == e.gen) {
+    const PageRec& rec = rec_[static_cast<size_t>(e.page)];
+    if (rec.state == PageState::kActive && rec.gen == e.gen) {
       *out = e;
       return true;
     }
@@ -247,18 +293,17 @@ void FractionalMlp::CompactHeapIfNeeded() {
       heap_.size() <= 8 * static_cast<size_t>(active_count_)) {
     return;
   }
-  // Stale entries (lazy deletions) dominate the heap: rebuild it from the
-  // live pages' stored event times. Amortized O(1) per push.
-  std::vector<Event> fresh;
-  fresh.reserve(static_cast<size_t>(active_count_));
+  // Stale entries (lazy deletions) dominate the heap: rebuild it in place
+  // from the live pages' stored event times. Amortized O(1) per push, and
+  // the heap arena is reused — no allocation.
+  heap_.clear();
   for (const int32_t gi : active_groups_) {
     for (const PageId q : groups_[static_cast<size_t>(gi)].members) {
-      const size_t sq = static_cast<size_t>(q);
-      fresh.push_back(Event{event_s_[sq], q, gen_[sq]});
+      const PageRec& rq = rec_[static_cast<size_t>(q)];
+      heap_.push_unordered(Event{rq.event_s, q, rq.gen});
     }
   }
-  heap_ = std::priority_queue<Event, std::vector<Event>, EventAfter>(
-      EventAfter{}, std::move(fresh));
+  heap_.heapify();
 }
 
 void FractionalMlp::RenormalizeClock() {
@@ -267,60 +312,57 @@ void FractionalMlp::RenormalizeClock() {
     renorms.Inc();
   }
   const double c = clock_;
-  std::vector<Event> fresh;
-  fresh.reserve(static_cast<size_t>(active_count_));
+  heap_.clear();
   for (const int32_t gi : active_groups_) {
     Group& g = groups_[static_cast<size_t>(gi)];
     g.base_s -= c;
     for (const PageId q : g.members) {
-      const size_t sq = static_cast<size_t>(q);
-      s0_[sq] -= c;
-      event_s_[sq] -= c;
-      fresh.push_back(Event{event_s_[sq], q, gen_[sq]});
+      PageRec& rq = rec_[static_cast<size_t>(q)];
+      rq.s0 -= c;
+      rq.event_s -= c;
+      heap_.push_unordered(Event{rq.event_s, q, rq.gen});
     }
   }
   // Empty groups keep a base in old coordinates; GroupInsert rebases them
-  // before use. The heap is rebuilt so live entries carry shifted times
-  // (stale entries are dropped wholesale).
-  heap_ = std::priority_queue<Event, std::vector<Event>, EventAfter>(
-      EventAfter{}, std::move(fresh));
+  // before use. The heap is rebuilt in its arena so live entries carry
+  // shifted times (stale entries are dropped wholesale).
+  heap_.heapify();
   clock_ = 0.0;
 }
 
 double FractionalMlp::TotalAbsentMass() const {
   double total = static_cast<double>(absent_count_);
   if (req_page_ >= 0 &&
-      state_[static_cast<size_t>(req_page_)] == PageState::kDetached) {
+      rec_[static_cast<size_t>(req_page_)].state == PageState::kDetached) {
     total += u_[Idx(req_page_, ell_)];
   }
-  for (const int32_t gi : active_groups_) {
-    const Group& g = groups_[static_cast<size_t>(gi)];
-    const double e = std::exp((clock_ - g.base_s) / g.w);
-    total += g.mass_sum * e - eta_ * static_cast<double>(g.members.size());
+  const size_t m = act_mass_.size();
+  for (size_t j = 0; j < m; ++j) {
+    total += act_mass_[j] * act_e1_[j] -
+             eta_ * static_cast<double>(act_count_[j]);
   }
   return total;
 }
 
-void FractionalMlp::AccrueCosts(double s1, double s2) {
-  for (const int32_t gi : active_groups_) {
-    const Group& g = groups_[static_cast<size_t>(gi)];
-    // expm1 keeps the exponential difference accurate when (s2 - s1)/w is
-    // tiny; the direct e2 - e1 would cancel and the error is amplified by
-    // w in the movement meter.
-    const double e1 = std::exp((s1 - g.base_s) / g.w);
-    const double d = e1 * std::expm1((s2 - s1) / g.w);
-    movement_cost_ += g.w * g.mass_sum * d;
-    lp_cost_ += g.lp_sum * d;
+void FractionalMlp::AccrueCostsTo(double s2) {
+  const size_t m = act_mass_.size();
+  for (size_t j = 0; j < m; ++j) {
+    // expm1 keeps the exponential difference accurate when (s2 - clock)/w
+    // is tiny; the direct e2 - e1 would cancel and the error is amplified
+    // by w in the movement meter.
+    const double d = act_e1_[j] * std::expm1((s2 - clock_) / act_w_[j]);
+    movement_cost_ += act_w_[j] * act_mass_[j] * d;
+    lp_cost_ += act_lp_[j] * d;
   }
 }
 
 void FractionalMlp::ProcessEvent(PageId p) {
-  const size_t sp = static_cast<size_t>(p);
+  PageRec& rec = rec_[static_cast<size_t>(p)];
   GroupRemove(p);
-  const Level oldc = cursor_[sp];
+  const Level oldc = rec.cursor;
   const double cap = oldc == 1 ? 1.0 : u_[Idx(p, oldc - 1)];
   for (Level j = oldc; j <= ell_; ++j) u_[Idx(p, j)] = cap;
-  ++gen_[sp];
+  ++rec.gen;
   ++events_processed_;
   if constexpr (telemetry::kEnabled) {
     WMLP_TELEMETRY_COUNTER(events, "wmlp_fractional_events_total");
@@ -358,35 +400,35 @@ void FractionalMlp::ProcessEvent(PageId p) {
       }
       u_[Idx(p, j)] = 1.0;
     }
-    state_[sp] = PageState::kAbsent;
+    rec.state = PageState::kAbsent;
     ++absent_count_;
     departed_.push_back(p);
     return;
   }
-  cursor_[sp] = newc;
-  u0_[sp] = u_[Idx(p, newc)];
-  s0_[sp] = clock_;
-  csum_[sp] = SuffixWeight(p, newc);
+  rec.cursor = newc;
+  rec.u0 = u_[Idx(p, newc)];
+  rec.s0 = clock_;
+  rec.csum = SuffixWeight(p, newc);
   GroupInsert(p);
   PushEvent(p);
 }
 
 void FractionalMlp::DetachAndMaterialize(PageId p) {
-  const size_t sp = static_cast<size_t>(p);
-  WMLP_CHECK(state_[sp] != PageState::kDetached);
-  if (state_[sp] == PageState::kAbsent) {
+  PageRec& rec = Rec(p);  // first touch of the requested page this epoch
+  WMLP_CHECK(rec.state != PageState::kDetached);
+  if (rec.state == PageState::kAbsent) {
     --absent_count_;  // u_ row is already all 1.0
   } else {
     const double val = DynamicU(p);
     GroupRemove(p);
-    ++gen_[sp];
-    for (Level j = cursor_[sp]; j <= ell_; ++j) u_[Idx(p, j)] = val;
+    ++rec.gen;
+    for (Level j = rec.cursor; j <= ell_; ++j) u_[Idx(p, j)] = val;
   }
-  state_[sp] = PageState::kDetached;
+  rec.state = PageState::kDetached;
 }
 
 void FractionalMlp::Activate(PageId p) {
-  const size_t sp = static_cast<size_t>(p);
+  PageRec& rec = rec_[static_cast<size_t>(p)];
   Level newc = 0;
   for (Level i = ell_; i >= 1; --i) {
     const double ci = i == 1 ? 1.0 : u_[Idx(p, i - 1)];
@@ -404,12 +446,12 @@ void FractionalMlp::Activate(PageId p) {
     }
   }
   WMLP_CHECK_MSG(newc >= 1, "served page has no non-empty level");
-  state_[sp] = PageState::kActive;
-  cursor_[sp] = newc;
-  u0_[sp] = u_[Idx(p, newc)];
-  s0_[sp] = clock_;
-  csum_[sp] = SuffixWeight(p, newc);
-  ++gen_[sp];
+  rec.state = PageState::kActive;
+  rec.cursor = newc;
+  rec.u0 = u_[Idx(p, newc)];
+  rec.s0 = clock_;
+  rec.csum = SuffixWeight(p, newc);
+  ++rec.gen;
   GroupInsert(p);
   PushEvent(p);
 }
@@ -444,6 +486,7 @@ void FractionalMlp::Serve(Time /*t*/, const Request& r) {
 
   // ---- Step 2: evict continuously until the cache fits. -----------------
   const double target = static_cast<double>(n_ - inst.cache_size());
+  GatherActive();
   double need = target - TotalAbsentMass();
   if (need > kEps) {
     clock_advanced_ = true;
@@ -456,9 +499,9 @@ void FractionalMlp::Serve(Time /*t*/, const Request& r) {
         // reference's segment-start scan, which snaps u >= cap - kEps
         // levels to the cap for free, so both solvers make the same
         // discrete decisions at segment boundaries.
-        const size_t sp = static_cast<size_t>(ev.page);
-        const double w = instance_->weight(ev.page, cursor_[sp]);
-        const double cap = CapOf(ev.page);
+        const PageRec& rec = rec_[static_cast<size_t>(ev.page)];
+        const double w = instance_->weight(ev.page, rec.cursor);
+        const double cap = CapOf(rec, ev.page);
         const double remaining =
             (cap + eta_) * (1.0 - std::exp((clock_ - ev.s) / w));
         if (remaining <= kEps) {
@@ -467,10 +510,11 @@ void FractionalMlp::Serve(Time /*t*/, const Request& r) {
           // and the meters must integrate every move no matter which
           // mechanism (snap or charged clock advance) performs it.
           const double rise = std::max(0.0, remaining);
-          lp_cost_ += csum_[sp] * rise;
+          lp_cost_ += rec.csum * rise;
           movement_cost_ += w * rise;
           heap_.pop();
           ProcessEvent(ev.page);
+          GatherActive();
           need = target - TotalAbsentMass();
           continue;
         }
@@ -480,23 +524,27 @@ void FractionalMlp::Serve(Time /*t*/, const Request& r) {
         WMLP_TELEMETRY_COUNTER(segments, "wmlp_fractional_segments_total");
         segments.Inc();
       }
-      RebaseGroupsTo(ev.s);
+      if (RebaseGroupsTo(ev.s)) GatherActive();
 
       // Within the segment no caps bind, so the total gain over the active
-      // set is a sum of one exponential per weight group.
+      // set is a sum of one exponential per weight group — evaluated over
+      // the gathered SoA arrays, so the per-group e^{(clock - base_s)/w}
+      // factor is computed once per segment (at gather time) and every
+      // Newton iteration pays only one expm1 per group over contiguous
+      // memory.
       auto gain_and_rate = [&](double s, double* rate) {
         double g = 0.0;
         double dg = 0.0;
-        for (const int32_t gi : active_groups_) {
-          const Group& grp = groups_[static_cast<size_t>(gi)];
+        const size_t m = act_mass_.size();
+        for (size_t j = 0; j < m; ++j) {
           // e2 - e1 via expm1: for large w the clock advance is a tiny
           // fraction of w and the direct difference of two exponentials
           // near 1 would cancel catastrophically (the error is then
           // amplified by w in the cost meters).
-          const double e1 = std::exp((clock_ - grp.base_s) / grp.w);
-          const double d = e1 * std::expm1((s - clock_) / grp.w);
-          g += grp.mass_sum * d;
-          dg += grp.mass_sum * (e1 + d) / grp.w;
+          const double e1 = act_e1_[j];
+          const double d = e1 * std::expm1((s - clock_) / act_w_[j]);
+          g += act_mass_[j] * d;
+          dg += act_mass_[j] * (e1 + d) / act_w_[j];
         }
         if (rate != nullptr) *rate = dg;
         return g;
@@ -520,14 +568,15 @@ void FractionalMlp::Serve(Time /*t*/, const Request& r) {
             bisect.Inc();
           }
         }
-        AccrueCosts(clock_, s_apply);
+        AccrueCostsTo(s_apply);
         clock_ = s_apply;
         break;
       }
-      AccrueCosts(clock_, ev.s);
+      AccrueCostsTo(ev.s);
       clock_ = ev.s;
       heap_.pop();
       ProcessEvent(ev.page);
+      GatherActive();
       need = target - TotalAbsentMass();
     }
   }
@@ -536,7 +585,8 @@ void FractionalMlp::Serve(Time /*t*/, const Request& r) {
   Activate(r.page);
 
   if (options_.record_schedule) {
-    std::vector<double> snap(u_.size());
+    std::vector<double> snap(static_cast<size_t>(n_) *
+                             static_cast<size_t>(ell_));
     for (PageId p = 0; p < n_; ++p) {
       for (Level i = 1; i <= ell_; ++i) snap[Idx(p, i)] = U(p, i);
     }

@@ -47,15 +47,16 @@
 // instances).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "lp/paging_lp.h"
 #include "trace/instance.h"
+#include "util/bitkey_index.h"
+#include "util/dheap.h"
 
 namespace wmlp {
 
@@ -148,22 +149,71 @@ class FractionalMlp final : public FractionalPolicy {
     PageId page;
     uint32_t gen;  // must match gen_[page] or the entry is stale
   };
-  struct EventAfter {
+  struct EventBefore {
     bool operator()(const Event& a, const Event& b) const {
-      return a.s > b.s;
+      return a.s < b.s;
     }
   };
 
   enum class PageState : uint8_t { kAbsent, kActive, kDetached };
 
+  // Hot per-page solver state packed into one cache line (64 bytes). The
+  // serve path touches u0/s0/cursor/state/gen for every page it visits;
+  // keeping them in parallel arrays cost ~10 scattered cache misses per
+  // page, one per array. No default member initializers: the backing array
+  // is allocated uninitialized (make_unique_for_overwrite) and records are
+  // materialized lazily by Rec() on first touch per Attach epoch.
+  struct PageRec {
+    double u0;       // value at cursor at materialization
+    double s0;       // materialization clock
+    double csum;     // sum_{j >= cursor} w(p, j)
+    double event_s;  // current cap-event time (heap rebuilds)
+    double term;     // cached group term (u0 + eta) e^{(base_s - s0)/w};
+                     // exactly what GroupInsert / RebuildGroup added, so
+                     // GroupRemove subtracts it back out bit-exactly.
+    uint32_t gen;    // event staleness generation
+    int32_t group_of;
+    int32_t pos_in_group;
+    Level cursor;
+    PageState state;
+  };
+  static_assert(sizeof(PageRec) <= 64, "PageRec must fit one cache line");
+
   size_t Idx(PageId p, Level i) const {
     return static_cast<size_t>(p) * static_cast<size_t>(ell_) +
            static_cast<size_t>(i - 1);
   }
-  double CapOf(PageId p) const {
-    return cursor_[static_cast<size_t>(p)] == 1
-               ? 1.0
-               : u_[Idx(p, cursor_[static_cast<size_t>(p)] - 1)];
+  // A page's record (and its u_ row) is live only for the current Attach
+  // epoch; everything older reads as the default absent state with
+  // u = 1.0 everywhere. This makes Attach O(1) in the number of pages —
+  // it bumps the epoch instead of zeroing ~70 bytes per page — which is
+  // what keeps re-attach (and the first requests after it) off the memory
+  // bus. Rec() materializes the default on first touch.
+  bool Fresh(PageId p) const {
+    return epoch_of_[static_cast<size_t>(p)] == epoch_;
+  }
+  PageRec& Rec(PageId p) {
+    const size_t sp = static_cast<size_t>(p);
+    PageRec& rec = rec_[sp];
+    if (epoch_of_[sp] != epoch_) {
+      epoch_of_[sp] = epoch_;
+      rec.u0 = 0.0;
+      rec.s0 = 0.0;
+      rec.csum = 0.0;
+      rec.event_s = 0.0;
+      rec.term = 0.0;
+      rec.gen = 0;
+      rec.group_of = -1;
+      rec.pos_in_group = -1;
+      rec.cursor = 0;
+      rec.state = PageState::kAbsent;
+      double* u = u_.get() + sp * static_cast<size_t>(ell_);
+      std::fill(u, u + ell_, 1.0);
+    }
+    return rec;
+  }
+  double CapOf(const PageRec& rec, PageId p) const {
+    return rec.cursor == 1 ? 1.0 : u_[Idx(p, rec.cursor - 1)];
   }
   // Live value of u(p, cursor..ell) for an active page, clamped to its cap.
   double DynamicU(PageId p) const;
@@ -173,7 +223,18 @@ class FractionalMlp final : public FractionalPolicy {
   void GroupInsert(PageId p);
   void GroupRemove(PageId p);
   void RebuildGroup(Group& g);
-  void RebaseGroupsTo(double s_horizon);
+  // Returns true if any group was rebuilt (the gathered SoA snapshot is
+  // then stale and must be re-gathered).
+  bool RebaseGroupsTo(double s_horizon);
+
+  // Gathers the active groups' aggregates into the contiguous act_*
+  // arrays — w, mass_sum, lp_sum, member count, and the shared factor
+  // e1 = e^{(clock_ - base_s)/w} — so the absent-mass total, the segment
+  // Newton solve, and the cost meters run SIMD-friendly flat loops and the
+  // per-group exp is paid once per gather instead of once per evaluation.
+  // Must be re-gathered whenever clock_, a base_s, or the active
+  // membership changes.
+  void GatherActive();
 
   void PushEvent(PageId p);
   // Drops stale heap entries; returns false if no live event remains.
@@ -188,10 +249,12 @@ class FractionalMlp final : public FractionalPolicy {
   // exponent.
   void RenormalizeClock();
 
-  // Total absent mass sum_p u(p, ell) at the current clock.
+  // Total absent mass sum_p u(p, ell) at the current clock, evaluated
+  // from the gathered SoA snapshot (call GatherActive() first).
   double TotalAbsentMass() const;
-  // Advances lp_cost_/movement_cost_ for the raise from clock s1 to s2.
-  void AccrueCosts(double s1, double s2);
+  // Advances lp_cost_/movement_cost_ for the raise from clock_ to s2,
+  // evaluated from the gathered snapshot.
+  void AccrueCostsTo(double s2);
 
   // Moves p's cursor up after its cap event (or absorbs it at u = 1).
   void ProcessEvent(PageId p);
@@ -213,23 +276,35 @@ class FractionalMlp final : public FractionalPolicy {
   Cost movement_cost_ = 0.0;
   FracSchedule schedule_;
 
-  std::vector<double> u_;  // flattened [p * ell + (i-1)]
-  std::vector<PageState> state_;
-  std::vector<Level> cursor_;
-  std::vector<double> u0_;       // value at cursor at materialization
-  std::vector<double> s0_;       // materialization clock
-  std::vector<double> csum_;     // sum_{j >= cursor} w(p, j)
-  std::vector<double> event_s_;  // current cap-event time (heap rebuilds)
-  std::vector<uint32_t> gen_;
-  std::vector<int32_t> group_of_;
-  std::vector<int32_t> pos_in_group_;
+  // Frozen prefix variables, flattened [p * ell + (i-1)]; rows are valid
+  // only for pages whose epoch is current (see Rec), so the backing array
+  // is allocated uninitialized and never bulk-filled.
+  std::unique_ptr<double[]> u_;
+  std::unique_ptr<PageRec[]> rec_;
+  size_t page_cap_ = 0;  // allocated extent of rec_ / epoch_of_
+  size_t u_cap_ = 0;     // allocated extent of u_
+  std::vector<uint32_t> epoch_of_;
+  uint32_t epoch_ = 0;
 
   std::vector<Group> groups_;
   std::vector<int32_t> active_groups_;  // indices of non-empty groups
-  std::unordered_map<double, int32_t> group_index_;
-  std::priority_queue<Event, std::vector<Event>, EventAfter> heap_;
+  // Group lookup keyed on the weight's bit pattern
+  // (std::bit_cast<uint64_t>(w)): exact, allocation-free, and immune to
+  // float-hashing hazards (-0.0, denormals, truncating hashers).
+  BitKeyIndex group_index_;
+  // Cap events, min-s first, with lazy deletion via gen_; the arena is
+  // reused across compactions and clock renormalizations.
+  DHeap<Event, EventBefore> heap_;
   int64_t absent_count_ = 0;
   int64_t active_count_ = 0;
+
+  // Gathered SoA snapshot of the active groups (see GatherActive); arena
+  // scratch, reset per gather, never freed.
+  std::vector<double> act_w_;
+  std::vector<double> act_mass_;
+  std::vector<double> act_lp_;
+  std::vector<double> act_e1_;
+  std::vector<int64_t> act_count_;
 
   // last_changed bookkeeping (lazy; see BuildLastChanged).
   PageId req_page_ = -1;

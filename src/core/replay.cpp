@@ -16,28 +16,38 @@ std::shared_ptr<const FracTrajectory> FracTrajectory::Record(
   // Previous values so only genuine changes are recorded.
   std::vector<double> prev(
       static_cast<size_t>(inst.num_pages()) * static_cast<size_t>(ell), 1.0);
-  Request r;
-  for (Time t = 0; source.Next(r); ++t) {
-    inner.Serve(t, r);
-    std::vector<PageId> changed;
-    for (PageId p : inner.last_changed()) {
-      bool page_changed = false;
-      for (Level i = 1; i <= ell; ++i) {
-        const size_t idx = static_cast<size_t>(p) * static_cast<size_t>(ell) +
-                           static_cast<size_t>(i - 1);
-        const double u = inner.U(p, i);
-        if (u != prev[idx]) {
-          traj->index_.push_back(static_cast<int32_t>(idx));
-          traj->value_.push_back(u);
-          prev[idx] = u;
-          page_changed = true;
+  // Pull in batches (the streaming source refills in bulk); each request is
+  // still served and diffed individually — the recorded trajectory is
+  // identical to the one-at-a-time loop.
+  constexpr int64_t kPullBatch = 1024;
+  std::vector<Request> batch(kPullBatch);
+  Time t = 0;
+  int64_t got = 0;
+  while ((got = source.NextBatch(batch.data(), kPullBatch)) > 0) {
+    for (int64_t j = 0; j < got; ++j, ++t) {
+      inner.Serve(t, batch[static_cast<size_t>(j)]);
+      std::vector<PageId> changed;
+      for (PageId p : inner.last_changed()) {
+        bool page_changed = false;
+        for (Level i = 1; i <= ell; ++i) {
+          const size_t idx =
+              static_cast<size_t>(p) * static_cast<size_t>(ell) +
+              static_cast<size_t>(i - 1);
+          const double u = inner.U(p, i);
+          if (u != prev[idx]) {
+            traj->index_.push_back(static_cast<int32_t>(idx));
+            traj->value_.push_back(u);
+            prev[idx] = u;
+            page_changed = true;
+          }
         }
+        if (page_changed) changed.push_back(p);
       }
-      if (page_changed) changed.push_back(p);
+      traj->step_end_.push_back(static_cast<int64_t>(traj->index_.size()));
+      traj->changed_.push_back(std::move(changed));
+      traj->lp_cost_after_.push_back(inner.lp_cost());
     }
-    traj->step_end_.push_back(static_cast<int64_t>(traj->index_.size()));
-    traj->changed_.push_back(std::move(changed));
-    traj->lp_cost_after_.push_back(inner.lp_cost());
+    if (got < kPullBatch) break;
   }
   return traj;
 }

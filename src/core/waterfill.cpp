@@ -8,21 +8,15 @@
 
 namespace wmlp {
 
-namespace {
-// Min-heap on (key, page): std::greater yields the smallest pair at the
-// front, so ties on key break toward the smaller PageId — the same order
-// the previous std::set implementation produced.
-struct EntryAfter {
-  bool operator()(const std::pair<double, PageId>& a,
-                  const std::pair<double, PageId>& b) const {
-    return a > b;
-  }
-};
-}  // namespace
-
 void WaterfillPolicy::Attach(const Instance& instance) {
   instance_ = &instance;
   heap_.clear();
+  // Compaction keeps the heap within 2x the live set, and the live set is
+  // bounded by the cache size; reserving the high-water mark up front
+  // makes the steady-state serve path allocation-free.
+  heap_.reserve(static_cast<size_t>(
+      std::min<int64_t>(2 * instance.cache_size() + 65,
+                        2 * instance.num_pages() + 65)));
   key_.assign(static_cast<size_t>(instance.num_pages()), 0.0);
   live_.assign(static_cast<size_t>(instance.num_pages()), 0);
   live_size_ = 0;
@@ -35,8 +29,7 @@ void WaterfillPolicy::HeapInsert(PageId p) {
     WMLP_TELEMETRY_COUNTER(pushes, "wmlp_waterfill_heap_push_total");
     pushes.Inc();
   }
-  heap_.emplace_back(key_[static_cast<size_t>(p)], p);
-  std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
+  heap_.push({key_[static_cast<size_t>(p)], p});
   live_[static_cast<size_t>(p)] = 1;
   ++live_size_;
 }
@@ -55,24 +48,25 @@ void WaterfillPolicy::HeapErase(PageId p) {
       WMLP_TELEMETRY_COUNTER(sweeps, "wmlp_waterfill_heap_compaction_total");
       sweeps.Inc();
     }
-    heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+    // In-place filter + Floyd rebuild over the heap's own arena.
+    std::vector<std::pair<double, PageId>>& arena = heap_.arena();
+    arena.erase(std::remove_if(arena.begin(), arena.end(),
                                [&](const std::pair<double, PageId>& e) {
                                  const size_t sp =
                                      static_cast<size_t>(e.second);
                                  return live_[sp] == 0 ||
                                         key_[sp] != e.first;
                                }),
-                heap_.end());
-    std::make_heap(heap_.begin(), heap_.end(), EntryAfter{});
+                arena.end());
+    heap_.heapify();
   }
 }
 
 PageId WaterfillPolicy::HeapPopMin() {
   for (;;) {
     WMLP_CHECK(!heap_.empty());
-    const auto [key, p] = heap_.front();
-    std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
-    heap_.pop_back();
+    const auto [key, p] = heap_.top();
+    heap_.pop();
     const size_t sp = static_cast<size_t>(p);
     if (live_[sp] != 0 && key_[sp] == key) {
       live_[sp] = 0;

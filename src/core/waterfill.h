@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sim/policy.h"
+#include "util/dheap.h"
 
 namespace wmlp {
 
@@ -50,13 +51,22 @@ class WaterfillPolicy final : public Policy {
   // Pops stale entries until the top is live, then removes and returns it.
   PageId HeapPopMin();
 
+  struct EntryBefore {
+    bool operator()(const std::pair<double, PageId>& a,
+                    const std::pair<double, PageId>& b) const {
+      return a < b;
+    }
+  };
+
   const Instance* instance_ = nullptr;
-  // Binary min-heap ordered by key = (remaining credit + offset at insert
-  // time); the minimum key is the next copy to drown. Erases are lazy: an
-  // entry is live iff its page is flagged live AND its key matches the
-  // page's current key (a page re-inserted at a new key strands its old
-  // entry). Ties break on PageId, matching the ordered-set trajectory.
-  std::vector<std::pair<double, PageId>> heap_;
+  // Flat 4-ary min-heap (shared util/dheap.h arena heap) ordered by
+  // key = (remaining credit + offset at insert time); the minimum key is
+  // the next copy to drown. Erases are lazy: an entry is live iff its page
+  // is flagged live AND its key matches the page's current key (a page
+  // re-inserted at a new key strands its old entry). Ties break on PageId
+  // — a total order, so the pop sequence (and hence the trajectory) is
+  // independent of the heap's arity.
+  DHeap<std::pair<double, PageId>, EntryBefore> heap_;
   std::vector<double> key_;    // per page; valid while cached
   std::vector<uint8_t> live_;  // per page; 1 iff currently cached
   int64_t live_size_ = 0;

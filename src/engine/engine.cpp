@@ -1,5 +1,7 @@
 #include "engine/engine.h"
 
+#include <algorithm>
+
 #include "sim/sim_audit.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace_span.h"
@@ -9,19 +11,36 @@ namespace wmlp {
 
 Engine::Engine(RequestSource& source, Policy& policy,
                const EngineOptions& options)
-    : source_(source),
+    : source_(&source),
+      instance_(&source.instance()),
       policy_(policy),
       options_(options),
       state_(source.instance()),
       ops_(source.instance(), state_, options.observer) {
-  policy_.Attach(source_.instance());
+  WMLP_CHECK_MSG(options_.batch >= 1, "EngineOptions::batch must be >= 1");
+  policy_.Attach(*instance_);
+  pull_buf_.reserve(static_cast<size_t>(options_.batch));
+  hit_buf_.reserve(static_cast<size_t>(options_.batch));
+}
+
+Engine::Engine(const Instance& instance, Policy& policy,
+               const EngineOptions& options)
+    : source_(nullptr),
+      instance_(&instance),
+      policy_(policy),
+      options_(options),
+      state_(instance),
+      ops_(instance, state_, options.observer) {
+  WMLP_CHECK_MSG(options_.batch >= 1, "EngineOptions::batch must be >= 1");
+  policy_.Attach(*instance_);
+  hit_buf_.reserve(static_cast<size_t>(options_.batch));
 }
 
 bool Engine::Step() {
   if (done_) return false;
   telemetry::TraceSpan span("engine.step", "engine");
   Request r;
-  if (!source_.Next(r)) {
+  if (source_ == nullptr || !source_->Next(r)) {
     done_ = true;
     return false;
   }
@@ -29,7 +48,7 @@ bool Engine::Step() {
     WMLP_TELEMETRY_COUNTER(steps, "wmlp_engine_steps_total");
     steps.Inc();
   }
-  const Instance& inst = source_.instance();
+  const Instance& inst = *instance_;
   WMLP_CHECK_MSG(inst.valid_page(r.page) && inst.valid_level(r.level),
                  "invalid request at t=" << time_);
   ops_.set_time(time_);
@@ -70,15 +89,107 @@ bool Engine::Step() {
   return true;
 }
 
+void Engine::StepBatch(std::span<const Request> reqs, BatchResult& out) {
+  const int64_t n = static_cast<int64_t>(reqs.size());
+  out.served = n;
+  out.hits = 0;
+  out.misses = 0;
+  if (n == 0) return;
+  telemetry::TraceSpan span("engine.step_batch", "engine");
+  const Instance& inst = *instance_;
+  const Time t0 = time_;
+  if (options_.observer != nullptr) {
+    options_.observer->OnBatchBegin(t0, n);
+  }
+  hit_buf_.resize(static_cast<size_t>(n));
+  int64_t batch_hits = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const Request& r = reqs[static_cast<size_t>(i)];
+    WMLP_CHECK_MSG(inst.valid_page(r.page) && inst.valid_level(r.level),
+                   "invalid request at t=" << time_);
+    ops_.set_time(time_);
+    const bool hit = state_.serves(r);
+    policy_.Serve(time_, r, ops_);
+    if (options_.strict) {
+      WMLP_CHECK_MSG(state_.serves(r),
+                     policy_.name() << " left request (page=" << r.page
+                                    << ", level=" << r.level
+                                    << ") unserved at t=" << time_);
+      WMLP_CHECK_MSG(state_.size() <= state_.capacity(),
+                     policy_.name() << " overfilled cache at t=" << time_
+                                    << ": " << state_.size() << " > "
+                                    << state_.capacity());
+    }
+    if constexpr (audit::kEnabled) {
+      audit::AuditCacheState(inst, state_);
+      audit::AuditCostConvention(inst, state_, ops_.fetch_cost(),
+                                 ops_.eviction_cost());
+    }
+    hit_buf_[static_cast<size_t>(i)] = hit ? 1 : 0;
+    batch_hits += hit ? 1 : 0;
+    ++time_;
+  }
+  out.hits = batch_hits;
+  out.misses = n - batch_hits;
+  hits_ += out.hits;
+  misses_ += out.misses;
+  if constexpr (telemetry::kEnabled) {
+    WMLP_TELEMETRY_COUNTER(steps, "wmlp_engine_steps_total");
+    steps.Add(static_cast<uint64_t>(n));
+    WMLP_TELEMETRY_COUNTER(hit_count, "wmlp_engine_hits_total");
+    hit_count.Add(static_cast<uint64_t>(out.hits));
+    WMLP_TELEMETRY_COUNTER(miss_count, "wmlp_engine_misses_total");
+    miss_count.Add(static_cast<uint64_t>(out.misses));
+  }
+  if (options_.observer != nullptr) {
+    options_.observer->OnBatch(
+        t0, reqs, std::span<const uint8_t>(hit_buf_.data(), hit_buf_.size()));
+  }
+}
+
 int64_t Engine::RunFor(int64_t n) {
   int64_t served = 0;
-  while (served < n && Step()) ++served;
+  BatchResult batch;
+  while (served < n && !done_) {
+    if (source_ == nullptr) {
+      done_ = true;
+      break;
+    }
+    const int64_t want = std::min(n - served, options_.batch);
+    pull_buf_.resize(static_cast<size_t>(want));
+    const int64_t got = source_->NextBatch(pull_buf_.data(), want);
+    if (got == 0) {
+      done_ = true;
+      break;
+    }
+    StepBatch(std::span<const Request>(pull_buf_.data(),
+                                       static_cast<size_t>(got)),
+              batch);
+    served += got;
+    // A short fill means the source is exhausted (NextBatch's contract).
+    if (got < want) done_ = true;
+  }
   return served;
 }
 
 SimResult Engine::Run() {
   telemetry::TraceSpan span("engine.run", "engine");
-  while (Step()) {
+  BatchResult batch;
+  while (!done_) {
+    if (source_ == nullptr) {
+      done_ = true;
+      break;
+    }
+    pull_buf_.resize(static_cast<size_t>(options_.batch));
+    const int64_t got = source_->NextBatch(pull_buf_.data(), options_.batch);
+    if (got == 0) {
+      done_ = true;
+      break;
+    }
+    StepBatch(std::span<const Request>(pull_buf_.data(),
+                                       static_cast<size_t>(got)),
+              batch);
+    if (got < options_.batch) done_ = true;
   }
   return result();
 }

@@ -112,6 +112,21 @@ bool StreamingFileSource::Next(Request& r) {
   return true;
 }
 
+int64_t StreamingFileSource::NextBatch(Request* out, int64_t max) {
+  int64_t written = 0;
+  while (written < max && consumed_ < total_) {
+    if (buffer_pos_ >= buffer_.size()) Refill();
+    const int64_t avail = static_cast<int64_t>(buffer_.size() - buffer_pos_);
+    const int64_t take = std::min(max - written, avail);
+    std::copy_n(buffer_.data() + buffer_pos_, static_cast<size_t>(take),
+                out + written);
+    buffer_pos_ += static_cast<size_t>(take);
+    consumed_ += take;
+    written += take;
+  }
+  return written;
+}
+
 // ---- GeneratorSource -----------------------------------------------------
 
 GeneratorSource::GeneratorSource(Instance instance, int64_t length,

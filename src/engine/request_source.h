@@ -11,6 +11,7 @@
 //                          the materialized traces for matching parameters).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <functional>
@@ -38,6 +39,17 @@ class RequestSource {
   // when the sequence is exhausted.
   virtual bool Next(Request& r) = 0;
 
+  // Fills up to `max` requests into `out` and returns how many were
+  // written. A short return (< max) means the source is exhausted — the
+  // engine's batched pull loop relies on this, so overrides must not
+  // return short while requests remain. The default loops Next();
+  // in-memory sources override with a bulk copy.
+  virtual int64_t NextBatch(Request* out, int64_t max) {
+    int64_t n = 0;
+    while (n < max && Next(out[n])) ++n;
+    return n;
+  }
+
   // Total number of requests this source will emit, or -1 if unknown.
   virtual int64_t length_hint() const { return -1; }
 };
@@ -57,6 +69,13 @@ class TraceSource final : public RequestSource {
     if (pos_ >= trace_->length()) return false;
     r = trace_->requests[static_cast<size_t>(pos_++)];
     return true;
+  }
+  int64_t NextBatch(Request* out, int64_t max) override {
+    const int64_t n = std::min(max, trace_->length() - pos_);
+    if (n <= 0) return 0;
+    std::copy_n(trace_->requests.data() + pos_, static_cast<size_t>(n), out);
+    pos_ += n;
+    return n;
   }
   int64_t length_hint() const override { return trace_->length(); }
 
@@ -89,6 +108,7 @@ class StreamingFileSource final : public RequestSource {
 
   const Instance& instance() const override { return *instance_; }
   bool Next(Request& r) override;
+  int64_t NextBatch(Request* out, int64_t max) override;
   int64_t length_hint() const override { return total_; }
 
   // Introspection for tests: the buffer never holds more than chunk_size

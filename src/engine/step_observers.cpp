@@ -39,9 +39,32 @@ void LatencyHistogram::Record(uint64_t cycles) {
   if (cycles > max_cycles_) max_cycles_ = cycles;
 }
 
+void LatencyHistogram::RecordN(uint64_t cycles, int64_t n) {
+  if (n <= 0) return;
+  const int bucket = cycles < 2 ? 0 : 63 - __builtin_clzll(cycles);
+  counts_[static_cast<size_t>(bucket < kBuckets ? bucket : kBuckets - 1)] +=
+      n;
+  count_ += n;
+  total_cycles_ += cycles * static_cast<uint64_t>(n);
+  if (cycles > max_cycles_) max_cycles_ = cycles;
+}
+
 void LatencyHistogram::OnStep(Time, const Request&, bool) {
   const uint64_t now = NowCycles();
   if (armed_) Record(now - last_);
+  last_ = now;
+  armed_ = true;
+}
+
+void LatencyHistogram::OnBatchBegin(Time, int64_t) { Start(); }
+
+void LatencyHistogram::OnBatch(Time, std::span<const Request> reqs,
+                               std::span<const uint8_t>) {
+  const uint64_t now = NowCycles();
+  const int64_t n = static_cast<int64_t>(reqs.size());
+  if (armed_ && n > 0) {
+    RecordN((now - last_) / static_cast<uint64_t>(n), n);
+  }
   last_ = now;
   armed_ = true;
 }

@@ -8,13 +8,14 @@ namespace wmlp {
 
 std::vector<SimResult> RunTrials(ThreadPool& pool, const Trace& trace,
                                  const PolicyFactory& factory, int32_t trials,
-                                 uint64_t base_seed) {
+                                 uint64_t base_seed,
+                                 const EngineOptions& engine_options) {
   WMLP_CHECK(trials >= 1);
   std::vector<SimResult> results(static_cast<size_t>(trials));
   ParallelFor(pool, trials, [&](int64_t i) {
     PolicyPtr policy = factory(DeriveSeed(base_seed, static_cast<uint64_t>(i)));
     TraceSource source(trace);
-    Engine engine(source, *policy);
+    Engine engine(source, *policy, engine_options);
     results[static_cast<size_t>(i)] = engine.Run();
   });
   return results;

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/engine.h"
 #include "harness/thread_pool.h"
 #include "sim/simulator.h"
 #include "util/stats.h"
@@ -13,10 +14,13 @@ namespace wmlp {
 
 // Runs `trials` independent simulations of the policy produced by `factory`
 // (seeded with DeriveSeed(base_seed, trial)) over `trace`. Results are
-// indexed by trial.
+// indexed by trial. `engine_options` is forwarded to every trial engine;
+// its batch field is a pure throughput knob (results are bitwise
+// invariant to it, see engine/engine.h).
 std::vector<SimResult> RunTrials(ThreadPool& pool, const Trace& trace,
                                  const PolicyFactory& factory, int32_t trials,
-                                 uint64_t base_seed);
+                                 uint64_t base_seed,
+                                 const EngineOptions& engine_options = {});
 
 // Summary of eviction-cost ratios of trials against an offline reference.
 struct RatioSummary {

@@ -24,7 +24,7 @@ ShardInbox::ShardInbox(int32_t num_clients)
   WMLP_CHECK(num_clients >= 1);
 }
 
-void ShardInbox::Push(int32_t client, std::vector<SeqRequest>&& batch) {
+void ShardInbox::Push(int32_t client, std::span<const SeqRequest> batch) {
   if (batch.empty()) return;
   if constexpr (telemetry::kEnabled) {
     WMLP_TELEMETRY_COUNTER(batches, "wmlp_inbox_push_batches_total");
@@ -37,9 +37,8 @@ void ShardInbox::Push(int32_t client, std::vector<SeqRequest>&& batch) {
     ClientQueue& q = clients_[static_cast<size_t>(client)];
     WMLP_CHECK_MSG(!q.closed, "push after close from client " << client);
     WMLP_DCHECK(q.queue.empty() || q.queue.back().seq < batch.front().seq);
-    q.queue.insert(q.queue.end(), batch.begin(), batch.end());
+    q.queue.append(batch);
   }
-  batch.clear();
   ready_.notify_one();
 }
 
@@ -70,7 +69,7 @@ bool ShardInbox::FinishedLocked() const {
   return true;
 }
 
-size_t ShardInbox::PopReady(std::vector<SeqRequest>& out, size_t max_out) {
+size_t ShardInbox::PopReady(SeqRequest* out, size_t max_out) {
   int64_t wait_start = 0;
   if constexpr (telemetry::kEnabled) wait_start = NowNsForTelemetry();
   std::unique_lock lock(mutex_);
@@ -90,9 +89,8 @@ size_t ShardInbox::PopReady(std::vector<SeqRequest>& out, size_t max_out) {
         best = &q;
       }
     }
-    out.push_back(best->queue.front());
+    out[popped++] = best->queue.front();
     best->queue.pop_front();
-    ++popped;
   }
   if constexpr (telemetry::kEnabled) {
     WMLP_TELEMETRY_COUNTER(merge_ns, "wmlp_inbox_merge_ns_total");

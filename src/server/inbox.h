@@ -2,10 +2,16 @@
 // worker pops requests in global sequence order.
 //
 // Concurrency model is deliberately boring — one mutex per inbox, batch
-// swap on both sides. Clients hand over a whole vector per Push (one lock
+// copy on both sides. Clients hand over a whole span per Push (one lock
 // acquisition per batch, not per request); the worker drains the maximal
 // currently-safe run per PopReady call. At serving granularity the mutex
 // is uncontended noise; the interesting part is ordering, not locking.
+//
+// Memory model is equally boring but deliberate: each client queue is a
+// flat ring buffer (util/ring_buffer.h) whose capacity only grows, Push
+// copies into it, and PopReady writes into a caller-owned array — so the
+// steady-state produce/merge/consume cycle performs no allocation on
+// either side of the lock.
 //
 // Ordering contract (the determinism foundation, see server.h): every
 // request carries its global sequence number, each client's pushes are
@@ -21,11 +27,13 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
+#include <initializer_list>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "trace/request.h"
+#include "util/ring_buffer.h"
 
 namespace wmlp {
 
@@ -44,26 +52,31 @@ class ShardInbox {
   ShardInbox(const ShardInbox&) = delete;
   ShardInbox& operator=(const ShardInbox&) = delete;
 
-  // Appends `batch` (ascending seq, all seqs greater than any previous
-  // push from this client) to `client`'s queue. Illegal after Close
-  // (checked). Empty batches are allowed and ignored.
-  void Push(int32_t client, std::vector<SeqRequest>&& batch);
+  // Copies `batch` (ascending seq, all seqs greater than any previous
+  // push from this client) into `client`'s queue. The caller keeps its
+  // buffer — and its capacity — for reuse. Illegal after Close (checked).
+  // Empty batches are allowed and ignored.
+  void Push(int32_t client, std::span<const SeqRequest> batch);
+  void Push(int32_t client, std::initializer_list<SeqRequest> batch) {
+    Push(client, std::span<const SeqRequest>(batch.begin(), batch.size()));
+  }
 
   // Declares that `client` will push no further batches. Idempotent.
   void Close(int32_t client);
 
   // Blocks until at least one request is provably next in sequence order
-  // (or every client has closed and drained), then appends up to
-  // `max_out` in-order requests to `out` and returns how many were
-  // appended. Returns 0 only at end of stream. Single-consumer.
-  size_t PopReady(std::vector<SeqRequest>& out, size_t max_out);
+  // (or every client has closed and drained), then writes up to `max_out`
+  // in-order requests to `out` and returns how many were written.
+  // Returns 0 only at end of stream. Single-consumer; `out` must hold
+  // `max_out` entries.
+  size_t PopReady(SeqRequest* out, size_t max_out);
 
   // True once every client has closed and every queue is drained.
   bool drained();
 
  private:
   struct ClientQueue {
-    std::deque<SeqRequest> queue;
+    RingBuffer<SeqRequest> queue;
     bool closed = false;
   };
 

@@ -5,8 +5,9 @@
 #include <thread>
 #include <utility>
 
+#include <span>
+
 #include "engine/engine.h"
-#include "engine/request_source.h"
 #include "registry/policy_registry.h"
 #include "server/inbox.h"
 #include "server/metrics.h"
@@ -20,44 +21,31 @@ namespace wmlp {
 
 namespace {
 
-// RequestSource over a shard inbox: blocks in Next() until the inbox can
-// release in-order requests, and remaps global page ids to the shard's
-// dense local ids at the boundary. Single-consumer (the shard worker).
-class InboxSource final : public RequestSource {
- public:
-  InboxSource(const ShardMap& map, int32_t shard, ShardInbox& inbox)
-      : map_(map), shard_(shard), inbox_(inbox) {}
-
-  const Instance& instance() const override {
-    return map_.shard_instance(shard_);
-  }
-
-  bool Next(Request& r) override {
-    if (pos_ >= buffer_.size()) {
-      buffer_.clear();
-      pos_ = 0;
-      if (inbox_.PopReady(buffer_, kRefill) == 0) return false;
+// Shard worker serve loop: drains the inbox in engine_batch-sized
+// in-order runs, remaps global page ids to the shard's dense local ids at
+// the boundary, and hands each run to the push-mode engine in one
+// StepBatch call. Both staging buffers are sized once up front, and
+// PopReady fills the caller-owned array directly — the loop performs no
+// steady-state allocation. Returns how many requests this shard served.
+int64_t DrainShard(const ShardMap& map, [[maybe_unused]] int32_t shard,
+                   ShardInbox& inbox,
+                   Engine& engine, int64_t batch) {
+  std::vector<SeqRequest> in(static_cast<size_t>(batch));
+  std::vector<Request> reqs(static_cast<size_t>(batch));
+  BatchResult stats;
+  int64_t served = 0;
+  for (;;) {
+    const size_t got = inbox.PopReady(in.data(), in.size());
+    if (got == 0) return served;
+    for (size_t i = 0; i < got; ++i) {
+      const Request& global = in[i].request;
+      WMLP_DCHECK(map.shard_of(global.page) == shard);
+      reqs[i] = Request{map.local_id(global.page), global.level};
     }
-    const Request global = buffer_[pos_++].request;
-    WMLP_DCHECK(map_.shard_of(global.page) == shard_);
-    r.page = map_.local_id(global.page);
-    r.level = global.level;
-    ++served_;
-    return true;
+    engine.StepBatch(std::span<const Request>(reqs.data(), got), stats);
+    served += static_cast<int64_t>(got);
   }
-
-  int64_t served() const { return served_; }
-
- private:
-  static constexpr size_t kRefill = 1024;
-
-  const ShardMap& map_;
-  int32_t shard_;
-  ShardInbox& inbox_;
-  std::vector<SeqRequest> buffer_;
-  size_t pos_ = 0;
-  int64_t served_ = 0;
-};
+}
 
 // Contiguous range of the trace owned by client c out of n: the partition
 // depends only on (length, n), so the per-shard subsequences — and with
@@ -81,12 +69,14 @@ void RunClient(const Trace& trace, const ShardMap& map, int32_t client,
     const auto s = static_cast<size_t>(map.shard_of(r.page));
     buffers[s].push_back(SeqRequest{i, r});
     if (static_cast<int64_t>(buffers[s].size()) >= batch) {
-      inboxes[s]->Push(client, std::move(buffers[s]));
+      // Push copies; clear() keeps the buffer's capacity, so after the
+      // first few batches the client side allocates nothing either.
+      inboxes[s]->Push(client, buffers[s]);
       buffers[s].clear();
     }
   }
   for (size_t s = 0; s < buffers.size(); ++s) {
-    inboxes[s]->Push(client, std::move(buffers[s]));
+    inboxes[s]->Push(client, buffers[s]);
     inboxes[s]->Close(client);
   }
 }
@@ -102,6 +92,10 @@ std::string ValidateServeConfig(const Instance& instance,
   if (options.batch < 1) return "batch must be >= 1";
   if (options.batch > kMaxBatch) {
     return "batch must be <= " + std::to_string(kMaxBatch);
+  }
+  if (options.engine_batch < 1) return "engine-batch must be >= 1";
+  if (options.engine_batch > kMaxBatch) {
+    return "engine-batch must be <= " + std::to_string(kMaxBatch);
   }
   if (MakePolicyByName(options.policy, options.seed) == nullptr) {
     return "unknown policy '" + options.policy + "'";
@@ -125,24 +119,23 @@ ServeReport ServeTrace(const Trace& trace, const ServeOptions& options) {
   }
 
   // Shard state lives outside the worker threads so results survive the
-  // joins. Empty shards get no policy, engine, or worker.
+  // joins. Empty shards get no policy, engine, or worker. Engines run in
+  // push mode: the worker feeds inbox batches to StepBatch directly.
   ShardedMetrics metrics(shards, options.collect_latency);
-  std::vector<std::unique_ptr<InboxSource>> sources(
-      static_cast<size_t>(shards));
   std::vector<PolicyPtr> policies(static_cast<size_t>(shards));
   std::vector<std::unique_ptr<Engine>> engines(
       static_cast<size_t>(shards));
   std::vector<SimResult> results(static_cast<size_t>(shards));
+  std::vector<int64_t> served(static_cast<size_t>(shards), 0);
   for (int32_t s = 0; s < shards; ++s) {
     if (map.shard_empty(s)) continue;
     const auto idx = static_cast<size_t>(s);
-    sources[idx] = std::make_unique<InboxSource>(map, s, *inboxes[idx]);
     policies[idx] = MakePolicyByName(
         options.policy, DeriveSeed(options.seed, static_cast<uint64_t>(s)));
     EngineOptions eopts;
     eopts.observer = metrics.observer(s);
-    engines[idx] =
-        std::make_unique<Engine>(*sources[idx], *policies[idx], eopts);
+    engines[idx] = std::make_unique<Engine>(map.shard_instance(s),
+                                            *policies[idx], eopts);
   }
 
   const auto start = std::chrono::steady_clock::now();
@@ -151,11 +144,14 @@ ServeReport ServeTrace(const Trace& trace, const ServeOptions& options) {
                   static_cast<size_t>(clients));
   for (int32_t s = 0; s < shards; ++s) {
     if (map.shard_empty(s)) continue;
-    workers.emplace_back([&results, &engines, s] {
-      telemetry::TraceSpan shard_span("server.shard_worker", "server");
-      const auto idx = static_cast<size_t>(s);
-      results[idx] = engines[idx]->Run();
-    });
+    workers.emplace_back(
+        [&results, &engines, &served, &map, &inboxes, &options, s] {
+          telemetry::TraceSpan shard_span("server.shard_worker", "server");
+          const auto idx = static_cast<size_t>(s);
+          served[idx] = DrainShard(map, s, *inboxes[idx], *engines[idx],
+                                   options.engine_batch);
+          results[idx] = engines[idx]->result();
+        });
   }
   for (int32_t c = 0; c < clients; ++c) {
     workers.emplace_back([&trace, &map, c, clients, &options, &inboxes] {
@@ -182,7 +178,7 @@ ServeReport ServeTrace(const Trace& trace, const ServeOptions& options) {
     sr.capacity = map.shard_capacity(s);
     if (map.shard_empty(s)) continue;
     sr.result = results[idx];
-    sr.requests = sources[idx]->served();
+    sr.requests = served[idx];
     routed += sr.requests;
     WMLP_CHECK_MSG(inboxes[idx]->drained(),
                    "shard " << s << " exited with queued requests");

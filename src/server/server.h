@@ -4,9 +4,10 @@
 // (server/sharding.h), gives each shard an independent registry policy
 // with a private capacity budget, and pushes the request stream through
 // per-shard inboxes (server/inbox.h) from N client threads submitting in
-// batches. Each shard worker runs the ordinary strict Engine over an
-// inbox-backed RequestSource, so every feasibility check, audit hook, and
-// observer of the single-cache serve loop applies per shard unchanged.
+// batches. Each shard worker drains its inbox in engine_batch-sized runs
+// into an ordinary strict push-mode Engine via StepBatch, so every
+// feasibility check, audit hook, and observer of the single-cache serve
+// loop applies per shard unchanged.
 //
 // Determinism contract (enforced by tests/server_test.cpp, hammered by
 // tests/server_stress_test.cpp under TSan):
@@ -41,6 +42,12 @@ struct ServeOptions {
   // flush). Smaller batches lower shard stalls; bigger batches lower
   // locking overhead. Neither changes any cost field.
   int64_t batch = 256;
+  // Shard-side dispatch batch, in requests: each worker pops up to this
+  // many in-order requests from its inbox per lock acquisition and serves
+  // them in one Engine::StepBatch call. Purely a throughput knob — the
+  // batched serve path is bitwise-equal to single-stepping, so no cost
+  // field depends on it.
+  int64_t engine_batch = 256;
   std::string policy = "lru";
   uint64_t seed = 1;
   // Collect per-request serve-time histograms (one per shard, merged into

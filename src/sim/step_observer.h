@@ -7,6 +7,9 @@
 // pays exactly one predictable branch when no observer is attached.
 #pragma once
 
+#include <cstdint>
+#include <span>
+
 #include "trace/request.h"
 
 namespace wmlp {
@@ -27,6 +30,25 @@ class StepObserver {
 
   // The request at time t finished serving (after feasibility checks).
   virtual void OnStep(Time /*t*/, const Request& /*r*/, bool /*hit*/) {}
+
+  // Batch extension used by Engine::StepBatch. The engine announces the
+  // batch before serving (OnBatchBegin), emits per-request OnFetch/OnEvict
+  // as usual while serving, and reports the served requests plus their hit
+  // flags in one call afterwards (OnBatch). Request i of the batch ran at
+  // time t0 + i; hits[i] != 0 iff it was a hit.
+  //
+  // The default OnBatch falls back to per-request OnStep, so observers that
+  // only implement the single-step interface see every request — but note
+  // the interleaving differs from Step(): all of the batch's fetch/evict
+  // events arrive before any of its OnStep calls (see
+  // docs/ARCHITECTURE.md §11 for the full contract).
+  virtual void OnBatchBegin(Time /*t0*/, int64_t /*n*/) {}
+  virtual void OnBatch(Time t0, std::span<const Request> reqs,
+                       std::span<const uint8_t> hits) {
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      OnStep(t0 + static_cast<Time>(i), reqs[i], hits[i] != 0);
+    }
+  }
 };
 
 }  // namespace wmlp

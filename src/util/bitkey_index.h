@@ -1,0 +1,99 @@
+// Open-addressing flat map from 64-bit keys to small non-negative ids.
+//
+// Built for keying weight groups on the raw bit pattern of a double
+// (std::bit_cast<uint64_t>(w)): hashing the bits instead of the value
+// sidesteps every floating-point hashing pitfall — -0.0 vs +0.0, denormal
+// collapse, platform-dependent std::hash<double> truncation — two weights
+// are the same group iff their bit patterns are identical. Linear probing
+// over one flat key array plus one flat value array, no buckets, no
+// per-node allocation; entries are never removed (the fractional solver
+// never retires a weight group), so there are no tombstones and lookups
+// are a mix, a mask, and a short contiguous scan.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace wmlp {
+
+class BitKeyIndex {
+ public:
+  BitKeyIndex() { Reset(); }
+
+  // Drops all entries, keeping the backing arrays' capacity when possible.
+  void Reset() {
+    if (keys_.size() != kInitialSlots) {
+      keys_.assign(kInitialSlots, 0);
+      values_.assign(kInitialSlots, kEmpty);
+    } else {
+      std::fill(values_.begin(), values_.end(), kEmpty);
+    }
+    mask_ = keys_.size() - 1;
+    size_ = 0;
+  }
+
+  int64_t size() const { return size_; }
+
+  // Returns the value stored for `key`, or -1 if absent.
+  int32_t Find(uint64_t key) const {
+    size_t slot = Mix(key) & mask_;
+    while (values_[slot] != kEmpty) {
+      if (keys_[slot] == key) return values_[slot];
+      slot = (slot + 1) & mask_;
+    }
+    return -1;
+  }
+
+  // Inserts (key, value); `key` must not already be present and `value`
+  // must be >= 0.
+  void Insert(uint64_t key, int32_t value) {
+    WMLP_CHECK(value >= 0);
+    if ((size_ + 1) * 4 > static_cast<int64_t>(keys_.size()) * 3) Grow();
+    size_t slot = Mix(key) & mask_;
+    while (values_[slot] != kEmpty) {
+      WMLP_CHECK_MSG(keys_[slot] != key, "duplicate BitKeyIndex key");
+      slot = (slot + 1) & mask_;
+    }
+    keys_[slot] = key;
+    values_[slot] = value;
+    ++size_;
+  }
+
+ private:
+  static constexpr size_t kInitialSlots = 16;  // power of two
+  static constexpr int32_t kEmpty = -1;
+
+  // splitmix64 finalizer: full-avalanche so adjacent bit patterns (doubles
+  // from a common generator differ in few mantissa bits) spread uniformly.
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  void Grow() {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<int32_t> old_values = std::move(values_);
+    keys_.assign(old_keys.size() * 2, 0);
+    values_.assign(old_values.size() * 2, kEmpty);
+    mask_ = keys_.size() - 1;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_values[i] == kEmpty) continue;
+      size_t slot = Mix(old_keys[i]) & mask_;
+      while (values_[slot] != kEmpty) slot = (slot + 1) & mask_;
+      keys_[slot] = old_keys[i];
+      values_[slot] = old_values[i];
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<int32_t> values_;
+  size_t mask_ = 0;
+  int64_t size_ = 0;
+};
+
+}  // namespace wmlp

@@ -1,0 +1,114 @@
+// Flat d-ary min-heap over a reusable arena.
+//
+// A drop-in replacement for std::priority_queue tuned for the hot serve
+// paths: entries live contiguously in one vector that is cleared, never
+// freed, so steady-state push/pop performs zero allocations; the 4-ary
+// layout halves the tree height of a binary heap and keeps sift loops on
+// one or two cache lines per level. Deletions are the caller's business
+// (lazy deletion: push superseding entries and filter stale ones at pop
+// time) — the heap itself only orders.
+//
+// Rebuilds reuse the arena too: clear(), a run of push_unordered(), then
+// heapify() is Floyd's O(n) bottom-up construction with no intermediate
+// vector, which is how the fractional solver's compaction and clock
+// renormalization stay allocation-free.
+//
+// Ordering note: with a total-order comparator the pop sequence is the
+// sorted sequence regardless of arity, so swapping a binary heap for this
+// one is trajectory-invariant (waterfill orders by (key, page) pairs).
+// Comparators with ties may surface tied entries in a different — but
+// still deterministic — order than another heap implementation would.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace wmlp {
+
+// Less(a, b) == true iff a orders strictly before b; top() is the minimum.
+template <typename T, typename Less>
+class DHeap {
+ public:
+  static constexpr size_t kArity = 4;
+
+  explicit DHeap(Less less = Less{}) : less_(less) {}
+
+  bool empty() const { return arena_.empty(); }
+  size_t size() const { return arena_.size(); }
+  void reserve(size_t n) { arena_.reserve(n); }
+  // Drops all entries; keeps the arena's capacity.
+  void clear() { arena_.clear(); }
+
+  const T& top() const {
+    WMLP_CHECK(!arena_.empty());
+    return arena_.front();
+  }
+
+  void push(const T& value) {
+    arena_.push_back(value);
+    SiftUp(arena_.size() - 1);
+  }
+
+  // Removes the minimum. The caller reads top() first.
+  void pop() {
+    WMLP_CHECK(!arena_.empty());
+    arena_.front() = arena_.back();
+    arena_.pop_back();
+    if (!arena_.empty()) SiftDown(0);
+  }
+
+  // Appends without restoring heap order; pair with heapify(). Used for
+  // allocation-free rebuilds (compaction, coordinate shifts).
+  void push_unordered(const T& value) { arena_.push_back(value); }
+
+  // Floyd's bottom-up heap construction: O(n).
+  void heapify() {
+    if (arena_.size() < 2) return;
+    for (size_t i = (arena_.size() - 2) / kArity + 1; i-- > 0;) {
+      SiftDown(i);
+    }
+  }
+
+  // Mutable view for in-place coordinate rewrites before heapify().
+  std::vector<T>& arena() { return arena_; }
+  const std::vector<T>& arena() const { return arena_; }
+
+ private:
+  void SiftUp(size_t i) {
+    const T value = arena_[i];
+    while (i > 0) {
+      const size_t parent = (i - 1) / kArity;
+      if (!less_(value, arena_[parent])) break;
+      arena_[i] = arena_[parent];
+      i = parent;
+    }
+    arena_[i] = value;
+  }
+
+  void SiftDown(size_t i) {
+    const T value = arena_[i];
+    const size_t n = arena_.size();
+    for (;;) {
+      const size_t first = i * kArity + 1;
+      if (first >= n) break;
+      const size_t last = first + kArity < n ? first + kArity : n;
+      size_t best = first;
+      for (size_t c = first + 1; c < last; ++c) {
+        if (less_(arena_[c], arena_[best])) best = c;
+      }
+      if (!less_(arena_[best], value)) break;
+      arena_[i] = arena_[best];
+      i = best;
+    }
+    arena_[i] = value;
+  }
+
+  std::vector<T> arena_;
+  Less less_;
+};
+
+}  // namespace wmlp

@@ -1,0 +1,77 @@
+// Flat power-of-two ring buffer (FIFO) over one contiguous allocation.
+//
+// Built for the shard inbox's per-client queues: std::deque allocates a
+// node per block and releases it on drain, so a sustained push/pop cycle
+// churns the allocator from two threads. The ring keeps one backing array
+// that only ever grows — steady-state append/pop_front is index
+// arithmetic, no allocation — and bulk append copies at most two
+// contiguous runs. Not thread-safe; the inbox serializes access under its
+// mutex.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wmlp {
+
+template <typename T>
+class RingBuffer {
+ public:
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  // Grows capacity to at least `cap` (rounded up to a power of two).
+  void reserve(size_t cap) {
+    if (cap > buf_.size()) Regrow(cap);
+  }
+
+  const T& front() const { return buf_[head_]; }
+  const T& back() const {
+    return buf_[(head_ + count_ - 1) & (buf_.size() - 1)];
+  }
+
+  void pop_front() {
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --count_;
+  }
+
+  // Appends `in` in order, growing (never shrinking) the backing array if
+  // needed; at most two std::copy_n runs around the wrap point.
+  void append(std::span<const T> in) {
+    if (count_ + in.size() > buf_.size()) Regrow(count_ + in.size());
+    const size_t cap = buf_.size();
+    const size_t tail = (head_ + count_) & (cap - 1);
+    const size_t first = std::min(in.size(), cap - tail);
+    std::copy_n(in.data(), first, buf_.data() + tail);
+    std::copy_n(in.data() + first, in.size() - first, buf_.data());
+    count_ += in.size();
+  }
+
+  void push_back(const T& v) { append(std::span<const T>(&v, 1)); }
+
+  // Drops the contents; capacity is retained.
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  void Regrow(size_t need) {
+    size_t cap = buf_.empty() ? size_t{16} : buf_.size();
+    while (cap < need) cap *= 2;
+    std::vector<T> next(cap);
+    for (size_t i = 0; i < count_; ++i) {
+      next[i] = buf_[(head_ + i) & (buf_.size() - 1)];
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;  // size is always zero or a power of two
+  size_t head_ = 0;
+  size_t count_ = 0;
+};
+
+}  // namespace wmlp

@@ -2,15 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "engine/request_source.h"
 #include "engine/step_observers.h"
 #include "registry/policy_registry.h"
 #include "trace/generators.h"
 #include "trace/trace_io.h"
+#include "util/check.h"
 
 namespace wmlp {
 namespace {
@@ -189,6 +193,170 @@ TEST(GeneratorSource, DrivesTheEngineWithoutMaterializing) {
   EXPECT_TRUE(SameResult(streamed, materialized));
   // The classic adversary: LRU faults on every request.
   EXPECT_EQ(streamed.misses, 650);
+}
+
+// --- Batched-vs-single equivalence battery ------------------------------
+//
+// The batching contract (docs/ARCHITECTURE.md §11): StepBatch serves its
+// requests in exactly the per-request order Step() would, so every
+// cost/count field, the CostMeter, and the fetch/evict event sequence are
+// bitwise identical for any partition of the trace into batches. These
+// tests are the contract's enforcement; they run in the default, audit
+// (WMLP_AUDIT=ON), and TSan configurations.
+
+struct ObservedRun {
+  SimResult result;
+  double fetch_cost = 0.0;
+  double eviction_cost = 0.0;
+  int64_t fetches = 0;
+  int64_t evictions = 0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t steps = 0;
+  std::vector<CacheEvent> events;
+};
+
+// Reference: the trace served one request per Step() through the pull
+// path, with a CostMeter and an EventLogObserver attached.
+ObservedRun SingleStepReference(const Trace& t, const std::string& name,
+                                uint64_t seed) {
+  ObservedRun run;
+  PolicyPtr p = MakePolicyByName(name, seed);
+  WMLP_CHECK(p != nullptr);
+  CostMeter meter;
+  EventLogObserver log(&run.events);
+  MultiObserver obs({&meter, &log});
+  TraceSource source(t);
+  EngineOptions opts;
+  opts.observer = &obs;
+  Engine engine(source, *p, opts);
+  while (engine.Step()) {
+  }
+  run.result = engine.result();
+  run.fetch_cost = meter.fetch_cost();
+  run.eviction_cost = meter.eviction_cost();
+  run.fetches = meter.fetches();
+  run.evictions = meter.evictions();
+  run.hits = meter.hits();
+  run.misses = meter.misses();
+  run.steps = meter.steps();
+  return run;
+}
+
+void ExpectRunsBitwiseEqual(const ObservedRun& ref, const ObservedRun& got,
+                            const std::string& context) {
+  EXPECT_TRUE(SameResult(ref.result, got.result)) << context;
+  // Doubles compared with ==, deliberately: the contract is bitwise.
+  EXPECT_EQ(ref.fetch_cost, got.fetch_cost) << context;
+  EXPECT_EQ(ref.eviction_cost, got.eviction_cost) << context;
+  EXPECT_EQ(ref.fetches, got.fetches) << context;
+  EXPECT_EQ(ref.evictions, got.evictions) << context;
+  EXPECT_EQ(ref.hits, got.hits) << context;
+  EXPECT_EQ(ref.misses, got.misses) << context;
+  EXPECT_EQ(ref.steps, got.steps) << context;
+  ASSERT_EQ(ref.events.size(), got.events.size()) << context;
+  for (size_t i = 0; i < ref.events.size(); ++i) {
+    EXPECT_EQ(ref.events[i].t, got.events[i].t) << context << " event " << i;
+    EXPECT_EQ(ref.events[i].kind, got.events[i].kind)
+        << context << " event " << i;
+    EXPECT_EQ(ref.events[i].page, got.events[i].page)
+        << context << " event " << i;
+    EXPECT_EQ(ref.events[i].level, got.events[i].level)
+        << context << " event " << i;
+  }
+}
+
+TEST(EngineBatchEquivalence, PushModeStepBatchMatchesSingleStep) {
+  const Trace multi = MultiLevelTrace();
+  Instance flat = Instance::Uniform(24, 6);
+  const Trace single = GenZipf(flat, 600, 0.8, LevelMix::AllLowest(1), 5);
+  for (const auto& name : KnownPolicyNames()) {
+    const Trace& t = name == "marking" ? single : multi;
+    const ObservedRun ref = SingleStepReference(t, name, 42);
+    const int64_t n = t.length();
+    for (const int64_t batch :
+         {int64_t{1}, int64_t{2}, int64_t{7}, int64_t{64}, n}) {
+      PolicyPtr p = MakePolicyByName(name, 42);
+      ASSERT_NE(p, nullptr) << name;
+      ObservedRun got;
+      CostMeter meter;
+      EventLogObserver log(&got.events);
+      MultiObserver obs({&meter, &log});
+      EngineOptions opts;
+      opts.observer = &obs;
+      Engine engine(t.instance, *p, opts);
+      int64_t served = 0;
+      for (int64_t i = 0; i < n; i += batch) {
+        const int64_t m = std::min(batch, n - i);
+        BatchResult br;
+        engine.StepBatch(
+            std::span<const Request>(t.requests.data() + i,
+                                     static_cast<size_t>(m)),
+            br);
+        EXPECT_EQ(br.served, m);
+        EXPECT_EQ(br.hits + br.misses, m);
+        served += br.served;
+      }
+      EXPECT_EQ(served, n);
+      EXPECT_TRUE(engine.done() || engine.time() == n);
+      got.result = engine.result();
+      got.fetch_cost = meter.fetch_cost();
+      got.eviction_cost = meter.eviction_cost();
+      got.fetches = meter.fetches();
+      got.evictions = meter.evictions();
+      got.hits = meter.hits();
+      got.misses = meter.misses();
+      got.steps = meter.steps();
+      ExpectRunsBitwiseEqual(ref, got,
+                             name + " batch=" + std::to_string(batch));
+    }
+  }
+}
+
+TEST(EngineBatchEquivalence, PullModeBatchKnobIsCostInvariant) {
+  const Trace t = MultiLevelTrace();
+  for (const auto& name : {"lru", "landlord", "waterfill", "randomized"}) {
+    const ObservedRun ref = SingleStepReference(t, name, 7);
+    for (const int64_t batch :
+         {int64_t{1}, int64_t{3}, int64_t{100}, int64_t{4096}}) {
+      PolicyPtr p = MakePolicyByName(name, 7);
+      ObservedRun got;
+      CostMeter meter;
+      EventLogObserver log(&got.events);
+      MultiObserver obs({&meter, &log});
+      TraceSource source(t);
+      EngineOptions opts;
+      opts.observer = &obs;
+      opts.batch = batch;
+      Engine engine(source, *p, opts);
+      got.result = engine.Run();
+      got.fetch_cost = meter.fetch_cost();
+      got.eviction_cost = meter.eviction_cost();
+      got.fetches = meter.fetches();
+      got.evictions = meter.evictions();
+      got.hits = meter.hits();
+      got.misses = meter.misses();
+      got.steps = meter.steps();
+      ExpectRunsBitwiseEqual(
+          ref, got, std::string(name) + " pull batch=" + std::to_string(batch));
+    }
+  }
+}
+
+TEST(EngineBatchEquivalence, LatencyHistogramCountsEveryBatchedRequest) {
+  const Trace t = MultiLevelTrace(500);
+  PolicyPtr p = MakePolicyByName("landlord", 3);
+  LatencyHistogram latency;
+  TraceSource source(t);
+  EngineOptions opts;
+  opts.observer = &latency;
+  opts.batch = 37;
+  latency.Start();
+  Engine engine(source, *p, opts);
+  engine.Run();
+  // OnBatchBegin/OnBatch amortize the clock reads but still book one
+  // sample per request.
+  EXPECT_EQ(latency.count(), t.length());
 }
 
 TEST(Observers, CostMeterMatchesSimResult) {

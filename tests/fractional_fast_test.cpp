@@ -160,6 +160,48 @@ TEST(FractionalFast, OutputSensitiveCountersAdvance) {
 
 // ---- SolveStoppingClock unit tests -------------------------------------
 
+TEST(FractionalFast, UlpAdjacentWeightsFormDistinctGroups) {
+  // Regression for the group index keying. Weight groups are keyed on the
+  // exact bit pattern of the cursor weight (std::bit_cast<uint64_t>, see
+  // util/bitkey_index.h). Any truncating key — a float cast, a
+  // fixed-point scale, std::hash<double> collapsing denormals — would
+  // merge doubles one ulp apart into one group and silently mix their
+  // mass/lp aggregates. Build three clusters of three ulp-adjacent
+  // weights each: nine distinct doubles, three distinct floats.
+  constexpr int32_t n = 9;
+  constexpr int32_t k = 3;
+  std::vector<std::vector<Cost>> w(static_cast<size_t>(n));
+  for (int32_t p = 0; p < n; ++p) {
+    double base = 1.5 + static_cast<double>(p / 3);
+    for (int32_t ulp = 0; ulp < p % 3; ++ulp) {
+      base = std::nextafter(base, 8.0);
+    }
+    // Distinct doubles that collide under float truncation: the test is
+    // vacuous if this ever stops holding.
+    ASSERT_EQ(static_cast<double>(static_cast<float>(base)),
+              1.5 + static_cast<double>(p / 3));
+    w[static_cast<size_t>(p)] = {base};
+  }
+  Instance inst(n, k, 1, std::move(w));
+  // All nine pages cycle through a size-3 cache, so most are being raised
+  // at any time and every weight eventually heads a group.
+  const Trace trace = GenLoop(inst, 250, n, LevelMix::AllLowest(1));
+
+  ExpectLockstepEquivalent(trace, {}, "ulp-adjacent");
+
+  FractionalMlp fast;
+  fast.Attach(trace.instance);
+  int32_t max_groups = 0;
+  for (Time t = 0; t < trace.length(); ++t) {
+    fast.Serve(t, trace.requests[static_cast<size_t>(t)]);
+    max_groups = std::max(max_groups, fast.num_weight_groups());
+  }
+  // Under any 3-way truncation collapse at most 3 groups could exist.
+  // Groups are never retired, so after a full loop every one of the nine
+  // distinct weights has headed its own group.
+  EXPECT_EQ(max_groups, n);
+}
+
 TEST(StoppingClock, NewtonSolvesExponentialGain) {
   // g(s) = e^s - 1, need = 1 => s = log 2.
   auto g = [](double s, double* rate) {

@@ -18,6 +18,7 @@
 //     cost is unchanged (checked exactly, and >= never increases).
 #include <gtest/gtest.h>
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -175,6 +176,75 @@ TEST(MetamorphicDuplicationTest, WaterfillCostUnchangedByDuplication) {
     const Cost doubled = RunPolicy(dup, "waterfill", 1);
     EXPECT_LE(doubled, base) << "seed " << seed;  // the paper's property
     EXPECT_EQ(doubled, base) << "seed " << seed;  // and in fact exact
+  }
+}
+
+// --- Batch-boundary-shift invariance ------------------------------------
+//
+// A metamorphic view of the batching contract: partition the same request
+// stream into batches two different ways (here: a fixed width vs the same
+// width with every boundary shifted by an offset, plus a ragged
+// pseudo-random partition) and the push-mode engine must produce bitwise
+// identical costs. Unlike the engine_test battery this varies the
+// *partition shape*, not just the batch size, so an engine that kept
+// hidden state across StepBatch calls keyed to batch boundaries would be
+// caught here.
+
+SimResult RunPartitioned(const Trace& t, const std::string& name,
+                         const std::vector<int64_t>& cuts) {
+  PolicyPtr policy = MakePolicyByName(name, 11);
+  Engine engine(t.instance, *policy);
+  int64_t at = 0;
+  const int64_t n = t.length();
+  for (size_t c = 0; at < n; ++c) {
+    const int64_t end = c < cuts.size() ? cuts[c] : n;
+    BatchResult br;
+    engine.StepBatch(std::span<const Request>(t.requests.data() + at,
+                                              static_cast<size_t>(end - at)),
+                     br);
+    at = end;
+  }
+  return engine.result();
+}
+
+TEST(MetamorphicBatchBoundaryTest, ShiftedBoundariesLeaveCostsBitwiseEqual) {
+  Instance inst(48, 12, 3,
+                MakeWeights(48, 3, WeightModel::kLogUniform, 16.0, 9));
+  const Trace trace =
+      GenZipf(std::move(inst), 3000, 0.85, LevelMix::UniformMix(3), 13);
+  const int64_t n = trace.length();
+
+  // Fixed-width cuts at multiples of w; shifted cuts at w*i + shift; and a
+  // ragged partition whose block sizes cycle through {1, 5, 2, 31, 3}.
+  auto fixed = [n](int64_t w, int64_t shift) {
+    std::vector<int64_t> cuts;
+    for (int64_t c = shift == 0 ? w : shift; c < n; c += w) cuts.push_back(c);
+    return cuts;
+  };
+  std::vector<int64_t> ragged;
+  {
+    const int64_t widths[] = {1, 5, 2, 31, 3};
+    int64_t at = 0;
+    for (size_t i = 0; at < n; ++i) {
+      at += widths[i % 5];
+      if (at < n) ragged.push_back(at);
+    }
+  }
+
+  for (const std::string& name :
+       {std::string("lru"), std::string("landlord"), std::string("waterfill"),
+        std::string("randomized")}) {
+    const SimResult ref = RunPartitioned(trace, name, fixed(64, 0));
+    for (const auto& cuts :
+         {fixed(64, 1), fixed(64, 17), fixed(64, 63), ragged}) {
+      const SimResult got = RunPartitioned(trace, name, cuts);
+      EXPECT_EQ(got.eviction_cost, ref.eviction_cost) << name;
+      EXPECT_EQ(got.fetch_cost, ref.fetch_cost) << name;
+      EXPECT_EQ(got.hits, ref.hits) << name;
+      EXPECT_EQ(got.misses, ref.misses) << name;
+      EXPECT_EQ(got.evictions, ref.evictions) << name;
+      EXPECT_EQ(got.fetches, ref.fetches) << name;
+    }
   }
 }
 

@@ -45,24 +45,23 @@ TEST(ServerStressTest, InboxProducersConsumerOrdering) {
         for (int64_t seq = c; seq < kTotal; seq += kProducers) {
           batch.push_back(SeqRequest{seq, Request{0, 1}});
           if (rng.NextBounded(4) == 0) {
-            inbox.Push(c, std::move(batch));
+            inbox.Push(c, batch);
             batch.clear();
           }
         }
-        inbox.Push(c, std::move(batch));
+        inbox.Push(c, batch);
         inbox.Close(c);
       });
     }
     std::atomic<bool> ok{true};
     std::thread consumer([&inbox, &ok] {
-      std::vector<SeqRequest> out;
+      std::vector<SeqRequest> out(128);
       int64_t expected = 0;
       while (true) {
-        out.clear();
-        const size_t got = inbox.PopReady(out, 128);
+        const size_t got = inbox.PopReady(out.data(), out.size());
         if (got == 0) break;
-        for (const SeqRequest& r : out) {
-          if (r.seq != expected) {
+        for (size_t i = 0; i < got; ++i) {
+          if (out[i].seq != expected) {
             ok.store(false);
             return;
           }
@@ -126,18 +125,19 @@ TEST(ServerStressTest, SilentClientsNeverWedgeTheMerge) {
       threads.emplace_back([c, round, &inbox] {
         // Odd clients push one late-seq request; even clients only close.
         if (c % 2 == 1) {
-          std::vector<SeqRequest> batch{
-              SeqRequest{static_cast<int64_t>(round * kClients + c),
-                         Request{0, 1}}};
-          inbox.Push(c, std::move(batch));
+          inbox.Push(c, {SeqRequest{static_cast<int64_t>(round * kClients + c),
+                                    Request{0, 1}}});
         }
         inbox.Close(c);
       });
     }
-    std::vector<SeqRequest> out;
-    while (inbox.PopReady(out, 8) > 0) {
+    std::vector<SeqRequest> out(8);
+    size_t total = 0;
+    size_t got = 0;
+    while ((got = inbox.PopReady(out.data(), out.size())) > 0) {
+      total += got;
     }
-    EXPECT_EQ(out.size(), 3u) << "round " << round;
+    EXPECT_EQ(total, 3u) << "round " << round;
     for (std::thread& t : threads) t.join();
   }
 }

@@ -1,8 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <span>
 #include <vector>
 
+#include "util/bitkey_index.h"
+#include "util/dheap.h"
+#include "util/ring_buffer.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/zipf.h"
@@ -192,6 +199,167 @@ TEST(Stats, MeanAndStdDev) {
   std::vector<double> xs = {1.0, 2.0, 3.0};
   EXPECT_NEAR(Mean(xs), 2.0, 1e-12);
   EXPECT_NEAR(StdDev(xs), 1.0, 1e-12);
+}
+
+// --- DHeap ---------------------------------------------------------------
+
+struct IntLess {
+  bool operator()(int a, int b) const { return a < b; }
+};
+
+TEST(DHeap, PopsInSortedOrder) {
+  Rng rng(3);
+  DHeap<int, IntLess> heap;
+  std::vector<int> values;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = static_cast<int>(rng.NextBounded(500));
+    values.push_back(v);
+    heap.push(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const int expected : values) {
+    ASSERT_FALSE(heap.empty());
+    EXPECT_EQ(heap.top(), expected);
+    heap.pop();
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(DHeap, HeapifyMatchesIncrementalPushes) {
+  Rng rng(9);
+  DHeap<int, IntLess> pushed, bulk;
+  for (int i = 0; i < 500; ++i) {
+    const int v = static_cast<int>(rng.NextBounded(1000));
+    pushed.push(v);
+    bulk.push_unordered(v);
+  }
+  bulk.heapify();
+  while (!pushed.empty()) {
+    ASSERT_FALSE(bulk.empty());
+    EXPECT_EQ(bulk.top(), pushed.top());
+    bulk.pop();
+    pushed.pop();
+  }
+  EXPECT_TRUE(bulk.empty());
+}
+
+TEST(DHeap, ClearKeepsArenaCapacityAndReusesIt) {
+  DHeap<int, IntLess> heap;
+  for (int i = 0; i < 100; ++i) heap.push(100 - i);
+  const size_t cap = heap.arena().capacity();
+  heap.clear();
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.arena().capacity(), cap);
+  heap.push(5);
+  heap.push(1);
+  EXPECT_EQ(heap.top(), 1);
+}
+
+// --- BitKeyIndex ---------------------------------------------------------
+
+TEST(BitKeyIndex, InsertFindAndGrow) {
+  BitKeyIndex index;
+  // Far past the initial 16 slots: forces several grows.
+  for (uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(index.Find(i * 0x9e3779b9ULL), -1);
+    index.Insert(i * 0x9e3779b9ULL, static_cast<int32_t>(i));
+  }
+  EXPECT_EQ(index.size(), 1000);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(index.Find(i * 0x9e3779b9ULL), static_cast<int32_t>(i));
+  }
+  index.Reset();
+  EXPECT_EQ(index.size(), 0);
+  EXPECT_EQ(index.Find(0x9e3779b9ULL), -1);
+}
+
+TEST(BitKeyIndex, AdjacentDoubleBitPatternsStayDistinct) {
+  // The motivating case: doubles one ulp apart collide under any
+  // truncating key (cast to float, fixed-point scale) but must map to
+  // distinct groups. Keying on the bit pattern makes collision impossible.
+  BitKeyIndex index;
+  double w = 2.0;
+  for (int32_t i = 0; i < 8; ++i) {
+    const uint64_t key = std::bit_cast<uint64_t>(w);
+    EXPECT_EQ(index.Find(key), -1) << "ulp " << i;
+    index.Insert(key, i);
+    w = std::nextafter(w, 3.0);
+  }
+  w = 2.0;
+  for (int32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(index.Find(std::bit_cast<uint64_t>(w)), i);
+    EXPECT_EQ(static_cast<double>(static_cast<float>(w)), 2.0)
+        << "weights must collide under float truncation for this test "
+           "to exercise anything";
+    w = std::nextafter(w, 3.0);
+  }
+}
+
+TEST(BitKeyIndex, SignedZerosAreDistinctKeys) {
+  BitKeyIndex index;
+  index.Insert(std::bit_cast<uint64_t>(0.0), 0);
+  EXPECT_EQ(index.Find(std::bit_cast<uint64_t>(-0.0)), -1);
+  index.Insert(std::bit_cast<uint64_t>(-0.0), 1);
+  EXPECT_EQ(index.Find(std::bit_cast<uint64_t>(0.0)), 0);
+  EXPECT_EQ(index.Find(std::bit_cast<uint64_t>(-0.0)), 1);
+}
+
+// --- RingBuffer ----------------------------------------------------------
+
+TEST(RingBuffer, FifoAcrossWrapAndRegrow) {
+  RingBuffer<int> ring;
+  int next_in = 0, next_out = 0;
+  Rng rng(17);
+  // Interleaved bulk appends and drains force wraps and several regrows;
+  // contents must stay an exact FIFO throughout.
+  for (int round = 0; round < 200; ++round) {
+    std::vector<int> batch(rng.NextBounded(37));
+    for (int& v : batch) v = next_in++;
+    ring.append(std::span<const int>(batch.data(), batch.size()));
+    const size_t drain = rng.NextBounded(ring.size() + 1);
+    for (size_t i = 0; i < drain; ++i) {
+      ASSERT_EQ(ring.front(), next_out++);
+      ring.pop_front();
+    }
+    EXPECT_EQ(ring.size(), static_cast<size_t>(next_in - next_out));
+  }
+  while (!ring.empty()) {
+    ASSERT_EQ(ring.front(), next_out++);
+    ring.pop_front();
+  }
+  EXPECT_EQ(next_out, next_in);
+}
+
+TEST(RingBuffer, BackAndPushBack) {
+  RingBuffer<int> ring;
+  for (int i = 0; i < 50; ++i) {
+    ring.push_back(i);
+    EXPECT_EQ(ring.back(), i);
+    EXPECT_EQ(ring.front(), 0);
+  }
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  ring.push_back(7);
+  EXPECT_EQ(ring.front(), 7);
+  EXPECT_EQ(ring.back(), 7);
+}
+
+TEST(RingBuffer, ReserveRoundsUpAndAppendDoesNotReallocate) {
+  RingBuffer<int> ring;
+  ring.reserve(100);  // rounds up to 128
+  std::vector<int> batch(100);
+  for (int i = 0; i < 100; ++i) batch[i] = i;
+  // Offset the head so the append wraps.
+  ring.append(std::span<const int>(batch.data(), 60));
+  for (int i = 0; i < 40; ++i) ring.pop_front();
+  ring.append(std::span<const int>(batch.data() + 60, 40));
+  const int* stable = &ring.front();
+  ring.append(std::span<const int>(batch.data(), 68));  // fills to 128
+  EXPECT_EQ(&ring.front(), stable);  // no regrow happened
+  for (int i = 40; i < 60; ++i) {
+    EXPECT_EQ(ring.front(), i);
+    ring.pop_front();
+  }
 }
 
 }  // namespace

@@ -2,7 +2,7 @@
 //
 // Usage:
 //   wmlp_run --trace t.wmlp --policy landlord [--seed 1] [--trials 5]
-//            [--opt] [--reference-solver]
+//            [--opt] [--reference-solver] [--batch 256]
 //   wmlp_run --trace-stream t.wmlp --policy lru [--chunk 4096] [--latency]
 //   wmlp_run --import accesses.log --k 64 [--dirty 10] [--clean 1] ...
 //
@@ -16,6 +16,9 @@
 // serve-time percentiles (cycle counter).
 // --import reads a plain key/op log (one "<key> [R|W]" per line; see
 // trace/import.h) instead of the wmlp trace format.
+// --batch sets the engine's pull-mode batch size (requests served per
+// StepBatch slug): a pure throughput knob — all results are bitwise
+// invariant to it (engine/engine.h).
 // --opt also computes the offline optimum bounds and prints ratios
 // (in-memory paths only).
 // Randomized policies are averaged over --trials seeds.
@@ -41,7 +44,7 @@ namespace {
 std::vector<SimResult> RunStreaming(const std::string& path,
                                     const std::string& policy_name,
                                     int32_t trials, uint64_t seed,
-                                    int64_t chunk,
+                                    int64_t chunk, int64_t batch,
                                     LatencyHistogram* histogram) {
   std::vector<SimResult> results;
   for (int32_t trial = 0; trial < trials; ++trial) {
@@ -54,6 +57,7 @@ std::vector<SimResult> RunStreaming(const std::string& path,
         MakePolicyByName(policy_name,
                          DeriveSeed(seed, static_cast<uint64_t>(trial)));
     EngineOptions eopts;
+    eopts.batch = batch;
     if (histogram != nullptr) {
       histogram->Start();
       eopts.observer = histogram;
@@ -88,6 +92,12 @@ int main(int argc, char** argv) {
   }
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   const int32_t trials = static_cast<int32_t>(flags.GetInt("trials", 1));
+  // Same ceiling as the serve config surface (server.h kMaxBatch): far
+  // above any sensible value, low enough that a typo cannot ask for an
+  // effectively unbounded scratch buffer.
+  const int64_t batch = flags.GetInt("batch", 256);
+  if (batch < 1) tools::Die("--batch must be >= 1");
+  if (batch > (int64_t{1} << 22)) tools::Die("--batch must be <= 4194304");
   if (path.empty() && import_path.empty() && stream_path.empty()) {
     tools::Die("--trace, --trace-stream, or --import is required");
   }
@@ -110,7 +120,7 @@ int main(int argc, char** argv) {
     LatencyHistogram histogram;
     const auto results = RunStreaming(
         stream_path, policy_name, trials, seed, flags.GetInt("chunk", 4096),
-        flags.Has("latency") ? &histogram : nullptr);
+        batch, flags.Has("latency") ? &histogram : nullptr);
     RunningStat cost, hits;
     int64_t evictions = 0, length = 0;
     for (const auto& r : results) {
@@ -163,10 +173,12 @@ int main(int argc, char** argv) {
   }
 
   ThreadPool pool;
+  EngineOptions eopts;
+  eopts.batch = batch;
   const auto results = RunTrials(
       pool, *trace,
       [&](uint64_t s) { return MakePolicyByName(policy_name, s); }, trials,
-      seed);
+      seed, eopts);
 
   RunningStat cost, hits;
   int64_t evictions = 0;

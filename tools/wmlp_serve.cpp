@@ -2,17 +2,20 @@
 //
 // Usage:
 //   wmlp_serve --trace t.wmlp [--shards 4] [--clients 2] [--batch 256]
-//              [--policy waterfill] [--seed 1] [--latency] [--compare]
+//              [--engine-batch 256] [--policy waterfill] [--seed 1]
+//              [--latency] [--compare]
 //              [--telemetry-out s.json] [--trace-out t.json]
 //              [--stats-interval 1.0]
 //
 // Hash-partitions the trace's pages across --shards independent policy
 // instances, feeds them from --clients submitting threads in --batch-sized
 // batches, and prints the merged report: total cost, a per-shard table,
-// and throughput. Cost and count fields are bitwise deterministic for
-// fixed (trace, policy, seed, shards) regardless of --clients and --batch
-// (see src/server/server.h for the contract); --shards 1 reproduces the
-// plain engine run exactly.
+// and throughput. --engine-batch sets how many in-order requests each
+// shard worker pops per lock acquisition and serves in one StepBatch
+// call. Cost and count fields are bitwise deterministic for fixed (trace,
+// policy, seed, shards) regardless of --clients, --batch, and
+// --engine-batch (see src/server/server.h for the contract); --shards 1
+// reproduces the plain engine run exactly.
 //
 // --latency additionally prints per-request serve-time percentiles merged
 // across the per-shard cycle-counter histograms. --compare also runs the
@@ -46,6 +49,7 @@ int main(int argc, char** argv) {
   options.shards = static_cast<int32_t>(flags.GetInt("shards", 4));
   options.clients = static_cast<int32_t>(flags.GetInt("clients", 2));
   options.batch = flags.GetInt("batch", 256);
+  options.engine_batch = flags.GetInt("engine-batch", 256);
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   options.collect_latency = flags.Has("latency");
 
@@ -75,8 +79,9 @@ int main(int argc, char** argv) {
             << trace->instance.DebugString() << ")\n";
   std::cout << "  shards=" << options.shards
             << " clients=" << options.clients
-            << " batch=" << options.batch << " seed=" << options.seed
-            << "\n";
+            << " batch=" << options.batch
+            << " engine-batch=" << options.engine_batch
+            << " seed=" << options.seed << "\n";
   std::cout << "  eviction cost: " << Fmt(report.totals.eviction_cost, 2)
             << "\n";
   std::cout << "  hit rate:      " << Fmt(report.totals.hit_rate(), 4)
