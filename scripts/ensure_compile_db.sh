@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Ensures <build-dir>/compile_commands.json exists, configuring the build
+# directory once if needed (CMAKE_EXPORT_COMPILE_COMMANDS defaults to ON
+# in the top-level CMakeLists). Shared by run_clang_tidy.sh and
+# run_wmlp_lint.sh so neither carries its own re-configure logic and both
+# agree on what "the" compile database is.
+#
+# Usage: scripts/ensure_compile_db.sh [build-dir]   (default: build)
+# Prints the database path on stdout; diagnostics go to stderr.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+case "$build" in
+  /*) ;;
+  *) build="$repo/$build" ;;
+esac
+
+db="$build/compile_commands.json"
+if [[ ! -f "$db" ]]; then
+  echo "note: $db missing; configuring $build" >&2
+  gen=()
+  command -v ninja > /dev/null 2>&1 && gen=(-G Ninja)
+  cmake -S "$repo" -B "$build" "${gen[@]}" > /dev/null
+fi
+if [[ ! -f "$db" ]]; then
+  echo "error: configure did not produce $db" >&2
+  exit 1
+fi
+echo "$db"

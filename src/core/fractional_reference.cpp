@@ -114,7 +114,9 @@ void FractionalMlpReference::Serve(Time /*t*/, const Request& r) {
         // to 1.0: the page is numerically absent even though the presence
         // test above (taken before snapping) said otherwise. Snap the row.
         for (Level i = 1; i <= ell; ++i) {
-          if (U(q, i) != 1.0) {
+          // Bitwise identity on purpose: 1.0 is the exact snapped value
+          // written below, not an approximate target.
+          if (U(q, i) != 1.0) {  // wmlp-lint-allow(float-eq)
             const double d = 1.0 - U(q, i);
             if (d > 0.0) {
               lp_cost_ += inst.weight(q, i) * d;

@@ -1,10 +1,12 @@
 #include "core/waterfill.h"
 
 #include <algorithm>
+#include <span>
 
 #include "telemetry/telemetry.h"
 #include "util/audit.h"
 #include "util/check.h"
+#include "util/hot_path.h"
 
 namespace wmlp {
 
@@ -48,16 +50,18 @@ void WaterfillPolicy::HeapErase(PageId p) {
       WMLP_TELEMETRY_COUNTER(sweeps, "wmlp_waterfill_heap_compaction_total");
       sweeps.Inc();
     }
-    // In-place filter + Floyd rebuild over the heap's own arena.
-    std::vector<std::pair<double, PageId>>& arena = heap_.arena();
-    arena.erase(std::remove_if(arena.begin(), arena.end(),
-                               [&](const std::pair<double, PageId>& e) {
-                                 const size_t sp =
-                                     static_cast<size_t>(e.second);
-                                 return live_[sp] == 0 ||
-                                        key_[sp] != e.first;
-                               }),
-                arena.end());
+    // In-place filter + Floyd rebuild over the heap's own arena. The key
+    // compare is bitwise identity against the stored snapshot (stale-entry
+    // detection), not a numeric tolerance test.
+    std::span<std::pair<double, PageId>> entries = heap_.entries();
+    auto last = std::remove_if(
+        entries.begin(), entries.end(),
+        [&](const std::pair<double, PageId>& e) {
+          const size_t sp = static_cast<size_t>(e.second);
+          return live_[sp] == 0 ||
+                 key_[sp] != e.first;  // wmlp-lint-allow(float-eq)
+        });
+    heap_.truncate(static_cast<size_t>(last - entries.begin()));
     heap_.heapify();
   }
 }
@@ -68,7 +72,8 @@ PageId WaterfillPolicy::HeapPopMin() {
     const auto [key, p] = heap_.top();
     heap_.pop();
     const size_t sp = static_cast<size_t>(p);
-    if (live_[sp] != 0 && key_[sp] == key) {
+    // Bitwise identity against the pushed snapshot (stale-entry filter).
+    if (live_[sp] != 0 && key_[sp] == key) {  // wmlp-lint-allow(float-eq)
       live_[sp] = 0;
       --live_size_;
       return p;
@@ -116,7 +121,12 @@ double WaterfillPolicy::WaterLevel(PageId p, Level level) const {
   return std::min(w, std::max(0.0, w - remaining));
 }
 
-void WaterfillPolicy::Serve(Time t, const Request& r, CacheOps& ops) {
+// Hot entry point: the whole integral serve tree (ServeImpl, heap ops,
+// CacheOps::Fetch/Evict) must stay off the allocator; growth is routed
+// through wmlp::coldpath sinks (see util/hot_path.h and the DHeap storage
+// discipline).
+WMLP_HOT void WaterfillPolicy::Serve(Time t, const Request& r,
+                                     CacheOps& ops) {
   ServeImpl(t, r, ops);
   if constexpr (audit::kEnabled) AuditState(ops.cache());
 }

@@ -1,13 +1,47 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "sim/sim_audit.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace_span.h"
 #include "util/check.h"
+#include "util/hot_path.h"
 
 namespace wmlp {
+
+namespace {
+
+// Cold [[noreturn]] reporters for StepBatch's per-request contract checks.
+// The batched loop is WMLP_HOT; WMLP_CHECK_MSG would build an ostringstream
+// inline at the call site (an allocation statically inside the hot symbol),
+// so the message assembly lives out-of-line in gate-recognized sinks.
+[[noreturn]] WMLP_COLD void BatchFailInvalidRequest(Time t) {
+  detail::CheckFailed("inst.valid_page(r.page) && inst.valid_level(r.level)",
+                      __FILE__, __LINE__,
+                      "- invalid request at t=" + std::to_string(t));
+}
+
+[[noreturn]] WMLP_COLD void BatchFailUnserved(const Policy& policy,
+                                              const Request& r, Time t) {
+  std::ostringstream oss;
+  oss << "- " << policy.name() << " left request (page=" << r.page
+      << ", level=" << r.level << ") unserved at t=" << t;
+  detail::CheckFailed("state_.serves(r)", __FILE__, __LINE__, oss.str());
+}
+
+[[noreturn]] WMLP_COLD void BatchFailOverfilled(const Policy& policy,
+                                                int32_t size, int32_t capacity,
+                                                Time t) {
+  std::ostringstream oss;
+  oss << "- " << policy.name() << " overfilled cache at t=" << t << ": "
+      << size << " > " << capacity;
+  detail::CheckFailed("state_.size() <= state_.capacity()", __FILE__,
+                      __LINE__, oss.str());
+}
+
+}  // namespace
 
 Engine::Engine(RequestSource& source, Policy& policy,
                const EngineOptions& options)
@@ -38,7 +72,7 @@ Engine::Engine(const Instance& instance, Policy& policy,
 
 bool Engine::Step() {
   if (done_) return false;
-  telemetry::TraceSpan span("engine.step", "engine");
+  WMLP_TELEMETRY_SPAN(span, "engine.step", "engine");
   Request r;
   if (source_ == nullptr || !source_->Next(r)) {
     done_ = true;
@@ -89,43 +123,44 @@ bool Engine::Step() {
   return true;
 }
 
-void Engine::StepBatch(std::span<const Request> reqs, BatchResult& out) {
+WMLP_HOT void Engine::StepBatch(std::span<const Request> reqs,
+                                BatchResult& out) {
   const int64_t n = static_cast<int64_t>(reqs.size());
   out.served = n;
   out.hits = 0;
   out.misses = 0;
   if (n == 0) return;
-  telemetry::TraceSpan span("engine.step_batch", "engine");
+  WMLP_TELEMETRY_SPAN(span, "engine.step_batch", "engine");
   const Instance& inst = *instance_;
   const Time t0 = time_;
   if (options_.observer != nullptr) {
     options_.observer->OnBatchBegin(t0, n);
   }
-  hit_buf_.resize(static_cast<size_t>(n));
+  if (hit_buf_.size() < static_cast<size_t>(n)) {
+    coldpath::GrowTo(hit_buf_, static_cast<size_t>(n));
+  }
+  uint8_t* const hits_out = hit_buf_.data();
   int64_t batch_hits = 0;
   for (int64_t i = 0; i < n; ++i) {
     const Request& r = reqs[static_cast<size_t>(i)];
-    WMLP_CHECK_MSG(inst.valid_page(r.page) && inst.valid_level(r.level),
-                   "invalid request at t=" << time_);
+    if (!(inst.valid_page(r.page) && inst.valid_level(r.level))) {
+      BatchFailInvalidRequest(time_);
+    }
     ops_.set_time(time_);
     const bool hit = state_.serves(r);
     policy_.Serve(time_, r, ops_);
     if (options_.strict) {
-      WMLP_CHECK_MSG(state_.serves(r),
-                     policy_.name() << " left request (page=" << r.page
-                                    << ", level=" << r.level
-                                    << ") unserved at t=" << time_);
-      WMLP_CHECK_MSG(state_.size() <= state_.capacity(),
-                     policy_.name() << " overfilled cache at t=" << time_
-                                    << ": " << state_.size() << " > "
-                                    << state_.capacity());
+      if (!state_.serves(r)) BatchFailUnserved(policy_, r, time_);
+      if (state_.size() > state_.capacity()) {
+        BatchFailOverfilled(policy_, state_.size(), state_.capacity(), time_);
+      }
     }
     if constexpr (audit::kEnabled) {
       audit::AuditCacheState(inst, state_);
       audit::AuditCostConvention(inst, state_, ops_.fetch_cost(),
                                  ops_.eviction_cost());
     }
-    hit_buf_[static_cast<size_t>(i)] = hit ? 1 : 0;
+    hits_out[static_cast<size_t>(i)] = hit ? 1 : 0;
     batch_hits += hit ? 1 : 0;
     ++time_;
   }
@@ -143,7 +178,8 @@ void Engine::StepBatch(std::span<const Request> reqs, BatchResult& out) {
   }
   if (options_.observer != nullptr) {
     options_.observer->OnBatch(
-        t0, reqs, std::span<const uint8_t>(hit_buf_.data(), hit_buf_.size()));
+        t0, reqs,
+        std::span<const uint8_t>(hits_out, static_cast<size_t>(n)));
   }
 }
 
@@ -173,7 +209,7 @@ int64_t Engine::RunFor(int64_t n) {
 }
 
 SimResult Engine::Run() {
-  telemetry::TraceSpan span("engine.run", "engine");
+  WMLP_TELEMETRY_SPAN(span, "engine.run", "engine");
   BatchResult batch;
   while (!done_) {
     if (source_ == nullptr) {

@@ -19,7 +19,8 @@ uint64_t LatencyHistogram::NowCycles() {
 #else
   return static_cast<uint64_t>(std::chrono::duration_cast<
                                    std::chrono::nanoseconds>(
-                                   std::chrono::steady_clock::now()
+                                   // Latency metric cycle-counter fallback.
+                                   std::chrono::steady_clock::now()  // wmlp-lint-allow(wall-clock)
                                        .time_since_epoch())
                                    .count());
 #endif
@@ -76,8 +77,9 @@ double LatencyHistogram::Quantile(double q) const {
   const double target = q * static_cast<double>(count_);
   double seen = 0.0;
   for (int b = 0; b < kBuckets; ++b) {
-    const double c = static_cast<double>(counts_[static_cast<size_t>(b)]);
-    if (c == 0.0) continue;
+    const auto n = counts_[static_cast<size_t>(b)];
+    if (n == 0) continue;
+    const double c = static_cast<double>(n);
     if (seen + c >= target) {
       const double lo = b == 0 ? 0.0 : std::ldexp(1.0, b);
       const double hi = std::ldexp(1.0, b + 1);

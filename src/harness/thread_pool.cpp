@@ -19,45 +19,44 @@ ThreadPool::ThreadPool(int32_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   WMLP_CHECK(task != nullptr);
   {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     WMLP_CHECK_MSG(!shutdown_, "submit after shutdown");
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (!IdleLocked()) all_done_.Wait(lock);
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      task_available_.wait(lock,
-                           [this] { return shutdown_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!HasWorkLocked()) task_available_.Wait(lock);
       if (tasks_.empty()) return;  // shutdown
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
     {
-      std::unique_lock lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

@@ -5,13 +5,14 @@
 // granularity (milliseconds to seconds per task).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace wmlp {
 
@@ -43,14 +44,20 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+  // Wait-loop predicates (explicit loops, not wait-lambdas — see
+  // util/thread_annotations.h).
+  bool HasWorkLocked() const REQUIRES(mutex_) {
+    return shutdown_ || !tasks_.empty();
+  }
+  bool IdleLocked() const REQUIRES(mutex_) { return in_flight_ == 0; }
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::queue<std::function<void()>> tasks_;
-  int64_t in_flight_ = 0;
-  bool shutdown_ = false;
+  Mutex mutex_;
+  CondVar task_available_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mutex_);
+  int64_t in_flight_ GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GUARDED_BY(mutex_) = false;
 };
 
 // Runs fn(i) for i in [0, count) across the pool and waits.

@@ -44,7 +44,9 @@ class Tableau {
     for (int32_t r = 0; r < rows_; ++r) {
       if (r == pr) continue;
       const double factor = At(r, pc);
-      if (factor == 0.0) continue;
+      // Exact-zero skip: rows already eliminated hold a bitwise 0.0 (set
+      // below), so this is an identity test, not a tolerance.
+      if (factor == 0.0) continue;  // wmlp-lint-allow(float-eq)
       for (int32_t c = 0; c < cols_; ++c) {
         At(r, c) -= factor * At(pr, c);
       }
@@ -251,7 +253,8 @@ SimplexResult SolveLp(const LpProblem& problem,
     const double cb = bj < static_cast<int32_t>(cost2.size())
                           ? cost2[static_cast<size_t>(bj)]
                           : 0.0;
-    if (cb == 0.0) continue;
+    // Exact-zero skip over the (mostly zero) phase-2 cost row.
+    if (cb == 0.0) continue;  // wmlp-lint-allow(float-eq)
     for (int32_t c = 0; c < tab.cols(); ++c) {
       cost2[static_cast<size_t>(c)] -= cb * tab.At(r, c);
     }

@@ -4,6 +4,7 @@
 
 #include "telemetry/telemetry.h"
 #include "util/check.h"
+#include "util/hot_path.h"
 
 namespace wmlp {
 
@@ -13,7 +14,9 @@ namespace {
 // `if constexpr (telemetry::kEnabled)` blocks.
 [[maybe_unused]] int64_t NowNsForTelemetry() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
+             // Timing metric only; never feeds serving decisions.
+             std::chrono::steady_clock::now()  // wmlp-lint-allow(wall-clock)
+                 .time_since_epoch())
       .count();
 }
 
@@ -33,21 +36,21 @@ void ShardInbox::Push(int32_t client, std::span<const SeqRequest> batch) {
     requests.Add(batch.size());
   }
   {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     ClientQueue& q = clients_[static_cast<size_t>(client)];
     WMLP_CHECK_MSG(!q.closed, "push after close from client " << client);
     WMLP_DCHECK(q.queue.empty() || q.queue.back().seq < batch.front().seq);
     q.queue.append(batch);
   }
-  ready_.notify_one();
+  ready_.NotifyOne();
 }
 
 void ShardInbox::Close(int32_t client) {
   {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     clients_[static_cast<size_t>(client)].closed = true;
   }
-  ready_.notify_one();
+  ready_.NotifyOne();
 }
 
 bool ShardInbox::CanPopLocked() const {
@@ -69,11 +72,14 @@ bool ShardInbox::FinishedLocked() const {
   return true;
 }
 
-size_t ShardInbox::PopReady(SeqRequest* out, size_t max_out) {
+// Hot consumer entry: the merge loop writes straight into the caller's
+// array and pops from pre-grown rings — nothing in this function's call
+// tree may allocate (gate-checked via WMLP_HOT; see util/hot_path.h).
+WMLP_HOT size_t ShardInbox::PopReady(SeqRequest* out, size_t max_out) {
   int64_t wait_start = 0;
   if constexpr (telemetry::kEnabled) wait_start = NowNsForTelemetry();
-  std::unique_lock lock(mutex_);
-  ready_.wait(lock, [this] { return CanPopLocked() || FinishedLocked(); });
+  MutexLock lock(mutex_);
+  while (!CanPopLocked() && !FinishedLocked()) ready_.Wait(lock);
   int64_t merge_start = 0;
   if constexpr (telemetry::kEnabled) {
     merge_start = NowNsForTelemetry();
@@ -113,7 +119,7 @@ size_t ShardInbox::PopReady(SeqRequest* out, size_t max_out) {
 }
 
 bool ShardInbox::drained() {
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return FinishedLocked();
 }
 

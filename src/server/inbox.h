@@ -25,15 +25,15 @@
 // measures what remains of the parallelism).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <initializer_list>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "trace/request.h"
 #include "util/ring_buffer.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace wmlp {
 
@@ -82,13 +82,13 @@ class ShardInbox {
 
   // A pop is safe iff some queue is nonempty and no *open* client's queue
   // is empty: within a client seqs ascend, so the min over the heads is
-  // the global min of everything still to come. Caller holds mutex_.
-  bool CanPopLocked() const;
-  bool FinishedLocked() const;
+  // the global min of everything still to come.
+  bool CanPopLocked() const REQUIRES(mutex_);
+  bool FinishedLocked() const REQUIRES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable ready_;
-  std::vector<ClientQueue> clients_;
+  Mutex mutex_;
+  CondVar ready_;
+  std::vector<ClientQueue> clients_ GUARDED_BY(mutex_);
 };
 
 }  // namespace wmlp

@@ -15,6 +15,7 @@
 #include "telemetry/telemetry.h"
 #include "telemetry/trace_span.h"
 #include "util/check.h"
+#include "util/hot_path.h"
 #include "util/rng.h"
 
 namespace wmlp {
@@ -24,14 +25,15 @@ namespace {
 // Shard worker serve loop: drains the inbox in engine_batch-sized
 // in-order runs, remaps global page ids to the shard's dense local ids at
 // the boundary, and hands each run to the push-mode engine in one
-// StepBatch call. Both staging buffers are sized once up front, and
-// PopReady fills the caller-owned array directly — the loop performs no
-// steady-state allocation. Returns how many requests this shard served.
-int64_t DrainShard(const ShardMap& map, [[maybe_unused]] int32_t shard,
-                   ShardInbox& inbox,
-                   Engine& engine, int64_t batch) {
-  std::vector<SeqRequest> in(static_cast<size_t>(batch));
-  std::vector<Request> reqs(static_cast<size_t>(batch));
+// StepBatch call. The staging buffers are caller-owned (the worker lambda
+// allocates them once, outside this WMLP_HOT function), and PopReady fills
+// the caller-owned array directly — the loop performs no steady-state
+// allocation, and the hot-path gate verifies none is even statically
+// reachable. Returns how many requests this shard served.
+WMLP_HOT int64_t DrainShard(const ShardMap& map,
+                            [[maybe_unused]] int32_t shard, ShardInbox& inbox,
+                            Engine& engine, std::span<SeqRequest> in,
+                            std::span<Request> reqs) {
   BatchResult stats;
   int64_t served = 0;
   for (;;) {
@@ -104,7 +106,7 @@ std::string ValidateServeConfig(const Instance& instance,
 }
 
 ServeReport ServeTrace(const Trace& trace, const ServeOptions& options) {
-  telemetry::TraceSpan serve_span("server.serve_trace", "server");
+  WMLP_TELEMETRY_SPAN(serve_span, "server.serve_trace", "server");
   const std::string error = ValidateServeConfig(trace.instance, options);
   WMLP_CHECK_MSG(error.empty(), "bad serve config: " << error);
 
@@ -138,7 +140,9 @@ ServeReport ServeTrace(const Trace& trace, const ServeOptions& options) {
                                             *policies[idx], eopts);
   }
 
-  const auto start = std::chrono::steady_clock::now();
+  // Wall-clock throughput measurement, reported not replayed — exempt
+  // from the determinism wall-clock rule.
+  const auto start = std::chrono::steady_clock::now();  // wmlp-lint-allow(wall-clock)
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(shards) +
                   static_cast<size_t>(clients));
@@ -146,10 +150,16 @@ ServeReport ServeTrace(const Trace& trace, const ServeOptions& options) {
     if (map.shard_empty(s)) continue;
     workers.emplace_back(
         [&results, &engines, &served, &map, &inboxes, &options, s] {
-          telemetry::TraceSpan shard_span("server.shard_worker", "server");
+          WMLP_TELEMETRY_SPAN(shard_span, "server.shard_worker", "server");
           const auto idx = static_cast<size_t>(s);
+          // Staging buffers live here, outside the hot drain loop.
+          std::vector<SeqRequest> in(
+              static_cast<size_t>(options.engine_batch));
+          std::vector<Request> reqs(
+              static_cast<size_t>(options.engine_batch));
           served[idx] = DrainShard(map, s, *inboxes[idx], *engines[idx],
-                                   options.engine_batch);
+                                   std::span<SeqRequest>(in),
+                                   std::span<Request>(reqs));
           results[idx] = engines[idx]->result();
         });
   }
@@ -160,7 +170,8 @@ ServeReport ServeTrace(const Trace& trace, const ServeOptions& options) {
   }
   for (std::thread& w : workers) w.join();
   const double wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -  // wmlp-lint-allow(wall-clock)
+                                    start)
           .count();
 
   ServeReport report;

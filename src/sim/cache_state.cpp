@@ -1,32 +1,59 @@
 #include "sim/cache_state.h"
 
+#include <algorithm>
+
 #include "util/check.h"
+#include "util/hot_path.h"
 
 namespace wmlp {
+
+namespace {
+
+// Cold [[noreturn]] reporters: Insert/Remove are on the WMLP_HOT serve
+// tree, so the message assembly lives in gate-recognized sinks instead of
+// an inline WMLP_CHECK_MSG ostringstream.
+[[noreturn]] WMLP_COLD void FailAlreadyCached(PageId p) {
+  detail::CheckFailed("!contains(p)", __FILE__, __LINE__,
+                      "- page " + std::to_string(p) + " already cached");
+}
+
+[[noreturn]] WMLP_COLD void FailNotCached(PageId p) {
+  detail::CheckFailed("contains(p)", __FILE__, __LINE__,
+                      "- page " + std::to_string(p) + " not cached");
+}
+
+}  // namespace
 
 CacheState::CacheState(const Instance& instance)
     : capacity_(instance.cache_size()),
       levels_(static_cast<size_t>(instance.num_pages()), 0),
-      pos_(static_cast<size_t>(instance.num_pages()), -1) {}
+      pos_(static_cast<size_t>(instance.num_pages()), -1),
+      // Never more than min(capacity, universe) pages cached; pre-sizing
+      // makes Insert a plain index write (see pages_ comment in the header).
+      pages_(static_cast<size_t>(
+                 std::min<int64_t>(instance.cache_size(),
+                                   instance.num_pages())),
+             PageId{0}) {}
 
 void CacheState::Insert(PageId p, Level level) {
-  WMLP_CHECK_MSG(!contains(p), "page " << p << " already cached");
+  if (contains(p)) FailAlreadyCached(p);
   WMLP_CHECK(level >= 1);
+  const size_t idx = static_cast<size_t>(size_);
+  if (idx == pages_.size()) coldpath::GrowTo(pages_, idx + 1);
   levels_[static_cast<size_t>(p)] = level;
-  pos_[static_cast<size_t>(p)] = static_cast<int32_t>(pages_.size());
-  pages_.push_back(p);
+  pos_[static_cast<size_t>(p)] = size_;
+  pages_[idx] = p;
   ++size_;
 }
 
 Level CacheState::Remove(PageId p) {
-  WMLP_CHECK_MSG(contains(p), "page " << p << " not cached");
+  if (!contains(p)) FailNotCached(p);
   const Level level = levels_[static_cast<size_t>(p)];
   levels_[static_cast<size_t>(p)] = 0;
   const int32_t idx = pos_[static_cast<size_t>(p)];
-  const PageId last = pages_.back();
+  const PageId last = pages_[static_cast<size_t>(size_ - 1)];
   pages_[static_cast<size_t>(idx)] = last;
   pos_[static_cast<size_t>(last)] = idx;
-  pages_.pop_back();
   pos_[static_cast<size_t>(p)] = -1;
   --size_;
   return level;

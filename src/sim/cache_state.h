@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "trace/instance.h"
@@ -33,14 +34,20 @@ class CacheState {
   Level Remove(PageId p);
 
   // Cached pages in unspecified order (stable between mutations).
-  const std::vector<PageId>& pages() const { return pages_; }
+  std::span<const PageId> pages() const {
+    return std::span<const PageId>(pages_.data(),
+                                   static_cast<size_t>(size_));
+  }
 
  private:
   int32_t capacity_;
   int32_t size_ = 0;
   std::vector<Level> levels_;    // per page; 0 = absent
   std::vector<int32_t> pos_;     // per page; index into pages_, or -1
-  std::vector<PageId> pages_;    // dense list of cached pages
+  // Dense list of cached pages. Pre-sized to capacity in the constructor
+  // and indexed by size_ (never push_back'ed), so Insert/Remove stay off
+  // the allocator — the hot-path gate (util/hot_path.h) checks this.
+  std::vector<PageId> pages_;
 };
 
 }  // namespace wmlp

@@ -2,17 +2,17 @@
 
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <thread>
 
 #include "telemetry/trace_span.h"
 #include "util/check.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace wmlp::telemetry {
 
@@ -217,7 +217,8 @@ std::string ValidateTelemetryRunOptions(const TelemetryRunOptions& options) {
   if (options.stats_interval < 0.0) {
     return "--stats-interval must be >= 0";
   }
-  if (options.stats_interval != 0.0 &&
+  // 0.0 is the exact "stats reporting off" sentinel, not a measurement.
+  if (options.stats_interval != 0.0 &&  // wmlp-lint-allow(float-eq)
       (options.stats_interval < 0.01 || options.stats_interval > 86400.0)) {
     return "--stats-interval must be in [0.01, 86400] seconds (or 0 = off)";
   }
@@ -232,15 +233,28 @@ struct TelemetrySession::Impl {
   bool armed_tracer = false;
 
   std::thread stats_thread;
-  std::mutex stats_mu;
-  std::condition_variable stats_cv;
-  bool stats_stop = false;
+  Mutex stats_mu;
+  CondVar stats_cv;
+  bool stats_stop GUARDED_BY(stats_mu) = false;
+
+  bool StopRequestedLocked() const REQUIRES(stats_mu) { return stats_stop; }
 
   void StatsLoop() {
-    auto interval = std::chrono::duration<double>(options.stats_interval);
-    std::unique_lock<std::mutex> lock(stats_mu);
-    while (!stats_cv.wait_for(lock, interval, [this] { return stats_stop; })) {
-      lock.unlock();
+    const auto interval =
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(options.stats_interval));
+    while (true) {
+      const auto deadline = std::chrono::steady_clock::now() + interval;
+      {
+        MutexLock lock(stats_mu);
+        while (!StopRequestedLocked() &&
+               std::chrono::steady_clock::now() < deadline) {
+          stats_cv.WaitUntil(lock, deadline);
+        }
+        if (StopRequestedLocked()) return;
+      }
+      // Report outside the lock: Collect() takes the registry mutex, and
+      // the stats lock only guards the stop flag.
       double uptime =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         start)
@@ -249,7 +263,6 @@ struct TelemetrySession::Impl {
       os << "# wmlp telemetry t=" << uptime << "s\n";
       WritePrometheusText(os, Registry::Get().Collect());
       std::cerr << os.str();
-      lock.lock();
     }
   }
 };
@@ -275,10 +288,10 @@ bool TelemetrySession::Finish(std::string* err) {
   im.finished = true;
   if (im.stats_thread.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(im.stats_mu);
+      MutexLock lock(im.stats_mu);
       im.stats_stop = true;
     }
-    im.stats_cv.notify_all();
+    im.stats_cv.NotifyAll();
     im.stats_thread.join();
   }
   if (im.armed_tracer) Tracer::Disarm();

@@ -5,9 +5,10 @@
 #include <cmath>
 #include <deque>
 #include <map>
-#include <mutex>
 
 #include "util/check.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace wmlp::telemetry {
 
@@ -58,26 +59,29 @@ bool SameLayout(const HistogramLayout& a, const HistogramLayout& b) {
 }  // namespace
 
 struct Registry::Impl {
-  mutable std::mutex mu;
+  mutable Mutex mu;
   // name -> metric, sorted for stable Collect() output.
-  std::map<std::string, MetricInfo, std::less<>> metrics;
-  std::vector<CellKind> cell_kinds;  // one entry per allocated cell
-  std::size_t next_cell = 0;
+  std::map<std::string, MetricInfo, std::less<>> metrics GUARDED_BY(mu);
+  // One entry per allocated cell.
+  std::vector<CellKind> cell_kinds GUARDED_BY(mu);
+  std::size_t next_cell GUARDED_BY(mu) = 0;
   // Handle storage: deque for pointer stability across registrations.
-  std::deque<Counter> counters;
-  std::deque<Gauge> gauges;
-  std::deque<Histogram> histograms;
-  std::deque<HistogramLayout> layouts;
-  std::map<std::string, Counter*, std::less<>> counter_handles;
-  std::map<std::string, Gauge*, std::less<>> gauge_handles;
-  std::map<std::string, Histogram*, std::less<>> histogram_handles;
+  std::deque<Counter> counters GUARDED_BY(mu);
+  std::deque<Gauge> gauges GUARDED_BY(mu);
+  std::deque<Histogram> histograms GUARDED_BY(mu);
+  std::deque<HistogramLayout> layouts GUARDED_BY(mu);
+  std::map<std::string, Counter*, std::less<>> counter_handles GUARDED_BY(mu);
+  std::map<std::string, Gauge*, std::less<>> gauge_handles GUARDED_BY(mu);
+  std::map<std::string, Histogram*, std::less<>> histogram_handles
+      GUARDED_BY(mu);
   // Live shards (one per running thread that touched a metric) + the folded
   // values of threads that have exited.
-  std::vector<std::shared_ptr<detail::Shard>> live_shards;
-  std::array<uint64_t, detail::kMaxCells> retired_u64{};
-  std::array<double, detail::kMaxCells> retired_f64{};
+  std::vector<std::shared_ptr<detail::Shard>> live_shards GUARDED_BY(mu);
+  std::array<uint64_t, detail::kMaxCells> retired_u64 GUARDED_BY(mu) = {};
+  std::array<double, detail::kMaxCells> retired_f64 GUARDED_BY(mu) = {};
 
-  std::size_t AllocCells(std::size_t count, CellKind first_kind) {
+  std::size_t AllocCells(std::size_t count, CellKind first_kind)
+      REQUIRES(mu) {
     WMLP_CHECK_MSG(next_cell + count <= detail::kMaxCells,
                    "telemetry: metric cell budget exhausted (dynamic metric "
                    "names leaking?)");
@@ -101,7 +105,7 @@ Registry& Registry::Get() {
 
 Counter& Registry::GetCounter(std::string_view name) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  MutexLock lock(im.mu);
   auto it = im.metrics.find(name);
   if (it != im.metrics.end()) {
     WMLP_CHECK_MSG(it->second.type == MetricType::kCounter,
@@ -119,7 +123,7 @@ Counter& Registry::GetCounter(std::string_view name) {
 
 Gauge& Registry::GetGauge(std::string_view name) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  MutexLock lock(im.mu);
   auto it = im.metrics.find(name);
   if (it != im.metrics.end()) {
     WMLP_CHECK_MSG(it->second.type == MetricType::kGauge,
@@ -138,7 +142,7 @@ Gauge& Registry::GetGauge(std::string_view name) {
 Histogram& Registry::GetHistogram(std::string_view name,
                                   const HistogramLayout& layout) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  MutexLock lock(im.mu);
   auto it = im.metrics.find(name);
   if (it != im.metrics.end()) {
     WMLP_CHECK_MSG(it->second.type == MetricType::kHistogram &&
@@ -199,14 +203,14 @@ void Histogram::Observe(double value) {
 std::shared_ptr<detail::Shard> Registry::RegisterShardForCurrentThread() {
   Impl& im = impl();
   auto shard = std::make_shared<detail::Shard>();
-  std::lock_guard<std::mutex> lock(im.mu);
+  MutexLock lock(im.mu);
   im.live_shards.push_back(shard);
   return shard;
 }
 
 void Registry::RetireShard(const std::shared_ptr<detail::Shard>& shard) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  MutexLock lock(im.mu);
   for (std::size_t c = 0; c < im.next_cell; ++c) {
     uint64_t raw = shard->cells[c].load(std::memory_order_relaxed);
     if (im.cell_kinds[c] == CellKind::kF64) {
@@ -222,7 +226,7 @@ void Registry::RetireShard(const std::shared_ptr<detail::Shard>& shard) {
 
 std::vector<MetricSnapshot> Registry::Collect() const {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  MutexLock lock(im.mu);
   // Merge per cell: retired accumulator + every live shard.
   std::vector<uint64_t> merged_u64(im.next_cell, 0);
   std::vector<double> merged_f64(im.next_cell, 0.0);
@@ -276,7 +280,7 @@ std::vector<MetricSnapshot> Registry::Collect() const {
 
 void Registry::ResetValuesForTest() {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  MutexLock lock(im.mu);
   im.retired_u64.fill(0);
   im.retired_f64.fill(0.0);
   for (const auto& shard : im.live_shards) {

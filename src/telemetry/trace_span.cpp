@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <sstream>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace wmlp::telemetry {
 
@@ -13,16 +15,19 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 struct ThreadTraceBuf {
-  std::mutex mu;
-  std::vector<TraceEvent> events;
+  Mutex mu;
+  std::vector<TraceEvent> events GUARDED_BY(mu);
+  // Assigned once (under the tracer lock) before the buffer is published to
+  // the state list; immutable afterwards, so reads need no lock.
   uint32_t tid = 0;
 };
 
 struct TracerState {
-  std::mutex mu;
-  std::vector<std::shared_ptr<ThreadTraceBuf>> bufs;  // live + exited threads
-  uint32_t next_tid = 0;
-  Clock::time_point base = Clock::now();
+  Mutex mu;
+  // Live + exited threads.
+  std::vector<std::shared_ptr<ThreadTraceBuf>> bufs GUARDED_BY(mu);
+  uint32_t next_tid GUARDED_BY(mu) = 0;
+  Clock::time_point base GUARDED_BY(mu) = Clock::now();
   std::atomic<int64_t> dropped{0};
 };
 
@@ -37,7 +42,7 @@ ThreadTraceBuf& LocalBuf() {
   thread_local std::shared_ptr<ThreadTraceBuf> buf = [] {
     auto b = std::make_shared<ThreadTraceBuf>();
     TracerState& st = State();
-    std::lock_guard<std::mutex> lock(st.mu);
+    MutexLock lock(st.mu);
     b->tid = st.next_tid++;
     st.bufs.push_back(b);
     return b;
@@ -55,7 +60,7 @@ std::atomic<bool>& Tracer::ArmedFlag() {
 void Tracer::Arm() {
   TracerState& st = State();
   {
-    std::lock_guard<std::mutex> lock(st.mu);
+    MutexLock lock(st.mu);
     st.base = Clock::now();
     st.dropped.store(0, std::memory_order_relaxed);
   }
@@ -65,8 +70,14 @@ void Tracer::Arm() {
 void Tracer::Disarm() { ArmedFlag().store(false, std::memory_order_relaxed); }
 
 int64_t Tracer::NowNs() {
+  TracerState& st = State();
+  Clock::time_point base;
+  {
+    MutexLock lock(st.mu);
+    base = st.base;
+  }
   return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                              State().base)
+                                                              base)
       .count();
 }
 
@@ -74,7 +85,7 @@ void Tracer::Emit(const char* name, const char* category, int64_t start_ns,
                   int64_t duration_ns) {
   if (!armed()) return;
   ThreadTraceBuf& buf = LocalBuf();
-  std::lock_guard<std::mutex> lock(buf.mu);
+  MutexLock lock(buf.mu);
   if (buf.events.size() >= kMaxEventsPerThread) {
     State().dropped.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -87,9 +98,9 @@ std::vector<TraceEvent> Tracer::Drain() {
   TracerState& st = State();
   std::vector<TraceEvent> out;
   {
-    std::lock_guard<std::mutex> lock(st.mu);
+    MutexLock lock(st.mu);
     for (const auto& buf : st.bufs) {
-      std::lock_guard<std::mutex> buf_lock(buf->mu);
+      MutexLock buf_lock(buf->mu);
       out.insert(out.end(), buf->events.begin(), buf->events.end());
       buf->events.clear();
     }

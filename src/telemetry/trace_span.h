@@ -92,3 +92,20 @@ class TraceSpan {
 std::string TraceEventsToJson(const std::vector<TraceEvent>& events);
 
 }  // namespace wmlp::telemetry
+
+// Declares a named RAII trace span: WMLP_TELEMETRY_SPAN(span, "name",
+// "category"). This macro is the sanctioned form for span instrumentation
+// outside src/telemetry (lint rule `telemetry-gate`): with telemetry
+// compiled out it expands to nothing at all, so — unlike a raw TraceSpan,
+// which relies on the optimizer folding armed()'s compile-time false —
+// no span code is even emitted, and the hot-path allocation gate never
+// sees Emit's buffer machinery from a marked function. An RAII object
+// cannot sit inside an `if constexpr` block without dying at the brace,
+// which is why spans get a vanishing macro rather than the counter
+// macros' block-gating convention.
+#ifdef WMLP_TELEMETRY
+#define WMLP_TELEMETRY_SPAN(var, ...) \
+  ::wmlp::telemetry::TraceSpan var(__VA_ARGS__)
+#else
+#define WMLP_TELEMETRY_SPAN(var, ...) static_assert(true)
+#endif

@@ -17,12 +17,21 @@ namespace wmlp::detail {
   std::abort();
 }
 
+// Message-free overload: the WMLP_CHECK call site passes only pointers, so
+// a check in a WMLP_HOT function (util/hot_path.h) adds no std::string
+// construction — the hot-path allocation gate sees a clean call tree.
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "WMLP_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
 }  // namespace wmlp::detail
 
 #define WMLP_CHECK(cond)                                              \
   do {                                                                \
     if (!(cond)) {                                                    \
-      ::wmlp::detail::CheckFailed(#cond, __FILE__, __LINE__, "");     \
+      ::wmlp::detail::CheckFailed(#cond, __FILE__, __LINE__);         \
     }                                                                 \
   } while (0)
 

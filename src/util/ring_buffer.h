@@ -5,8 +5,10 @@
 // churns the allocator from two threads. The ring keeps one backing array
 // that only ever grows — steady-state append/pop_front is index
 // arithmetic, no allocation — and bulk append copies at most two
-// contiguous runs. Not thread-safe; the inbox serializes access under its
-// mutex.
+// contiguous runs. Not thread-safe and deliberately unannotated: the ring
+// carries no mutex of its own, so thread-safety is declared at the owning
+// site — e.g. the shard inbox holds its rings in a GUARDED_BY(mutex_)
+// container (server/inbox.h) and the analysis checks every access there.
 #pragma once
 
 #include <algorithm>

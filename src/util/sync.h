@@ -1,0 +1,93 @@
+// Annotated synchronization primitives: zero-overhead wrappers over
+// std::mutex / std::condition_variable that carry the clang thread-safety
+// capability attributes (util/thread_annotations.h).
+//
+// Why wrappers: -Wthread-safety can only track acquisitions it can see,
+// and libstdc++'s std::mutex / std::lock_guard carry no capability
+// attributes, so code locking them is invisible to the analysis — every
+// GUARDED_BY member access would warn. Mutex/MutexLock forward inline to
+// the std types (same layout, same generated code) while exposing the
+// attributes, and CondVar keeps std::condition_variable's fast path by
+// reaching the MutexLock's underlying std::unique_lock directly.
+//
+// Wait-loop idiom (see thread_annotations.h header comment): call
+// CondVar::Wait in an explicit `while (!PredicateLocked())` loop where the
+// predicate is a REQUIRES(mu) function, instead of passing a lambda to a
+// predicate-taking wait overload.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace wmlp {
+
+class CondVar;
+
+// An exclusive lockable capability. Same cost as the std::mutex it wraps.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+// RAII lock over a Mutex; the scoped-capability shape the analysis
+// understands. Holds for the full scope — no manual unlock: structure
+// "unlock, work, relock" code as two scopes instead.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// Condition variable bound to MutexLock. Wait atomically releases and
+// reacquires the lock, so from the analysis's point of view the capability
+// set is unchanged across the call — which is exactly the caller-visible
+// contract.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <class Rep, class Period>
+  std::cv_status WaitFor(MutexLock& lock,
+                         const std::chrono::duration<Rep, Period>& dur) {
+    return cv_.wait_for(lock.lock_, dur);
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status WaitUntil(
+      MutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace wmlp

@@ -1,0 +1,55 @@
+// Clang thread-safety analysis annotations (no-ops on other compilers).
+//
+// These macros let the compiler prove lock discipline at build time: a
+// member declared GUARDED_BY(mu) may only be touched while `mu` is held, a
+// function annotated REQUIRES(mu) may only be called with `mu` held, and a
+// violation is a -Wthread-safety warning (an error on the CI clang legs,
+// which build with -Wthread-safety -Werror). GCC ignores the attributes
+// entirely, so the annotations cost nothing in the default toolchain.
+//
+// Conventions (docs/ARCHITECTURE.md §12):
+//   * Every mutex-protected member is GUARDED_BY its mutex; every
+//     "caller holds the lock" helper is REQUIRES(mu) — never a bare
+//     comment like "caller holds mutex_".
+//   * Lock with util/sync.h's annotated Mutex / MutexLock / CondVar, not
+//     raw std::mutex: the analysis cannot see through libstdc++'s
+//     un-annotated types, so std::lock_guard acquisitions are invisible
+//     to it and every guarded access would warn.
+//   * Predicates used inside wait loops are plain REQUIRES(mu) member
+//     functions called from an explicit while-loop, not lambdas handed to
+//     condition_variable::wait — lambdas are analyzed as separate
+//     functions with an empty capability set.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define WMLP_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define WMLP_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+// Class-level: type is a lockable capability / RAII lock over one.
+#define CAPABILITY(x) WMLP_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY WMLP_THREAD_ANNOTATION(scoped_lockable)
+
+// Data members.
+#define GUARDED_BY(x) WMLP_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) WMLP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function-level contracts.
+#define REQUIRES(...) \
+  WMLP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  WMLP_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) WMLP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  WMLP_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) WMLP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  WMLP_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  WMLP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) WMLP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) WMLP_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) WMLP_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  WMLP_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,5 +1,8 @@
 #include "writeback/rw_reduction.h"
 
+#include <span>
+#include <vector>
+
 #include "util/check.h"
 
 namespace wmlp::wb {
@@ -69,11 +72,13 @@ void WbFromRwPolicy::Serve(Time t, const WbRequest& r, WbCacheOps& ops) {
   // (at most k) cached pages on either side can differ, so diff the dense
   // page lists (copied: we mutate while iterating). Evictions first so the
   // wb cache never transiently exceeds the RW count.
-  const std::vector<PageId> wb_pages = ops.cache().pages();
+  const std::span<const PageId> wb_view = ops.cache().pages();
+  const std::vector<PageId> wb_pages(wb_view.begin(), wb_view.end());
   for (PageId p : wb_pages) {
     if (!rw_cache_->contains(p)) ops.Evict(p);
   }
-  const std::vector<PageId> rw_pages = rw_cache_->pages();
+  const std::span<const PageId> rw_view = rw_cache_->pages();
+  const std::vector<PageId> rw_pages(rw_view.begin(), rw_view.end());
   for (PageId p : rw_pages) {
     if (!ops.cache().contains(p)) ops.Fetch(p);
   }

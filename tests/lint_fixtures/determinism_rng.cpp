@@ -1,0 +1,9 @@
+// Fixture: MUST trigger [determinism-rng] (tests/lint_test.cpp asserts
+// the exact rule id and line). Never compiled or linked — only linted.
+#include <cstdlib>
+#include <random>
+
+int UnseededDraw() {
+  std::random_device rd;  // LINT: determinism-rng
+  return static_cast<int>(rd()) + std::rand();
+}

@@ -1,0 +1,5 @@
+// Fixture: MUST trigger [float-eq]. Never compiled or linked — only
+// linted.
+bool FullyResident(double mass) {
+  return mass == 1.0;  // LINT: float-eq
+}

@@ -1,0 +1,12 @@
+// Fixture: MUST trigger [hot-check-msg]. Never compiled or linked — only
+// linted: WMLP_CHECK_MSG builds its message inline, so it may not appear
+// inside a WMLP_HOT (allocation-free) function body.
+#include <cstdint>
+
+#define WMLP_HOT
+#define WMLP_CHECK_MSG(cond, msg)
+
+WMLP_HOT int64_t ServeBatch(int64_t n) {
+  WMLP_CHECK_MSG(n >= 0, "negative batch " << n);  // LINT: hot-check-msg
+  return n;
+}

@@ -1,0 +1,9 @@
+// Fixture: MUST trigger [telemetry-gate] when linted --as-dir src/engine.
+// Never compiled or linked — only linted: the call below is exactly the
+// un-gated shape the rule exists to reject.
+void RecordServe();
+
+void Serve() {
+  telemetry::Registry::Get();  // LINT: telemetry-gate (no kEnabled gate)
+  RecordServe();
+}

@@ -1,0 +1,12 @@
+// Fixture: MUST trigger [unordered-iter] when linted --as-dir src/core.
+// Never compiled or linked — only linted.
+#include <cstdint>
+#include <unordered_map>
+
+int64_t SumValues(const std::unordered_map<int64_t, int64_t>& weights) {
+  int64_t total = 0;
+  for (const auto& [page, weight] : weights) {  // LINT: unordered-iter
+    total += page + weight;
+  }
+  return total;
+}

@@ -1,0 +1,11 @@
+// Fixture: MUST trigger [wall-clock]. Never compiled or linked — only
+// linted.
+#include <chrono>
+#include <cstdint>
+
+int64_t DeadlineFromRealTime() {
+  const auto now = std::chrono::steady_clock::now();  // LINT: wall-clock
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             now.time_since_epoch())
+      .count();
+}

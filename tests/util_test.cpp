@@ -246,13 +246,30 @@ TEST(DHeap, HeapifyMatchesIncrementalPushes) {
 TEST(DHeap, ClearKeepsArenaCapacityAndReusesIt) {
   DHeap<int, IntLess> heap;
   for (int i = 0; i < 100; ++i) heap.push(100 - i);
-  const size_t cap = heap.arena().capacity();
+  const size_t cap = heap.capacity();
   heap.clear();
   EXPECT_TRUE(heap.empty());
-  EXPECT_EQ(heap.arena().capacity(), cap);
+  EXPECT_EQ(heap.capacity(), cap);
   heap.push(5);
   heap.push(1);
   EXPECT_EQ(heap.top(), 1);
+}
+
+TEST(DHeap, EntriesFilterAndTruncateRebuild) {
+  DHeap<int, IntLess> heap;
+  for (int i = 0; i < 50; ++i) heap.push(i);
+  // Drop the odd entries in place, as waterfill's compaction does.
+  std::span<int> entries = heap.entries();
+  auto last = std::remove_if(entries.begin(), entries.end(),
+                             [](int v) { return v % 2 != 0; });
+  heap.truncate(static_cast<size_t>(last - entries.begin()));
+  heap.heapify();
+  for (int expected = 0; expected < 50; expected += 2) {
+    ASSERT_FALSE(heap.empty());
+    EXPECT_EQ(heap.top(), expected);
+    heap.pop();
+  }
+  EXPECT_TRUE(heap.empty());
 }
 
 // --- BitKeyIndex ---------------------------------------------------------

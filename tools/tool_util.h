@@ -70,6 +70,32 @@ class Flags {
     return value;
   }
 
+  // Range-checked getters — the convention for every numeric flag with a
+  // meaningful domain. Bounds are inclusive, checked against the DEFAULT
+  // too (a default outside its own advertised range is a programmer
+  // error worth dying loudly over), and the message names flag, bounds,
+  // and offending value so "--trials 0" explains itself.
+  int64_t GetIntInRange(const std::string& key, int64_t def, int64_t lo,
+                        int64_t hi) const {
+    const int64_t value = GetInt(key, def);
+    if (value < lo || value > hi) {
+      Die("--" + key + " must be in [" + std::to_string(lo) + ", " +
+          std::to_string(hi) + "], got " + std::to_string(value));
+    }
+    return value;
+  }
+
+  // NaN fails both bound tests, so it is rejected by construction.
+  double GetDoubleInRange(const std::string& key, double def, double lo,
+                          double hi) const {
+    const double value = GetDouble(key, def);
+    if (!(value >= lo && value <= hi)) {
+      Die("--" + key + " must be in [" + std::to_string(lo) + ", " +
+          std::to_string(hi) + "], got " + std::to_string(value));
+    }
+    return value;
+  }
+
  private:
   std::map<std::string, std::string> values_;
 };

@@ -21,7 +21,8 @@ int main(int argc, char** argv) {
   if (!trace) tools::Die(err);
 
   BoundsOptions opts;
-  opts.dp_state_limit = flags.GetInt("dp-limit", opts.dp_state_limit);
+  opts.dp_state_limit = flags.GetIntInRange(
+      "dp-limit", opts.dp_state_limit, 1, int64_t{1} << 40);
   const OfflineBounds b = ComputeOfflineBounds(*trace, opts);
 
   std::cout << trace->instance.DebugString() << ", T=" << trace->length()

@@ -91,13 +91,13 @@ int main(int argc, char** argv) {
     }
   }
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
-  const int32_t trials = static_cast<int32_t>(flags.GetInt("trials", 1));
+  const int32_t trials =
+      static_cast<int32_t>(flags.GetIntInRange("trials", 1, 1, 1000000));
   // Same ceiling as the serve config surface (server.h kMaxBatch): far
   // above any sensible value, low enough that a typo cannot ask for an
   // effectively unbounded scratch buffer.
-  const int64_t batch = flags.GetInt("batch", 256);
-  if (batch < 1) tools::Die("--batch must be >= 1");
-  if (batch > (int64_t{1} << 22)) tools::Die("--batch must be <= 4194304");
+  const int64_t batch =
+      flags.GetIntInRange("batch", 256, 1, int64_t{1} << 22);
   if (path.empty() && import_path.empty() && stream_path.empty()) {
     tools::Die("--trace, --trace-stream, or --import is required");
   }
@@ -119,7 +119,8 @@ int main(int argc, char** argv) {
     }
     LatencyHistogram histogram;
     const auto results = RunStreaming(
-        stream_path, policy_name, trials, seed, flags.GetInt("chunk", 4096),
+        stream_path, policy_name, trials, seed,
+        flags.GetIntInRange("chunk", 4096, 1, int64_t{1} << 22),
         batch, flags.Has("latency") ? &histogram : nullptr);
     RunningStat cost, hits;
     int64_t evictions = 0, length = 0;
@@ -154,10 +155,12 @@ int main(int argc, char** argv) {
   std::optional<Trace> trace;
   if (!import_path.empty()) {
     ImportOptions iopts;
-    iopts.cache_size = static_cast<int32_t>(flags.GetInt("k", 16));
-    iopts.dirty_cost = flags.GetDouble("dirty", 10.0);
-    iopts.clean_cost = flags.GetDouble("clean", 1.0);
-    iopts.max_requests = flags.GetInt("max-requests", -1);
+    iopts.cache_size =
+        static_cast<int32_t>(flags.GetIntInRange("k", 16, 1, 1 << 30));
+    iopts.dirty_cost = flags.GetDoubleInRange("dirty", 10.0, 0.0, 1e12);
+    iopts.clean_cost = flags.GetDoubleInRange("clean", 1.0, 0.0, 1e12);
+    iopts.max_requests = flags.GetIntInRange("max-requests", -1, -1,
+                                             int64_t{1} << 40);
     auto imported = ImportKeyTraceFile(import_path, iopts, &err);
     if (!imported) tools::Die(err);
     std::cout << "imported " << imported->trace.requests.size()

@@ -46,21 +46,19 @@ int main(int argc, char** argv) {
 
   ServeOptions options;
   options.policy = flags.GetString("policy", "waterfill");
-  options.shards = static_cast<int32_t>(flags.GetInt("shards", 4));
-  options.clients = static_cast<int32_t>(flags.GetInt("clients", 2));
-  options.batch = flags.GetInt("batch", 256);
-  options.engine_batch = flags.GetInt("engine-batch", 256);
+  // Range-checked getters are the first line (they also guard the int32
+  // narrowing that the old GetInt round-trip check existed for);
+  // ValidateServeConfig below still applies the config surface's own
+  // ceilings — values are rejected, never clamped.
+  options.shards = static_cast<int32_t>(
+      flags.GetIntInRange("shards", 4, 0, (int64_t{1} << 31) - 1));
+  options.clients = static_cast<int32_t>(
+      flags.GetIntInRange("clients", 2, 0, (int64_t{1} << 31) - 1));
+  options.batch = flags.GetIntInRange("batch", 256, 0, int64_t{1} << 32);
+  options.engine_batch =
+      flags.GetIntInRange("engine-batch", 256, 0, int64_t{1} << 32);
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   options.collect_latency = flags.Has("latency");
-
-  // Flag-range quirk: tool_util's Flags parse into int64, so an overflowing
-  // "--shards 99999999999" dies in GetInt; values that fit int64 but not
-  // the config surface (zero, negative, or above the ceilings) are
-  // rejected here by ValidateServeConfig, never clamped.
-  const int64_t raw_shards = flags.GetInt("shards", 4);
-  const int64_t raw_clients = flags.GetInt("clients", 2);
-  if (raw_shards != options.shards) tools::Die("--shards out of range");
-  if (raw_clients != options.clients) tools::Die("--clients out of range");
 
   const telemetry::TelemetryRunOptions topts =
       tools::ParseTelemetryFlags(flags);

@@ -49,12 +49,18 @@ int main(int argc, char** argv) {
   using namespace wmlp;
   const tools::Flags flags(argc, argv);
   const std::string kind = flags.GetString("kind", "zipf");
-  const int32_t n = static_cast<int32_t>(flags.GetInt("n", 64));
-  const int32_t k = static_cast<int32_t>(flags.GetInt("k", 8));
-  const int32_t ell = static_cast<int32_t>(flags.GetInt("ell", 1));
-  const int64_t length = flags.GetInt("length", 10000);
-  const double alpha = flags.GetDouble("alpha", 0.8);
-  const double ratio = flags.GetDouble("ratio", 8.0);
+  // Every numeric flag is range-checked (tool_util.h convention): the
+  // upper bounds double as the int32 narrowing guard for the casts below.
+  const int32_t n =
+      static_cast<int32_t>(flags.GetIntInRange("n", 64, 1, 1 << 30));
+  const int32_t k =
+      static_cast<int32_t>(flags.GetIntInRange("k", 8, 1, 1 << 30));
+  const int32_t ell =
+      static_cast<int32_t>(flags.GetIntInRange("ell", 1, 1, 64));
+  const int64_t length =
+      flags.GetIntInRange("length", 10000, 0, int64_t{1} << 40);
+  const double alpha = flags.GetDoubleInRange("alpha", 0.8, 1e-6, 1e6);
+  const double ratio = flags.GetDoubleInRange("ratio", 8.0, 1e-6, 1e9);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   const std::string out = flags.GetString("out");
   if (out.empty()) tools::Die("--out is required");
@@ -69,29 +75,41 @@ int main(int argc, char** argv) {
   } else if (kind == "uniform") {
     trace = GenUniform(inst, length, mix, seed + 1);
   } else if (kind == "loop") {
-    trace = GenLoop(inst, length,
-                    static_cast<int32_t>(flags.GetInt("loop-size", k + 1)),
-                    mix);
+    trace = GenLoop(
+        inst, length,
+        static_cast<int32_t>(
+            flags.GetIntInRange("loop-size", k + 1, 1, 1 << 30)),
+        mix);
   } else if (kind == "phases") {
-    trace = GenPhases(inst, length,
-                      static_cast<int32_t>(flags.GetInt("ws-size", k + 4)),
-                      flags.GetInt("phase-len", 500), alpha, mix, seed + 1);
+    trace = GenPhases(
+        inst, length,
+        static_cast<int32_t>(
+            flags.GetIntInRange("ws-size", k + 4, 1, 1 << 30)),
+        flags.GetIntInRange("phase-len", 500, 1, int64_t{1} << 40), alpha,
+        mix, seed + 1);
   } else if (kind == "scan") {
-    trace = GenScanMix(inst, length,
-                       alpha,
-                       static_cast<int32_t>(flags.GetInt("scan-len", 32)),
-                       flags.GetDouble("scan-prob", 0.02), mix, seed + 1);
+    trace = GenScanMix(
+        inst, length, alpha,
+        static_cast<int32_t>(
+            flags.GetIntInRange("scan-len", 32, 1, 1 << 30)),
+        flags.GetDoubleInRange("scan-prob", 0.02, 0.0, 1.0), mix,
+        seed + 1);
   } else if (kind == "markov") {
-    trace = GenMarkov(inst, length, flags.GetDouble("stay", 0.7),
-                      static_cast<int32_t>(flags.GetInt("window", 16)),
-                      alpha, mix, seed + 1);
+    trace = GenMarkov(
+        inst, length, flags.GetDoubleInRange("stay", 0.7, 0.0, 1.0),
+        static_cast<int32_t>(
+            flags.GetIntInRange("window", 16, 1, 1 << 30)),
+        alpha, mix, seed + 1);
   } else if (kind == "wadv") {
     trace = GenWeightedAdversary(k, length, ratio, seed + 1);
   } else if (kind == "multigran") {
     trace = GenMultiGranularity(
-        static_cast<int32_t>(flags.GetInt("chunks", 32)),
-        static_cast<int32_t>(flags.GetInt("sectors", 8)), k, length,
-        flags.GetDouble("chunk-prob", 0.15), alpha, seed + 1);
+        static_cast<int32_t>(
+            flags.GetIntInRange("chunks", 32, 1, 1 << 20)),
+        static_cast<int32_t>(
+            flags.GetIntInRange("sectors", 8, 1, 1 << 20)),
+        k, length, flags.GetDoubleInRange("chunk-prob", 0.15, 0.0, 1.0),
+        alpha, seed + 1);
   } else {
     tools::Die("unknown --kind '" + kind + "'");
   }

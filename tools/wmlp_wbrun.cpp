@@ -42,13 +42,17 @@ int main(int argc, char** argv) {
     trace = std::move(*loaded);
   } else {
     wb::WbWorkloadOptions opts;
-    opts.num_pages = static_cast<int32_t>(flags.GetInt("n", 64));
-    opts.cache_size = static_cast<int32_t>(flags.GetInt("k", 8));
-    opts.length = flags.GetInt("length", 10000);
-    opts.alpha = flags.GetDouble("alpha", 0.8);
-    opts.write_ratio = flags.GetDouble("write-ratio", 0.3);
-    opts.dirty_cost = flags.GetDouble("dirty", 20.0);
-    opts.clean_cost = flags.GetDouble("clean", 1.0);
+    opts.num_pages =
+        static_cast<int32_t>(flags.GetIntInRange("n", 64, 1, 1 << 30));
+    opts.cache_size =
+        static_cast<int32_t>(flags.GetIntInRange("k", 8, 1, 1 << 30));
+    opts.length =
+        flags.GetIntInRange("length", 10000, 0, int64_t{1} << 40);
+    opts.alpha = flags.GetDoubleInRange("alpha", 0.8, 1e-6, 1e6);
+    opts.write_ratio =
+        flags.GetDoubleInRange("write-ratio", 0.3, 0.0, 1.0);
+    opts.dirty_cost = flags.GetDoubleInRange("dirty", 20.0, 0.0, 1e12);
+    opts.clean_cost = flags.GetDoubleInRange("clean", 1.0, 0.0, 1e12);
     opts.page_dependent = flags.Has("page-dependent");
     opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
     trace = wb::GenWbZipf(opts);
