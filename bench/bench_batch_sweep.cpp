@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "alloc_hook.h"
+#include "bench_util.h"
 #include "engine/engine.h"
 #include "harness/table.h"
 #include "registry/policy_registry.h"
@@ -119,6 +120,7 @@ void WriteJson(const SuiteArgs& args, const std::vector<Cell>& cells,
   os << "{\n";
   os << "  \"schema\": \"wmlp-bench-perf-v1\",\n";
   os << "  \"git_sha\": \"" << JsonEscape(args.git_sha) << "\",\n";
+  bench::WriteJsonMetadata(os);
 #ifdef NDEBUG
   os << "  \"optimized\": true,\n";
 #else

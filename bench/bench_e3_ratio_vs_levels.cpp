@@ -75,8 +75,14 @@ int main(int argc, char** argv) {
       RunningStat rnd_cost;
       for (const auto& r : rnd_trials) rnd_cost.Add(r.eviction_cost);
       auto interval = [&](double cost) {
-        return "[" + Fmt(cost / b.upper, 2) + ", " + Fmt(cost / b.lower, 2) +
-               "]";
+        // Built by append: gcc 12's -O3 -Werror=restrict misfires on the
+        // operator+(const char*, string&&) chain here.
+        std::string s = "[";
+        s += Fmt(cost / b.upper, 2);
+        s += ", ";
+        s += Fmt(cost / b.lower, 2);
+        s += "]";
+        return s;
       };
       table.AddRow({FmtInt(ell), Fmt(b.lower, 0), Fmt(b.upper, 0),
                     interval(wf_cost), interval(rnd_cost.mean())});

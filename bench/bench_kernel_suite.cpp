@@ -1,0 +1,437 @@
+// Kernel microbenchmarks: ns/element, effective bandwidth, and roofline
+// fraction for every src/kernels entry point, plus the gather-prefetch
+// sweep that pins kernels::kBatchPrefetchDistance.
+//
+// Rows ("kernel-<name>", n = elements per pass, requests = n) merge into
+// BENCH_perf.json next to the solver cells and gate under the same 25%
+// envelope as everything else. Each row also carries gb_per_s and
+// roofline_frac — effective bandwidth relative to a STREAM-copy baseline
+// measured in this same process and printed in the table header — which
+// the regression gate ignores but scripts/check_bench_schema.py requires.
+// Bandwidth accounting is the usual STREAM convention: bytes the kernel
+// must move through the memory hierarchy per element (reads + writes,
+// including the restore copy for kernels that mutate state in place);
+// gathers count a full cache line per access.
+//
+// Every kernel is measured twice, dispatched ("kernel-expm1") and through
+// its scalar twin ("kernel-expm1-scalar"), so the table shows the SIMD
+// speedup directly and a dispatch regression (losing the vector path at
+// configure time) trips the gate on the dispatched row.
+//
+// Flags:
+//   --quick            small arrays for CI smoke
+//   --json <path>      write BENCH_perf.json-style output
+//   --git-sha <sha>    stamp the JSON (run_benchmarks.sh passes rev-parse)
+//   --reps <r>         timed repetitions per row, best-of (default 3)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "alloc_hook.h"
+#include "bench_util.h"
+#include "harness/table.h"
+#include "kernels/kernels.h"
+#include "util/hot_path.h"
+#include "util/rng.h"
+
+namespace wmlp {
+namespace {
+
+struct SuiteArgs {
+  bool quick = false;
+  std::string json_path;
+  std::string git_sha = "unknown";
+  int32_t reps = 3;
+};
+
+SuiteArgs ParseArgs(int argc, char** argv) {
+  SuiteArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      args.quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--git-sha") == 0 && i + 1 < argc) {
+      args.git_sha = argv[++i];
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      args.reps = std::max(1, std::atoi(argv[++i]));
+    } else {
+      std::cerr << "usage: bench_kernel_suite [--quick] [--json path] "
+                   "[--git-sha sha] [--reps r]\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+struct Cell {
+  std::string bench;
+  int64_t n = 0;  // elements per pass; doubles as the `requests` field
+  double ns_per_elem = 0.0;
+  double gb_per_s = 0.0;
+  double roofline_frac = 0.0;
+  double allocs_per_request = -1.0;
+  double cost = 0.0;  // deterministic checksum of the kernel's output
+};
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedNs(Clock::time_point start) {
+  return static_cast<double>(std::chrono::duration_cast<std::chrono::
+                                 nanoseconds>(Clock::now() - start)
+                                 .count());
+}
+
+// Best-of timing with the same 50 ms noise floor as bench_perf_suite: a
+// single pass over a cache-resident array is microseconds, far below the
+// scheduler's jitter, so passes accumulate until the measurement is real.
+template <typename Fn>
+Cell TimeKernel(const std::string& bench, int64_t elems,
+                double bytes_per_elem, int32_t reps, Fn&& pass) {
+  constexpr double kMinMeasuredNs = 5e7;  // 50 ms
+  constexpr int32_t kMaxReps = 2000;
+  Cell cell;
+  cell.bench = bench;
+  cell.n = elems;
+  double best_ns = 0.0;
+  double total_ns = 0.0;
+  int64_t best_allocs = 0;
+  for (int32_t rep = 0;
+       rep < reps || (total_ns < kMinMeasuredNs && rep < kMaxReps); ++rep) {
+    const int64_t allocs_before = bench::AllocCount();
+    const auto start = Clock::now();
+    cell.cost = pass();
+    const double ns = ElapsedNs(start);
+    const int64_t allocs = bench::AllocCount() - allocs_before;
+    total_ns += ns;
+    if (rep == 0 || allocs < best_allocs) best_allocs = allocs;
+    if (rep == 0 || ns < best_ns) best_ns = ns;
+  }
+  cell.ns_per_elem = best_ns / static_cast<double>(elems);
+  // bytes / ns == GB/s exactly (both are 1e9-based).
+  cell.gb_per_s = bytes_per_elem * static_cast<double>(elems) / best_ns;
+  if (bench::AllocCountingEnabled()) {
+    cell.allocs_per_request =
+        static_cast<double>(best_allocs) / static_cast<double>(elems);
+  }
+  return cell;
+}
+
+// STREAM-copy bandwidth of this machine, measured in-process so the
+// roofline fractions are self-consistent (same binary, same frequency
+// state, same allocator placement). Counts 16 bytes/element (read +
+// write), the STREAM convention.
+double MeasureStreamCopyGbps(int64_t n, int32_t reps) {
+  std::vector<double> a(static_cast<size_t>(n));
+  std::vector<double> b(static_cast<size_t>(n), 0.0);
+  Rng rng(11);
+  for (double& v : a) v = rng.NextDouble();
+  // One untimed pass touches every page (first-touch faults would
+  // otherwise dominate the first timed rep).
+  std::memcpy(b.data(), a.data(), static_cast<size_t>(n) * sizeof(double));
+  double best_ns = 0.0;
+  for (int32_t rep = 0; rep < std::max(reps, 3); ++rep) {
+    const auto start = Clock::now();
+    std::memcpy(b.data(), a.data(), static_cast<size_t>(n) * sizeof(double));
+    const double ns = ElapsedNs(start);
+    if (rep == 0 || ns < best_ns) best_ns = ns;
+  }
+  return 16.0 * static_cast<double>(n) / best_ns;
+}
+
+// Shared input state for the group-aggregate kernels, sized and filled to
+// look like the fractional solver's active-group SoA: weights spanning
+// six decades, e1 factors in [1, e^8) (the solver rebuilds groups past
+// kMaxGroupExp = 8), masses in [0, k].
+struct GroupArrays {
+  std::vector<double> w;
+  std::vector<double> mass;
+  std::vector<double> lp;
+  std::vector<double> e1;
+  std::vector<double> e1_init;
+  std::vector<double> cnt;
+
+  explicit GroupArrays(int64_t m) {
+    const auto sm = static_cast<size_t>(m);
+    w.resize(sm);
+    mass.resize(sm);
+    lp.resize(sm);
+    e1.resize(sm);
+    e1_init.resize(sm);
+    cnt.resize(sm);
+    Rng rng(23);
+    for (size_t j = 0; j < sm; ++j) {
+      w[j] = 1.0 + 999999.0 * rng.NextDouble() * rng.NextDouble();
+      mass[j] = 64.0 * rng.NextDouble();
+      lp[j] = 100.0 * rng.NextDouble();
+      e1_init[j] = 1.0 + 2979.0 * rng.NextDouble();  // [1, ~e^8)
+      cnt[j] = static_cast<double>(rng.NextBounded(4096));
+    }
+    e1 = e1_init;
+  }
+};
+
+// 64-byte rows standing in for the per-page state (PageRec, CacheState
+// rows) the batched serve front gathers; the index stream is uniform over
+// a working set far past LLC so every access is a memory-latency miss
+// unless the prefetch hint covers it.
+struct alignas(64) GatherRow {
+  double vals[8];
+};
+
+}  // namespace
+
+namespace {
+
+std::string FmtG(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void WriteJson(const SuiteArgs& args, const std::vector<Cell>& cells,
+               double stream_gbps, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "error: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  os << "{\n";
+  os << "  \"schema\": \"wmlp-bench-perf-v1\",\n";
+  os << "  \"git_sha\": \"" << JsonEscape(args.git_sha) << "\",\n";
+  bench::WriteJsonMetadata(os);
+#ifdef NDEBUG
+  os << "  \"optimized\": true,\n";
+#else
+  os << "  \"optimized\": false,\n";
+#endif
+  os << "  \"quick\": " << (args.quick ? "true" : "false") << ",\n";
+  os << "  \"reps\": " << args.reps << ",\n";
+  os << "  \"stream_copy_gb_per_s\": " << FmtG(stream_gbps) << ",\n";
+  os << "  \"results\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    os << "    {\"bench\": \"" << c.bench << "\", \"n\": " << c.n
+       << ", \"k\": 0, \"ell\": 0, \"requests\": " << c.n
+       << ", \"ns_per_request\": " << FmtG(c.ns_per_elem)
+       << ", \"allocs_per_request\": " << FmtG(c.allocs_per_request)
+       << ", \"gb_per_s\": " << FmtG(c.gb_per_s)
+       << ", \"roofline_frac\": " << FmtG(c.roofline_frac)
+       << ", \"cost\": " << FmtG(c.cost) << "}"
+       << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+int Main(int argc, char** argv) {
+  const SuiteArgs args = ParseArgs(argc, argv);
+#ifndef NDEBUG
+  std::cerr << "warning: bench_kernel_suite built without optimization; "
+               "numbers are not comparable to the checked-in baseline\n";
+#endif
+  std::cout << "kernel dispatch ISA: " << kernels::IsaName() << "\n";
+
+  const int64_t stream_n = args.quick ? (1 << 20) : (8 << 20);
+  const double stream_gbps = MeasureStreamCopyGbps(stream_n, args.reps);
+  std::cout << "STREAM copy baseline: " << Fmt(stream_gbps, 2) << " GB/s ("
+            << stream_n << " doubles)\n";
+
+  std::vector<Cell> cells;
+  auto add = [&](Cell c) {
+    c.roofline_frac = c.gb_per_s / stream_gbps;
+    cells.push_back(std::move(c));
+  };
+
+  // Cache-resident and streaming sizes: the solver's live group count is
+  // tiny (G <= ell), so the 4096 row is the realistic-latency number and
+  // the 1M row is the bandwidth-bound roofline number. Quick mode keeps
+  // only the small row, which matches the full grid cell by cell.
+  const std::vector<int64_t> sizes =
+      args.quick ? std::vector<int64_t>{4096}
+                 : std::vector<int64_t>{4096, 1 << 20};
+
+  for (const int64_t m : sizes) {
+    const auto sm = static_cast<size_t>(m);
+    GroupArrays g(m);
+
+    // exp / expm1 over the solver's actual argument range: positive clock
+    // advances ds / w in [0, 8] (groups rebuild past kMaxGroupExp).
+    std::vector<double> x(sm);
+    std::vector<double> out(sm);
+    {
+      Rng rng(29);
+      for (double& v : x) v = 8.0 * rng.NextDouble();
+    }
+    // 16 bytes/elem: read x, write out.
+    add(TimeKernel("kernel-expm1", m, 16.0, args.reps, [&] {
+      kernels::Expm1Batch(x.data(), out.data(), sm);
+      return out[sm / 2] + out[sm - 1];
+    }));
+    add(TimeKernel("kernel-expm1-scalar", m, 16.0, args.reps, [&] {
+      kernels::Expm1BatchScalar(x.data(), out.data(), sm);
+      return out[sm / 2] + out[sm - 1];
+    }));
+    add(TimeKernel("kernel-exp", m, 16.0, args.reps, [&] {
+      kernels::ExpBatch(x.data(), out.data(), sm);
+      return out[sm / 2] + out[sm - 1];
+    }));
+    add(TimeKernel("kernel-exp-scalar", m, 16.0, args.reps, [&] {
+      kernels::ExpBatchScalar(x.data(), out.data(), sm);
+      return out[sm / 2] + out[sm - 1];
+    }));
+
+    // Stopping-clock Newton step inputs: 24 bytes/elem (w, mass, e1).
+    add(TimeKernel("kernel-gain-rate", m, 24.0, args.reps, [&] {
+      const kernels::GainRate gr =
+          kernels::GainRateBatch(g.w.data(), g.mass.data(), g.e1.data(),
+                                 sm, 0.37);
+      return gr.gain + gr.rate;
+    }));
+    add(TimeKernel("kernel-gain-rate-scalar", m, 24.0, args.reps, [&] {
+      const kernels::GainRate gr = kernels::GainRateBatchScalar(
+          g.w.data(), g.mass.data(), g.e1.data(), sm, 0.37);
+      return gr.gain + gr.rate;
+    }));
+
+    // Accrue mutates e1 in place; restore from the pristine copy inside
+    // the timed pass so every rep does identical work. 48 bytes/elem:
+    // restore copy (16) + w/mass/lp reads (24) + e1 read-modify-write (8
+    // beyond the restore's write, counted once).
+    add(TimeKernel("kernel-accrue-advance", m, 48.0, args.reps, [&] {
+      std::memcpy(g.e1.data(), g.e1_init.data(), sm * sizeof(double));
+      const kernels::AccrueDelta d = kernels::AccrueAdvanceBatch(
+          g.w.data(), g.mass.data(), g.lp.data(), g.e1.data(), sm, 0.37);
+      return d.movement + d.lp;
+    }));
+    add(TimeKernel("kernel-accrue-advance-scalar", m, 48.0, args.reps, [&] {
+      std::memcpy(g.e1.data(), g.e1_init.data(), sm * sizeof(double));
+      const kernels::AccrueDelta d = kernels::AccrueAdvanceBatchScalar(
+          g.w.data(), g.mass.data(), g.lp.data(), g.e1.data(), sm, 0.37);
+      return d.movement + d.lp;
+    }));
+
+    // Absent-mass reduction: 24 bytes/elem (mass, e1, cnt).
+    add(TimeKernel("kernel-absent-mass", m, 24.0, args.reps, [&] {
+      return kernels::AbsentMassBatch(g.mass.data(), g.e1.data(),
+                                      g.cnt.data(), sm, 0.25);
+    }));
+    add(TimeKernel("kernel-absent-mass-scalar", m, 24.0, args.reps, [&] {
+      return kernels::AbsentMassBatchScalar(g.mass.data(), g.e1.data(),
+                                            g.cnt.data(), sm, 0.25);
+    }));
+
+    // Waterfill heap compaction over a half-stale arena (the steady-state
+    // shape: compaction fires when stale entries reach 50%). Entries are
+    // restored from a pristine copy each pass. ~73 bytes/elem: restore
+    // (32) + entry reread (16) + compacted write (<= 16) + key/live
+    // gathers (9).
+    {
+      std::vector<std::pair<double, int32_t>> pristine(sm);
+      std::vector<std::pair<double, int32_t>> entries(sm);
+      std::vector<double> key(sm);
+      std::vector<uint8_t> live(sm);
+      Rng rng(31);
+      for (size_t i = 0; i < sm; ++i) {
+        const auto page = static_cast<int32_t>(rng.NextBounded(sm));
+        const double snap = rng.NextDouble() * 1e6;
+        key[static_cast<size_t>(page)] = snap;
+        // Half the entries go stale: wrong snapshot or dead page.
+        const bool stale = (i & 1) != 0;
+        pristine[i] = {stale ? snap - 1.0 : snap, page};
+        live[static_cast<size_t>(page)] = (i % 4 != 3) ? 1 : 0;
+      }
+      add(TimeKernel("kernel-waterfill-compact", m, 73.0, args.reps, [&] {
+        std::copy(pristine.begin(), pristine.end(), entries.begin());
+        const size_t kept = kernels::WaterfillCompactBatch(
+            entries.data(), sm, key.data(), live.data());
+        return static_cast<double>(kept);
+      }));
+      add(TimeKernel("kernel-waterfill-compact-scalar", m, 73.0, args.reps,
+                     [&] {
+                       std::copy(pristine.begin(), pristine.end(),
+                                 entries.begin());
+                       const size_t kept =
+                           kernels::WaterfillCompactBatchScalar(
+                               entries.data(), sm, key.data(), live.data());
+                       return static_cast<double>(kept);
+                     }));
+    }
+  }
+
+  // Gather-prefetch sweep: random 64-byte-row gathers from a working set
+  // far past LLC, with the hint running `pf` accesses ahead — the exact
+  // access shape of the engine's batched serve front (engine.cpp
+  // StepBatch) and DrainShard's remap loop. The distance where ns/access
+  // goes flat is what kBatchPrefetchDistance encodes.
+  {
+    const int64_t rows_n = args.quick ? (1 << 17) : (1 << 20);  // 8/64 MB
+    const int64_t accesses = args.quick ? (1 << 16) : (1 << 20);
+    std::vector<GatherRow> rows(static_cast<size_t>(rows_n));
+    std::vector<int32_t> idx(static_cast<size_t>(accesses));
+    Rng rng(37);
+    for (auto& row : rows) {
+      for (double& v : row.vals) v = rng.NextDouble();
+    }
+    for (auto& i : idx) {
+      i = static_cast<int32_t>(rng.NextBounded(
+          static_cast<uint64_t>(rows_n)));
+    }
+    // 68 bytes/access: the gathered cache line plus the 4-byte index.
+    for (const int32_t pf : {0, 2, 4, 8, 16, 32}) {
+      std::string name = "kernel-gather-pf";
+      name += std::to_string(pf);
+      add(TimeKernel(name, accesses, 68.0, args.reps, [&] {
+        double sum = 0.0;
+        const auto n = static_cast<size_t>(accesses);
+        const auto d = static_cast<size_t>(pf);
+        for (size_t i = 0; i < n; ++i) {
+          if (d > 0 && i + d < n) {
+            WMLP_PREFETCH_READ(
+                &rows[static_cast<size_t>(idx[i + d])]);
+          }
+          sum += rows[static_cast<size_t>(idx[i])].vals[0];
+        }
+        return sum;
+      }));
+    }
+  }
+
+  Table table({"bench", "n", "ns/elem", "Melem/s", "GB/s", "roofline"});
+  for (const Cell& c : cells) {
+    table.AddRow({c.bench, FmtInt(c.n), Fmt(c.ns_per_elem, 3),
+                  Fmt(1000.0 / std::max(c.ns_per_elem, 1e-9), 1),
+                  Fmt(c.gb_per_s, 2), Fmt(c.roofline_frac, 3)});
+  }
+  std::cout << "\n== perf: kernel suite (STREAM copy "
+            << Fmt(stream_gbps, 2) << " GB/s) ==\n";
+  table.Print(std::cout);
+
+  if (!args.json_path.empty()) {
+    WriteJson(args, cells, stream_gbps, args.json_path);
+    std::cout << "wrote " << args.json_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace wmlp
+
+int main(int argc, char** argv) { return wmlp::Main(argc, argv); }

@@ -36,11 +36,13 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "alloc_hook.h"
+#include "bench_util.h"
 #include "core/fractional.h"
 #include "core/fractional_reference.h"
 #include "engine/engine.h"
@@ -156,11 +158,12 @@ Cell TimeCell(const std::string& bench, const Trace& trace, int32_t reps,
 }
 
 double RunFractionalFast(const Trace& trace) {
+  // Drives the batched front (core/fractional.h ServeBatch): identical
+  // trajectory to per-request Serve, plus the footprint-gated prefetch
+  // pipeline — the path the server drain and bulk replays use.
   FractionalMlp frac;
   frac.Attach(trace.instance);
-  for (Time t = 0; t < trace.length(); ++t) {
-    frac.Serve(t, trace.requests[static_cast<size_t>(t)]);
-  }
+  frac.ServeBatch(0, std::span<const Request>(trace.requests));
   return frac.lp_cost();
 }
 
@@ -219,6 +222,7 @@ void WriteJson(const SuiteArgs& args, const std::vector<Cell>& cells,
   os << "{\n";
   os << "  \"schema\": \"wmlp-bench-perf-v1\",\n";
   os << "  \"git_sha\": \"" << JsonEscape(args.git_sha) << "\",\n";
+  bench::WriteJsonMetadata(os);
 #ifdef NDEBUG
   os << "  \"optimized\": true,\n";
 #else

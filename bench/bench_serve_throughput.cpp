@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "alloc_hook.h"
+#include "bench_util.h"
 #include "engine/engine.h"
 #include "engine/request_source.h"
 #include "harness/table.h"
@@ -109,6 +110,7 @@ void WriteJson(const SuiteArgs& args, const std::vector<Cell>& cells,
   os << "{\n";
   os << "  \"schema\": \"wmlp-bench-perf-v1\",\n";
   os << "  \"git_sha\": \"" << JsonEscape(args.git_sha) << "\",\n";
+  bench::WriteJsonMetadata(os);
 #ifdef NDEBUG
   os << "  \"optimized\": true,\n";
 #else

@@ -7,10 +7,13 @@
 #pragma once
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <ostream>
 #include <string>
 
 #include "harness/table.h"
+#include "kernels/kernels.h"
 
 namespace wmlp::bench {
 
@@ -35,6 +38,45 @@ struct BenchArgs {
     return quick ? quick_value : full;
   }
 };
+
+// --- Machine/toolchain metadata for the JSON perf artifacts. --------------
+//
+// Every JSON-emitting bench stamps a `metadata` object so the perf gate
+// (scripts/check_perf_regression.py) can warn when the current run and the
+// checked-in baseline came from different machines or toolchains: ns/request
+// envelopes are machine-specific, and a cross-machine comparison is the
+// leading source of phantom "regressions".
+
+inline std::string CpuModelName() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.compare(0, 10, "model name") != 0) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) break;
+    const auto start = line.find_first_not_of(" \t", colon + 1);
+    if (start == std::string::npos) break;
+    return line.substr(start);
+  }
+  return "unknown";
+}
+
+inline std::string JsonEscapeMeta(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Writes the `"metadata": {...},` member (two-space indent, trailing comma)
+// into an in-progress top-level JSON object.
+inline void WriteJsonMetadata(std::ostream& os) {
+  os << "  \"metadata\": {\"cpu_model\": \"" << JsonEscapeMeta(CpuModelName())
+     << "\", \"isa\": \"" << kernels::IsaName() << "\", \"compiler\": \""
+     << JsonEscapeMeta(__VERSION__) << "\"},\n";
+}
 
 inline void EmitTable(const BenchArgs& args, const std::string& experiment,
                       const std::string& name, const Table& table) {

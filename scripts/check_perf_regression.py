@@ -59,6 +59,35 @@ def allocs_gated(bench):
     return True
 
 
+def warn_metadata_mismatch(base, cur):
+    """Warns (never fails) when baseline and current run disagree on the
+    machine or toolchain.
+
+    The ns/request envelope is machine-specific: a different CPU, a
+    different kernel-dispatch ISA, or a different compiler shifts every
+    cell at once, so a mismatch turns the 25% gate into noise in both
+    directions. That still should not fail CI — runners get upgraded —
+    but the operator re-recording the baseline needs to see why the
+    numbers moved.
+    """
+    bm = base.get("metadata")
+    cm = cur.get("metadata")
+    if not bm and not cm:
+        return
+    if not bm or not cm:
+        which = "baseline" if not bm else "current run"
+        print(f"warning: {which} carries no machine metadata; re-record "
+              "the baseline with a current bench binary to enable the "
+              "mismatch check")
+        return
+    for key in sorted(set(bm) | set(cm)):
+        if bm.get(key) != cm.get(key):
+            print(f"warning: metadata mismatch on '{key}': baseline "
+                  f"'{bm.get(key)}' vs current '{cm.get(key)}'; "
+                  "ns/request envelopes are machine-specific — expect "
+                  "drift in both directions")
+
+
 def merge_max(out_path, in_paths):
     """Merges runs into a baseline, keeping each cell's slowest observation.
 
@@ -120,6 +149,7 @@ def main():
     # knowing which envelope it was measured against.
     print(f"gating {args.current} against baseline {args.baseline} "
           f"(recorded at sha {base.get('git_sha', 'unknown')})")
+    warn_metadata_mismatch(base, cur)
     if not cur.get("optimized", False):
         print("error: current run was not built optimized; refusing to gate",
               file=sys.stderr)

@@ -27,7 +27,7 @@ done
 # build is meaningless, and the regression gate would fire spuriously.
 cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build --target bench_perf_suite bench_serve_throughput \
-  bench_batch_sweep >/dev/null
+  bench_batch_sweep bench_kernel_suite >/dev/null
 mkdir -p "$OUT"
 # Catch an unwritable output directory up front: a read-only $OUT would
 # otherwise surface as a confusing downstream parse error (or, worse, a
@@ -39,20 +39,41 @@ fi
 rm -f "$OUT/.write_probe"
 
 SHA=$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
-build/bench/bench_perf_suite $QUICK --json "$OUT/BENCH_perf.solver.json" \
-  --git-sha "$SHA"
-build/bench/bench_serve_throughput $QUICK \
+
+# Intermediate per-suite artifacts, removed on both the success and the
+# failure path.
+PARTS=("$OUT/BENCH_perf.solver.json" "$OUT/BENCH_perf.serve.json"
+       "$OUT/BENCH_perf.batch.json" "$OUT/BENCH_perf.kernel.json")
+
+# Runs one bench binary and propagates a non-zero exit explicitly: a suite
+# that dies after writing a partial JSON (or before writing one at all)
+# must abort the whole run here, never reach the merge below — a merged
+# artifact built from partial results would gate (and worse, could be
+# recorded as a baseline) as if it were a complete run.
+run_bench() {
+  "$@" && return 0
+  local status=$?
+  echo "error: $1 exited with status $status; aborting without merging" \
+    "partial results" >&2
+  rm -f "${PARTS[@]}"
+  exit "$status"
+}
+
+run_bench build/bench/bench_perf_suite $QUICK \
+  --json "$OUT/BENCH_perf.solver.json" --git-sha "$SHA"
+run_bench build/bench/bench_serve_throughput $QUICK \
   --json "$OUT/BENCH_perf.serve.json" --git-sha "$SHA"
-build/bench/bench_batch_sweep $QUICK \
+run_bench build/bench/bench_batch_sweep $QUICK \
   --json "$OUT/BENCH_perf.batch.json" --git-sha "$SHA"
+run_bench build/bench/bench_kernel_suite $QUICK \
+  --json "$OUT/BENCH_perf.kernel.json" --git-sha "$SHA"
 # One merged artifact: solver cells (gated) + serve-* cells (informational;
 # the gate skips them by bench-name prefix) + batch<b>-<policy> sweep
-# cells. The cell sets are disjoint, so --merge-max is a plain union here.
+# cells + kernel-* microbenchmark cells. The cell sets are disjoint, so
+# --merge-max is a plain union here.
 python3 scripts/check_perf_regression.py --out "$OUT/BENCH_perf.json" \
-  --merge-max "$OUT/BENCH_perf.solver.json" "$OUT/BENCH_perf.serve.json" \
-  "$OUT/BENCH_perf.batch.json"
-rm -f "$OUT/BENCH_perf.solver.json" "$OUT/BENCH_perf.serve.json" \
-  "$OUT/BENCH_perf.batch.json"
+  --merge-max "${PARTS[@]}"
+rm -f "${PARTS[@]}"
 
 # Fail loudly if the merged artifact did not materialize or has no cells —
 # every downstream consumer (the gate, CI artifact upload, plotting)
@@ -83,17 +104,20 @@ if [[ "$UPDATE" -eq 1 ]]; then
   # still shifts 20-30% between processes (allocator layout, frequency
   # scaling). Record two more runs and keep each cell's slowest
   # observation — a conservative envelope the gate compares against.
-  build/bench/bench_perf_suite $QUICK --json "$OUT/BENCH_perf.run2.json" \
-    --git-sha "$SHA" >/dev/null
-  build/bench/bench_perf_suite $QUICK --json "$OUT/BENCH_perf.run3.json" \
-    --git-sha "$SHA" >/dev/null
-  build/bench/bench_batch_sweep $QUICK --json "$OUT/BENCH_perf.batch2.json" \
-    --git-sha "$SHA" >/dev/null
+  run_bench build/bench/bench_perf_suite $QUICK \
+    --json "$OUT/BENCH_perf.run2.json" --git-sha "$SHA" >/dev/null
+  run_bench build/bench/bench_perf_suite $QUICK \
+    --json "$OUT/BENCH_perf.run3.json" --git-sha "$SHA" >/dev/null
+  run_bench build/bench/bench_batch_sweep $QUICK \
+    --json "$OUT/BENCH_perf.batch2.json" --git-sha "$SHA" >/dev/null
+  run_bench build/bench/bench_kernel_suite $QUICK \
+    --json "$OUT/BENCH_perf.kernel2.json" --git-sha "$SHA" >/dev/null
   python3 scripts/check_perf_regression.py --out "$BASELINE" --merge-max \
     "$OUT/BENCH_perf.json" "$OUT/BENCH_perf.run2.json" \
-    "$OUT/BENCH_perf.run3.json" "$OUT/BENCH_perf.batch2.json"
+    "$OUT/BENCH_perf.run3.json" "$OUT/BENCH_perf.batch2.json" \
+    "$OUT/BENCH_perf.kernel2.json"
   rm -f "$OUT/BENCH_perf.run2.json" "$OUT/BENCH_perf.run3.json" \
-    "$OUT/BENCH_perf.batch2.json"
+    "$OUT/BENCH_perf.batch2.json" "$OUT/BENCH_perf.kernel2.json"
   echo "updated $BASELINE"
 else
   python3 scripts/check_perf_regression.py \

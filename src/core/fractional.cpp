@@ -8,8 +8,10 @@
 
 #include "core/core_audit.h"
 #include "core/stopping_clock.h"
+#include "kernels/kernels.h"
 #include "telemetry/telemetry.h"
 #include "util/check.h"
+#include "util/hot_path.h"
 
 namespace wmlp {
 
@@ -27,6 +29,11 @@ constexpr double kMaxGroupExp = 8.0;
 // decision tolerance for the lightest admissible weight (w >= 1, which the
 // Instance validates).
 constexpr double kClockRenormThreshold = 256.0;
+// Exact e1 refresh cadence (see RefreshE1): the incremental advance
+// drifts by ~1 ulp per accrual, so 1024 accruals keep the accumulated
+// drift near 1e-13 — well under kEps — while the refresh's ExpBatch cost
+// is amortized to ~1/1024 exp per group per segment.
+constexpr int64_t kE1RefreshInterval = 1024;
 }  // namespace
 
 FractionalMlp::FractionalMlp(const FractionalOptions& options)
@@ -80,7 +87,8 @@ void FractionalMlp::Attach(const Instance& instance) {
   act_mass_.clear();
   act_lp_.clear();
   act_e1_.clear();
-  act_count_.clear();
+  act_cnt_.clear();
+  accrue_count_ = 0;
 
   req_page_ = -1;
   step1_changed_ = false;
@@ -95,15 +103,48 @@ void FractionalMlp::Attach(const Instance& instance) {
   bisection_fallbacks_ = 0;
   schedule_.u.clear();
   if (options_.record_schedule) schedule_.u.emplace_back(un, 1.0);
+
+  // ServeBatch prefetch front: worth issuing only once the per-page rows
+  // (PageRec line, epoch stamp, u_ row) stop fitting the LLC (§13
+  // footprint gate) — below that bound every hint is a wasted slot.
+  const int64_t page_bytes = static_cast<int64_t>(
+      sizeof(PageRec) + sizeof(uint32_t) +
+      sizeof(double) * static_cast<size_t>(ell_));
+  batch_prefetch_dist_ =
+      static_cast<int64_t>(n) * page_bytes > kernels::kPrefetchMinFootprintBytes
+          ? kernels::kBatchPrefetchDistance
+          : 0;
+}
+
+void FractionalMlp::ServeBatch(Time t0, std::span<const Request> reqs) {
+  const size_t pf = static_cast<size_t>(batch_prefetch_dist_);
+  const size_t warm = pf < reqs.size() ? pf : reqs.size();
+  for (size_t i = 0; i < warm; ++i) PrefetchPage(reqs[i].page);
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    if (pf > 0 && i + pf < reqs.size()) PrefetchPage(reqs[i + pf].page);
+    Serve(t0 + static_cast<Time>(i), reqs[i]);
+  }
 }
 
 double FractionalMlp::DynamicU(PageId p) const {
   const PageRec& rec = rec_[static_cast<size_t>(p)];
-  const double w = instance_->weight(p, rec.cursor);
-  const double val =
-      (rec.u0 + eta_) * std::exp((clock_ - rec.s0) / w) - eta_;
+  // rec.term is the page's contribution against its group's base_s, and
+  // the group's SoA slot holds e1 = e^{(clock_ - base_s)/w}, so the live
+  // value telescopes to (u0 + eta) e^{(clock_ - s0)/w} with no exp and no
+  // weight-table lookup on this read path.
+  const Group& g = groups_[static_cast<size_t>(rec.group_of)];
+  const double val = rec.term * act_e1_[static_cast<size_t>(g.active_pos)] -
+                     eta_;
   const double cap = CapOf(rec, p);
   return val < cap ? val : cap;
+}
+
+void FractionalMlp::PrefetchPage(PageId p) const {
+  if (p < 0 || p >= n_) return;
+  const size_t sp = static_cast<size_t>(p);
+  WMLP_PREFETCH_READ(epoch_of_.data() + sp);
+  WMLP_PREFETCH_WRITE(rec_.get() + sp);
+  WMLP_PREFETCH_WRITE(u_.get() + sp * static_cast<size_t>(ell_));
 }
 
 double FractionalMlp::U(PageId p, Level i) const {
@@ -143,11 +184,17 @@ void FractionalMlp::GroupInsert(PageId p) {
     // arbitrarily far past it (a heavy-weight event), and a term computed
     // against the old base underflows to 0 while evaluation multiplies by
     // e^{(clock - base)/w} = inf, poisoning the sums with 0 * inf. An
-    // empty group carries no mass, so rebasing it to the clock is exact.
+    // empty group carries no mass, so rebasing it to the clock is exact —
+    // its fresh SoA slot starts at mass 0 with e1 = 1 exactly.
     g.base_s = clock_;
-    g.mass_sum = 0.0;
-    g.lp_sum = 0.0;
     g.removals = 0;
+    g.active_pos = static_cast<int32_t>(active_groups_.size());
+    active_groups_.push_back(gi);
+    act_w_.push_back(g.w);
+    act_mass_.push_back(0.0);
+    act_lp_.push_back(0.0);
+    act_e1_.push_back(1.0);
+    act_cnt_.push_back(0.0);
     if constexpr (telemetry::kEnabled) {
       WMLP_TELEMETRY_COUNTER(rebases, "wmlp_fractional_empty_group_rebase_total");
       rebases.Inc();
@@ -155,18 +202,20 @@ void FractionalMlp::GroupInsert(PageId p) {
   } else if ((clock_ - g.base_s) / g.w > kMaxGroupExp) {
     RebuildGroup(g);
   }
-  const double term =
-      (rec.u0 + eta_) * std::exp((g.base_s - rec.s0) / g.w);
+  // Both call sites (ProcessEvent, Activate) materialize the page at the
+  // current clock just before inserting, so s0 == clock_ and the term
+  // against base_s is (u0 + eta) e^{(base_s - clock_)/w} = (u0 + eta)/e1 —
+  // one division off the SoA slot instead of a libm exp.
+  WMLP_CHECK(rec.s0 == clock_);
+  const size_t ap = static_cast<size_t>(g.active_pos);
+  const double term = (rec.u0 + eta_) / act_e1_[ap];
   rec.term = term;
-  g.mass_sum += term;
-  g.lp_sum += rec.csum * term;
+  act_mass_[ap] += term;
+  act_lp_[ap] += rec.csum * term;
+  act_cnt_[ap] += 1.0;
   rec.group_of = gi;
   rec.pos_in_group = static_cast<int32_t>(g.members.size());
   g.members.push_back(p);
-  if (g.members.size() == 1) {
-    g.active_pos = static_cast<int32_t>(active_groups_.size());
-    active_groups_.push_back(gi);
-  }
   ++active_count_;
 }
 
@@ -179,8 +228,10 @@ void FractionalMlp::GroupRemove(PageId p) {
   // exp: bit-identical removal with no exponential on this path, and the
   // sums carry no insert/remove round-trip residue.
   const double term = rec.term;
-  g.mass_sum -= term;
-  g.lp_sum -= rec.csum * term;
+  const size_t ap = static_cast<size_t>(g.active_pos);
+  act_mass_[ap] -= term;
+  act_lp_[ap] -= rec.csum * term;
+  act_cnt_[ap] -= 1.0;
   const int32_t pos = rec.pos_in_group;
   const PageId back = g.members.back();
   g.members[static_cast<size_t>(pos)] = back;
@@ -190,16 +241,25 @@ void FractionalMlp::GroupRemove(PageId p) {
   rec.pos_in_group = -1;
   --active_count_;
   if (g.members.empty()) {
-    // Exact reset: an empty group carries no mass and no drift.
-    g.mass_sum = 0.0;
-    g.lp_sum = 0.0;
+    // Swap-pop the group's SoA slot in lockstep with active_groups_; its
+    // residual mass dies with the slot, so reactivation starts exact.
+    const size_t last = active_groups_.size() - 1;
+    const int32_t moved = active_groups_[last];
+    active_groups_[ap] = moved;
+    act_w_[ap] = act_w_[last];
+    act_mass_[ap] = act_mass_[last];
+    act_lp_[ap] = act_lp_[last];
+    act_e1_[ap] = act_e1_[last];
+    act_cnt_[ap] = act_cnt_[last];
+    groups_[static_cast<size_t>(moved)].active_pos = static_cast<int32_t>(ap);
+    active_groups_.pop_back();
+    act_w_.pop_back();
+    act_mass_.pop_back();
+    act_lp_.pop_back();
+    act_e1_.pop_back();
+    act_cnt_.pop_back();
     g.base_s = clock_;
     g.removals = 0;
-    const int32_t apos = g.active_pos;
-    const int32_t moved = active_groups_.back();
-    active_groups_[static_cast<size_t>(apos)] = moved;
-    groups_[static_cast<size_t>(moved)].active_pos = apos;
-    active_groups_.pop_back();
     g.active_pos = -1;
     return;
   }
@@ -213,22 +273,36 @@ void FractionalMlp::RebuildGroup(Group& g) {
     WMLP_TELEMETRY_COUNTER(rebuilds, "wmlp_fractional_group_rebuild_total");
     rebuilds.Inc();
   }
-  g.base_s = clock_;
-  g.mass_sum = 0.0;
-  g.lp_sum = 0.0;
-  for (const PageId q : g.members) {
-    PageRec& rq = rec_[static_cast<size_t>(q)];
-    const double term =
-        (rq.u0 + eta_) * std::exp((clock_ - rq.s0) / g.w);
-    rq.term = term;
-    g.mass_sum += term;
-    g.lp_sum += rq.csum * term;
+  const size_t m = g.members.size();
+  if (rebuild_x_.size() < m) {
+    rebuild_x_.resize(m);
+    rebuild_e_.resize(m);
   }
+  for (size_t j = 0; j < m; ++j) {
+    const PageRec& rq = rec_[static_cast<size_t>(g.members[j])];
+    rebuild_x_[j] = (clock_ - rq.s0) / g.w;
+  }
+  // One batched exp pass over the membership; the multiply-accumulate
+  // below is cheap next to the transcendentals.
+  kernels::ExpBatch(rebuild_x_.data(), rebuild_e_.data(), m);
+  double mass = 0.0;
+  double lp = 0.0;
+  for (size_t j = 0; j < m; ++j) {
+    PageRec& rq = rec_[static_cast<size_t>(g.members[j])];
+    const double term = (rq.u0 + eta_) * rebuild_e_[j];
+    rq.term = term;
+    mass += term;
+    lp += rq.csum * term;
+  }
+  g.base_s = clock_;
   g.removals = 0;
+  const size_t ap = static_cast<size_t>(g.active_pos);
+  act_mass_[ap] = mass;
+  act_lp_[ap] = lp;
+  act_e1_[ap] = 1.0;  // base_s == clock_ now, exactly
 }
 
-bool FractionalMlp::RebaseGroupsTo(double s_horizon) {
-  bool rebuilt = false;
+void FractionalMlp::RebaseGroupsTo(double s_horizon) {
   for (const int32_t gi : active_groups_) {
     Group& g = groups_[static_cast<size_t>(gi)];
     if ((s_horizon - g.base_s) / g.w <= kMaxGroupExp) continue;
@@ -242,26 +316,20 @@ bool FractionalMlp::RebaseGroupsTo(double s_horizon) {
     // so a group is rebuilt about once per kMaxGroupExp * |active|
     // requests.
     RebuildGroup(g);
-    rebuilt = true;
   }
-  return rebuilt;
 }
 
-void FractionalMlp::GatherActive() {
+void FractionalMlp::RefreshE1(double s2) {
   const size_t m = active_groups_.size();
-  act_w_.resize(m);
-  act_mass_.resize(m);
-  act_lp_.resize(m);
-  act_e1_.resize(m);
-  act_count_.resize(m);
+  if (rebuild_x_.size() < m) {
+    rebuild_x_.resize(m);
+    rebuild_e_.resize(m);
+  }
   for (size_t j = 0; j < m; ++j) {
     const Group& g = groups_[static_cast<size_t>(active_groups_[j])];
-    act_w_[j] = g.w;
-    act_mass_[j] = g.mass_sum;
-    act_lp_[j] = g.lp_sum;
-    act_e1_[j] = std::exp((clock_ - g.base_s) / g.w);
-    act_count_[j] = static_cast<int64_t>(g.members.size());
+    rebuild_x_[j] = (s2 - g.base_s) / act_w_[j];
   }
+  kernels::ExpBatch(rebuild_x_.data(), act_e1_.data(), m);
 }
 
 void FractionalMlp::PushEvent(PageId p) {
@@ -336,24 +404,26 @@ double FractionalMlp::TotalAbsentMass() const {
       rec_[static_cast<size_t>(req_page_)].state == PageState::kDetached) {
     total += u_[Idx(req_page_, ell_)];
   }
-  const size_t m = act_mass_.size();
-  for (size_t j = 0; j < m; ++j) {
-    total += act_mass_[j] * act_e1_[j] -
-             eta_ * static_cast<double>(act_count_[j]);
-  }
+  total += kernels::AbsentMassBatch(act_mass_.data(), act_e1_.data(),
+                                    act_cnt_.data(), act_mass_.size(), eta_);
   return total;
 }
 
 void FractionalMlp::AccrueCostsTo(double s2) {
-  const size_t m = act_mass_.size();
-  for (size_t j = 0; j < m; ++j) {
-    // expm1 keeps the exponential difference accurate when (s2 - clock)/w
-    // is tiny; the direct e2 - e1 would cancel and the error is amplified
-    // by w in the movement meter.
-    const double d = act_e1_[j] * std::expm1((s2 - clock_) / act_w_[j]);
-    movement_cost_ += act_w_[j] * act_mass_[j] * d;
-    lp_cost_ += act_lp_[j] * d;
-  }
+  // One fused 4-wide pass: per group d = e1 * expm1((s2 - clock_)/w)
+  // (expm1 keeps the exponential difference accurate when the advance is a
+  // tiny fraction of w — the direct e2 - e1 would cancel and the error is
+  // amplified by w in the movement meter), meters advance by
+  // w * mass * d / lp * d, and e1 += d folds the clock advance into the
+  // SoA so no exp is ever recomputed for it. The caller sets clock_ = s2.
+  const kernels::AccrueDelta delta = kernels::AccrueAdvanceBatch(
+      act_w_.data(), act_mass_.data(), act_lp_.data(), act_e1_.data(),
+      act_mass_.size(), s2 - clock_);
+  movement_cost_ += delta.movement;
+  lp_cost_ += delta.lp;
+  // clock_ still holds the segment's start here, so the exact refresh must
+  // target the new clock explicitly.
+  if (++accrue_count_ % kE1RefreshInterval == 0) RefreshE1(s2);
 }
 
 void FractionalMlp::ProcessEvent(PageId p) {
@@ -486,7 +556,6 @@ void FractionalMlp::Serve(Time /*t*/, const Request& r) {
 
   // ---- Step 2: evict continuously until the cache fits. -----------------
   const double target = static_cast<double>(n_ - inst.cache_size());
-  GatherActive();
   double need = target - TotalAbsentMass();
   if (need > kEps) {
     clock_advanced_ = true;
@@ -514,7 +583,6 @@ void FractionalMlp::Serve(Time /*t*/, const Request& r) {
           movement_cost_ += w * rise;
           heap_.pop();
           ProcessEvent(ev.page);
-          GatherActive();
           need = target - TotalAbsentMass();
           continue;
         }
@@ -524,30 +592,23 @@ void FractionalMlp::Serve(Time /*t*/, const Request& r) {
         WMLP_TELEMETRY_COUNTER(segments, "wmlp_fractional_segments_total");
         segments.Inc();
       }
-      if (RebaseGroupsTo(ev.s)) GatherActive();
+      RebaseGroupsTo(ev.s);
 
       // Within the segment no caps bind, so the total gain over the active
-      // set is a sum of one exponential per weight group — evaluated over
-      // the gathered SoA arrays, so the per-group e^{(clock - base_s)/w}
-      // factor is computed once per segment (at gather time) and every
-      // Newton iteration pays only one expm1 per group over contiguous
-      // memory.
+      // set is a sum of one exponential per weight group — a single fused
+      // 4-wide kernel pass over the persistent SoA arrays: the per-group
+      // e^{(clock - base_s)/w} factor is already live in act_e1_, so every
+      // Newton iteration pays one lane-parallel expm1 per four groups over
+      // contiguous memory. (The kernel's expm1 keeps the exponential
+      // difference accurate when the advance is a tiny fraction of w; the
+      // direct e2 - e1 would cancel catastrophically and the error is
+      // amplified by w in the cost meters.)
       auto gain_and_rate = [&](double s, double* rate) {
-        double g = 0.0;
-        double dg = 0.0;
-        const size_t m = act_mass_.size();
-        for (size_t j = 0; j < m; ++j) {
-          // e2 - e1 via expm1: for large w the clock advance is a tiny
-          // fraction of w and the direct difference of two exponentials
-          // near 1 would cancel catastrophically (the error is then
-          // amplified by w in the cost meters).
-          const double e1 = act_e1_[j];
-          const double d = e1 * std::expm1((s - clock_) / act_w_[j]);
-          g += act_mass_[j] * d;
-          dg += act_mass_[j] * (e1 + d) / act_w_[j];
-        }
-        if (rate != nullptr) *rate = dg;
-        return g;
+        const kernels::GainRate gr = kernels::GainRateBatch(
+            act_w_.data(), act_mass_.data(), act_e1_.data(),
+            act_mass_.size(), s - clock_);
+        if (rate != nullptr) *rate = gr.rate;
+        return gr.gain;
       };
       double rate_ev = 0.0;
       const double gain_ev = gain_and_rate(ev.s, &rate_ev);
@@ -576,7 +637,6 @@ void FractionalMlp::Serve(Time /*t*/, const Request& r) {
       clock_ = ev.s;
       heap_.pop();
       ProcessEvent(ev.page);
-      GatherActive();
       need = target - TotalAbsentMass();
     }
   }

@@ -50,6 +50,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,12 @@ class FractionalPolicy {
   // over-report pages whose u moved only within fp tolerance.
   virtual const std::vector<PageId>& last_changed() const = 0;
 
+  // Hint that `p` is about to be served: implementations may prefetch the
+  // per-page rows the next Serve will touch. Never required for
+  // correctness; the default is a no-op. Batched fronts (engine
+  // StepBatch, the server drain) call this a few requests ahead.
+  virtual void PrefetchPage(PageId /*p*/) const {}
+
   // Cumulative LP-objective eviction cost: sum over steps, p, i of
   // w(p, i) * (Delta u(p, i))_+ .
   virtual Cost lp_cost() const = 0;
@@ -99,7 +106,16 @@ class FractionalMlp final : public FractionalPolicy {
 
   void Attach(const Instance& instance) override;
   void Serve(Time t, const Request& r) override;
+  // Batched serve front: the trajectory is bit-for-bit identical to
+  // calling Serve(t0 + i, reqs[i]) in order — the front only adds
+  // PrefetchPage hints, issued kernels::kBatchPrefetchDistance requests
+  // ahead, and only when the per-page state exceeds the §13 footprint
+  // gate (below it every row is LLC-resident and the hints are pure
+  // overhead). This is what the engine-less drivers (bench perf suite,
+  // server drain) should feed whole request runs through.
+  void ServeBatch(Time t0, std::span<const Request> reqs);
   double U(PageId p, Level i) const override;
+  void PrefetchPage(PageId p) const override;
   // Lazily materialized: building the list costs O(active set) at the
   // first call after a Serve, and nothing at all if never called — a run
   // that only reads costs never touches per-page state.
@@ -127,21 +143,20 @@ class FractionalMlp final : public FractionalPolicy {
   }
 
  private:
-  // Aggregates over the active pages sharing one cursor weight w. With
-  // term_q = (u0_q + eta) e^{(base_s - s0_q)/w}, the group's live absent
-  // mass at clock S is mass_sum * e^{(S - base_s)/w} - eta * |members|,
-  // and its LP-cost meter advances by lp_sum * (e^{(S2 - base_s)/w} -
-  // e^{(S1 - base_s)/w}). base_s is rebased forward (folding the factor
-  // into the sums) before exponents can overflow, and the sums are rebuilt
-  // from members periodically to shed removal cancellation error.
+  // Active pages sharing one cursor weight w. The group's numeric
+  // aggregates — with term_q = (u0_q + eta) e^{(base_s - s0_q)/w}, the
+  // mass sum A = sum term_q, the LP sum B = sum c_q term_q, and the shared
+  // factor e1 = e^{(S - base_s)/w} — live in the parallel act_* SoA arrays
+  // at index active_pos while the group is non-empty (see the act_*
+  // comment below); the struct itself keeps only membership and the base
+  // clock. The sums are rebuilt from members before exponents can overflow
+  // and periodically to shed removal cancellation error.
   struct Group {
     double w = 0.0;
     double base_s = 0.0;
-    double mass_sum = 0.0;
-    double lp_sum = 0.0;
     std::vector<PageId> members;
     int64_t removals = 0;   // since last rebuild
-    int32_t active_pos = -1;  // index in active_groups_, -1 when empty
+    int32_t active_pos = -1;  // index in active_groups_ / act_*, -1 if empty
   };
 
   struct Event {
@@ -223,18 +238,14 @@ class FractionalMlp final : public FractionalPolicy {
   void GroupInsert(PageId p);
   void GroupRemove(PageId p);
   void RebuildGroup(Group& g);
-  // Returns true if any group was rebuilt (the gathered SoA snapshot is
-  // then stale and must be re-gathered).
-  bool RebaseGroupsTo(double s_horizon);
+  void RebaseGroupsTo(double s_horizon);
 
-  // Gathers the active groups' aggregates into the contiguous act_*
-  // arrays — w, mass_sum, lp_sum, member count, and the shared factor
-  // e1 = e^{(clock_ - base_s)/w} — so the absent-mass total, the segment
-  // Newton solve, and the cost meters run SIMD-friendly flat loops and the
-  // per-group exp is paid once per gather instead of once per evaluation.
-  // Must be re-gathered whenever clock_, a base_s, or the active
-  // membership changes.
-  void GatherActive();
+  // Recomputes every active group's e1 = e^{(s2 - base_s)/w} exactly (one
+  // ExpBatch over the active set). Steady-state accrual advances e1
+  // incrementally (e1 += e1 * expm1(ds/w), fused into the accrue kernel),
+  // which drifts by ~1 ulp per accrual; this periodic refresh bounds the
+  // accumulated drift far below the kEps decision tolerance.
+  void RefreshE1(double s2);
 
   void PushEvent(PageId p);
   // Drops stale heap entries; returns false if no live event remains.
@@ -250,10 +261,10 @@ class FractionalMlp final : public FractionalPolicy {
   void RenormalizeClock();
 
   // Total absent mass sum_p u(p, ell) at the current clock, evaluated
-  // from the gathered SoA snapshot (call GatherActive() first).
+  // from the persistent SoA aggregates.
   double TotalAbsentMass() const;
-  // Advances lp_cost_/movement_cost_ for the raise from clock_ to s2,
-  // evaluated from the gathered snapshot.
+  // Advances lp_cost_/movement_cost_ for the raise from clock_ to s2 and
+  // folds the e1 advance into the SoA (the caller then sets clock_ = s2).
   void AccrueCostsTo(double s2);
 
   // Moves p's cursor up after its cap event (or absorbs it at u = 1).
@@ -286,6 +297,10 @@ class FractionalMlp final : public FractionalPolicy {
   std::vector<uint32_t> epoch_of_;
   uint32_t epoch_ = 0;
 
+  // ServeBatch's prefetch distance, fixed at Attach: 0 when the per-page
+  // state (PageRec + epoch stamp + u_ row) fits the footprint gate.
+  int32_t batch_prefetch_dist_ = 0;
+
   std::vector<Group> groups_;
   std::vector<int32_t> active_groups_;  // indices of non-empty groups
   // Group lookup keyed on the weight's bit pattern
@@ -298,13 +313,26 @@ class FractionalMlp final : public FractionalPolicy {
   int64_t absent_count_ = 0;
   int64_t active_count_ = 0;
 
-  // Gathered SoA snapshot of the active groups (see GatherActive); arena
-  // scratch, reset per gather, never freed.
+  // Persistent SoA aggregates of the active groups, parallel to
+  // active_groups_ (slot j belongs to groups_[active_groups_[j]]): cursor
+  // weight, mass sum A, LP sum B, the shared factor
+  // e1 = e^{(clock_ - base_s)/w}, and the member count (as double — it
+  // feeds the absent-mass kernel directly). This is the source of truth
+  // for a non-empty group's aggregates; it is maintained incrementally by
+  // GroupInsert / GroupRemove / RebuildGroup / AccrueCostsTo, so the
+  // absent-mass total, the segment Newton solve, and the cost meters run
+  // the src/kernels batch kernels over contiguous memory with no
+  // per-segment re-gather and no libm exp on the serve path (e1 advances
+  // by the accrual's own expm1 and is refreshed exactly by RefreshE1).
   std::vector<double> act_w_;
   std::vector<double> act_mass_;
   std::vector<double> act_lp_;
   std::vector<double> act_e1_;
-  std::vector<int64_t> act_count_;
+  std::vector<double> act_cnt_;
+  // RebuildGroup / RefreshE1 scratch (exponent args and results).
+  std::vector<double> rebuild_x_;
+  std::vector<double> rebuild_e_;
+  int64_t accrue_count_ = 0;
 
   // last_changed bookkeeping (lazy; see BuildLastChanged).
   PageId req_page_ = -1;

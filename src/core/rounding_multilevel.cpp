@@ -4,9 +4,11 @@
 #include <cmath>
 #include <limits>
 
+#include "kernels/kernels.h"
 #include "telemetry/telemetry.h"
 #include "util/audit.h"
 #include "util/check.h"
+#include "util/hot_path.h"
 
 namespace wmlp {
 
@@ -39,6 +41,16 @@ void RoundedMultiLevel::Attach(const Instance& instance) {
   class_mass_.assign(static_cast<size_t>(classes_->num_classes()), 0.0);
   cached_per_class_.assign(static_cast<size_t>(classes_->num_classes()), 0);
   reset_evictions_ = 0;
+  // Prefetch front gated on the §13 state footprint: the dominant
+  // per-page rows the serve touches are the fractional solver's PageRec
+  // line and this policy's u_prev_ row.
+  const int64_t page_bytes = static_cast<int64_t>(
+      64 + 2 * sizeof(double) * static_cast<size_t>(instance.num_levels()));
+  prefetch_dist_ =
+      static_cast<int64_t>(instance.num_pages()) * page_bytes >
+              kernels::kPrefetchMinFootprintBytes
+          ? kernels::kBatchPrefetchDistance
+          : 0;
 }
 
 double RoundedMultiLevel::V(double u) const {
@@ -228,6 +240,19 @@ void RoundedMultiLevel::CheckConsistency(const CacheOps& ops, Time t) const {
 
 std::string RoundedMultiLevel::name() const {
   return "rounded-ml(" + fractional_->name() + ")";
+}
+
+int32_t RoundedMultiLevel::PrefetchDistance() const {
+  return prefetch_dist_;
+}
+
+void RoundedMultiLevel::Prefetch(const Request& r) const {
+  fractional_->PrefetchPage(r.page);
+  if (instance_ != nullptr) {
+    const size_t row = static_cast<size_t>(r.page) *
+                       static_cast<size_t>(instance_->num_levels());
+    if (row < u_prev_.size()) WMLP_PREFETCH_READ(u_prev_.data() + row);
+  }
 }
 
 }  // namespace wmlp

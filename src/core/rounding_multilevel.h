@@ -44,6 +44,12 @@ class RoundedMultiLevel final : public Policy {
   void Serve(Time t, const Request& r, CacheOps& ops) override;
   std::string name() const override;
 
+  // Batched-front prefetch hints (sim/policy.h): pull the u_prev_ row and
+  // the fractional solver's per-page state the serve will gather. Gated
+  // on the §13 state footprint, fixed at Attach.
+  int32_t PrefetchDistance() const override;
+  void Prefetch(const Request& r) const override;
+
   const FractionalPolicy& fractional() const { return *fractional_; }
   double beta() const { return beta_; }
   int64_t reset_evictions() const { return reset_evictions_; }
@@ -77,6 +83,7 @@ class RoundedMultiLevel final : public Policy {
   mutable std::vector<double> check_mass_;
   mutable std::vector<int32_t> check_cached_;
   int64_t reset_evictions_ = 0;
+  int32_t prefetch_dist_ = 0;  // fixed at Attach (footprint gate)
 };
 
 }  // namespace wmlp

@@ -24,6 +24,15 @@ void WaterfillPolicy::Attach(const Instance& instance) {
   live_size_ = 0;
   offset_ = 0.0;
   audited_offset_ = 0.0;
+  // Prefetch front pays off only once the per-page tables leave the LLC
+  // (§13 footprint gate; kernels.h has the measurement rationale).
+  const int64_t page_bytes =
+      static_cast<int64_t>(sizeof(double) + sizeof(uint8_t));
+  prefetch_dist_ =
+      static_cast<int64_t>(instance.num_pages()) * page_bytes >
+              kernels::kPrefetchMinFootprintBytes
+          ? kernels::kBatchPrefetchDistance
+          : 0;
 }
 
 void WaterfillPolicy::HeapInsert(PageId p) {
@@ -50,18 +59,15 @@ void WaterfillPolicy::HeapErase(PageId p) {
       WMLP_TELEMETRY_COUNTER(sweeps, "wmlp_waterfill_heap_compaction_total");
       sweeps.Inc();
     }
-    // In-place filter + Floyd rebuild over the heap's own arena. The key
-    // compare is bitwise identity against the stored snapshot (stale-entry
-    // detection), not a numeric tolerance test.
+    // In-place filter + Floyd rebuild over the heap's own arena, via the
+    // strided compaction kernel (src/kernels): same predicate as the
+    // scalar remove_if it replaces — bitwise identity of the stored key
+    // snapshot (stale-entry detection), not a numeric tolerance test —
+    // with software prefetch over the scattered key/live gathers.
     std::span<std::pair<double, PageId>> entries = heap_.entries();
-    auto last = std::remove_if(
-        entries.begin(), entries.end(),
-        [&](const std::pair<double, PageId>& e) {
-          const size_t sp = static_cast<size_t>(e.second);
-          return live_[sp] == 0 ||
-                 key_[sp] != e.first;  // wmlp-lint-allow(float-eq)
-        });
-    heap_.truncate(static_cast<size_t>(last - entries.begin()));
+    const size_t kept = kernels::WaterfillCompactBatch(
+        entries.data(), entries.size(), key_.data(), live_.data());
+    heap_.truncate(kept);
     heap_.heapify();
   }
 }

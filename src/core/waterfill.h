@@ -22,8 +22,10 @@
 #include <utility>
 #include <vector>
 
+#include "kernels/kernels.h"
 #include "sim/policy.h"
 #include "util/dheap.h"
+#include "util/hot_path.h"
 
 namespace wmlp {
 
@@ -32,6 +34,17 @@ class WaterfillPolicy final : public Policy {
   void Attach(const Instance& instance) override;
   void Serve(Time t, const Request& r, CacheOps& ops) override;
   std::string name() const override { return "waterfill"; }
+
+  // Batched-front prefetch hints (sim/policy.h): pull the per-page key and
+  // liveness rows the serve will touch. Gated on the §13 state footprint
+  // — the key/live tables are 9 bytes/page, LLC-resident far past every
+  // bench size, so the front stays off until they genuinely spill.
+  int32_t PrefetchDistance() const override { return prefetch_dist_; }
+  void Prefetch(const Request& r) const override {
+    const size_t sp = static_cast<size_t>(r.page);
+    WMLP_PREFETCH_READ(key_.data() + sp);
+    WMLP_PREFETCH_WRITE(live_.data() + sp);
+  }
 
   // Current water level f(p, level) in [0, w(p, level)] of a cached copy
   // (Theorem 4.1's analysis state; `level` must be the copy's level).
@@ -70,6 +83,7 @@ class WaterfillPolicy final : public Policy {
   std::vector<double> key_;    // per page; valid while cached
   std::vector<uint8_t> live_;  // per page; 1 iff currently cached
   int64_t live_size_ = 0;
+  int32_t prefetch_dist_ = 0;  // fixed at Attach (footprint gate)
   double offset_ = 0.0;
   // High-water mark of offset_ seen by AuditState (water monotonicity).
   mutable double audited_offset_ = 0.0;

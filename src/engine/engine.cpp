@@ -141,10 +141,35 @@ WMLP_HOT void Engine::StepBatch(std::span<const Request> reqs,
   }
   uint8_t* const hits_out = hit_buf_.data();
   int64_t batch_hits = 0;
+  // Bandwidth-aware front: stream the batch's per-page rows toward the
+  // core `pf` requests ahead of the serve. The policy opts in via
+  // PrefetchDistance() (0 keeps this loop branch-free of virtual calls);
+  // the cap bounds the lookahead on adversarial overrides. Prefetches are
+  // issued only for requests that will pass validation — an invalid page
+  // id must not be turned into a pointer, even a hint.
+  const int32_t pd = policy_.PrefetchDistance();
+  const int64_t pf = pd > 64 ? int64_t{64} : static_cast<int64_t>(pd);
+  if (pf > 0) {
+    const int64_t warm = pf < n ? pf : n;
+    for (int64_t i = 0; i < warm; ++i) {
+      const Request& rw = reqs[static_cast<size_t>(i)];
+      if (inst.valid_page(rw.page) && inst.valid_level(rw.level)) {
+        state_.Prefetch(rw.page);
+        policy_.Prefetch(rw);
+      }
+    }
+  }
   for (int64_t i = 0; i < n; ++i) {
     const Request& r = reqs[static_cast<size_t>(i)];
     if (!(inst.valid_page(r.page) && inst.valid_level(r.level))) {
       BatchFailInvalidRequest(time_);
+    }
+    if (pf > 0 && i + pf < n) {
+      const Request& ra = reqs[static_cast<size_t>(i + pf)];
+      if (inst.valid_page(ra.page) && inst.valid_level(ra.level)) {
+        state_.Prefetch(ra.page);
+        policy_.Prefetch(ra);
+      }
     }
     ops_.set_time(time_);
     const bool hit = state_.serves(r);

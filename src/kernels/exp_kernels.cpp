@@ -1,0 +1,222 @@
+// Exponential-family batch kernels for the fractional solver's hot
+// loops: vectorized expm1/exp, the stopping-clock Newton evaluation
+// (gain + rate over the active weight groups), the fused cost-accrual /
+// lazy-offset advance, and the absent-mass total. The out-of-line
+// bodies here (*Batch for the array kernels, *BatchLarge for the
+// group-aggregate kernels whose small-m path is inline in kernels.h)
+// dispatch to the configure-time SIMD backend; the *BatchScalar twins
+// instantiate the identical templates over simd::VecScalar (the §13
+// parity contract — see kernels.h and kernel_impl.h).
+#include "kernels/kernels.h"
+
+#include "kernels/kernel_impl.h"
+#include "util/simd.h"
+
+namespace wmlp::kernels {
+
+namespace detail {
+
+// Test-only dispatch override (see ForceScalar in kernels.h). Plain bool:
+// written only from single-threaded test setup, read concurrently — a
+// constant-false read pattern in production, so no data race exists.
+// Lives in detail:: (declared extern in kernels.h) so the inline
+// small-batch dispatch can read it without a function call.
+bool g_force_scalar = false;
+
+}  // namespace detail
+
+namespace {
+
+using detail::g_force_scalar;
+
+template <class V>
+void Expm1Impl(const double* x, double* out, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    V::Store(out + i, detail::Expm1Lanes<V>(V::Load(x + i)));
+  }
+  if (i < n) {
+    double pad[4] = {0.0, 0.0, 0.0, 0.0};
+    double res[4];
+    for (size_t j = i; j < n; ++j) pad[j - i] = x[j];
+    V::Store(res, detail::Expm1Lanes<V>(V::Load(pad)));
+    for (size_t j = i; j < n; ++j) out[j] = res[j - i];
+  }
+}
+
+template <class V>
+void ExpImpl(const double* x, double* out, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    V::Store(out + i, detail::ExpLanes<V>(V::Load(x + i)));
+  }
+  if (i < n) {
+    double pad[4] = {0.0, 0.0, 0.0, 0.0};
+    double res[4];
+    for (size_t j = i; j < n; ++j) pad[j - i] = x[j];
+    V::Store(res, detail::ExpLanes<V>(V::Load(pad)));
+    for (size_t j = i; j < n; ++j) out[j] = res[j - i];
+  }
+}
+
+// Loads a possibly-partial block into a pad of neutral group aggregates
+// (w = 1 so the divide is benign, everything else 0 so the lane's
+// contribution to every accumulator is an exact ±0.0).
+inline void PadTail(const double* src, size_t count, double fill,
+                    double* pad) {
+  pad[0] = fill;
+  pad[1] = fill;
+  pad[2] = fill;
+  pad[3] = fill;
+  for (size_t j = 0; j < count; ++j) pad[j] = src[j];
+}
+
+template <class V>
+GainRate GainRateImpl(const double* w, const double* mass,
+                      const double* e1, size_t m, double ds) {
+  using R = typename V::Reg;
+  const R vds = V::Set1(ds);
+  R gacc = V::Set1(0.0);
+  R racc = V::Set1(0.0);
+  size_t j = 0;
+  for (; j + 4 <= m; j += 4) {
+    const R vw = V::Load(w + j);
+    const R vm = V::Load(mass + j);
+    const R ve = V::Load(e1 + j);
+    const R d = V::Mul(ve, detail::Expm1Lanes<V>(V::Div(vds, vw)));
+    gacc = V::Add(gacc, V::Mul(vm, d));
+    racc = V::Add(racc, V::Div(V::Mul(vm, V::Add(ve, d)), vw));
+  }
+  if (j < m) {
+    double pw[4], pm[4], pe[4];
+    PadTail(w + j, m - j, 1.0, pw);
+    PadTail(mass + j, m - j, 0.0, pm);
+    PadTail(e1 + j, m - j, 0.0, pe);
+    const R vw = V::Load(pw);
+    const R vm = V::Load(pm);
+    const R ve = V::Load(pe);
+    const R d = V::Mul(ve, detail::Expm1Lanes<V>(V::Div(vds, vw)));
+    gacc = V::Add(gacc, V::Mul(vm, d));
+    racc = V::Add(racc, V::Div(V::Mul(vm, V::Add(ve, d)), vw));
+  }
+  return GainRate{V::ReduceAdd(gacc), V::ReduceAdd(racc)};
+}
+
+template <class V>
+AccrueDelta AccrueAdvanceImpl(const double* w, const double* mass,
+                              const double* lp, double* e1, size_t m,
+                              double ds) {
+  using R = typename V::Reg;
+  const R vds = V::Set1(ds);
+  R movacc = V::Set1(0.0);
+  R lpacc = V::Set1(0.0);
+  size_t j = 0;
+  for (; j + 4 <= m; j += 4) {
+    const R vw = V::Load(w + j);
+    const R vm = V::Load(mass + j);
+    const R vl = V::Load(lp + j);
+    const R ve = V::Load(e1 + j);
+    const R d = V::Mul(ve, detail::Expm1Lanes<V>(V::Div(vds, vw)));
+    movacc = V::Add(movacc, V::Mul(V::Mul(vw, vm), d));
+    lpacc = V::Add(lpacc, V::Mul(vl, d));
+    V::Store(e1 + j, V::Add(ve, d));
+  }
+  if (j < m) {
+    double pw[4], pm[4], pl[4], pe[4], pout[4];
+    PadTail(w + j, m - j, 1.0, pw);
+    PadTail(mass + j, m - j, 0.0, pm);
+    PadTail(lp + j, m - j, 0.0, pl);
+    PadTail(e1 + j, m - j, 0.0, pe);
+    const R vw = V::Load(pw);
+    const R vm = V::Load(pm);
+    const R vl = V::Load(pl);
+    const R ve = V::Load(pe);
+    const R d = V::Mul(ve, detail::Expm1Lanes<V>(V::Div(vds, vw)));
+    movacc = V::Add(movacc, V::Mul(V::Mul(vw, vm), d));
+    lpacc = V::Add(lpacc, V::Mul(vl, d));
+    V::Store(pout, V::Add(ve, d));
+    for (size_t l = j; l < m; ++l) e1[l] = pout[l - j];
+  }
+  return AccrueDelta{V::ReduceAdd(movacc), V::ReduceAdd(lpacc)};
+}
+
+template <class V>
+double AbsentMassImpl(const double* mass, const double* e1,
+                      const double* cnt, size_t m, double eta) {
+  using R = typename V::Reg;
+  R macc = V::Set1(0.0);
+  R cacc = V::Set1(0.0);
+  size_t j = 0;
+  for (; j + 4 <= m; j += 4) {
+    macc = V::Add(macc, V::Mul(V::Load(mass + j), V::Load(e1 + j)));
+    cacc = V::Add(cacc, V::Load(cnt + j));
+  }
+  if (j < m) {
+    double pm[4], pe[4], pc[4];
+    PadTail(mass + j, m - j, 0.0, pm);
+    PadTail(e1 + j, m - j, 0.0, pe);
+    PadTail(cnt + j, m - j, 0.0, pc);
+    macc = V::Add(macc, V::Mul(V::Load(pm), V::Load(pe)));
+    cacc = V::Add(cacc, V::Load(pc));
+  }
+  return V::ReduceAdd(macc) - eta * V::ReduceAdd(cacc);
+}
+
+}  // namespace
+
+const char* IsaName() { return simd::VecNative::Name(); }
+
+void ForceScalar(bool on) { g_force_scalar = on; }
+bool ScalarForced() { return g_force_scalar; }
+
+void Expm1BatchScalar(const double* x, double* out, size_t n) {
+  Expm1Impl<simd::VecScalar>(x, out, n);
+}
+void Expm1Batch(const double* x, double* out, size_t n) {
+  if (g_force_scalar) return Expm1BatchScalar(x, out, n);
+  Expm1Impl<simd::VecNative>(x, out, n);
+}
+
+void ExpBatchScalar(const double* x, double* out, size_t n) {
+  ExpImpl<simd::VecScalar>(x, out, n);
+}
+void ExpBatch(const double* x, double* out, size_t n) {
+  if (g_force_scalar) return ExpBatchScalar(x, out, n);
+  ExpImpl<simd::VecNative>(x, out, n);
+}
+
+GainRate GainRateBatchScalar(const double* w, const double* mass,
+                             const double* e1, size_t m, double ds) {
+  return GainRateImpl<simd::VecScalar>(w, mass, e1, m, ds);
+}
+GainRate GainRateBatchLarge(const double* w, const double* mass,
+                            const double* e1, size_t m, double ds) {
+  if (g_force_scalar) return GainRateBatchScalar(w, mass, e1, m, ds);
+  return GainRateImpl<simd::VecNative>(w, mass, e1, m, ds);
+}
+
+AccrueDelta AccrueAdvanceBatchScalar(const double* w, const double* mass,
+                                     const double* lp, double* e1,
+                                     size_t m, double ds) {
+  return AccrueAdvanceImpl<simd::VecScalar>(w, mass, lp, e1, m, ds);
+}
+AccrueDelta AccrueAdvanceBatchLarge(const double* w, const double* mass,
+                                    const double* lp, double* e1,
+                                    size_t m, double ds) {
+  if (g_force_scalar) {
+    return AccrueAdvanceBatchScalar(w, mass, lp, e1, m, ds);
+  }
+  return AccrueAdvanceImpl<simd::VecNative>(w, mass, lp, e1, m, ds);
+}
+
+double AbsentMassBatchScalar(const double* mass, const double* e1,
+                             const double* cnt, size_t m, double eta) {
+  return AbsentMassImpl<simd::VecScalar>(mass, e1, cnt, m, eta);
+}
+double AbsentMassBatchLarge(const double* mass, const double* e1,
+                            const double* cnt, size_t m, double eta) {
+  if (g_force_scalar) return AbsentMassBatchScalar(mass, e1, cnt, m, eta);
+  return AbsentMassImpl<simd::VecNative>(mass, e1, cnt, m, eta);
+}
+
+}  // namespace wmlp::kernels

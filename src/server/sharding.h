@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "trace/instance.h"
+#include "util/hot_path.h"
 
 namespace wmlp {
 
@@ -44,6 +45,12 @@ class ShardMap {
 
   int32_t shard_of(PageId p) const {
     return shard_of_[static_cast<size_t>(p)];
+  }
+  // Hints p's routing rows (shard id, dense local id) into cache ahead of
+  // the drain loop's remap; pure hint, `p` must be a valid global page.
+  void PrefetchLookup(PageId p) const {
+    WMLP_PREFETCH_READ(shard_of_.data() + static_cast<size_t>(p));
+    WMLP_PREFETCH_READ(local_id_.data() + static_cast<size_t>(p));
   }
   // Dense id of p inside its shard's sub-instance.
   PageId local_id(PageId p) const {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "trace/instance.h"
+#include "util/hot_path.h"
 
 namespace wmlp {
 
@@ -27,6 +28,13 @@ class CacheState {
 
   int32_t size() const { return size_; }
   int32_t capacity() const { return capacity_; }
+
+  // Hints p's per-page rows (level, dense-list position) into cache ahead
+  // of a serve; pure hint, issued by the batched fronts.
+  void Prefetch(PageId p) const {
+    WMLP_PREFETCH_READ(levels_.data() + static_cast<size_t>(p));
+    WMLP_PREFETCH_READ(pos_.data() + static_cast<size_t>(p));
+  }
 
   // Inserts copy (p, level). Precondition: no copy of p cached.
   void Insert(PageId p, Level level);

@@ -84,6 +84,18 @@ class Policy {
   // by the rounding algorithms, which evict non-requested pages).
   virtual void Serve(Time t, const Request& r, CacheOps& ops) = 0;
 
+  // Bandwidth-aware batch streaming (docs/ARCHITECTURE.md §13): a batched
+  // front (engine StepBatch, the server's shard drain) calls Prefetch(r)
+  // roughly PrefetchDistance() requests before Serve(r), giving the policy
+  // a chance to issue software prefetches for the per-page rows that Serve
+  // will gather. Both are pure hints — never required for correctness, no
+  // observable state may change — and the default (distance 0) keeps
+  // policies with small working sets free of the extra virtual call.
+  // Distances are capped by the caller; kernels::kBatchPrefetchDistance is
+  // the tuned default for SoA-heavy policies (bench_kernel_suite sweep).
+  virtual int32_t PrefetchDistance() const { return 0; }
+  virtual void Prefetch(const Request& /*r*/) const {}
+
   virtual std::string name() const = 0;
 };
 

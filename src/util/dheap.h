@@ -87,6 +87,9 @@ class DHeap {
   void heapify() {
     if (n_ < 2) return;
     for (size_t i = (n_ - 2) / kArity + 1; i-- > 0;) {
+      // The next root's child block is the rebuild's next gather; hint it
+      // in while this root sifts.
+      if (i > 0) WMLP_PREFETCH_READ(storage_.data() + (i - 1) * kArity + 1);
       SiftDown(i);
     }
   }
@@ -127,6 +130,15 @@ class DHeap {
       size_t best = first;
       for (size_t c = first + 1; c < last; ++c) {
         if (less_(storage_[c], storage_[best])) best = c;
+      }
+      // Speculatively pull the winning child's own child block: if the
+      // descent continues it lands there next, and at kArity entries per
+      // level the block usually straddles two cache lines.
+      const size_t grand = best * kArity + 1;
+      if (grand < n) {
+        WMLP_PREFETCH_READ(storage_.data() + grand);
+        const size_t tail = grand + kArity - 1;
+        WMLP_PREFETCH_READ(storage_.data() + (tail < n ? tail : n - 1));
       }
       if (!less_(storage_[best], value)) break;
       storage_[i] = storage_[best];

@@ -36,9 +36,17 @@
 // into its (allocating) caller would silently vanish from the root set.
 #define WMLP_HOT __attribute__((noinline, section(".text.wmlp_hot")))
 #define WMLP_COLD __attribute__((cold, noinline, section(".text.wmlp_cold")))
+// Software prefetch for the batched serve fronts (engine StepBatch,
+// DrainShard's remap, the kernel gather passes): hints only, never a
+// fault, and a no-op where unsupported. Pass the address of the row the
+// loop will touch kBatchPrefetchDistance iterations from now.
+#define WMLP_PREFETCH_READ(addr) __builtin_prefetch((addr), 0, 3)
+#define WMLP_PREFETCH_WRITE(addr) __builtin_prefetch((addr), 1, 3)
 #else
 #define WMLP_HOT
 #define WMLP_COLD
+#define WMLP_PREFETCH_READ(addr) ((void)0)
+#define WMLP_PREFETCH_WRITE(addr) ((void)0)
 #endif
 
 #include <cstddef>

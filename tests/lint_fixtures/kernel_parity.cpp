@@ -1,0 +1,21 @@
+// kernel-parity fixture: a *Batch entry point in a (pretend) src/kernels/
+// TU with no *BatchScalar twin anywhere in the TU. The rule must flag the
+// entry point's first occurrence; the second kernel below has its twin
+// and must stay silent.
+#include <cstddef>
+
+namespace wmlp::kernels {
+
+void OrphanBatch(const double* x, double* out, size_t n) {  // LINT: kernel-parity
+  for (size_t i = 0; i < n; ++i) out[i] = x[i];
+}
+
+void PairedBatchScalar(const double* x, double* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = x[i] + 1.0;
+}
+
+void PairedBatch(const double* x, double* out, size_t n) {
+  PairedBatchScalar(x, out, n);
+}
+
+}  // namespace wmlp::kernels

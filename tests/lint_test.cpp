@@ -66,7 +66,8 @@ TEST(LintRules, RuleIdsAreStable) {
   EXPECT_EQ(RuleIds(),
             (std::vector<std::string>{"determinism-rng", "unordered-iter",
                                       "wall-clock", "float-eq",
-                                      "telemetry-gate", "hot-check-msg"}));
+                                      "telemetry-gate", "hot-check-msg",
+                                      "kernel-parity"}));
 }
 
 TEST(LintFixtures, DeterminismRngFires) {
@@ -96,6 +97,28 @@ TEST(LintFixtures, TelemetryGateFires) {
 TEST(LintFixtures, HotCheckMsgFires) {
   ExpectFixtureFires("hot_check_msg.cpp", "src/engine/hot_check_msg.cpp",
                      "hot-check-msg");
+}
+
+TEST(LintFixtures, KernelParityFires) {
+  ExpectFixtureFires("kernel_parity.cpp", "src/kernels/kernel_parity.cpp",
+                     "kernel-parity");
+}
+
+// The parity contract is scoped to src/kernels/ implementation TUs: the
+// same source elsewhere (callers of the kernels, the API header) is
+// legal, and a call to the scalar twin inside the TU satisfies the rule
+// (the dispatch-wrapper shape).
+TEST(LintRules, KernelParityScopedToKernelTus) {
+  const std::string content = ReadFile(FixturePath("kernel_parity.cpp"));
+  EXPECT_TRUE(LintSource("src/core/kernel_parity.cpp", content).empty());
+  EXPECT_TRUE(LintSource("src/kernels/kernels.h", content).empty());
+}
+
+TEST(LintRules, KernelParitySatisfiedByTwin) {
+  const std::string src =
+      "void FooBatch(int n) { FooBatchScalar(n); }\n"
+      "void FooBatchScalar(int n) {}\n";
+  EXPECT_TRUE(LintSource("src/kernels/x.cpp", src).empty());
 }
 
 // The near-miss battery: gated telemetry, suppressed wall-clock, ordered

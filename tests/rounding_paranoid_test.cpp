@@ -75,11 +75,20 @@ INSTANTIATE_TEST_SUITE_P(
         ParanoidCase{6, 2, 5, 1.0, 0, 11},
         ParanoidCase{6, 5, 2, 0.0, 3, 12}),
     [](const auto& suite_info) {
+      // Built by append: gcc 12's -O3 -Werror=restrict misfires on the
+      // operator+(const char*, string&&) chain here.
       const ParanoidCase& c = suite_info.param;
-      return "n" + std::to_string(c.n) + "k" + std::to_string(c.k) + "ell" +
-             std::to_string(c.ell) + "b" +
-             std::to_string(static_cast<int>(c.beta * 10)) + "w" +
-             std::to_string(c.workload);
+      std::string name = "n";
+      name += std::to_string(c.n);
+      name += "k";
+      name += std::to_string(c.k);
+      name += "ell";
+      name += std::to_string(c.ell);
+      name += "b";
+      name += std::to_string(static_cast<int>(c.beta * 10));
+      name += "w";
+      name += std::to_string(c.workload);
+      return name;
     });
 
 TEST(ParanoidSingleLevel, WeightedRoundingAgainstLoopChurn) {

@@ -76,9 +76,18 @@ INSTANTIATE_TEST_SUITE_P(
                       RoundingCase{9, 8, 1, 0.5, 8},
                       RoundingCase{64, 16, 2, 1.0, 9}),
     [](const auto& suite_info) {
+      // Built by append: gcc 12's -O3 -Werror=restrict misfires on the
+      // operator+(const char*, string&&) chain here.
       const RoundingCase& c = suite_info.param;
-      return "n" + std::to_string(c.n) + "k" + std::to_string(c.k) + "ell" +
-             std::to_string(c.ell) + "s" + std::to_string(c.seed);
+      std::string name = "n";
+      name += std::to_string(c.n);
+      name += "k";
+      name += std::to_string(c.k);
+      name += "ell";
+      name += std::to_string(c.ell);
+      name += "s";
+      name += std::to_string(c.seed);
+      return name;
     });
 
 TEST(RoundedWeighted, RejectsMultiLevelInstances) {

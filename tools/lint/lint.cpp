@@ -4,6 +4,7 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <regex>
 #include <set>
 #include <sstream>
@@ -344,6 +345,46 @@ void CheckStructural(Ctx& ctx) {
   }
 }
 
+// kernel-parity: every *Batch entry point appearing in a src/kernels/ TU
+// must have its *BatchScalar twin in the same TU — the bitwise-parity
+// contract (docs/ARCHITECTURE.md §13) that ForceScalar() and the lockstep
+// tests rely on. Heuristic by identifier: any FooBatch occurrence without
+// a FooBatchScalar occurrence anywhere in the TU is flagged at its first
+// occurrence; a mere call to the scalar twin counts as presence, which is
+// exactly the dispatch-wrapper shape the kernel TUs use.
+void CheckKernelParity(Ctx& ctx) {
+  if (!StartsWith(ctx.path, "src/kernels/")) return;
+  static const std::string_view kCpp = ".cpp";
+  if (ctx.path.size() < kCpp.size() ||
+      ctx.path.compare(ctx.path.size() - kCpp.size(), kCpp.size(),
+                       kCpp) != 0) {
+    return;
+  }
+  static const std::regex name_re(R"(\b([A-Za-z_]\w*?)Batch(Scalar)?\s*\()");
+  std::set<std::string> scalar_names;
+  std::map<std::string, size_t> first_batch_line;
+  for (size_t i = 0; i < ctx.stripped.size(); ++i) {
+    const std::string& line = ctx.stripped[i];
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), name_re);
+         it != std::sregex_iterator(); ++it) {
+      const std::string base = (*it)[1].str();
+      if ((*it)[2].matched) {
+        scalar_names.insert(base);
+      } else {
+        first_batch_line.emplace(base, i);
+      }
+    }
+  }
+  for (const auto& [base, line] : first_batch_line) {
+    if (scalar_names.count(base) > 0) continue;
+    Report(ctx, line, "kernel-parity",
+           base + "Batch has no " + base +
+               "BatchScalar twin in this TU; every SIMD kernel entry "
+               "point needs its scalar reference beside it "
+               "(docs/ARCHITECTURE.md section 13)");
+  }
+}
+
 std::set<std::pair<size_t, std::string>> ParseSuppressions(
     const std::vector<std::string>& raw_lines) {
   static const std::regex allow_re(R"(wmlp-lint-allow\(([a-z-]+)\))");
@@ -363,8 +404,8 @@ std::set<std::pair<size_t, std::string>> ParseSuppressions(
 }  // namespace
 
 std::vector<std::string> RuleIds() {
-  return {"determinism-rng", "unordered-iter", "wall-clock",
-          "float-eq",        "telemetry-gate", "hot-check-msg"};
+  return {"determinism-rng", "unordered-iter", "wall-clock",   "float-eq",
+          "telemetry-gate",  "hot-check-msg",  "kernel-parity"};
 }
 
 std::vector<Finding> LintSource(const std::string& path,
@@ -382,6 +423,7 @@ std::vector<Finding> LintSource(const std::string& path,
   CheckFloatEq(ctx);
   CheckUnorderedIter(ctx, header_context);
   CheckStructural(ctx);
+  CheckKernelParity(ctx);
 
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
