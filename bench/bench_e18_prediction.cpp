@@ -1,0 +1,125 @@
+// E18: robustness vs consistency for the prediction-augmented combiner
+// (docs/ARCHITECTURE.md §14, EXPERIMENTS.md E18).
+//
+// Sweeps the prediction-error knob eta for each noise model around an
+// exact next-request-time oracle and reports the combiner's cost against
+// the robust baseline (waterfill) and the perfect-prediction endpoint.
+//
+// Expected shape: cost is monotone (up to noise) in eta. At eta = 0 the
+// combiner tracks the oracle-primed FTP expert (consistency: well below
+// waterfill on predictable traces); as eta grows the switching rule
+// abandons the corrupted expert and cost plateaus near theta-bounded
+// multiples of waterfill (robustness) instead of diverging. The lambda
+// sweep under fully adversarial swap noise traces the tradeoff curve:
+// lambda = 0 is bitwise waterfill, lambda = 1 trusts the (corrupted)
+// predictions fully.
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/engine.h"
+#include "engine/request_source.h"
+#include "predict/noise.h"
+#include "predict/oracle.h"
+#include "predict/predictive_policy.h"
+#include "registry/policy_registry.h"
+#include "trace/generators.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace wmlp;
+
+Cost RunPolicy(const Trace& trace, Policy& policy) {
+  TraceSource source(trace);
+  Engine engine(source, policy);
+  return engine.Run().eviction_cost;
+}
+
+Cost RunPredictive(const Trace& trace, const predict::PredictiveOptions& po,
+                   const predict::Predictor& oracle) {
+  PolicyPtr policy =
+      predict::MakePredictivePolicy(DeriveSeed(7, 0), po, oracle.Clone());
+  return RunPolicy(trace, *policy);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wmlp;
+  const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+
+  struct Workload {
+    std::string name;
+    Trace trace;
+  };
+  std::vector<Workload> workloads;
+  {
+    Instance inst(64, 16, 1,
+                  MakeWeights(64, 1, WeightModel::kLogUniform, 16.0, 1));
+    workloads.push_back({"zipf", GenZipf(inst, args.Scale(8000, 1500), 0.8,
+                                         LevelMix::AllLowest(1), 2)});
+  }
+  {
+    Instance inst(48, 12, 2,
+                  MakeWeights(48, 2, WeightModel::kGeometricLevels, 8.0, 3));
+    workloads.push_back({"phases",
+                         GenPhases(inst, args.Scale(8000, 1500), 16, 200,
+                                   0.8, LevelMix::UniformMix(2), 4)});
+  }
+
+  // (noise, eta) grid: eta = 0 under kNone is the perfect endpoint.
+  std::vector<std::pair<predict::NoiseKind, double>> grid = {
+      {predict::NoiseKind::kNone, 0.0}};
+  for (const double eta : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    grid.emplace_back(predict::NoiseKind::kLogNormal, eta);
+  }
+  for (const double eta : {0.25, 0.5, 1.0}) {
+    grid.emplace_back(predict::NoiseKind::kSwap, eta);
+  }
+
+  Table sweep({"workload", "noise", "eta", "cost", "cost/waterfill",
+               "cost/perfect"});
+  Table tradeoff({"workload", "lambda", "cost", "cost/waterfill"});
+  for (const auto& [name, trace] : workloads) {
+    predict::PredictorPtr oracle = predict::OraclePredictor::FromTrace(trace);
+
+    PolicyPtr waterfill = MakePolicyByName("waterfill", 1);
+    const Cost robust = RunPolicy(trace, *waterfill);
+
+    predict::PredictiveOptions perfect_opts;
+    perfect_opts.lambda = 1.0;
+    const Cost perfect = RunPredictive(trace, perfect_opts, *oracle);
+
+    for (const auto& [kind, eta] : grid) {
+      predict::PredictiveOptions po;
+      po.lambda = 0.75;
+      po.noise = kind;
+      po.eta = eta;
+      const Cost cost = RunPredictive(trace, po, *oracle);
+      sweep.AddRow({name, predict::NoiseKindName(kind), Fmt(eta, 2),
+                    Fmt(cost, 0), robust > 0 ? Fmt(cost / robust, 3) : "-",
+                    perfect > 0 ? Fmt(cost / perfect, 3) : "-"});
+    }
+
+    // Fully adversarial advice (swap eta = 1): the trust knob's whole arc.
+    for (const double lambda : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      predict::PredictiveOptions po;
+      po.lambda = lambda;
+      po.noise = predict::NoiseKind::kSwap;
+      po.eta = 1.0;
+      const Cost cost = RunPredictive(trace, po, *oracle);
+      tradeoff.AddRow({name, Fmt(lambda, 2), Fmt(cost, 0),
+                       robust > 0 ? Fmt(cost / robust, 3) : "-"});
+    }
+  }
+  bench::EmitTable(args, "e18", "eta_sweep", sweep);
+  std::cout << "\n";
+  bench::EmitTable(args, "e18", "lambda_tradeoff", tradeoff);
+  std::cout << "\nPerfect predictions (eta = 0) should sit at or below "
+               "waterfill on predictable\ntraces; adversarial swap noise "
+               "must plateau at a bounded multiple of waterfill\n(theta = "
+               "(1 + lambda) / (1 - lambda)) rather than diverge.\n";
+  return 0;
+}

@@ -190,6 +190,31 @@ double RunRounded(const Trace& trace) {
   return engine.Run().eviction_cost;
 }
 
+// Adaptive baselines (informational rows: list/ghost bookkeeping allocates
+// in steady state by design, so these are exempt from the alloc gate and
+// the regression envelope — check_perf_regression.py tracks them like the
+// serve-* rows).
+double RunArc(const Trace& trace) {
+  auto policy = MakePolicyByName("arc", 3);
+  TraceSource source(trace);
+  Engine engine(source, *policy);
+  return engine.Run().eviction_cost;
+}
+
+double RunCar(const Trace& trace) {
+  auto policy = MakePolicyByName("car", 3);
+  TraceSource source(trace);
+  Engine engine(source, *policy);
+  return engine.Run().eviction_cost;
+}
+
+double RunLruK(const Trace& trace) {
+  auto policy = MakePolicyByName("lruk", 3);
+  TraceSource source(trace);
+  Engine engine(source, *policy);
+  return engine.Run().eviction_cost;
+}
+
 int64_t PeakRssKb() {
   struct rusage usage {};
   if (getrusage(RUSAGE_SELF, &usage) != 0) return -1;
@@ -296,6 +321,14 @@ int Main(int argc, char** argv) {
                 << " (O(n*ell) per step; the cell would dominate runtime)\n";
     }
     cells.push_back(TimeCell("rounded", trace, args.reps, RunRounded));
+    if (n <= 10000) {
+      // LRU-K's victim scan is O(k) per miss and ARC/CAR churn ghost
+      // lists; at n = 1e5+ these cells would dominate suite runtime for
+      // rows that are informational anyway.
+      cells.push_back(TimeCell("arc", trace, args.reps, RunArc));
+      cells.push_back(TimeCell("car", trace, args.reps, RunCar));
+      cells.push_back(TimeCell("lruk", trace, args.reps, RunLruK));
+    }
     std::cout << "measured n=" << n << " ell=" << points[i].ell << "\n";
   }
 

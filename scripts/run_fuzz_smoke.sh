@@ -11,7 +11,8 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
 
 fail=0
-for target in fuzz_trace_io fuzz_policy_differ fuzz_serve_config; do
+for target in fuzz_trace_io fuzz_policy_differ fuzz_serve_config \
+              fuzz_predictor_config; do
   bin="$build/fuzz/$target"
   corpus="$repo/tests/corpus/${target#fuzz_}"
   if [[ ! -x "$bin" ]]; then

@@ -1,0 +1,106 @@
+#include "baselines/arc.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace wmlp {
+
+void ArcPolicy::Attach(const Instance& instance) {
+  t1_.clear();
+  t2_.clear();
+  b1_.clear();
+  b2_.clear();
+  loc_.assign(static_cast<size_t>(instance.num_pages()), Loc::kNone);
+  it_.assign(static_cast<size_t>(instance.num_pages()), List::iterator());
+  p_ = 0;
+  c_ = instance.cache_size();
+}
+
+ArcPolicy::List& ArcPolicy::ListFor(Loc loc) {
+  switch (loc) {
+    case Loc::kT1:
+      return t1_;
+    case Loc::kT2:
+      return t2_;
+    case Loc::kB1:
+      return b1_;
+    default:
+      return b2_;
+  }
+}
+
+void ArcPolicy::MoveTo(PageId p, Loc to) {
+  const size_t sp = static_cast<size_t>(p);
+  if (loc_[sp] != Loc::kNone) ListFor(loc_[sp]).erase(it_[sp]);
+  loc_[sp] = to;
+  if (to != Loc::kNone) {
+    List& list = ListFor(to);
+    list.push_front(p);
+    it_[sp] = list.begin();
+  }
+}
+
+void ArcPolicy::Replace(CacheOps& ops, bool requested_in_b2) {
+  const int64_t t1_size = static_cast<int64_t>(t1_.size());
+  const bool from_t1 =
+      !t1_.empty() &&
+      (t2_.empty() || t1_size > p_ || (requested_in_b2 && t1_size == p_));
+  const PageId victim = from_t1 ? t1_.back() : t2_.back();
+  MoveTo(victim, from_t1 ? Loc::kB1 : Loc::kB2);
+  ops.Evict(victim);
+}
+
+void ArcPolicy::Serve(Time /*t*/, const Request& r, CacheOps& ops) {
+  const CacheState& cache = ops.cache();
+  const PageId x = r.page;
+  const size_t sx = static_cast<size_t>(x);
+  if (cache.serves(r)) {
+    MoveTo(x, Loc::kT2);
+    return;
+  }
+  if (cache.contains(x)) {
+    // Forced replace (own copy at too low a level): still a reference to a
+    // resident page in ARC terms.
+    ops.Replace(x, r.level);
+    MoveTo(x, Loc::kT2);
+    return;
+  }
+  const bool full = cache.size() == cache.capacity();
+  if (loc_[sx] == Loc::kB1) {
+    // Ghost hit in B1: recency was under-provisioned; grow p.
+    p_ = std::min<int64_t>(
+        c_, p_ + std::max<int64_t>(1, static_cast<int64_t>(b2_.size()) /
+                                          static_cast<int64_t>(b1_.size())));
+    if (full) Replace(ops, false);
+    MoveTo(x, Loc::kT2);
+  } else if (loc_[sx] == Loc::kB2) {
+    // Ghost hit in B2: frequency was under-provisioned; shrink p.
+    p_ = std::max<int64_t>(
+        0, p_ - std::max<int64_t>(1, static_cast<int64_t>(b1_.size()) /
+                                         static_cast<int64_t>(b2_.size())));
+    if (full) Replace(ops, true);
+    MoveTo(x, Loc::kT2);
+  } else {
+    const int64_t l1 = static_cast<int64_t>(t1_.size() + b1_.size());
+    if (l1 == c_) {
+      if (static_cast<int64_t>(t1_.size()) < c_) {
+        MoveTo(b1_.back(), Loc::kNone);
+        if (full) Replace(ops, false);
+      } else {
+        // T1 holds the whole cache: drop its LRU without keeping a ghost.
+        const PageId victim = t1_.back();
+        MoveTo(victim, Loc::kNone);
+        ops.Evict(victim);
+      }
+    } else {
+      const int64_t total = l1 + static_cast<int64_t>(t2_.size() + b2_.size());
+      if (total >= 2 * c_ && !b2_.empty()) MoveTo(b2_.back(), Loc::kNone);
+      if (full) Replace(ops, false);
+    }
+    MoveTo(x, Loc::kT1);
+  }
+  ops.Fetch(x, r.level);
+}
+
+}  // namespace wmlp

@@ -1,0 +1,44 @@
+// Adaptive Replacement Cache (Megiddo & Modha, FAST'03), generalized to
+// multi-level paging the same way LRU is: the victim choice ignores
+// weights, and fetches go to the requested level. Cost-oblivious but
+// scan-resistant: two resident LRU lists (T1 recency, T2 frequency) plus
+// two ghost lists (B1, B2) steer an adaptive target size p for T1.
+//
+// Deterministic and weight-free, so costs scale exactly with the weights
+// (the metamorphic dyadic-scaling battery covers it via the registry).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <vector>
+
+#include "sim/policy.h"
+
+namespace wmlp {
+
+class ArcPolicy final : public Policy {
+ public:
+  void Attach(const Instance& instance) override;
+  void Serve(Time t, const Request& r, CacheOps& ops) override;
+  std::string name() const override { return "arc"; }
+
+ private:
+  enum class Loc : uint8_t { kNone, kT1, kT2, kB1, kB2 };
+  using List = std::list<PageId>;
+
+  List& ListFor(Loc loc);
+  // Unlinks p from its current list (if any) and pushes it MRU-first onto
+  // `to` (kNone = forget the page entirely).
+  void MoveTo(PageId p, Loc to);
+  // ARC's REPLACE: demotes the LRU page of T1 or T2 (per the adaptation
+  // target p_) into the matching ghost list and evicts it from the cache.
+  void Replace(CacheOps& ops, bool requested_in_b2);
+
+  List t1_, t2_, b1_, b2_;  // front = MRU, back = LRU
+  std::vector<Loc> loc_;
+  std::vector<List::iterator> it_;
+  int64_t p_ = 0;  // adaptive target size of T1
+  int64_t c_ = 0;  // cache capacity
+};
+
+}  // namespace wmlp

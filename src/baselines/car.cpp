@@ -1,0 +1,130 @@
+#include "baselines/car.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace wmlp {
+
+void CarPolicy::Attach(const Instance& instance) {
+  t1_.clear();
+  t2_.clear();
+  b1_.clear();
+  b2_.clear();
+  loc_.assign(static_cast<size_t>(instance.num_pages()), Loc::kNone);
+  it_.assign(static_cast<size_t>(instance.num_pages()), List::iterator());
+  ref_.assign(static_cast<size_t>(instance.num_pages()), 0);
+  p_ = 0;
+  c_ = instance.cache_size();
+}
+
+void CarPolicy::Unlink(PageId p) {
+  const size_t sp = static_cast<size_t>(p);
+  switch (loc_[sp]) {
+    case Loc::kT1:
+      t1_.erase(it_[sp]);
+      break;
+    case Loc::kT2:
+      t2_.erase(it_[sp]);
+      break;
+    case Loc::kB1:
+      b1_.erase(it_[sp]);
+      break;
+    case Loc::kB2:
+      b2_.erase(it_[sp]);
+      break;
+    case Loc::kNone:
+      break;
+  }
+  loc_[sp] = Loc::kNone;
+}
+
+void CarPolicy::PushTail(PageId p, Loc to) {
+  const size_t sp = static_cast<size_t>(p);
+  List& list = to == Loc::kT1   ? t1_
+               : to == Loc::kT2 ? t2_
+               : to == Loc::kB1 ? b1_
+                                : b2_;
+  list.push_back(p);
+  it_[sp] = std::prev(list.end());
+  loc_[sp] = to;
+}
+
+void CarPolicy::SweepAndEvict(CacheOps& ops) {
+  while (true) {
+    const bool from_t1 =
+        !t1_.empty() &&
+        (t2_.empty() || static_cast<int64_t>(t1_.size()) >= std::max<int64_t>(1, p_));
+    if (from_t1) {
+      const PageId head = t1_.front();
+      if (ref_[static_cast<size_t>(head)] != 0) {
+        // Second chance: a referenced T1 page graduates to the T2 clock.
+        ref_[static_cast<size_t>(head)] = 0;
+        Unlink(head);
+        PushTail(head, Loc::kT2);
+        continue;
+      }
+      Unlink(head);
+      PushTail(head, Loc::kB1);
+      ops.Evict(head);
+      return;
+    }
+    const PageId head = t2_.front();
+    if (ref_[static_cast<size_t>(head)] != 0) {
+      ref_[static_cast<size_t>(head)] = 0;
+      Unlink(head);
+      PushTail(head, Loc::kT2);
+      continue;
+    }
+    Unlink(head);
+    PushTail(head, Loc::kB2);
+    ops.Evict(head);
+    return;
+  }
+}
+
+void CarPolicy::Serve(Time /*t*/, const Request& r, CacheOps& ops) {
+  const CacheState& cache = ops.cache();
+  const PageId x = r.page;
+  const size_t sx = static_cast<size_t>(x);
+  if (cache.serves(r)) {
+    ref_[sx] = 1;
+    return;
+  }
+  if (cache.contains(x)) {
+    ops.Replace(x, r.level);
+    ref_[sx] = 1;
+    return;
+  }
+  const bool full = cache.size() == cache.capacity();
+  const bool in_b1 = loc_[sx] == Loc::kB1;
+  const bool in_b2 = loc_[sx] == Loc::kB2;
+  if (full) SweepAndEvict(ops);
+  if (!in_b1 && !in_b2) {
+    if (static_cast<int64_t>(t1_.size() + b1_.size()) == c_ && !b1_.empty()) {
+      Unlink(b1_.front());  // discard B1's LRU
+    } else if (static_cast<int64_t>(t1_.size() + t2_.size() + b1_.size() +
+                                    b2_.size()) >= 2 * c_ &&
+               !b2_.empty()) {
+      Unlink(b2_.front());  // discard B2's LRU
+    }
+    ref_[sx] = 0;
+    PushTail(x, Loc::kT1);
+  } else {
+    if (in_b1) {
+      p_ = std::min<int64_t>(
+          c_, p_ + std::max<int64_t>(1, static_cast<int64_t>(b2_.size()) /
+                                            static_cast<int64_t>(b1_.size())));
+    } else {
+      p_ = std::max<int64_t>(
+          0, p_ - std::max<int64_t>(1, static_cast<int64_t>(b1_.size()) /
+                                           static_cast<int64_t>(b2_.size())));
+    }
+    Unlink(x);
+    ref_[sx] = 0;
+    PushTail(x, Loc::kT2);
+  }
+  ops.Fetch(x, r.level);
+}
+
+}  // namespace wmlp

@@ -1,0 +1,43 @@
+// CLOCK with Adaptive Replacement (Bansal & Modha, FAST'04): ARC's adaptive
+// recency/frequency split implemented with two second-chance clocks, so a
+// hit only sets a reference bit instead of relinking a list. Generalized to
+// multi-level paging like the other weight-oblivious baselines: victims
+// ignore weights and fetches go to the requested level.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <vector>
+
+#include "sim/policy.h"
+
+namespace wmlp {
+
+class CarPolicy final : public Policy {
+ public:
+  void Attach(const Instance& instance) override;
+  void Serve(Time t, const Request& r, CacheOps& ops) override;
+  std::string name() const override { return "car"; }
+
+ private:
+  enum class Loc : uint8_t { kNone, kT1, kT2, kB1, kB2 };
+  // Circular buffers modeled as lists: front = clock hand / LRU, back =
+  // insertion tail / MRU.
+  using List = std::list<PageId>;
+
+  void Unlink(PageId p);
+  void PushTail(PageId p, Loc to);
+  // CAR's replace(): sweeps the clocks, granting second chances, until a
+  // page with a clear reference bit surfaces; demotes it to the matching
+  // ghost list and evicts it.
+  void SweepAndEvict(CacheOps& ops);
+
+  List t1_, t2_, b1_, b2_;
+  std::vector<Loc> loc_;
+  std::vector<List::iterator> it_;
+  std::vector<uint8_t> ref_;
+  int64_t p_ = 0;  // adaptive target size of T1
+  int64_t c_ = 0;
+};
+
+}  // namespace wmlp

@@ -1,0 +1,61 @@
+#include "baselines/lru_k.h"
+
+#include "baselines/serve_util.h"
+
+namespace wmlp {
+
+LruKPolicy::LruKPolicy(int32_t k) : k_(k) {
+  WMLP_CHECK_MSG(k >= 1 && k <= 16, "lruk: K out of [1, 16]: " << k);
+}
+
+void LruKPolicy::Attach(const Instance& instance) {
+  hist_.assign(static_cast<size_t>(instance.num_pages()) *
+                   static_cast<size_t>(k_),
+               -1);
+}
+
+int64_t LruKPolicy::KthLast(PageId p) const {
+  return hist_[static_cast<size_t>(p) * static_cast<size_t>(k_) +
+               static_cast<size_t>(k_ - 1)];
+}
+
+int64_t LruKPolicy::Last(PageId p) const {
+  return hist_[static_cast<size_t>(p) * static_cast<size_t>(k_)];
+}
+
+void LruKPolicy::Serve(Time t, const Request& r, CacheOps& ops) {
+  // Record the reference (hits included) before handling the miss.
+  const size_t base = static_cast<size_t>(r.page) * static_cast<size_t>(k_);
+  for (int32_t j = k_ - 1; j > 0; --j) {
+    hist_[base + static_cast<size_t>(j)] = hist_[base + static_cast<size_t>(j - 1)];
+  }
+  hist_[base] = t;
+  ServeWithVictim(
+      r, ops,
+      [this](const Request& req, CacheOps& o) {
+        // Victim = lexicographic min of (K-th last reference, last
+        // reference, page id); -1 sentinels sort first, so pages without K
+        // references go before any page with a full history.
+        PageId victim = -1;
+        int64_t best_kth = 0;
+        int64_t best_last = 0;
+        for (PageId q : o.cache().pages()) {
+          if (q == req.page) continue;
+          const int64_t kth = KthLast(q);
+          const int64_t last = Last(q);
+          const bool better =
+              victim < 0 || kth < best_kth ||
+              (kth == best_kth &&
+               (last < best_last || (last == best_last && q < victim)));
+          if (better) {
+            victim = q;
+            best_kth = kth;
+            best_last = last;
+          }
+        }
+        return victim;
+      },
+      [](PageId) {});
+}
+
+}  // namespace wmlp

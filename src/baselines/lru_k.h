@@ -1,0 +1,37 @@
+// LRU-K (O'Neil, O'Neil & Weikum, SIGMOD'93): evict the page whose K-th
+// most recent reference is oldest, falling back to plain LRU order among
+// pages with fewer than K references (those are preferred victims — no
+// evidence of reuse yet). K = 2 is the classic configuration. Reference
+// history survives eviction, which is the point of the algorithm. The
+// "correlated reference period" refinement is omitted: the simulator has no
+// notion of intra-transaction bursts.
+//
+// Deterministic and weight-free; fetches go to the requested level like the
+// other cost-oblivious baselines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/policy.h"
+
+namespace wmlp {
+
+class LruKPolicy final : public Policy {
+ public:
+  explicit LruKPolicy(int32_t k = 2);
+
+  void Attach(const Instance& instance) override;
+  void Serve(Time t, const Request& r, CacheOps& ops) override;
+  std::string name() const override { return "lruk"; }
+
+ private:
+  int64_t KthLast(PageId p) const;  // -1 when fewer than K references
+  int64_t Last(PageId p) const;
+
+  int32_t k_;
+  // hist_[p * k_ + j] = (j+1)-th most recent reference time, -1 = none.
+  std::vector<int64_t> hist_;
+};
+
+}  // namespace wmlp

@@ -1,0 +1,172 @@
+#include "predict/noise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace wmlp::predict {
+
+namespace {
+
+// Stateless query hash: (seed, now, page) -> 64 mixed bits. Composing two
+// SplitMix64 steps keeps the streams for distinct (now, page) pairs well
+// separated without any shared mutable state.
+uint64_t HashQuery(uint64_t seed, Time now, PageId p) {
+  SplitMix64 outer(seed ^ (0x9e3779b97f4a7c15ULL *
+                           (static_cast<uint64_t>(now) + 1)));
+  SplitMix64 inner(outer.Next() +
+                   static_cast<uint64_t>(static_cast<uint32_t>(p)));
+  return inner.Next();
+}
+
+// Uniform in (0, 1] / [0, 1) from 53 high bits.
+double UnitOpenLow(uint64_t bits) {
+  return static_cast<double>((bits >> 11) + 1) * 0x1.0p-53;
+}
+double UnitClosedLow(uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+constexpr double kPi = 3.14159265358979323846;
+
+class NoisyPredictor final : public Predictor {
+ public:
+  NoisyPredictor(PredictorPtr base, const NoiseOptions& options)
+      : base_(std::move(base)), options_(options) {}
+
+  void Attach(const Instance& instance) override {
+    num_pages_ = instance.num_pages();
+    base_->Attach(instance);
+  }
+
+  double PredictNext(Time now, PageId p) const override {
+    switch (options_.kind) {
+      case NoiseKind::kNone:
+        return base_->PredictNext(now, p);
+      case NoiseKind::kLogNormal: {
+        const double pred = base_->PredictNext(now, p);
+        const double gap = pred - static_cast<double>(now);
+        // "Never again" stays "never again": an infinite gap would turn a
+        // zero multiplier into inf * 0 = NaN, and distorting kNever has no
+        // meaningful direction anyway.
+        if (!std::isfinite(gap)) return pred;
+        SplitMix64 s(HashQuery(options_.seed, now, p));
+        const double u1 = UnitOpenLow(s.Next());
+        const double u2 = UnitClosedLow(s.Next());
+        const double z =
+            std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
+        // Factored exponent: |z| is bounded (~8.6) while eta may be any
+        // finite double, so eta * z - 0.5 * eta^2 could evaluate as
+        // inf - inf = NaN; eta * (z - 0.5 * eta) saturates to -inf instead
+        // and the multiplier underflows cleanly to zero.
+        const double mult = std::exp(options_.eta * (z - 0.5 * options_.eta));
+        // mult > 0 and gap > 0, so the product is positive and non-NaN even
+        // when either side is +infinity; the floors keep the > now and the
+        // never-negative contracts (times start at 0, `now` may be -1).
+        const double distorted =
+            static_cast<double>(now) + std::max(gap * mult, 0x1.0p-20);
+        return std::max(distorted, 0.0);
+      }
+      case NoiseKind::kSwap: {
+        SplitMix64 s(HashQuery(options_.seed, now, p));
+        const bool swap = UnitClosedLow(s.Next()) < options_.eta;
+        PageId q = p;
+        if (swap && num_pages_ > 1) {
+          const uint64_t step =
+              1 + s.Next() % static_cast<uint64_t>(num_pages_ - 1);
+          q = static_cast<PageId>(
+              (static_cast<uint64_t>(static_cast<uint32_t>(p)) + step) %
+              static_cast<uint64_t>(num_pages_));
+        }
+        return base_->PredictNext(now, q);
+      }
+      case NoiseKind::kStale: {
+        const int64_t epoch = static_cast<int64_t>(options_.eta);
+        if (epoch <= 0) return base_->PredictNext(now, p);
+        const Time frozen = now - (now % epoch);
+        const double pred = base_->PredictNext(frozen, p);
+        return std::max(pred, static_cast<double>(now) + 1.0);
+      }
+    }
+    return base_->PredictNext(now, p);
+  }
+
+  double PredictReuseDistance(Time now, PageId p) const override {
+    // Reuse distances inherit the distorted gap, keeping both views of a
+    // corrupted predictor consistent.
+    return PredictNext(now, p) - static_cast<double>(now) - 1.0;
+  }
+
+  void Observe(Time t, const Request& r) override { base_->Observe(t, r); }
+
+  std::unique_ptr<Predictor> Clone() const override {
+    return std::make_unique<NoisyPredictor>(base_->Clone(), options_);
+  }
+
+  std::string name() const override {
+    return std::string(base_->name()) + "+" + NoiseKindName(options_.kind);
+  }
+
+ private:
+  PredictorPtr base_;
+  NoiseOptions options_;
+  int32_t num_pages_ = 0;
+};
+
+}  // namespace
+
+const char* NoiseKindName(NoiseKind kind) {
+  switch (kind) {
+    case NoiseKind::kNone:
+      return "none";
+    case NoiseKind::kLogNormal:
+      return "lognormal";
+    case NoiseKind::kSwap:
+      return "swap";
+    case NoiseKind::kStale:
+      return "stale";
+  }
+  return "none";
+}
+
+bool ParseNoiseKind(const std::string& text, NoiseKind* out) {
+  if (text == "none") {
+    *out = NoiseKind::kNone;
+  } else if (text == "lognormal") {
+    *out = NoiseKind::kLogNormal;
+  } else if (text == "swap") {
+    *out = NoiseKind::kSwap;
+  } else if (text == "stale") {
+    *out = NoiseKind::kStale;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+PredictorPtr MakeNoisyPredictor(PredictorPtr base, const NoiseOptions& options,
+                                std::string* error) {
+  auto fail = [error](const char* why) -> PredictorPtr {
+    if (error != nullptr) *error = why;
+    return nullptr;
+  };
+  if (base == nullptr) return fail("noise: null base predictor");
+  if (std::isnan(options.eta)) return fail("noise: eta is NaN");
+  if (!std::isfinite(options.eta)) return fail("noise: eta is not finite");
+  if (options.eta < 0.0) return fail("noise: eta is negative");
+  if (options.kind == NoiseKind::kNone && options.eta > 0.0) {
+    return fail("noise: kind=none takes eta=0");
+  }
+  if (options.kind == NoiseKind::kSwap && options.eta > 1.0) {
+    return fail("noise: swap probability eta > 1");
+  }
+  if (options.kind == NoiseKind::kStale && options.eta > 1e15) {
+    return fail("noise: stale epoch eta out of range");
+  }
+  if (options.kind == NoiseKind::kNone) return base;
+  return std::make_unique<NoisyPredictor>(std::move(base), options);
+}
+
+}  // namespace wmlp::predict

@@ -1,0 +1,50 @@
+// Controllable prediction-corruption models (docs/ARCHITECTURE.md §14).
+//
+// Each wrapper distorts a base predictor's answers as a pure function of
+// (seed, now, page) — the query hash runs through SplitMix64 (util/rng.h),
+// never a shared stream — so corrupted predictors keep the query-order
+// independence of the Predictor contract, and the same seed reproduces the
+// same corruption bit-for-bit.
+//
+// Models (eta is the single error knob; semantics per model):
+//   * lognormal — the predicted gap g = pred - now is multiplied by
+//     exp(eta * Z - eta^2 / 2) with Z standard normal, so the multiplier has
+//     mean exactly 1 for every eta (mean-preserving, pinned by
+//     predictor_test). eta = 0 is an exact passthrough.
+//   * swap — with probability eta (in [0, 1]) the query is answered with the
+//     base prediction for a different, hash-chosen page: the adversarial
+//     "confused identity" corruption. eta = 1 answers every query wrong.
+//   * stale — queries are answered as of the last epoch boundary
+//     floor(now / L) * L with L = floor(eta) requests (clamped forward to
+//     now + 1 so the > now contract holds). L <= 0 is a passthrough.
+//
+// All models preserve the no-NaN / no-negative / strictly-greater-than-now
+// contract, including on the +infinity "never again" sentinel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "predict/predictor.h"
+
+namespace wmlp::predict {
+
+enum class NoiseKind { kNone, kLogNormal, kSwap, kStale };
+
+struct NoiseOptions {
+  NoiseKind kind = NoiseKind::kNone;
+  double eta = 0.0;
+  uint64_t seed = 0;
+};
+
+// "none" | "lognormal" | "swap" | "stale".
+const char* NoiseKindName(NoiseKind kind);
+bool ParseNoiseKind(const std::string& text, NoiseKind* out);
+
+// Wraps `base` in the requested corruption. Returns nullptr and sets *error
+// (if non-null) when the options are out of range: eta must be finite and
+// >= 0 for every model, <= 1 for swap, <= 1e15 for stale, and 0 for none.
+PredictorPtr MakeNoisyPredictor(PredictorPtr base, const NoiseOptions& options,
+                                std::string* error = nullptr);
+
+}  // namespace wmlp::predict

@@ -1,0 +1,100 @@
+#include "predict/oracle.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace wmlp::predict {
+
+namespace {
+
+// Fenwick tree over trace positions; used to count, for each request, the
+// distinct pages touched since the previous request for the same page
+// (the classic one-pass stack-distance computation: keep a 1 at the most
+// recent position of every page seen so far, and sum over the open
+// interval).
+class Fenwick {
+ public:
+  explicit Fenwick(size_t n) : tree_(n + 1, 0) {}
+
+  void Add(size_t i, int delta) {
+    for (size_t x = i + 1; x < tree_.size(); x += x & (~x + 1)) {
+      tree_[x] += delta;
+    }
+  }
+
+  // Sum of [0, i].
+  int64_t Prefix(size_t i) const {
+    int64_t s = 0;
+    for (size_t x = i + 1; x > 0; x -= x & (~x + 1)) s += tree_[x];
+    return s;
+  }
+
+ private:
+  std::vector<int64_t> tree_;
+};
+
+}  // namespace
+
+PredictorPtr OraclePredictor::FromTrace(const Trace& trace) {
+  return FromRequests(trace.instance.num_pages(), trace.requests);
+}
+
+PredictorPtr OraclePredictor::FromRequests(
+    int32_t num_pages, const std::vector<Request>& requests) {
+  auto tables = std::make_shared<Tables>();
+  const size_t n = static_cast<size_t>(num_pages);
+  const size_t total = requests.size();
+  tables->occ.resize(n);
+  tables->rd.resize(n);
+  for (size_t j = 0; j < total; ++j) {
+    const PageId p = requests[j].page;
+    WMLP_CHECK_MSG(p >= 0 && static_cast<size_t>(p) < n,
+                   "oracle: page out of range: " << p);
+    tables->occ[static_cast<size_t>(p)].push_back(static_cast<int64_t>(j));
+  }
+
+  Fenwick marks(total);
+  std::vector<int64_t> prev(n, -1);
+  for (size_t j = 0; j < total; ++j) {
+    const size_t sp = static_cast<size_t>(requests[j].page);
+    const int64_t prior = prev[sp];
+    if (prior < 0) {
+      tables->rd[sp].push_back(kNever);
+    } else {
+      // Distinct pages strictly inside (prior, j): each contributes exactly
+      // one mark (at its most recent position), and page sp's own mark sits
+      // at `prior`, outside the open interval.
+      const int64_t distinct =
+          (j > static_cast<size_t>(prior) + 1)
+              ? marks.Prefix(j - 1) - marks.Prefix(static_cast<size_t>(prior))
+              : 0;
+      tables->rd[sp].push_back(static_cast<double>(distinct));
+      marks.Add(static_cast<size_t>(prior), -1);
+    }
+    marks.Add(j, +1);
+    prev[sp] = static_cast<int64_t>(j);
+  }
+  return PredictorPtr(new OraclePredictor(std::move(tables)));
+}
+
+double OraclePredictor::PredictNext(Time now, PageId p) const {
+  const std::vector<int64_t>& occ = tables_->occ[static_cast<size_t>(p)];
+  const auto it = std::upper_bound(occ.begin(), occ.end(), now);
+  if (it == occ.end()) return kNever;
+  return static_cast<double>(*it);
+}
+
+double OraclePredictor::PredictReuseDistance(Time now, PageId p) const {
+  const std::vector<int64_t>& occ = tables_->occ[static_cast<size_t>(p)];
+  const auto it = std::upper_bound(occ.begin(), occ.end(), now);
+  if (it == occ.end()) return kNever;
+  return tables_->rd[static_cast<size_t>(p)]
+                    [static_cast<size_t>(it - occ.begin())];
+}
+
+std::unique_ptr<Predictor> OraclePredictor::Clone() const {
+  return PredictorPtr(new OraclePredictor(tables_));
+}
+
+}  // namespace wmlp::predict

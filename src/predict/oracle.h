@@ -1,0 +1,52 @@
+// Offline oracles computed from the full trace: exact next-request times
+// and exact reuse distances (distinct pages between consecutive uses).
+//
+// Time convention: request j in the trace arrives at time j (the engine's
+// step index), matching Engine/Simulate timestamps. A PredictNext(now, p)
+// query binary-searches p's sorted occurrence list for the first position
+// strictly greater than `now`, so the oracle is exact for any query time,
+// not just the occurrence positions themselves.
+//
+// Occurrence and reuse-distance tables are immutable after construction and
+// shared across Clone()s via shared_ptr, so the harness's fresh-policy-per-
+// trial discipline costs O(1) per trial.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "predict/predictor.h"
+
+namespace wmlp::predict {
+
+class OraclePredictor final : public Predictor {
+ public:
+  // Builds the occurrence and reuse-distance tables in O(T log T).
+  static PredictorPtr FromTrace(const Trace& trace);
+  static PredictorPtr FromRequests(int32_t num_pages,
+                                   const std::vector<Request>& requests);
+
+  double PredictNext(Time now, PageId p) const override;
+  // Exact count of distinct pages requested strictly between p's previous
+  // occurrence and its next occurrence after `now`; kNever when that next
+  // occurrence is p's first (no previous use) or when p is never requested
+  // again.
+  double PredictReuseDistance(Time now, PageId p) const override;
+  std::unique_ptr<Predictor> Clone() const override;
+  std::string name() const override { return "oracle"; }
+
+ private:
+  struct Tables {
+    // occ[p] = sorted positions of p's requests in the trace.
+    std::vector<std::vector<int64_t>> occ;
+    // rd[p][j] = distinct pages strictly between occ[p][j-1] and occ[p][j]
+    // (kNever for j == 0: the first-ever use has no reuse).
+    std::vector<std::vector<double>> rd;
+  };
+  explicit OraclePredictor(std::shared_ptr<const Tables> tables)
+      : tables_(std::move(tables)) {}
+
+  std::shared_ptr<const Tables> tables_;
+};
+
+}  // namespace wmlp::predict

@@ -1,0 +1,73 @@
+// Prediction-augmented weighted paging policy (docs/ARCHITECTURE.md §14).
+//
+// Two experts run on private virtual caches:
+//   * FTP ("follow the prediction"): weighted Belady on predicted arrival
+//     times — evict the cached copy maximizing predicted-gap / weight,
+//     compared by exact cross-multiplication so the choice is invariant
+//     under dyadic weight scaling. With a perfect oracle this is the
+//     offline-flavored consistent expert.
+//   * Waterfill (core/waterfill.h): the paper's deterministic O(k)-
+//     competitive algorithm — the robust expert, immune to prediction error.
+//
+// A deterministic switching combiner follows one expert's cache and flips
+// to the other when the active expert's cumulative virtual eviction cost
+// exceeds theta = (1 + lambda) / (1 - lambda) times the other's, paying the
+// reconfiguration cost to mirror the newly active expert's cache. lambda in
+// [0, 1] is the trust knob: lambda = 1 is pure FTP (consistency), lambda = 0
+// is pure waterfill (robustness; bitwise identical to the registered
+// "waterfill" policy), and intermediate lambda degrades gracefully with
+// prediction error — cost is bounded by O(theta) times the better expert,
+// so the robustness factor relative to waterfill stays bounded for every
+// lambda < 1. E18 (bench_e18_prediction) traces the resulting
+// robustness-vs-consistency curves.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "predict/noise.h"
+#include "predict/predictor.h"
+#include "sim/policy.h"
+
+namespace wmlp::predict {
+
+struct PredictiveOptions {
+  // Trust in predictions, in [0, 1].
+  double lambda = 0.75;
+  // Fallback EwmaPredictor knobs (used when no predictor is supplied).
+  double ewma_alpha = 0.25;
+  int64_t horizon = 0;  // <= 0 = derive from num_pages
+  // Corruption applied around whichever predictor is used.
+  NoiseKind noise = NoiseKind::kNone;
+  double eta = 0.0;
+};
+
+// Builds the combiner. `predictor` may be null (an EwmaPredictor with the
+// options' knobs is used); noise wraps whichever predictor is active, seeded
+// from `seed` via DeriveSeed. Returns nullptr and sets *error (if non-null)
+// on out-of-range options: lambda must be finite in [0, 1], ewma_alpha in
+// (0, 1], horizon >= 0, and the noise options must pass MakeNoisyPredictor
+// validation.
+PolicyPtr MakePredictivePolicy(uint64_t seed, const PredictiveOptions& options,
+                               PredictorPtr predictor = nullptr,
+                               std::string* error = nullptr);
+
+// The FTP expert as a standalone policy (used directly by tests; the
+// combiner embeds one). Keeps a non-owning view of the predictor.
+class FollowPredictionPolicy final : public Policy {
+ public:
+  explicit FollowPredictionPolicy(const Predictor* predictor)
+      : predictor_(predictor) {}
+
+  void Attach(const Instance& instance) override;
+  void Serve(Time t, const Request& r, CacheOps& ops) override;
+  std::string name() const override { return "ftp"; }
+
+ private:
+  const Predictor* predictor_;
+  Time now_ = 0;
+};
+
+}  // namespace wmlp::predict

@@ -1,0 +1,48 @@
+#include "predict/predictor.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace wmlp::predict {
+
+EwmaPredictor::EwmaPredictor(double alpha, int64_t horizon)
+    : alpha_(alpha), horizon_(horizon) {
+  WMLP_CHECK_MSG(alpha > 0.0 && alpha <= 1.0,
+                 "ewma alpha out of (0, 1]: " << alpha);
+}
+
+void EwmaPredictor::Attach(const Instance& instance) {
+  const size_t n = static_cast<size_t>(instance.num_pages());
+  last_seen_.assign(n, -1);
+  gap_.assign(n, 0.0);
+  effective_horizon_ = horizon_ > 0
+                           ? static_cast<double>(horizon_)
+                           : static_cast<double>(instance.num_pages());
+  effective_horizon_ = std::max(1.0, effective_horizon_);
+}
+
+double EwmaPredictor::PredictNext(Time now, PageId p) const {
+  const size_t sp = static_cast<size_t>(p);
+  const int64_t last = last_seen_[sp];
+  if (last < 0) return kNever;
+  const double g = gap_[sp] > 0.0 ? gap_[sp] : effective_horizon_;
+  const double predicted = static_cast<double>(last) + g;
+  return std::max(static_cast<double>(now) + 1.0, predicted);
+}
+
+void EwmaPredictor::Observe(Time t, const Request& r) {
+  const size_t sp = static_cast<size_t>(r.page);
+  const int64_t last = last_seen_[sp];
+  if (last >= 0 && t > last) {
+    const double g = static_cast<double>(t - last);
+    gap_[sp] = gap_[sp] > 0.0 ? alpha_ * g + (1.0 - alpha_) * gap_[sp] : g;
+  }
+  last_seen_[sp] = t;
+}
+
+std::unique_ptr<Predictor> EwmaPredictor::Clone() const {
+  return std::make_unique<EwmaPredictor>(*this);
+}
+
+}  // namespace wmlp::predict

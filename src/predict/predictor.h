@@ -1,0 +1,96 @@
+// Prediction layer for learning-augmented weighted paging
+// (docs/ARCHITECTURE.md §14; Jiang–Panigrahi–Sun style next-arrival oracles).
+//
+// A Predictor estimates, for any (now, page) query, the arrival time of the
+// page's next request strictly after `now`. The contract — relied on by the
+// prediction-augmented policies and enforced by tests/predictor_test.cpp and
+// fuzz/fuzz_predictor_config.cpp — is:
+//
+//   * PredictNext(now, p) > now. Never NaN, never negative; +infinity is the
+//     "never requested again" sentinel (kNever).
+//   * Queries are pure: the same (now, p) query returns the same value until
+//     the next Observe() call, independent of query order. Noise models hash
+//     (seed, now, p) through SplitMix64 instead of consuming a shared RNG
+//     stream, so interleaving queries from different policies cannot change
+//     any answer (the determinism contract of docs/ARCHITECTURE.md §2).
+//   * Clone() yields an independent predictor with identical future
+//     behavior. Heavy offline tables (the oracle's occurrence lists) are
+//     shared immutably across clones, so per-trial cloning in the harness is
+//     O(1).
+//
+// Predicted times are doubles, not integral Time, because noise models
+// produce fractional distortions; policies only ever compare predicted gaps.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/instance.h"
+
+namespace wmlp::predict {
+
+// "Never requested again" sentinel; compares greater than every real time.
+inline constexpr double kNever = std::numeric_limits<double>::infinity();
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  // Called once before the first request (mirrors Policy::Attach).
+  virtual void Attach(const Instance& instance) { (void)instance; }
+
+  // Predicted arrival time of p's next request strictly after `now`.
+  // Guaranteed > now; never NaN or negative; kNever when the predictor
+  // believes p is dead.
+  virtual double PredictNext(Time now, PageId p) const = 0;
+
+  // Predicted number of intervening requests between p's consecutive uses
+  // (an upper bound on the LRU stack distance). The default derives it from
+  // the time gap; the offline oracle overrides it with the exact distinct-
+  // page count. +infinity for cold/dead pages.
+  virtual double PredictReuseDistance(Time now, PageId p) const {
+    const double next = PredictNext(now, p);
+    return next - static_cast<double>(now) - 1.0;
+  }
+
+  // Feed of the request stream actually served (online predictors learn
+  // from it; offline oracles ignore it). Called once per request, before
+  // the policy queries predictions for that step.
+  virtual void Observe(Time t, const Request& r) {
+    (void)t;
+    (void)r;
+  }
+
+  virtual std::unique_ptr<Predictor> Clone() const = 0;
+  virtual std::string name() const = 0;
+};
+
+using PredictorPtr = std::unique_ptr<Predictor>;
+
+// Online fallback predictor: per-page exponentially weighted moving average
+// of inter-arrival gaps. Weight-free (uses only request times), so every
+// policy built on it inherits the dyadic weight-scaling invariance. A page
+// never seen predicts kNever; a page seen once predicts last + horizon
+// (horizon <= 0 means "use num_pages", the mean gap of a uniform scan).
+class EwmaPredictor final : public Predictor {
+ public:
+  explicit EwmaPredictor(double alpha = 0.25, int64_t horizon = 0);
+
+  void Attach(const Instance& instance) override;
+  double PredictNext(Time now, PageId p) const override;
+  void Observe(Time t, const Request& r) override;
+  std::unique_ptr<Predictor> Clone() const override;
+  std::string name() const override { return "ewma"; }
+
+ private:
+  double alpha_;
+  int64_t horizon_;          // configured; <= 0 = derive from num_pages
+  double effective_horizon_ = 1.0;
+  std::vector<int64_t> last_seen_;  // -1 = never
+  std::vector<double> gap_;         // <= 0 = no gap estimate yet
+};
+
+}  // namespace wmlp::predict

@@ -1,0 +1,50 @@
+// Online weighted paging with unknown weights (Levy–Touitou–Rosenberg
+// flavor; docs/ARCHITECTURE.md §14).
+//
+// The policy never reads w(p, i) up front: it runs Landlord (GreedyDual) on
+// per-copy weight *estimates*, initialized to the instance's public
+// normalization floor min_weight() and updated from eviction feedback — the
+// cost meter reveals the true weight of a copy exactly when the policy pays
+// to evict or replace it. Estimates are always lower bounds (monotonicity
+// of w in the level index propagates each observation to the page's more
+// expensive levels), so unexplored pages look cheap, get evicted first, and
+// reveal their weights — the exploration scheme. Once every weight a trace
+// exercises has been observed the policy's trajectory coincides with
+// Landlord's, which is what tests/unknown_weights_test.cpp pins (bitwise on
+// uniform-weight instances, convergent cost gap on stationary Zipf).
+//
+// Initializing from min_weight() rather than a fixed constant is what makes
+// the dyadic weight-scaling invariance hold: every quantity in the credit
+// arithmetic scales with the instance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/policy.h"
+
+namespace wmlp::predict {
+
+class UnknownWeightsPolicy final : public Policy {
+ public:
+  void Attach(const Instance& instance) override;
+  void Serve(Time t, const Request& r, CacheOps& ops) override;
+  std::string name() const override { return "unknown-weights"; }
+
+  // Test hooks: the current estimate (a lower bound on the true weight,
+  // exact once Observed) for copy (p, i).
+  double EstimatedWeight(PageId p, Level i) const;
+  bool Observed(PageId p, Level i) const;
+
+ private:
+  size_t Index(PageId p, Level i) const;
+  void ObserveWeight(PageId p, Level i, Cost w);
+
+  const Instance* instance_ = nullptr;
+  std::vector<double> est_;        // [p * ell + (i - 1)]; lower bounds
+  std::vector<uint8_t> observed_;  // 1 once the true weight was paid
+  std::vector<double> credit_;     // Landlord credits over estimates
+  double offset_ = 0.0;            // lazy global rent offset
+};
+
+}  // namespace wmlp::predict

@@ -1,11 +1,15 @@
 #include "registry/policy_registry.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
+#include "baselines/arc.h"
+#include "baselines/car.h"
 #include "baselines/clock.h"
 #include "baselines/fifo.h"
 #include "baselines/landlord.h"
+#include "baselines/lru_k.h"
 #include "baselines/sieve.h"
 #include "baselines/two_q.h"
 #include "baselines/lfu.h"
@@ -14,6 +18,8 @@
 #include "baselines/random_eviction.h"
 #include "core/randomized.h"
 #include "core/waterfill.h"
+#include "predict/predictive_policy.h"
+#include "predict/unknown_weights.h"
 
 namespace wmlp {
 
@@ -46,6 +52,46 @@ RandomizedOptions ParseRandomizedParams(const std::string& params) {
   return options;
 }
 
+// Parses "k1=v1,k2=v2" into predictive-combiner options. Returns false on a
+// malformed or out-of-range value (strict, unlike the randomized parser:
+// the prediction flags promise hard rejection of bad eta/lambda/horizon).
+bool ParsePredictiveParams(const std::string& params,
+                           predict::PredictiveOptions* options) {
+  std::istringstream iss(params);
+  std::string kv;
+  while (std::getline(iss, kv, ',')) {
+    const size_t eq = kv.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = kv.substr(0, eq);
+    const std::string raw = kv.substr(eq + 1);
+    if (key == "noise") {
+      if (!predict::ParseNoiseKind(raw, &options->noise)) return false;
+      continue;
+    }
+    char* end = nullptr;
+    const double value = std::strtod(raw.c_str(), &end);
+    if (end == raw.c_str() || *end != '\0') return false;
+    if (key == "lambda") {
+      options->lambda = value;
+    } else if (key == "alpha") {
+      options->ewma_alpha = value;
+    } else if (key == "eta") {
+      options->eta = value;
+    } else if (key == "horizon") {
+      // Bounded integral values only: an unchecked cast of e.g. 1e300 to
+      // int64 is undefined, and negative/fractional horizons are rejected
+      // by MakePredictivePolicy anyway — fail fast here instead.
+      if (!(value >= 0.0 && value <= 1e15) || value != std::floor(value)) {
+        return false;
+      }
+      options->horizon = static_cast<int64_t>(value);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 PolicyPtr MakePolicyByName(const std::string& name, uint64_t seed) {
@@ -74,6 +120,34 @@ PolicyPtr MakePolicyByName(const std::string& name, uint64_t seed) {
     options.engine = FractionalEngine::kReference;
     return MakeRandomizedPolicy(seed, options);
   }
+  if (name == "arc") return std::make_unique<ArcPolicy>();
+  if (name == "car") return std::make_unique<CarPolicy>();
+  if (name == "lruk") return std::make_unique<LruKPolicy>();
+  if (name == "unknown-weights") {
+    return std::make_unique<predict::UnknownWeightsPolicy>();
+  }
+  if (name == "predictive") {
+    return predict::MakePredictivePolicy(seed, predict::PredictiveOptions());
+  }
+  constexpr char kPredictivePrefix[] = "predictive:";
+  if (name.rfind(kPredictivePrefix, 0) == 0) {
+    predict::PredictiveOptions options;
+    if (!ParsePredictiveParams(name.substr(sizeof(kPredictivePrefix) - 1),
+                               &options)) {
+      return nullptr;
+    }
+    // MakePredictivePolicy re-validates ranges and returns nullptr itself
+    // on out-of-range lambda/alpha/eta/horizon.
+    return predict::MakePredictivePolicy(seed, options);
+  }
+  constexpr char kLrukPrefix[] = "lruk:k=";
+  if (name.rfind(kLrukPrefix, 0) == 0) {
+    char* end = nullptr;
+    const char* raw = name.c_str() + sizeof(kLrukPrefix) - 1;
+    const long k = std::strtol(raw, &end, 10);
+    if (end == raw || *end != '\0' || k < 1 || k > 16) return nullptr;
+    return std::make_unique<LruKPolicy>(static_cast<int32_t>(k));
+  }
   constexpr char kPrefix[] = "randomized:";
   if (name.rfind(kPrefix, 0) == 0) {
     return MakeRandomizedPolicy(
@@ -87,7 +161,8 @@ std::vector<std::string> KnownPolicyNames() {
           "sieve",      "2q",       "lfu",
           "random",     "marking",  "landlord",
           "waterfill",  "randomized", "fractional-rounded-linear",
-          "fractional-rounded-reference"};
+          "fractional-rounded-reference", "arc", "car",
+          "lruk",       "predictive", "unknown-weights"};
 }
 
 }  // namespace wmlp

@@ -1,0 +1,190 @@
+// Convergence and equivalence battery for the unknown-weights policy
+// (docs/ARCHITECTURE.md §14): Landlord over learned weight estimates.
+//
+//   * On uniform-weight instances the estimates equal the truth from the
+//     start, so the policy must be bitwise identical to Landlord.
+//   * On stationary Zipf traces with spread weights the per-request cost
+//     gap vs known-weight Landlord shrinks across trace prefixes as
+//     evictions reveal weights (20-seed battery; the gap is averaged over
+//     seeds per prefix and must be non-increasing within a small slack,
+//     with the final prefix strictly better than the first).
+//   * Estimates are always lower bounds on the truth and exact once the
+//     copy's eviction was paid.
+//   * Bitwise Engine batch equivalence (the combiner's own battery is in
+//     prediction_policy_test; registry-wide coverage is in engine_test).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "baselines/landlord.h"
+#include "engine/engine.h"
+#include "engine/request_source.h"
+#include "predict/unknown_weights.h"
+#include "trace/generators.h"
+#include "util/rng.h"
+
+namespace wmlp {
+namespace {
+
+using predict::UnknownWeightsPolicy;
+
+Trace ZipfTrace(int32_t n, int32_t k, int32_t ell, int64_t length,
+                double ratio, uint64_t seed) {
+  Instance inst(n, k, ell, MakeWeights(n, ell, WeightModel::kLogUniform,
+                                       ratio, DeriveSeed(seed, 0)));
+  return GenZipf(std::move(inst), length,
+                 0.9, ell == 1 ? LevelMix::AllLowest(1) : LevelMix::UniformMix(ell),
+                 DeriveSeed(seed, 1));
+}
+
+Cost RunPolicy(const Trace& trace, Policy& policy, int32_t batch = 1) {
+  TraceSource source(trace);
+  EngineOptions options;
+  options.batch = batch;
+  Engine engine(source, policy, options);
+  return engine.Run().eviction_cost;
+}
+
+TEST(UnknownWeightsTest, BitwiseIdenticalToLandlordOnUniformWeights) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Instance inst = Instance::Uniform(40, 10, 3.0);
+    const Trace trace = GenZipf(std::move(inst), 3000, 0.8,
+                                LevelMix::AllLowest(1), DeriveSeed(seed, 9));
+    UnknownWeightsPolicy unknown;
+    LandlordPolicy landlord;
+    EXPECT_EQ(RunPolicy(trace, unknown), RunPolicy(trace, landlord));
+  }
+}
+
+TEST(UnknownWeightsTest, CostGapVsLandlordShrinksAcrossPrefixes) {
+  // 20-seed battery on stationary Zipf: per-request cost gap at prefix
+  // lengths 500/1500/4500, averaged over seeds, must be non-increasing
+  // (10% slack per step) and strictly smaller at the end than the start.
+  const std::vector<int64_t> prefixes = {500, 1500, 4500};
+  std::vector<double> mean_gap(prefixes.size(), 0.0);
+  const int kSeeds = 20;
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const Trace full = ZipfTrace(48, 12, 1, prefixes.back(), 32.0, seed);
+    for (size_t i = 0; i < prefixes.size(); ++i) {
+      Trace prefix{full.instance,
+                   std::vector<Request>(
+                       full.requests.begin(),
+                       full.requests.begin() +
+                           static_cast<ptrdiff_t>(prefixes[i]))};
+      UnknownWeightsPolicy unknown;
+      LandlordPolicy landlord;
+      const Cost cu = RunPolicy(prefix, unknown);
+      const Cost cl = RunPolicy(prefix, landlord);
+      mean_gap[i] += (cu - cl) / static_cast<double>(prefixes[i]);
+    }
+  }
+  for (double& g : mean_gap) g /= kSeeds;
+  for (size_t i = 1; i < mean_gap.size(); ++i) {
+    EXPECT_LE(mean_gap[i], mean_gap[i - 1] + 0.1 * std::abs(mean_gap[i - 1]) +
+                               1e-12)
+        << "prefix " << prefixes[i];
+  }
+  EXPECT_LT(mean_gap.back(), mean_gap.front());
+  // The exploration premium exists at the start (the policy pays to learn).
+  EXPECT_GT(mean_gap.front(), 0.0);
+}
+
+TEST(UnknownWeightsTest, EstimatesAreLowerBoundsAndExactOnceObserved) {
+  for (uint64_t seed = 5; seed <= 8; ++seed) {
+    const Trace trace = ZipfTrace(24, 6, 3, 2000, 16.0, seed);
+    UnknownWeightsPolicy policy;
+    RunPolicy(trace, policy);
+    const Instance& inst = trace.instance;
+    int64_t observed = 0;
+    for (PageId p = 0; p < inst.num_pages(); ++p) {
+      for (Level i = 1; i <= inst.num_levels(); ++i) {
+        EXPECT_GE(inst.weight(p, i), policy.EstimatedWeight(p, i));
+        EXPECT_GE(policy.EstimatedWeight(p, i), inst.min_weight());
+        if (policy.Observed(p, i)) {
+          EXPECT_EQ(policy.EstimatedWeight(p, i), inst.weight(p, i));
+          ++observed;
+        }
+      }
+    }
+    // A 6-slot cache under 24 zipf pages evicts constantly: exploration
+    // must have revealed a solid share of the weight matrix.
+    EXPECT_GT(observed, inst.num_pages() / 2);
+  }
+}
+
+TEST(UnknownWeightsTest, ExplorationPrefersUnobservedPages) {
+  // k = 2, three pages. Page 0 is heavy (weight 64), pages 1..2 cheap.
+  // After page 0's weight is revealed by one eviction, the policy must
+  // stop evicting it when any cheap never-observed alternative is cached.
+  Instance inst(3, 2, 1, {{64.0}, {1.0}, {1.0}});
+  std::vector<Request> reqs;
+  // Fill with 0, 1; then request 2 -> victim is either (both credits are
+  // estimates at min_weight): the scan picks page 0 first. Its weight is
+  // now revealed.
+  reqs.push_back({0, 1});
+  reqs.push_back({1, 1});
+  reqs.push_back({2, 1});
+  // Re-request 0 (evicts a cheap page), then alternate 1/2: page 0 must
+  // survive every later eviction because its revealed credit dominates.
+  reqs.push_back({0, 1});
+  for (int i = 0; i < 6; ++i) reqs.push_back({1 + (i % 2), 1});
+  const Trace trace{inst, reqs};
+
+  UnknownWeightsPolicy policy;
+  policy.Attach(inst);
+  CacheState state(inst);
+  CacheOps ops(inst, state);
+  for (size_t j = 0; j < trace.requests.size(); ++j) {
+    ops.set_time(static_cast<Time>(j));
+    policy.Serve(static_cast<Time>(j), trace.requests[j], ops);
+    ASSERT_TRUE(state.serves(trace.requests[j]));
+    if (j >= 3) {
+      EXPECT_TRUE(policy.Observed(0, 1));
+      EXPECT_TRUE(state.contains(0)) << "heavy page evicted at step " << j;
+    }
+  }
+  // Exactly one eviction of page 0, never again: total cost 64 + cheap.
+  EXPECT_LE(ops.eviction_cost(), 64.0 + 8.0);
+}
+
+TEST(UnknownWeightsTest, EngineBatchEquivalenceIsBitwise) {
+  for (uint64_t seed = 31; seed <= 33; ++seed) {
+    const Trace trace = ZipfTrace(32, 8, 2, 2500, 16.0, seed);
+    UnknownWeightsPolicy single;
+    const Cost base = RunPolicy(trace, single, 1);
+    for (const int32_t batch : {2, 7, 64, 4096}) {
+      UnknownWeightsPolicy batched;
+      EXPECT_EQ(RunPolicy(trace, batched, batch), base)
+          << "seed=" << seed << " batch=" << batch;
+    }
+  }
+}
+
+TEST(UnknownWeightsTest, DyadicWeightScalingIsExactMultiLevel) {
+  const Trace trace = ZipfTrace(24, 6, 3, 1500, 8.0, 41);
+  UnknownWeightsPolicy policy;
+  const Cost base = RunPolicy(trace, policy);
+  for (const double c : {2.0, 4.0, 1024.0}) {
+    std::vector<std::vector<Cost>> weights;
+    for (PageId p = 0; p < trace.instance.num_pages(); ++p) {
+      std::vector<Cost> row;
+      for (Level i = 1; i <= trace.instance.num_levels(); ++i) {
+        row.push_back(c * trace.instance.weight(p, i));
+      }
+      weights.push_back(std::move(row));
+    }
+    const Trace scaled{Instance(trace.instance.num_pages(),
+                                trace.instance.cache_size(),
+                                trace.instance.num_levels(),
+                                std::move(weights)),
+                       trace.requests};
+    UnknownWeightsPolicy scaled_policy;
+    EXPECT_EQ(RunPolicy(scaled, scaled_policy), c * base);
+  }
+}
+
+}  // namespace
+}  // namespace wmlp

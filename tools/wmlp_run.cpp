@@ -3,6 +3,9 @@
 // Usage:
 //   wmlp_run --trace t.wmlp --policy landlord [--seed 1] [--trials 5]
 //            [--opt] [--reference-solver] [--batch 256]
+//   wmlp_run --trace t.wmlp --policy predictive [--predictor ewma|oracle]
+//            [--pred-noise none|lognormal|swap|stale] [--pred-eta 0.5]
+//            [--pred-lambda 0.75] [--pred-horizon 0]
 //   wmlp_run --trace-stream t.wmlp --policy lru [--chunk 4096] [--latency]
 //   wmlp_run --import accesses.log --k 64 [--dirty 10] [--clean 1] ...
 //
@@ -21,6 +24,12 @@
 // invariant to it (engine/engine.h).
 // --opt also computes the offline optimum bounds and prints ratios
 // (in-memory paths only).
+// The --predictor / --pred-* flags configure the predictive combiner
+// (docs/ARCHITECTURE.md §14) and require --policy predictive; --predictor
+// oracle primes an exact next-request-time oracle from the in-memory trace
+// (cloned per trial), so it needs --trace, not --trace-stream. Out-of-range
+// values (negative eta or horizon, lambda outside [0, 1], unknown noise
+// kind) are rejected before any trace is read.
 // Randomized policies are averaged over --trials seeds.
 #include <iostream>
 
@@ -30,6 +39,9 @@
 #include "harness/table.h"
 #include "harness/thread_pool.h"
 #include "offline/bounds.h"
+#include "predict/noise.h"
+#include "predict/oracle.h"
+#include "predict/predictive_policy.h"
 #include "registry/policy_registry.h"
 #include "tool_util.h"
 #include "trace/import.h"
@@ -102,6 +114,40 @@ int main(int argc, char** argv) {
     tools::Die("--trace, --trace-stream, or --import is required");
   }
 
+  // Predictive-combiner flags (strictly validated before any trace I/O:
+  // the range getters refuse negative eta/horizon and lambda outside
+  // [0, 1] rather than clamping).
+  const bool has_pred_flags =
+      flags.Has("predictor") || flags.Has("pred-noise") ||
+      flags.Has("pred-eta") || flags.Has("pred-lambda") ||
+      flags.Has("pred-horizon");
+  const std::string predictor_kind = flags.GetString("predictor", "ewma");
+  predict::PredictiveOptions popts;
+  if (has_pred_flags) {
+    if (policy_name != "predictive") {
+      tools::Die("--predictor / --pred-* flags require --policy predictive"
+                 " (for parameterized forms use predictive:k=v,...)");
+    }
+    if (predictor_kind != "ewma" && predictor_kind != "oracle") {
+      tools::Die("--predictor must be 'ewma' or 'oracle', got '" +
+                 predictor_kind + "'");
+    }
+    popts.lambda = flags.GetDoubleInRange("pred-lambda", 0.75, 0.0, 1.0);
+    popts.horizon =
+        flags.GetIntInRange("pred-horizon", 0, 0, int64_t{1} << 40);
+    popts.eta = flags.GetDoubleInRange("pred-eta", 0.0, 0.0, 1e15);
+    const std::string noise_name = flags.GetString("pred-noise", "none");
+    if (!predict::ParseNoiseKind(noise_name, &popts.noise)) {
+      tools::Die("--pred-noise must be none, lognormal, swap, or stale;"
+                 " got '" + noise_name + "'");
+    }
+    std::string perr;
+    if (predict::MakePredictivePolicy(seed, popts, nullptr, &perr) ==
+        nullptr) {
+      tools::Die(perr);
+    }
+  }
+
   // Validate the policy name once.
   if (MakePolicyByName(policy_name, seed) == nullptr) {
     std::string names;
@@ -116,6 +162,10 @@ int main(int argc, char** argv) {
   if (!stream_path.empty()) {
     if (flags.Has("opt")) {
       tools::Die("--opt needs the whole trace in memory; use --trace");
+    }
+    if (has_pred_flags) {
+      tools::Die("--predictor / --pred-* need the whole trace in memory;"
+                 " use --trace");
     }
     LatencyHistogram histogram;
     const auto results = RunStreaming(
@@ -178,10 +228,18 @@ int main(int argc, char** argv) {
   ThreadPool pool;
   EngineOptions eopts;
   eopts.batch = batch;
-  const auto results = RunTrials(
-      pool, *trace,
-      [&](uint64_t s) { return MakePolicyByName(policy_name, s); }, trials,
-      seed, eopts);
+  // The oracle's occurrence tables are built once; Clone() shares them, so
+  // the fresh-policy-per-trial discipline stays O(1) per trial.
+  predict::PredictorPtr oracle;
+  if (has_pred_flags && predictor_kind == "oracle") {
+    oracle = predict::OraclePredictor::FromTrace(*trace);
+  }
+  const auto factory = [&](uint64_t s) -> PolicyPtr {
+    if (!has_pred_flags) return MakePolicyByName(policy_name, s);
+    return predict::MakePredictivePolicy(
+        s, popts, oracle == nullptr ? nullptr : oracle->Clone());
+  };
+  const auto results = RunTrials(pool, *trace, factory, trials, seed, eopts);
 
   RunningStat cost, hits;
   int64_t evictions = 0;
