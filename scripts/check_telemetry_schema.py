@@ -5,6 +5,8 @@
       [--schema docs/telemetry_schema.json]
       [--require-compiled]
       [--require-nonzero wmlp_engine_steps_total ...]
+      [--require-timeseries] [--min-ticks N] [--require-system]
+      [--monotonic-since prev.json]
 
 Checks the structural rules the schema file declares (required keys, type
 enums, bucket-count arity) plus the cross-field invariants that cannot be
@@ -14,6 +16,18 @@ and durations. --require-nonzero asserts that a named counter (or a
 histogram's count) is present and positive — CI uses it to prove the
 hot-path instrumentation actually fired. Substring match on metric names is
 NOT performed; names must match exactly (label suffix included).
+
+The observability-plane sections (docs/ARCHITECTURE.md §15) are validated
+whenever present, mirroring the C++ reader in
+src/telemetry/snapshot_reader.cpp: per-series times/values arity, rates
+length, non-decreasing times, histogram-only all-or-none quantile blocks,
+retention bounds; system resource fields in range and a complete hw
+counter object. --require-timeseries / --require-system fail when the
+section is absent (--min-ticks N additionally demands sampler progress),
+and --monotonic-since takes an EARLIER snapshot of the same process and
+fails if any counter value or histogram count went backwards, vanished,
+or the uptime decreased — CI scrapes /vars twice and feeds the pair here
+to prove the live endpoint exports coherent, advancing state.
 
 Exit status: 0 pass, 1 validation failure, 2 usage/IO error.
 """
@@ -122,6 +136,153 @@ def check_metric(m, rules, index):
                  f"is {m['count']}")
 
 
+def finite_number_list(v):
+    return isinstance(v, list) and all(
+        is_number(x) and math.isfinite(x) for x in v)
+
+
+def check_series(s, rules, retention, index):
+    where = f"timeseries.series[{index}]"
+    if not isinstance(s, dict):
+        fail(f"{where}: not an object")
+        return
+    if not check_required(s, rules["series_required"], where):
+        return
+    name = s["name"]
+    if not isinstance(name, str) or not name:
+        fail(f"{where}: name must be a non-empty string")
+        return
+    where = f"series '{name}'"
+    if s["type"] not in rules["metric_types"]:
+        fail(f"{where}: unknown type '{s['type']}'")
+        return
+    for key in ("times", "values"):
+        if not finite_number_list(s[key]):
+            fail(f"{where}: {key} must be a list of finite numbers")
+            return
+    times = s["times"]
+    if len(times) != len(s["values"]):
+        fail(f"{where}: times/values lengths disagree")
+    if isinstance(retention, int) and len(times) > retention:
+        fail(f"{where}: {len(times)} points exceed retention {retention}")
+    if any(t2 < t1 for t1, t2 in zip(times, times[1:])):
+        fail(f"{where}: times go backwards")
+    rates = s.get("rates", [])
+    if not finite_number_list(rates):
+        fail(f"{where}: rates must be a list of finite numbers")
+    elif rates and len(rates) + 1 != len(times):
+        fail(f"{where}: rates length must be times length - 1")
+    quantile_keys = rules["series_quantile_keys"]
+    present = [k for k in quantile_keys if k in s]
+    if not present:
+        return
+    if s["type"] != "histogram":
+        fail(f"{where}: quantile block on a non-histogram series")
+        return
+    if len(present) != len(quantile_keys):
+        missing = sorted(set(quantile_keys) - set(present))
+        fail(f"{where}: partial quantile block, missing {missing}")
+        return
+    if not is_count(s["window_count"]):
+        fail(f"{where}: window_count must be a non-negative integer")
+    for key in ("p50", "p99", "p999"):
+        if not is_number(s[key]) or not math.isfinite(s[key]):
+            fail(f"{where}: {key} must be a finite number")
+
+
+def check_timeseries(ts, rules):
+    where = "timeseries"
+    if not isinstance(ts, dict):
+        fail(f"{where}: not an object")
+        return
+    if not check_required(ts, rules["timeseries_required"], where):
+        return
+    period = ts["period_seconds"]
+    if not is_number(period) or not math.isfinite(period) or period <= 0:
+        fail(f"{where}: period_seconds must be a positive finite number")
+    retention = ts["retention"]
+    if not isinstance(retention, int) or isinstance(retention, bool) \
+            or retention < 2:
+        fail(f"{where}: retention must be an integer >= 2")
+        retention = None
+    if not is_count(ts["ticks"]):
+        fail(f"{where}: ticks must be a non-negative integer")
+    if not isinstance(ts["series"], list):
+        fail(f"{where}: series must be an array")
+        return
+    for i, s in enumerate(ts["series"]):
+        check_series(s, rules, retention, i)
+
+
+def check_system(sysec, rules):
+    where = "system"
+    if not isinstance(sysec, dict):
+        fail(f"{where}: not an object")
+        return
+    if not check_required(sysec, rules["system_required"], where):
+        return
+    if not isinstance(sysec["valid"], bool):
+        fail(f"{where}: valid must be a boolean")
+    for key in ("rss_bytes", "vm_bytes", "cpu_percent", "utime_seconds",
+                "stime_seconds"):
+        v = sysec[key]
+        if not is_number(v) or not math.isfinite(v) or v < 0:
+            fail(f"{where}: {key} must be a non-negative finite number")
+    if not is_count(sysec["threads"]):
+        fail(f"{where}: threads must be a non-negative integer")
+    fds = sysec["open_fds"]
+    if not isinstance(fds, int) or isinstance(fds, bool) or fds < -1:
+        fail(f"{where}: open_fds must be an integer >= -1")
+    hw = sysec["hw"]
+    if not isinstance(hw, dict) or not check_required(
+            hw, rules["hw_required"], f"{where}.hw"):
+        if not isinstance(hw, dict):
+            fail(f"{where}: hw must be an object")
+        return
+    if not isinstance(hw["available"], bool):
+        fail(f"{where}.hw: available must be a boolean")
+    for key in ("cycles", "instructions", "cache_misses"):
+        if not is_count(hw[key]):
+            fail(f"{where}.hw: {key} must be a non-negative integer")
+
+
+def metrics_by_name(doc):
+    if not isinstance(doc, dict) or not isinstance(doc.get("metrics"), list):
+        return {}
+    return {m["name"]: m for m in doc["metrics"]
+            if isinstance(m, dict) and isinstance(m.get("name"), str)}
+
+
+def check_monotonic(prev_doc, cur_doc):
+    """Counters and histogram counts must never move backwards between two
+    scrapes of the same process; the registry never drops a metric, so a
+    name present earlier must still be present later."""
+    prev = metrics_by_name(prev_doc)
+    cur = metrics_by_name(cur_doc)
+    if is_number(prev_doc.get("uptime_seconds")) and \
+            is_number(cur_doc.get("uptime_seconds")) and \
+            cur_doc["uptime_seconds"] < prev_doc["uptime_seconds"]:
+        fail("monotonic: uptime_seconds decreased between scrapes")
+    for name, pm in prev.items():
+        cm = cur.get(name)
+        if cm is None:
+            fail(f"monotonic: metric '{name}' vanished between scrapes")
+            continue
+        if cm.get("type") != pm.get("type"):
+            fail(f"monotonic: metric '{name}' changed type between scrapes")
+            continue
+        if pm.get("type") == "counter":
+            if is_number(pm.get("value")) and is_number(cm.get("value")) \
+                    and cm["value"] < pm["value"]:
+                fail(f"monotonic: counter '{name}' went backwards "
+                     f"({pm['value']} -> {cm['value']})")
+        elif pm.get("type") == "histogram":
+            if is_count(pm.get("count")) and is_count(cm.get("count")) \
+                    and cm["count"] < pm["count"]:
+                fail(f"monotonic: histogram '{name}' count went backwards "
+                     f"({pm['count']} -> {cm['count']})")
+
+
 def metric_magnitude(m):
     """The 'did it fire' magnitude: counter value or histogram count."""
     if m.get("type") == "counter":
@@ -133,12 +294,32 @@ def metric_magnitude(m):
     return 0
 
 
-def check_snapshot(doc, rules, require_compiled, require_nonzero):
+def check_snapshot(doc, rules, require_compiled, require_nonzero,
+                   require_timeseries=False, min_ticks=0,
+                   require_system=False):
     if not isinstance(doc, dict):
         fail("snapshot: top level is not an object")
         return
     if not check_required(doc, rules["required"], "snapshot"):
         return
+    if "timeseries" in doc:
+        check_timeseries(doc["timeseries"], rules)
+    elif require_timeseries:
+        fail("snapshot: timeseries section absent but --require-timeseries "
+             "was given (was the sampler enabled?)")
+    if min_ticks > 0 and isinstance(doc.get("timeseries"), dict):
+        ticks = doc["timeseries"].get("ticks")
+        if not is_count(ticks) or ticks < min_ticks:
+            fail(f"snapshot: sampler recorded {ticks} ticks, "
+                 f"--min-ticks wants >= {min_ticks}")
+    if "system" in doc:
+        check_system(doc["system"], rules)
+        if require_system and doc["system"].get("valid") is not True:
+            fail("snapshot: system section present but not valid "
+                 "(--require-system was given)")
+    elif require_system:
+        fail("snapshot: system section absent but --require-system "
+             "was given")
     if doc["schema"] != rules["schema_id"]:
         fail(f"snapshot: schema is '{doc['schema']}', "
              f"expected '{rules['schema_id']}'")
@@ -209,11 +390,27 @@ def main():
     ap.add_argument("--require-nonzero", nargs="*", default=[],
                     metavar="METRIC",
                     help="metric names that must be present and positive")
+    ap.add_argument("--require-timeseries", action="store_true",
+                    help="fail unless the snapshot carries a timeseries "
+                         "section")
+    ap.add_argument("--min-ticks", type=int, default=0, metavar="N",
+                    help="fail unless the sampler recorded at least N ticks")
+    ap.add_argument("--require-system", action="store_true",
+                    help="fail unless the snapshot carries a valid system "
+                         "section")
+    ap.add_argument("--monotonic-since", metavar="PREV",
+                    help="earlier snapshot of the same process; counters "
+                         "and histogram counts must not move backwards")
     args = ap.parse_args()
     if not args.snapshot and not args.trace:
         ap.error("give --snapshot and/or --trace")
-    if args.require_nonzero and not args.snapshot:
-        ap.error("--require-nonzero needs --snapshot")
+    for flag, value in (("--require-nonzero", args.require_nonzero),
+                        ("--require-timeseries", args.require_timeseries),
+                        ("--min-ticks", args.min_ticks > 0),
+                        ("--require-system", args.require_system),
+                        ("--monotonic-since", args.monotonic_since)):
+        if value and not args.snapshot:
+            ap.error(f"{flag} needs --snapshot")
 
     schema = load(args.schema)
 
@@ -221,7 +418,11 @@ def main():
     if args.snapshot:
         doc = load(args.snapshot)
         check_snapshot(doc, schema["snapshot"], args.require_compiled,
-                       args.require_nonzero)
+                       args.require_nonzero, args.require_timeseries,
+                       args.min_ticks, args.require_system)
+        if args.monotonic_since:
+            prev = load(args.monotonic_since)
+            check_monotonic(prev, doc)
         if isinstance(doc, dict) and isinstance(doc.get("metrics"), list):
             n_metrics = len(doc["metrics"])
     if args.trace:

@@ -93,6 +93,13 @@ sys.exit(0 if doc.get('results') else 1)
   exit 1
 fi
 
+# Longitudinal record: every completed run lands in history.jsonl with a
+# per-cell trend delta against the previous run of the same mode. Runs
+# before the gate on purpose — a regressing run is exactly the one worth
+# having in the history when the gate below goes red.
+python3 scripts/bench_history.py --input "$OUT/BENCH_perf.json" \
+  --history bench_results/history.jsonl
+
 if [[ -n "$QUICK" ]]; then
   BASELINE="bench_results/BENCH_baseline_quick.json"
 else

@@ -28,6 +28,22 @@ StepObserver* ShardedMetrics::observer(int32_t s) {
   return multi_[static_cast<size_t>(s)].get();
 }
 
+void ShardedMetrics::AttachWatchdog(int32_t s, const Instance& shard_instance,
+                                    const WatchdogOptions& options) {
+  if (watchdogs_.empty()) watchdogs_.resize(meters_.size());
+  const auto idx = static_cast<size_t>(s);
+  WMLP_CHECK(idx < watchdogs_.size() && watchdogs_[idx] == nullptr);
+  watchdogs_[idx] =
+      std::make_unique<CostRatioWatchdog>(shard_instance, options);
+  multi_[idx]->Add(watchdogs_[idx].get());
+}
+
+void ShardedMetrics::PublishWatchdogs() {
+  for (const auto& watchdog : watchdogs_) {
+    if (watchdog != nullptr) watchdog->Publish();
+  }
+}
+
 SimResult ShardedMetrics::Totals() const {
   SimResult totals;
   for (const auto& meter : meters_) {

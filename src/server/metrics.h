@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "engine/cost_watchdog.h"
 #include "engine/step_observers.h"
 #include "sim/simulator.h"
 
@@ -29,6 +30,24 @@ class ShardedMetrics {
   // lifetime of this object; safe to use from the shard's worker thread
   // (no cross-shard state is touched on the notification path).
   StepObserver* observer(int32_t s);
+
+  // Adds a cost-ratio watchdog to shard `s`'s observer bundle. Must run
+  // before the shard worker starts (the bundle is not synchronized);
+  // `shard_instance` must outlive this object. Each shard's watchdog
+  // bounds that shard against its own shard-local optimum — the right
+  // yardstick for the sharded server, where pages never migrate.
+  void AttachWatchdog(int32_t s, const Instance& shard_instance,
+                      const WatchdogOptions& options);
+
+  // Null when no watchdog was attached to `s`.
+  const CostRatioWatchdog* watchdog(int32_t s) const {
+    return watchdogs_.empty() ? nullptr
+                              : watchdogs_[static_cast<size_t>(s)].get();
+  }
+
+  // Final Publish() on every attached watchdog so /healthz and the gauges
+  // see end-of-run totals. Call after the shard workers have joined.
+  void PublishWatchdogs();
 
   const CostMeter& meter(int32_t s) const {
     return *meters_[static_cast<size_t>(s)];
@@ -55,6 +74,7 @@ class ShardedMetrics {
  private:
   std::vector<std::unique_ptr<CostMeter>> meters_;
   std::vector<std::unique_ptr<LatencyHistogram>> latency_;
+  std::vector<std::unique_ptr<CostRatioWatchdog>> watchdogs_;
   std::vector<std::unique_ptr<MultiObserver>> multi_;
 };
 

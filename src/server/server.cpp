@@ -1,6 +1,7 @@
 #include "server/server.h"
 
 #include <chrono>
+#include <cmath>
 #include <memory>
 #include <thread>
 #include <utility>
@@ -109,6 +110,13 @@ std::string ValidateServeConfig(const Instance& instance,
   if (MakePolicyByName(options.policy, options.seed) == nullptr) {
     return "unknown policy '" + options.policy + "'";
   }
+  if (!std::isfinite(options.watchdog_threshold) ||
+      options.watchdog_threshold < 0.0) {
+    return "watchdog threshold must be finite and >= 0";
+  }
+  if (options.watchdog_threshold > 0.0 && !options.watchdog) {
+    return "watchdog threshold requires the watchdog";
+  }
   return ShardabilityError(instance, options.shards);
 }
 
@@ -139,6 +147,14 @@ ServeReport ServeTrace(const Trace& trace, const ServeOptions& options) {
   for (int32_t s = 0; s < shards; ++s) {
     if (map.shard_empty(s)) continue;
     const auto idx = static_cast<size_t>(s);
+    if (options.watchdog) {
+      // Attached before the worker starts; the shard instance lives in
+      // the ShardMap, which outlives the metrics object.
+      WatchdogOptions wopts;
+      wopts.threshold = options.watchdog_threshold;
+      wopts.label = std::to_string(s);
+      metrics.AttachWatchdog(s, map.shard_instance(s), wopts);
+    }
     policies[idx] = MakePolicyByName(
         options.policy, DeriveSeed(options.seed, static_cast<uint64_t>(s)));
     EngineOptions eopts;
@@ -218,6 +234,7 @@ ServeReport ServeTrace(const Trace& trace, const ServeOptions& options) {
   // Publish after the joins and witness checks, in fixed shard order;
   // telemetry reads the meters, it never feeds back into the report.
   metrics.PublishTelemetry();
+  metrics.PublishWatchdogs();
   if constexpr (telemetry::kEnabled) {
     telemetry::Registry::Get()
         .GetGauge("wmlp_serve_last_wall_seconds")

@@ -53,6 +53,13 @@ struct ServeOptions {
   // Collect per-request serve-time histograms (one per shard, merged into
   // ServeReport::latency).
   bool collect_latency = false;
+  // Attach a cost-ratio watchdog to every nonempty shard
+  // (engine/cost_watchdog.h): live `wmlp_watchdog_*` gauges plus the
+  // /healthz verdict via telemetry/health.h. Pure observer — no cost or
+  // count field changes with it on (tests/telemetry_test.cpp battery).
+  bool watchdog = false;
+  // Ratio above which /healthz flips unhealthy; 0 = monitor only.
+  double watchdog_threshold = 0.0;
 };
 
 // Sanity ceilings for the config surface; ValidateServeConfig rejects

@@ -5,10 +5,13 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <thread>
 
+#include "telemetry/health.h"
+#include "telemetry/http_server.h"
 #include "telemetry/trace_span.h"
 #include "util/check.h"
 #include "util/sync.h"
@@ -116,8 +119,84 @@ void WritePrometheusText(std::ostream& os,
   }
 }
 
+namespace {
+
+const char* MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "counter";  // unreachable
+}
+
+void AppendDoubleArray(std::ostringstream& os, const char* key,
+                       const std::vector<double>& values) {
+  os << "\"" << key << "\": [";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    os << (i ? "," : "") << FmtDouble(values[i]);
+  }
+  os << "]";
+}
+
+void AppendTimeseriesSection(std::ostringstream& os,
+                             const SamplerSnapshot& ts) {
+  os << ",\n  \"timeseries\": {\n"
+     << "    \"period_seconds\": " << FmtDouble(ts.period_seconds) << ",\n"
+     << "    \"retention\": " << ts.retention << ",\n"
+     << "    \"ticks\": " << ts.ticks << ",\n"
+     << "    \"series\": [";
+  bool first = true;
+  for (const MetricSeries& s : ts.series) {
+    os << (first ? "\n" : ",\n") << "      {\"name\": \""
+       << JsonEscape(s.name) << "\", \"type\": \"" << MetricTypeName(s.type)
+       << "\", ";
+    first = false;
+    AppendDoubleArray(os, "times", s.times);
+    os << ", ";
+    AppendDoubleArray(os, "values", s.values);
+    if (!s.rates.empty()) {
+      os << ", ";
+      AppendDoubleArray(os, "rates", s.rates);
+    }
+    if (s.has_quantiles) {
+      os << ", \"window_count\": " << s.window_count
+         << ", \"p50\": " << FmtDouble(s.p50)
+         << ", \"p99\": " << FmtDouble(s.p99)
+         << ", \"p999\": " << FmtDouble(s.p999);
+    }
+    os << "}";
+  }
+  os << "\n    ]\n  }";
+}
+
+void AppendSystemSection(std::ostringstream& os, const SystemSample& sys) {
+  os << ",\n  \"system\": {\n"
+     << "    \"valid\": " << (sys.valid ? "true" : "false") << ",\n"
+     << "    \"rss_bytes\": " << FmtDouble(sys.rss_bytes) << ",\n"
+     << "    \"vm_bytes\": " << FmtDouble(sys.vm_bytes) << ",\n"
+     << "    \"threads\": " << sys.threads << ",\n"
+     << "    \"open_fds\": " << sys.open_fds << ",\n"
+     << "    \"cpu_percent\": " << FmtDouble(sys.cpu_percent) << ",\n"
+     << "    \"utime_seconds\": " << FmtDouble(sys.utime_seconds) << ",\n"
+     << "    \"stime_seconds\": " << FmtDouble(sys.stime_seconds) << ",\n"
+     << "    \"hw\": {\"available\": "
+     << (sys.hw.available ? "true" : "false") << ", \"cycles\": "
+     << sys.hw.cycles << ", \"instructions\": " << sys.hw.instructions
+     << ", \"cache_misses\": " << sys.hw.cache_misses << "}\n  }";
+}
+
+}  // namespace
+
 std::string SnapshotToJson(const std::vector<MetricSnapshot>& metrics,
                            double uptime_seconds) {
+  return SnapshotToJson(metrics, uptime_seconds, nullptr, nullptr);
+}
+
+std::string SnapshotToJson(const std::vector<MetricSnapshot>& metrics,
+                           double uptime_seconds,
+                           const SamplerSnapshot* timeseries,
+                           const SystemSample* system) {
   std::ostringstream os;
   os << "{\n"
      << "  \"schema\": \"wmlp-telemetry-snapshot-v1\",\n"
@@ -157,7 +236,10 @@ std::string SnapshotToJson(const std::vector<MetricSnapshot>& metrics,
       }
     }
   }
-  os << "\n  ]\n}\n";
+  os << "\n  ]";
+  if (timeseries != nullptr) AppendTimeseriesSection(os, *timeseries);
+  if (system != nullptr) AppendSystemSection(os, *system);
+  os << "\n}\n";
   return os.str();
 }
 
@@ -200,7 +282,8 @@ bool WriteTraceJson(const std::string& path, std::string* err) {
 }
 
 std::string ValidateTelemetryRunOptions(const TelemetryRunOptions& options) {
-  for (const std::string* path : {&options.telemetry_out, &options.trace_out}) {
+  for (const std::string* path :
+       {&options.telemetry_out, &options.trace_out, &options.http_port_file}) {
     for (char ch : *path) {
       if (static_cast<unsigned char>(ch) < 0x20) {
         return "telemetry output path contains control characters";
@@ -222,6 +305,25 @@ std::string ValidateTelemetryRunOptions(const TelemetryRunOptions& options) {
       (options.stats_interval < 0.01 || options.stats_interval > 86400.0)) {
     return "--stats-interval must be in [0.01, 86400] seconds (or 0 = off)";
   }
+  if (!std::isfinite(options.sample_interval) ||
+      options.sample_interval < 0.0) {
+    return "--sample-interval must be finite and >= 0";
+  }
+  // 0.0 is the exact "sampler off" sentinel, same as stats_interval.
+  if (options.sample_interval != 0.0 &&  // wmlp-lint-allow(float-eq)
+      (options.sample_interval < 0.01 || options.sample_interval > 3600.0)) {
+    return "--sample-interval must be in [0.01, 3600] seconds (or 0 = off)";
+  }
+  if (options.sample_retention < 2 ||
+      options.sample_retention > (int64_t{1} << 20)) {
+    return "--sample-retention must be in [2, 1048576] points";
+  }
+  if (options.http_port < -1 || options.http_port > 65535) {
+    return "--http-port must be in [0, 65535] (0 = ephemeral)";
+  }
+  if (!options.http_port_file.empty() && options.http_port < 0) {
+    return "--http-port-file requires --http-port";
+  }
   return "";
 }
 
@@ -237,7 +339,48 @@ struct TelemetrySession::Impl {
   CondVar stats_cv;
   bool stats_stop GUARDED_BY(stats_mu) = false;
 
+  // Observability plane (null when not requested).
+  std::unique_ptr<SystemStatsCollector> system_collector;
+  std::unique_ptr<TimeseriesSampler> sampler;
+  std::unique_ptr<MetricsHttpServer> http;
+  std::string start_error;
+  int http_port = 0;
+
+  // Latest system sample, written by the sampler tick, read by /vars.
+  Mutex system_mu;
+  SystemSample last_system GUARDED_BY(system_mu);
+  bool have_system GUARDED_BY(system_mu) = false;
+
   bool StopRequestedLocked() const REQUIRES(stats_mu) { return stats_stop; }
+
+  double UptimeSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  }
+
+  // The /vars body: the full snapshot document with whatever plane
+  // sections are live. Called from the HTTP thread; every input is either
+  // internally synchronized (registry, sampler) or copied under a lock.
+  std::string VarsJson() {
+    SamplerSnapshot ts;
+    const SamplerSnapshot* ts_ptr = nullptr;
+    if (sampler != nullptr) {
+      ts = sampler->Snapshot();
+      ts_ptr = &ts;
+    }
+    SystemSample sys;
+    const SystemSample* sys_ptr = nullptr;
+    {
+      MutexLock lock(system_mu);
+      if (have_system) {
+        sys = last_system;
+        sys_ptr = &sys;
+      }
+    }
+    return SnapshotToJson(Registry::Get().Collect(), UptimeSeconds(), ts_ptr,
+                          sys_ptr);
+  }
 
   void StatsLoop() {
     const auto interval =
@@ -280,7 +423,62 @@ TelemetrySession::TelemetrySession(const TelemetryRunOptions& options)
   if (options.stats_interval > 0.0) {
     impl_->stats_thread = std::thread([this] { impl_->StatsLoop(); });
   }
+
+  // Sampler + system collector. An HTTP endpoint without history is almost
+  // never what an operator wants, so --http-port alone turns the sampler
+  // on at a 1 s period (export.h).
+  double sample_interval = options.sample_interval;
+  if (options.http_port >= 0 && sample_interval <= 0.0) sample_interval = 1.0;
+  if (sample_interval > 0.0) {
+    impl_->system_collector = std::make_unique<SystemStatsCollector>();
+    TimeseriesOptions tsopts;
+    tsopts.period_seconds = sample_interval;
+    tsopts.retention = options.sample_retention;
+    impl_->sampler = std::make_unique<TimeseriesSampler>(tsopts);
+    Impl* im = impl_;
+    // The hook runs on the sampler thread, which is the sole gauge
+    // publisher for system stats (system_stats.h's single-publisher rule).
+    impl_->sampler->set_pre_sample_hook([im] {
+      const SystemSample sample = im->system_collector->Sample();
+      SystemStatsCollector::PublishGauges(sample);
+      MutexLock lock(im->system_mu);
+      im->last_system = sample;
+      im->have_system = true;
+    });
+    impl_->sampler->Start();
+  }
+
+  if (options.http_port >= 0) {
+    impl_->http = std::make_unique<MetricsHttpServer>();
+    Impl* im = impl_;
+    impl_->http->set_vars_producer([im] { return im->VarsJson(); });
+    std::string herr;
+    if (!impl_->http->Start(options.http_port, &herr)) {
+      impl_->start_error = herr;
+      impl_->http.reset();
+    } else {
+      impl_->http_port = impl_->http->port();
+      std::cerr << "wmlp: telemetry endpoint on http://127.0.0.1:"
+                << impl_->http_port << " (/metrics /vars /healthz)\n";
+      if (!options.http_port_file.empty()) {
+        std::ofstream pf(options.http_port_file,
+                         std::ios::binary | std::ios::trunc);
+        pf << impl_->http_port << "\n";
+        pf.flush();
+        if (!pf) {
+          impl_->start_error =
+              "cannot write http port file: " + options.http_port_file;
+        }
+      }
+    }
+  }
 }
+
+const std::string& TelemetrySession::start_error() const {
+  return impl_->start_error;
+}
+
+int TelemetrySession::http_port() const { return impl_->http_port; }
 
 bool TelemetrySession::Finish(std::string* err) {
   Impl& im = *impl_;
@@ -294,6 +492,12 @@ bool TelemetrySession::Finish(std::string* err) {
     im.stats_cv.NotifyAll();
     im.stats_thread.join();
   }
+  // HTTP first (so no scrape races the sampler teardown), then sampler.
+  if (im.http != nullptr) {
+    im.http->Stop();
+    im.http.reset();
+  }
+  if (im.sampler != nullptr) im.sampler->Stop();
   if (im.armed_tracer) Tracer::Disarm();
   double uptime = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - im.start)
@@ -301,10 +505,31 @@ bool TelemetrySession::Finish(std::string* err) {
   bool ok = true;
   std::string first_err;
   if (!im.options.telemetry_out.empty()) {
-    std::string e;
-    if (!WriteSnapshotJson(im.options.telemetry_out, uptime, &e)) {
+    SamplerSnapshot ts;
+    const SamplerSnapshot* ts_ptr = nullptr;
+    if (im.sampler != nullptr) {
+      ts = im.sampler->Snapshot();
+      ts_ptr = &ts;
+    }
+    // A final system read for the snapshot file. Deliberately NOT
+    // published as gauges: the sampler thread owns those, and it is gone.
+    SystemSample sys;
+    const SystemSample* sys_ptr = nullptr;
+    if (im.system_collector != nullptr) {
+      sys = im.system_collector->Sample();
+      sys_ptr = &sys;
+    }
+    const std::string body = SnapshotToJson(Registry::Get().Collect(),
+                                            uptime, ts_ptr, sys_ptr);
+    std::ofstream out(im.options.telemetry_out,
+                      std::ios::binary | std::ios::trunc);
+    out << body;
+    out.flush();
+    if (!out) {
       ok = false;
-      first_err = e;
+      first_err =
+          "write failed for telemetry snapshot file: " +
+          im.options.telemetry_out;
     }
   }
   if (!im.options.trace_out.empty()) {

@@ -1,0 +1,68 @@
+#include "telemetry/health.h"
+
+#include "util/check.h"
+
+namespace wmlp::health {
+
+CostRatioHealth& CostRatioHealth::Get() {
+  static CostRatioHealth* instance = new CostRatioHealth();  // leaky
+  return *instance;
+}
+
+int CostRatioHealth::RegisterSource() {
+  MutexLock lock(mu_);
+  slots_.push_back(Slot{});
+  return static_cast<int>(slots_.size()) - 1;
+}
+
+void CostRatioHealth::Update(int slot, double alg_cost, double lower_bound) {
+  MutexLock lock(mu_);
+  WMLP_CHECK(slot >= 0 && slot < static_cast<int>(slots_.size()));
+  slots_[static_cast<size_t>(slot)].alg = alg_cost;
+  slots_[static_cast<size_t>(slot)].lb = lower_bound;
+  const HealthSnapshot snap = SnapshotLocked();
+  // Count rising edges only: a long excursion above the threshold is one
+  // crossing, not one per publish.
+  const bool now_above = threshold_ > 0.0 && snap.ratio_upper >= threshold_ &&
+                         snap.lower_bound > 0.0;
+  if (now_above && !above_) ++crossings_;
+  above_ = now_above;
+}
+
+void CostRatioHealth::SetThreshold(double threshold) {
+  MutexLock lock(mu_);
+  threshold_ = threshold;
+  if (threshold <= 0.0) above_ = false;
+}
+
+HealthSnapshot CostRatioHealth::SnapshotLocked() const {
+  HealthSnapshot snap;
+  for (const Slot& s : slots_) {
+    snap.alg_cost += s.alg;
+    snap.lower_bound += s.lb;
+  }
+  if (snap.lower_bound > 0.0) {
+    snap.ratio_upper = snap.alg_cost / snap.lower_bound;
+  }
+  snap.threshold = threshold_;
+  snap.crossings = crossings_;
+  snap.sources = static_cast<int64_t>(slots_.size());
+  snap.healthy = threshold_ <= 0.0 || snap.lower_bound <= 0.0 ||
+                 snap.ratio_upper < threshold_;
+  return snap;
+}
+
+HealthSnapshot CostRatioHealth::Snapshot() const {
+  MutexLock lock(mu_);
+  return SnapshotLocked();
+}
+
+void CostRatioHealth::ResetForTest() {
+  MutexLock lock(mu_);
+  slots_.clear();
+  threshold_ = 0.0;
+  crossings_ = 0;
+  above_ = false;
+}
+
+}  // namespace wmlp::health

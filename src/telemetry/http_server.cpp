@@ -1,0 +1,271 @@
+#include "telemetry/http_server.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "telemetry/export.h"
+#include "telemetry/health.h"
+#include "telemetry/telemetry.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace wmlp::telemetry {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+void SetSocketTimeouts(int fd) {
+  timeval tv;
+  tv.tv_sec = 2;
+  tv.tv_usec = 0;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+void SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer gone or timeout; nothing to salvage
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void SendResponse(int fd, int status, const std::string& reason,
+                  const std::string& content_type, const std::string& body) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << status << " " << reason << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  SendAll(fd, os.str());
+}
+
+// Reads until the end of the request headers (we never accept bodies) or
+// the size cap. Returns false on timeout/overflow/disconnect.
+bool ReadRequestHead(int fd, std::string* head) {
+  char buf[1024];
+  while (head->size() < kMaxRequestBytes) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    head->append(buf, static_cast<std::size_t>(n));
+    if (head->find("\r\n\r\n") != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer() = default;
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+void MetricsHttpServer::set_vars_producer(VarsProducer producer) {
+  vars_producer_ = std::move(producer);
+}
+
+void MetricsHttpServer::set_health_producer(HealthProducer producer) {
+  health_producer_ = std::move(producer);
+}
+
+bool MetricsHttpServer::Start(int port, std::string* err) {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (err) *err = "http: socket() failed";
+    return false;
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    if (err) {
+      *err = "http: cannot bind 127.0.0.1:" + std::to_string(port) + ": " +
+             std::strerror(errno);
+    }
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (listen(listen_fd_, 16) != 0) {
+    if (err) *err = std::string("http: listen() failed: ") + std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  }
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void MetricsHttpServer::Stop() {
+  if (!thread_.joinable()) return;
+  {
+    MutexLock lock(mu_);
+    stop_ = true;
+  }
+  // Unblocks accept(): on Linux it returns EINVAL after a shutdown of the
+  // listening socket.
+  shutdown(listen_fd_, SHUT_RDWR);
+  thread_.join();
+  close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void MetricsHttpServer::AcceptLoop() {
+  while (true) {
+    {
+      MutexLock lock(mu_);
+      if (StopRequestedLocked()) return;
+    }
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      MutexLock lock(mu_);
+      if (StopRequestedLocked()) return;
+      continue;  // transient (EINTR, aborted handshake)
+    }
+    SetSocketTimeouts(fd);
+    HandleConnection(fd);
+    close(fd);
+  }
+}
+
+void MetricsHttpServer::HandleConnection(int fd) {
+  std::string head;
+  if (!ReadRequestHead(fd, &head)) return;
+  // Request line: METHOD SP PATH SP VERSION.
+  const std::size_t line_end = head.find("\r\n");
+  const std::string line = head.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    SendResponse(fd, 400, "Bad Request", "text/plain", "bad request\n");
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // Scrapers sometimes append ?query; routes here take no parameters.
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  {
+    WMLP_TELEMETRY_COUNTER(requests, "wmlp_http_requests_total");
+    requests.Inc();
+  }
+
+  if (method != "GET") {
+    SendResponse(fd, 405, "Method Not Allowed", "text/plain",
+                 "only GET is supported\n");
+    return;
+  }
+  if (path == "/metrics") {
+    std::ostringstream os;
+    WritePrometheusText(os, Registry::Get().Collect());
+    SendResponse(fd, 200, "OK", "text/plain; version=0.0.4", os.str());
+    return;
+  }
+  if (path == "/vars") {
+    const std::string body = vars_producer_
+                                 ? vars_producer_()
+                                 : SnapshotToJson(Registry::Get().Collect(),
+                                                  /*uptime_seconds=*/0.0);
+    SendResponse(fd, 200, "OK", "application/json", body);
+    return;
+  }
+  if (path == "/healthz") {
+    std::string detail;
+    bool healthy;
+    if (health_producer_) {
+      healthy = health_producer_(&detail);
+    } else {
+      const health::HealthSnapshot snap =
+          health::CostRatioHealth::Get().Snapshot();
+      healthy = snap.healthy;
+      std::ostringstream os;
+      os << (healthy ? "ok" : "unhealthy") << "\ncost_ratio_upper="
+         << snap.ratio_upper << " threshold=" << snap.threshold
+         << " crossings=" << snap.crossings << "\n";
+      detail = os.str();
+    }
+    if (detail.empty()) detail = healthy ? "ok\n" : "unhealthy\n";
+    SendResponse(fd, healthy ? 200 : 503,
+                 healthy ? "OK" : "Service Unavailable", "text/plain",
+                 detail);
+    return;
+  }
+  SendResponse(fd, 404, "Not Found", "text/plain",
+               "unknown path (try /metrics, /vars, /healthz)\n");
+}
+
+bool HttpGet(const std::string& host, int port, const std::string& path,
+             int* status, std::string* body, std::string* err) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (err) *err = "http get: host must be an IPv4 literal, got '" + host + "'";
+    return false;
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (err) *err = "http get: socket() failed";
+    return false;
+  }
+  SetSocketTimeouts(fd);
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (err) {
+      *err = "http get: cannot connect to " + host + ":" +
+             std::to_string(port) + ": " + std::strerror(errno);
+    }
+    close(fd);
+    return false;
+  }
+  SendAll(fd, "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                  "\r\nConnection: close\r\n\r\n");
+  std::string response;
+  char buf[4096];
+  while (response.size() < (std::size_t{1} << 26)) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  close(fd);
+  // Status line: HTTP/1.1 NNN Reason.
+  const std::size_t sp = response.find(' ');
+  if (response.rfind("HTTP/", 0) != 0 || sp == std::string::npos) {
+    if (err) *err = "http get: malformed response";
+    return false;
+  }
+  *status = std::atoi(response.c_str() + sp + 1);
+  const std::size_t sep = response.find("\r\n\r\n");
+  *body = sep == std::string::npos ? "" : response.substr(sep + 4);
+  return true;
+}
+
+}  // namespace wmlp::telemetry

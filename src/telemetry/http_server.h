@@ -1,0 +1,81 @@
+// Embedded HTTP scrape endpoint: a tiny, dependency-free blocking-accept
+// server for pull-based observability.
+//
+// Routes (GET only; anything else is 405, unknown paths 404):
+//   /metrics   Prometheus text exposition of Registry::Collect()
+//   /vars      the full snapshot JSON (schema wmlp-telemetry-snapshot-v1,
+//              including the timeseries/system sections when a sampler is
+//              attached) via the vars producer callback
+//   /healthz   200 "ok" or 503 with detail, from the health producer
+//              (default: the cost-ratio watchdog verdict in
+//              telemetry/health.h)
+//
+// Deliberately minimal: binds 127.0.0.1 only (scraping is same-host; put a
+// real proxy in front for anything else), serves one connection at a time
+// on a single accept thread, 8 KiB request cap, short socket timeouts.
+// A scrape is a Collect() + string build — it never touches serve-path
+// state, so the byte-identical-results contract holds with the endpoint
+// up (tests/telemetry_test.cpp).
+//
+// Port 0 requests an ephemeral port; port() reports the bound one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace wmlp::telemetry {
+
+class MetricsHttpServer {
+ public:
+  // Returns the /vars response body (snapshot JSON).
+  using VarsProducer = std::function<std::string()>;
+  // Fills `*detail` and returns true when healthy.
+  using HealthProducer = std::function<bool(std::string* detail)>;
+
+  MetricsHttpServer();
+  ~MetricsHttpServer();
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  // Optional; call before Start. Defaults: /vars serves a sampler-less
+  // snapshot, /healthz serves the watchdog health verdict.
+  void set_vars_producer(VarsProducer producer);
+  void set_health_producer(HealthProducer producer);
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept thread.
+  // False with `*err` set when the bind fails (port in use, privileged).
+  bool Start(int port, std::string* err);
+
+  // Stops the accept thread and closes the socket. Idempotent.
+  void Stop();
+
+  // The bound port; 0 before a successful Start.
+  int port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  bool StopRequestedLocked() const REQUIRES(mu_) { return stop_; }
+
+  VarsProducer vars_producer_;
+  HealthProducer health_producer_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+  Mutex mu_;
+  bool stop_ GUARDED_BY(mu_) = false;
+};
+
+// Minimal same-host HTTP GET for wmlp_top and the tests: connects to
+// `host` (a dotted-quad IPv4 literal, e.g. "127.0.0.1"), requests `path`,
+// reads to EOF. Returns false with `*err` set on connect/parse failure;
+// on success `*status` is the HTTP status and `*body` the response body.
+bool HttpGet(const std::string& host, int port, const std::string& path,
+             int* status, std::string* body, std::string* err);
+
+}  // namespace wmlp::telemetry

@@ -112,6 +112,9 @@ class Parser {
       SkipWs();
       JsonValue value;
       if (!ParseValue(&value, depth + 1)) return false;
+      if (out->object.count(key) != 0) {
+        return Fail("duplicate object key '" + key + "'");
+      }
       out->object[key] = std::move(value);
       SkipWs();
       if (pos_ >= text_.size()) return Fail("unterminated object");
@@ -316,6 +319,215 @@ bool ParseMetric(const JsonValue& node, MetricSnapshot* out, std::string* err) {
   return true;
 }
 
+bool ExpectBool(const JsonValue& obj, const std::string& key, bool* out,
+                std::string* err) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kBool) {
+    if (err) *err = "snapshot: missing or non-bool field '" + key + "'";
+    return false;
+  }
+  *out = v->bool_value;
+  return true;
+}
+
+// Reads obj[key] as an array of numbers. When `required` is false a
+// missing key is fine (empty result); a present key of the wrong shape is
+// always an error.
+bool ExpectNumberArray(const JsonValue& obj, const std::string& key,
+                       bool required, std::vector<double>* out,
+                       std::string* err) {
+  out->clear();
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) {
+    if (!required) return true;
+    if (err) *err = "snapshot: missing array field '" + key + "'";
+    return false;
+  }
+  if (!v->is_array()) {
+    if (err) *err = "snapshot: field '" + key + "' is not an array";
+    return false;
+  }
+  for (const JsonValue& item : v->array) {
+    if (item.kind != JsonValue::Kind::kNumber) {
+      if (err) *err = "snapshot: non-number element in '" + key + "'";
+      return false;
+    }
+    out->push_back(item.number_value);
+  }
+  return true;
+}
+
+bool ParseMetricTypeName(const std::string& name, MetricType* out) {
+  if (name == "counter") *out = MetricType::kCounter;
+  else if (name == "gauge") *out = MetricType::kGauge;
+  else if (name == "histogram") *out = MetricType::kHistogram;
+  else return false;
+  return true;
+}
+
+bool ParseSeriesEntry(const JsonValue& node, MetricSeries* out,
+                      std::string* err) {
+  if (!node.is_object()) {
+    if (err) *err = "snapshot: timeseries entry is not an object";
+    return false;
+  }
+  std::string type;
+  if (!ExpectString(node, "name", &out->name, err)) return false;
+  if (!ExpectString(node, "type", &type, err)) return false;
+  if (!ParseMetricTypeName(type, &out->type)) {
+    if (err) {
+      *err = "snapshot: series '" + out->name + "' has unknown type '" +
+             type + "'";
+    }
+    return false;
+  }
+  if (!ExpectNumberArray(node, "times", true, &out->times, err)) return false;
+  if (!ExpectNumberArray(node, "values", true, &out->values, err)) {
+    return false;
+  }
+  if (!ExpectNumberArray(node, "rates", false, &out->rates, err)) {
+    return false;
+  }
+  if (out->times.size() != out->values.size()) {
+    if (err) {
+      *err = "snapshot: series '" + out->name +
+             "' times/values lengths disagree";
+    }
+    return false;
+  }
+  if (!out->rates.empty() && out->rates.size() + 1 != out->times.size()) {
+    if (err) {
+      *err = "snapshot: series '" + out->name +
+             "' rates length must be times length - 1";
+    }
+    return false;
+  }
+  for (std::size_t i = 1; i < out->times.size(); ++i) {
+    if (out->times[i] < out->times[i - 1]) {
+      if (err) {
+        *err = "snapshot: series '" + out->name + "' times go backwards";
+      }
+      return false;
+    }
+  }
+  const JsonValue* window = node.Find("window_count");
+  if (window != nullptr) {
+    if (out->type != MetricType::kHistogram) {
+      if (err) {
+        *err = "snapshot: series '" + out->name +
+               "' has quantiles but is not a histogram";
+      }
+      return false;
+    }
+    double count, p50, p99, p999;
+    if (!ExpectNumber(node, "window_count", &count, err) ||
+        !ExpectNumber(node, "p50", &p50, err) ||
+        !ExpectNumber(node, "p99", &p99, err) ||
+        !ExpectNumber(node, "p999", &p999, err)) {
+      return false;
+    }
+    if (count < 0) {
+      if (err) {
+        *err = "snapshot: series '" + out->name + "' negative window_count";
+      }
+      return false;
+    }
+    out->has_quantiles = true;
+    out->window_count = static_cast<int64_t>(count);
+    out->p50 = p50;
+    out->p99 = p99;
+    out->p999 = p999;
+  }
+  return true;
+}
+
+bool ParseTimeseriesSection(const JsonValue& node, SamplerSnapshot* out,
+                            std::string* err) {
+  if (!node.is_object()) {
+    if (err) *err = "snapshot: 'timeseries' is not an object";
+    return false;
+  }
+  double retention, ticks;
+  if (!ExpectNumber(node, "period_seconds", &out->period_seconds, err) ||
+      !ExpectNumber(node, "retention", &retention, err) ||
+      !ExpectNumber(node, "ticks", &ticks, err)) {
+    return false;
+  }
+  if (out->period_seconds <= 0.0) {
+    if (err) *err = "snapshot: timeseries period_seconds must be positive";
+    return false;
+  }
+  if (retention < 2 || ticks < 0) {
+    if (err) *err = "snapshot: timeseries retention/ticks out of range";
+    return false;
+  }
+  out->retention = static_cast<int64_t>(retention);
+  out->ticks = static_cast<int64_t>(ticks);
+  const JsonValue* series = node.Find("series");
+  if (series == nullptr || !series->is_array()) {
+    if (err) *err = "snapshot: timeseries missing 'series' array";
+    return false;
+  }
+  out->series.clear();
+  for (const JsonValue& entry : series->array) {
+    MetricSeries s;
+    if (!ParseSeriesEntry(entry, &s, err)) return false;
+    if (static_cast<int64_t>(s.times.size()) > out->retention) {
+      if (err) {
+        *err = "snapshot: series '" + s.name + "' longer than retention";
+      }
+      return false;
+    }
+    out->series.push_back(std::move(s));
+  }
+  return true;
+}
+
+bool ParseSystemSection(const JsonValue& node, SystemSample* out,
+                        std::string* err) {
+  if (!node.is_object()) {
+    if (err) *err = "snapshot: 'system' is not an object";
+    return false;
+  }
+  double threads, fds;
+  if (!ExpectBool(node, "valid", &out->valid, err) ||
+      !ExpectNumber(node, "rss_bytes", &out->rss_bytes, err) ||
+      !ExpectNumber(node, "vm_bytes", &out->vm_bytes, err) ||
+      !ExpectNumber(node, "threads", &threads, err) ||
+      !ExpectNumber(node, "open_fds", &fds, err) ||
+      !ExpectNumber(node, "cpu_percent", &out->cpu_percent, err) ||
+      !ExpectNumber(node, "utime_seconds", &out->utime_seconds, err) ||
+      !ExpectNumber(node, "stime_seconds", &out->stime_seconds, err)) {
+    return false;
+  }
+  if (out->rss_bytes < 0 || out->vm_bytes < 0 || threads < 0 || fds < -1) {
+    if (err) *err = "snapshot: system resource fields out of range";
+    return false;
+  }
+  out->threads = static_cast<int64_t>(threads);
+  out->open_fds = static_cast<int64_t>(fds);
+  const JsonValue* hw = node.Find("hw");
+  if (hw == nullptr || !hw->is_object()) {
+    if (err) *err = "snapshot: system missing 'hw' object";
+    return false;
+  }
+  double cycles, instructions, misses;
+  if (!ExpectBool(*hw, "available", &out->hw.available, err) ||
+      !ExpectNumber(*hw, "cycles", &cycles, err) ||
+      !ExpectNumber(*hw, "instructions", &instructions, err) ||
+      !ExpectNumber(*hw, "cache_misses", &misses, err)) {
+    return false;
+  }
+  if (cycles < 0 || instructions < 0 || misses < 0) {
+    if (err) *err = "snapshot: negative hardware counter";
+    return false;
+  }
+  out->hw.cycles = static_cast<uint64_t>(cycles);
+  out->hw.instructions = static_cast<uint64_t>(instructions);
+  out->hw.cache_misses = static_cast<uint64_t>(misses);
+  return true;
+}
+
 }  // namespace
 
 bool ParseJson(std::string_view text, JsonValue* out, std::string* err) {
@@ -356,6 +568,16 @@ bool ParseSnapshot(std::string_view text, SnapshotFile* out,
     MetricSnapshot metric;
     if (!ParseMetric(node, &metric, err)) return false;
     out->metrics.push_back(std::move(metric));
+  }
+  out->has_timeseries = false;
+  if (const JsonValue* ts = doc.Find("timeseries"); ts != nullptr) {
+    if (!ParseTimeseriesSection(*ts, &out->timeseries, err)) return false;
+    out->has_timeseries = true;
+  }
+  out->has_system = false;
+  if (const JsonValue* sys = doc.Find("system"); sys != nullptr) {
+    if (!ParseSystemSection(*sys, &out->system, err)) return false;
+    out->has_system = true;
   }
   return true;
 }

@@ -5,7 +5,9 @@
 // (objects, arrays, strings with the common escapes, numbers, booleans,
 // null) plus a typed loader for "wmlp-telemetry-snapshot-v1" documents.
 // wmlp_stats and the telemetry tests are the consumers; it is NOT a
-// general-purpose parser (no \uXXXX surrogate pairs, 256-deep nesting cap).
+// general-purpose parser (no \uXXXX surrogate pairs, 256-deep nesting cap,
+// duplicate object keys rejected — our exporters never emit them, so a
+// duplicate means a corrupt or hand-edited file).
 #pragma once
 
 #include <map>
@@ -14,7 +16,9 @@
 #include <string_view>
 #include <vector>
 
+#include "telemetry/system_stats.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/timeseries.h"
 
 namespace wmlp::telemetry {
 
@@ -41,12 +45,20 @@ struct JsonValue {
 bool ParseJson(std::string_view text, JsonValue* out, std::string* err);
 
 // A loaded snapshot file: header fields + per-metric values reusing
-// MetricSnapshot from telemetry.h.
+// MetricSnapshot from telemetry.h, plus the optional observability-plane
+// sections (reusing the sampler/collector structs they were exported
+// from). `has_timeseries` / `has_system` say whether the section appeared;
+// when present it was fully validated (array lengths agree, times are
+// non-decreasing, types are known).
 struct SnapshotFile {
   std::string schema;
   bool telemetry_compiled = false;
   double uptime_seconds = 0.0;
   std::vector<MetricSnapshot> metrics;
+  bool has_timeseries = false;
+  SamplerSnapshot timeseries;
+  bool has_system = false;
+  SystemSample system;
 };
 
 // Parses a snapshot document from text / from a file, validating the

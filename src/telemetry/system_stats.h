@@ -1,0 +1,73 @@
+// System/process collector: /proc/self resource usage and (where the
+// kernel allows it) perf_event_open hardware counters.
+//
+// The collector is a pure reader — it samples RSS, virtual size, CPU%,
+// thread count, and open fds from /proc/self/{statm,stat,fd}, and cycles /
+// instructions / cache misses from three self-scoped perf fds opened at
+// construction. Everything degrades gracefully: on a non-Linux build or a
+// locked-down kernel (perf_event_paranoid, seccomp, containers) the
+// affected fields just come back unavailable; nothing fails.
+//
+// PublishGauges() mirrors a sample into registry gauges
+// (wmlp_process_rss_bytes, wmlp_process_cpu_percent, ..., wmlp_hw_cycles)
+// so the HTTP /metrics endpoint and the time-series sampler see them like
+// any other metric. Gauges are additive across threads (telemetry.h), so
+// exactly ONE thread may ever call PublishGauges on a given collector —
+// TelemetrySession routes all publishing through the sampler tick.
+//
+// CPU% needs a previous observation; the first Sample() reports 0. Sample()
+// serializes internally, so interleaved calls from the sampler thread and
+// a final flush are safe (though only the sampler publishes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace wmlp::telemetry {
+
+struct HwCounters {
+  bool available = false;  // false: perf_event_open denied or unsupported
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t cache_misses = 0;
+};
+
+struct SystemSample {
+  bool valid = false;        // false: /proc/self unreadable (non-Linux)
+  double rss_bytes = 0.0;
+  double vm_bytes = 0.0;
+  int64_t threads = 0;
+  int64_t open_fds = 0;
+  double cpu_percent = 0.0;  // user+sys CPU over wall, since last Sample()
+  double utime_seconds = 0.0;
+  double stime_seconds = 0.0;
+  HwCounters hw;
+};
+
+class SystemStatsCollector {
+ public:
+  SystemStatsCollector();
+  ~SystemStatsCollector();
+  SystemStatsCollector(const SystemStatsCollector&) = delete;
+  SystemStatsCollector& operator=(const SystemStatsCollector&) = delete;
+
+  // Reads /proc/self and the perf counters. Thread-safe; CPU% is derived
+  // from the distance to the previous Sample() on any thread.
+  SystemSample Sample();
+
+  // Mirrors `sample` into registry gauges. Single-publisher contract —
+  // see the file header.
+  static void PublishGauges(const SystemSample& sample);
+
+ private:
+  mutable Mutex mu_;
+  // Previous CPU observation for the CPU% derivative.
+  double prev_cpu_seconds_ GUARDED_BY(mu_) = 0.0;
+  double prev_wall_seconds_ GUARDED_BY(mu_) = -1.0;  // -1: no sample yet
+  int perf_fds_[3] = {-1, -1, -1};  // cycles, instructions, cache misses
+};
+
+}  // namespace wmlp::telemetry

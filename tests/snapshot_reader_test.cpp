@@ -1,0 +1,275 @@
+// Snapshot reader robustness battery: the parser must reject truncated
+// documents, duplicate object keys, and non-finite numerics, and must
+// validate the observability-plane sections (timeseries, system) with the
+// same accept/reject strictness as the core metric list. Accept cases
+// roundtrip through the real exporter (SnapshotToJson) so the reader and
+// writer can never drift apart silently.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "telemetry/export.h"
+#include "telemetry/snapshot_reader.h"
+#include "telemetry/system_stats.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/timeseries.h"
+
+namespace wmlp::telemetry {
+namespace {
+
+bool Rejects(const std::string& text) {
+  SnapshotFile snapshot;
+  std::string err;
+  const bool ok = ParseSnapshot(text, &snapshot, &err);
+  if (ok) return false;
+  // Every rejection must come with a diagnosis.
+  return !err.empty();
+}
+
+// A minimal valid document with optional extra sections spliced in after
+// the metrics array.
+std::string Doc(const std::string& extra) {
+  return std::string("{\n  \"schema\": \"wmlp-telemetry-snapshot-v1\",\n") +
+         "  \"telemetry_compiled\": false,\n" +
+         "  \"uptime_seconds\": 1.0,\n  \"metrics\": []" + extra + "\n}\n";
+}
+
+std::string TimeseriesDoc(const std::string& series,
+                          const std::string& header =
+                              "\"period_seconds\": 1.0, \"retention\": 4, "
+                              "\"ticks\": 2") {
+  return Doc(",\n  \"timeseries\": {" + header + ", \"series\": [" + series +
+             "]}");
+}
+
+const char kGoodSystem[] =
+    ",\n  \"system\": {\"valid\": true, \"rss_bytes\": 1024, "
+    "\"vm_bytes\": 4096, \"threads\": 2, \"open_fds\": 5, "
+    "\"cpu_percent\": 12.5, \"utime_seconds\": 1.5, "
+    "\"stime_seconds\": 0.5, \"hw\": {\"available\": true, "
+    "\"cycles\": 100, \"instructions\": 250, \"cache_misses\": 7}}";
+
+TEST(SnapshotReaderTest, ExporterRoundtripWithPlaneSections) {
+  SamplerSnapshot ts;
+  ts.period_seconds = 0.5;
+  ts.retention = 8;
+  ts.ticks = 3;
+  MetricSeries counter;
+  counter.name = "roundtrip_total";
+  counter.type = MetricType::kCounter;
+  counter.times = {0.0, 0.5, 1.0};
+  counter.values = {0.0, 10.0, 30.0};
+  counter.rates = {20.0, 40.0};
+  ts.series.push_back(counter);
+  MetricSeries hist;
+  hist.name = "roundtrip_hist";
+  hist.type = MetricType::kHistogram;
+  hist.times = {0.0, 0.5};
+  hist.values = {5.0, 25.0};
+  hist.rates = {40.0};
+  hist.has_quantiles = true;
+  hist.window_count = 20;
+  hist.p50 = 3.0;
+  hist.p99 = 7.5;
+  hist.p999 = 7.9;
+  ts.series.push_back(hist);
+
+  SystemSample sys;
+  sys.valid = true;
+  sys.rss_bytes = 8192.0;
+  sys.vm_bytes = 65536.0;
+  sys.threads = 4;
+  sys.open_fds = 12;
+  sys.cpu_percent = 42.5;
+  sys.utime_seconds = 2.25;
+  sys.stime_seconds = 0.75;
+  sys.hw.available = true;
+  sys.hw.cycles = 123456;
+  sys.hw.instructions = 654321;
+  sys.hw.cache_misses = 42;
+
+  const std::string json = SnapshotToJson({}, 2.5, &ts, &sys);
+  SnapshotFile parsed;
+  std::string err;
+  ASSERT_TRUE(ParseSnapshot(json, &parsed, &err)) << err;
+
+  ASSERT_TRUE(parsed.has_timeseries);
+  EXPECT_DOUBLE_EQ(parsed.timeseries.period_seconds, 0.5);
+  EXPECT_EQ(parsed.timeseries.retention, 8);
+  EXPECT_EQ(parsed.timeseries.ticks, 3);
+  ASSERT_EQ(parsed.timeseries.series.size(), 2u);
+  for (const MetricSeries& s : parsed.timeseries.series) {
+    if (s.name == "roundtrip_total") {
+      EXPECT_EQ(s.type, MetricType::kCounter);
+      EXPECT_EQ(s.values, counter.values);
+      EXPECT_EQ(s.rates, counter.rates);
+      EXPECT_FALSE(s.has_quantiles);
+    } else {
+      EXPECT_EQ(s.type, MetricType::kHistogram);
+      ASSERT_TRUE(s.has_quantiles);
+      EXPECT_EQ(s.window_count, 20);
+      EXPECT_DOUBLE_EQ(s.p50, 3.0);
+      EXPECT_DOUBLE_EQ(s.p999, 7.9);
+    }
+  }
+
+  ASSERT_TRUE(parsed.has_system);
+  EXPECT_TRUE(parsed.system.valid);
+  EXPECT_DOUBLE_EQ(parsed.system.rss_bytes, 8192.0);
+  EXPECT_EQ(parsed.system.threads, 4);
+  EXPECT_EQ(parsed.system.open_fds, 12);
+  EXPECT_TRUE(parsed.system.hw.available);
+  EXPECT_EQ(parsed.system.hw.cycles, 123456u);
+  EXPECT_EQ(parsed.system.hw.cache_misses, 42u);
+}
+
+TEST(SnapshotReaderTest, PlaneSectionsAreOptional) {
+  SnapshotFile parsed;
+  std::string err;
+  ASSERT_TRUE(ParseSnapshot(Doc(""), &parsed, &err)) << err;
+  EXPECT_FALSE(parsed.has_timeseries);
+  EXPECT_FALSE(parsed.has_system);
+}
+
+TEST(SnapshotReaderTest, TruncatedDocumentsAreRejected) {
+  const std::string full = SnapshotToJson({}, 1.0);
+  // Any cut inside the document body must fail loudly, never yield a
+  // half-parsed snapshot. (Cutting only the trailing newline stays valid.)
+  for (const size_t keep :
+       {size_t{1}, full.size() / 4, full.size() / 2, full.size() - 2}) {
+    EXPECT_TRUE(Rejects(full.substr(0, keep))) << "kept " << keep;
+  }
+}
+
+TEST(SnapshotReaderTest, DuplicateObjectKeysAreRejected) {
+  JsonValue value;
+  std::string err;
+  EXPECT_FALSE(ParseJson("{\"a\": 1, \"a\": 2}", &value, &err));
+  EXPECT_NE(err.find("duplicate"), std::string::npos);
+  // And through the snapshot path.
+  EXPECT_TRUE(Rejects(
+      "{\"schema\": \"wmlp-telemetry-snapshot-v1\", \"schema\": "
+      "\"wmlp-telemetry-snapshot-v1\", \"telemetry_compiled\": false, "
+      "\"uptime_seconds\": 0, \"metrics\": []}"));
+}
+
+TEST(SnapshotReaderTest, NonFiniteNumericsAreRejected) {
+  JsonValue value;
+  std::string err;
+  EXPECT_FALSE(ParseJson("[1e999]", &value, &err));     // overflows to inf
+  EXPECT_FALSE(ParseJson("[NaN]", &value, &err));       // not a JSON token
+  EXPECT_FALSE(ParseJson("[Infinity]", &value, &err));  // not a JSON token
+  EXPECT_TRUE(Rejects(Doc(",\n  \"bogus\": 1e999")));
+}
+
+TEST(SnapshotReaderTest, TimeseriesAcceptBattery) {
+  SnapshotFile parsed;
+  std::string err;
+  // Counter with rates.
+  ASSERT_TRUE(ParseSnapshot(
+      TimeseriesDoc("{\"name\": \"c\", \"type\": \"counter\", "
+                    "\"times\": [0, 1], \"values\": [0, 5], "
+                    "\"rates\": [5]}"),
+      &parsed, &err))
+      << err;
+  ASSERT_TRUE(parsed.has_timeseries);
+  ASSERT_EQ(parsed.timeseries.series.size(), 1u);
+  EXPECT_EQ(parsed.timeseries.series[0].name, "c");
+
+  // Gauge without rates; histogram with the full quantile block; repeated
+  // times (a stalled clock) are legal — only going backwards is not.
+  ASSERT_TRUE(ParseSnapshot(
+      TimeseriesDoc("{\"name\": \"g\", \"type\": \"gauge\", "
+                    "\"times\": [0, 0], \"values\": [1.5, 2.5]},\n"
+                    "{\"name\": \"h\", \"type\": \"histogram\", "
+                    "\"times\": [0, 1], \"values\": [3, 9], "
+                    "\"rates\": [6], \"window_count\": 6, \"p50\": 2, "
+                    "\"p99\": 4, \"p999\": 4.5}"),
+      &parsed, &err))
+      << err;
+  // Empty series list is fine (sampler registered no metrics yet).
+  ASSERT_TRUE(ParseSnapshot(TimeseriesDoc(""), &parsed, &err)) << err;
+}
+
+TEST(SnapshotReaderTest, TimeseriesRejectBattery) {
+  // times/values length mismatch.
+  EXPECT_TRUE(Rejects(
+      TimeseriesDoc("{\"name\": \"c\", \"type\": \"counter\", "
+                    "\"times\": [0, 1], \"values\": [0]}")));
+  // rates must have exactly times - 1 entries when present.
+  EXPECT_TRUE(Rejects(
+      TimeseriesDoc("{\"name\": \"c\", \"type\": \"counter\", "
+                    "\"times\": [0, 1], \"values\": [0, 5], "
+                    "\"rates\": [5, 6]}")));
+  // Times going backwards.
+  EXPECT_TRUE(Rejects(
+      TimeseriesDoc("{\"name\": \"c\", \"type\": \"counter\", "
+                    "\"times\": [1, 0], \"values\": [0, 5]}")));
+  // Quantiles on a non-histogram series.
+  EXPECT_TRUE(Rejects(
+      TimeseriesDoc("{\"name\": \"c\", \"type\": \"counter\", "
+                    "\"times\": [0], \"values\": [0], "
+                    "\"window_count\": 1, \"p50\": 1, \"p99\": 1, "
+                    "\"p999\": 1}")));
+  // Partial quantile block (window_count without p50/p99/p999).
+  EXPECT_TRUE(Rejects(
+      TimeseriesDoc("{\"name\": \"h\", \"type\": \"histogram\", "
+                    "\"times\": [0], \"values\": [0], "
+                    "\"window_count\": 1}")));
+  // Negative window_count.
+  EXPECT_TRUE(Rejects(
+      TimeseriesDoc("{\"name\": \"h\", \"type\": \"histogram\", "
+                    "\"times\": [0], \"values\": [0], "
+                    "\"window_count\": -1, \"p50\": 0, \"p99\": 0, "
+                    "\"p999\": 0}")));
+  // Unknown series type.
+  EXPECT_TRUE(Rejects(
+      TimeseriesDoc("{\"name\": \"m\", \"type\": \"meter\", "
+                    "\"times\": [0], \"values\": [0]}")));
+  // A series longer than the declared retention.
+  EXPECT_TRUE(Rejects(TimeseriesDoc(
+      "{\"name\": \"c\", \"type\": \"counter\", "
+      "\"times\": [0, 1, 2, 3, 4], \"values\": [0, 1, 2, 3, 4]}")));
+  // Bad section header fields.
+  EXPECT_TRUE(Rejects(TimeseriesDoc(
+      "", "\"period_seconds\": 0, \"retention\": 4, \"ticks\": 2")));
+  EXPECT_TRUE(Rejects(TimeseriesDoc(
+      "", "\"period_seconds\": 1, \"retention\": 1, \"ticks\": 2")));
+  EXPECT_TRUE(Rejects(TimeseriesDoc(
+      "", "\"period_seconds\": 1, \"retention\": 4, \"ticks\": -1")));
+}
+
+TEST(SnapshotReaderTest, SystemAcceptAndRejectBattery) {
+  SnapshotFile parsed;
+  std::string err;
+  ASSERT_TRUE(ParseSnapshot(Doc(kGoodSystem), &parsed, &err)) << err;
+  ASSERT_TRUE(parsed.has_system);
+  EXPECT_EQ(parsed.system.open_fds, 5);
+  EXPECT_EQ(parsed.system.hw.instructions, 250u);
+
+  auto broken = [](const std::string& from, const std::string& to) {
+    std::string doc(kGoodSystem);
+    const size_t at = doc.find(from);
+    EXPECT_NE(at, std::string::npos) << from;
+    doc.replace(at, from.size(), to);
+    return Doc(doc);
+  };
+  // Negative resource fields.
+  EXPECT_TRUE(Rejects(broken("\"rss_bytes\": 1024", "\"rss_bytes\": -1")));
+  EXPECT_TRUE(Rejects(broken("\"threads\": 2", "\"threads\": -2")));
+  // open_fds -1 means "unavailable"; anything lower is corrupt.
+  EXPECT_TRUE(Rejects(broken("\"open_fds\": 5", "\"open_fds\": -2")));
+  // Negative hardware counters.
+  EXPECT_TRUE(Rejects(broken("\"cycles\": 100", "\"cycles\": -100")));
+  // Missing hw object.
+  EXPECT_TRUE(Rejects(broken(
+      "\"hw\": {\"available\": true, \"cycles\": 100, "
+      "\"instructions\": 250, \"cache_misses\": 7}",
+      "\"hw\": 3")));
+  // Wrong type for valid.
+  EXPECT_TRUE(Rejects(broken("\"valid\": true", "\"valid\": 1")));
+}
+
+}  // namespace
+}  // namespace wmlp::telemetry

@@ -21,6 +21,8 @@
 
 #include "server/server.h"
 #include "telemetry/export.h"
+#include "telemetry/health.h"
+#include "telemetry/http_server.h"
 #include "telemetry/snapshot_reader.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace_span.h"
@@ -330,6 +332,59 @@ TEST(DeterminismTest, TelemetryOnOffLeavesServeCsvByteIdentical) {
   Tracer::Drain();  // discard the buffered spans
 
   EXPECT_EQ(off_csv, on_csv);
+}
+
+// The full observability plane — per-shard watchdog observers, the
+// time-series sampler ticking fast, and the live HTTP endpoint being
+// scraped — must leave every cost/count byte unchanged. The plane only
+// reads serve-path state; this is the test that keeps it that way.
+TEST(DeterminismTest, ObservabilityPlaneLeavesServeCsvByteIdentical) {
+  Instance inst(48, 12, 2,
+                MakeWeights(48, 2, WeightModel::kZipfPages, 8.0, 3));
+  const Trace trace =
+      GenZipf(std::move(inst), 3000, 0.9, LevelMix::UniformMix(2), 13);
+  ServeOptions options;
+  options.policy = "waterfill";
+  options.shards = 3;
+  options.clients = 2;
+  options.batch = 64;
+  options.seed = 42;
+
+  // Plane fully off.
+  const std::string off_csv = ReportCsv(ServeTrace(trace, options));
+
+  // Plane fully on: sampler at the minimum period, endpoint live and
+  // scraped mid-session, watchdogs attached with a generous threshold.
+  health::CostRatioHealth::Get().ResetForTest();
+  TelemetryRunOptions topts;
+  topts.sample_interval = 0.01;
+  topts.sample_retention = 128;
+  topts.http_port = 0;
+  TelemetrySession session(topts);
+  ASSERT_TRUE(session.start_error().empty()) << session.start_error();
+  ServeOptions on = options;
+  on.watchdog = true;
+  on.watchdog_threshold = 1e6;
+  const std::string on_csv = ReportCsv(ServeTrace(trace, on));
+  int status = 0;
+  std::string body, err;
+  ASSERT_TRUE(HttpGet("127.0.0.1", session.http_port(), "/metrics",
+                      &status, &body, &err))
+      << err;
+  EXPECT_EQ(status, 200);
+  ASSERT_TRUE(HttpGet("127.0.0.1", session.http_port(), "/healthz",
+                      &status, &body, &err))
+      << err;
+  EXPECT_EQ(status, 200) << "watchdog tripped a 1e6 threshold: " << body;
+  ASSERT_TRUE(session.Finish(&err)) << err;
+
+  EXPECT_EQ(off_csv, on_csv);
+
+  // And the watchdog actually observed the run.
+  const health::HealthSnapshot snap =
+      health::CostRatioHealth::Get().Snapshot();
+  EXPECT_EQ(snap.sources, 3);
+  EXPECT_GT(snap.alg_cost, 0.0);
 }
 
 TEST(InstrumentationTest, ServeRunPopulatesHotPathCounters) {

@@ -1,0 +1,184 @@
+// Cost-ratio watchdog tests: the forced-fetch lower bound must never
+// exceed the offline optimum (soundness), the realized-cost ratio must be
+// >= 1 whenever the bound is positive (every algorithm pays at least the
+// bound), the per-request accounting must follow the v(p) = w(p, deepest
+// requested level) rule exactly, and the health registry must count
+// threshold crossings and flip the verdict.
+//
+// The health registry is a process-wide leaky singleton (same discipline
+// as telemetry::Registry), so every test that reads it calls ResetForTest
+// first and never asserts on slots it did not register.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/cost_watchdog.h"
+#include "engine/engine.h"
+#include "engine/request_source.h"
+#include "offline/bounds.h"
+#include "registry/policy_registry.h"
+#include "telemetry/health.h"
+#include "trace/generators.h"
+
+namespace wmlp {
+namespace {
+
+Trace SmallZipf(int32_t n, int32_t k, int32_t ell, int64_t length,
+                uint64_t seed) {
+  Instance inst(n, k, ell,
+                MakeWeights(n, ell, WeightModel::kZipfPages, 8.0, 3));
+  return GenZipf(std::move(inst), length, 0.9, LevelMix::UniformMix(ell),
+                 seed);
+}
+
+// Runs `policy_name` over the trace with a watchdog attached and returns
+// the watchdog (by value via its observable totals).
+struct WatchdogRun {
+  double alg_cost = 0.0;
+  double lower_bound = 0.0;
+  double ratio_upper = 0.0;
+  double engine_eviction_cost = 0.0;
+};
+
+WatchdogRun RunWithWatchdog(const Trace& trace,
+                            const std::string& policy_name) {
+  health::CostRatioHealth::Get().ResetForTest();
+  CostRatioWatchdog dog(trace.instance, WatchdogOptions{});
+  PolicyPtr policy = MakePolicyByName(policy_name, 7);
+  TraceSource source(trace);
+  EngineOptions eopts;
+  eopts.observer = &dog;
+  Engine engine(source, *policy, eopts);
+  const SimResult result = engine.Run();
+  dog.Publish();
+  WatchdogRun out;
+  out.alg_cost = dog.alg_cost();
+  out.lower_bound = dog.lower_bound();
+  out.ratio_upper = dog.ratio_upper();
+  out.engine_eviction_cost = result.eviction_cost;
+  return out;
+}
+
+TEST(WatchdogTest, AccountingFollowsDeepestRequestedLevel) {
+  // w(p, 1) >= w(p, 2); level 1 is the expensive one, deeper levels are
+  // cheaper, so a deeper request can only lower v(p).
+  Instance inst(2, 1, 2, {{8.0, 2.0}, {6.0, 3.0}});
+  health::CostRatioHealth::Get().ResetForTest();
+  CostRatioWatchdog dog(inst, WatchdogOptions{});
+
+  // First request to page 0 at level 1: v(0) = 8. sum = 8, max = 8,
+  // LB = max(0, 8 - 1 * 8) = 0.
+  dog.OnStep(0, Request{0, 1}, false);
+  EXPECT_DOUBLE_EQ(dog.lower_bound(), 0.0);
+
+  // Page 1 at level 1: v(1) = 6. sum = 14, max = 8, LB = 6.
+  dog.OnStep(1, Request{1, 1}, false);
+  EXPECT_DOUBLE_EQ(dog.lower_bound(), 6.0);
+
+  // Page 0 again at level 2: v(0) drops to w(0, 2) = 2, sum = 8; the max
+  // relaxation keeps max = 8 (monotone, only loosens), so LB = 0.
+  dog.OnStep(2, Request{0, 2}, false);
+  EXPECT_DOUBLE_EQ(dog.lower_bound(), 0.0);
+  EXPECT_EQ(dog.requests_seen(), 3);
+
+  // Evictions accumulate the realized cost; ratio stays 0 while LB is 0.
+  dog.OnEvict(2, 0, 1, 8.0);
+  EXPECT_DOUBLE_EQ(dog.alg_cost(), 8.0);
+  EXPECT_DOUBLE_EQ(dog.ratio_upper(), 0.0);
+}
+
+TEST(WatchdogTest, LowerBoundNeverExceedsOfflineOptimum) {
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    const Trace trace = SmallZipf(12, 4, 2, 400, seed);
+    const WatchdogRun run = RunWithWatchdog(trace, "waterfill");
+    const OfflineBounds bounds = ComputeOfflineBounds(trace);
+    // LB <= OPT <= bounds.upper: a violation means the watchdog would
+    // report a ratio that is not actually an upper bound.
+    EXPECT_LE(run.lower_bound, bounds.upper + 1e-6)
+        << "seed " << seed << ": watchdog bound above offline OPT";
+  }
+}
+
+TEST(WatchdogTest, RatioIsAtLeastOneWheneverBoundIsPositive) {
+  // The bound charges costs every algorithm must pay, so the realized
+  // eviction cost of ANY policy is >= LB and the ratio is >= 1.
+  for (const char* policy : {"waterfill", "lru", "landlord"}) {
+    const Trace trace = SmallZipf(24, 6, 2, 800, 11);
+    const WatchdogRun run = RunWithWatchdog(trace, policy);
+    EXPECT_DOUBLE_EQ(run.alg_cost, run.engine_eviction_cost)
+        << policy << ": watchdog disagrees with the engine's accounting";
+    if (run.lower_bound > 0.0) {
+      EXPECT_GE(run.ratio_upper, 1.0 - 1e-12) << policy;
+      EXPECT_GE(run.alg_cost, run.lower_bound - 1e-9) << policy;
+    }
+  }
+}
+
+TEST(WatchdogTest, PublishFeedsHealthRegistry) {
+  const Trace trace = SmallZipf(12, 4, 2, 400, 5);
+  const WatchdogRun run = RunWithWatchdog(trace, "waterfill");
+  const health::HealthSnapshot snap =
+      health::CostRatioHealth::Get().Snapshot();
+  EXPECT_EQ(snap.sources, 1);
+  EXPECT_DOUBLE_EQ(snap.alg_cost, run.alg_cost);
+  EXPECT_DOUBLE_EQ(snap.lower_bound, run.lower_bound);
+  // Monitor-only (threshold 0): always healthy, never a crossing.
+  EXPECT_TRUE(snap.healthy);
+  EXPECT_EQ(snap.crossings, 0);
+}
+
+TEST(HealthRegistryTest, ThresholdCrossingFlipsVerdictAndCounts) {
+  health::CostRatioHealth& health = health::CostRatioHealth::Get();
+  health.ResetForTest();
+  const int slot = health.RegisterSource();
+  health.SetThreshold(2.0);
+
+  health.Update(slot, 10.0, 10.0);  // ratio 1: healthy
+  EXPECT_TRUE(health.Snapshot().healthy);
+  EXPECT_EQ(health.Snapshot().crossings, 0);
+
+  health.Update(slot, 30.0, 10.0);  // ratio 3: crosses
+  {
+    const health::HealthSnapshot snap = health.Snapshot();
+    EXPECT_FALSE(snap.healthy);
+    EXPECT_EQ(snap.crossings, 1);
+    EXPECT_DOUBLE_EQ(snap.ratio_upper, 3.0);
+  }
+
+  health.Update(slot, 15.0, 10.0);  // back below: healthy again
+  EXPECT_TRUE(health.Snapshot().healthy);
+  EXPECT_EQ(health.Snapshot().crossings, 1);
+
+  health.Update(slot, 25.0, 10.0);  // second rising edge
+  EXPECT_EQ(health.Snapshot().crossings, 2);
+}
+
+TEST(HealthRegistryTest, SlotsSumAcrossSources) {
+  health::CostRatioHealth& health = health::CostRatioHealth::Get();
+  health.ResetForTest();
+  const int a = health.RegisterSource();
+  const int b = health.RegisterSource();
+  health.Update(a, 6.0, 2.0);
+  health.Update(b, 4.0, 3.0);
+  const health::HealthSnapshot snap = health.Snapshot();
+  EXPECT_EQ(snap.sources, 2);
+  EXPECT_DOUBLE_EQ(snap.alg_cost, 10.0);
+  EXPECT_DOUBLE_EQ(snap.lower_bound, 5.0);
+  EXPECT_DOUBLE_EQ(snap.ratio_upper, 2.0);
+}
+
+TEST(HealthRegistryTest, ZeroLowerBoundIsAlwaysHealthy) {
+  health::CostRatioHealth& health = health::CostRatioHealth::Get();
+  health.ResetForTest();
+  const int slot = health.RegisterSource();
+  health.SetThreshold(1.5);
+  // No positive bound yet: the ratio is unknowable, so no verdict.
+  health.Update(slot, 100.0, 0.0);
+  const health::HealthSnapshot snap = health.Snapshot();
+  EXPECT_TRUE(snap.healthy);
+  EXPECT_DOUBLE_EQ(snap.ratio_upper, 0.0);
+}
+
+}  // namespace
+}  // namespace wmlp

@@ -100,7 +100,10 @@ class Flags {
   std::map<std::string, std::string> values_;
 };
 
-// The shared --telemetry-out/--trace-out/--stats-interval surface. Dies on
+// The shared telemetry surface every instrumented tool accepts:
+// --telemetry-out/--trace-out/--stats-interval (PR 5) plus the
+// observability plane — --sample-interval/--sample-retention (time-series
+// sampler), --http-port/--http-port-file (scrape endpoint). Dies on
 // invalid combinations so every tool rejects them identically; the result
 // is safe to hand straight to telemetry::TelemetrySession.
 inline telemetry::TelemetryRunOptions ParseTelemetryFlags(
@@ -109,9 +112,27 @@ inline telemetry::TelemetryRunOptions ParseTelemetryFlags(
   options.telemetry_out = flags.GetString("telemetry-out");
   options.trace_out = flags.GetString("trace-out");
   options.stats_interval = flags.GetDouble("stats-interval", 0.0);
+  options.sample_interval = flags.GetDouble("sample-interval", 0.0);
+  options.sample_retention =
+      flags.GetInt("sample-retention", options.sample_retention);
+  // A bare `--http-port` (no value) asks for an ephemeral port, same as 0.
+  if (flags.Has("http-port") && flags.GetString("http-port").empty()) {
+    options.http_port = 0;
+  } else {
+    options.http_port = static_cast<int>(flags.GetInt("http-port", -1));
+  }
+  options.http_port_file = flags.GetString("http-port-file");
   const std::string err = telemetry::ValidateTelemetryRunOptions(options);
   if (!err.empty()) Die(err);
   return options;
+}
+
+// Constructor-time failures (port already bound, unwritable port file)
+// that ValidateTelemetryRunOptions cannot see. Call right after creating
+// the session.
+inline void DieOnSessionStartError(
+    const telemetry::TelemetrySession& session) {
+  if (!session.start_error().empty()) Die(session.start_error());
 }
 
 }  // namespace wmlp::tools

@@ -7,6 +7,7 @@
 //            [--pred-noise none|lognormal|swap|stale] [--pred-eta 0.5]
 //            [--pred-lambda 0.75] [--pred-horizon 0]
 //   wmlp_run --trace-stream t.wmlp --policy lru [--chunk 4096] [--latency]
+//            [--watchdog] [--watchdog-threshold 8.0]
 //   wmlp_run --import accesses.log --k 64 [--dirty 10] [--clean 1] ...
 //
 // All modes accept --telemetry-out (snapshot JSON), --trace-out (Perfetto
@@ -19,6 +20,11 @@
 // serve-time percentiles (cycle counter).
 // --import reads a plain key/op log (one "<key> [R|W]" per line; see
 // trace/import.h) instead of the wmlp trace format.
+// --watchdog (streaming mode only: the in-memory modes run trials
+// concurrently, and the observer is single-threaded) attaches the online
+// cost-ratio watchdog (engine/cost_watchdog.h) and prints its running
+// upper bound on the competitive ratio; --watchdog-threshold R flips the
+// health signal (and /healthz, with --http-port) when the ratio crosses R.
 // --batch sets the engine's pull-mode batch size (requests served per
 // StepBatch slug): a pure throughput knob — all results are bitwise
 // invariant to it (engine/engine.h).
@@ -32,7 +38,9 @@
 // kind) are rejected before any trace is read.
 // Randomized policies are averaged over --trials seeds.
 #include <iostream>
+#include <optional>
 
+#include "engine/cost_watchdog.h"
 #include "engine/engine.h"
 #include "engine/step_observers.h"
 #include "harness/experiment.h"
@@ -43,6 +51,7 @@
 #include "predict/oracle.h"
 #include "predict/predictive_policy.h"
 #include "registry/policy_registry.h"
+#include "telemetry/health.h"
 #include "tool_util.h"
 #include "trace/import.h"
 #include "trace/trace_io.h"
@@ -53,11 +62,16 @@ namespace {
 
 // Streams the file through the engine once per trial (the source is
 // single-pass, so each trial re-opens the file). Returns per-trial results.
+// A fresh watchdog runs per trial (it tracks one request stream); each
+// publishes its final totals into the health registry, whose snapshot sums
+// the trials.
 std::vector<SimResult> RunStreaming(const std::string& path,
                                     const std::string& policy_name,
                                     int32_t trials, uint64_t seed,
                                     int64_t chunk, int64_t batch,
-                                    LatencyHistogram* histogram) {
+                                    LatencyHistogram* histogram,
+                                    bool watchdog,
+                                    double watchdog_threshold) {
   std::vector<SimResult> results;
   for (int32_t trial = 0; trial < trials; ++trial) {
     std::string err;
@@ -70,12 +84,23 @@ std::vector<SimResult> RunStreaming(const std::string& path,
                          DeriveSeed(seed, static_cast<uint64_t>(trial)));
     EngineOptions eopts;
     eopts.batch = batch;
+    MultiObserver multi;
+    std::optional<CostRatioWatchdog> dog;
     if (histogram != nullptr) {
       histogram->Start();
-      eopts.observer = histogram;
+      multi.Add(histogram);
     }
+    if (watchdog) {
+      WatchdogOptions wopts;
+      wopts.threshold = watchdog_threshold;
+      if (trials > 1) wopts.label = "trial" + std::to_string(trial);
+      dog.emplace(source->instance(), wopts);
+      multi.Add(&*dog);
+    }
+    if (histogram != nullptr || watchdog) eopts.observer = &multi;
     Engine engine(*source, *policy, eopts);
     results.push_back(engine.Run());
+    if (dog.has_value()) dog->Publish();
   }
   return results;
 }
@@ -158,6 +183,18 @@ int main(int argc, char** argv) {
   const telemetry::TelemetryRunOptions topts =
       tools::ParseTelemetryFlags(flags);
   telemetry::TelemetrySession telemetry_session(topts);
+  tools::DieOnSessionStartError(telemetry_session);
+
+  const bool watchdog = flags.Has("watchdog");
+  const double watchdog_threshold =
+      flags.GetDoubleInRange("watchdog-threshold", 0.0, 0.0, 1e12);
+  if ((watchdog || flags.Has("watchdog-threshold")) && stream_path.empty()) {
+    tools::Die("--watchdog runs on the single-threaded streaming path;"
+               " use --trace-stream");
+  }
+  if (watchdog_threshold > 0.0 && !watchdog) {
+    tools::Die("--watchdog-threshold requires --watchdog");
+  }
 
   if (!stream_path.empty()) {
     if (flags.Has("opt")) {
@@ -171,7 +208,8 @@ int main(int argc, char** argv) {
     const auto results = RunStreaming(
         stream_path, policy_name, trials, seed,
         flags.GetIntInRange("chunk", 4096, 1, int64_t{1} << 22),
-        batch, flags.Has("latency") ? &histogram : nullptr);
+        batch, flags.Has("latency") ? &histogram : nullptr,
+        watchdog, watchdog_threshold);
     RunningStat cost, hits;
     int64_t evictions = 0, length = 0;
     for (const auto& r : results) {
@@ -195,6 +233,15 @@ int main(int argc, char** argv) {
                 << " p90=" << Fmt(histogram.Quantile(0.9), 0)
                 << " p99=" << Fmt(histogram.Quantile(0.99), 0)
                 << " max=" << histogram.max_cycles() << "\n";
+    }
+    if (watchdog) {
+      const health::HealthSnapshot snap =
+          health::CostRatioHealth::Get().Snapshot();
+      std::cout << "  watchdog:      cost_ratio_upper="
+                << (snap.lower_bound > 0.0 ? Fmt(snap.ratio_upper, 3)
+                                           : std::string("n/a"))
+                << " (lower bound " << Fmt(snap.lower_bound, 2) << ", "
+                << (snap.healthy ? "healthy" : "UNHEALTHY") << ")\n";
     }
     std::string terr;
     if (!telemetry_session.Finish(&terr)) tools::Die(terr);

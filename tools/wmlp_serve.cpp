@@ -4,8 +4,11 @@
 //   wmlp_serve --trace t.wmlp [--shards 4] [--clients 2] [--batch 256]
 //              [--engine-batch 256] [--policy waterfill] [--seed 1]
 //              [--latency] [--compare]
+//              [--watchdog] [--watchdog-threshold 8.0]
 //              [--telemetry-out s.json] [--trace-out t.json]
-//              [--stats-interval 1.0]
+//              [--stats-interval 1.0] [--sample-interval 1.0]
+//              [--sample-retention 600] [--http-port 0]
+//              [--http-port-file port.txt] [--linger 30]
 //
 // Hash-partitions the trace's pages across --shards independent policy
 // instances, feeds them from --clients submitting threads in --batch-sized
@@ -27,13 +30,29 @@
 // JSON of the engine/server spans; --stats-interval N dumps Prometheus text
 // to stderr every N seconds while serving. In telemetry-OFF builds the
 // files are still written (schema-valid, but with no instrumented values).
+//
+// Observability plane (docs/ARCHITECTURE.md §15):
+// --sample-interval N snapshots every metric into in-memory ring buffers
+// every N seconds (--sample-retention points each), exported as the
+// snapshot's "timeseries" section and live on /vars. --http-port P serves
+// /metrics, /vars, and /healthz on 127.0.0.1:P (0 or bare = ephemeral;
+// --http-port-file records the bound port for scripts). --watchdog
+// attaches the per-shard cost-ratio watchdog (engine/cost_watchdog.h);
+// --watchdog-threshold R flips /healthz unhealthy when the realized
+// eviction cost provably exceeds R x the offline optimum. --linger N
+// keeps the process (and its endpoint) alive N seconds after serving so
+// an external scraper can observe the final state. None of these change
+// any cost/count output byte (tests/telemetry_test.cpp).
+#include <chrono>
 #include <iostream>
+#include <thread>
 
 #include "engine/engine.h"
 #include "engine/request_source.h"
 #include "harness/table.h"
 #include "registry/policy_registry.h"
 #include "server/server.h"
+#include "telemetry/health.h"
 #include "tool_util.h"
 #include "trace/trace_io.h"
 #include "util/rng.h"
@@ -59,6 +78,11 @@ int main(int argc, char** argv) {
       flags.GetIntInRange("engine-batch", 256, 0, int64_t{1} << 32);
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   options.collect_latency = flags.Has("latency");
+  options.watchdog = flags.Has("watchdog");
+  options.watchdog_threshold =
+      flags.GetDoubleInRange("watchdog-threshold", 0.0, 0.0, 1e12);
+  const double linger =
+      flags.GetDoubleInRange("linger", 0.0, 0.0, 86400.0);
 
   const telemetry::TelemetryRunOptions topts =
       tools::ParseTelemetryFlags(flags);
@@ -70,6 +94,7 @@ int main(int argc, char** argv) {
   if (!err.empty()) tools::Die(err);
 
   telemetry::TelemetrySession telemetry_session(topts);
+  tools::DieOnSessionStartError(telemetry_session);
   const ServeReport report = ServeTrace(*trace, options);
 
   std::cout << "policy " << options.policy << " on " << path << " ("
@@ -123,6 +148,22 @@ int main(int argc, char** argv) {
                             3)
                       : std::string("n/a"))
               << "x\n";
+  }
+  if (options.watchdog) {
+    const health::HealthSnapshot snap =
+        health::CostRatioHealth::Get().Snapshot();
+    std::cout << "  watchdog:      cost_ratio_upper="
+              << (snap.lower_bound > 0.0 ? Fmt(snap.ratio_upper, 3)
+                                         : std::string("n/a"))
+              << " (lower bound " << Fmt(snap.lower_bound, 2) << ", "
+              << (snap.healthy ? "healthy" : "UNHEALTHY") << ")\n";
+  }
+
+  // Keep the scrape endpoint alive after serving so external pollers
+  // (wmlp_top, the CI curl job) can observe the settled end state.
+  if (linger > 0.0) {
+    std::cerr << "wmlp: lingering " << linger << "s before exit\n";
+    std::this_thread::sleep_for(std::chrono::duration<double>(linger));
   }
   if (!telemetry_session.Finish(&err)) tools::Die(err);
   return 0;

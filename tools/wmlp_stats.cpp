@@ -5,6 +5,7 @@
 //   wmlp_stats --snapshot s.json --prometheus    re-emit Prometheus text
 //   wmlp_stats --snapshot b.json --base a.json   diff: b minus a
 //   ... [--filter substr]                        restrict to matching names
+//                                                (no match => exit nonzero)
 //
 // The summary prints one row per metric: counters as their value, gauges
 // as-is, histograms as count/mean/p50/p99 interpolated from the stored
@@ -73,13 +74,17 @@ const char* TypeName(MetricType type) {
   return "?";
 }
 
-void Summarize(const std::vector<MetricSnapshot>& metrics,
-               const std::string& filter) {
+// Returns how many metrics matched the filter (all of them when the
+// filter is empty) so the caller can fail on a filter that hit nothing.
+size_t Summarize(const std::vector<MetricSnapshot>& metrics,
+                 const std::string& filter) {
   Table table({"metric", "type", "value", "p50", "p99"});
+  size_t matched = 0;
   for (const MetricSnapshot& m : metrics) {
     if (!filter.empty() && m.name.find(filter) == std::string::npos) {
       continue;
     }
+    ++matched;
     switch (m.type) {
       case MetricType::kCounter:
         table.AddRow({m.name, TypeName(m.type),
@@ -105,6 +110,7 @@ void Summarize(const std::vector<MetricSnapshot>& metrics,
     }
   }
   table.Print(std::cout);
+  return matched;
 }
 
 // b minus a. Metrics only in `b` pass through unchanged; metrics only in
@@ -200,6 +206,13 @@ int main(int argc, char** argv) {
             << ", uptime " << Fmt(snapshot.uptime_seconds, 3) << " s";
   if (!base_path.empty()) std::cout << ", diffed against " << base_path;
   std::cout << ", " << metrics.size() << " metrics)\n";
-  Summarize(metrics, flags.GetString("filter"));
+  const std::string filter = flags.GetString("filter");
+  const size_t matched = Summarize(metrics, filter);
+  // A filter that selects nothing is an error, not an empty table: CI
+  // greps depend on "--filter wmlp_serve produced rows" meaning the
+  // metrics actually exist in the snapshot.
+  if (!filter.empty() && matched == 0) {
+    tools::Die("no metrics matched --filter '" + filter + "'");
+  }
   return 0;
 }

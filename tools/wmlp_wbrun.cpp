@@ -6,7 +6,8 @@
 //   wmlp_wbrun --trace t.wbtrace
 //
 // Accepts the shared telemetry flags (--telemetry-out, --trace-out,
-// --stats-interval); see src/telemetry/export.h.
+// --stats-interval, --sample-interval, --sample-retention, --http-port,
+// --http-port-file); see src/telemetry/export.h.
 //
 // Runs the native writeback baselines and the paper's algorithms through
 // the Lemma 2.1 reduction, printing a comparison against the offline
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
   const telemetry::TelemetryRunOptions topts =
       tools::ParseTelemetryFlags(flags);
   telemetry::TelemetrySession telemetry_session(topts);
+  tools::DieOnSessionStartError(telemetry_session);
 
   wb::WbTrace trace{wb::WbInstance(1, 1, {1.0}, {1.0}), {}};
   if (flags.Has("trace")) {
